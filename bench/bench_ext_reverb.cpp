@@ -1,0 +1,86 @@
+// Extension bench — overshadowing robustness under room reverberation.
+//
+// The paper evaluates in real rooms (office, cafe); our scene simulator is
+// free-field by default. Reflections smear both Bob's voice and the
+// demodulated shadow in time, degrading the phase-coherent part of the
+// cancellation. This bench quantifies the degradation at the 16 kHz
+// superposition level: the same oracle shadow applied to a dry scene and
+// to increasingly reverberant rooms.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.h"
+#include "channel/reverb.h"
+
+int main() {
+  using namespace nec;
+  bench::PrintHeader("Extension — cancellation vs room reverberation");
+
+  core::NecPipeline pipeline = bench::MakeStandardPipeline();
+  // The monitor is worn by Bob: his voice dominates the monitored mix by
+  // ~12 dB (deployment geometry), like ScenarioRunner's physical setup.
+  synth::DatasetBuilder builder(
+      {.duration_s = 3.0, .background_snr_db = 12.0});
+  const auto spks = synth::DatasetBuilder::MakeSpeakers(2, 888111);
+  pipeline.Enroll(builder.MakeReferenceAudios(spks[0], 3, 1));
+  const auto inst = builder.MakeInstance(
+      spks[0], synth::Scenario::kJointConversation, 5, &spks[1]);
+
+  struct Room {
+    const char* name;
+    double rt60;
+    double wet;
+  };
+  const Room rooms[] = {
+      {"free field (dry)", 0.0, 0.0},
+      {"office  (RT60 0.4 s)", 0.4, 0.15},
+      {"cafe    (RT60 0.6 s)", 0.6, 0.25},
+      {"hall    (RT60 1.2 s)", 1.2, 0.35},
+  };
+
+  std::printf("\n%-22s %14s %14s\n", "room", "Bob SDR drop",
+              "Alice SDR gain");
+  bench::PrintRule();
+  std::vector<double> drops;
+  for (const Room& room : rooms) {
+    // The room shapes what the recorder hears: both the mixed voices and
+    // the arriving shadow pass through it.
+    audio::Waveform mixed = inst.mixed;
+    audio::Waveform target = inst.target;
+    audio::Waveform background = inst.background;
+    if (room.rt60 > 0.0) {
+      channel::RoomAcoustics acoustics{.rt60_s = room.rt60,
+                                       .wet = room.wet};
+      mixed = channel::Reverberator(16000, acoustics).Process(mixed);
+      target = channel::Reverberator(16000, acoustics).Process(target);
+      background =
+          channel::Reverberator(16000, acoustics).Process(background);
+    }
+    // NEC monitors the reverberant mix and the shadow superposes on it.
+    const audio::Waveform shadow = pipeline.GenerateShadow(
+        mixed.Slice(0, inst.mixed.size()));
+    audio::Waveform record = mixed;
+    record.MixIn(shadow, 0, 1.6f);  // deployment shadow strength
+
+    const double bob_drop =
+        metrics::Sdr(target.samples(), mixed.samples()) -
+        metrics::Sdr(target.samples(), record.samples());
+    const double alice_gain =
+        metrics::Sdr(background.samples(), record.samples()) -
+        metrics::Sdr(background.samples(), mixed.samples());
+    std::printf("%-22s %14.2f %14.2f\n", room.name, bob_drop, alice_gain);
+    drops.push_back(bob_drop);
+  }
+  bench::PrintRule();
+  std::printf("\nshape checks:\n");
+  std::printf("  NEC still hides Bob in an office (drop > 1.5 dB):  %s\n",
+              drops[1] > 1.5 ? "PASS" : "FAIL");
+  // The monitor hears the same reverberant field it cancels, so the
+  // shadow stays phase-coherent with the room's output — cancellation is
+  // robust to RT60 rather than degrading (the offset study, Fig. 9, is
+  // where alignment stress lives).
+  std::printf("  cancellation stable across rooms (within 3 dB):    %s\n",
+              std::abs(drops[3] - drops[0]) < 3.0 ? "PASS" : "FAIL");
+  return 0;
+}

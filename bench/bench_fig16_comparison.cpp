@@ -1,0 +1,114 @@
+// Figure 16 reproduction — comparison study: NEC vs white-noise jamming
+// vs Patronus scrambling on joint conversations.
+//
+//  (a) hiding Bob: all three systems push Bob's SDR far below the mixed
+//      audio; white noise retains the most target voice of the three.
+//  (b) retaining Alice: white noise is unrecoverable (lowest SDR);
+//      Patronus recovers only partially (below the raw mixed audio, paper
+//      ~-2.5 dB); NEC *improves* Alice over the mixed audio (paper: +5 dB)
+//      because it removes Bob, who was interference for Alice.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/patronus.h"
+#include "baselines/white_noise.h"
+#include "bench_support.h"
+
+int main() {
+  using namespace nec;
+  bench::PrintHeader(
+      "Fig. 16 — comparison: NEC vs white noise vs Patronus");
+
+  core::NecPipeline pipeline = bench::MakeStandardPipeline();
+  synth::DatasetBuilder builder({.duration_s = 3.0});
+  const auto targets = synth::DatasetBuilder::MakeSpeakers(6, 16000);
+  const auto others = synth::DatasetBuilder::MakeSpeakers(3, 26000);
+  core::ScenarioRunner runner;
+  baseline::Patronus patronus;
+
+  std::vector<double> bob_mixed, bob_nec, bob_wn, bob_pat;
+  std::vector<double> alice_mixed, alice_nec, alice_wn, alice_pat;
+
+  std::uint64_t seed = 80000;
+  for (std::size_t s = 0; s < targets.size(); ++s) {
+    const auto refs = builder.MakeReferenceAudios(targets[s], 3, seed++);
+    pipeline.Enroll(refs);
+    const auto inst = builder.MakeInstance(
+        targets[s], synth::Scenario::kJointConversation, seed++,
+        &others[s % others.size()]);
+    core::ScenarioSetup setup;
+    setup.noise_seed = seed++;
+    const auto res = runner.Run(pipeline, inst, setup);
+    const bench::SdrPair sdr = bench::ScoreScenario(res);
+
+    bob_mixed.push_back(sdr.bob_without);
+    bob_nec.push_back(sdr.bob_with);
+    alice_mixed.push_back(sdr.alice_without);
+    alice_nec.push_back(sdr.alice_with);
+
+    // White noise jammer at the same received volume as NEC's shadow
+    // (the paper: "we use 10dB based on our previous observation of the
+    // shadow sound volume on the same phone" — i.e. matched to the
+    // shadow). Our shadow is calibrated to Bob's level at the recorder.
+    const double wn_rel_db =
+        20.0 * std::log10(1.6 *  // the deployed shadow_gain
+                          std::max(1e-9f, res.bob_at_recorder.Rms()) /
+                          std::max(1e-9f, res.recorded_without_nec.Rms()));
+    const audio::Waveform jammed = baseline::JamWithWhiteNoise(
+        res.recorded_without_nec,
+        {.noise_rel_db = wn_rel_db, .seed = seed++});
+    bob_wn.push_back(
+        metrics::Sdr(res.bob_at_recorder.samples(), jammed.samples()));
+    alice_wn.push_back(
+        metrics::Sdr(res.bk_at_recorder.samples(), jammed.samples()));
+
+    // Patronus: scramble at the recorder; Alice's side is what an
+    // authorized device recovers.
+    const audio::Waveform scrambled =
+        patronus.Scramble(res.recorded_without_nec);
+    const audio::Waveform recovered = patronus.Recover(scrambled);
+    bob_pat.push_back(
+        metrics::Sdr(res.bob_at_recorder.samples(), scrambled.samples()));
+    alice_pat.push_back(
+        metrics::Sdr(res.bk_at_recorder.samples(), recovered.samples()));
+  }
+
+  std::printf("\n(a) hide Bob — median SDR of Bob in the recording (dB)\n");
+  bench::PrintRule();
+  std::printf("  Bob-Mixed: %7.2f    (paper: ~3)\n",
+              bench::Median(bob_mixed));
+  std::printf("  Bob-NEC:   %7.2f    (paper: ~-20)\n",
+              bench::Median(bob_nec));
+  std::printf("  Bob-WN:    %7.2f    (paper: higher than NEC/Patronus)\n",
+              bench::Median(bob_wn));
+  std::printf("  Bob-Pat.:  %7.2f    (paper: ~-20)\n",
+              bench::Median(bob_pat));
+
+  std::printf("\n(b) retain Alice — median SDR of Alice (dB)\n");
+  bench::PrintRule();
+  std::printf("  Alice-Mixed: %7.2f\n", bench::Median(alice_mixed));
+  std::printf("  Alice-NEC:   %7.2f  (paper: mixed +5 dB)\n",
+              bench::Median(alice_nec));
+  std::printf("  Alice-WN:    %7.2f  (paper: lowest — unrecoverable)\n",
+              bench::Median(alice_wn));
+  std::printf("  Alice-Pat.:  %7.2f  (paper: ~-2.5 dB, below mixed)\n",
+              bench::Median(alice_pat));
+
+  const double bm = bench::Median(bob_mixed), bn = bench::Median(bob_nec),
+               bw = bench::Median(bob_wn), bp = bench::Median(bob_pat);
+  const double am = bench::Median(alice_mixed),
+               an = bench::Median(alice_nec),
+               aw = bench::Median(alice_wn),
+               ap = bench::Median(alice_pat);
+  std::printf("\nshape checks:\n");
+  std::printf("  all three systems hide Bob vs mixed:        %s\n",
+              (bn < bm - 3 && bw < bm - 3 && bp < bm - 3) ? "PASS" : "FAIL");
+  std::printf("  white noise hides least (Bob-WN highest):   %s\n",
+              (bw > bn && bw > bp) ? "PASS" : "FAIL");
+  std::printf("  Alice: NEC best, Patronus middle, WN worst: %s\n",
+              (an > ap && ap > aw) ? "PASS" : "FAIL");
+  std::printf("  NEC improves Alice over the mixed audio:    %s\n",
+              an > am ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 5 reproduction: Pearson correlation matrix of the LAS of 10
+// different utterances from 4 speakers. Paper: intra-speaker correlations
+// reach ~0.96 on average; inter-speaker generally below 0.75.
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.h"
+#include "encoder/las.h"
+#include "synth/dataset.h"
+
+int main() {
+  using namespace nec;
+  bench::PrintHeader(
+      "Fig. 5 — Pearson correlation matrix of LAS (4 speakers x 10 "
+      "utterances)");
+
+  constexpr int kSpeakers = 4;
+  constexpr int kUtterances = 10;
+  synth::DatasetBuilder builder({.duration_s = 2.5});
+  const auto speakers =
+      synth::DatasetBuilder::MakeSpeakers(kSpeakers, 2025);
+
+  std::vector<std::vector<float>> las;
+  las.reserve(kSpeakers * kUtterances);
+  for (int s = 0; s < kSpeakers; ++s) {
+    for (int u = 0; u < kUtterances; ++u) {
+      const auto utt = builder.MakeUtterance(
+          speakers[static_cast<std::size_t>(s)],
+          static_cast<std::uint64_t>(1000 + s * 100 + u));
+      las.push_back(encoder::VoicedLas(utt.wave));
+    }
+  }
+
+  // 4x4 block-average matrix (the figure's visible structure).
+  double block[kSpeakers][kSpeakers] = {};
+  double intra_sum = 0.0, inter_sum = 0.0;
+  int intra_n = 0, inter_n = 0;
+  for (int i = 0; i < kSpeakers * kUtterances; ++i) {
+    for (int j = 0; j < kSpeakers * kUtterances; ++j) {
+      if (i == j) continue;
+      const double c = metrics::PearsonCorrelation(
+          las[static_cast<std::size_t>(i)], las[static_cast<std::size_t>(j)]);
+      const int si = i / kUtterances, sj = j / kUtterances;
+      block[si][sj] += c;
+      if (si == sj) {
+        intra_sum += c;
+        ++intra_n;
+      } else {
+        inter_sum += c;
+        ++inter_n;
+      }
+    }
+  }
+
+  std::printf("block-averaged correlation matrix:\n        ");
+  for (int j = 0; j < kSpeakers; ++j) std::printf("  spk-%c", 'A' + j);
+  std::printf("\n");
+  for (int i = 0; i < kSpeakers; ++i) {
+    std::printf("  spk-%c ", 'A' + i);
+    for (int j = 0; j < kSpeakers; ++j) {
+      const double denom = (i == j) ? kUtterances * (kUtterances - 1)
+                                    : kUtterances * kUtterances;
+      std::printf("  %5.3f", block[i][j] / denom);
+    }
+    std::printf("\n");
+  }
+  bench::PrintRule();
+  const double intra = intra_sum / intra_n;
+  const double inter = inter_sum / inter_n;
+  std::printf("mean intra-speaker correlation: %.3f   (paper: ~0.96)\n",
+              intra);
+  std::printf("mean inter-speaker correlation: %.3f   (paper: <0.75)\n",
+              inter);
+  // Note: our synthetic voices all come from one parametric source-filter
+  // family, so raw-LAS inter-speaker correlation sits higher than the
+  // paper's <0.75 across 40 human vocal tracts (EXPERIMENTS.md divergence
+  // #2). The property the system needs is the intra/inter separation.
+  std::printf("\nshape check (intra > inter): %s\n",
+              intra > inter + 0.04
+                  ? "PASS — timbre pattern is speaker-specific and "
+                    "utterance-independent"
+                  : "WEAK — speaker structure not separable");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper: it
+// synthesizes the workload, runs the pipeline, and prints the same
+// rows/series the paper reports, next to the paper's published values
+// where applicable. Absolute numbers differ (our substrate is a simulator,
+// not the authors' testbed); the *shape* — who wins, by roughly what
+// factor, where crossovers fall — is the reproduction target.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/model_cache.h"
+#include "core/pipeline.h"
+#include "metrics/metrics.h"
+#include "synth/dataset.h"
+
+namespace nec::bench {
+
+/// Loads (or trains once and caches) the standard experiment model and
+/// wraps it in a pipeline.
+inline core::NecPipeline MakeStandardPipeline() {
+  core::StandardModel model = core::StandardModel::Get(/*verbose=*/true);
+  return core::NecPipeline(std::move(*model.selector), model.encoder, {});
+}
+
+inline double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+inline double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+struct SdrPair {
+  double bob_without = 0.0, bob_with = 0.0;
+  double alice_without = 0.0, alice_with = 0.0;
+};
+
+/// SDR bookkeeping for one scenario run.
+inline SdrPair ScoreScenario(const core::ScenarioResult& res) {
+  SdrPair p;
+  p.bob_without = metrics::Sdr(res.bob_at_recorder.samples(),
+                               res.recorded_without_nec.samples());
+  p.bob_with = metrics::Sdr(res.bob_at_recorder.samples(),
+                            res.recorded_with_nec.samples());
+  p.alice_without = metrics::Sdr(res.bk_at_recorder.samples(),
+                                 res.recorded_without_nec.samples());
+  p.alice_with = metrics::Sdr(res.bk_at_recorder.samples(),
+                              res.recorded_with_nec.samples());
+  return p;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace nec::bench

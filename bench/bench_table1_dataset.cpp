@@ -1,0 +1,94 @@
+// Table I reproduction — the testing corpus: scenario catalogue with the
+// occupied frequency band of each noise class and generated instance
+// counts. Verifies each generated class actually occupies its Table I
+// band.
+#include <cstdio>
+
+#include "bench_support.h"
+#include "dsp/stft.h"
+#include "synth/noise.h"
+
+namespace {
+
+using namespace nec;
+
+double BandEdgeHz(const audio::Waveform& w, double energy_fraction) {
+  // Frequency below which `energy_fraction` of the total energy lies.
+  dsp::StftConfig cfg{.fft_size = 512, .win_length = 400, .hop_length = 160};
+  const dsp::Spectrogram spec = dsp::Stft(w, cfg);
+  std::vector<double> per_bin(spec.num_bins(), 0.0);
+  double total = 0.0;
+  for (std::size_t t = 0; t < spec.num_frames(); ++t) {
+    for (std::size_t f = 0; f < spec.num_bins(); ++f) {
+      const double e =
+          static_cast<double>(spec.MagAt(t, f)) * spec.MagAt(t, f);
+      per_bin[f] += e;
+      total += e;
+    }
+  }
+  double acc = 0.0;
+  for (std::size_t f = 0; f < per_bin.size(); ++f) {
+    acc += per_bin[f];
+    if (acc >= energy_fraction * total) {
+      return f * 16000.0 / cfg.fft_size;
+    }
+  }
+  return 8000.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table I — testing dataset composition");
+
+  synth::DatasetBuilder builder({.duration_s = 3.0});
+  const auto targets = synth::DatasetBuilder::MakeSpeakers(10, 7100);
+  const auto others = synth::DatasetBuilder::MakeSpeakers(6, 9100);
+
+  struct Row {
+    synth::Scenario scenario;
+    const char* source;
+    double paper_band_hz;
+    int paper_instances;
+  };
+  const Row rows[] = {
+      {synth::Scenario::kJointConversation, "synthetic speakers", 8000, 560},
+      {synth::Scenario::kBabble, "babble generator", 4000, 690},
+      {synth::Scenario::kFactory, "factory generator", 2000, 690},
+      {synth::Scenario::kVehicle, "vehicle generator", 500, 690},
+  };
+
+  std::printf("%-10s %-20s %14s %14s %10s\n", "scenario", "source",
+              "paper band", "measured 95%", "checked");
+  bench::PrintRule();
+
+  bool all_ok = true;
+  std::uint64_t seed = 100;
+  for (const Row& row : rows) {
+    // Sample a few instances and measure the background's 95%-energy edge.
+    double edge = 0.0;
+    const int kProbe = 3;
+    for (int i = 0; i < kProbe; ++i) {
+      const auto inst = builder.MakeInstance(
+          targets[static_cast<std::size_t>(i)], row.scenario, seed++,
+          &others[static_cast<std::size_t>(i)]);
+      edge += BandEdgeHz(inst.background, 0.95);
+    }
+    edge /= kProbe;
+    // Joint conversations are full-band speech (0-8 kHz): accept any edge.
+    const bool ok = row.scenario == synth::Scenario::kJointConversation
+                        ? true
+                        : edge <= 1.35 * row.paper_band_hz;
+    all_ok = all_ok && ok;
+    std::printf("%-10s %-20s %8.0f Hz %10.0f Hz %10s\n",
+                std::string(synth::ScenarioName(row.scenario)).c_str(),
+                row.source, row.paper_band_hz, edge, ok ? "PASS" : "FAIL");
+  }
+  bench::PrintRule();
+  std::printf("paper instance counts: 560 joint + 690 per noise class "
+              "(3,190 benchmark audios); our corpus generator is\n"
+              "seed-parameterized and produces any count on demand — "
+              "bench_fig11 uses 10 targets x 4 scenarios.\n");
+  std::printf("\nband structure: %s\n", all_ok ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Scenario example — speaker enrollment / verification tool.
+//
+// Usage:
+//   enrollment_tool                      demo on synthetic speakers
+//   enrollment_tool ref1.wav ref2.wav [ref3.wav] probe.wav
+//                                        enroll from reference WAVs and
+//                                        report the probe's similarity
+//
+// Demonstrates the encoder in isolation: the d-vector of reference audio
+// is a stable voiceprint — same-speaker probes score high cosine
+// similarity, other speakers low (the property the selector conditions
+// on).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "audio/wav_io.h"
+#include "encoder/encoder.h"
+#include "synth/dataset.h"
+
+namespace {
+
+using namespace nec;
+
+double Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+int RunDemo() {
+  std::printf("no WAVs given — running the synthetic demo\n");
+  // The verification demo uses the trained GE2E d-vector, which separates
+  // speakers much more sharply than the deterministic LAS embedding (the
+  // trade-off the paper's encoder choice reflects).
+  std::printf("training the GE2E encoder on synthetic speakers...\n\n");
+  encoder::NeuralEncoder enc({.num_mels = 40, .hidden = 64,
+                              .embedding_dim = 32});
+  enc.Train({.num_speakers = 20, .utterances_per_speaker = 4,
+             .steps = 60, .seed = 99});
+  synth::DatasetBuilder builder({.duration_s = 3.0});
+  const auto speakers = synth::DatasetBuilder::MakeSpeakers(3, 4242);
+
+  // Enroll speaker 0 from three clips.
+  const auto refs = builder.MakeReferenceAudios(speakers[0], 3, 10);
+  const auto voiceprint = enc.EmbedReferences(refs);
+  std::printf("enrolled %s (3 reference clips, %zu-dim d-vector)\n",
+              speakers[0].name.c_str(), voiceprint.size());
+
+  std::printf("\n%-14s %-12s %10s\n", "probe speaker", "utterance",
+              "cosine");
+  for (int s = 0; s < 3; ++s) {
+    for (int u = 0; u < 2; ++u) {
+      const auto utt = builder.MakeUtterance(
+          speakers[static_cast<std::size_t>(s)],
+          static_cast<std::uint64_t>(100 + s * 10 + u));
+      const double sim = Cosine(voiceprint, enc.Embed(utt.wave));
+      std::printf("%-14s utt-%-8d %10.3f  %s\n",
+                  speakers[static_cast<std::size_t>(s)].name.c_str(), u,
+                  sim,
+                  s == 0 ? (sim > 0.5 ? "<- target (accept)" : "<- MISS")
+                         : (sim < 0.5 ? "" : "<- FALSE ACCEPT"));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return RunDemo();
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s [ref1.wav ref2.wav [ref3.wav] probe.wav]\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    encoder::LasEncoder enc(40);
+    std::vector<audio::Waveform> refs;
+    for (int i = 1; i + 1 < argc; ++i) {
+      refs.push_back(audio::ReadWav(argv[i]));
+      std::printf("reference %d: %s (%.1f s)\n", i, argv[i],
+                  refs.back().duration());
+    }
+    const audio::Waveform probe = audio::ReadWav(argv[argc - 1]);
+    const auto voiceprint = enc.EmbedReferences(refs);
+    const double sim = Cosine(voiceprint, enc.Embed(probe));
+    std::printf("probe %s: cosine similarity %.3f -> %s\n", argv[argc - 1],
+                sim, sim > 0.75 ? "same speaker" : "different speaker");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

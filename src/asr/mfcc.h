@@ -1,0 +1,34 @@
+// MFCC feature extraction for the DTW-based ASR substitute.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "audio/waveform.h"
+
+namespace nec::asr {
+
+struct MfccConfig {
+  std::size_t fft_size = 512;
+  std::size_t win_length = 400;  ///< 25 ms @ 16 kHz
+  std::size_t hop_length = 160;  ///< 10 ms
+  std::size_t num_mels = 26;
+  std::size_t num_coeffs = 13;
+  bool append_deltas = true;     ///< first-order deltas doubles the dim
+  bool cepstral_mean_norm = true;
+};
+
+/// Frame-major MFCC matrix: frames x dim, where dim = num_coeffs * (1 +
+/// append_deltas). c0 is replaced by log frame energy.
+struct MfccFeatures {
+  std::size_t num_frames = 0;
+  std::size_t dim = 0;
+  std::vector<float> data;
+
+  const float* frame(std::size_t t) const { return data.data() + t * dim; }
+};
+
+MfccFeatures ComputeMfcc(const audio::Waveform& wave,
+                         const MfccConfig& config = {});
+
+}  // namespace nec::asr

@@ -1,0 +1,234 @@
+#include "asr/recognizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "dsp/biquad.h"
+#include "common/rng.h"
+#include "synth/lexicon.h"
+#include "synth/speaker.h"
+#include "synth/synthesizer.h"
+
+namespace nec::asr {
+namespace {
+
+/// Euclidean distance between two MFCC frames.
+double FrameDist(const float* a, const float* b, std::size_t dim) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < dim; ++k) {
+    const double d = static_cast<double>(a[k]) - b[k];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+WordRecognizer::WordRecognizer(RecognizerOptions options)
+    : options_(options) {
+  const synth::Lexicon& lex = synth::Lexicon::Default();
+  synth::Synthesizer synth({.sample_rate = options_.sample_rate,
+                            .edge_silence_ms = 10.0});
+  Rng rng(options_.template_seed);
+
+  for (const std::string& word : lex.Words()) {
+    for (std::size_t v = 0; v < options_.template_voices; ++v) {
+      const synth::SpeakerProfile voice =
+          synth::SpeakerProfile::FromSeed(options_.template_seed + v * 101);
+      const synth::Utterance utt =
+          synth.SynthesizeWords(voice, {word}, rng.NextSeed());
+      Template tpl;
+      tpl.word = word;
+      tpl.feats = ComputeMfcc(utt.wave, options_.mfcc);
+      if (tpl.feats.num_frames >= 3) templates_.push_back(std::move(tpl));
+    }
+  }
+  NEC_CHECK_MSG(!templates_.empty(), "recognizer built with no templates");
+}
+
+double WordRecognizer::DtwDistance(const MfccFeatures& a,
+                                   std::size_t a_begin, std::size_t a_end,
+                                   const Template& tpl) const {
+  const std::size_t n = a_end - a_begin;           // query frames
+  const std::size_t m = tpl.feats.num_frames;       // template frames
+  NEC_CHECK(n >= 1 && m >= 1 && a.dim == tpl.feats.dim);
+
+  const std::size_t band = std::max<std::size_t>(
+      3, static_cast<std::size_t>(options_.dtw_band * m) +
+             (n > m ? n - m : m - n));
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    // Sakoe-Chiba band around the diagonal.
+    const double center = static_cast<double>(i) * m / n;
+    const std::size_t j_lo = center > band ? static_cast<std::size_t>(center - band) : 1;
+    const std::size_t j_hi =
+        std::min<std::size_t>(m, static_cast<std::size_t>(center + band));
+    for (std::size_t j = std::max<std::size_t>(1, j_lo); j <= j_hi; ++j) {
+      const double d = FrameDist(a.frame(a_begin + i - 1),
+                                 tpl.feats.frame(j - 1), a.dim);
+      const double best =
+          std::min({prev[j], prev[j - 1], cur[j - 1]});
+      if (best < kInf) cur[j] = d + best;
+    }
+    std::swap(prev, cur);
+  }
+  const double total = prev[m];
+  if (!std::isfinite(total)) return kInf;
+  // Normalize by path length and feature dimension so the rejection
+  // threshold is scale-free.
+  return total / (static_cast<double>(n + m) *
+                  std::sqrt(static_cast<double>(a.dim)));
+}
+
+std::vector<RecognizedWord> WordRecognizer::Recognize(
+    const audio::Waveform& wave) const {
+  std::vector<RecognizedWord> out;
+  if (wave.empty()) return out;
+
+  const MfccFeatures feats = ComputeMfcc(wave, options_.mfcc);
+  if (feats.num_frames < 3) return out;
+  const std::size_t hop = options_.mfcc.hop_length;
+
+  // --- Endpoint detection on frame RMS of a high-passed copy: continuous
+  // low-frequency noise (vehicle rumble, room hum) would otherwise hold
+  // every frame above the gate and merge the whole clip into one segment.
+  audio::Waveform gated = wave;
+  dsp::Biquad hp = dsp::DesignHighPass(220.0, options_.sample_rate);
+  hp.ProcessBuffer(gated.samples());
+  const std::size_t T = feats.num_frames;
+  std::vector<float> frame_rms(T, 0.0f);
+  for (std::size_t t = 0; t < T; ++t) {
+    const std::size_t s0 = t * hop;
+    const std::size_t s1 =
+        std::min(gated.size(), s0 + options_.mfcc.win_length);
+    double acc = 0.0;
+    for (std::size_t s = s0; s < s1; ++s)
+      acc += static_cast<double>(gated[s]) * gated[s];
+    frame_rms[t] =
+        static_cast<float>(std::sqrt(acc / std::max<std::size_t>(1, s1 - s0)));
+  }
+  // Gate relative to the loud-speech level (95th percentile), which is
+  // robust both for mostly-silent clips and continuous speech.
+  std::vector<float> sorted = frame_rms;
+  std::sort(sorted.begin(), sorted.end());
+  const float p95 = sorted[static_cast<std::size_t>(0.95 * (T - 1))];
+  const float gate = std::max(
+      static_cast<float>(options_.energy_gate_factor) * p95, 1e-4f);
+
+  const std::size_t min_frames = std::max<std::size_t>(
+      2, static_cast<std::size_t>(options_.min_word_s *
+                                  options_.sample_rate / hop));
+  const std::size_t max_frames = static_cast<std::size_t>(
+      options_.max_word_s * options_.sample_rate / hop);
+  // Allow this many low-energy frames inside a word before closing it
+  // (stop closures are silent but word-internal).
+  constexpr std::size_t kHangover = 4;
+
+  std::vector<std::pair<std::size_t, std::size_t>> segments;
+  std::size_t seg_start = 0, low_run = 0;
+  bool in_seg = false;
+  for (std::size_t t = 0; t < T; ++t) {
+    const bool active = frame_rms[t] > gate;
+    if (!in_seg && active) {
+      in_seg = true;
+      seg_start = t;
+      low_run = 0;
+    } else if (in_seg) {
+      if (active) {
+        low_run = 0;
+      } else if (++low_run > kHangover) {
+        const std::size_t seg_end = t - low_run + 1;
+        if (seg_end - seg_start >= min_frames)
+          segments.emplace_back(seg_start, seg_end);
+        in_seg = false;
+      }
+    }
+  }
+  if (in_seg && T - seg_start >= min_frames)
+    segments.emplace_back(seg_start, T);
+
+  // Split implausibly long segments (merged words) at their weakest
+  // interior frame, recursively.
+  std::vector<std::pair<std::size_t, std::size_t>> final_segments;
+  std::vector<std::pair<std::size_t, std::size_t>> stack(segments.rbegin(),
+                                                         segments.rend());
+  while (!stack.empty()) {
+    auto [s0, s1] = stack.back();
+    stack.pop_back();
+    if (s1 - s0 <= max_frames) {
+      final_segments.emplace_back(s0, s1);
+      continue;
+    }
+    // Weakest frame in the middle half.
+    const std::size_t lo = s0 + (s1 - s0) / 4;
+    const std::size_t hi = s1 - (s1 - s0) / 4;
+    std::size_t split = lo;
+    for (std::size_t t = lo; t < hi; ++t) {
+      if (frame_rms[t] < frame_rms[split]) split = t;
+    }
+    if (split - s0 >= min_frames) stack.emplace_back(s0, split);
+    if (s1 - split >= min_frames) stack.emplace_back(split, s1);
+  }
+  std::sort(final_segments.begin(), final_segments.end());
+
+  // --- DTW-match each segment against the template store.
+  for (const auto& [s0, s1] : final_segments) {
+    const std::size_t seg_len = s1 - s0;
+    double best = std::numeric_limits<double>::infinity();
+    const Template* best_tpl = nullptr;
+    for (const Template& tpl : templates_) {
+      // Length pruning: skip hopeless length ratios.
+      const double ratio =
+          static_cast<double>(seg_len) / tpl.feats.num_frames;
+      if (ratio < 0.45 || ratio > 2.2) continue;
+      const double d = DtwDistance(feats, s0, s1, tpl);
+      if (d < best) {
+        best = d;
+        best_tpl = &tpl;
+      }
+    }
+    if (best_tpl != nullptr && best <= options_.rejection_threshold) {
+      RecognizedWord rw;
+      rw.word = best_tpl->word;
+      rw.start_sample = s0 * hop;
+      rw.end_sample = s1 * hop;
+      rw.distance = best;
+      out.push_back(std::move(rw));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> WordRecognizer::Transcribe(
+    const audio::Waveform& wave) const {
+  std::vector<std::string> words;
+  for (const RecognizedWord& rw : Recognize(wave)) words.push_back(rw.word);
+  return words;
+}
+
+double WordErrorRate(const std::vector<std::string>& reference,
+                     const std::vector<std::string>& hypothesis) {
+  const std::size_t n = reference.size(), m = hypothesis.size();
+  if (n == 0) return m == 0 ? 0.0 : static_cast<double>(m);
+  // Levenshtein on words.
+  std::vector<std::size_t> prev(m + 1), cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t sub =
+          prev[j - 1] + (reference[i - 1] == hypothesis[j - 1] ? 0 : 1);
+      cur[j] = std::min({sub, prev[j] + 1, cur[j - 1] + 1});
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<double>(prev[m]) / static_cast<double>(n);
+}
+
+}  // namespace nec::asr

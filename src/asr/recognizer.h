@@ -1,0 +1,79 @@
+// Isolated-word speech recognizer — the Google speech-to-text substitute.
+//
+// Classic template matching: the recognizer holds MFCC templates for every
+// lexicon word (synthesized by a small set of "canonical" voices), segments
+// an input recording into word-like islands with an adaptive energy
+// endpoint detector, and labels each island with the dynamic-time-warping
+// nearest template (rejecting islands that match nothing well → deletions;
+// noise islands that match something → insertions, which is how WER can
+// exceed 100% as in the paper's Fig. 11).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asr/mfcc.h"
+#include "audio/waveform.h"
+
+namespace nec::asr {
+
+struct RecognizerOptions {
+  int sample_rate = 16000;
+  /// Number of canonical template voices per word.
+  std::size_t template_voices = 5;
+  std::uint64_t template_seed = 4242;
+  /// DTW distance above which a segment is rejected (no output).
+  double rejection_threshold = 2.1;
+  /// Sakoe-Chiba band half-width as a fraction of template length.
+  double dtw_band = 0.35;
+  /// Endpoint detector: segment if frame RMS exceeds this fraction of the
+  /// utterance's loud-speech (95th percentile) RMS.
+  double energy_gate_factor = 0.08;
+  /// Minimum / maximum plausible word length in seconds.
+  double min_word_s = 0.08;
+  double max_word_s = 1.2;
+  MfccConfig mfcc;
+};
+
+struct RecognizedWord {
+  std::string word;
+  std::size_t start_sample = 0;
+  std::size_t end_sample = 0;
+  double distance = 0.0;  ///< normalized DTW distance of the best match
+};
+
+class WordRecognizer {
+ public:
+  /// Builds templates for the full default lexicon. Construction
+  /// synthesizes template_voices x |lexicon| clips (cached per instance).
+  explicit WordRecognizer(RecognizerOptions options = {});
+
+  /// Recognizes a recording into a word sequence.
+  std::vector<RecognizedWord> Recognize(const audio::Waveform& wave) const;
+
+  /// Convenience: just the word strings.
+  std::vector<std::string> Transcribe(const audio::Waveform& wave) const;
+
+  std::size_t vocabulary_size() const { return templates_.size(); }
+
+ private:
+  struct Template {
+    std::string word;
+    MfccFeatures feats;
+  };
+
+  double DtwDistance(const MfccFeatures& a, std::size_t a_begin,
+                     std::size_t a_end, const Template& tpl) const;
+
+  RecognizerOptions options_;
+  std::vector<Template> templates_;
+};
+
+/// Word error rate: (substitutions + deletions + insertions) / |reference|.
+/// Can exceed 1.0 when the hypothesis hallucinates words (the paper reports
+/// WER up to ~2.0 for jammed audio).
+double WordErrorRate(const std::vector<std::string>& reference,
+                     const std::vector<std::string>& hypothesis);
+
+}  // namespace nec::asr

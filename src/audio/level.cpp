@@ -1,0 +1,33 @@
+#include "audio/level.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nec::audio {
+namespace {
+constexpr double kDbFloor = -300.0;
+}  // namespace
+
+double AmplitudeToDb(double ratio) {
+  if (ratio <= 0.0) return kDbFloor;
+  return std::max(kDbFloor, 20.0 * std::log10(ratio));
+}
+
+double PowerToDb(double ratio) {
+  if (ratio <= 0.0) return kDbFloor;
+  return std::max(kDbFloor, 10.0 * std::log10(ratio));
+}
+
+double DbToAmplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+double DbToPower(double db) { return std::pow(10.0, db / 10.0); }
+
+double SplScale::SplToRms(double db_spl) const {
+  return DbToAmplitude(db_spl - full_scale_db_spl_);
+}
+
+double SplScale::RmsToSpl(double rms) const {
+  return full_scale_db_spl_ + AmplitudeToDb(rms);
+}
+
+}  // namespace nec::audio

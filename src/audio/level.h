@@ -1,0 +1,48 @@
+// Decibel / sound-pressure-level math used by the acoustic channel model
+// and the evaluation harnesses.
+//
+// The paper (§VI, Fig. 15) reports speech levels in dB SPL measured 5 cm
+// from the speaker's lips (77 dB_SPL) and tracks attenuation with distance.
+// We map dB SPL onto digital full-scale so that a configurable reference
+// level corresponds to RMS 1.0; all level arithmetic then happens in dB.
+#pragma once
+
+namespace nec::audio {
+
+/// Converts a linear amplitude ratio to decibels. `ratio` must be > 0 for a
+/// finite result; returns -infinity style large negative floor (-300 dB) for
+/// non-positive input so metric code never sees NaNs.
+double AmplitudeToDb(double ratio);
+
+/// Converts a power ratio to decibels (floor at -300 dB, as above).
+double PowerToDb(double ratio);
+
+/// Converts decibels to a linear amplitude ratio.
+double DbToAmplitude(double db);
+
+/// Converts decibels to a linear power ratio.
+double DbToPower(double db);
+
+/// Mapping between dB SPL and digital amplitude.
+///
+/// `full_scale_db_spl` defines the SPL represented by a digital RMS of 1.0.
+/// Default 94 dB SPL (the standard 1 Pa calibration level of measurement
+/// microphones) — i.e. digital amplitude 1.0 ≙ 94 dB SPL.
+class SplScale {
+ public:
+  explicit SplScale(double full_scale_db_spl = 94.0)
+      : full_scale_db_spl_(full_scale_db_spl) {}
+
+  /// Digital RMS corresponding to a given dB SPL.
+  double SplToRms(double db_spl) const;
+
+  /// dB SPL corresponding to a given digital RMS.
+  double RmsToSpl(double rms) const;
+
+  double full_scale_db_spl() const { return full_scale_db_spl_; }
+
+ private:
+  double full_scale_db_spl_;
+};
+
+}  // namespace nec::audio

@@ -1,0 +1,163 @@
+#include "audio/wav_io.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace nec::audio {
+namespace {
+
+// All RIFF fields are little-endian; this code assumes a little-endian host
+// (checked statically below for the platforms we target).
+static_assert(std::endian::native == std::endian::little,
+              "wav_io assumes a little-endian host");
+
+template <typename T>
+T ReadLe(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("wav: truncated file");
+  return value;
+}
+
+template <typename T>
+void WriteLe(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+struct FmtChunk {
+  std::uint16_t format_tag = 0;
+  std::uint16_t channels = 0;
+  std::uint32_t sample_rate = 0;
+  std::uint16_t bits_per_sample = 0;
+};
+
+}  // namespace
+
+Waveform ReadWav(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("wav: cannot open " + path);
+
+  char tag[4];
+  in.read(tag, 4);
+  if (!in || std::memcmp(tag, "RIFF", 4) != 0)
+    throw std::runtime_error("wav: missing RIFF header in " + path);
+  ReadLe<std::uint32_t>(in);  // riff size (unchecked; some writers lie)
+  in.read(tag, 4);
+  if (!in || std::memcmp(tag, "WAVE", 4) != 0)
+    throw std::runtime_error("wav: not a WAVE file: " + path);
+
+  FmtChunk fmt;
+  bool have_fmt = false;
+  bool have_data = false;
+  std::vector<char> payload;
+
+  while (in.read(tag, 4)) {
+    const auto chunk_size = ReadLe<std::uint32_t>(in);
+    if (std::memcmp(tag, "fmt ", 4) == 0) {
+      fmt.format_tag = ReadLe<std::uint16_t>(in);
+      fmt.channels = ReadLe<std::uint16_t>(in);
+      fmt.sample_rate = ReadLe<std::uint32_t>(in);
+      ReadLe<std::uint32_t>(in);  // byte rate
+      ReadLe<std::uint16_t>(in);  // block align
+      fmt.bits_per_sample = ReadLe<std::uint16_t>(in);
+      if (chunk_size > 16) in.ignore(chunk_size - 16);
+      have_fmt = true;
+    } else if (std::memcmp(tag, "data", 4) == 0) {
+      payload.resize(chunk_size);
+      in.read(payload.data(), chunk_size);
+      if (!in && chunk_size > 0)
+        throw std::runtime_error("wav: truncated data chunk");
+      have_data = true;
+      break;
+    } else {
+      in.ignore(chunk_size + (chunk_size & 1));  // chunks are word-aligned
+    }
+  }
+
+  if (!have_fmt) throw std::runtime_error("wav: missing fmt chunk");
+  if (!have_data) throw std::runtime_error("wav: missing data chunk");
+  if (fmt.channels == 0) throw std::runtime_error("wav: zero channels");
+
+  const std::size_t bytes_per_sample = fmt.bits_per_sample / 8;
+  if (bytes_per_sample == 0)
+    throw std::runtime_error("wav: zero bits per sample");
+  const std::size_t total =
+      payload.size() / (bytes_per_sample * fmt.channels);
+
+  std::vector<float> mono(total, 0.0f);
+  const char* p = payload.data();
+  if (fmt.format_tag == 1 && fmt.bits_per_sample == 16) {
+    for (std::size_t i = 0; i < total; ++i) {
+      float acc = 0.0f;
+      for (unsigned c = 0; c < fmt.channels; ++c) {
+        std::int16_t v;
+        std::memcpy(&v, p, 2);
+        p += 2;
+        acc += static_cast<float>(v) / 32768.0f;
+      }
+      mono[i] = acc / fmt.channels;
+    }
+  } else if (fmt.format_tag == 3 && fmt.bits_per_sample == 32) {
+    for (std::size_t i = 0; i < total; ++i) {
+      float acc = 0.0f;
+      for (unsigned c = 0; c < fmt.channels; ++c) {
+        float v;
+        std::memcpy(&v, p, 4);
+        p += 4;
+        acc += v;
+      }
+      mono[i] = acc / fmt.channels;
+    }
+  } else {
+    throw std::runtime_error("wav: unsupported encoding (tag " +
+                             std::to_string(fmt.format_tag) + ", " +
+                             std::to_string(fmt.bits_per_sample) + " bit)");
+  }
+
+  return Waveform(static_cast<int>(fmt.sample_rate), std::move(mono));
+}
+
+void WriteWav(const std::string& path, const Waveform& wave,
+              WavEncoding encoding) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("wav: cannot create " + path);
+
+  const bool pcm16 = encoding == WavEncoding::kPcm16;
+  const std::uint16_t bits = pcm16 ? 16 : 32;
+  const std::uint32_t data_bytes =
+      static_cast<std::uint32_t>(wave.size() * (bits / 8));
+
+  out.write("RIFF", 4);
+  WriteLe<std::uint32_t>(out, 36 + data_bytes);
+  out.write("WAVE", 4);
+  out.write("fmt ", 4);
+  WriteLe<std::uint32_t>(out, 16);
+  WriteLe<std::uint16_t>(out, pcm16 ? 1 : 3);
+  WriteLe<std::uint16_t>(out, 1);  // mono
+  WriteLe<std::uint32_t>(out, static_cast<std::uint32_t>(wave.sample_rate()));
+  WriteLe<std::uint32_t>(out, static_cast<std::uint32_t>(wave.sample_rate()) *
+                                  (bits / 8));
+  WriteLe<std::uint16_t>(out, bits / 8);
+  WriteLe<std::uint16_t>(out, bits);
+  out.write("data", 4);
+  WriteLe<std::uint32_t>(out, data_bytes);
+
+  if (pcm16) {
+    for (float s : wave.samples()) {
+      const float c = std::clamp(s, -1.0f, 1.0f);
+      WriteLe<std::int16_t>(
+          out, static_cast<std::int16_t>(std::lrint(c * 32767.0f)));
+    }
+  } else {
+    for (float s : wave.samples()) WriteLe<float>(out, s);
+  }
+  if (!out) throw std::runtime_error("wav: write failure for " + path);
+}
+
+}  // namespace nec::audio

@@ -1,0 +1,29 @@
+// Minimal RIFF/WAVE reader and writer.
+//
+// Supports mono/stereo 16-bit PCM and 32-bit IEEE float files; multi-channel
+// input is downmixed to mono on load (the NEC pipeline is mono end-to-end).
+// Used by the examples to dump listenable artifacts of each pipeline stage.
+#pragma once
+
+#include <string>
+
+#include "audio/waveform.h"
+
+namespace nec::audio {
+
+/// Sample encodings supported by WriteWav.
+enum class WavEncoding {
+  kPcm16,    ///< 16-bit signed integer PCM (format tag 1)
+  kFloat32,  ///< 32-bit IEEE float (format tag 3)
+};
+
+/// Reads a WAV file into a mono Waveform (multi-channel is averaged).
+/// Throws std::runtime_error on malformed files or unsupported encodings.
+Waveform ReadWav(const std::string& path);
+
+/// Writes `wave` to `path`. Samples are clamped to [-1, 1] for kPcm16.
+/// Throws std::runtime_error on IO failure.
+void WriteWav(const std::string& path, const Waveform& wave,
+              WavEncoding encoding = WavEncoding::kPcm16);
+
+}  // namespace nec::audio

@@ -1,0 +1,100 @@
+#include "audio/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nec::audio {
+
+Waveform::Waveform(int sample_rate, std::size_t num_samples)
+    : sample_rate_(sample_rate), samples_(num_samples, 0.0f) {
+  NEC_CHECK_MSG(sample_rate > 0, "sample rate must be positive");
+}
+
+Waveform::Waveform(int sample_rate, std::vector<float> samples)
+    : sample_rate_(sample_rate), samples_(std::move(samples)) {
+  NEC_CHECK_MSG(sample_rate > 0, "sample rate must be positive");
+}
+
+double Waveform::duration() const {
+  return sample_rate_ > 0
+             ? static_cast<double>(samples_.size()) / sample_rate_
+             : 0.0;
+}
+
+Waveform Waveform::Slice(std::size_t start, std::size_t count) const {
+  Waveform out(sample_rate_, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t src = start + i;
+    out.samples_[i] = src < samples_.size() ? samples_[src] : 0.0f;
+  }
+  return out;
+}
+
+void Waveform::Scale(float gain) {
+  for (float& s : samples_) s *= gain;
+}
+
+void Waveform::MixIn(const Waveform& other, std::size_t offset, float gain) {
+  NEC_CHECK_MSG(other.sample_rate_ == sample_rate_,
+                "sample-rate mismatch in MixIn: " << other.sample_rate_
+                                                  << " vs " << sample_rate_);
+  const std::size_t n =
+      std::min(other.samples_.size(),
+               offset < samples_.size() ? samples_.size() - offset : 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples_[offset + i] += gain * other.samples_[i];
+  }
+}
+
+void Waveform::Append(const Waveform& other) {
+  if (empty() && sample_rate_ == 0) sample_rate_ = other.sample_rate_;
+  NEC_CHECK(other.sample_rate_ == sample_rate_);
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
+void Waveform::AppendSilence(std::size_t n) {
+  samples_.insert(samples_.end(), n, 0.0f);
+}
+
+void Waveform::Clip() {
+  for (float& s : samples_) s = std::clamp(s, -1.0f, 1.0f);
+}
+
+float Waveform::Rms() const {
+  if (samples_.empty()) return 0.0f;
+  double acc = 0.0;
+  for (float s : samples_) acc += static_cast<double>(s) * s;
+  return static_cast<float>(std::sqrt(acc / samples_.size()));
+}
+
+float Waveform::Peak() const {
+  float peak = 0.0f;
+  for (float s : samples_) peak = std::max(peak, std::abs(s));
+  return peak;
+}
+
+void Waveform::NormalizePeak(float target_peak) {
+  const float peak = Peak();
+  if (peak > 0.0f) Scale(target_peak / peak);
+}
+
+void Waveform::NormalizeRms(float target_rms) {
+  const float rms = Rms();
+  if (rms > 0.0f) Scale(target_rms / rms);
+}
+
+void Waveform::ResizeTo(std::size_t n) { samples_.resize(n, 0.0f); }
+
+Waveform Mix(const Waveform& a, const Waveform& b, float gain_a,
+             float gain_b) {
+  NEC_CHECK(a.sample_rate() == b.sample_rate());
+  Waveform out(a.sample_rate(), std::max(a.size(), b.size()));
+  out.MixIn(a, 0, gain_a);
+  out.MixIn(b, 0, gain_b);
+  return out;
+}
+
+}  // namespace nec::audio

@@ -1,0 +1,89 @@
+// Core audio buffer type for the NEC library.
+//
+// A Waveform is a mono float PCM buffer tagged with a sample rate. Samples
+// are nominally in [-1, 1] but intermediate processing may exceed that
+// range; clipping only happens at explicit Clip() calls or in the microphone
+// ADC model (nec::channel::MicrophoneModel).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nec::audio {
+
+/// Mono float audio buffer with an associated sample rate.
+class Waveform {
+ public:
+  Waveform() = default;
+
+  /// Creates a silent waveform of `num_samples` samples.
+  Waveform(int sample_rate, std::size_t num_samples);
+
+  /// Wraps existing samples (copied).
+  Waveform(int sample_rate, std::vector<float> samples);
+
+  /// Sample rate in Hz. Zero for a default-constructed (empty) waveform.
+  int sample_rate() const { return sample_rate_; }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Duration in seconds.
+  double duration() const;
+
+  float& operator[](std::size_t i) { return samples_[i]; }
+  float operator[](std::size_t i) const { return samples_[i]; }
+
+  std::span<float> samples() { return samples_; }
+  std::span<const float> samples() const { return samples_; }
+  std::vector<float>& data() { return samples_; }
+  const std::vector<float>& data() const { return samples_; }
+
+  /// Returns a copy of the sample range [start, start+count), zero-padded
+  /// if the range extends past the end.
+  Waveform Slice(std::size_t start, std::size_t count) const;
+
+  /// Multiplies every sample by `gain` (linear).
+  void Scale(float gain);
+
+  /// Adds `other` into this buffer starting at sample `offset`; samples of
+  /// `other` that would land past the end are dropped. Sample rates must
+  /// match. `gain` scales `other` during the add.
+  void MixIn(const Waveform& other, std::size_t offset = 0, float gain = 1.0f);
+
+  /// Appends the samples of `other` (sample rates must match).
+  void Append(const Waveform& other);
+
+  /// Appends `n` zero samples.
+  void AppendSilence(std::size_t n);
+
+  /// Clamps all samples into [-1, 1].
+  void Clip();
+
+  /// Root-mean-square of the samples (0 for empty).
+  float Rms() const;
+
+  /// Maximum absolute sample value (0 for empty).
+  float Peak() const;
+
+  /// Scales so that Peak() == `target_peak` (no-op on silence).
+  void NormalizePeak(float target_peak = 0.95f);
+
+  /// Scales so that Rms() == `target_rms` (no-op on silence).
+  void NormalizeRms(float target_rms);
+
+  /// Pads with zeros (or truncates) so size() == n.
+  void ResizeTo(std::size_t n);
+
+ private:
+  int sample_rate_ = 0;
+  std::vector<float> samples_;
+};
+
+/// Mixes `a` and `b` sample-wise into a new waveform whose length is
+/// max(len(a), len(b)). Sample rates must match.
+Waveform Mix(const Waveform& a, const Waveform& b, float gain_a = 1.0f,
+             float gain_b = 1.0f);
+
+}  // namespace nec::audio

@@ -1,0 +1,46 @@
+#include "baselines/adaptive_attacker.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace nec::baseline {
+
+audio::Waveform SpectralSubtractAttack(
+    const audio::Waveform& jammed,
+    const audio::Waveform& interference_profile,
+    const SpectralSubtractionOptions& options) {
+  NEC_CHECK_MSG(jammed.sample_rate() == interference_profile.sample_rate(),
+                "attacker inputs must share a sample rate");
+  const dsp::Spectrogram spec = dsp::Stft(jammed, options.stft);
+  const dsp::Spectrogram noise = dsp::Stft(interference_profile,
+                                           options.stft);
+  const std::size_t F = spec.num_bins();
+
+  // Average interference magnitude per bin.
+  std::vector<double> profile(F, 0.0);
+  if (noise.num_frames() > 0) {
+    for (std::size_t t = 0; t < noise.num_frames(); ++t) {
+      for (std::size_t f = 0; f < F; ++f) {
+        profile[f] += noise.MagAt(t, f);
+      }
+    }
+    for (double& v : profile) v /= static_cast<double>(noise.num_frames());
+  }
+
+  // Classic magnitude-domain spectral subtraction with a spectral floor.
+  std::vector<float> cleaned(spec.mag().size());
+  for (std::size_t t = 0; t < spec.num_frames(); ++t) {
+    for (std::size_t f = 0; f < F; ++f) {
+      const double m = spec.MagAt(t, f);
+      const double sub = m - options.alpha * profile[f];
+      cleaned[t * F + f] = static_cast<float>(
+          std::max(sub, options.floor * m));
+    }
+  }
+  return dsp::IstftWithPhase(cleaned, spec, options.stft,
+                             jammed.sample_rate(), jammed.size());
+}
+
+}  // namespace nec::baseline

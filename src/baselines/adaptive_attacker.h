@@ -1,0 +1,44 @@
+// Adaptive attacker analysis (§II threat discussion).
+//
+// The paper motivates NEC over scrambling jammers partly by attack
+// resistance: "if the attacker learns the frequency pattern of the
+// scrambling noise wave, the attacker can deploy an additional microphone
+// to nullify the noises". We make that concrete with a spectral-
+// subtraction attacker:
+//
+//   * the attacker estimates the interference's average spectrum from a
+//     segment where the victim (Bob) is silent (or from a second
+//     microphone), and
+//   * subtracts that estimate from the recording's spectrogram, trying to
+//     un-jam it.
+//
+// Against *stationary* jamming (white noise, fixed scramble statistics)
+// this recovers much of the buried voice. Against NEC it cannot: the
+// shadow is Bob-shaped and non-stationary — subtracting its average
+// spectrum does not resurrect the canceled content. bench_ext_attack
+// quantifies both.
+#pragma once
+
+#include "audio/waveform.h"
+#include "dsp/stft.h"
+
+namespace nec::baseline {
+
+struct SpectralSubtractionOptions {
+  dsp::StftConfig stft{.fft_size = 512, .win_length = 400,
+                       .hop_length = 160};
+  /// Over-subtraction factor (classic spectral subtraction uses 1–3).
+  double alpha = 1.6;
+  /// Magnitude floor as a fraction of the original cell.
+  double floor = 0.05;
+};
+
+/// The attacker's denoiser: subtracts `interference_profile`'s average
+/// magnitude spectrum (estimated from a reference recording of the
+/// interference alone) from `jammed`, returning the attempted recovery.
+audio::Waveform SpectralSubtractAttack(
+    const audio::Waveform& jammed,
+    const audio::Waveform& interference_profile,
+    const SpectralSubtractionOptions& options = {});
+
+}  // namespace nec::baseline

@@ -1,0 +1,86 @@
+#include "baselines/patronus.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nec::baseline {
+
+Patronus::Patronus(PatronusOptions options) : options_(options) {
+  NEC_CHECK(options_.band_lo_hz > 0 &&
+            options_.band_hi_hz > options_.band_lo_hz);
+}
+
+audio::Waveform Patronus::GenerateScramble(int sample_rate,
+                                           std::size_t num_samples) const {
+  // Three simultaneous frequency-hopping tones with randomized phase —
+  // deterministic in the key, so an authorized device can regenerate it.
+  Rng rng(options_.key * 0x9E3779B97F4A7C15ULL + 1);
+  audio::Waveform scramble(sample_rate, num_samples);
+  const std::size_t hop_len = static_cast<std::size_t>(
+      options_.hop_interval_ms * sample_rate / 1000.0);
+  NEC_CHECK(hop_len >= 8);
+
+  constexpr int kTones = 3;
+  for (int tone = 0; tone < kTones; ++tone) {
+    double phase = rng.Uniform(0.0, 2.0 * std::numbers::pi);
+    double freq = 0.0;
+    for (std::size_t i = 0; i < num_samples; ++i) {
+      if (i % hop_len == 0) {
+        freq = rng.Uniform(options_.band_lo_hz, options_.band_hi_hz);
+      }
+      phase += 2.0 * std::numbers::pi * freq / sample_rate;
+      // Short raised-cosine ramp at hop boundaries to avoid clicks.
+      const std::size_t in_hop = i % hop_len;
+      const double edge = std::min<std::size_t>(in_hop, hop_len - in_hop);
+      const double ramp = std::min(1.0, static_cast<double>(edge) /
+                                            (0.1 * hop_len));
+      scramble[i] += static_cast<float>(std::sin(phase) * ramp / kTones);
+    }
+  }
+  return scramble;
+}
+
+audio::Waveform Patronus::Scramble(const audio::Waveform& recording) const {
+  audio::Waveform scramble =
+      GenerateScramble(recording.sample_rate(), recording.size());
+  const float rec_rms = recording.Rms();
+  const float target_rms =
+      rec_rms *
+      static_cast<float>(std::pow(10.0, options_.scramble_rel_db / 20.0));
+  scramble.NormalizeRms(target_rms);
+  return audio::Mix(recording, scramble);
+}
+
+audio::Waveform Patronus::Recover(const audio::Waveform& scrambled) const {
+  // The authorized device regenerates the schedule and subtracts it, but
+  // with a gain mismatch and a small timing error (over-the-air recovery
+  // is never sample-exact).
+  audio::Waveform scramble =
+      GenerateScramble(scrambled.sample_rate(), scrambled.size());
+  // The scramble level inside `scrambled` is unknown to the receiver; it
+  // estimates it by projecting the received signal onto the known
+  // scramble (least squares).
+  double dot = 0.0, ss = 0.0;
+  for (std::size_t i = 0; i < scrambled.size(); ++i) {
+    dot += static_cast<double>(scrambled[i]) * scramble[i];
+    ss += static_cast<double>(scramble[i]) * scramble[i];
+  }
+  const double est_gain = ss > 0 ? dot / ss : 0.0;
+
+  audio::Waveform out = scrambled;
+  const std::ptrdiff_t off = options_.recovery_offset_samples;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::ptrdiff_t j = static_cast<std::ptrdiff_t>(i) - off;
+    const float s =
+        (j >= 0 && j < static_cast<std::ptrdiff_t>(scramble.size()))
+            ? scramble[static_cast<std::size_t>(j)]
+            : 0.0f;
+    out[i] -= static_cast<float>(est_gain * options_.recovery_gain) * s;
+  }
+  return out;
+}
+
+}  // namespace nec::baseline

@@ -1,0 +1,60 @@
+// Patronus baseline (Li et al., SenSys 2020) — scrambling with selective
+// unscrambling.
+//
+// Patronus hides recordings by overlaying a *designed* pseudo-random
+// scramble (frequency-hopping tonal chirps in the speech band, delivered
+// via ultrasound in the original system) and lets authorized devices
+// subtract the scramble because they know its generation schedule.
+// Unauthorized recorders keep the scrambled mess.
+//
+// We reproduce the signal contract the NEC paper compares against
+// (§VI-B): Scramble() applies the keyed scramble; Recover() regenerates
+// the scramble from the shared key and subtracts it with imperfect gain
+// and timing (recovery is never exact over the air — this is why the
+// paper measures Alice's post-recovery SDR at ~-2.5 dB, below the raw
+// mixed audio).
+#pragma once
+
+#include <cstdint>
+
+#include "audio/waveform.h"
+
+namespace nec::baseline {
+
+struct PatronusOptions {
+  std::uint64_t key = 0xC0FFEE;  ///< shared scramble schedule key
+  /// Scramble power relative to the recording, in dB.
+  double scramble_rel_db = 8.0;
+  /// Frequency-hop interval in ms.
+  double hop_interval_ms = 40.0;
+  /// Scramble band (speech formant range, per the Patronus design).
+  double band_lo_hz = 300.0;
+  double band_hi_hz = 4000.0;
+  /// Recovery imperfection: gain mismatch of the regenerated scramble
+  /// (1.0 = perfect) and timing error in samples.
+  double recovery_gain = 0.85;
+  int recovery_offset_samples = 0;
+};
+
+class Patronus {
+ public:
+  explicit Patronus(PatronusOptions options = {});
+
+  /// The keyed scramble waveform for a clip of `num_samples` samples.
+  audio::Waveform GenerateScramble(int sample_rate,
+                                   std::size_t num_samples) const;
+
+  /// recording + scramble (what an unauthorized recorder keeps).
+  audio::Waveform Scramble(const audio::Waveform& recording) const;
+
+  /// Authorized recovery: subtracts the regenerated scramble with the
+  /// configured gain/timing imperfection.
+  audio::Waveform Recover(const audio::Waveform& scrambled) const;
+
+  const PatronusOptions& options() const { return options_; }
+
+ private:
+  PatronusOptions options_;
+};
+
+}  // namespace nec::baseline

@@ -1,0 +1,22 @@
+#include "baselines/white_noise.h"
+
+#include "audio/level.h"
+#include "common/rng.h"
+
+namespace nec::baseline {
+
+audio::Waveform JamWithWhiteNoise(const audio::Waveform& recording,
+                                  const WhiteNoiseJammerOptions& options) {
+  Rng rng(options.seed ^ 0xACF34CE7B91A65DBULL);
+  const float rec_rms = recording.Rms();
+  const float noise_rms =
+      rec_rms *
+      static_cast<float>(audio::DbToAmplitude(options.noise_rel_db));
+  audio::Waveform out = recording;
+  for (float& s : out.samples()) {
+    s += rng.GaussianF(0.0f, noise_rms);
+  }
+  return out;
+}
+
+}  // namespace nec::baseline

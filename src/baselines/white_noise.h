@@ -1,0 +1,26 @@
+// White-noise jammer baseline (§VI-B).
+//
+// Commercial ultrasonic jammers blanket every microphone in range with
+// broadband noise. The paper simulates this class by adding 10 dB of white
+// noise over the recording ("we use 10dB based on our previous observation
+// of the shadow sound volume on the same phone"); we reproduce exactly
+// that: noise whose power sits `noise_rel_db` above the recording's.
+#pragma once
+
+#include <cstdint>
+
+#include "audio/waveform.h"
+
+namespace nec::baseline {
+
+struct WhiteNoiseJammerOptions {
+  /// Noise power relative to the recording's power, in dB.
+  double noise_rel_db = 10.0;
+  std::uint64_t seed = 5150;
+};
+
+/// Returns recording + white noise at the configured relative level.
+audio::Waveform JamWithWhiteNoise(const audio::Waveform& recording,
+                                  const WhiteNoiseJammerOptions& options = {});
+
+}  // namespace nec::baseline

@@ -1,0 +1,53 @@
+#include "channel/air_channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "audio/level.h"
+#include "common/check.h"
+
+namespace nec::channel {
+
+double AirAbsorptionDbPerM(double f_hz) {
+  // Quadratic fit through ISO 9613-1 values at 20 °C / 50 % RH:
+  // ~0.005 dB/m @ 1 kHz, ~0.03 @ 4 kHz, ~0.1 @ 8 kHz, ~1.1 @ 25 kHz,
+  // ~1.6 @ 30 kHz.
+  return 0.003 + 1.75e-9 * f_hz * f_hz;
+}
+
+AirChannel::AirChannel(const AirChannelConfig& config) : config_(config) {
+  NEC_CHECK_MSG(config_.distance_m > 0.0, "distance must be positive");
+  NEC_CHECK_MSG(config_.ref_distance_m > 0.0,
+                "reference distance must be positive");
+  NEC_CHECK(config_.speed_of_sound_m_s > 100.0);
+}
+
+double AirChannel::Gain() const {
+  const double d = std::max(config_.distance_m, config_.ref_distance_m);
+  const double spreading = config_.ref_distance_m / d;
+  const double absorption_db =
+      AirAbsorptionDbPerM(config_.absorption_ref_hz) *
+      (d - config_.ref_distance_m);
+  return spreading * audio::DbToAmplitude(-absorption_db);
+}
+
+std::size_t AirChannel::DelaySamples(int sample_rate) const {
+  return static_cast<std::size_t>(
+      std::llround(DelaySeconds() * sample_rate));
+}
+
+double AirChannel::DelaySeconds() const {
+  return config_.distance_m / config_.speed_of_sound_m_s;
+}
+
+audio::Waveform AirChannel::Propagate(const audio::Waveform& source) const {
+  const std::size_t delay = DelaySamples(source.sample_rate());
+  const float gain = static_cast<float>(Gain());
+  audio::Waveform out(source.sample_rate(), delay + source.size());
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    out[delay + i] = gain * source[i];
+  }
+  return out;
+}
+
+}  // namespace nec::channel

@@ -1,0 +1,64 @@
+// Over-the-air acoustic propagation.
+//
+// Models the three effects the paper's deployment depends on (§IV-C2,
+// §VI-A user study 2):
+//   1. propagation delay (d / c, the t_AB/t_BC/t_AC terms of Eq. 10),
+//   2. spherical spreading loss, -20*log10(d/d_ref) dB — this is what makes
+//      Bob's 77 dB_SPL voice decay to ~43 dB_SPL at 5 m (Fig. 15a),
+//   3. atmospheric absorption, which grows ~quadratically with frequency —
+//      the reason ultrasound shadowing dies beyond a few meters while
+//      audible speech carries on (Table III max distances).
+//
+// Absorption is applied as a scalar evaluated at a representative frequency
+// per source (speech ≈ 1 kHz is negligible; a modulated shadow is narrowband
+// around its carrier). The parametric alpha(f) curve approximates
+// ISO 9613-1 at 20 °C / 50 % RH.
+#pragma once
+
+#include <cstdint>
+
+#include "audio/waveform.h"
+
+namespace nec::channel {
+
+/// Atmospheric absorption coefficient in dB/m at frequency `f_hz`
+/// (parametric ISO 9613-1 fit for 20 °C, 50 % relative humidity).
+double AirAbsorptionDbPerM(double f_hz);
+
+struct AirChannelConfig {
+  double distance_m = 1.0;
+  double speed_of_sound_m_s = 343.0;
+  /// Distance at which the source level is defined (the paper places its
+  /// decibel meter 5 cm from the speaker's lips).
+  double ref_distance_m = 0.05;
+  /// Representative frequency for the absorption term. Use the carrier
+  /// frequency for modulated ultrasound; ~1 kHz for speech.
+  double absorption_ref_hz = 1000.0;
+};
+
+class AirChannel {
+ public:
+  explicit AirChannel(const AirChannelConfig& config);
+
+  /// Propagates `source` over the configured distance: delays by
+  /// distance/c (prepending silence), applies spreading loss relative to
+  /// ref_distance and the absorption term. Output length = input length +
+  /// delay samples.
+  audio::Waveform Propagate(const audio::Waveform& source) const;
+
+  /// Total gain (linear) applied by this channel: spreading * absorption.
+  double Gain() const;
+
+  /// Delay in samples at the given rate.
+  std::size_t DelaySamples(int sample_rate) const;
+
+  /// Delay in seconds.
+  double DelaySeconds() const;
+
+  const AirChannelConfig& config() const { return config_; }
+
+ private:
+  AirChannelConfig config_;
+};
+
+}  // namespace nec::channel

@@ -1,0 +1,64 @@
+// Recorder device profiles — the Table III substitute.
+//
+// The paper evaluates 8 COTS smartphones whose microphone circuits differ
+// in (a) which ultrasonic carrier frequencies they respond to and (b) how
+// strong their second-order nonlinearity is; together these determine each
+// device's usable carrier band and maximum shadowing distance (0.43 m for
+// iPhone X up to 3.72 m for iPad Air 3). We model each device as:
+//
+//   * an ultrasonic front-end response: a resonant band-pass around
+//     `us_resonance_hz` with bandwidth `us_bandwidth_hz` and peak linear
+//     gain `us_gain` (the diaphragm + package acoustics),
+//   * a polynomial nonlinearity V_out = a1*V + a2*V^2 + a3*V^3 (§IV-C1),
+//   * a self-noise floor in dB SPL.
+//
+// Parameters were chosen so the simulated carrier acceptance bands and the
+// *ordering* of max shadowing distances reproduce Table III; absolute
+// distances depend on emitter power (see bench_table3_devices).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nec::channel {
+
+struct DeviceProfile {
+  std::string model;
+  std::string brand;
+
+  // Table III columns (paper-reported, used as ground truth for shape
+  // comparison).
+  double paper_carrier_lo_hz = 22000.0;
+  double paper_carrier_hi_hz = 30000.0;
+  double paper_best_carrier_hz = 27000.0;
+  double paper_max_distance_m = 1.0;
+
+  // Simulation parameters.
+  double us_resonance_hz = 27000.0;  ///< front-end resonance (≈ best f_c)
+  double us_bandwidth_hz = 6000.0;   ///< -10 dB acceptance width
+  double us_gain = 1.0;              ///< peak linear gain of the US path
+  double a1 = 1.0;                   ///< linear gain
+  double a2 = 0.4;                   ///< second-order coefficient
+  double a3 = 0.0;                   ///< third-order coefficient
+  double noise_floor_db_spl = 30.0;  ///< mic self-noise
+
+  /// Linear ultrasonic front-end gain at frequency `f_hz` (Gaussian-shaped
+  /// response; -10 dB at the acceptance band edges).
+  double UltrasoundGainAt(double f_hz) const;
+};
+
+/// The 8 smartphones of Table III, in the paper's row order.
+const std::vector<DeviceProfile>& Table3Devices();
+
+/// Finds a device by model name; throws std::invalid_argument if missing.
+const DeviceProfile& FindDevice(const std::string& model);
+
+/// A well-behaved "reference recorder" used by benchmark experiments that
+/// are not device studies (strong nonlinearity, wide acceptance band).
+DeviceProfile ReferenceRecorder();
+
+/// A recorder with a (near-)ideal linear microphone — the paper's
+/// discussion §VII: when the nonlinear effect is absent, NEC is ineffective.
+DeviceProfile IdealLinearRecorder();
+
+}  // namespace nec::channel

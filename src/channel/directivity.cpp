@@ -1,0 +1,34 @@
+#include "channel/directivity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace nec::channel {
+
+double DirectivityPattern::GainAt(double angle_deg) const {
+  if (back_attenuation_db <= 0.0) return 1.0;
+  const double angle =
+      std::clamp(std::abs(angle_deg), 0.0, 180.0) * std::numbers::pi / 180.0;
+  // Attenuation profile: att(θ) = A * s(θ)^q with s(θ) = (1 - cos θ)/2,
+  // which runs smoothly 0 → 1 over [0°, 180°]. The exponent q places the
+  // -3 dB point at half the beamwidth.
+  const double half_bw =
+      std::clamp(beamwidth_deg, 1.0, 359.0) / 2.0 * std::numbers::pi / 180.0;
+  const double s_bw = (1.0 - std::cos(half_bw)) / 2.0;
+  const double q =
+      std::log(3.0 / back_attenuation_db) / std::log(std::max(s_bw, 1e-9));
+  const double s = (1.0 - std::cos(angle)) / 2.0;
+  const double att_db = back_attenuation_db * std::pow(s, q);
+  return std::pow(10.0, -att_db / 20.0);
+}
+
+DirectivityPattern DirectivityPattern::Omni() {
+  return {.beamwidth_deg = 360.0, .back_attenuation_db = 0.0};
+}
+
+DirectivityPattern DirectivityPattern::VifaLike() {
+  return {.beamwidth_deg = 55.0, .back_attenuation_db = 22.0};
+}
+
+}  // namespace nec::channel

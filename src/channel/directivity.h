@@ -1,0 +1,36 @@
+// Ultrasonic emitter directivity (§VII "Directional of Ultrasonic
+// Speaker").
+//
+// The paper's integration plan relies on the ultrasound speaker being
+// strongly directional: pointed away from NEC's own monitor microphone,
+// "the shadow audio is barely sensed by the NEC's monitor as it produces
+// limited amplitude in its back direction" — otherwise the live shadow
+// would contaminate the monitored mix and corrupt future shadows.
+//
+// We model the emitter with a smooth axisymmetric pattern parameterized by
+// its -3 dB beamwidth and its back-lobe attenuation (Vifa-class dynamic
+// ultrasonic speakers are ~20 dB down at the rear).
+#pragma once
+
+namespace nec::channel {
+
+struct DirectivityPattern {
+  /// Full -3 dB beamwidth in degrees.
+  double beamwidth_deg = 60.0;
+  /// Attenuation directly behind the emitter (positive dB).
+  double back_attenuation_db = 20.0;
+
+  /// Linear gain for a receiver at `angle_deg` off the emitter's axis
+  /// (0 = on-axis, 180 = directly behind). Smooth and monotonic in
+  /// [0, 180]; exactly -3 dB at beamwidth/2 and -back_attenuation_db at
+  /// 180.
+  double GainAt(double angle_deg) const;
+
+  /// An idealized omnidirectional source (unit gain everywhere).
+  static DirectivityPattern Omni();
+
+  /// A Vifa-like dynamic ultrasonic speaker.
+  static DirectivityPattern VifaLike();
+};
+
+}  // namespace nec::channel

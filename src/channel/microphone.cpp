@@ -1,0 +1,99 @@
+#include "channel/microphone.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "audio/level.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "dsp/biquad.h"
+#include "dsp/resample.h"
+
+namespace nec::channel {
+
+MicrophoneModel::MicrophoneModel(DeviceProfile device,
+                                 MicrophoneOptions options)
+    : device_(std::move(device)), options_(options) {
+  NEC_CHECK(options_.output_rate >= 8000);
+}
+
+audio::Waveform MicrophoneModel::Record(
+    const audio::Waveform& incident) const {
+  NEC_CHECK_MSG(incident.sample_rate() >= 4 * options_.output_rate,
+                "microphone input must be at the air simulation rate");
+  const int fs = incident.sample_rate();
+
+  // 1. Band split: x = x_audible + x_ultra. The audible path is a steep
+  // low-pass at 14 kHz (speech content lives below 8 kHz; a shallow split
+  // would leak 21-30 kHz carriers into the unshaped path and flatten the
+  // carrier response the Table III study depends on). The ultrasonic
+  // remainder passes the device's resonant front end, approximated by a
+  // cascaded band-pass pair at the resonance.
+  audio::Waveform us = incident;
+  auto lp_split = dsp::DesignButterworthLowPass(8, 14000.0, fs);
+  audio::Waveform audible = incident;
+  lp_split.ProcessBuffer(audible.samples());
+  for (std::size_t i = 0; i < us.size(); ++i) us[i] -= audible[i];
+
+  if (device_.us_gain > 0.0) {
+    const double q = device_.us_resonance_hz /
+                     std::max(1000.0, device_.us_bandwidth_hz);
+    dsp::BiquadChain bp(
+        {dsp::DesignBandPass(device_.us_resonance_hz, fs, q),
+         dsp::DesignBandPass(device_.us_resonance_hz, fs, q * 0.5)});
+    bp.ProcessBuffer(us.samples());
+    us.Scale(static_cast<float>(device_.us_gain));
+  } else {
+    std::fill(us.data().begin(), us.data().end(), 0.0f);
+  }
+
+  // 2. Polynomial nonlinearity.
+  audio::Waveform v(fs, incident.size());
+  const float a1 = static_cast<float>(device_.a1);
+  const float a2 = static_cast<float>(device_.a2);
+  const float a3 = static_cast<float>(device_.a3);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const float x = audible[i] + us[i];
+    v[i] = a1 * x + a2 * x * x + a3 * x * x * x;
+  }
+
+  // 3. Anti-alias low-pass + decimation (Resample's polyphase FIR cuts at
+  // 0.45 * output_rate).
+  audio::Waveform rec = dsp::Resample(v, options_.output_rate);
+
+  // Remove the DC offset the squaring introduces (every real recorder is
+  // AC-coupled).
+  double mean = 0.0;
+  for (float s : rec.samples()) mean += s;
+  mean /= std::max<std::size_t>(1, rec.size());
+  for (float& s : rec.samples()) s -= static_cast<float>(mean);
+
+  // 4. Automatic gain control (optional; see MicrophoneOptions).
+  if (options_.agc_enabled) {
+    const double alpha = std::exp(
+        -1.0 / (options_.agc_time_constant_s * options_.output_rate));
+    double envelope = options_.agc_target_rms;  // start at unity gain
+    for (float& s : rec.samples()) {
+      envelope = alpha * envelope +
+                 (1.0 - alpha) * std::abs(static_cast<double>(s));
+      const double gain = std::min(
+          options_.agc_max_gain,
+          options_.agc_target_rms / std::max(envelope, 1e-9));
+      s = static_cast<float>(s * gain);
+    }
+  }
+
+  // 5. Self-noise + ADC clip.
+  Rng rng(options_.noise_seed ^ 0x853C49E6748FEA9BULL);
+  const float noise_rms = static_cast<float>(
+      audio::SplScale(options_.full_scale_db_spl)
+          .SplToRms(device_.noise_floor_db_spl));
+  for (float& s : rec.samples()) {
+    s += rng.GaussianF(0.0f, noise_rms);
+    s = std::clamp(s, -static_cast<float>(options_.clip_level),
+                   static_cast<float>(options_.clip_level));
+  }
+  return rec;
+}
+
+}  // namespace nec::channel

@@ -1,0 +1,63 @@
+// COTS microphone model (§IV-C1).
+//
+// Converts a 192 kHz incident pressure waveform into what the recorder
+// actually stores at 16 kHz:
+//
+//   1. Front-end band split: the ultrasonic part of the incident field is
+//      shaped by the device's resonant ultrasound response
+//      (DeviceProfile::UltrasoundGainAt); the audible part passes flat.
+//   2. Nonlinearity: V_out = a1*V + a2*V^2 + a3*V^3. The a2 term
+//      self-demodulates AM ultrasound to baseband (Eq. 8) — this is the
+//      physical mechanism NEC exploits.
+//   3. The recorder's anti-alias low-pass + decimation to the output rate
+//      ("Given the low-pass filter in the COTS microphone, we can eliminate
+//      the high frequency components while retaining f_m").
+//   4. Self-noise at the device's noise floor and ADC clipping.
+#pragma once
+
+#include <cstdint>
+
+#include "audio/waveform.h"
+#include "channel/device_profile.h"
+
+namespace nec::channel {
+
+struct MicrophoneOptions {
+  int output_rate = 16000;
+  /// Seed for the self-noise generator (deterministic recordings).
+  std::uint64_t noise_seed = 1;
+  /// dB SPL represented by digital RMS 1.0 (see audio::SplScale).
+  double full_scale_db_spl = 94.0;
+  /// ADC clip level (full scale = 1.0).
+  double clip_level = 1.0;
+  /// Automatic gain control (most phone capture paths run one). When
+  /// enabled, a slow envelope follower normalizes the recording toward
+  /// `agc_target_rms`. AGC rescales Bob and the demodulated shadow
+  /// together, so overshadowing survives it — a property worth testing,
+  /// which is why it is modeled. Default off to keep recordings in
+  /// physical units.
+  bool agc_enabled = false;
+  double agc_target_rms = 0.05;
+  /// Envelope time constant in seconds (attack == release here).
+  double agc_time_constant_s = 0.3;
+  /// Maximum AGC gain (keeps silence from being amplified into noise).
+  double agc_max_gain = 40.0;
+};
+
+class MicrophoneModel {
+ public:
+  MicrophoneModel(DeviceProfile device, MicrophoneOptions options = {});
+
+  /// Records an incident waveform (must be at a rate >= 4x the ultrasound
+  /// band, normally channel::kAirSampleRate). Returns the 16 kHz recording.
+  audio::Waveform Record(const audio::Waveform& incident) const;
+
+  const DeviceProfile& device() const { return device_; }
+  const MicrophoneOptions& options() const { return options_; }
+
+ private:
+  DeviceProfile device_;
+  MicrophoneOptions options_;
+};
+
+}  // namespace nec::channel

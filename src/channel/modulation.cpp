@@ -1,0 +1,51 @@
+#include "channel/modulation.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "dsp/biquad.h"
+#include "dsp/resample.h"
+
+namespace nec::channel {
+
+audio::Waveform ModulateAm(const audio::Waveform& baseband,
+                           const ModulationConfig& config) {
+  NEC_CHECK_MSG(config.carrier_hz > 20000.0 &&
+                    config.carrier_hz < 0.45 * config.air_sample_rate,
+                "carrier " << config.carrier_hz
+                           << " Hz outside the inaudible/supported band");
+  NEC_CHECK_MSG(config.alpha > 0.0, "alpha must be positive");
+
+  audio::Waveform up = dsp::Resample(baseband, config.air_sample_rate);
+  const float peak = up.Peak();
+  if (peak > 0.0f) up.Scale(1.0f / peak);  // |m| <= 1
+
+  const double w = 2.0 * std::numbers::pi * config.carrier_hz /
+                   config.air_sample_rate;
+  const double norm = config.peak / (1.0 + config.alpha);
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    const double carrier = std::cos(w * static_cast<double>(i));
+    up[i] = static_cast<float>(
+        (static_cast<double>(up[i]) + config.alpha) * carrier * norm);
+  }
+  return up;
+}
+
+audio::Waveform DemodulateAm(const audio::Waveform& passband,
+                             double carrier_hz, int target_rate) {
+  NEC_CHECK(passband.sample_rate() > 4 * static_cast<int>(carrier_hz / 2));
+  audio::Waveform mixed = passband;
+  const double w =
+      2.0 * std::numbers::pi * carrier_hz / passband.sample_rate();
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    mixed[i] = static_cast<float>(
+        2.0 * mixed[i] * std::cos(w * static_cast<double>(i)));
+  }
+  auto lp = dsp::DesignButterworthLowPass(
+      8, 0.4 * target_rate, passband.sample_rate());
+  lp.ProcessBuffer(mixed.samples());
+  return dsp::Resample(mixed, target_rate);
+}
+
+}  // namespace nec::channel

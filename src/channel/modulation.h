@@ -1,0 +1,39 @@
+// Ultrasonic amplitude modulation (the paper's Broadcast module, Eq. 7/9).
+//
+// The audible shadow waveform m(t) (16 kHz baseband) is up-converted onto an
+// inaudible carrier f_c > 20 kHz:  b(t) = (m(t) + alpha) * cos(2*pi*f_c*t).
+// The simulation carries over-the-air signals at 192 kHz so carriers up to
+// ~30 kHz and their second-order intermodulation products (2*f_c terms of
+// Eq. 8) stay below Nyquist.
+#pragma once
+
+#include "audio/waveform.h"
+
+namespace nec::channel {
+
+/// Default over-the-air simulation rate.
+inline constexpr int kAirSampleRate = 192000;
+
+struct ModulationConfig {
+  double carrier_hz = 27000.0;  ///< f_c; must be in (20 kHz, fs_air*0.45)
+  double alpha = 1.0;           ///< carrier power coefficient of Eq. 7
+  int air_sample_rate = kAirSampleRate;
+  /// Peak normalization of the emitted waveform (transmit amplitude is set
+  /// by the emitter's SPL, not here).
+  double peak = 0.95;
+};
+
+/// AM-modulates a baseband waveform onto the ultrasonic carrier. The input
+/// is resampled to `air_sample_rate` first; the envelope is normalized so
+/// |m(t)| <= 1 before the (m + alpha) offset, keeping the modulation index
+/// at alpha^-1.
+audio::Waveform ModulateAm(const audio::Waveform& baseband,
+                           const ModulationConfig& config);
+
+/// Ideal coherent demodulation — test/diagnostic reference only (real
+/// recorders rely on their nonlinearity; see MicrophoneModel). Returns the
+/// baseband at `target_rate`.
+audio::Waveform DemodulateAm(const audio::Waveform& passband,
+                             double carrier_hz, int target_rate);
+
+}  // namespace nec::channel

@@ -1,0 +1,91 @@
+#include "channel/reverb.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nec::channel {
+namespace {
+
+// Schroeder's classic mutually-prime comb delays (seconds) and all-pass
+// delays, scaled to the sample rate.
+constexpr double kCombDelaysS[] = {0.0297, 0.0371, 0.0411, 0.0437};
+constexpr double kAllpassDelaysS[] = {0.005, 0.0017};
+
+}  // namespace
+
+float Reverberator::Comb::Process(float x) {
+  const float out = buffer[pos];
+  // One-pole damping inside the feedback loop (air/wall HF absorption).
+  filter_state = out * (1.0f - damp) + filter_state * damp;
+  buffer[pos] = x + filter_state * feedback;
+  pos = (pos + 1) % buffer.size();
+  return out;
+}
+
+float Reverberator::Allpass::Process(float x) {
+  const float buffered = buffer[pos];
+  const float out = -gain * x + buffered;
+  buffer[pos] = x + gain * buffered;
+  pos = (pos + 1) % buffer.size();
+  return out;
+}
+
+Reverberator::Reverberator(int sample_rate, const RoomAcoustics& room)
+    : sample_rate_(sample_rate), room_(room) {
+  NEC_CHECK_MSG(room.rt60_s > 0.05 && room.rt60_s < 10.0,
+                "implausible RT60: " << room.rt60_s);
+  NEC_CHECK(room.wet >= 0.0 && room.wet <= 1.0);
+  NEC_CHECK(room.damping >= 0.0 && room.damping < 1.0);
+
+  for (double delay_s : kCombDelaysS) {
+    Comb comb;
+    comb.buffer.assign(
+        static_cast<std::size_t>(delay_s * sample_rate) + 1, 0.0f);
+    // Feedback for the desired RT60: g = 10^(-3 * delay / RT60).
+    comb.feedback = static_cast<float>(
+        std::pow(10.0, -3.0 * delay_s / room.rt60_s));
+    comb.damp = static_cast<float>(room.damping);
+    combs_.push_back(std::move(comb));
+  }
+  for (double delay_s : kAllpassDelaysS) {
+    Allpass ap;
+    ap.buffer.assign(
+        static_cast<std::size_t>(delay_s * sample_rate) + 1, 0.0f);
+    allpasses_.push_back(std::move(ap));
+  }
+}
+
+audio::Waveform Reverberator::Process(const audio::Waveform& dry) {
+  NEC_CHECK(dry.sample_rate() == sample_rate_);
+  // Tail: let the room ring out for RT60 after the input ends.
+  const std::size_t tail =
+      static_cast<std::size_t>(room_.rt60_s * sample_rate_);
+  audio::Waveform out(sample_rate_, dry.size() + tail);
+  const float wet = static_cast<float>(room_.wet);
+  const float dry_gain = 1.0f - wet;
+
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float x = i < dry.size() ? dry[i] : 0.0f;
+    float acc = 0.0f;
+    for (Comb& comb : combs_) acc += comb.Process(x);
+    acc *= 0.25f;  // average the comb bank
+    for (Allpass& ap : allpasses_) acc = ap.Process(acc);
+    out[i] = dry_gain * x + wet * acc;
+  }
+  return out;
+}
+
+void Reverberator::Reset() {
+  for (Comb& comb : combs_) {
+    std::fill(comb.buffer.begin(), comb.buffer.end(), 0.0f);
+    comb.filter_state = 0.0f;
+    comb.pos = 0;
+  }
+  for (Allpass& ap : allpasses_) {
+    std::fill(ap.buffer.begin(), ap.buffer.end(), 0.0f);
+    ap.pos = 0;
+  }
+}
+
+}  // namespace nec::channel

@@ -1,0 +1,82 @@
+#include "channel/scene.h"
+
+#include <algorithm>
+
+#include "audio/level.h"
+#include "common/check.h"
+#include "dsp/resample.h"
+
+namespace nec::channel {
+
+SceneSimulator::SceneSimulator(SceneOptions options) : options_(options) {
+  NEC_CHECK(options_.air_sample_rate >= 96000);
+}
+
+audio::Waveform SceneSimulator::RenderIncident(
+    const std::vector<AudibleSource>& audible,
+    const std::vector<UltrasoundSource>& ultrasound) const {
+  const int fs = options_.air_sample_rate;
+  const audio::SplScale spl(options_.full_scale_db_spl);
+  audio::Waveform incident(fs, std::size_t{1});
+
+  auto mix_in = [&incident](const audio::Waveform& w, std::size_t offset) {
+    if (offset + w.size() > incident.size()) {
+      incident.ResizeTo(offset + w.size());
+    }
+    incident.MixIn(w, offset);
+  };
+
+  for (const AudibleSource& src : audible) {
+    NEC_CHECK_MSG(src.wave != nullptr, "audible source without waveform");
+    audio::Waveform up = dsp::Resample(*src.wave, fs);
+    const float rms = up.Rms();
+    if (rms > 0.0f) {
+      up.Scale(static_cast<float>(spl.SplToRms(src.spl_at_ref_db)) / rms);
+    }
+    AirChannel air({.distance_m = src.distance_m,
+                    .ref_distance_m = options_.ref_distance_m,
+                    .absorption_ref_hz = 1000.0});
+    audio::Waveform arrived = air.Propagate(up);
+    mix_in(arrived, static_cast<std::size_t>(src.start_offset_s * fs));
+  }
+
+  for (const UltrasoundSource& src : ultrasound) {
+    NEC_CHECK_MSG(src.wave != nullptr, "ultrasound source without waveform");
+    NEC_CHECK_MSG(src.wave->sample_rate() == fs,
+                  "ultrasound source must be pre-modulated at the air rate");
+    audio::Waveform leveled = *src.wave;
+    const float rms = leveled.Rms();
+    if (rms > 0.0f) {
+      leveled.Scale(static_cast<float>(spl.SplToRms(src.spl_at_ref_db)) /
+                    rms);
+    }
+    // Emitter directivity: off-axis receivers get the pattern's gain.
+    leveled.Scale(static_cast<float>(
+        src.directivity.GainAt(src.emitter_angle_deg)));
+    AirChannel air({.distance_m = src.distance_m,
+                    .ref_distance_m = options_.ref_distance_m,
+                    .absorption_ref_hz = src.carrier_hz});
+    audio::Waveform arrived = air.Propagate(leveled);
+    mix_in(arrived, static_cast<std::size_t>(src.start_offset_s * fs));
+  }
+
+  return incident;
+}
+
+audio::Waveform SceneSimulator::Record(
+    const std::vector<AudibleSource>& audible,
+    const std::vector<UltrasoundSource>& ultrasound,
+    const MicrophoneModel& mic) const {
+  return mic.Record(RenderIncident(audible, ultrasound));
+}
+
+double SceneSimulator::SourceSplAtRecorder(double spl_at_ref_db,
+                                           double distance_m,
+                                           double representative_hz) const {
+  AirChannel air({.distance_m = distance_m,
+                  .ref_distance_m = options_.ref_distance_m,
+                  .absorption_ref_hz = representative_hz});
+  return spl_at_ref_db + audio::AmplitudeToDb(air.Gain());
+}
+
+}  // namespace nec::channel

@@ -1,0 +1,51 @@
+// Invariant checking utilities used across the NEC library.
+//
+// Policy (see DESIGN.md §6): constructor / IO failures throw
+// `std::invalid_argument` / `std::runtime_error`; internal invariants use
+// NEC_CHECK which throws `nec::CheckError` with file/line context so tests
+// can assert on violations instead of aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nec {
+
+/// Thrown when an NEC_CHECK invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "NEC_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace nec
+
+/// Checks a boolean invariant; throws nec::CheckError on failure.
+#define NEC_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::nec::detail::CheckFailed(#expr, __FILE__, __LINE__, "");     \
+    }                                                                \
+  } while (0)
+
+/// Checks a boolean invariant with a streamed message on failure.
+#define NEC_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream nec_check_os_;                              \
+      nec_check_os_ << msg;                                          \
+      ::nec::detail::CheckFailed(#expr, __FILE__, __LINE__,          \
+                                 nec_check_os_.str());               \
+    }                                                                \
+  } while (0)

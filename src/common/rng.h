@@ -1,0 +1,57 @@
+// Deterministic random number generation for the NEC library.
+//
+// Every stochastic component in the reproduction (speaker identities, noise
+// generators, dataset mixing, NN weight init, user-rating reviewer bias)
+// takes an explicit seed so experiments are bit-reproducible across runs.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace nec {
+
+/// Thin deterministic RNG wrapper around std::mt19937_64 with convenience
+/// sampling helpers. Copyable; copying forks the stream deterministically.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform float in [lo, hi).
+  float UniformF(float lo, float hi) {
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform 64-bit value; useful to derive child seeds.
+  std::uint64_t NextSeed() { return engine_(); }
+
+  /// Standard normal scaled by `stddev` around `mean`.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  float GaussianF(float mean = 0.0f, float stddev = 1.0f) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace nec

@@ -1,0 +1,105 @@
+#include "core/carrier_probe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "channel/microphone.h"
+#include "channel/modulation.h"
+#include "channel/scene.h"
+#include "common/check.h"
+
+namespace nec::core {
+namespace {
+
+double DemodLevel(const channel::DeviceProfile& device, double carrier_hz,
+                  const audio::Waveform& probe,
+                  const CarrierProbeOptions& options) {
+  const audio::Waveform mod =
+      channel::ModulateAm(probe, {.carrier_hz = carrier_hz});
+  channel::SceneSimulator sim;
+  channel::MicrophoneModel mic(device, {.noise_seed = options.noise_seed});
+  const audio::Waveform rec = sim.Record(
+      {}, {{.wave = &mod,
+            .distance_m = options.probe_distance_m,
+            .spl_at_ref_db = options.probe_spl_db,
+            .carrier_hz = carrier_hz}},
+      mic);
+  return rec.Rms();
+}
+
+}  // namespace
+
+CarrierResponse ProbeCarrierResponse(const channel::DeviceProfile& device,
+                                     const CarrierProbeOptions& options) {
+  NEC_CHECK(options.sweep_hi_hz > options.sweep_lo_hz &&
+            options.step_hz > 0.0);
+  audio::Waveform probe(16000, static_cast<std::size_t>(
+                                   16000 * options.probe_duration_s));
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    probe[i] = static_cast<float>(
+        0.5 * std::sin(2.0 * std::numbers::pi * options.probe_tone_hz * i /
+                       16000.0));
+  }
+
+  CarrierResponse resp;
+  double best = 0.0;
+  for (double fc = options.sweep_lo_hz; fc <= options.sweep_hi_hz + 1e-9;
+       fc += options.step_hz) {
+    const double level = DemodLevel(device, fc, probe, options);
+    resp.carrier_hz.push_back(fc);
+    resp.demod_level.push_back(level);
+    if (level > best) {
+      best = level;
+      resp.best_carrier_hz = fc;
+    }
+  }
+
+  const double edge = best * std::pow(10.0, -options.band_edge_db / 20.0);
+  resp.band_lo_hz = resp.best_carrier_hz;
+  resp.band_hi_hz = resp.best_carrier_hz;
+  for (std::size_t i = 0; i < resp.carrier_hz.size(); ++i) {
+    if (resp.demod_level[i] >= edge) {
+      resp.band_lo_hz = std::min(resp.band_lo_hz, resp.carrier_hz[i]);
+      resp.band_hi_hz = std::max(resp.band_hi_hz, resp.carrier_hz[i]);
+    }
+  }
+  return resp;
+}
+
+double SelectBestCarrier(const channel::DeviceProfile& device,
+                         const CarrierProbeOptions& options) {
+  return ProbeCarrierResponse(device, options).best_carrier_hz;
+}
+
+double SelectCarrierForAll(
+    const std::vector<channel::DeviceProfile>& devices,
+    const CarrierProbeOptions& options) {
+  NEC_CHECK_MSG(!devices.empty(), "need at least one device");
+  std::vector<CarrierResponse> responses;
+  responses.reserve(devices.size());
+  for (const auto& d : devices) {
+    responses.push_back(ProbeCarrierResponse(d, options));
+  }
+  const std::size_t n = responses[0].carrier_hz.size();
+  double best_fc = responses[0].carrier_hz[0];
+  double best_min = -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double min_level = 1e30;
+    for (const auto& r : responses) {
+      // Normalize per device so a single sensitive phone does not
+      // dominate the max-min choice.
+      const double peak =
+          *std::max_element(r.demod_level.begin(), r.demod_level.end());
+      min_level = std::min(min_level,
+                           peak > 0 ? r.demod_level[i] / peak : 0.0);
+    }
+    if (min_level > best_min) {
+      best_min = min_level;
+      best_fc = responses[0].carrier_hz[i];
+    }
+  }
+  return best_fc;
+}
+
+}  // namespace nec::core

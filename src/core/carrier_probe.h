@@ -1,0 +1,58 @@
+// Carrier frequency auto-selection (§VI-D "Diversity of Hardware
+// Dependence").
+//
+// "The variance of the non-linearity for the hardware ... can influence
+//  the optimal selection of the modulation parameters. ... All the tested
+//  smartphones have a range of acceptable frequency settings."
+//
+// In deployment, NEC cannot know the eavesdropper's exact device; the
+// paper tunes the carrier per device by measurement. CarrierProbe
+// automates that measurement against a device model: it plays a modulated
+// probe tone across candidate carriers, measures the demodulated baseband
+// level at the recorder, and reports the response curve, best carrier and
+// acceptance band — exactly what Table III's columns summarize.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/device_profile.h"
+
+namespace nec::core {
+
+struct CarrierProbeOptions {
+  double sweep_lo_hz = 21000.0;
+  double sweep_hi_hz = 33000.0;
+  double step_hz = 500.0;
+  double probe_distance_m = 0.5;
+  double probe_spl_db = 110.0;
+  double probe_tone_hz = 800.0;
+  double probe_duration_s = 0.4;
+  /// Band edges are where the response falls this many dB below the peak.
+  double band_edge_db = 10.0;
+  std::uint64_t noise_seed = 5;
+};
+
+struct CarrierResponse {
+  std::vector<double> carrier_hz;   ///< sweep grid
+  std::vector<double> demod_level;  ///< recorded baseband RMS per carrier
+  double best_carrier_hz = 0.0;
+  double band_lo_hz = 0.0;  ///< acceptance band (within band_edge_db)
+  double band_hi_hz = 0.0;
+};
+
+/// Sweeps the carrier against `device` and returns its response curve.
+CarrierResponse ProbeCarrierResponse(const channel::DeviceProfile& device,
+                                     const CarrierProbeOptions& options = {});
+
+/// Convenience: the best carrier for one device.
+double SelectBestCarrier(const channel::DeviceProfile& device,
+                         const CarrierProbeOptions& options = {});
+
+/// The carrier maximizing the *minimum* response across several devices —
+/// the Table IV "affect multiple recorders simultaneously" tuning knob.
+double SelectCarrierForAll(
+    const std::vector<channel::DeviceProfile>& devices,
+    const CarrierProbeOptions& options = {});
+
+}  // namespace nec::core

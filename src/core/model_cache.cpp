@@ -1,0 +1,77 @@
+#include "core/model_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+namespace nec::core {
+
+std::string DefaultCacheDir() {
+  const char* env = std::getenv("NEC_CACHE_DIR");
+  std::filesystem::path dir =
+      env != nullptr && *env != '\0'
+          ? std::filesystem::path(env)
+          : std::filesystem::temp_directory_path() / "nec_cache";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+namespace {
+
+std::string CacheKey(const NecConfig& c, const TrainerOptions& o) {
+  std::ostringstream os;
+  os << "selector_v2_sr" << c.sample_rate << "_fft" << c.stft.fft_size << "_w"
+     << c.stft.win_length << "_h" << c.stft.hop_length << "_c"
+     << c.conv_channels << "_fc" << c.fc_hidden << "_e" << c.embedding_dim
+     << "_steps" << o.steps << "_spk" << o.num_speakers << "_ips"
+     << o.instances_per_speaker << "_bs" << o.batch_size << "_crop"
+     << static_cast<int>(o.crop_s * 1000) << "_lr"
+     << static_cast<int>(o.lr * 1e6) << "_seed" << o.seed << ".necm";
+  return os.str();
+}
+
+}  // namespace
+
+Selector GetOrTrainSelector(const NecConfig& config,
+                            const encoder::SpeakerEncoder& encoder,
+                            const TrainerOptions& options,
+                            const std::string& cache_dir, bool verbose) {
+  const std::string dir = cache_dir.empty() ? DefaultCacheDir() : cache_dir;
+  const std::string path =
+      (std::filesystem::path(dir) / CacheKey(config, options)).string();
+
+  if (std::filesystem::exists(path)) {
+    if (verbose) std::printf("[nec] loading cached selector: %s\n",
+                             path.c_str());
+    return Selector::Load(path);
+  }
+
+  if (verbose) {
+    std::printf("[nec] training selector (%zu steps, one-time; cached to %s)\n",
+                options.steps, path.c_str());
+  }
+  TrainerOptions opt = options;
+  opt.verbose = verbose;
+  Selector selector(config, /*init_seed=*/options.seed + 1);
+  SelectorTrainer trainer(config, encoder, opt);
+  const float zero_loss = trainer.ZeroShadowLoss();
+  const float final_loss = trainer.Train(selector);
+  if (verbose) {
+    std::printf("[nec] training done: loss %.5f (zero-shadow baseline %.5f)\n",
+                final_loss, zero_loss);
+  }
+  selector.Save(path);
+  return selector;
+}
+
+StandardModel StandardModel::Get(bool verbose) {
+  StandardModel m;
+  m.config = NecConfig::Fast();
+  m.encoder = std::make_shared<encoder::LasEncoder>(m.config.embedding_dim);
+  m.selector = std::make_shared<Selector>(GetOrTrainSelector(
+      m.config, *m.encoder, TrainerOptions{}, "", verbose));
+  return m;
+}
+
+}  // namespace nec::core

@@ -1,0 +1,39 @@
+// Disk cache for trained selector models.
+//
+// Training the selector takes minutes of single-core CPU; every bench and
+// example that needs a trained model goes through GetOrTrainSelector so
+// one training run is shared across all binaries. The cache key encodes
+// the NecConfig and TrainerOptions, so changing either retrains.
+#pragma once
+
+#include <string>
+
+#include "core/selector.h"
+#include "core/trainer.h"
+#include "encoder/encoder.h"
+
+namespace nec::core {
+
+/// $NEC_CACHE_DIR if set, else <temp>/nec_cache. Created if missing.
+std::string DefaultCacheDir();
+
+/// Loads the cached selector for (config, options) or trains and caches
+/// one. `verbose` prints training progress to stdout.
+Selector GetOrTrainSelector(const NecConfig& config,
+                            const encoder::SpeakerEncoder& encoder,
+                            const TrainerOptions& options,
+                            const std::string& cache_dir = "",
+                            bool verbose = false);
+
+/// The standard experiment bundle: Fast() config + LasEncoder(40) + the
+/// default TrainerOptions. All figure/table benches share this model.
+struct StandardModel {
+  NecConfig config;
+  std::shared_ptr<encoder::SpeakerEncoder> encoder;
+  /// Never null after Get().
+  std::shared_ptr<Selector> selector;
+
+  static StandardModel Get(bool verbose = false);
+};
+
+}  // namespace nec::core

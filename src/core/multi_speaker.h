@@ -1,0 +1,59 @@
+// Multi-speaker protection — the paper's §VII future work.
+//
+// "It is a challenge to protect a conversation that involves multiple
+//  speakers ... We failed to train a Selector model that is applicable to
+//  multiple target speakers with the current system architecture. In
+//  future work, we will figure out how to integrate the multiple
+//  speakers' embeddings."
+//
+// This module implements the two integration strategies that sketch
+// suggests, reusing the *single-speaker* selector unchanged:
+//
+//   * kMergedEmbedding — average the enrolled d-vectors into one pseudo-
+//     speaker embedding and run the selector once. Cheap; degrades when
+//     the targets' timbres are far apart (the merged vector points at
+//     nobody).
+//   * kIterativeResidual — run the selector once per enrolled target,
+//     each pass on the residual spectrogram left by the previous passes,
+//     and emit the union shadow. N× the compute, but each pass sees a
+//     well-formed single-target problem.
+//
+// bench_ext_multispeaker quantifies both against the single-target
+// baseline.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "audio/waveform.h"
+#include "core/pipeline.h"
+
+namespace nec::core {
+
+enum class MultiStrategy {
+  kMergedEmbedding,
+  kIterativeResidual,
+};
+
+class MultiSpeakerProtector {
+ public:
+  /// Shares the pipeline's trained selector and encoder. The pipeline
+  /// itself does not need to be enrolled.
+  explicit MultiSpeakerProtector(NecPipeline& pipeline);
+
+  /// Enrolls one protected participant from reference clips. Returns the
+  /// target's index.
+  std::size_t EnrollTarget(std::span<const audio::Waveform> references);
+
+  std::size_t num_targets() const { return dvectors_.size(); }
+
+  /// Generates a baseband shadow canceling *all* enrolled targets.
+  audio::Waveform GenerateShadow(const audio::Waveform& mixed,
+                                 MultiStrategy strategy);
+
+ private:
+  NecPipeline& pipeline_;
+  std::vector<std::vector<float>> dvectors_;
+};
+
+}  // namespace nec::core

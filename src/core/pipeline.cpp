@@ -1,0 +1,69 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nec::core {
+
+NecPipeline::NecPipeline(
+    Selector selector,
+    std::shared_ptr<const encoder::SpeakerEncoder> encoder,
+    PipelineOptions options)
+    : selector_(std::move(selector)),
+      las_selector_(selector_.config()),
+      encoder_(std::move(encoder)),
+      options_(options) {
+  NEC_CHECK(encoder_ != nullptr);
+  NEC_CHECK_MSG(encoder_->dim() == selector_.config().embedding_dim,
+                "encoder/selector embedding dimension mismatch");
+}
+
+void NecPipeline::Enroll(std::span<const audio::Waveform> references) {
+  dvector_ = encoder_->EmbedReferences(references);
+  las_selector_.Enroll(references);
+}
+
+const std::vector<float>& NecPipeline::dvector() const {
+  NEC_CHECK_MSG(dvector_.has_value(), "pipeline not enrolled");
+  return *dvector_;
+}
+
+audio::Waveform NecPipeline::GenerateShadow(const audio::Waveform& mixed,
+                                            SelectorKind kind) {
+  NEC_CHECK_MSG(dvector_.has_value(), "enroll a target before GenerateShadow");
+  NEC_CHECK_MSG(mixed.sample_rate() == config().sample_rate,
+                "monitor audio must be at " << config().sample_rate
+                                            << " Hz");
+  const dsp::Spectrogram spec = dsp::Stft(mixed, config().stft);
+  const std::vector<float> shadow_mag =
+      kind == SelectorKind::kNeural
+          ? selector_.ComputeShadow(spec, *dvector_)
+          : las_selector_.ComputeShadow(spec);
+  return dsp::IstftWithPhase(shadow_mag, spec, config().stft,
+                             config().sample_rate, mixed.size());
+}
+
+audio::Waveform NecPipeline::GenerateModulatedShadow(
+    const audio::Waveform& mixed, SelectorKind kind) {
+  return channel::ModulateAm(GenerateShadow(mixed, kind),
+                             options_.modulation);
+}
+
+audio::Waveform NecPipeline::OracleShadow(
+    const audio::Waveform& mixed, const audio::Waveform& background) const {
+  const dsp::Spectrogram mix_spec = dsp::Stft(mixed, config().stft);
+  const dsp::Spectrogram bk_spec = dsp::Stft(background, config().stft);
+  // Tolerate a trailing length mismatch (stems may carry propagation
+  // delays); cells past the shorter signal keep a zero shadow.
+  const std::size_t n =
+      std::min(mix_spec.mag().size(), bk_spec.mag().size());
+  std::vector<float> shadow(mix_spec.mag().size(), 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    shadow[i] = bk_spec.mag()[i] - mix_spec.mag()[i];
+  }
+  return dsp::IstftWithPhase(shadow, mix_spec, config().stft,
+                             config().sample_rate, mixed.size());
+}
+
+}  // namespace nec::core

@@ -1,0 +1,76 @@
+// The end-to-end NEC pipeline (Fig. 6): enrollment → monitoring → shadow
+// generation → ultrasonic broadcast.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "audio/waveform.h"
+#include "channel/modulation.h"
+#include "core/config.h"
+#include "core/las_selector.h"
+#include "core/selector.h"
+#include "encoder/encoder.h"
+
+namespace nec::core {
+
+struct PipelineOptions {
+  channel::ModulationConfig modulation;  ///< carrier f_c, alpha, air rate
+};
+
+/// Which shadow generator the pipeline runs (neural is the paper system;
+/// the LAS mask is the DSP ablation).
+enum class SelectorKind { kNeural, kLasMask };
+
+class NecPipeline {
+ public:
+  /// Takes ownership of a trained selector and an encoder.
+  NecPipeline(Selector selector,
+              std::shared_ptr<const encoder::SpeakerEncoder> encoder,
+              PipelineOptions options = {});
+
+  /// Enrolls the target speaker from reference clips (paper: 3 clips of
+  /// 3 s). Computes the d-vector and the LAS profile for the ablation
+  /// selector.
+  void Enroll(std::span<const audio::Waveform> references);
+
+  /// Generates the baseband shadow waveform for a monitored mixed clip:
+  /// STFT → selector → signed shadow magnitudes → inverse STFT with the
+  /// mixed signal's phase (§IV-C1). The returned wave has the property
+  /// x_mixed + x_shadow ≈ x_background at the monitor's scale.
+  audio::Waveform GenerateShadow(const audio::Waveform& mixed,
+                                 SelectorKind kind = SelectorKind::kNeural);
+
+  /// GenerateShadow + ultrasonic AM modulation (Broadcast module). The
+  /// result is at the air sample rate with unit peak; emitted power is a
+  /// scene parameter.
+  audio::Waveform GenerateModulatedShadow(
+      const audio::Waveform& mixed,
+      SelectorKind kind = SelectorKind::kNeural);
+
+  /// The ideal shadow computed from ground-truth stems (oracle): exactly
+  /// S_bk - S_mixed. Upper-bounds what any selector can achieve; used by
+  /// tests and the offset study (Fig. 9), which the paper also runs with
+  /// known signals.
+  audio::Waveform OracleShadow(const audio::Waveform& mixed,
+                               const audio::Waveform& background) const;
+
+  bool enrolled() const { return dvector_.has_value(); }
+  const std::vector<float>& dvector() const;
+
+  const NecConfig& config() const { return selector_.config(); }
+  const PipelineOptions& options() const { return options_; }
+  Selector& selector() { return selector_; }
+  const encoder::SpeakerEncoder& encoder() const { return *encoder_; }
+
+ private:
+  Selector selector_;
+  LasSelector las_selector_;
+  std::shared_ptr<const encoder::SpeakerEncoder> encoder_;
+  PipelineOptions options_;
+  std::optional<std::vector<float>> dvector_;
+};
+
+}  // namespace nec::core

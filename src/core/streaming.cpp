@@ -1,0 +1,71 @@
+#include "core/streaming.h"
+
+#include <chrono>
+
+#include "channel/modulation.h"
+#include "common/check.h"
+
+namespace nec::core {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+StreamingProcessor::StreamingProcessor(NecPipeline& pipeline, double chunk_s,
+                                       SelectorKind kind)
+    : pipeline_(pipeline),
+      kind_(kind),
+      chunk_samples_(static_cast<std::size_t>(
+          chunk_s * pipeline.config().sample_rate)),
+      buffer_(pipeline.config().sample_rate, std::size_t{0}) {
+  NEC_CHECK_MSG(chunk_samples_ >= pipeline.config().stft.win_length,
+                "chunk shorter than one analysis window");
+}
+
+audio::Waveform StreamingProcessor::ProcessChunk(audio::Waveform chunk) {
+  const auto t0 = std::chrono::steady_clock::now();
+  audio::Waveform shadow = pipeline_.GenerateShadow(chunk, kind_);
+  timings_.selector_ms += MsSince(t0);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  audio::Waveform modulated =
+      channel::ModulateAm(shadow, pipeline_.options().modulation);
+  timings_.broadcast_ms += MsSince(t1);
+  ++timings_.chunks;
+  return modulated;
+}
+
+std::optional<audio::Waveform> StreamingProcessor::Push(
+    std::span<const float> samples) {
+  for (float s : samples) buffer_.data().push_back(s);
+  if (buffer_.size() < chunk_samples_) return std::nullopt;
+
+  // Drain every complete chunk (a single Push may deliver several) and
+  // concatenate their modulated output in stream order.
+  audio::Waveform out;
+  while (buffer_.size() >= chunk_samples_) {
+    audio::Waveform chunk = buffer_.Slice(0, chunk_samples_);
+    audio::Waveform rest(pipeline_.config().sample_rate,
+                         std::vector<float>(buffer_.data().begin() +
+                                                static_cast<std::ptrdiff_t>(
+                                                    chunk_samples_),
+                                            buffer_.data().end()));
+    buffer_ = std::move(rest);
+    out.Append(ProcessChunk(std::move(chunk)));
+  }
+  return out;
+}
+
+std::optional<audio::Waveform> StreamingProcessor::Flush() {
+  if (buffer_.empty()) return std::nullopt;
+  audio::Waveform chunk = buffer_.Slice(0, chunk_samples_);  // zero-padded
+  buffer_ = audio::Waveform(pipeline_.config().sample_rate, std::size_t{0});
+  return ProcessChunk(std::move(chunk));
+}
+
+}  // namespace nec::core

@@ -1,0 +1,59 @@
+// Real-time chunked processing with per-module latency accounting.
+//
+// The paper's deployment (§VI-C, Table II) processes the monitored stream
+// in 1 s chunks: each chunk goes encoder-conditioned selector → inverse
+// STFT → ultrasonic modulation, and the total per-chunk latency must stay
+// under the ~300 ms overshadowing tolerance (§IV-C2). StreamingProcessor
+// reproduces that loop and reports wall-clock timing per module.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "audio/waveform.h"
+#include "core/pipeline.h"
+
+namespace nec::core {
+
+struct ModuleTimings {
+  double selector_ms = 0.0;   ///< STFT + DNN + inverse STFT
+  double broadcast_ms = 0.0;  ///< ultrasonic modulation
+  std::size_t chunks = 0;
+
+  double total_ms() const { return selector_ms + broadcast_ms; }
+  double avg_selector_ms() const {
+    return chunks ? selector_ms / chunks : 0.0;
+  }
+  double avg_broadcast_ms() const {
+    return chunks ? broadcast_ms / chunks : 0.0;
+  }
+};
+
+class StreamingProcessor {
+ public:
+  /// `chunk_s`: chunk duration (paper uses 1 s clips in Table II).
+  StreamingProcessor(NecPipeline& pipeline, double chunk_s = 1.0,
+                     SelectorKind kind = SelectorKind::kNeural);
+
+  /// Feeds monitored samples; returns a modulated shadow chunk whenever a
+  /// full chunk has accumulated (at the air sample rate), else nullopt.
+  std::optional<audio::Waveform> Push(std::span<const float> samples);
+
+  /// Flushes a final partial chunk (zero-padded) if any samples remain.
+  std::optional<audio::Waveform> Flush();
+
+  const ModuleTimings& timings() const { return timings_; }
+  std::size_t chunk_samples() const { return chunk_samples_; }
+
+ private:
+  audio::Waveform ProcessChunk(audio::Waveform chunk);
+
+  NecPipeline& pipeline_;
+  SelectorKind kind_;
+  std::size_t chunk_samples_;
+  audio::Waveform buffer_;
+  ModuleTimings timings_;
+};
+
+}  // namespace nec::core

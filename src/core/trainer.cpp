@@ -1,0 +1,146 @@
+#include "core/trainer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "synth/dataset.h"
+
+namespace nec::core {
+namespace {
+
+nn::Tensor SpectrogramTensor(const dsp::Spectrogram& spec, float gain) {
+  nn::Tensor t({spec.num_frames(), spec.num_bins()});
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = spec.mag()[i] * gain;
+  }
+  return t;
+}
+
+float SpecRms(const dsp::Spectrogram& spec) {
+  double acc = 0.0;
+  for (float m : spec.mag()) acc += static_cast<double>(m) * m;
+  return static_cast<float>(
+      std::sqrt(acc / std::max<std::size_t>(1, spec.mag().size())));
+}
+
+}  // namespace
+
+SelectorTrainer::SelectorTrainer(const NecConfig& config,
+                                 const encoder::SpeakerEncoder& encoder,
+                                 TrainerOptions options)
+    : config_(config), encoder_(encoder), options_(options) {
+  NEC_CHECK(options_.steps >= 1);
+  NEC_CHECK_MSG(encoder_.dim() == config_.embedding_dim,
+                "encoder dim " << encoder_.dim()
+                               << " != config embedding dim "
+                               << config_.embedding_dim);
+  BuildDataset();
+}
+
+void SelectorTrainer::BuildDataset() {
+  Rng rng(options_.seed ^ 0x5851F42D4C957F2DULL);
+  synth::DatasetBuilder builder(
+      {.sample_rate = config_.sample_rate, .duration_s = options_.crop_s});
+  const auto speakers = synth::DatasetBuilder::MakeSpeakers(
+      options_.num_speakers + 6, options_.seed * 97 + 1);
+
+  // Noise scenarios cycle through the Table I classes.
+  const synth::Scenario noise_scenarios[] = {
+      synth::Scenario::kBabble, synth::Scenario::kFactory,
+      synth::Scenario::kVehicle};
+
+  samples_.reserve(options_.num_speakers * options_.instances_per_speaker);
+  for (std::size_t s = 0; s < options_.num_speakers; ++s) {
+    const synth::SpeakerProfile& target = speakers[s];
+    const auto refs = builder.MakeReferenceAudios(target, 3, rng.NextSeed());
+    const std::vector<float> dvec = encoder_.EmbedReferences(refs);
+
+    for (std::size_t k = 0; k < options_.instances_per_speaker; ++k) {
+      synth::MixInstance inst;
+      if (rng.Chance(options_.p_joint)) {
+        // Interferer drawn from the reserve pool (never a training target).
+        const synth::SpeakerProfile& other =
+            speakers[options_.num_speakers +
+                     static_cast<std::size_t>(rng.UniformInt(0, 5))];
+        inst = builder.MakeInstance(target,
+                                    synth::Scenario::kJointConversation,
+                                    rng.NextSeed(), &other);
+      } else {
+        inst = builder.MakeInstance(
+            target, noise_scenarios[k % std::size(noise_scenarios)],
+            rng.NextSeed());
+      }
+
+      const dsp::Spectrogram mixed = dsp::Stft(inst.mixed, config_.stft);
+      const dsp::Spectrogram bk = dsp::Stft(inst.background, config_.stft);
+      const float rms = SpecRms(mixed);
+      const float gain = rms > 1e-9f ? 1.0f / rms : 1.0f;
+
+      Sample sample{SpectrogramTensor(mixed, gain),
+                    SpectrogramTensor(bk, gain), dvec};
+      samples_.push_back(std::move(sample));
+    }
+  }
+  NEC_CHECK(!samples_.empty());
+}
+
+float SelectorTrainer::ZeroShadowLoss() const {
+  double acc = 0.0;
+  for (const Sample& s : samples_) {
+    acc += nn::MseLoss(s.mixed, s.target).loss;
+  }
+  return static_cast<float>(acc / samples_.size());
+}
+
+float SelectorTrainer::Train(Selector& selector) {
+  nn::Adam::Options opt;
+  opt.lr = options_.lr;
+  opt.grad_clip = options_.grad_clip;
+  nn::Adam adam(selector.Params(), opt);
+
+  Rng rng(options_.seed * 0x2545F4914F6CDD1DULL + 3);
+  const std::size_t tail_begin = options_.steps - options_.steps / 10 - 1;
+  double tail_loss = 0.0;
+  std::size_t tail_count = 0;
+
+  for (std::size_t step = 0; step < options_.steps; ++step) {
+    // Step learning-rate decay: x0.5 at 50% and again at 75% of training.
+    if (step == options_.steps / 2 || step == options_.steps * 3 / 4) {
+      adam.options().lr *= 0.5f;
+    }
+    const std::size_t batch = std::max<std::size_t>(1, options_.batch_size);
+    float step_loss = 0.0f;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const Sample& s = samples_[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<int>(samples_.size()) - 1))];
+
+      nn::Tensor shadow = selector.Forward(s.mixed, s.dvector, true);
+      // S_record = S_mixed + S_shadow (Eq. 5), loss vs S_bk (Eq. 6).
+      nn::Tensor record = shadow;
+      record.Add(s.mixed);
+      nn::MseResult mse = nn::MseLoss(record, s.target);
+      // dLoss/dShadow == dLoss/dRecord; average over the batch.
+      if (batch > 1) mse.grad.Scale(1.0f / static_cast<float>(batch));
+      selector.Backward(mse.grad);
+      step_loss += mse.loss / static_cast<float>(batch);
+    }
+    adam.Step();
+
+    if (step >= tail_begin) {
+      tail_loss += step_loss;
+      ++tail_count;
+    }
+    if (options_.on_step) options_.on_step(step, step_loss);
+    if (options_.verbose && step % 20 == 0) {
+      std::printf("[selector] step %zu/%zu loss %.5f\n", step,
+                  options_.steps, step_loss);
+    }
+  }
+  return static_cast<float>(tail_loss / std::max<std::size_t>(1, tail_count));
+}
+
+}  // namespace nec::core

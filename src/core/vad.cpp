@@ -1,0 +1,59 @@
+#include "core/vad.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "encoder/las.h"
+
+namespace nec::core {
+namespace {
+
+void Normalize(std::vector<float>& v) {
+  double acc = 0.0;
+  for (float x : v) acc += static_cast<double>(x) * x;
+  const double norm = std::sqrt(acc);
+  if (norm > 1e-12) {
+    for (float& x : v) x = static_cast<float>(x / norm);
+  }
+}
+
+}  // namespace
+
+TargetActivityDetector::TargetActivityDetector(const NecConfig& config,
+                                               VadOptions options)
+    : config_(config), options_(options) {}
+
+void TargetActivityDetector::Enroll(
+    std::span<const audio::Waveform> references) {
+  NEC_CHECK_MSG(!references.empty(), "VAD enrollment needs clips");
+  profile_.clear();
+  for (const audio::Waveform& ref : references) {
+    std::vector<float> las = encoder::VoicedLas(ref);
+    if (profile_.empty()) {
+      profile_ = std::move(las);
+    } else {
+      NEC_CHECK(las.size() == profile_.size());
+      for (std::size_t i = 0; i < las.size(); ++i) profile_[i] += las[i];
+    }
+  }
+  Normalize(profile_);
+}
+
+double TargetActivityDetector::ActivityScore(
+    const audio::Waveform& chunk) const {
+  NEC_CHECK_MSG(enrolled(), "VAD used before enrollment");
+  if (chunk.empty() || chunk.Rms() < options_.energy_floor_rms) return 0.0;
+  std::vector<float> las = encoder::VoicedLas(chunk);
+  NEC_CHECK(las.size() == profile_.size());
+  Normalize(las);
+  double dot = 0.0;
+  for (std::size_t i = 0; i < las.size(); ++i) dot += las[i] * profile_[i];
+  return dot;
+}
+
+bool TargetActivityDetector::IsTargetActive(
+    const audio::Waveform& chunk) const {
+  return ActivityScore(chunk) >= options_.similarity_threshold;
+}
+
+}  // namespace nec::core

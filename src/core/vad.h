@@ -1,0 +1,51 @@
+// Target-activity gating for the ultrasonic emitter.
+//
+// A deployed NEC device should not broadcast ultrasound while its wearer
+// is silent: it wastes emitter power, stresses the §VII feedback budget,
+// and (per Table IV) needlessly sweeps other recorders. This detector
+// answers "is the enrolled target probably speaking in this chunk?" from
+// the same LAS timbre evidence the selector uses: chunk energy above an
+// absolute floor AND the chunk's spectral shape correlating with the
+// target's enrollment profile.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "audio/waveform.h"
+#include "core/config.h"
+
+namespace nec::core {
+
+struct VadOptions {
+  /// Absolute RMS below which the chunk counts as silence.
+  double energy_floor_rms = 1e-4;
+  /// Cosine similarity (chunk LAS vs enrollment LAS) above which the
+  /// chunk is attributed to the target.
+  double similarity_threshold = 0.75;
+};
+
+class TargetActivityDetector {
+ public:
+  explicit TargetActivityDetector(const NecConfig& config,
+                                  VadOptions options = {});
+
+  /// Learns the target's spectral profile from reference clips.
+  void Enroll(std::span<const audio::Waveform> references);
+
+  /// Cosine similarity of the chunk's LAS against the enrollment profile
+  /// (0 when the chunk is below the energy floor).
+  double ActivityScore(const audio::Waveform& chunk) const;
+
+  /// True when the target is probably speaking in `chunk`.
+  bool IsTargetActive(const audio::Waveform& chunk) const;
+
+  bool enrolled() const { return !profile_.empty(); }
+
+ private:
+  NecConfig config_;
+  VadOptions options_;
+  std::vector<float> profile_;  ///< unit-norm enrollment LAS
+};
+
+}  // namespace nec::core

@@ -1,0 +1,141 @@
+#include "dsp/biquad.h"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace nec::dsp {
+
+Biquad::Biquad(double b0, double b1, double b2, double a1, double a2)
+    : b0_(b0), b1_(b1), b2_(b2), a1_(a1), a2_(a2) {}
+
+float Biquad::Process(float x) {
+  const double in = x;
+  const double out = b0_ * in + z1_;
+  z1_ = b1_ * in - a1_ * out + z2_;
+  z2_ = b2_ * in - a2_ * out;
+  return static_cast<float>(out);
+}
+
+void Biquad::ProcessBuffer(std::span<float> buffer) {
+  for (float& s : buffer) s = Process(s);
+}
+
+void Biquad::Reset() { z1_ = z2_ = 0.0; }
+
+double Biquad::MagnitudeAt(double f_hz, double fs_hz) const {
+  const double w = 2.0 * std::numbers::pi * f_hz / fs_hz;
+  const std::complex<double> z = std::polar(1.0, w);
+  const std::complex<double> z1 = 1.0 / z;
+  const std::complex<double> z2 = z1 * z1;
+  const std::complex<double> num = b0_ + b1_ * z1 + b2_ * z2;
+  const std::complex<double> den = 1.0 + a1_ * z1 + a2_ * z2;
+  return std::abs(num / den);
+}
+
+namespace {
+
+struct RbjCommon {
+  double w0, cosw0, sinw0, alpha;
+};
+
+RbjCommon Rbj(double f_hz, double fs_hz, double q) {
+  NEC_CHECK_MSG(f_hz > 0 && f_hz < fs_hz / 2,
+                "filter frequency " << f_hz << " out of range for fs "
+                                    << fs_hz);
+  NEC_CHECK_MSG(q > 0, "Q must be positive");
+  RbjCommon c;
+  c.w0 = 2.0 * std::numbers::pi * f_hz / fs_hz;
+  c.cosw0 = std::cos(c.w0);
+  c.sinw0 = std::sin(c.w0);
+  c.alpha = c.sinw0 / (2.0 * q);
+  return c;
+}
+
+}  // namespace
+
+Biquad DesignLowPass(double cutoff_hz, double fs_hz, double q) {
+  const auto c = Rbj(cutoff_hz, fs_hz, q);
+  const double a0 = 1.0 + c.alpha;
+  return Biquad((1.0 - c.cosw0) / 2.0 / a0, (1.0 - c.cosw0) / a0,
+                (1.0 - c.cosw0) / 2.0 / a0, -2.0 * c.cosw0 / a0,
+                (1.0 - c.alpha) / a0);
+}
+
+Biquad DesignHighPass(double cutoff_hz, double fs_hz, double q) {
+  const auto c = Rbj(cutoff_hz, fs_hz, q);
+  const double a0 = 1.0 + c.alpha;
+  return Biquad((1.0 + c.cosw0) / 2.0 / a0, -(1.0 + c.cosw0) / a0,
+                (1.0 + c.cosw0) / 2.0 / a0, -2.0 * c.cosw0 / a0,
+                (1.0 - c.alpha) / a0);
+}
+
+Biquad DesignBandPass(double center_hz, double fs_hz, double q) {
+  const auto c = Rbj(center_hz, fs_hz, q);
+  const double a0 = 1.0 + c.alpha;
+  return Biquad(c.alpha / a0, 0.0, -c.alpha / a0, -2.0 * c.cosw0 / a0,
+                (1.0 - c.alpha) / a0);
+}
+
+Biquad DesignPeaking(double center_hz, double fs_hz, double q,
+                     double gain_db) {
+  const auto c = Rbj(center_hz, fs_hz, q);
+  const double A = std::pow(10.0, gain_db / 40.0);
+  const double a0 = 1.0 + c.alpha / A;
+  return Biquad((1.0 + c.alpha * A) / a0, -2.0 * c.cosw0 / a0,
+                (1.0 - c.alpha * A) / a0, -2.0 * c.cosw0 / a0,
+                (1.0 - c.alpha / A) / a0);
+}
+
+Biquad DesignResonator(double center_hz, double bandwidth_hz, double fs_hz) {
+  NEC_CHECK_MSG(center_hz > 0 && center_hz < fs_hz / 2,
+                "resonator center " << center_hz << " out of range");
+  NEC_CHECK_MSG(bandwidth_hz > 0, "resonator bandwidth must be positive");
+  const double r = std::exp(-std::numbers::pi * bandwidth_hz / fs_hz);
+  const double theta = 2.0 * std::numbers::pi * center_hz / fs_hz;
+  const double a1 = -2.0 * r * std::cos(theta);
+  const double a2 = r * r;
+  // Normalize to unit gain at the resonance frequency.
+  Biquad raw(1.0, 0.0, 0.0, a1, a2);
+  const double g = raw.MagnitudeAt(center_hz, fs_hz);
+  return Biquad(1.0 / g, 0.0, 0.0, a1, a2);
+}
+
+float BiquadChain::Process(float x) {
+  for (Biquad& b : sections_) x = b.Process(x);
+  return x;
+}
+
+void BiquadChain::ProcessBuffer(std::span<float> buffer) {
+  for (Biquad& b : sections_) b.ProcessBuffer(buffer);
+}
+
+void BiquadChain::Reset() {
+  for (Biquad& b : sections_) b.Reset();
+}
+
+double BiquadChain::MagnitudeAt(double f_hz, double fs_hz) const {
+  double g = 1.0;
+  for (const Biquad& b : sections_) g *= b.MagnitudeAt(f_hz, fs_hz);
+  return g;
+}
+
+BiquadChain DesignButterworthLowPass(int order, double cutoff_hz,
+                                     double fs_hz) {
+  NEC_CHECK_MSG(order >= 2 && order % 2 == 0,
+                "Butterworth order must be even and >= 2");
+  BiquadChain chain;
+  const int pairs = order / 2;
+  for (int k = 0; k < pairs; ++k) {
+    // Pole-pair Q values for an order-N Butterworth response.
+    const double theta =
+        std::numbers::pi * (2.0 * k + 1.0) / (2.0 * order);
+    const double q = 1.0 / (2.0 * std::sin(theta));
+    chain.Add(DesignLowPass(cutoff_hz, fs_hz, q));
+  }
+  return chain;
+}
+
+}  // namespace nec::dsp

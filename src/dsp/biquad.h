@@ -1,0 +1,83 @@
+// Second-order IIR sections (biquads) and common designs.
+//
+// Used throughout the reproduction: RBJ low-pass filters model the
+// anti-alias/low-pass stage inside COTS microphones (§IV-C1, Eq. 8: "Given
+// the low-pass filter in the COTS microphone..."), and two-pole resonators
+// implement the formant filters of the source-filter voice synthesizer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace nec::dsp {
+
+/// Direct-form-II-transposed biquad: y = b0*x + b1*x1 + b2*x2 - a1*y1 - a2*y2.
+class Biquad {
+ public:
+  Biquad() = default;
+  Biquad(double b0, double b1, double b2, double a1, double a2);
+
+  /// Processes one sample.
+  float Process(float x);
+
+  /// Processes a buffer in place.
+  void ProcessBuffer(std::span<float> buffer);
+
+  /// Clears internal state (z1/z2), keeping coefficients.
+  void Reset();
+
+  /// Magnitude response at normalized frequency f (Hz) for rate fs (Hz).
+  double MagnitudeAt(double f_hz, double fs_hz) const;
+
+  double b0() const { return b0_; }
+  double b1() const { return b1_; }
+  double b2() const { return b2_; }
+  double a1() const { return a1_; }
+  double a2() const { return a2_; }
+
+ private:
+  double b0_ = 1.0, b1_ = 0.0, b2_ = 0.0, a1_ = 0.0, a2_ = 0.0;
+  double z1_ = 0.0, z2_ = 0.0;
+};
+
+/// RBJ cookbook low-pass (Q default: Butterworth).
+Biquad DesignLowPass(double cutoff_hz, double fs_hz, double q = 0.70710678);
+
+/// RBJ cookbook high-pass.
+Biquad DesignHighPass(double cutoff_hz, double fs_hz, double q = 0.70710678);
+
+/// RBJ cookbook band-pass (constant 0 dB peak gain).
+Biquad DesignBandPass(double center_hz, double fs_hz, double q);
+
+/// RBJ cookbook peaking EQ with gain in dB.
+Biquad DesignPeaking(double center_hz, double fs_hz, double q, double gain_db);
+
+/// Two-pole resonator at `center_hz` with -3 dB bandwidth `bandwidth_hz`,
+/// normalized to unit gain at the resonance. This is the classic formant
+/// resonator used in cascade formant synthesis.
+Biquad DesignResonator(double center_hz, double bandwidth_hz, double fs_hz);
+
+/// Cascade of biquads with convenience processing.
+class BiquadChain {
+ public:
+  BiquadChain() = default;
+  explicit BiquadChain(std::vector<Biquad> sections)
+      : sections_(std::move(sections)) {}
+
+  void Add(const Biquad& b) { sections_.push_back(b); }
+  float Process(float x);
+  void ProcessBuffer(std::span<float> buffer);
+  void Reset();
+  std::size_t size() const { return sections_.size(); }
+  double MagnitudeAt(double f_hz, double fs_hz) const;
+
+ private:
+  std::vector<Biquad> sections_;
+};
+
+/// N-th order Butterworth low-pass as a cascade of biquads (order must be
+/// even). Used for the steep anti-alias filter in the microphone model.
+BiquadChain DesignButterworthLowPass(int order, double cutoff_hz,
+                                     double fs_hz);
+
+}  // namespace nec::dsp

@@ -1,0 +1,137 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace nec::dsp {
+namespace {
+
+using Cf = std::complex<float>;
+using Cd = std::complex<double>;
+
+// Iterative radix-2 Cooley–Tukey; `data.size()` must be a power of two.
+void Radix2(std::vector<Cf>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const Cd wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Cd w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cd u(data[i + k]);
+        const Cd v = Cd(data[i + k + len / 2]) * w;
+        data[i + k] = Cf(static_cast<float>((u + v).real()),
+                         static_cast<float>((u + v).imag()));
+        data[i + k + len / 2] = Cf(static_cast<float>((u - v).real()),
+                                   static_cast<float>((u - v).imag()));
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (Cf& x : data) x *= inv_n;
+  }
+}
+
+// Bluestein's chirp-z transform for arbitrary n, implemented with a
+// power-of-two convolution. Handles both directions; inverse scales by 1/n.
+void Bluestein(std::vector<Cf>& data, bool inverse) {
+  const std::size_t n = data.size();
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // Chirp factors c_k = exp(sign * i*pi*k^2/n). k^2 mod 2n avoids precision
+  // loss for large k.
+  std::vector<Cd> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double angle =
+        sign * std::numbers::pi * static_cast<double>(k2) / n;
+    chirp[k] = Cd(std::cos(angle), std::sin(angle));
+  }
+
+  const std::size_t m = NextPowerOfTwo(2 * n - 1);
+  std::vector<Cf> a(m, Cf(0, 0)), b(m, Cf(0, 0));
+  for (std::size_t k = 0; k < n; ++k) {
+    const Cd v = Cd(data[k]) * chirp[k];
+    a[k] = Cf(static_cast<float>(v.real()), static_cast<float>(v.imag()));
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const Cd v = std::conj(chirp[k]);
+    b[k] = Cf(static_cast<float>(v.real()), static_cast<float>(v.imag()));
+    if (k != 0)
+      b[m - k] = b[k];  // circular symmetry for negative lags
+  }
+
+  Radix2(a, false);
+  Radix2(b, false);
+  for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
+  Radix2(a, true);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    Cd v = Cd(a[k]) * chirp[k];
+    if (inverse) v /= static_cast<double>(n);
+    data[k] = Cf(static_cast<float>(v.real()), static_cast<float>(v.imag()));
+  }
+}
+
+}  // namespace
+
+bool IsPowerOfTwo(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<Cf>& data, bool inverse) {
+  if (data.empty()) return;
+  if (IsPowerOfTwo(data.size())) {
+    Radix2(data, inverse);
+  } else {
+    Bluestein(data, inverse);
+  }
+}
+
+std::vector<Cf> RealFft(std::span<const float> input, std::size_t nfft) {
+  NEC_CHECK_MSG(nfft >= 2, "RealFft needs nfft >= 2");
+  std::vector<Cf> buf(nfft, Cf(0, 0));
+  const std::size_t n = std::min(input.size(), nfft);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = Cf(input[i], 0.0f);
+  Fft(buf, /*inverse=*/false);
+  buf.resize(nfft / 2 + 1);
+  return buf;
+}
+
+std::vector<float> InverseRealFft(std::span<const Cf> half_spectrum,
+                                  std::size_t nfft) {
+  NEC_CHECK_MSG(half_spectrum.size() == nfft / 2 + 1,
+                "half spectrum size " << half_spectrum.size()
+                                      << " does not match nfft " << nfft);
+  std::vector<Cf> full(nfft);
+  for (std::size_t i = 0; i < half_spectrum.size(); ++i)
+    full[i] = half_spectrum[i];
+  for (std::size_t i = half_spectrum.size(); i < nfft; ++i)
+    full[i] = std::conj(full[nfft - i]);
+  Fft(full, /*inverse=*/true);
+  std::vector<float> out(nfft);
+  for (std::size_t i = 0; i < nfft; ++i) out[i] = full[i].real();
+  return out;
+}
+
+}  // namespace nec::dsp

@@ -1,0 +1,37 @@
+// Fast Fourier transforms for the NEC library.
+//
+// The paper's spectrogram uses an FFT size of 1200 (not a power of two), so
+// we provide a mixed strategy: an iterative radix-2 Cooley–Tukey kernel for
+// power-of-two sizes and Bluestein's chirp-z algorithm for every other size.
+// Twiddle factors are computed in double precision; data is stored as
+// std::complex<float>, which keeps spectrogram memory compact.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nec::dsp {
+
+/// In-place complex FFT of arbitrary size (inverse includes 1/N scaling).
+/// Sizes that are powers of two use radix-2; others use Bluestein.
+void Fft(std::vector<std::complex<float>>& data, bool inverse = false);
+
+/// Forward real FFT: returns the non-redundant half spectrum of length
+/// nfft/2 + 1. `input` is zero-padded (or truncated) to `nfft` samples.
+std::vector<std::complex<float>> RealFft(std::span<const float> input,
+                                         std::size_t nfft);
+
+/// Inverse of RealFft: reconstructs nfft real samples from a half spectrum
+/// of length nfft/2 + 1 (conjugate symmetry is assumed, not checked).
+std::vector<float> InverseRealFft(
+    std::span<const std::complex<float>> half_spectrum, std::size_t nfft);
+
+/// Returns true if n is a power of two (n >= 1).
+bool IsPowerOfTwo(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t NextPowerOfTwo(std::size_t n);
+
+}  // namespace nec::dsp

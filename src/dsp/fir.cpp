@@ -1,0 +1,62 @@
+#include "dsp/fir.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "dsp/window.h"
+
+namespace nec::dsp {
+
+std::vector<float> DesignFirLowPass(std::size_t num_taps, double cutoff_hz,
+                                    double fs_hz) {
+  NEC_CHECK_MSG(cutoff_hz > 0 && cutoff_hz < fs_hz / 2,
+                "FIR cutoff " << cutoff_hz << " out of range for fs "
+                              << fs_hz);
+  if (num_taps % 2 == 0) ++num_taps;  // force symmetric kernel
+  NEC_CHECK(num_taps >= 3);
+
+  const double fc = cutoff_hz / fs_hz;  // normalized (cycles/sample)
+  const auto win =
+      MakeWindow(WindowType::kBlackman, num_taps, /*periodic=*/false);
+  const double mid = static_cast<double>(num_taps - 1) / 2.0;
+
+  std::vector<float> taps(num_taps);
+  double sum = 0.0;
+  for (std::size_t n = 0; n < num_taps; ++n) {
+    const double x = static_cast<double>(n) - mid;
+    const double sinc =
+        x == 0.0 ? 2.0 * fc
+                 : std::sin(2.0 * std::numbers::pi * fc * x) /
+                       (std::numbers::pi * x);
+    taps[n] = static_cast<float>(sinc * win[n]);
+    sum += taps[n];
+  }
+  // Normalize DC gain to exactly 1.
+  for (float& t : taps) t = static_cast<float>(t / sum);
+  return taps;
+}
+
+std::vector<float> Convolve(std::span<const float> x,
+                            std::span<const float> taps) {
+  if (x.empty() || taps.empty()) return {};
+  std::vector<float> out(x.size() + taps.size() - 1, 0.0f);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float xi = x[i];
+    for (std::size_t j = 0; j < taps.size(); ++j) {
+      out[i + j] += xi * taps[j];
+    }
+  }
+  return out;
+}
+
+std::vector<float> ConvolveSame(std::span<const float> x,
+                                std::span<const float> taps) {
+  auto full = Convolve(x, taps);
+  const std::size_t offset = taps.size() / 2;
+  std::vector<float> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = full[i + offset];
+  return out;
+}
+
+}  // namespace nec::dsp

@@ -1,0 +1,28 @@
+// FIR filter design (windowed sinc) and convolution helpers.
+//
+// The polyphase resampler (resample.h) and the microphone decimation stage
+// build on these kernels.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nec::dsp {
+
+/// Windowed-sinc low-pass FIR design. `num_taps` should be odd for a
+/// symmetric (linear-phase) kernel; even counts are bumped up by one.
+/// `cutoff_hz` is the -6 dB point. Returns normalized (unit DC gain) taps.
+std::vector<float> DesignFirLowPass(std::size_t num_taps, double cutoff_hz,
+                                    double fs_hz);
+
+/// Full linear convolution: output length = x.size() + taps.size() - 1.
+std::vector<float> Convolve(std::span<const float> x,
+                            std::span<const float> taps);
+
+/// "Same"-size convolution centered on the kernel (group-delay
+/// compensated): output length = x.size().
+std::vector<float> ConvolveSame(std::span<const float> x,
+                                std::span<const float> taps);
+
+}  // namespace nec::dsp

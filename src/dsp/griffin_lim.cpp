@@ -1,0 +1,65 @@
+#include "dsp/griffin_lim.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nec::dsp {
+
+audio::Waveform GriffinLim(const std::vector<float>& magnitude,
+                           std::size_t num_frames, const StftConfig& config,
+                           int sample_rate,
+                           const GriffinLimOptions& options) {
+  const std::size_t F = config.num_bins();
+  NEC_CHECK_MSG(magnitude.size() == num_frames * F,
+                "magnitude surface shape mismatch: " << magnitude.size()
+                                                     << " != " << num_frames
+                                                     << "x" << F);
+  NEC_CHECK(options.iterations >= 1);
+
+  // Fold signs into the phase and keep |m|.
+  Spectrogram work(num_frames, F);
+  for (std::size_t i = 0; i < magnitude.size(); ++i) {
+    work.mag()[i] = std::abs(magnitude[i]);
+  }
+  if (options.phase_seed == 0) {
+    // zero phase (plus π where the input was negative)
+    for (std::size_t i = 0; i < magnitude.size(); ++i) {
+      work.phase()[i] =
+          magnitude[i] < 0.0f ? static_cast<float>(std::numbers::pi) : 0.0f;
+    }
+  } else {
+    Rng rng(options.phase_seed);
+    for (std::size_t i = 0; i < magnitude.size(); ++i) {
+      work.phase()[i] = rng.UniformF(
+          -static_cast<float>(std::numbers::pi),
+          static_cast<float>(std::numbers::pi));
+    }
+  }
+
+  audio::Waveform wave;
+  for (int it = 0; it < options.iterations; ++it) {
+    wave = Istft(work, config, sample_rate, options.num_samples);
+    const Spectrogram estimate = Stft(wave, config);
+    // Keep the target magnitudes; adopt the estimate's phase.
+    const std::size_t frames =
+        std::min(estimate.num_frames(), work.num_frames());
+    for (std::size_t t = 0; t < frames; ++t) {
+      for (std::size_t f = 0; f < F; ++f) {
+        work.PhaseAt(t, f) = estimate.PhaseAt(t, f);
+      }
+    }
+  }
+  return Istft(work, config, sample_rate, options.num_samples);
+}
+
+audio::Waveform GriffinLim(const Spectrogram& spec, const StftConfig& config,
+                           int sample_rate,
+                           const GriffinLimOptions& options) {
+  return GriffinLim(spec.mag(), spec.num_frames(), config, sample_rate,
+                    options);
+}
+
+}  // namespace nec::dsp

@@ -1,0 +1,42 @@
+// Griffin-Lim phase reconstruction.
+//
+// The NEC pipeline renders the shadow spectrogram with the *mixed signal's
+// phase* (§IV-C1) — cheap and, at zero arrival offset, phase-coherent with
+// the content it must cancel. Griffin-Lim is the classic alternative:
+// iterate ISTFT/STFT projections until the magnitude surface gets a
+// self-consistent phase. bench_ablation_phase compares the two (plus
+// random phase) for overshadowing quality; Griffin-Lim is also generally
+// useful for auralizing arbitrary magnitude surfaces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "audio/waveform.h"
+#include "dsp/stft.h"
+
+namespace nec::dsp {
+
+struct GriffinLimOptions {
+  int iterations = 30;
+  /// Phase init: 0 = zero phase, otherwise seeded random phases.
+  std::uint64_t phase_seed = 1;
+  /// Output length (0 = natural ISTFT length).
+  std::size_t num_samples = 0;
+};
+
+/// Reconstructs a waveform whose STFT magnitude approximates `magnitude`
+/// (frame-major (T, F) like dsp::Spectrogram, F = config.num_bins()).
+/// Negative cells are folded into the phase (|m| with a π offset), so
+/// signed shadow surfaces are handled transparently.
+audio::Waveform GriffinLim(const std::vector<float>& magnitude,
+                           std::size_t num_frames, const StftConfig& config,
+                           int sample_rate,
+                           const GriffinLimOptions& options = {});
+
+/// Convenience overload for a Spectrogram's magnitudes (phase ignored).
+audio::Waveform GriffinLim(const Spectrogram& spec, const StftConfig& config,
+                           int sample_rate,
+                           const GriffinLimOptions& options = {});
+
+}  // namespace nec::dsp

@@ -1,0 +1,113 @@
+#include "dsp/mel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace nec::dsp {
+
+double HzToMel(double hz) { return 2595.0 * std::log10(1.0 + hz / 700.0); }
+
+double MelToHz(double mel) {
+  return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0);
+}
+
+MelFilterbank::MelFilterbank(std::size_t num_mels, std::size_t num_bins,
+                             double fs_hz, double f_lo, double f_hi)
+    : num_mels_(num_mels),
+      num_bins_(num_bins),
+      weights_(num_mels * num_bins, 0.0f) {
+  NEC_CHECK(num_mels >= 1 && num_bins >= 2);
+  if (f_hi <= 0.0) f_hi = fs_hz / 2.0;
+  NEC_CHECK_MSG(f_lo >= 0.0 && f_lo < f_hi && f_hi <= fs_hz / 2.0,
+                "invalid mel band edges [" << f_lo << ", " << f_hi << "]");
+
+  // num_mels + 2 equally-mel-spaced edge frequencies.
+  const double mel_lo = HzToMel(f_lo);
+  const double mel_hi = HzToMel(f_hi);
+  std::vector<double> edges(num_mels + 2);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    edges[i] = MelToHz(mel_lo + (mel_hi - mel_lo) * static_cast<double>(i) /
+                                    (num_mels + 1));
+  }
+
+  const double bin_hz = (fs_hz / 2.0) / static_cast<double>(num_bins - 1);
+  for (std::size_t m = 0; m < num_mels; ++m) {
+    const double left = edges[m], center = edges[m + 1],
+                 right = edges[m + 2];
+    // Slaney normalization: 2 / bandwidth.
+    const double norm = 2.0 / (right - left);
+    for (std::size_t b = 0; b < num_bins; ++b) {
+      const double f = b * bin_hz;
+      double w = 0.0;
+      if (f > left && f < center) {
+        w = (f - left) / (center - left);
+      } else if (f >= center && f < right) {
+        w = (right - f) / (right - center);
+      }
+      weights_[m * num_bins + b] = static_cast<float>(w * norm);
+    }
+  }
+}
+
+std::vector<float> MelFilterbank::Apply(
+    std::span<const float> power_frame) const {
+  NEC_CHECK_MSG(power_frame.size() == num_bins_,
+                "frame has " << power_frame.size() << " bins, expected "
+                             << num_bins_);
+  std::vector<float> out(num_mels_, 0.0f);
+  for (std::size_t m = 0; m < num_mels_; ++m) {
+    double acc = 0.0;
+    const float* w = &weights_[m * num_bins_];
+    for (std::size_t b = 0; b < num_bins_; ++b) {
+      acc += static_cast<double>(w[b]) * power_frame[b];
+    }
+    out[m] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+std::vector<float> MelFilterbank::ApplyToSpectrogram(
+    const Spectrogram& spec) const {
+  NEC_CHECK(spec.num_bins() == num_bins_);
+  std::vector<float> out(spec.num_frames() * num_mels_, 0.0f);
+  std::vector<float> power(num_bins_);
+  for (std::size_t t = 0; t < spec.num_frames(); ++t) {
+    for (std::size_t f = 0; f < num_bins_; ++f) {
+      const float m = spec.MagAt(t, f);
+      power[f] = m * m;
+    }
+    const auto mel = Apply(power);
+    std::copy(mel.begin(), mel.end(), out.begin() + t * num_mels_);
+  }
+  return out;
+}
+
+std::vector<float> LogCompress(std::span<const float> x, float floor) {
+  std::vector<float> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::log(std::max(x[i], floor));
+  }
+  return out;
+}
+
+std::vector<float> Dct2(std::span<const float> row,
+                        std::size_t num_coeffs) {
+  const std::size_t n = row.size();
+  NEC_CHECK(n >= 1 && num_coeffs >= 1 && num_coeffs <= n);
+  std::vector<float> out(num_coeffs, 0.0f);
+  for (std::size_t k = 0; k < num_coeffs; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += row[i] * std::cos(std::numbers::pi * (i + 0.5) * k / n);
+    }
+    const double scale =
+        k == 0 ? std::sqrt(1.0 / n) : std::sqrt(2.0 / n);  // orthonormal
+    out[k] = static_cast<float>(acc * scale);
+  }
+  return out;
+}
+
+}  // namespace nec::dsp

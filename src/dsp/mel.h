@@ -1,0 +1,59 @@
+// Mel-frequency utilities: mel scale conversion, triangular filterbanks,
+// log-mel energies and the DCT used by MFCC extraction (asr module).
+//
+// The speaker encoder condenses spectrogram statistics through a mel
+// filterbank (the same front end d-vector systems use), and the DTW-based
+// ASR substitute operates on MFCCs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/stft.h"
+
+namespace nec::dsp {
+
+/// HTK-style mel scale.
+double HzToMel(double hz);
+double MelToHz(double mel);
+
+/// Triangular mel filterbank: `num_mels` rows by `num_bins` columns,
+/// row-major. Bin frequencies assume an FFT of size (num_bins-1)*2 at
+/// `fs_hz`. Filters span [f_lo, f_hi] and are area-normalized (Slaney
+/// style) so white noise yields flat band energies.
+class MelFilterbank {
+ public:
+  MelFilterbank(std::size_t num_mels, std::size_t num_bins, double fs_hz,
+                double f_lo = 0.0, double f_hi = 0.0 /* 0 = fs/2 */);
+
+  std::size_t num_mels() const { return num_mels_; }
+  std::size_t num_bins() const { return num_bins_; }
+
+  /// Applies the bank to one power spectrum frame (length num_bins).
+  std::vector<float> Apply(std::span<const float> power_frame) const;
+
+  /// Mel power "spectrogram" of an entire magnitude spectrogram:
+  /// frame-major (T, num_mels); input magnitudes are squared to power.
+  std::vector<float> ApplyToSpectrogram(const Spectrogram& spec) const;
+
+  float WeightAt(std::size_t mel, std::size_t bin) const {
+    return weights_[mel * num_bins_ + bin];
+  }
+
+ private:
+  std::size_t num_mels_;
+  std::size_t num_bins_;
+  std::vector<float> weights_;  // (num_mels, num_bins) row-major
+};
+
+/// Natural-log compression with floor: log(max(x, floor)).
+std::vector<float> LogCompress(std::span<const float> x,
+                               float floor = 1e-10f);
+
+/// Type-II DCT matrix application (orthonormal), for MFCC extraction:
+/// keeps the first `num_coeffs` coefficients of each length-`num_mels`
+/// input row.
+std::vector<float> Dct2(std::span<const float> row, std::size_t num_coeffs);
+
+}  // namespace nec::dsp

@@ -1,0 +1,62 @@
+#include "dsp/resample.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "dsp/fir.h"
+
+namespace nec::dsp {
+
+audio::Waveform Resample(const audio::Waveform& input, int target_rate,
+                         std::size_t taps_per_phase) {
+  NEC_CHECK_MSG(target_rate > 0, "target rate must be positive");
+  NEC_CHECK_MSG(input.sample_rate() > 0, "input must have a sample rate");
+  if (input.sample_rate() == target_rate) return input;
+  if (input.empty()) return audio::Waveform(target_rate, std::size_t{0});
+
+  const int src = input.sample_rate();
+  const int g = std::gcd(src, target_rate);
+  const std::size_t L = static_cast<std::size_t>(target_rate / g);  // up
+  const std::size_t M = static_cast<std::size_t>(src / g);          // down
+
+  // Anti-alias / anti-image low-pass at min(src, target)/2, designed at the
+  // upsampled rate src*L. Cut slightly below Nyquist for transition band.
+  const double fs_up = static_cast<double>(src) * L;
+  const double cutoff = 0.45 * std::min(src, target_rate);
+  std::size_t num_taps = taps_per_phase * std::max(L, M);
+  if (num_taps % 2 == 0) ++num_taps;
+  const std::vector<float> taps = DesignFirLowPass(num_taps, cutoff, fs_up);
+
+  // Polyphase decomposition: tap j belongs to phase j % L. Output sample n
+  // lands at upsampled index u = n*M; contribution comes from input samples
+  // k with u - k*L inside the kernel. Gain L compensates zero-stuffing loss.
+  const std::size_t out_len =
+      (input.size() * L + M - 1) / M;  // ceil(input*L/M)
+  audio::Waveform out(target_rate, out_len);
+  const auto x = input.samples();
+  const std::ptrdiff_t delay =
+      static_cast<std::ptrdiff_t>(taps.size() / 2);  // group delay
+  const float gain = static_cast<float>(L);
+
+  for (std::size_t n = 0; n < out_len; ++n) {
+    // Upsampled-domain index of this output sample, shifted by the filter's
+    // group delay so output is time-aligned with input.
+    const std::ptrdiff_t u = static_cast<std::ptrdiff_t>(n * M) + delay;
+    // Find smallest j >= 0 with (u - j) % L == 0 → input index k=(u-j)/L.
+    const std::size_t phase = static_cast<std::size_t>(u % L);
+    double acc = 0.0;
+    for (std::size_t j = phase; j < taps.size(); j += L) {
+      const std::ptrdiff_t k = (u - static_cast<std::ptrdiff_t>(j)) /
+                               static_cast<std::ptrdiff_t>(L);
+      if (k < 0) break;
+      if (k >= static_cast<std::ptrdiff_t>(x.size())) continue;
+      acc += static_cast<double>(taps[j]) * x[static_cast<std::size_t>(k)];
+    }
+    out[n] = gain * static_cast<float>(acc);
+  }
+  return out;
+}
+
+}  // namespace nec::dsp

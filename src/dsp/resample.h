@@ -1,0 +1,23 @@
+// Rational sample-rate conversion.
+//
+// The NEC simulation runs the audible world at 16 kHz (the paper's rate)
+// and the over-the-air ultrasound channel at 192 kHz so that 24–28 kHz
+// carriers and their second-order intermodulation products are represented
+// without aliasing. Upsampling by 12 (16k → 192k) and decimating by 12
+// (192k → 16k inside the microphone model) are the hot paths; both are
+// implemented as efficient polyphase FIR structures.
+#pragma once
+
+#include "audio/waveform.h"
+
+namespace nec::dsp {
+
+/// Resamples `input` to `target_rate` with a polyphase windowed-sinc FIR.
+/// Exact rational conversion: L/M is derived from target/source rates via
+/// gcd. Identity rates return a copy. `taps_per_phase` controls quality
+/// (filter length = taps_per_phase * L, group-delay compensated so the
+/// output is time-aligned with the input).
+audio::Waveform Resample(const audio::Waveform& input, int target_rate,
+                         std::size_t taps_per_phase = 24);
+
+}  // namespace nec::dsp

@@ -1,0 +1,132 @@
+#include "dsp/stft.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "common/check.h"
+#include "dsp/fft.h"
+
+namespace nec::dsp {
+
+std::size_t StftConfig::NumFrames(std::size_t num_samples) const {
+  if (num_samples == 0) return 0;
+  if (num_samples <= win_length) return 1;
+  return 1 + (num_samples - win_length + hop_length - 1) / hop_length;
+}
+
+Spectrogram::Spectrogram(std::size_t num_frames, std::size_t num_bins)
+    : num_frames_(num_frames),
+      num_bins_(num_bins),
+      mag_(num_frames * num_bins, 0.0f),
+      phase_(num_frames * num_bins, 0.0f) {}
+
+double Spectrogram::Energy() const {
+  double acc = 0.0;
+  for (float m : mag_) acc += static_cast<double>(m) * m;
+  return acc;
+}
+
+Spectrogram Stft(const audio::Waveform& wave, const StftConfig& config) {
+  NEC_CHECK_MSG(config.fft_size >= config.win_length,
+                "fft_size must be >= win_length");
+  NEC_CHECK_MSG(config.hop_length >= 1, "hop_length must be >= 1");
+
+  const std::size_t frames = config.NumFrames(wave.size());
+  const std::size_t bins = config.num_bins();
+  Spectrogram spec(frames, bins);
+  if (frames == 0) return spec;
+
+  const std::vector<float> window =
+      MakeWindow(config.window, config.win_length, /*periodic=*/true);
+  std::vector<float> frame(config.win_length);
+  const auto samples = wave.samples();
+
+  for (std::size_t t = 0; t < frames; ++t) {
+    const std::size_t start = t * config.hop_length;
+    for (std::size_t i = 0; i < config.win_length; ++i) {
+      const std::size_t src = start + i;
+      frame[i] =
+          (src < samples.size() ? samples[src] : 0.0f) * window[i];
+    }
+    const auto half = RealFft(frame, config.fft_size);
+    for (std::size_t f = 0; f < bins; ++f) {
+      spec.MagAt(t, f) = std::abs(half[f]);
+      spec.PhaseAt(t, f) = std::arg(half[f]);
+    }
+  }
+  return spec;
+}
+
+namespace {
+
+audio::Waveform IstftImpl(const std::vector<float>& mag,
+                          const std::vector<float>& phase,
+                          std::size_t num_frames, std::size_t num_bins,
+                          const StftConfig& config, int sample_rate,
+                          std::size_t num_samples) {
+  NEC_CHECK(num_bins == config.num_bins());
+  const std::size_t natural_len =
+      num_frames == 0 ? 0
+                      : (num_frames - 1) * config.hop_length +
+                            config.win_length;
+  const std::size_t out_len = num_samples > 0 ? num_samples : natural_len;
+
+  audio::Waveform out(sample_rate, std::max<std::size_t>(out_len, 1));
+  std::vector<double> acc(natural_len, 0.0);
+  std::vector<double> wsum(natural_len, 0.0);
+
+  const std::vector<float> window =
+      MakeWindow(config.window, config.win_length, /*periodic=*/true);
+  std::vector<std::complex<float>> half(num_bins);
+
+  for (std::size_t t = 0; t < num_frames; ++t) {
+    for (std::size_t f = 0; f < num_bins; ++f) {
+      // Not std::polar: shadow surfaces carry *signed* magnitudes (a
+      // negative cell means anti-phase content) and std::polar is UB for
+      // negative rho.
+      const float m = mag[t * num_bins + f];
+      const float p = phase[t * num_bins + f];
+      half[f] = std::complex<float>(m * std::cos(p), m * std::sin(p));
+    }
+    const auto time = InverseRealFft(half, config.fft_size);
+    const std::size_t start = t * config.hop_length;
+    for (std::size_t i = 0; i < config.win_length; ++i) {
+      acc[start + i] += static_cast<double>(time[i]) * window[i];
+      wsum[start + i] += static_cast<double>(window[i]) * window[i];
+    }
+  }
+
+  // The window-sum envelope is floored: at the clip edges only a window
+  // tail covers a sample, and for *inconsistent* magnitude surfaces (e.g.
+  // selector shadows, whose frames are not STFTs of any one signal) the
+  // frame energy does not vanish there — dividing by a near-zero window
+  // sum would blow those samples up by orders of magnitude.
+  constexpr double kWsumFloor = 5e-2;
+  for (std::size_t i = 0; i < std::min(out_len, natural_len); ++i) {
+    out[i] = static_cast<float>(acc[i] / std::max(wsum[i], kWsumFloor));
+  }
+  out.ResizeTo(out_len);
+  return out;
+}
+
+}  // namespace
+
+audio::Waveform Istft(const Spectrogram& spec, const StftConfig& config,
+                      int sample_rate, std::size_t num_samples) {
+  return IstftImpl(spec.mag(), spec.phase(), spec.num_frames(),
+                   spec.num_bins(), config, sample_rate, num_samples);
+}
+
+audio::Waveform IstftWithPhase(const std::vector<float>& mag,
+                               const Spectrogram& phase_donor,
+                               const StftConfig& config, int sample_rate,
+                               std::size_t num_samples) {
+  NEC_CHECK_MSG(
+      mag.size() == phase_donor.mag().size(),
+      "magnitude surface shape must match phase donor spectrogram");
+  return IstftImpl(mag, phase_donor.phase(), phase_donor.num_frames(),
+                   phase_donor.num_bins(), config, sample_rate, num_samples);
+}
+
+}  // namespace nec::dsp

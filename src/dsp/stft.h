@@ -1,0 +1,86 @@
+// Short-time Fourier transform and its inverse.
+//
+// Matches the paper's analysis front end (§IV-B1): Hann window, FFT size
+// 1200 at 16 kHz (601 bins, 13.31 Hz resolution), window length 400 (25 ms)
+// and hop 160 (10 ms; 15 ms overlap). Spectrograms are stored frame-major
+// (T, F) — the transposed layout the paper feeds to the selector network.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "audio/waveform.h"
+#include "dsp/window.h"
+
+namespace nec::dsp {
+
+/// STFT parameterization. Defaults mirror the paper's configuration.
+struct StftConfig {
+  std::size_t fft_size = 1200;   ///< FFT length; bins = fft_size/2 + 1
+  std::size_t win_length = 400;  ///< analysis window length in samples
+  std::size_t hop_length = 160;  ///< frame advance in samples
+  WindowType window = WindowType::kHann;
+
+  std::size_t num_bins() const { return fft_size / 2 + 1; }
+
+  /// Number of frames produced for `num_samples` input samples
+  /// (non-centered framing; the final partial frame is zero-padded so any
+  /// non-empty input yields at least one frame).
+  std::size_t NumFrames(std::size_t num_samples) const;
+};
+
+/// Magnitude + phase spectrogram, frame-major: index (t, f) at t*num_bins+f.
+class Spectrogram {
+ public:
+  Spectrogram() = default;
+  Spectrogram(std::size_t num_frames, std::size_t num_bins);
+
+  std::size_t num_frames() const { return num_frames_; }
+  std::size_t num_bins() const { return num_bins_; }
+
+  float& MagAt(std::size_t t, std::size_t f) {
+    return mag_[t * num_bins_ + f];
+  }
+  float MagAt(std::size_t t, std::size_t f) const {
+    return mag_[t * num_bins_ + f];
+  }
+  float& PhaseAt(std::size_t t, std::size_t f) {
+    return phase_[t * num_bins_ + f];
+  }
+  float PhaseAt(std::size_t t, std::size_t f) const {
+    return phase_[t * num_bins_ + f];
+  }
+
+  std::vector<float>& mag() { return mag_; }
+  const std::vector<float>& mag() const { return mag_; }
+  std::vector<float>& phase() { return phase_; }
+  const std::vector<float>& phase() const { return phase_; }
+
+  /// Total energy (sum of squared magnitudes).
+  double Energy() const;
+
+ private:
+  std::size_t num_frames_ = 0;
+  std::size_t num_bins_ = 0;
+  std::vector<float> mag_;
+  std::vector<float> phase_;
+};
+
+/// Forward STFT of a waveform.
+Spectrogram Stft(const audio::Waveform& wave, const StftConfig& config);
+
+/// Inverse STFT with windowed overlap-add and window-square normalization.
+/// `num_samples` trims/pads the reconstruction to an exact length
+/// (0 = natural length).
+audio::Waveform Istft(const Spectrogram& spec, const StftConfig& config,
+                      int sample_rate, std::size_t num_samples = 0);
+
+/// Reconstructs a waveform from an arbitrary magnitude surface and a donor
+/// phase (the overshadowing pipeline reuses the mixed signal's phase for the
+/// shadow magnitude, as the paper's ISTFT stage does).
+audio::Waveform IstftWithPhase(const std::vector<float>& mag,
+                               const Spectrogram& phase_donor,
+                               const StftConfig& config, int sample_rate,
+                               std::size_t num_samples = 0);
+
+}  // namespace nec::dsp

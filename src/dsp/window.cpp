@@ -1,0 +1,39 @@
+#include "dsp/window.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace nec::dsp {
+
+std::vector<float> MakeWindow(WindowType type, std::size_t length,
+                              bool periodic) {
+  NEC_CHECK_MSG(length >= 1, "window length must be >= 1");
+  std::vector<float> w(length, 1.0f);
+  if (type == WindowType::kRectangular || length == 1) return w;
+
+  const double denom =
+      periodic ? static_cast<double>(length) : static_cast<double>(length - 1);
+  for (std::size_t n = 0; n < length; ++n) {
+    const double x = 2.0 * std::numbers::pi * static_cast<double>(n) / denom;
+    double v = 1.0;
+    switch (type) {
+      case WindowType::kHann:
+        v = 0.5 - 0.5 * std::cos(x);
+        break;
+      case WindowType::kHamming:
+        v = 0.54 - 0.46 * std::cos(x);
+        break;
+      case WindowType::kBlackman:
+        v = 0.42 - 0.5 * std::cos(x) + 0.08 * std::cos(2.0 * x);
+        break;
+      case WindowType::kRectangular:
+        break;
+    }
+    w[n] = static_cast<float>(v);
+  }
+  return w;
+}
+
+}  // namespace nec::dsp

@@ -1,0 +1,26 @@
+// Analysis/synthesis window functions.
+//
+// The paper's STFT uses a Hann window (Eq. 2). Windows are generated in the
+// "periodic" form (denominator N rather than N-1), which is the correct
+// choice for STFT perfect reconstruction with overlap-add.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nec::dsp {
+
+enum class WindowType {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+};
+
+/// Builds a window of `length` samples. `periodic` selects the DFT-even
+/// (periodic) variant used for spectral analysis; false gives the symmetric
+/// variant used for filter design.
+std::vector<float> MakeWindow(WindowType type, std::size_t length,
+                              bool periodic = true);
+
+}  // namespace nec::dsp

@@ -1,0 +1,312 @@
+#include "encoder/encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "dsp/mel.h"
+#include "nn/serialize.h"
+#include "synth/dataset.h"
+
+namespace nec::encoder {
+namespace {
+
+void L2Normalize(std::vector<float>& v) {
+  double acc = 0.0;
+  for (float x : v) acc += static_cast<double>(x) * x;
+  const float norm = static_cast<float>(std::sqrt(acc));
+  if (norm > 1e-12f) {
+    for (float& x : v) x /= norm;
+  }
+}
+
+float Dot(const std::vector<float>& a, const std::vector<float>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(acc);
+}
+
+}  // namespace
+
+std::vector<float> LasMelFeatures(const audio::Waveform& wave,
+                                  std::size_t num_mels,
+                                  const LasConfig& config) {
+  const std::vector<float> las = VoicedLas(wave, config);
+  const std::size_t bins = las.size();
+
+  // LAS magnitudes -> power -> mel bands -> log -> normalize.
+  std::vector<float> power(bins);
+  for (std::size_t i = 0; i < bins; ++i) power[i] = las[i] * las[i];
+
+  const dsp::MelFilterbank bank(num_mels * 2, bins,
+                                static_cast<double>(wave.sample_rate()));
+  std::vector<float> mel = bank.Apply(power);
+  std::vector<float> logmel = dsp::LogCompress(mel, 1e-12f);
+
+  // Cepstral lifter: DCT the log-mel LAS and drop c0/c1 (loudness and
+  // broad spectral tilt, which all voices share); the remaining mid-order
+  // coefficients encode the formant structure — the speaker-specific
+  // timbre pattern of §III. Features are the liftered cepstrum itself.
+  std::vector<float> cep = dsp::Dct2(logmel, num_mels + 2);
+  std::vector<float> feats(cep.begin() + 2, cep.end());
+
+  // Variance normalization (scale invariance).
+  double var = 0.0;
+  for (float v : feats) var += static_cast<double>(v) * v;
+  var /= static_cast<double>(feats.size());
+  const float inv_std = static_cast<float>(1.0 / std::sqrt(var + 1e-9));
+  for (float& v : feats) v *= inv_std;
+  return feats;
+}
+
+std::vector<float> SpeakerEncoder::EmbedReferences(
+    std::span<const audio::Waveform> references) const {
+  NEC_CHECK_MSG(!references.empty(), "enrollment needs >= 1 reference clip");
+  std::vector<float> acc(dim(), 0.0f);
+  for (const audio::Waveform& ref : references) {
+    const std::vector<float> e = Embed(ref);
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += e[i];
+  }
+  L2Normalize(acc);
+  return acc;
+}
+
+// ------------------------------------------------------------ LasEncoder
+
+LasEncoder::LasEncoder(std::size_t num_mels) : num_mels_(num_mels) {
+  NEC_CHECK(num_mels >= 8);
+}
+
+std::vector<float> LasEncoder::Embed(const audio::Waveform& wave) const {
+  std::vector<float> feats = LasMelFeatures(wave, num_mels_);
+  L2Normalize(feats);
+  return feats;
+}
+
+// --------------------------------------------------------- NeuralEncoder
+
+NeuralEncoder::NeuralEncoder(const Config& config, std::uint64_t init_seed)
+    : config_(config) {
+  Rng rng(init_seed ^ 0xC2B2AE3D27D4EB4FULL);
+  const std::size_t in = config_.num_mels, h = config_.hidden,
+                    out = config_.embedding_dim;
+  auto init = [&rng](std::vector<float>& w, std::size_t n,
+                     std::size_t fan_in) {
+    w.resize(n);
+    const float std = std::sqrt(2.0f / static_cast<float>(fan_in));
+    for (float& v : w) v = rng.GaussianF(0.0f, std);
+  };
+  init(w1_, h * in, in);
+  b1_.assign(h, 0.0f);
+  init(w2_, out * h, h);
+  b2_.assign(out, 0.0f);
+}
+
+std::vector<float> NeuralEncoder::EmbedFeatures(
+    const std::vector<float>& feats) const {
+  NEC_CHECK(feats.size() == config_.num_mels);
+  const std::size_t in = config_.num_mels, h = config_.hidden,
+                    out = config_.embedding_dim;
+  std::vector<float> hidden(h);
+  for (std::size_t j = 0; j < h; ++j) {
+    double acc = b1_[j];
+    for (std::size_t i = 0; i < in; ++i) acc += w1_[j * in + i] * feats[i];
+    hidden[j] = std::tanh(static_cast<float>(acc));
+  }
+  std::vector<float> y(out);
+  for (std::size_t k = 0; k < out; ++k) {
+    double acc = b2_[k];
+    for (std::size_t j = 0; j < h; ++j) acc += w2_[k * h + j] * hidden[j];
+    y[k] = static_cast<float>(acc);
+  }
+  L2Normalize(y);
+  return y;
+}
+
+std::vector<float> NeuralEncoder::Embed(const audio::Waveform& wave) const {
+  return EmbedFeatures(LasMelFeatures(wave, config_.num_mels));
+}
+
+float NeuralEncoder::Train(const TrainOptions& options) {
+  // --- Build the training bank: features per (speaker, utterance).
+  Rng rng(options.seed ^ 0xFF51AFD7ED558CCDULL);
+  const std::size_t N = options.num_speakers;
+  const std::size_t M = options.utterances_per_speaker;
+  synth::DatasetBuilder builder({.sample_rate = options.sample_rate,
+                                 .duration_s = options.utterance_s});
+  const auto speakers =
+      synth::DatasetBuilder::MakeSpeakers(N, options.seed * 31 + 5);
+
+  std::vector<std::vector<float>> feats(N * M);
+  for (std::size_t j = 0; j < N; ++j) {
+    for (std::size_t i = 0; i < M; ++i) {
+      const synth::Utterance utt =
+          builder.MakeUtterance(speakers[j], rng.NextSeed());
+      feats[j * M + i] = LasMelFeatures(utt.wave, config_.num_mels);
+    }
+  }
+
+  const std::size_t in = config_.num_mels, h = config_.hidden,
+                    out = config_.embedding_dim;
+  constexpr float kW = 10.0f, kB = -5.0f;  // GE2E scale/offset (fixed)
+
+  // Momentum buffers.
+  std::vector<float> mw1(w1_.size(), 0), mb1(b1_.size(), 0),
+      mw2(w2_.size(), 0), mb2(b2_.size(), 0);
+
+  float last_loss = 0.0f;
+  for (std::size_t step = 0; step < options.steps; ++step) {
+    // Forward all utterances, caching hidden activations and raw outputs.
+    std::vector<std::vector<float>> hid(N * M), raw(N * M), emb(N * M);
+    for (std::size_t u = 0; u < N * M; ++u) {
+      const auto& x = feats[u];
+      hid[u].resize(h);
+      for (std::size_t j = 0; j < h; ++j) {
+        double acc = b1_[j];
+        for (std::size_t i = 0; i < in; ++i)
+          acc += w1_[j * in + i] * x[i];
+        hid[u][j] = std::tanh(static_cast<float>(acc));
+      }
+      raw[u].resize(out);
+      for (std::size_t k = 0; k < out; ++k) {
+        double acc = b2_[k];
+        for (std::size_t j = 0; j < h; ++j)
+          acc += w2_[k * h + j] * hid[u][j];
+        raw[u][k] = static_cast<float>(acc);
+      }
+      emb[u] = raw[u];
+      L2Normalize(emb[u]);
+    }
+
+    // Centroids (stop-gradient approximation: centroids treated as
+    // constants during backprop, the standard stabilization).
+    std::vector<std::vector<float>> cent(N, std::vector<float>(out, 0.0f));
+    for (std::size_t j = 0; j < N; ++j) {
+      for (std::size_t i = 0; i < M; ++i) {
+        for (std::size_t k = 0; k < out; ++k)
+          cent[j][k] += emb[j * M + i][k];
+      }
+      L2Normalize(cent[j]);
+    }
+
+    // GE2E softmax loss and gradient w.r.t. each (unit) embedding.
+    double loss = 0.0;
+    std::vector<std::vector<float>> grad_e(N * M,
+                                           std::vector<float>(out, 0.0f));
+    for (std::size_t j = 0; j < N; ++j) {
+      for (std::size_t i = 0; i < M; ++i) {
+        const std::size_t u = j * M + i;
+        // Similarities to every centroid.
+        std::vector<float> s(N);
+        float max_s = -1e30f;
+        for (std::size_t k = 0; k < N; ++k) {
+          s[k] = kW * Dot(emb[u], cent[k]) + kB;
+          max_s = std::max(max_s, s[k]);
+        }
+        double denom = 0.0;
+        for (std::size_t k = 0; k < N; ++k)
+          denom += std::exp(static_cast<double>(s[k] - max_s));
+        loss += -(s[j] - max_s) + std::log(denom);
+        // dL/ds_k = softmax_k - [k == j]
+        for (std::size_t k = 0; k < N; ++k) {
+          const float p = static_cast<float>(
+              std::exp(static_cast<double>(s[k] - max_s)) / denom);
+          const float g = p - (k == j ? 1.0f : 0.0f);
+          for (std::size_t d = 0; d < out; ++d) {
+            grad_e[u][d] += g * kW * cent[k][d];
+          }
+        }
+      }
+    }
+    last_loss = static_cast<float>(loss / (N * M));
+
+    // Backprop through L2 normalization and the MLP; accumulate grads.
+    std::vector<float> gw1(w1_.size(), 0), gb1(b1_.size(), 0),
+        gw2(w2_.size(), 0), gb2(b2_.size(), 0);
+    for (std::size_t u = 0; u < N * M; ++u) {
+      // d e / d raw: (I - e e^T) / |raw|
+      double norm = 0.0;
+      for (float v : raw[u]) norm += static_cast<double>(v) * v;
+      const float inv_norm =
+          static_cast<float>(1.0 / std::max(1e-12, std::sqrt(norm)));
+      const float ge_dot_e = Dot(grad_e[u], emb[u]);
+      std::vector<float> grad_raw(out);
+      for (std::size_t k = 0; k < out; ++k) {
+        grad_raw[k] = (grad_e[u][k] - ge_dot_e * emb[u][k]) * inv_norm;
+      }
+      // Layer 2.
+      std::vector<float> grad_hid(h, 0.0f);
+      for (std::size_t k = 0; k < out; ++k) {
+        gb2[k] += grad_raw[k];
+        for (std::size_t j = 0; j < h; ++j) {
+          gw2[k * h + j] += grad_raw[k] * hid[u][j];
+          grad_hid[j] += grad_raw[k] * w2_[k * h + j];
+        }
+      }
+      // Layer 1 (tanh).
+      const auto& x = feats[u];
+      for (std::size_t j = 0; j < h; ++j) {
+        const float gz = grad_hid[j] * (1.0f - hid[u][j] * hid[u][j]);
+        gb1[j] += gz;
+        for (std::size_t i = 0; i < in; ++i) {
+          gw1[j * in + i] += gz * x[i];
+        }
+      }
+    }
+
+    // SGD with momentum.
+    const float lr = options.lr / static_cast<float>(N * M);
+    auto update = [lr](std::vector<float>& w, std::vector<float>& m,
+                       const std::vector<float>& g) {
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        m[i] = 0.9f * m[i] + g[i];
+        w[i] -= lr * m[i];
+      }
+    };
+    update(w1_, mw1, gw1);
+    update(b1_, mb1, gb1);
+    update(w2_, mw2, gw2);
+    update(b2_, mb2, gb2);
+
+    if (options.verbose && step % 10 == 0) {
+      std::printf("[encoder] step %zu loss %.4f\n", step, last_loss);
+    }
+  }
+  return last_loss;
+}
+
+void NeuralEncoder::Save(const std::string& path) const {
+  nn::TensorMap map;
+  auto put = [&map](const char* name, const std::vector<float>& v,
+                    std::vector<std::size_t> shape) {
+    nn::Tensor t(std::move(shape));
+    std::copy(v.begin(), v.end(), t.vec().begin());
+    map.emplace(name, std::move(t));
+  };
+  put("w1", w1_, {config_.hidden, config_.num_mels});
+  put("b1", b1_, {config_.hidden});
+  put("w2", w2_, {config_.embedding_dim, config_.hidden});
+  put("b2", b2_, {config_.embedding_dim});
+  nn::SaveTensors(path, map);
+}
+
+NeuralEncoder NeuralEncoder::Load(const std::string& path) {
+  const nn::TensorMap map = nn::LoadTensors(path);
+  Config cfg;
+  const nn::Tensor& w1 = map.at("w1");
+  const nn::Tensor& w2 = map.at("w2");
+  cfg.hidden = w1.dim(0);
+  cfg.num_mels = w1.dim(1);
+  cfg.embedding_dim = w2.dim(0);
+  NeuralEncoder enc(cfg);
+  enc.w1_ = w1.vec();
+  enc.b1_ = map.at("b1").vec();
+  enc.w2_ = w2.vec();
+  enc.b2_ = map.at("b2").vec();
+  return enc;
+}
+
+}  // namespace nec::encoder

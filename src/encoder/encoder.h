@@ -1,0 +1,104 @@
+// Speaker encoders — the paper's d-vector Encoder module.
+//
+// The encoder turns reference audio of the target speaker into a fixed
+// speaker embedding the Selector is conditioned on. Two implementations:
+//
+//   * LasEncoder: deterministic — mean/variance-normalized log-mel LAS.
+//     No training required; directly realizes §III's observation that LAS
+//     quantifies the timbre pattern. Serves as an ablation baseline.
+//   * NeuralEncoder: a small MLP over the same features trained with a
+//     GE2E-style contrastive loss (Wan et al., the d-vector training the
+//     paper cites) on synthetic speakers, producing a metric space where
+//     same-speaker utterances cluster.
+//
+// Both produce unit-L2 embeddings. EmbedReferences averages per-clip
+// embeddings and re-normalizes (the paper enrolls with 3 clips of 3 s).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "audio/waveform.h"
+#include "encoder/las.h"
+
+namespace nec::encoder {
+
+/// Shared front-end features: log-mel compression of the voiced LAS.
+/// Returns `num_mels` values, mean/variance normalized.
+std::vector<float> LasMelFeatures(const audio::Waveform& wave,
+                                  std::size_t num_mels = 40,
+                                  const LasConfig& config = {});
+
+class SpeakerEncoder {
+ public:
+  virtual ~SpeakerEncoder() = default;
+
+  /// Embeds one utterance into a unit-L2 speaker vector.
+  virtual std::vector<float> Embed(const audio::Waveform& wave) const = 0;
+
+  /// Embedding dimension.
+  virtual std::size_t dim() const = 0;
+
+  /// Enrollment: averages per-clip embeddings and re-normalizes.
+  std::vector<float> EmbedReferences(
+      std::span<const audio::Waveform> references) const;
+};
+
+/// Deterministic LAS-based d-vector.
+class LasEncoder : public SpeakerEncoder {
+ public:
+  explicit LasEncoder(std::size_t num_mels = 40);
+
+  std::vector<float> Embed(const audio::Waveform& wave) const override;
+  std::size_t dim() const override { return num_mels_; }
+
+ private:
+  std::size_t num_mels_;
+};
+
+/// Trainable MLP d-vector (GE2E-style training).
+class NeuralEncoder : public SpeakerEncoder {
+ public:
+  struct Config {
+    std::size_t num_mels = 40;
+    std::size_t hidden = 64;
+    std::size_t embedding_dim = 32;
+  };
+
+  struct TrainOptions {
+    std::size_t num_speakers = 24;       ///< synthetic training speakers
+    std::size_t utterances_per_speaker = 4;
+    std::size_t steps = 60;
+    float lr = 3e-3f;
+    int sample_rate = 16000;
+    double utterance_s = 2.0;
+    std::uint64_t seed = 17;
+    bool verbose = false;
+  };
+
+  explicit NeuralEncoder(const Config& config, std::uint64_t init_seed = 7);
+
+  /// Trains with the GE2E softmax contrastive loss on synthetic speakers;
+  /// returns the final loss.
+  float Train(const TrainOptions& options);
+
+  std::vector<float> Embed(const audio::Waveform& wave) const override;
+  std::size_t dim() const override { return config_.embedding_dim; }
+
+  void Save(const std::string& path) const;
+  static NeuralEncoder Load(const std::string& path);
+
+  const Config& config() const { return config_; }
+
+ private:
+  std::vector<float> EmbedFeatures(const std::vector<float>& feats) const;
+
+  Config config_;
+  // MLP parameters: (hidden, num_mels), (hidden), (emb, hidden), (emb).
+  std::vector<float> w1_, b1_, w2_, b2_;
+};
+
+}  // namespace nec::encoder

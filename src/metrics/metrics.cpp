@@ -1,0 +1,116 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "audio/level.h"
+#include "common/check.h"
+
+namespace nec::metrics {
+namespace {
+
+struct DotStats {
+  double rr = 0.0;  // <ref, ref>
+  double ee = 0.0;  // <est, est>
+  double re = 0.0;  // <ref, est>
+  std::size_t n = 0;
+};
+
+DotStats ComputeDots(std::span<const float> a, std::span<const float> b) {
+  DotStats s;
+  s.n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < s.n; ++i) {
+    s.rr += static_cast<double>(a[i]) * a[i];
+    s.ee += static_cast<double>(b[i]) * b[i];
+    s.re += static_cast<double>(a[i]) * b[i];
+  }
+  return s;
+}
+
+}  // namespace
+
+double Sdr(std::span<const float> reference,
+           std::span<const float> estimate) {
+  const DotStats s = ComputeDots(reference, estimate);
+  if (s.n == 0 || s.rr <= 0.0) return -300.0;
+  // Project estimate onto the reference: s_target = (<e,r>/<r,r>) r.
+  const double alpha = s.re / s.rr;
+  const double target_energy = alpha * alpha * s.rr;
+  const double distortion_energy = s.ee - target_energy;
+  return audio::PowerToDb(target_energy /
+                          std::max(distortion_energy, 1e-300));
+}
+
+double SdrPlain(std::span<const float> reference,
+                std::span<const float> estimate) {
+  const DotStats s = ComputeDots(reference, estimate);
+  if (s.n == 0 || s.rr <= 0.0) return -300.0;
+  const double err = s.rr - 2.0 * s.re + s.ee;
+  return audio::PowerToDb(s.rr / std::max(err, 1e-300));
+}
+
+double CosineDistance(std::span<const float> a, std::span<const float> b) {
+  const DotStats s = ComputeDots(a, b);
+  if (s.rr <= 0.0 || s.ee <= 0.0) return 1.0;
+  return 1.0 - s.re / std::sqrt(s.rr * s.ee);
+}
+
+double PearsonCorrelation(std::span<const float> a,
+                          std::span<const float> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double saa = 0.0, sbb = 0.0, sab = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma, db = b[i] - mb;
+    saa += da * da;
+    sbb += db * db;
+    sab += da * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+double Sonr(const audio::Waveform& recorded,
+            const audio::Waveform& target_component) {
+  const std::size_t n = std::min(recorded.size(), target_component.size());
+  NEC_CHECK_MSG(n > 0, "SONR of empty signals");
+  double p_rec = 0.0, p_tgt = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    p_rec += static_cast<double>(recorded[i]) * recorded[i];
+    p_tgt += static_cast<double>(target_component[i]) * target_component[i];
+  }
+  return audio::PowerToDb(p_rec / std::max(p_tgt, 1e-300));
+}
+
+double ResidualEnergyAfterProjection(std::span<const float> signal,
+                                     std::span<const float> component) {
+  const DotStats s = ComputeDots(component, signal);
+  if (s.rr <= 0.0) return s.ee;
+  const double alpha = s.re / s.rr;
+  return std::max(0.0, s.ee - alpha * alpha * s.rr);
+}
+
+double SpectralConvergence(const audio::Waveform& reference,
+                           const audio::Waveform& estimate,
+                           const dsp::StftConfig& config) {
+  const dsp::Spectrogram ref = dsp::Stft(reference, config);
+  const dsp::Spectrogram est = dsp::Stft(estimate, config);
+  const std::size_t n = std::min(ref.mag().size(), est.mag().size());
+  NEC_CHECK_MSG(n > 0, "spectral convergence of empty spectrograms");
+  double err = 0.0, norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = est.mag()[i] - ref.mag()[i];
+    err += d * d;
+    norm += static_cast<double>(ref.mag()[i]) * ref.mag()[i];
+  }
+  return std::sqrt(err / std::max(norm, 1e-300));
+}
+
+}  // namespace nec::metrics

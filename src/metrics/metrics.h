@@ -1,0 +1,57 @@
+// Evaluation metrics (§V "Quantitative Metrics").
+//
+//  * SDR — source-to-distortion ratio; the paper's primary separation
+//    metric (low for Bob after NEC, high for Alice).
+//  * Cosine distance — Fig. 9(c)'s similarity between the recorded and
+//    background signals under time/power offsets.
+//  * Pearson correlation — Fig. 5's LAS correlation matrix.
+//  * SONR — "sound-noise ratio": power ratio between the full mixed audio
+//    and Bob's leaked voice in it (Fig. 15b).
+#pragma once
+
+#include <span>
+
+#include "audio/waveform.h"
+#include "dsp/stft.h"
+
+namespace nec::metrics {
+
+/// Classic SDR in dB: 10*log10(||s||^2 / ||s_hat - s||^2), where the
+/// estimate is first aligned to the reference by the optimal scalar
+/// projection (BSS-eval style: distortion is everything outside span{s}).
+/// Inputs are truncated to the common length.
+double Sdr(std::span<const float> reference, std::span<const float> estimate);
+
+/// Scale-dependent SDR: no projection; measures raw residual energy.
+double SdrPlain(std::span<const float> reference,
+                std::span<const float> estimate);
+
+/// Cosine distance 1 - <a,b>/(|a||b|) over the common length. Returns 1
+/// for a zero-norm input.
+double CosineDistance(std::span<const float> a, std::span<const float> b);
+
+/// Pearson correlation coefficient over the common length (0 if either
+/// input is constant).
+double PearsonCorrelation(std::span<const float> a,
+                          std::span<const float> b);
+
+/// SONR in dB: 10*log10(P_mixed / P_target_component). `target_component`
+/// is the target speaker's contribution contained in `recorded` — in the
+/// simulation we know the ground-truth stem. Higher = less of Bob leaked.
+double Sonr(const audio::Waveform& recorded,
+            const audio::Waveform& target_component);
+
+/// Energy of the residual of `signal` after projecting out `component`
+/// (diagnostic for "how much of component survives in signal").
+double ResidualEnergyAfterProjection(std::span<const float> signal,
+                                     std::span<const float> component);
+
+/// Spectral convergence: ||,|STFT(est)| - |STFT(ref)|,||_F /
+/// ||,|STFT(ref)|,||_F — the spectrogram-domain distance the Eq. 6
+/// training objective optimizes, exposed as a metric (0 = identical
+/// magnitude spectrograms).
+double SpectralConvergence(const audio::Waveform& reference,
+                           const audio::Waveform& estimate,
+                           const dsp::StftConfig& config);
+
+}  // namespace nec::metrics

@@ -1,0 +1,50 @@
+#include "metrics/urs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "metrics/metrics.h"
+
+namespace nec::metrics {
+
+UserRatingModel::UserRatingModel(UserRatingOptions options)
+    : options_(options) {
+  NEC_CHECK(options_.num_reviewers >= 1);
+  Rng rng(options_.seed ^ 0xB5297A4D2E4B3C71ULL);
+  reviewer_bias_.resize(options_.num_reviewers);
+  for (double& b : reviewer_bias_) {
+    b = rng.Gaussian(0.0, options_.reviewer_bias_std);
+  }
+}
+
+double UserRatingModel::Rate(std::size_t reviewer,
+                             const audio::Waveform& recording,
+                             const audio::Waveform& target_truth,
+                             std::uint64_t recording_seed) const {
+  NEC_CHECK(reviewer < options_.num_reviewers);
+  // How much of the target survives: SDR of the target stem against the
+  // recording. High SDR → target clearly audible → low rating.
+  const double sdr = Sdr(target_truth.samples(), recording.samples());
+  const double x = (options_.midpoint_sdr_db - sdr) / options_.slope_db;
+  const double base = 1.0 + 4.0 / (1.0 + std::exp(-x));
+
+  Rng rng(recording_seed * 0x9E3779B97F4A7C15ULL + reviewer);
+  const double noisy = base + reviewer_bias_[reviewer] +
+                       rng.Gaussian(0.0, options_.rating_noise_std);
+  // Reviewers rate on a discrete 1..5 scale; keep half-point granularity.
+  return std::clamp(std::round(noisy * 2.0) / 2.0, 1.0, 5.0);
+}
+
+std::vector<double> UserRatingModel::RateAll(
+    const audio::Waveform& recording, const audio::Waveform& target_truth,
+    std::uint64_t recording_seed) const {
+  std::vector<double> out(options_.num_reviewers);
+  for (std::size_t r = 0; r < options_.num_reviewers; ++r) {
+    out[r] = Rate(r, recording, target_truth, recording_seed);
+  }
+  return out;
+}
+
+}  // namespace nec::metrics

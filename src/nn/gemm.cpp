@@ -1,0 +1,80 @@
+#include "nn/gemm.h"
+
+namespace nec::nn {
+namespace {
+
+inline void ScaleC(float* c, std::size_t count, float beta) {
+  if (beta == 0.0f) {
+    for (std::size_t i = 0; i < count; ++i) c[i] = 0.0f;
+  } else if (beta != 1.0f) {
+    for (std::size_t i = 0; i < count; ++i) c[i] *= beta;
+  }
+}
+
+}  // namespace
+
+void GemmNN(const float* a, const float* b, float* c, std::size_t m,
+            std::size_t n, std::size_t k, float alpha, float beta) {
+  ScaleC(c, m * n, beta);
+  // i-k-j order: the j loop runs over contiguous memory in both B and C,
+  // which gcc vectorizes into FMA streams.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* __restrict ci = c + i * n;
+    const float* ai = a + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = alpha * ai[kk];
+      const float* __restrict bk = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += av * bk[j];
+    }
+  }
+}
+
+void GemmNT(const float* a, const float* b, float* c, std::size_t m,
+            std::size_t n, std::size_t k, float alpha, float beta) {
+  // Dot-product formulation: the k loop is contiguous in both A and B
+  // rows. Loop nesting follows the smaller operand so the large one is
+  // streamed exactly once: the conv forward pass has a tiny A
+  // (C_out x K weights, fits in L1) against a huge B (im2col patches) —
+  // iterating j outermost there cuts memory traffic by ~C_out x.
+  if (m <= n) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* __restrict bj = b + j * k;
+      for (std::size_t i = 0; i < m; ++i) {
+        const float* __restrict ai = a + i * k;
+        float acc = 0.0f;
+        for (std::size_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
+        float* ci = c + i * n + j;
+        *ci = alpha * acc + (beta == 0.0f ? 0.0f : beta * *ci);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* __restrict ai = a + i * k;
+      float* ci = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* __restrict bj = b + j * k;
+        float acc = 0.0f;
+        for (std::size_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
+        ci[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * ci[j]);
+      }
+    }
+  }
+}
+
+void GemmTN(const float* a, const float* b, float* c, std::size_t m,
+            std::size_t n, std::size_t k, float alpha, float beta) {
+  ScaleC(c, m * n, beta);
+  // k-i-j order: for each k row of A^T and B, rank-1 update of C.
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* ak = a + kk * m;
+    const float* __restrict bk = b + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = alpha * ak[i];
+      if (av == 0.0f) continue;
+      float* __restrict ci = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += av * bk[j];
+    }
+  }
+}
+
+}  // namespace nec::nn

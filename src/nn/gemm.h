@@ -1,0 +1,29 @@
+// Single-precision matrix multiply kernels backing Conv2D (via im2col) and
+// Linear layers.
+//
+// The deployment environment for this reproduction is a single CPU core, so
+// the kernels are tuned for auto-vectorization (contiguous inner loops,
+// restrict-qualified pointers) rather than multi-threading. Three transpose
+// variants cover every case the forward and backward passes need.
+#pragma once
+
+#include <cstddef>
+
+namespace nec::nn {
+
+/// C(M,N) = alpha * A(M,K) * B(K,N) + beta * C. Row-major.
+void GemmNN(const float* a, const float* b, float* c, std::size_t m,
+            std::size_t n, std::size_t k, float alpha = 1.0f,
+            float beta = 0.0f);
+
+/// C(M,N) = alpha * A(M,K) * B(N,K)^T + beta * C. Row-major (B stored N×K).
+void GemmNT(const float* a, const float* b, float* c, std::size_t m,
+            std::size_t n, std::size_t k, float alpha = 1.0f,
+            float beta = 0.0f);
+
+/// C(M,N) = alpha * A(K,M)^T * B(K,N) + beta * C. Row-major (A stored K×M).
+void GemmTN(const float* a, const float* b, float* c, std::size_t m,
+            std::size_t n, std::size_t k, float alpha = 1.0f,
+            float beta = 0.0f);
+
+}  // namespace nec::nn

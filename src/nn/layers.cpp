@@ -1,0 +1,326 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/gemm.h"
+
+namespace nec::nn {
+
+// ---------------------------------------------------------------- Conv2D
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel_h, std::size_t kernel_w,
+               std::size_t dilation_h, std::size_t dilation_w, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kh_(kernel_h),
+      kw_(kernel_w),
+      dh_(dilation_h),
+      dw_(dilation_w),
+      weight_(Tensor::KaimingNormal(
+          {out_channels, in_channels * kernel_h * kernel_w}, rng,
+          in_channels * kernel_h * kernel_w)),
+      bias_(Tensor::Zeros({out_channels})) {
+  NEC_CHECK(in_channels >= 1 && out_channels >= 1);
+  NEC_CHECK_MSG(kernel_h % 2 == 1 && kernel_w % 2 == 1,
+                "same-padding Conv2D requires odd kernel sizes");
+  NEC_CHECK(dilation_h >= 1 && dilation_w >= 1);
+}
+
+void Conv2D::Im2Col(const Tensor& input, Tensor& col) const {
+  const std::size_t h = input.dim(1), w = input.dim(2);
+  const std::ptrdiff_t pad_h =
+      static_cast<std::ptrdiff_t>(dh_ * (kh_ - 1) / 2);
+  const std::ptrdiff_t pad_w =
+      static_cast<std::ptrdiff_t>(dw_ * (kw_ - 1) / 2);
+  const std::size_t k = in_channels_ * kh_ * kw_;
+
+  float* out = col.data();
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      float* row = out + (y * w + x) * k;
+      std::size_t idx = 0;
+      for (std::size_t c = 0; c < in_channels_; ++c) {
+        for (std::size_t ky = 0; ky < kh_; ++ky) {
+          const std::ptrdiff_t sy = static_cast<std::ptrdiff_t>(y) +
+                                    static_cast<std::ptrdiff_t>(ky * dh_) -
+                                    pad_h;
+          for (std::size_t kx = 0; kx < kw_; ++kx, ++idx) {
+            const std::ptrdiff_t sx =
+                static_cast<std::ptrdiff_t>(x) +
+                static_cast<std::ptrdiff_t>(kx * dw_) - pad_w;
+            row[idx] =
+                (sy >= 0 && sy < static_cast<std::ptrdiff_t>(h) && sx >= 0 &&
+                 sx < static_cast<std::ptrdiff_t>(w))
+                    ? input.At3(c, static_cast<std::size_t>(sy),
+                                static_cast<std::size_t>(sx))
+                    : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2D::Forward(const Tensor& input) {
+  NEC_CHECK_MSG(input.rank() == 3 && input.dim(0) == in_channels_,
+                "Conv2D expects (in_channels, H, W) input");
+  in_h_ = input.dim(1);
+  in_w_ = input.dim(2);
+  const std::size_t pixels = in_h_ * in_w_;
+  const std::size_t k = in_channels_ * kh_ * kw_;
+
+  col_cache_ = Tensor({pixels, k});
+  Im2Col(input, col_cache_);
+
+  // out(C_out, P) = weight(C_out, K) * col(P, K)^T
+  Tensor out({out_channels_, in_h_, in_w_});
+  GemmNT(weight_.value.data(), col_cache_.data(), out.data(), out_channels_,
+         pixels, k);
+  for (std::size_t c = 0; c < out_channels_; ++c) {
+    const float b = bias_.value[c];
+    float* oc = out.data() + c * pixels;
+    for (std::size_t p = 0; p < pixels; ++p) oc[p] += b;
+  }
+  last_macs_ = out_channels_ * pixels * k;
+  return out;
+}
+
+Tensor Conv2D::Backward(const Tensor& grad_output) {
+  NEC_CHECK_MSG(grad_output.rank() == 3 &&
+                    grad_output.dim(0) == out_channels_ &&
+                    grad_output.dim(1) == in_h_ &&
+                    grad_output.dim(2) == in_w_,
+                "Conv2D backward shape mismatch");
+  const std::size_t pixels = in_h_ * in_w_;
+  const std::size_t k = in_channels_ * kh_ * kw_;
+
+  // grad_weight(C_out, K) += grad_out(C_out, P) * col(P, K)
+  GemmNN(grad_output.data(), col_cache_.data(), weight_.grad.data(),
+         out_channels_, k, pixels, 1.0f, 1.0f);
+
+  // grad_bias += row sums of grad_out.
+  for (std::size_t c = 0; c < out_channels_; ++c) {
+    const float* gc = grad_output.data() + c * pixels;
+    double acc = 0.0;
+    for (std::size_t p = 0; p < pixels; ++p) acc += gc[p];
+    bias_.grad[c] += static_cast<float>(acc);
+  }
+
+  // grad_col(P, K) = grad_out(C_out, P)^T * weight(C_out, K)
+  Tensor grad_col({pixels, k});
+  GemmTN(grad_output.data(), weight_.value.data(), grad_col.data(), pixels,
+         k, out_channels_);
+
+  // col2im scatter-add.
+  Tensor grad_input({in_channels_, in_h_, in_w_});
+  const std::ptrdiff_t pad_h =
+      static_cast<std::ptrdiff_t>(dh_ * (kh_ - 1) / 2);
+  const std::ptrdiff_t pad_w =
+      static_cast<std::ptrdiff_t>(dw_ * (kw_ - 1) / 2);
+  for (std::size_t y = 0; y < in_h_; ++y) {
+    for (std::size_t x = 0; x < in_w_; ++x) {
+      const float* row = grad_col.data() + (y * in_w_ + x) * k;
+      std::size_t idx = 0;
+      for (std::size_t c = 0; c < in_channels_; ++c) {
+        for (std::size_t ky = 0; ky < kh_; ++ky) {
+          const std::ptrdiff_t sy = static_cast<std::ptrdiff_t>(y) +
+                                    static_cast<std::ptrdiff_t>(ky * dh_) -
+                                    pad_h;
+          for (std::size_t kx = 0; kx < kw_; ++kx, ++idx) {
+            const std::ptrdiff_t sx =
+                static_cast<std::ptrdiff_t>(x) +
+                static_cast<std::ptrdiff_t>(kx * dw_) - pad_w;
+            if (sy >= 0 && sy < static_cast<std::ptrdiff_t>(in_h_) &&
+                sx >= 0 && sx < static_cast<std::ptrdiff_t>(in_w_)) {
+              grad_input.At3(c, static_cast<std::size_t>(sy),
+                             static_cast<std::size_t>(sx)) += row[idx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Tensor::KaimingNormal({out_features, in_features}, rng,
+                                    in_features)),
+      bias_(Tensor::Zeros({out_features})) {
+  NEC_CHECK(in_features >= 1 && out_features >= 1);
+}
+
+Tensor Linear::Forward(const Tensor& input) {
+  NEC_CHECK_MSG(input.rank() == 2 && input.dim(1) == in_features_,
+                "Linear expects (rows, in_features); got last dim "
+                    << (input.rank() >= 1 ? input.dim(input.rank() - 1) : 0));
+  input_cache_ = input;
+  const std::size_t rows = input.dim(0);
+
+  Tensor out({rows, out_features_});
+  GemmNT(input.data(), weight_.value.data(), out.data(), rows,
+         out_features_, in_features_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* orow = out.data() + r * out_features_;
+    for (std::size_t j = 0; j < out_features_; ++j)
+      orow[j] += bias_.value[j];
+  }
+  last_macs_ = rows * out_features_ * in_features_;
+  return out;
+}
+
+Tensor Linear::Backward(const Tensor& grad_output) {
+  const std::size_t rows = input_cache_.dim(0);
+  NEC_CHECK(grad_output.rank() == 2 && grad_output.dim(0) == rows &&
+            grad_output.dim(1) == out_features_);
+
+  // grad_weight(out, in) += grad_out(rows, out)^T * input(rows, in)
+  GemmTN(grad_output.data(), input_cache_.data(), weight_.grad.data(),
+         out_features_, in_features_, rows, 1.0f, 1.0f);
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* grow = grad_output.data() + r * out_features_;
+    for (std::size_t j = 0; j < out_features_; ++j)
+      bias_.grad[j] += grow[j];
+  }
+
+  // grad_input(rows, in) = grad_out(rows, out) * weight(out, in)
+  Tensor grad_input({rows, in_features_});
+  GemmNN(grad_output.data(), weight_.value.data(), grad_input.data(), rows,
+         in_features_, out_features_);
+  return grad_input;
+}
+
+// ----------------------------------------------------------- Activations
+
+Tensor ReLU::Forward(const Tensor& input) {
+  input_cache_ = input;
+  Tensor out = input;
+  for (float& v : out.vec()) v = v > 0.0f ? v : 0.0f;
+  return out;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_output) {
+  NEC_CHECK(grad_output.numel() == input_cache_.numel());
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    if (input_cache_[i] <= 0.0f) grad[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor Sigmoid::Forward(const Tensor& input) {
+  Tensor out = input;
+  for (float& v : out.vec()) v = 1.0f / (1.0f + std::exp(-v));
+  output_cache_ = out;
+  return out;
+}
+
+Tensor Sigmoid::Backward(const Tensor& grad_output) {
+  NEC_CHECK(grad_output.numel() == output_cache_.numel());
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    const float y = output_cache_[i];
+    grad[i] *= y * (1.0f - y);
+  }
+  return grad;
+}
+
+Tensor Tanh::Forward(const Tensor& input) {
+  Tensor out = input;
+  for (float& v : out.vec()) v = std::tanh(v);
+  output_cache_ = out;
+  return out;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_output) {
+  NEC_CHECK(grad_output.numel() == output_cache_.numel());
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    const float y = output_cache_[i];
+    grad[i] *= 1.0f - y * y;
+  }
+  return grad;
+}
+
+// ------------------------------------------------------------------ LSTM
+
+Lstm::Lstm(std::size_t input_size, std::size_t hidden_size, Rng& rng)
+    : input_size_(input_size),
+      hidden_size_(hidden_size),
+      w_(Tensor::KaimingNormal({4 * hidden_size, input_size}, rng,
+                               input_size)),
+      u_(Tensor::KaimingNormal({4 * hidden_size, hidden_size}, rng,
+                               hidden_size)),
+      b_(Tensor::Zeros({4 * hidden_size})) {
+  NEC_CHECK(input_size >= 1 && hidden_size >= 1);
+}
+
+Tensor Lstm::Forward(const Tensor& input) {
+  NEC_CHECK_MSG(input.rank() == 2 && input.dim(1) == input_size_,
+                "Lstm expects (T, input_size)");
+  const std::size_t T = input.dim(0);
+  const std::size_t H = hidden_size_;
+
+  Tensor out({T, H});
+  std::vector<float> h(H, 0.0f), c(H, 0.0f), gates(4 * H);
+
+  for (std::size_t t = 0; t < T; ++t) {
+    // gates = W x_t + U h_{t-1} + b
+    GemmNT(w_.value.data(), input.data() + t * input_size_, gates.data(),
+           4 * H, 1, input_size_);
+    GemmNT(u_.value.data(), h.data(), gates.data(), 4 * H, 1, H, 1.0f,
+           1.0f);
+    for (std::size_t j = 0; j < 4 * H; ++j) gates[j] += b_.value[j];
+
+    for (std::size_t j = 0; j < H; ++j) {
+      const float i_g = 1.0f / (1.0f + std::exp(-gates[j]));
+      const float f_g = 1.0f / (1.0f + std::exp(-gates[H + j]));
+      const float g_g = std::tanh(gates[2 * H + j]);
+      const float o_g = 1.0f / (1.0f + std::exp(-gates[3 * H + j]));
+      c[j] = f_g * c[j] + i_g * g_g;
+      h[j] = o_g * std::tanh(c[j]);
+      out.At(t, j) = h[j];
+    }
+  }
+  last_macs_ = T * 4 * H * (input_size_ + H);
+  return out;
+}
+
+Tensor Lstm::Backward(const Tensor&) {
+  NEC_CHECK_MSG(false,
+                "Lstm is forward-only (VoiceFilter runtime baseline)");
+  return Tensor();
+}
+
+// ------------------------------------------------------------ Sequential
+
+Tensor Sequential::Forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Sequential::Params() {
+  std::vector<Param*> params;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace nec::nn

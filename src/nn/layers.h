@@ -1,0 +1,185 @@
+// Neural network layers with explicit forward/backward passes.
+//
+// The NEC selector (core/selector.h) is a static pipeline of these layers:
+// Conv2D with temporal dilation, elementwise activations, and Linear heads.
+// Layers cache whatever the backward pass needs during Forward; Backward
+// consumes the cached state, accumulates parameter gradients into
+// Param::grad and returns the gradient with respect to the layer input.
+//
+// The LSTM layer exists for the VoiceFilter runtime baseline (Table II) and
+// implements forward only — the baseline is never trained in this repo.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace nec::nn {
+
+/// A learnable parameter: value plus accumulated gradient.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(Tensor v) : value(std::move(v)), grad(value.shape()) {}
+  void ZeroGrad() { grad.Fill(0.0f); }
+};
+
+/// Base class for all layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Runs the layer; caches activations needed by Backward.
+  virtual Tensor Forward(const Tensor& input) = 0;
+
+  /// Propagates gradients; accumulates into parameter grads and returns the
+  /// gradient with respect to the layer's input.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for activations).
+  virtual std::vector<Param*> Params() { return {}; }
+
+  virtual std::string Name() const = 0;
+
+  /// Approximate multiply-accumulate count of one Forward call with the
+  /// last-seen input shape (0 before the first Forward). Used by the
+  /// runtime analysis bench (Table II).
+  virtual std::size_t LastForwardMacs() const { return 0; }
+};
+
+/// 2-D convolution over (channels, height, width) tensors; stride 1, zero
+/// "same" padding, independent dilation per axis. Height is the time axis
+/// and width the frequency axis in the selector's usage.
+class Conv2D : public Layer {
+ public:
+  Conv2D(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel_h, std::size_t kernel_w, std::size_t dilation_h,
+         std::size_t dilation_w, Rng& rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Param*> Params() override { return {&weight_, &bias_}; }
+  std::string Name() const override { return "Conv2D"; }
+  std::size_t LastForwardMacs() const override { return last_macs_; }
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  void Im2Col(const Tensor& input, Tensor& col) const;
+
+  std::size_t in_channels_, out_channels_;
+  std::size_t kh_, kw_, dh_, dw_;
+  Param weight_;  // (out_channels, in_channels*kh*kw)
+  Param bias_;    // (out_channels)
+
+  Tensor col_cache_;  // (H*W, in_channels*kh*kw)
+  std::size_t in_h_ = 0, in_w_ = 0;
+  std::size_t last_macs_ = 0;
+};
+
+/// Fully connected layer applied to the last dimension of a (rows, in)
+/// tensor.
+class Linear : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Param*> Params() override { return {&weight_, &bias_}; }
+  std::string Name() const override { return "Linear"; }
+  std::size_t LastForwardMacs() const override { return last_macs_; }
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  std::size_t in_features_, out_features_;
+  Param weight_;  // (out, in)
+  Param bias_;    // (out)
+  Tensor input_cache_;
+  std::size_t last_macs_ = 0;
+};
+
+/// Rectified linear activation.
+class ReLU : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "ReLU"; }
+
+ private:
+  Tensor input_cache_;
+};
+
+/// Logistic sigmoid activation.
+class Sigmoid : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor output_cache_;
+};
+
+/// Hyperbolic tangent activation.
+class Tanh : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "Tanh"; }
+
+ private:
+  Tensor output_cache_;
+};
+
+/// Unidirectional LSTM over a (T, input) sequence producing (T, hidden).
+/// Forward-only: used by the VoiceFilter baseline for runtime comparison.
+class Lstm : public Layer {
+ public:
+  Lstm(std::size_t input_size, std::size_t hidden_size, Rng& rng);
+
+  Tensor Forward(const Tensor& input) override;
+  /// Not supported; throws nec::CheckError.
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Param*> Params() override { return {&w_, &u_, &b_}; }
+  std::string Name() const override { return "Lstm"; }
+  std::size_t LastForwardMacs() const override { return last_macs_; }
+
+ private:
+  std::size_t input_size_, hidden_size_;
+  Param w_;  // (4*hidden, input)  gate order: i, f, g, o
+  Param u_;  // (4*hidden, hidden)
+  Param b_;  // (4*hidden)
+  std::size_t last_macs_ = 0;
+};
+
+/// Simple sequential container (used by the neural d-vector encoder MLP).
+class Sequential {
+ public:
+  void Add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  Tensor Forward(const Tensor& input);
+  Tensor Backward(const Tensor& grad_output);
+  std::vector<Param*> Params();
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace nec::nn

@@ -1,0 +1,39 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nec::nn {
+
+MseResult MseLoss(const Tensor& pred, const Tensor& target) {
+  NEC_CHECK_MSG(pred.numel() == target.numel() && pred.numel() > 0,
+                "MseLoss shape mismatch");
+  MseResult r{0.0f, Tensor(pred.shape())};
+  const float inv_n = 1.0f / static_cast<float>(pred.numel());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const float d = pred[i] - target[i];
+    acc += static_cast<double>(d) * d;
+    r.grad[i] = 2.0f * d * inv_n;
+  }
+  r.loss = static_cast<float>(acc * inv_n);
+  return r;
+}
+
+MseResult L1Loss(const Tensor& pred, const Tensor& target) {
+  NEC_CHECK_MSG(pred.numel() == target.numel() && pred.numel() > 0,
+                "L1Loss shape mismatch");
+  MseResult r{0.0f, Tensor(pred.shape())};
+  const float inv_n = 1.0f / static_cast<float>(pred.numel());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const float d = pred[i] - target[i];
+    acc += std::abs(static_cast<double>(d));
+    r.grad[i] = (d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f)) * inv_n;
+  }
+  r.loss = static_cast<float>(acc * inv_n);
+  return r;
+}
+
+}  // namespace nec::nn

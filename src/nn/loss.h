@@ -1,0 +1,21 @@
+// Loss functions. The selector trains with the paper's Eq. 6 objective:
+// an L2 norm between the superposed recorded spectrogram and the background
+// spectrogram — an MSE over spectrogram cells once normalized by count.
+#pragma once
+
+#include "nn/tensor.h"
+
+namespace nec::nn {
+
+/// Mean-squared-error loss and its gradient with respect to `pred`.
+struct MseResult {
+  float loss;
+  Tensor grad;  ///< dLoss/dPred, same shape as pred
+};
+
+MseResult MseLoss(const Tensor& pred, const Tensor& target);
+
+/// L1 (mean absolute error) loss and gradient — used by ablation tests.
+MseResult L1Loss(const Tensor& pred, const Tensor& target);
+
+}  // namespace nec::nn

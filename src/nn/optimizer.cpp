@@ -1,0 +1,65 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nec::nn {
+
+Adam::Adam(std::vector<Param*> params, const Options& options)
+    : params_(std::move(params)), options_(options) {
+  NEC_CHECK_MSG(!params_.empty(), "Adam needs at least one parameter");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+float Adam::GradNorm() const {
+  double acc = 0.0;
+  for (const Param* p : params_) {
+    for (float g : p->grad.vec()) acc += static_cast<double>(g) * g;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+void Adam::Step() {
+  ++step_;
+  float scale = 1.0f;
+  if (options_.grad_clip > 0.0f) {
+    const float norm = GradNorm();
+    if (norm > options_.grad_clip) scale = options_.grad_clip / norm;
+  }
+
+  const float bc1 =
+      1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  const float bc2 =
+      1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::size_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] * scale;
+      m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * g;
+      v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * g * g;
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      float update = options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+      if (options_.weight_decay > 0.0f) {
+        update += options_.lr * options_.weight_decay * p.value[j];
+      }
+      p.value[j] -= update;
+    }
+  }
+  ZeroGrad();
+}
+
+void Adam::ZeroGrad() {
+  for (Param* p : params_) p->ZeroGrad();
+}
+
+}  // namespace nec::nn

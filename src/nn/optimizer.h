@@ -1,0 +1,45 @@
+// Optimizers for training the selector and the neural d-vector encoder.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace nec::nn {
+
+/// Adam optimizer (Kingma & Ba). Holds first/second moment state per
+/// parameter; parameters are registered once and must outlive the optimizer.
+class Adam {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;   ///< decoupled (AdamW-style) decay
+    float grad_clip = 0.0f;      ///< global-norm clip; 0 disables
+  };
+
+  Adam(std::vector<Param*> params, const Options& options);
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  /// Zeroes all parameter gradients without updating.
+  void ZeroGrad();
+
+  /// Global L2 norm of all gradients (diagnostic; also used by clipping).
+  float GradNorm() const;
+
+  Options& options() { return options_; }
+  long step_count() const { return step_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  Options options_;
+  long step_ = 0;
+};
+
+}  // namespace nec::nn

@@ -1,0 +1,84 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace nec::nn {
+namespace {
+
+constexpr char kMagic[4] = {'N', 'E', 'C', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void WriteLe(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T ReadLe(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("model file truncated");
+  return v;
+}
+
+}  // namespace
+
+void SaveTensors(const std::string& path, const TensorMap& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot create model file " + path);
+
+  out.write(kMagic, 4);
+  WriteLe<std::uint32_t>(out, kVersion);
+  WriteLe<std::uint32_t>(out, static_cast<std::uint32_t>(tensors.size()));
+
+  for (const auto& [name, tensor] : tensors) {
+    WriteLe<std::uint32_t>(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    WriteLe<std::uint32_t>(out,
+                           static_cast<std::uint32_t>(tensor.rank()));
+    for (std::size_t d : tensor.shape())
+      WriteLe<std::uint64_t>(out, static_cast<std::uint64_t>(d));
+    out.write(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("write failure for model " + path);
+}
+
+TensorMap LoadTensors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open model file " + path);
+
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("bad magic in model file " + path);
+  const auto version = ReadLe<std::uint32_t>(in);
+  if (version != kVersion)
+    throw std::runtime_error("unsupported model version " +
+                             std::to_string(version));
+
+  const auto count = ReadLe<std::uint32_t>(in);
+  TensorMap tensors;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto name_len = ReadLe<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const auto rank = ReadLe<std::uint32_t>(in);
+    if (rank == 0 || rank > 8)
+      throw std::runtime_error("implausible tensor rank in " + path);
+    std::vector<std::size_t> shape(rank);
+    for (auto& d : shape)
+      d = static_cast<std::size_t>(ReadLe<std::uint64_t>(in));
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("model file truncated: " + path);
+    tensors.emplace(std::move(name), std::move(t));
+  }
+  return tensors;
+}
+
+}  // namespace nec::nn

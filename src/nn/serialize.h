@@ -1,0 +1,25 @@
+// Binary (de)serialization of named tensors — the on-disk model format.
+//
+// Format: magic "NECM", u32 version, u32 tensor count, then per tensor:
+// u32 name length + bytes, u32 rank, u64 dims..., f32 data. Little-endian.
+// Used to cache trained selector/encoder weights so example binaries and
+// benches can share one training run.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "nn/tensor.h"
+
+namespace nec::nn {
+
+/// Ordered name → tensor map (ordering makes files byte-stable).
+using TensorMap = std::map<std::string, Tensor>;
+
+/// Writes tensors to `path`; throws std::runtime_error on IO failure.
+void SaveTensors(const std::string& path, const TensorMap& tensors);
+
+/// Reads tensors from `path`; throws std::runtime_error on malformed input.
+TensorMap LoadTensors(const std::string& path);
+
+}  // namespace nec::nn

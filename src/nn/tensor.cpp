@@ -1,0 +1,75 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nec::nn {
+namespace {
+
+std::size_t Product(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(Product(shape_), 0.0f) {
+  NEC_CHECK_MSG(!shape_.empty(), "tensor rank must be >= 1");
+}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape)
+    : Tensor(std::vector<std::size_t>(shape)) {}
+
+Tensor Tensor::Zeros(std::vector<std::size_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Randn(std::vector<std::size_t> shape, Rng& rng,
+                     float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = rng.GaussianF(0.0f, stddev);
+  return t;
+}
+
+Tensor Tensor::KaimingNormal(std::vector<std::size_t> shape, Rng& rng,
+                             std::size_t fan_in) {
+  NEC_CHECK(fan_in > 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Randn(std::move(shape), rng, stddev);
+}
+
+void Tensor::Fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+void Tensor::Reshape(std::vector<std::size_t> shape) {
+  NEC_CHECK_MSG(Product(shape) == data_.size(),
+                "reshape element count mismatch");
+  shape_ = std::move(shape);
+}
+
+void Tensor::Add(const Tensor& other) {
+  NEC_CHECK(other.numel() == numel());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::AddScaled(const Tensor& other, float s) {
+  NEC_CHECK(other.numel() == numel());
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += s * other.data_[i];
+}
+
+void Tensor::Scale(float s) {
+  for (float& x : data_) x *= s;
+}
+
+float Tensor::Norm() const {
+  double acc = 0.0;
+  for (float x : data_) acc += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+}  // namespace nec::nn

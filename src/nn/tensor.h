@@ -1,0 +1,78 @@
+// Minimal dense float tensor for the NEC neural network substrate.
+//
+// Row-major, arbitrary rank. The selector network only needs rank 2 (frames
+// × features) and rank 3 (channels × frames × bins) views, so the type stays
+// deliberately simple: no strides, no broadcasting, no views. Shapes are
+// checked with NEC_CHECK at the API boundary.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace nec::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape);
+
+  static Tensor Zeros(std::vector<std::size_t> shape);
+  /// Gaussian init with the given standard deviation.
+  static Tensor Randn(std::vector<std::size_t> shape, Rng& rng,
+                      float stddev);
+  /// Kaiming/He initialization for a layer with `fan_in` inputs.
+  static Tensor KaimingNormal(std::vector<std::size_t> shape, Rng& rng,
+                              std::size_t fan_in);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_[i]; }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D accessor (rank must be 2).
+  float& At(std::size_t r, std::size_t c) {
+    return data_[r * shape_[1] + c];
+  }
+  float At(std::size_t r, std::size_t c) const {
+    return data_[r * shape_[1] + c];
+  }
+
+  /// 3-D accessor (rank must be 3): (c, h, w).
+  float& At3(std::size_t c, std::size_t h, std::size_t w) {
+    return data_[(c * shape_[1] + h) * shape_[2] + w];
+  }
+  float At3(std::size_t c, std::size_t h, std::size_t w) const {
+    return data_[(c * shape_[1] + h) * shape_[2] + w];
+  }
+
+  void Fill(float v);
+  /// Reinterprets the buffer with a new shape of identical element count.
+  void Reshape(std::vector<std::size_t> shape);
+
+  /// Elementwise in-place operations.
+  void Add(const Tensor& other);          // this += other
+  void AddScaled(const Tensor& other, float s);  // this += s*other
+  void Scale(float s);
+
+  /// L2 norm of the flattened tensor.
+  float Norm() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace nec::nn

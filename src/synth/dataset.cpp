@@ -1,0 +1,140 @@
+#include "synth/dataset.h"
+
+#include <cmath>
+
+#include "audio/level.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "synth/lexicon.h"
+
+namespace nec::synth {
+
+std::string_view ScenarioName(Scenario s) {
+  switch (s) {
+    case Scenario::kJointConversation: return "joint";
+    case Scenario::kBabble: return "babble";
+    case Scenario::kFactory: return "factory";
+    case Scenario::kVehicle: return "vehicle";
+    case Scenario::kWhite: return "white";
+  }
+  return "unknown";
+}
+
+DatasetBuilder::DatasetBuilder(DatasetOptions options)
+    : options_(options),
+      synth_({.sample_rate = options.sample_rate}) {
+  NEC_CHECK(options_.duration_s > 0.2);
+}
+
+std::size_t DatasetBuilder::NumSamples() const {
+  return static_cast<std::size_t>(options_.duration_s *
+                                  options_.sample_rate);
+}
+
+std::vector<SpeakerProfile> DatasetBuilder::MakeSpeakers(
+    std::size_t count, std::uint64_t base_seed) {
+  std::vector<SpeakerProfile> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(SpeakerProfile::FromSeed(base_seed + i * 7919));
+  }
+  return out;
+}
+
+std::vector<audio::Waveform> DatasetBuilder::MakeReferenceAudios(
+    const SpeakerProfile& speaker, std::size_t count,
+    std::uint64_t seed) const {
+  Rng rng(seed ^ 0xA24BAED4963EE407ULL);
+  std::vector<audio::Waveform> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Utterance utt = MakeUtterance(speaker, rng.NextSeed());
+    out.push_back(std::move(utt.wave));
+  }
+  return out;
+}
+
+Utterance DatasetBuilder::MakeUtterance(const SpeakerProfile& speaker,
+                                        std::uint64_t seed) const {
+  const Lexicon& lex = Lexicon::Default();
+  Rng rng(seed);
+  const std::size_t target_len = NumSamples();
+
+  // Keep adding words until the utterance fills the configured duration,
+  // then trim to the exact clip length.
+  Utterance utt = synth_.SynthesizeWords(
+      speaker, lex.RandomSentence(rng, options_.words_per_utterance),
+      rng.NextSeed());
+  while (utt.wave.size() < target_len) {
+    Utterance more = synth_.SynthesizeWords(
+        speaker, lex.RandomSentence(rng, 3), rng.NextSeed());
+    const std::size_t offset = utt.wave.size();
+    utt.wave.Append(more.wave);
+    for (WordTiming tm : more.timings) {
+      tm.start_sample += offset;
+      tm.end_sample += offset;
+      utt.timings.push_back(std::move(tm));
+    }
+  }
+  utt.wave.ResizeTo(target_len);
+  // Drop timings that fall past the trim point.
+  while (!utt.timings.empty() &&
+         utt.timings.back().start_sample >= target_len) {
+    utt.timings.pop_back();
+  }
+  return utt;
+}
+
+MixInstance DatasetBuilder::MakeInstance(
+    const SpeakerProfile& target, Scenario scenario, std::uint64_t seed,
+    const SpeakerProfile* interferer) const {
+  Rng rng(seed ^ 0x94D049BB133111EBULL);
+  const std::size_t n = NumSamples();
+
+  MixInstance inst;
+  inst.scenario = scenario;
+
+  Utterance target_utt = MakeUtterance(target, rng.NextSeed());
+  inst.target = std::move(target_utt.wave);
+  for (const WordTiming& tm : target_utt.timings)
+    inst.target_words.push_back(tm.word);
+
+  if (scenario == Scenario::kJointConversation) {
+    NEC_CHECK_MSG(interferer != nullptr,
+                  "joint-conversation instances need an interferer speaker");
+    Utterance bk_utt = MakeUtterance(*interferer, rng.NextSeed());
+    inst.background = std::move(bk_utt.wave);
+    for (const WordTiming& tm : bk_utt.timings)
+      inst.background_words.push_back(tm.word);
+  } else {
+    NoiseType type = NoiseType::kWhite;
+    switch (scenario) {
+      case Scenario::kBabble: type = NoiseType::kBabble; break;
+      case Scenario::kFactory: type = NoiseType::kFactory; break;
+      case Scenario::kVehicle: type = NoiseType::kVehicle; break;
+      case Scenario::kWhite: type = NoiseType::kWhite; break;
+      case Scenario::kJointConversation: break;  // unreachable
+    }
+    inst.background =
+        GenerateNoise(type, options_.sample_rate, n, rng.NextSeed());
+  }
+
+  // Scale the background for the configured SNR (target power relative to
+  // background power).
+  const float t_rms = inst.target.Rms();
+  const float b_rms = inst.background.Rms();
+  if (t_rms > 0 && b_rms > 0) {
+    const float desired_b_rms =
+        t_rms / static_cast<float>(
+                    audio::DbToAmplitude(options_.background_snr_db));
+    inst.background.Scale(desired_b_rms / b_rms);
+  }
+
+  inst.mixed = audio::Mix(inst.target, inst.background);
+  inst.mixed.ResizeTo(n);
+  inst.target.ResizeTo(n);
+  inst.background.ResizeTo(n);
+  return inst;
+}
+
+}  // namespace nec::synth

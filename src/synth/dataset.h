@@ -1,0 +1,85 @@
+// Benchmark corpus builder — the Table I substitute.
+//
+// Produces mixed-audio instances with ground-truth stems: the target
+// speaker's clean utterance (S_Bob), the background (S_bk: another
+// speaker's utterance for "Joint Conversation", or a NOISEX-style noise
+// bed), and their sum (S_mixed). The training and evaluation pipelines
+// consume these instances; reference audios for speaker enrollment are
+// generated from the same speaker with disjoint content seeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audio/waveform.h"
+#include "synth/noise.h"
+#include "synth/speaker.h"
+#include "synth/synthesizer.h"
+
+namespace nec::synth {
+
+/// Evaluation scenario — the rows of Table I / x-axis of Fig. 11.
+enum class Scenario {
+  kJointConversation,  ///< two speakers talking jointly (0–8 kHz)
+  kBabble,             ///< 100 people whispering (0–4 kHz)
+  kFactory,            ///< production hall (0–2 kHz)
+  kVehicle,            ///< vehicle at 120 km/h (0–500 Hz)
+  kWhite,              ///< broadband white (jammer baseline experiments)
+};
+
+std::string_view ScenarioName(Scenario s);
+
+/// One evaluation instance with ground-truth stems.
+struct MixInstance {
+  audio::Waveform mixed;       ///< target + background (what a mic hears)
+  audio::Waveform target;      ///< Bob's clean voice (to be cancelled)
+  audio::Waveform background;  ///< everything that must survive
+  std::vector<std::string> target_words;
+  std::vector<std::string> background_words;  ///< empty for noise scenarios
+  Scenario scenario = Scenario::kJointConversation;
+};
+
+struct DatasetOptions {
+  int sample_rate = 16000;
+  double duration_s = 3.0;       ///< paper: 3 s clips
+  double background_snr_db = 0.0;  ///< target-vs-background power ratio
+  std::size_t words_per_utterance = 6;
+};
+
+class DatasetBuilder {
+ public:
+  explicit DatasetBuilder(DatasetOptions options = {});
+
+  /// Deterministic pool of distinct speaker identities.
+  static std::vector<SpeakerProfile> MakeSpeakers(std::size_t count,
+                                                  std::uint64_t base_seed);
+
+  /// `count` reference audios for speaker enrollment (paper: 3 clips of
+  /// 3 s). Content is random and disjoint from evaluation seeds.
+  std::vector<audio::Waveform> MakeReferenceAudios(
+      const SpeakerProfile& speaker, std::size_t count,
+      std::uint64_t seed) const;
+
+  /// Builds one mixed instance for `target` under `scenario`. For
+  /// kJointConversation, `interferer` supplies the second voice (required);
+  /// for noise scenarios it is ignored.
+  MixInstance MakeInstance(const SpeakerProfile& target, Scenario scenario,
+                           std::uint64_t seed,
+                           const SpeakerProfile* interferer = nullptr) const;
+
+  /// A clean utterance of the exact configured duration.
+  Utterance MakeUtterance(const SpeakerProfile& speaker,
+                          std::uint64_t seed) const;
+
+  const DatasetOptions& options() const { return options_; }
+  const Synthesizer& synthesizer() const { return synth_; }
+
+ private:
+  std::size_t NumSamples() const;
+
+  DatasetOptions options_;
+  Synthesizer synth_;
+};
+
+}  // namespace nec::synth

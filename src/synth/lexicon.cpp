@@ -1,0 +1,285 @@
+#include "synth/lexicon.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/check.h"
+
+namespace nec::synth {
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+struct RawEntry {
+  const char* word;
+  const char* phonemes;  // space-separated ARPABET labels
+};
+
+// CMUdict-style transcriptions restricted to our phoneme inventory.
+const RawEntry kRawLexicon[] = {
+    // §III calibration sentences.
+    {"my", "M AY"},
+    {"ideal", "AY D IY AH L"},
+    {"morning", "M AO R N IH NG"},
+    {"begins", "B IH G IH N Z"},
+    {"with", "W IH TH"},
+    {"hot", "HH AA T"},
+    {"coffee", "K AO F IY"},
+    {"don't", "D OW N T"},
+    {"ask", "AE S K"},
+    {"me", "M IY"},
+    {"to", "T UW"},
+    {"carry", "K AE R IY"},
+    {"an", "AE N"},
+    {"oily", "OY L IY"},
+    {"rag", "R AE G"},
+    {"like", "L AY K"},
+    {"that", "DH AE T"},
+    // Function words.
+    {"the", "DH AH"},
+    {"a", "AH"},
+    {"and", "AE N D"},
+    {"is", "IH Z"},
+    {"was", "W AA Z"},
+    {"are", "AA R"},
+    {"be", "B IY"},
+    {"have", "HH AE V"},
+    {"has", "HH AE Z"},
+    {"it", "IH T"},
+    {"you", "Y UW"},
+    {"we", "W IY"},
+    {"they", "DH EY"},
+    {"he", "HH IY"},
+    {"she", "SH IY"},
+    {"this", "DH IH S"},
+    {"for", "F AO R"},
+    {"not", "N AA T"},
+    {"on", "AA N"},
+    {"at", "AE T"},
+    {"by", "B AY"},
+    {"from", "F R AH M"},
+    {"up", "AH P"},
+    {"down", "D AW N"},
+    {"out", "AW T"},
+    {"about", "AH B AW T"},
+    {"into", "IH N T UW"},
+    {"over", "OW V ER"},
+    {"after", "AE F T ER"},
+    // Time and daily life.
+    {"time", "T AY M"},
+    {"day", "D EY"},
+    {"night", "N AY T"},
+    {"week", "W IY K"},
+    {"year", "Y IH R"},
+    {"today", "T AH D EY"},
+    {"tomorrow", "T AH M AA R OW"},
+    {"evening", "IY V N IH NG"},
+    {"people", "P IY P AH L"},
+    {"way", "W EY"},
+    {"water", "W AO T ER"},
+    {"weather", "W EH DH ER"},
+    {"sunny", "S AH N IY"},
+    {"rain", "R EY N"},
+    {"cold", "K OW L D"},
+    {"warm", "W AO R M"},
+    // Communication / privacy-themed vocabulary (the paper's scenario).
+    {"call", "K AO L"},
+    {"phone", "F OW N"},
+    {"meeting", "M IY T IH NG"},
+    {"work", "W ER K"},
+    {"office", "AO F IH S"},
+    {"home", "HH OW M"},
+    {"money", "M AH N IY"},
+    {"bank", "B AE NG K"},
+    {"secret", "S IY K R IH T"},
+    {"private", "P R AY V AH T"},
+    {"voice", "V OY S"},
+    {"record", "R EH K ER D"},
+    {"sound", "S AW N D"},
+    {"speak", "S P IY K"},
+    {"talk", "T AO K"},
+    {"listen", "L IH S AH N"},
+    {"hear", "HH IY R"},
+    {"say", "S EY"},
+    {"tell", "T EH L"},
+    {"email", "IY M EY L"},
+    {"letter", "L EH T ER"},
+    {"paper", "P EY P ER"},
+    {"book", "B UH K"},
+    {"read", "R IY D"},
+    {"write", "R AY T"},
+    {"number", "N AH M B ER"},
+    // Adjectives.
+    {"good", "G UH D"},
+    {"bad", "B AE D"},
+    {"big", "B IH G"},
+    {"small", "S M AO L"},
+    {"new", "N UW"},
+    {"old", "OW L D"},
+    {"long", "L AO NG"},
+    {"high", "HH AY"},
+    {"low", "L OW"},
+    {"right", "R AY T"},
+    {"left", "L EH F T"},
+    {"green", "G R IY N"},
+    {"blue", "B L UW"},
+    {"red", "R EH D"},
+    {"white", "W AY T"},
+    {"black", "B L AE K"},
+    {"yellow", "Y EH L OW"},
+    // Numbers.
+    {"one", "W AH N"},
+    {"two", "T UW"},
+    {"three", "TH R IY"},
+    {"four", "F AO R"},
+    {"five", "F AY V"},
+    {"six", "S IH K S"},
+    {"seven", "S EH V AH N"},
+    {"eight", "EY T"},
+    {"nine", "N AY N"},
+    {"ten", "T EH N"},
+    // Verbs and nouns for generated chatter.
+    {"please", "P L IY Z"},
+    {"thank", "TH AE NG K"},
+    {"hello", "HH EH L OW"},
+    {"tea", "T IY"},
+    {"dinner", "D IH N ER"},
+    {"city", "S IH T IY"},
+    {"street", "S T R IY T"},
+    {"car", "K AA R"},
+    {"drive", "D R AY V"},
+    {"train", "T R EY N"},
+    {"walk", "W AO K"},
+    {"run", "R AH N"},
+    {"open", "OW P AH N"},
+    {"close", "K L OW Z"},
+    {"start", "S T AA R T"},
+    {"stop", "S T AA P"},
+    {"go", "G OW"},
+    {"come", "K AH M"},
+    {"see", "S IY"},
+    {"look", "L UH K"},
+    {"find", "F AY N D"},
+    {"give", "G IH V"},
+    {"take", "T EY K"},
+    {"make", "M EY K"},
+    {"know", "N OW"},
+    {"think", "TH IH NG K"},
+    {"feel", "F IY L"},
+    {"need", "N IY D"},
+    {"want", "W AA N T"},
+    {"help", "HH EH L P"},
+    {"send", "S EH N D"},
+    {"house", "HH AW S"},
+    {"door", "D AO R"},
+    {"window", "W IH N D OW"},
+    {"table", "T EY B AH L"},
+    {"room", "R UW M"},
+    {"family", "F AE M AH L IY"},
+    {"friend", "F R EH N D"},
+    {"mother", "M AH DH ER"},
+    {"father", "F AA DH ER"},
+    {"sister", "S IH S T ER"},
+    {"brother", "B R AH DH ER"},
+    {"baby", "B EY B IY"},
+    {"boy", "B OY"},
+    {"girl", "G ER L"},
+    {"man", "M AE N"},
+    {"woman", "W UH M AH N"},
+    {"doctor", "D AA K T ER"},
+    {"student", "S T UW D AH N T"},
+    {"music", "M Y UW Z IH K"},
+    {"play", "P L EY"},
+    {"game", "G EY M"},
+    {"food", "F UW D"},
+    {"bread", "B R EH D"},
+    {"milk", "M IH L K"},
+    {"sugar", "SH UH G ER"},
+    {"apple", "AE P AH L"},
+};
+
+}  // namespace
+
+Lexicon::Lexicon() {
+  entries_.reserve(std::size(kRawLexicon));
+  for (const RawEntry& raw : kRawLexicon) {
+    Entry e;
+    e.word = raw.word;
+    std::string_view rest(raw.phonemes);
+    while (!rest.empty()) {
+      const std::size_t sp = rest.find(' ');
+      const std::string_view tok = rest.substr(0, sp);
+      NEC_CHECK_MSG(FindPhoneme(tok).has_value(),
+                    "lexicon entry '" << raw.word
+                                      << "' uses unknown phoneme " << tok);
+      e.phoneme_names.emplace_back(tok);
+      rest = sp == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(sp + 1);
+    }
+    entries_.push_back(std::move(e));
+    words_.emplace_back(raw.word);
+  }
+  std::sort(words_.begin(), words_.end());
+}
+
+const Lexicon& Lexicon::Default() {
+  static const Lexicon instance;
+  return instance;
+}
+
+std::optional<std::vector<Phoneme>> Lexicon::Lookup(
+    std::string_view word) const {
+  const std::string key = ToLower(word);
+  for (const Entry& e : entries_) {
+    if (e.word == key) {
+      std::vector<Phoneme> out;
+      out.reserve(e.phoneme_names.size());
+      for (const std::string& name : e.phoneme_names) {
+        out.push_back(*FindPhoneme(name));
+      }
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Lexicon::Contains(std::string_view word) const {
+  const std::string key = ToLower(word);
+  return std::binary_search(words_.begin(), words_.end(), key);
+}
+
+std::vector<std::string> Lexicon::RandomSentence(
+    Rng& rng, std::size_t num_words) const {
+  std::vector<std::string> out;
+  out.reserve(num_words);
+  for (std::size_t i = 0; i < num_words; ++i) {
+    out.push_back(
+        words_[static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<int>(words_.size()) - 1))]);
+  }
+  return out;
+}
+
+std::vector<std::string> Lexicon::Tokenize(std::string_view sentence) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : sentence) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        out.push_back(ToLower(cur));
+        cur.clear();
+      }
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '\'') {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(ToLower(cur));
+  return out;
+}
+
+}  // namespace nec::synth

@@ -1,0 +1,52 @@
+// Pronunciation lexicon for the synthesizer and the template ASR.
+//
+// Covers the two calibration sentences the paper uses in §III ("my ideal
+// morning begins with hot coffee", "don't ask me to carry an oily rag like
+// that") plus ~120 everyday words used to generate random conversation
+// content for the benchmark corpus. The same lexicon feeds the DTW-based
+// ASR substitute: its recognizable vocabulary is exactly this word list.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "synth/phoneme.h"
+
+namespace nec::synth {
+
+class Lexicon {
+ public:
+  /// Process-wide default lexicon.
+  static const Lexicon& Default();
+
+  /// Phoneme sequence for `word` (case-insensitive); nullopt if unknown.
+  std::optional<std::vector<Phoneme>> Lookup(std::string_view word) const;
+
+  bool Contains(std::string_view word) const;
+
+  /// All known words, sorted.
+  const std::vector<std::string>& Words() const { return words_; }
+
+  /// Draws `num_words` words uniformly (with replacement) — the random
+  /// "conversation" generator for the benchmark corpus.
+  std::vector<std::string> RandomSentence(Rng& rng,
+                                          std::size_t num_words) const;
+
+  /// Splits a space-separated sentence into lowercase words.
+  static std::vector<std::string> Tokenize(std::string_view sentence);
+
+ private:
+  Lexicon();
+
+  struct Entry {
+    std::string word;
+    std::vector<std::string> phoneme_names;
+  };
+  std::vector<Entry> entries_;
+  std::vector<std::string> words_;
+};
+
+}  // namespace nec::synth

@@ -1,0 +1,128 @@
+#include "synth/noise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "dsp/biquad.h"
+#include "synth/lexicon.h"
+#include "synth/speaker.h"
+#include "synth/synthesizer.h"
+
+namespace nec::synth {
+namespace {
+
+constexpr float kTargetRms = 0.1f;
+
+audio::Waveform White(int fs, std::size_t n, Rng& rng) {
+  audio::Waveform w(fs, n);
+  for (std::size_t i = 0; i < n; ++i) w[i] = rng.GaussianF(0.0f, 1.0f);
+  return w;
+}
+
+audio::Waveform Babble(int fs, std::size_t n, Rng& rng) {
+  // Overlapping synthetic speakers at staggered offsets. A dozen voices at
+  // matched levels is enough for the spectral texture of a crowd.
+  constexpr int kVoices = 12;
+  audio::Waveform mix(fs, n);
+  Synthesizer synth({.sample_rate = fs, .target_rms = 0.1});
+  const Lexicon& lex = Lexicon::Default();
+  for (int v = 0; v < kVoices; ++v) {
+    const SpeakerProfile spk = SpeakerProfile::FromSeed(rng.NextSeed());
+    std::size_t cursor =
+        static_cast<std::size_t>(rng.UniformInt(0, static_cast<int>(fs / 2)));
+    Rng srng(rng.NextSeed());
+    while (cursor < n) {
+      const auto words = lex.RandomSentence(srng, srng.UniformInt(3, 7));
+      const Utterance utt = synth.SynthesizeWords(spk, words, srng.NextSeed());
+      mix.MixIn(utt.wave, cursor, 1.0f / kVoices);
+      cursor += utt.wave.size() + static_cast<std::size_t>(fs / 8);
+    }
+  }
+  // Keep the babble band below ~4 kHz as in NOISEX babble.
+  auto lp = dsp::DesignButterworthLowPass(4, 3800.0, fs);
+  lp.ProcessBuffer(mix.samples());
+  return mix;
+}
+
+audio::Waveform Factory(int fs, std::size_t n, Rng& rng) {
+  audio::Waveform w(fs, n);
+  // Broadband machinery floor.
+  for (std::size_t i = 0; i < n; ++i) w[i] = rng.GaussianF(0.0f, 0.6f);
+  auto lp = dsp::DesignButterworthLowPass(8, 1500.0, fs);
+  lp.ProcessBuffer(w.samples());
+
+  // Periodic impacts: Poisson hammer blows ringing through a resonator.
+  dsp::Biquad ring = dsp::DesignResonator(420.0, 80.0, fs);
+  double next_hit = rng.Uniform(0.0, 0.25) * fs;
+  for (std::size_t i = 0; i < n; ++i) {
+    float impulse = 0.0f;
+    if (static_cast<double>(i) >= next_hit) {
+      impulse = rng.UniformF(2.0f, 5.0f);
+      next_hit += rng.Uniform(0.12, 0.5) * fs;
+    }
+    w[i] += ring.Process(impulse);
+  }
+  return w;
+}
+
+audio::Waveform Vehicle(int fs, std::size_t n, Rng& rng) {
+  audio::Waveform w(fs, n);
+  // Leaky-integrated white noise ≈ brown rumble.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc = 0.999 * acc + rng.Gaussian(0.0, 1.0);
+    w[i] = static_cast<float>(acc * 0.02);
+  }
+  // Engine firing harmonics around 35 Hz with slow drift (~120 km/h cruise).
+  double phase = 0.0, f_eng = 35.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    f_eng += rng.Gaussian(0.0, 0.002);
+    f_eng = std::clamp(f_eng, 30.0, 42.0);
+    phase += f_eng / fs;
+    w[i] += static_cast<float>(0.3 * std::sin(2.0 * std::numbers::pi * phase) +
+                               0.12 * std::sin(4.0 * std::numbers::pi * phase));
+  }
+  auto lp = dsp::DesignButterworthLowPass(4, 480.0, fs);
+  lp.ProcessBuffer(w.samples());
+  return w;
+}
+
+}  // namespace
+
+std::string_view NoiseTypeName(NoiseType type) {
+  switch (type) {
+    case NoiseType::kWhite: return "white";
+    case NoiseType::kBabble: return "babble";
+    case NoiseType::kFactory: return "factory";
+    case NoiseType::kVehicle: return "vehicle";
+  }
+  return "unknown";
+}
+
+audio::Waveform GenerateNoise(NoiseType type, int sample_rate,
+                              std::size_t num_samples, std::uint64_t seed) {
+  NEC_CHECK(sample_rate >= 8000);
+  Rng rng(seed ^ 0xD1B54A32D192ED03ULL);
+  audio::Waveform w(sample_rate, std::size_t{0});
+  switch (type) {
+    case NoiseType::kWhite:
+      w = White(sample_rate, num_samples, rng);
+      break;
+    case NoiseType::kBabble:
+      w = Babble(sample_rate, num_samples, rng);
+      break;
+    case NoiseType::kFactory:
+      w = Factory(sample_rate, num_samples, rng);
+      break;
+    case NoiseType::kVehicle:
+      w = Vehicle(sample_rate, num_samples, rng);
+      break;
+  }
+  w.NormalizeRms(kTargetRms);
+  return w;
+}
+
+}  // namespace nec::synth

@@ -1,0 +1,32 @@
+// Environmental noise generators — the NOISEX-92 substitute.
+//
+// Table I of the paper characterizes the noise classes by their occupied
+// band: Babble 0–4 kHz (100 people whispering), Factory 0–2 kHz (production
+// hall), Vehicle 0–500 Hz (car at 120 km/h), plus broadband white noise used
+// by the jammer baseline. Each generator below is shaped to the same band
+// and texture.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "audio/waveform.h"
+
+namespace nec::synth {
+
+enum class NoiseType {
+  kWhite,    ///< flat broadband
+  kBabble,   ///< many overlapping voices, energy below ~4 kHz
+  kFactory,  ///< machinery: periodic impacts + broadband below ~2 kHz
+  kVehicle,  ///< low-frequency rumble below ~500 Hz + engine harmonics
+};
+
+/// Human-readable label ("white", "babble", ...).
+std::string_view NoiseTypeName(NoiseType type);
+
+/// Generates `num_samples` of the given noise class at `sample_rate`,
+/// normalized to RMS 0.1. Deterministic in `seed`.
+audio::Waveform GenerateNoise(NoiseType type, int sample_rate,
+                              std::size_t num_samples, std::uint64_t seed);
+
+}  // namespace nec::synth

@@ -1,0 +1,69 @@
+#include "synth/phoneme.h"
+
+namespace nec::synth {
+namespace {
+
+// Vowel formants follow the classic Peterson & Barney (1952) measurements
+// for adult male speakers; consonant loci are standard synthesis values
+// (Klatt 1980). Durations are mid-range values from phonetic duration
+// studies (the paper cites 5–670 ms for phoneme lengths).
+const std::vector<Phoneme> kInventory = {
+    // name  type                    voiced  f1    f2    f3    dur   nlo   nhi    amp
+    {"IY", PhonemeType::kVowel, true, 270, 2290, 3010, 110, 0, 0, 1.00},
+    {"IH", PhonemeType::kVowel, true, 390, 1990, 2550, 90, 0, 0, 0.95},
+    {"EH", PhonemeType::kVowel, true, 530, 1840, 2480, 100, 0, 0, 1.00},
+    {"AE", PhonemeType::kVowel, true, 660, 1720, 2410, 130, 0, 0, 1.00},
+    {"AH", PhonemeType::kVowel, true, 640, 1190, 2390, 90, 0, 0, 0.95},
+    {"AA", PhonemeType::kVowel, true, 730, 1090, 2440, 130, 0, 0, 1.00},
+    {"AO", PhonemeType::kVowel, true, 570, 840, 2410, 120, 0, 0, 1.00},
+    {"UH", PhonemeType::kVowel, true, 440, 1020, 2240, 80, 0, 0, 0.90},
+    {"UW", PhonemeType::kVowel, true, 300, 870, 2240, 110, 0, 0, 0.95},
+    {"ER", PhonemeType::kVowel, true, 490, 1350, 1690, 110, 0, 0, 0.95},
+    {"EY", PhonemeType::kVowel, true, 480, 2080, 2690, 130, 0, 0, 1.00},
+    {"AY", PhonemeType::kVowel, true, 660, 1400, 2500, 150, 0, 0, 1.00},
+    {"OW", PhonemeType::kVowel, true, 540, 980, 2410, 130, 0, 0, 1.00},
+    {"AW", PhonemeType::kVowel, true, 680, 1060, 2400, 150, 0, 0, 1.00},
+    {"OY", PhonemeType::kVowel, true, 550, 1200, 2400, 150, 0, 0, 1.00},
+
+    {"M", PhonemeType::kNasal, true, 250, 1100, 2200, 70, 0, 0, 0.55},
+    {"N", PhonemeType::kNasal, true, 250, 1500, 2400, 65, 0, 0, 0.55},
+    {"NG", PhonemeType::kNasal, true, 250, 1900, 2500, 75, 0, 0, 0.55},
+
+    {"F", PhonemeType::kFricative, false, 0, 0, 0, 90, 1500, 7000, 0.25},
+    {"V", PhonemeType::kFricative, true, 300, 1400, 2400, 60, 1500, 7000, 0.35},
+    {"S", PhonemeType::kFricative, false, 0, 0, 0, 100, 3500, 7800, 0.35},
+    {"Z", PhonemeType::kFricative, true, 280, 1700, 2500, 75, 3500, 7800, 0.40},
+    {"SH", PhonemeType::kFricative, false, 0, 0, 0, 105, 2000, 6500, 0.40},
+    {"TH", PhonemeType::kFricative, false, 0, 0, 0, 85, 1400, 7500, 0.20},
+    {"DH", PhonemeType::kFricative, true, 300, 1400, 2500, 50, 1400, 7500, 0.35},
+    {"HH", PhonemeType::kFricative, false, 0, 0, 0, 60, 500, 4500, 0.20},
+
+    {"P", PhonemeType::kStop, false, 0, 0, 0, 60, 500, 3500, 0.30},
+    {"B", PhonemeType::kStop, true, 300, 900, 2300, 55, 400, 2500, 0.40},
+    {"T", PhonemeType::kStop, false, 0, 0, 0, 60, 2500, 7500, 0.30},
+    {"D", PhonemeType::kStop, true, 300, 1700, 2600, 55, 2000, 6000, 0.40},
+    {"K", PhonemeType::kStop, false, 0, 0, 0, 65, 1500, 4500, 0.30},
+    {"G", PhonemeType::kStop, true, 300, 1600, 2500, 55, 1200, 4000, 0.40},
+
+    {"L", PhonemeType::kApproximant, true, 360, 1300, 2700, 70, 0, 0, 0.70},
+    {"R", PhonemeType::kApproximant, true, 310, 1060, 1380, 75, 0, 0, 0.70},
+    {"W", PhonemeType::kApproximant, true, 290, 610, 2150, 65, 0, 0, 0.65},
+    {"Y", PhonemeType::kApproximant, true, 270, 2100, 3000, 60, 0, 0, 0.65},
+
+    {"SIL", PhonemeType::kSilence, false, 0, 0, 0, 90, 0, 0, 0.0},
+};
+
+}  // namespace
+
+const std::vector<Phoneme>& PhonemeInventory() { return kInventory; }
+
+std::optional<Phoneme> FindPhoneme(std::string_view name) {
+  for (const Phoneme& p : kInventory) {
+    if (p.name == name) return p;
+  }
+  return std::nullopt;
+}
+
+const Phoneme& SilencePhoneme() { return kInventory.back(); }
+
+}  // namespace nec::synth

@@ -1,0 +1,54 @@
+// Phoneme inventory for the parametric voice synthesizer.
+//
+// The paper's core observation (§III) is that speaker identity lives in the
+// formant structure (timbre pattern) of speech, independent of utterance
+// content. Our LibriSpeech substitute therefore synthesizes speech with an
+// explicit source-filter model whose phonemes carry canonical formant
+// targets (Peterson & Barney-style vowel tables); each synthetic speaker
+// perturbs these targets with a stable, speaker-specific transform
+// (speaker.h), which reproduces the "speaker-specific but
+// utterance-independent" property the encoder/selector exploit.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nec::synth {
+
+enum class PhonemeType {
+  kVowel,
+  kNasal,
+  kFricative,
+  kStop,
+  kApproximant,
+  kSilence,
+};
+
+/// One phoneme's canonical acoustic targets.
+struct Phoneme {
+  std::string_view name;  ///< ARPABET-style label
+  PhonemeType type;
+  bool voiced;
+  // First three formant targets in Hz (0 where not applicable).
+  double f1, f2, f3;
+  // Nominal duration in milliseconds (before speaker-rate scaling).
+  double duration_ms;
+  // Frication noise band for fricatives / stop bursts (Hz).
+  double noise_lo, noise_hi;
+  // Relative amplitude (1.0 = vowel reference level).
+  double amplitude;
+};
+
+/// Full inventory (vowels, nasals, fricatives, stops, approximants,
+/// word-gap silence).
+const std::vector<Phoneme>& PhonemeInventory();
+
+/// Looks up a phoneme by name; nullopt if unknown.
+std::optional<Phoneme> FindPhoneme(std::string_view name);
+
+/// The inter-word silence pseudo-phoneme.
+const Phoneme& SilencePhoneme();
+
+}  // namespace nec::synth

@@ -1,0 +1,48 @@
+#include "synth/speaker.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace nec::synth {
+
+SpeakerProfile SpeakerProfile::FromSeed(std::uint64_t seed) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  SpeakerProfile p;
+  p.seed = seed;
+  p.name = "spk-" + std::to_string(seed);
+
+  // Bimodal F0: roughly half "low" voices (85–155 Hz), half "high"
+  // (165–255 Hz) — mirrors the male/female split of the user studies.
+  if (rng.Chance(0.5)) {
+    p.f0_base_hz = rng.Uniform(85.0, 155.0);
+    p.formant_scale = rng.Uniform(0.92, 1.04);
+  } else {
+    p.f0_base_hz = rng.Uniform(165.0, 255.0);
+    p.formant_scale = rng.Uniform(1.02, 1.16);
+  }
+
+  p.f0_range = rng.Uniform(0.10, 0.28);
+  p.vibrato_hz = rng.Uniform(4.0, 6.5);
+  p.vibrato_depth = rng.Uniform(0.004, 0.018);
+  p.jitter = rng.Uniform(0.004, 0.014);
+  p.shimmer = rng.Uniform(0.02, 0.07);
+
+  for (int i = 0; i < 3; ++i) {
+    p.formant_shift[static_cast<std::size_t>(i)] =
+        rng.Uniform(-0.13, 0.13);
+  }
+  p.bandwidth_scale = rng.Uniform(0.72, 1.45);
+  p.breathiness = rng.Uniform(0.004, 0.065);
+  p.speaking_rate = rng.Uniform(0.85, 1.2);
+  p.tilt_lp_hz = rng.Uniform(1700.0, 5300.0);
+  return p;
+}
+
+double SpeakerProfile::AdjustFormant(double f_hz, int i) const {
+  const int idx = std::clamp(i, 0, 2);
+  return f_hz * formant_scale *
+         (1.0 + formant_shift[static_cast<std::size_t>(idx)]);
+}
+
+}  // namespace nec::synth

@@ -1,0 +1,49 @@
+// Synthetic speaker identities.
+//
+// A SpeakerProfile is the stand-in for a LibriSpeech speaker / study
+// volunteer: a stable bundle of vocal-tract parameters derived
+// deterministically from a seed. Identity is carried by exactly the
+// features the paper shows to be speaker-specific but utterance-independent
+// (§III): fundamental frequency, per-formant frequency offsets, a global
+// vocal-tract length scale, formant bandwidths and spectral tilt. Two
+// utterances from the same profile share these; two profiles differ.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace nec::synth {
+
+struct SpeakerProfile {
+  std::uint64_t seed = 0;   ///< identity seed this profile was derived from
+  std::string name;         ///< display label, e.g. "spk-0042"
+
+  double f0_base_hz = 120.0;   ///< median fundamental (≈85–250 Hz)
+  double f0_range = 0.18;      ///< relative prosodic F0 excursion
+  double vibrato_hz = 5.0;     ///< slow F0 modulation rate
+  double vibrato_depth = 0.01; ///< relative vibrato depth
+  double jitter = 0.008;       ///< per-period random F0 perturbation
+  double shimmer = 0.04;       ///< per-period amplitude perturbation
+
+  /// Global vocal-tract length factor: all formants scale by this.
+  double formant_scale = 1.0;
+  /// Idiosyncratic relative offsets for F1..F3 (e.g. +0.06 = +6%).
+  std::array<double, 3> formant_shift = {0.0, 0.0, 0.0};
+  /// Formant bandwidth scale (1.0 → B1..B3 ≈ 60/90/120 Hz).
+  double bandwidth_scale = 1.0;
+
+  double breathiness = 0.02;    ///< aspiration noise mixed into voicing
+  double speaking_rate = 1.0;   ///< 1.0 ≈ 184 words/min (paper's figure)
+  double tilt_lp_hz = 3200.0;   ///< one-pole source-tilt cutoff
+
+  /// Derives a stable profile from a seed. The same seed always yields the
+  /// same speaker; distinct seeds yield distinct formant signatures.
+  static SpeakerProfile FromSeed(std::uint64_t seed);
+
+  /// Speaker-adjusted formant frequency for canonical target `f_hz` of
+  /// formant index `i` (0-based, clamped to 2 for F4+).
+  double AdjustFormant(double f_hz, int i) const;
+};
+
+}  // namespace nec::synth

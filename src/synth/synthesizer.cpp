@@ -1,0 +1,333 @@
+#include "synth/synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace nec::synth {
+namespace {
+
+constexpr double kControlRateHz = 1000.0;  // one control frame per ms
+
+// Canonical -3 dB bandwidths for F1..F3 (Hz); the paper cites 33–79 Hz for
+// formant bandwidths, we use slightly wider values typical of running
+// speech so resonances stay stable under fast formant motion.
+constexpr double kBaseBandwidth[3] = {60.0, 90.0, 120.0};
+
+/// One control frame: targets for the renderer.
+struct ControlFrame {
+  double f[3] = {500.0, 1500.0, 2500.0};  // formant centers (Hz)
+  double voiced_amp = 0.0;                // glottal source amplitude
+  double noise_amp = 0.0;                 // frication amplitude
+  double noise_lo = 500.0, noise_hi = 4000.0;
+  double f0 = 120.0;
+};
+
+/// Two-pole resonator with per-frame coefficient update but persistent
+/// difference-equation state, so formant glides do not click.
+class GlidingResonator {
+ public:
+  void SetTarget(double center_hz, double bandwidth_hz, double fs) {
+    const double r = std::exp(-std::numbers::pi * bandwidth_hz / fs);
+    a1_ = -2.0 * r * std::cos(2.0 * std::numbers::pi * center_hz / fs);
+    a2_ = r * r;
+    // Klatt-style unit DC gain: cascaded resonators then superimpose
+    // formant peaks on the source spectrum without attenuating the
+    // passband between formants.
+    b0_ = 1.0 + a1_ + a2_;
+  }
+
+  double Process(double x) {
+    const double y = b0_ * x - a1_ * y1_ - a2_ * y2_;
+    y2_ = y1_;
+    y1_ = y;
+    return y;
+  }
+
+ private:
+  double b0_ = 1.0, a1_ = 0.0, a2_ = 0.0;
+  double y1_ = 0.0, y2_ = 0.0;
+};
+
+/// One-pole low-pass with persistent state (source tilt / glottal shaping).
+class OnePoleLp {
+ public:
+  void SetCutoff(double cutoff_hz, double fs) {
+    a_ = std::exp(-2.0 * std::numbers::pi * cutoff_hz / fs);
+  }
+  double Process(double x) {
+    y_ = (1.0 - a_) * x + a_ * y_;
+    return y_;
+  }
+
+ private:
+  double a_ = 0.0, y_ = 0.0;
+};
+
+/// Simple state-variable band-pass used for frication noise; coefficients
+/// may change every control frame.
+class NoiseBand {
+ public:
+  void SetBand(double lo, double hi, double fs) {
+    lo = std::clamp(lo, 50.0, fs / 2 - 100.0);
+    hi = std::clamp(hi, lo + 50.0, fs / 2 - 50.0);
+    hp_a_ = std::exp(-2.0 * std::numbers::pi * lo / fs);
+    lp_a_ = std::exp(-2.0 * std::numbers::pi * hi / fs);
+  }
+  double Process(double x) {
+    lp_y_ = (1.0 - lp_a_) * x + lp_a_ * lp_y_;   // low-pass at hi
+    hp_y_ = (1.0 - hp_a_) * lp_y_ + hp_a_ * hp_y_;  // running low at lo
+    return lp_y_ - hp_y_;                        // band = LP(hi) - LP(lo)
+  }
+
+ private:
+  double lp_a_ = 0.0, hp_a_ = 0.0;
+  double lp_y_ = 0.0, hp_y_ = 0.0;
+};
+
+/// Expands one phoneme into control frames appended to `track`.
+/// Returns frames appended.
+std::size_t AppendPhoneme(const Phoneme& ph, const SpeakerProfile& spk,
+                          Rng& rng, std::vector<ControlFrame>& track) {
+  const double dur_scale =
+      (1.0 / spk.speaking_rate) * rng.Uniform(0.85, 1.18);
+  std::size_t frames = static_cast<std::size_t>(
+      std::max(2.0, ph.duration_ms * dur_scale));
+
+  ControlFrame base;
+  if (ph.f1 > 0) {
+    base.f[0] = spk.AdjustFormant(ph.f1, 0);
+    base.f[1] = spk.AdjustFormant(ph.f2, 1);
+    base.f[2] = spk.AdjustFormant(ph.f3, 2);
+  } else if (!track.empty()) {
+    // Noise-only phonemes keep the previous formant state so the resonator
+    // track interpolates smoothly through them.
+    base.f[0] = track.back().f[0];
+    base.f[1] = track.back().f[1];
+    base.f[2] = track.back().f[2];
+  }
+
+  switch (ph.type) {
+    case PhonemeType::kVowel:
+    case PhonemeType::kApproximant:
+      base.voiced_amp = ph.amplitude;
+      break;
+    case PhonemeType::kNasal:
+      base.voiced_amp = ph.amplitude;
+      break;
+    case PhonemeType::kFricative:
+      base.noise_amp = ph.amplitude;
+      base.noise_lo = ph.noise_lo;
+      base.noise_hi = ph.noise_hi;
+      if (ph.voiced) base.voiced_amp = 0.45 * ph.amplitude;
+      break;
+    case PhonemeType::kStop: {
+      // Closure silence followed by a burst: emit closure frames now, then
+      // burst frames below.
+      const std::size_t closure = frames / 2;
+      const std::size_t burst = frames - closure;
+      ControlFrame cl = base;
+      cl.voiced_amp = ph.voiced ? 0.08 * ph.amplitude : 0.0;  // voice bar
+      cl.noise_amp = 0.0;
+      for (std::size_t i = 0; i < closure; ++i) track.push_back(cl);
+      ControlFrame bu = base;
+      bu.noise_amp = 1.6 * ph.amplitude;
+      bu.noise_lo = ph.noise_lo;
+      bu.noise_hi = ph.noise_hi;
+      if (ph.voiced) bu.voiced_amp = 0.5 * ph.amplitude;
+      for (std::size_t i = 0; i < burst; ++i) track.push_back(bu);
+      return frames;
+    }
+    case PhonemeType::kSilence:
+      break;
+  }
+
+  for (std::size_t i = 0; i < frames; ++i) track.push_back(base);
+  return frames;
+}
+
+/// Moving-average smoothing of formant and amplitude tracks — the cheap
+/// coarticulation model (formants glide over ~±12 ms).
+void SmoothTrack(std::vector<ControlFrame>& track) {
+  constexpr int kHalf = 12;
+  const int n = static_cast<int>(track.size());
+  std::vector<ControlFrame> out = track;
+  for (int i = 0; i < n; ++i) {
+    double f[3] = {0, 0, 0};
+    double va = 0.0, na = 0.0;
+    int count = 0;
+    for (int j = std::max(0, i - kHalf); j <= std::min(n - 1, i + kHalf);
+         ++j) {
+      for (int k = 0; k < 3; ++k) f[k] += track[static_cast<std::size_t>(j)].f[k];
+      va += track[static_cast<std::size_t>(j)].voiced_amp;
+      na += track[static_cast<std::size_t>(j)].noise_amp;
+      ++count;
+    }
+    for (int k = 0; k < 3; ++k)
+      out[static_cast<std::size_t>(i)].f[k] = f[k] / count;
+    out[static_cast<std::size_t>(i)].voiced_amp = va / count;
+    out[static_cast<std::size_t>(i)].noise_amp = na / count;
+  }
+  track = std::move(out);
+}
+
+}  // namespace
+
+Synthesizer::Synthesizer(SynthesisOptions options)
+    : options_(options) {
+  NEC_CHECK_MSG(options_.sample_rate >= 8000,
+                "synthesizer needs >= 8 kHz output");
+}
+
+Utterance Synthesizer::SynthesizeWords(
+    const SpeakerProfile& speaker, const std::vector<std::string>& words,
+    std::uint64_t utterance_seed) const {
+  const Lexicon& lex = Lexicon::Default();
+  Rng rng(utterance_seed ^ (speaker.seed * 0x2545F4914F6CDD1DULL));
+
+  // --- Build the control track (1 frame per ms) with word alignment.
+  std::vector<ControlFrame> track;
+  std::vector<std::pair<std::size_t, std::size_t>> word_frames;
+  const std::size_t edge =
+      static_cast<std::size_t>(options_.edge_silence_ms);
+  track.resize(edge);
+
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    const auto phonemes = lex.Lookup(words[w]);
+    if (!phonemes) {
+      throw std::invalid_argument("synthesizer: unknown word '" + words[w] +
+                                  "'");
+    }
+    const std::size_t start = track.size();
+    for (const Phoneme& ph : *phonemes) {
+      AppendPhoneme(ph, speaker, rng, track);
+    }
+    word_frames.emplace_back(start, track.size());
+    if (w + 1 < words.size()) {
+      const std::size_t gap = static_cast<std::size_t>(std::max(
+          60.0, options_.word_gap_ms / speaker.speaking_rate *
+                    rng.Uniform(0.7, 1.5)));
+      track.resize(track.size() + gap);
+    }
+  }
+  track.resize(track.size() + edge);
+  SmoothTrack(track);
+
+  // --- Prosody: smooth random F0 contour with declination.
+  const std::size_t n_frames = track.size();
+  {
+    double phrase = rng.Uniform(-0.5, 0.5);
+    for (std::size_t i = 0; i < n_frames; ++i) {
+      const double pos =
+          static_cast<double>(i) / std::max<std::size_t>(1, n_frames - 1);
+      phrase += rng.Gaussian(0.0, 0.02);
+      phrase *= 0.995;  // mean-reverting random walk
+      const double declination = 1.0 + 0.12 * (0.5 - pos);
+      track[i].f0 = speaker.f0_base_hz * declination *
+                    (1.0 + speaker.f0_range * phrase);
+    }
+  }
+
+  // --- Render at audio rate.
+  const int fs = options_.sample_rate;
+  const double frames_per_sample = kControlRateHz / fs;
+  const std::size_t n_samples = static_cast<std::size_t>(
+      static_cast<double>(n_frames) / frames_per_sample);
+  audio::Waveform wave(fs, n_samples);
+
+  GlidingResonator res[3];
+  OnePoleLp glottal_shape1, glottal_shape2, tilt;
+  glottal_shape1.SetCutoff(900.0, fs);
+  glottal_shape2.SetCutoff(1400.0, fs);
+  tilt.SetCutoff(speaker.tilt_lp_hz, fs);
+  NoiseBand noise_band;
+
+  double phase = 0.0;
+  double period_gain = 1.0;   // shimmer, resampled once per glottal period
+  double period_f0_mult = 1.0;  // jitter
+  std::size_t last_cf = static_cast<std::size_t>(-1);
+  double dc_prev_x = 0.0, dc_prev_y = 0.0;  // DC blocker
+
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    const std::size_t cf_idx = std::min(
+        n_frames - 1, static_cast<std::size_t>(i * frames_per_sample));
+    const ControlFrame& cf = track[cf_idx];
+    if (cf_idx != last_cf) {
+      for (int k = 0; k < 3; ++k) {
+        res[k].SetTarget(
+            cf.f[k],
+            kBaseBandwidth[k] * speaker.bandwidth_scale,
+            fs);
+      }
+      noise_band.SetBand(cf.noise_lo, cf.noise_hi, fs);
+      last_cf = cf_idx;
+    }
+
+    // Glottal source: impulse train with vibrato, jitter and shimmer,
+    // shaped to ≈ -12 dB/oct by two one-pole LPs.
+    const double t = static_cast<double>(i) / fs;
+    const double vibrato =
+        1.0 + speaker.vibrato_depth *
+                  std::sin(2.0 * std::numbers::pi * speaker.vibrato_hz * t);
+    const double f0 = cf.f0 * vibrato * period_f0_mult;
+    phase += f0 / fs;
+    double pulse = 0.0;
+    if (phase >= 1.0) {
+      phase -= 1.0;
+      pulse = 1.0 * period_gain;
+      period_gain = 1.0 + rng.Gaussian(0.0, speaker.shimmer);
+      period_f0_mult = 1.0 + rng.Gaussian(0.0, speaker.jitter);
+    }
+    double voiced = glottal_shape2.Process(glottal_shape1.Process(pulse * 40.0));
+    voiced += speaker.breathiness * rng.Gaussian(0.0, 1.0) *
+              (cf.voiced_amp > 0 ? 1.0 : 0.0);
+    voiced = tilt.Process(voiced);
+
+    // Vocal tract: cascade of three formant resonators.
+    double vt = voiced * cf.voiced_amp;
+    for (int k = 0; k < 3; ++k) vt = res[k].Process(vt);
+
+    // Frication path bypasses the full cascade (front-cavity noise);
+    // a light pass through F3 adds some coloring.
+    const double fric =
+        cf.noise_amp > 0
+            ? cf.noise_amp * 3.5 * noise_band.Process(rng.Gaussian(0.0, 1.0))
+            : 0.0;
+
+    const double x = vt + fric;
+    // DC blocker.
+    const double y = x - dc_prev_x + 0.995 * dc_prev_y;
+    dc_prev_x = x;
+    dc_prev_y = y;
+    wave[i] = static_cast<float>(y);
+  }
+
+  wave.NormalizeRms(static_cast<float>(options_.target_rms));
+
+  // --- Word timings in samples.
+  Utterance utt;
+  utt.wave = std::move(wave);
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    WordTiming tm;
+    tm.word = words[w];
+    tm.start_sample = static_cast<std::size_t>(
+        static_cast<double>(word_frames[w].first) / frames_per_sample);
+    tm.end_sample = static_cast<std::size_t>(
+        static_cast<double>(word_frames[w].second) / frames_per_sample);
+    utt.timings.push_back(std::move(tm));
+  }
+  return utt;
+}
+
+Utterance Synthesizer::SynthesizeSentence(const SpeakerProfile& speaker,
+                                          std::string_view sentence,
+                                          std::uint64_t utterance_seed) const {
+  return SynthesizeWords(speaker, Lexicon::Tokenize(sentence),
+                         utterance_seed);
+}
+
+}  // namespace nec::synth

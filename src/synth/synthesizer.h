@@ -1,0 +1,73 @@
+// Source-filter speech synthesizer — the LibriSpeech / volunteer substitute.
+//
+// Classic cascade formant synthesis (Klatt-style, reduced): a glottal pulse
+// source with speaker-specific F0 contour, jitter/shimmer and spectral
+// tilt, filtered by three time-varying formant resonators whose targets are
+// the speaker-adjusted phoneme formants; fricatives and stop bursts are
+// band-filtered noise. Control parameters are computed on a 1 kHz control
+// track and smoothed for coarticulation, then rendered at audio rate.
+//
+// The output is intentionally "speech-like" rather than natural: what
+// matters for the reproduction is that spectrograms carry stable,
+// speaker-specific formant structure (§III of the paper) and word-level
+// temporal structure the ASR substitute can recognize.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "audio/waveform.h"
+#include "synth/lexicon.h"
+#include "synth/phoneme.h"
+#include "synth/speaker.h"
+
+namespace nec::synth {
+
+struct SynthesisOptions {
+  int sample_rate = 16000;
+  /// Nominal inter-word gap in ms (scaled by speaking rate, randomized).
+  double word_gap_ms = 110.0;
+  /// Target RMS of the rendered utterance (post-normalization).
+  double target_rms = 0.08;
+  /// Leading/trailing silence in ms.
+  double edge_silence_ms = 40.0;
+};
+
+/// Timing of one synthesized word within an utterance (sample indices) —
+/// ground truth for the ASR substitute's templates and WER scoring.
+struct WordTiming {
+  std::string word;
+  std::size_t start_sample = 0;
+  std::size_t end_sample = 0;
+};
+
+/// A rendered utterance plus its word alignment.
+struct Utterance {
+  audio::Waveform wave;
+  std::vector<WordTiming> timings;
+};
+
+class Synthesizer {
+ public:
+  explicit Synthesizer(SynthesisOptions options = {});
+
+  /// Renders `words` in the given speaker's voice. `utterance_seed` drives
+  /// per-utterance prosody randomness only — the speaker identity comes
+  /// entirely from `speaker`. Unknown words throw std::invalid_argument.
+  Utterance SynthesizeWords(const SpeakerProfile& speaker,
+                            const std::vector<std::string>& words,
+                            std::uint64_t utterance_seed) const;
+
+  /// Convenience: tokenizes `sentence` and renders it.
+  Utterance SynthesizeSentence(const SpeakerProfile& speaker,
+                               std::string_view sentence,
+                               std::uint64_t utterance_seed) const;
+
+  const SynthesisOptions& options() const { return options_; }
+
+ private:
+  SynthesisOptions options_;
+};
+
+}  // namespace nec::synth

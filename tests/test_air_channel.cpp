@@ -1,0 +1,92 @@
+// Tests for air propagation: delay, spreading loss, ultrasound absorption.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audio/level.h"
+#include "channel/air_channel.h"
+#include "common/check.h"
+
+namespace nec::channel {
+namespace {
+
+TEST(AirAbsorption, GrowsQuadraticallyWithFrequency) {
+  const double a1k = AirAbsorptionDbPerM(1000.0);
+  const double a8k = AirAbsorptionDbPerM(8000.0);
+  const double a25k = AirAbsorptionDbPerM(25000.0);
+  EXPECT_LT(a1k, 0.02);    // speech band: negligible
+  EXPECT_GT(a25k, 0.8);    // ultrasound: ~1 dB/m
+  EXPECT_LT(a25k, 1.5);
+  EXPECT_GT(a8k, a1k);
+  EXPECT_GT(a25k, a8k);
+}
+
+TEST(AirChannel, DelayMatchesSpeedOfSound) {
+  AirChannel air({.distance_m = 3.43});
+  EXPECT_NEAR(air.DelaySeconds(), 0.01, 1e-6);
+  EXPECT_EQ(air.DelaySamples(16000), 160u);
+  EXPECT_EQ(air.DelaySamples(192000), 1920u);
+}
+
+TEST(AirChannel, SpreadingLossIsInverseDistance) {
+  AirChannel near({.distance_m = 0.05, .ref_distance_m = 0.05,
+                   .absorption_ref_hz = 1000.0});
+  AirChannel far({.distance_m = 5.0, .ref_distance_m = 0.05,
+                  .absorption_ref_hz = 1000.0});
+  // 0.05 → 5 m = 100x distance = -40 dB spreading (minus small absorption).
+  const double drop_db =
+      audio::AmplitudeToDb(far.Gain() / near.Gain());
+  EXPECT_NEAR(drop_db, -40.0, 0.5);
+}
+
+TEST(AirChannel, PaperFig15aSpeechDecay) {
+  // Fig. 15(a): 77 dB_SPL at 5 cm decays to ~43 dB at 5 m. Pure spherical
+  // spreading gives 77 - 40 = 37 dB; the paper's 43 dB includes room
+  // reflections, so we accept the [35, 45] band.
+  AirChannel air({.distance_m = 5.0, .ref_distance_m = 0.05,
+                  .absorption_ref_hz = 1000.0});
+  const double spl_at_5m = 77.0 + audio::AmplitudeToDb(air.Gain());
+  EXPECT_GT(spl_at_5m, 33.0);
+  EXPECT_LT(spl_at_5m, 45.0);
+}
+
+TEST(AirChannel, UltrasoundDiesFasterThanSpeech) {
+  AirChannelConfig speech{.distance_m = 3.0, .absorption_ref_hz = 1000.0};
+  AirChannelConfig ultra{.distance_m = 3.0, .absorption_ref_hz = 27000.0};
+  EXPECT_GT(AirChannel(speech).Gain(), 1.5 * AirChannel(ultra).Gain());
+}
+
+TEST(AirChannel, PropagateDelaysAndScales) {
+  audio::Waveform src(16000, std::vector<float>{1.0f, 0.0f, 0.0f});
+  AirChannel air({.distance_m = 0.343, .ref_distance_m = 0.05,
+                  .absorption_ref_hz = 1000.0});
+  const audio::Waveform out = air.Propagate(src);
+  const std::size_t delay = air.DelaySamples(16000);
+  ASSERT_EQ(out.size(), src.size() + delay);
+  for (std::size_t i = 0; i < delay; ++i) EXPECT_EQ(out[i], 0.0f);
+  EXPECT_NEAR(out[delay], air.Gain(), 1e-6);
+}
+
+TEST(AirChannel, WithinReferenceDistanceNoBoost) {
+  // Closer than the reference distance must not amplify.
+  AirChannel air({.distance_m = 0.01, .ref_distance_m = 0.05});
+  EXPECT_LE(air.Gain(), 1.0);
+}
+
+TEST(AirChannel, RejectsBadConfig) {
+  EXPECT_THROW(AirChannel({.distance_m = 0.0}), nec::CheckError);
+  EXPECT_THROW(AirChannel({.distance_m = 1.0, .ref_distance_m = -0.1}),
+               nec::CheckError);
+}
+
+TEST(AirChannel, GainMonotonicallyDecreasesWithDistance) {
+  double prev = 1e9;
+  for (double d : {0.1, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    AirChannel air({.distance_m = d, .absorption_ref_hz = 27000.0});
+    EXPECT_LT(air.Gain(), prev);
+    prev = air.Gain();
+  }
+}
+
+}  // namespace
+}  // namespace nec::channel

@@ -1,0 +1,122 @@
+// Tests for the adaptive attacker (spectral subtraction) and the carrier
+// auto-selection probe.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/adaptive_attacker.h"
+#include "baselines/white_noise.h"
+#include "common/check.h"
+#include "core/carrier_probe.h"
+#include "metrics/metrics.h"
+#include "synth/dataset.h"
+#include "synth/noise.h"
+
+namespace nec {
+namespace {
+
+TEST(AdaptiveAttacker, RecoversVoiceFromStationaryJamming) {
+  // White-noise jamming is stationary: knowing its average spectrum lets
+  // the attacker claw back intelligibility (the §II threat).
+  synth::DatasetBuilder builder({.duration_s = 2.0});
+  const auto spk = synth::SpeakerProfile::FromSeed(77);
+  const auto utt = builder.MakeUtterance(spk, 3);
+
+  const audio::Waveform jammed =
+      baseline::JamWithWhiteNoise(utt.wave, {.noise_rel_db = 8.0});
+  // The attacker's interference profile: white noise with the jammer's
+  // statistics (a different realization — only the average spectrum
+  // matters for spectral subtraction).
+  audio::Waveform noise_ref = synth::GenerateNoise(
+      synth::NoiseType::kWhite, 16000, utt.wave.size(), 999);
+  noise_ref.NormalizeRms(
+      utt.wave.Rms() *
+      static_cast<float>(std::pow(10.0, 8.0 / 20.0)));
+
+  const audio::Waveform recovered =
+      baseline::SpectralSubtractAttack(jammed, noise_ref);
+  EXPECT_GT(metrics::Sdr(utt.wave.samples(), recovered.samples()),
+            metrics::Sdr(utt.wave.samples(), jammed.samples()) + 2.0);
+}
+
+TEST(AdaptiveAttacker, PreservesLengthAndRate) {
+  synth::DatasetBuilder builder({.duration_s = 1.0});
+  const auto spk = synth::SpeakerProfile::FromSeed(78);
+  const auto utt = builder.MakeUtterance(spk, 4);
+  const auto noise = synth::GenerateNoise(synth::NoiseType::kWhite, 16000,
+                                          8000, 5);
+  const auto out = baseline::SpectralSubtractAttack(utt.wave, noise);
+  EXPECT_EQ(out.size(), utt.wave.size());
+  EXPECT_EQ(out.sample_rate(), 16000);
+}
+
+TEST(AdaptiveAttacker, RejectsRateMismatch) {
+  audio::Waveform a(16000, std::size_t{1000});
+  audio::Waveform b(8000, std::size_t{1000});
+  EXPECT_THROW(baseline::SpectralSubtractAttack(a, b), CheckError);
+}
+
+TEST(AdaptiveAttacker, CannotUndoTargetRemoval) {
+  // Against NEC the "interference" IS the removal of Bob: subtracting an
+  // average spectrum cannot re-create content that is simply absent.
+  // Emulate a NEC'd recording by zeroing Bob entirely (the ideal case)
+  // and let the attacker try to recover Bob with a noise profile.
+  synth::DatasetBuilder builder({.duration_s = 2.0});
+  const auto spks = synth::DatasetBuilder::MakeSpeakers(2, 4242);
+  const auto inst = builder.MakeInstance(
+      spks[0], synth::Scenario::kJointConversation, 6, &spks[1]);
+
+  const audio::Waveform& necd = inst.background;  // Bob fully removed
+  const auto noise = synth::GenerateNoise(synth::NoiseType::kWhite, 16000,
+                                          necd.size(), 7);
+  const audio::Waveform attacked =
+      baseline::SpectralSubtractAttack(necd, noise);
+  // Bob is still unrecoverable.
+  EXPECT_LT(metrics::Sdr(inst.target.samples(), attacked.samples()),
+            -10.0);
+}
+
+TEST(CarrierProbe, FindsDeviceResonance) {
+  const auto& dev = channel::FindDevice("Moto Z4");  // resonance 28 kHz
+  core::CarrierProbeOptions opt;
+  opt.step_hz = 1000.0;
+  opt.probe_duration_s = 0.2;
+  const core::CarrierResponse resp = core::ProbeCarrierResponse(dev, opt);
+  EXPECT_NEAR(resp.best_carrier_hz, dev.us_resonance_hz, 1500.0);
+  EXPECT_LT(resp.band_lo_hz, resp.best_carrier_hz);
+  EXPECT_GT(resp.band_hi_hz, resp.best_carrier_hz);
+}
+
+TEST(CarrierProbe, ResponseCurvePeaksInsideBand) {
+  const auto& dev = channel::FindDevice("iPhone SE2");
+  core::CarrierProbeOptions opt;
+  opt.step_hz = 1000.0;
+  opt.probe_duration_s = 0.2;
+  const auto resp = core::ProbeCarrierResponse(dev, opt);
+  ASSERT_EQ(resp.carrier_hz.size(), resp.demod_level.size());
+  // Levels fall off toward the sweep edges relative to the peak.
+  const double peak =
+      *std::max_element(resp.demod_level.begin(), resp.demod_level.end());
+  EXPECT_LT(resp.demod_level.front(), peak);
+  EXPECT_LT(resp.demod_level.back(), peak);
+}
+
+TEST(CarrierProbe, SelectCarrierForAllLandsInSharedBand) {
+  std::vector<channel::DeviceProfile> devices = {
+      channel::FindDevice("Mi 8 Lite"),     // 27.4 kHz
+      channel::FindDevice("Galaxy S9"),     // 27.2 kHz
+  };
+  core::CarrierProbeOptions opt;
+  opt.step_hz = 1000.0;
+  opt.probe_duration_s = 0.2;
+  const double fc = core::SelectCarrierForAll(devices, opt);
+  EXPECT_GT(fc, 25000.0);
+  EXPECT_LT(fc, 30000.0);
+}
+
+TEST(CarrierProbe, RejectsEmptyDeviceList) {
+  EXPECT_THROW(core::SelectCarrierForAll({}), CheckError);
+}
+
+}  // namespace
+}  // namespace nec

@@ -1,0 +1,140 @@
+// Tests for the comparison-study baselines: white-noise jammer, Patronus
+// scrambling, and the VoiceFilter runtime model.
+#include <gtest/gtest.h>
+
+#include "audio/level.h"
+#include "baselines/patronus.h"
+#include "baselines/voicefilter.h"
+#include "baselines/white_noise.h"
+#include "common/rng.h"
+#include "core/selector.h"
+#include "metrics/metrics.h"
+#include "synth/dataset.h"
+
+namespace nec::baseline {
+namespace {
+
+audio::Waveform SpeechClip(std::uint64_t seed) {
+  synth::DatasetBuilder builder({.duration_s = 1.5});
+  const auto spk = synth::SpeakerProfile::FromSeed(seed);
+  return builder.MakeUtterance(spk, seed + 1).wave;
+}
+
+TEST(WhiteNoiseJammer, NoiseLevelMatchesConfig) {
+  const audio::Waveform clean = SpeechClip(1);
+  const audio::Waveform jammed =
+      JamWithWhiteNoise(clean, {.noise_rel_db = 10.0});
+  // Noise power = 10x signal power → total ≈ 11x.
+  const double ratio = (jammed.Rms() * jammed.Rms()) /
+                       (clean.Rms() * clean.Rms());
+  EXPECT_NEAR(ratio, 11.0, 1.5);
+}
+
+TEST(WhiteNoiseJammer, DegradesSdrSharply) {
+  const audio::Waveform clean = SpeechClip(2);
+  const audio::Waveform jammed = JamWithWhiteNoise(clean, {});
+  EXPECT_LT(metrics::Sdr(clean.samples(), jammed.samples()), -8.0);
+}
+
+TEST(WhiteNoiseJammer, Deterministic) {
+  const audio::Waveform clean = SpeechClip(3);
+  const audio::Waveform a = JamWithWhiteNoise(clean, {.seed = 9});
+  const audio::Waveform b = JamWithWhiteNoise(clean, {.seed = 9});
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Patronus, ScrambleBuriesTheVoice) {
+  Patronus pat;
+  const audio::Waveform clean = SpeechClip(4);
+  const audio::Waveform scrambled = pat.Scramble(clean);
+  ASSERT_EQ(scrambled.size(), clean.size());
+  EXPECT_LT(metrics::Sdr(clean.samples(), scrambled.samples()), -4.0);
+}
+
+TEST(Patronus, AuthorizedRecoveryRestoresMostOfTheVoice) {
+  Patronus pat;
+  const audio::Waveform clean = SpeechClip(5);
+  const audio::Waveform scrambled = pat.Scramble(clean);
+  const audio::Waveform recovered = pat.Recover(scrambled);
+  const double sdr_scrambled =
+      metrics::Sdr(clean.samples(), scrambled.samples());
+  const double sdr_recovered =
+      metrics::Sdr(clean.samples(), recovered.samples());
+  // Recovery helps a lot but stays imperfect (the paper's Fig. 16(b)
+  // shows Alice-Pat below the raw mixed audio).
+  EXPECT_GT(sdr_recovered, sdr_scrambled + 6.0);
+  EXPECT_LT(sdr_recovered, 40.0);
+}
+
+TEST(Patronus, WrongKeyCannotRecover) {
+  Patronus alice({.key = 0xC0FFEE});
+  Patronus eve({.key = 0xBADBEEF});
+  const audio::Waveform clean = SpeechClip(6);
+  const audio::Waveform scrambled = alice.Scramble(clean);
+  const audio::Waveform eve_attempt = eve.Recover(scrambled);
+  const double sdr_scrambled =
+      metrics::Sdr(clean.samples(), scrambled.samples());
+  const double sdr_eve = metrics::Sdr(clean.samples(), eve_attempt.samples());
+  EXPECT_LT(sdr_eve, sdr_scrambled + 3.0);  // no meaningful gain
+}
+
+TEST(Patronus, ScrambleIsBandLimitedToSpeechRange) {
+  Patronus pat;
+  const audio::Waveform scramble = pat.GenerateScramble(16000, 32000);
+  dsp::StftConfig cfg{.fft_size = 512, .win_length = 400,
+                      .hop_length = 160};
+  const dsp::Spectrogram spec = dsp::Stft(scramble, cfg);
+  double in_band = 0.0, out_band = 0.0;
+  for (std::size_t t = 0; t < spec.num_frames(); ++t) {
+    for (std::size_t f = 0; f < spec.num_bins(); ++f) {
+      const double hz = f * 16000.0 / 512;
+      const double e =
+          static_cast<double>(spec.MagAt(t, f)) * spec.MagAt(t, f);
+      if (hz >= 250.0 && hz <= 4200.0) {
+        in_band += e;
+      } else {
+        out_band += e;
+      }
+    }
+  }
+  EXPECT_GT(in_band, 20.0 * out_band);
+}
+
+TEST(VoiceFilter, OutputShapeMatchesSelectorContract) {
+  core::NecConfig cfg = core::NecConfig::Fast();
+  cfg.conv_channels = 6;
+  cfg.fc_hidden = 32;
+  VoiceFilterSelector vf(cfg);
+  nec::Rng rng(7);
+  nn::Tensor in({20, cfg.num_bins()});
+  for (std::size_t i = 0; i < in.numel(); ++i) {
+    in[i] = std::abs(rng.GaussianF());
+  }
+  std::vector<float> dvec(cfg.embedding_dim, 0.1f);
+  const nn::Tensor out = vf.Forward(in, dvec);
+  EXPECT_EQ(out.dim(0), 20u);
+  EXPECT_EQ(out.dim(1), cfg.num_bins());
+}
+
+TEST(VoiceFilter, CostsMoreComputeThanNecSelector) {
+  // Table II's premise: VoiceFilter's LSTM + deeper stack make it several
+  // times heavier than the NEC selector at the same spectrogram geometry.
+  core::NecConfig cfg = core::NecConfig::Fast();
+  cfg.conv_channels = 8;
+  cfg.fc_hidden = 64;
+
+  core::Selector nec_sel(cfg);
+  VoiceFilterSelector vf(cfg);
+  nec::Rng rng(8);
+  nn::Tensor in({30, cfg.num_bins()});
+  for (std::size_t i = 0; i < in.numel(); ++i) {
+    in[i] = std::abs(rng.GaussianF());
+  }
+  std::vector<float> dvec(cfg.embedding_dim, 0.1f);
+  nec_sel.Forward(in, dvec, false);
+  vf.Forward(in, dvec);
+  EXPECT_GT(vf.LastForwardMacs(), nec_sel.LastForwardMacs() * 3 / 2);
+}
+
+}  // namespace
+}  // namespace nec::baseline

@@ -1,0 +1,130 @@
+// Tests for biquad filters and designs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "dsp/biquad.h"
+
+namespace nec::dsp {
+namespace {
+
+// Measures empirical gain of a filter at frequency f by filtering a tone.
+double MeasureGain(Biquad filter, double f_hz, double fs) {
+  const std::size_t n = static_cast<std::size_t>(fs);  // 1 second
+  double in_energy = 0.0, out_energy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x = static_cast<float>(
+        std::sin(2.0 * std::numbers::pi * f_hz * i / fs));
+    const float y = filter.Process(x);
+    if (i > n / 4) {  // skip transient
+      in_energy += static_cast<double>(x) * x;
+      out_energy += static_cast<double>(y) * y;
+    }
+  }
+  return std::sqrt(out_energy / in_energy);
+}
+
+TEST(Biquad, IdentityByDefault) {
+  Biquad b;
+  EXPECT_EQ(b.Process(0.5f), 0.5f);
+  EXPECT_EQ(b.Process(-0.25f), -0.25f);
+}
+
+TEST(Biquad, LowPassAttenuatesHighPassesLow) {
+  Biquad lp = DesignLowPass(1000.0, 16000.0);
+  EXPECT_NEAR(MeasureGain(lp, 100.0, 16000.0), 1.0, 0.02);
+  EXPECT_NEAR(MeasureGain(lp, 1000.0, 16000.0), std::sqrt(0.5), 0.03);
+  EXPECT_LT(MeasureGain(lp, 6000.0, 16000.0), 0.05);
+}
+
+TEST(Biquad, HighPassMirrorsLowPass) {
+  Biquad hp = DesignHighPass(1000.0, 16000.0);
+  EXPECT_LT(MeasureGain(hp, 100.0, 16000.0), 0.05);
+  EXPECT_NEAR(MeasureGain(hp, 6000.0, 16000.0), 1.0, 0.03);
+}
+
+TEST(Biquad, BandPassPeaksAtCenter) {
+  Biquad bp = DesignBandPass(2000.0, 16000.0, 4.0);
+  EXPECT_NEAR(MeasureGain(bp, 2000.0, 16000.0), 1.0, 0.05);
+  EXPECT_LT(MeasureGain(bp, 500.0, 16000.0), 0.3);
+  EXPECT_LT(MeasureGain(bp, 6000.0, 16000.0), 0.3);
+}
+
+TEST(Biquad, PeakingBoostsAtCenterOnly) {
+  Biquad pk = DesignPeaking(1500.0, 16000.0, 2.0, 12.0);
+  EXPECT_NEAR(MeasureGain(pk, 1500.0, 16000.0), std::pow(10.0, 12.0 / 20.0),
+              0.3);
+  EXPECT_NEAR(MeasureGain(pk, 100.0, 16000.0), 1.0, 0.05);
+  EXPECT_NEAR(MeasureGain(pk, 7000.0, 16000.0), 1.0, 0.05);
+}
+
+TEST(Biquad, ResonatorUnitGainAtResonance) {
+  for (double f : {500.0, 1500.0, 2800.0}) {
+    Biquad r = DesignResonator(f, 80.0, 16000.0);
+    EXPECT_NEAR(MeasureGain(r, f, 16000.0), 1.0, 0.1) << "center " << f;
+    EXPECT_LT(MeasureGain(r, f * 2.5, 16000.0), 0.3);
+  }
+}
+
+TEST(Biquad, MagnitudeAtMatchesMeasurement) {
+  Biquad lp = DesignLowPass(2000.0, 16000.0);
+  for (double f : {200.0, 2000.0, 5000.0}) {
+    Biquad copy = lp;
+    EXPECT_NEAR(lp.MagnitudeAt(f, 16000.0), MeasureGain(copy, f, 16000.0),
+                0.03)
+        << "f " << f;
+  }
+}
+
+TEST(Biquad, ResetClearsState) {
+  Biquad lp = DesignLowPass(500.0, 16000.0);
+  for (int i = 0; i < 100; ++i) lp.Process(1.0f);
+  lp.Reset();
+  Biquad fresh = DesignLowPass(500.0, 16000.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(lp.Process(0.5f), fresh.Process(0.5f));
+  }
+}
+
+TEST(Biquad, DesignRejectsBadParameters) {
+  EXPECT_THROW(DesignLowPass(9000.0, 16000.0), nec::CheckError);  // > fs/2
+  EXPECT_THROW(DesignLowPass(-5.0, 16000.0), nec::CheckError);
+  EXPECT_THROW(DesignLowPass(1000.0, 16000.0, -1.0), nec::CheckError);
+  EXPECT_THROW(DesignResonator(500.0, 0.0, 16000.0), nec::CheckError);
+}
+
+TEST(BiquadChain, ButterworthSteeperThanSingleSection) {
+  BiquadChain bw = DesignButterworthLowPass(8, 2000.0, 16000.0);
+  Biquad single = DesignLowPass(2000.0, 16000.0);
+  const double f = 4000.0;
+  EXPECT_LT(bw.MagnitudeAt(f, 16000.0),
+            0.2 * single.MagnitudeAt(f, 16000.0));
+  EXPECT_NEAR(bw.MagnitudeAt(200.0, 16000.0), 1.0, 0.02);
+  // -3 dB at cutoff for Butterworth, independent of order.
+  EXPECT_NEAR(bw.MagnitudeAt(2000.0, 16000.0), std::sqrt(0.5), 0.05);
+}
+
+TEST(BiquadChain, OddOrderRejected) {
+  EXPECT_THROW(DesignButterworthLowPass(3, 1000.0, 16000.0),
+               nec::CheckError);
+}
+
+TEST(BiquadChain, ProcessBufferMatchesSampleWise) {
+  BiquadChain a = DesignButterworthLowPass(4, 3000.0, 16000.0);
+  BiquadChain b = DesignButterworthLowPass(4, 3000.0, 16000.0);
+  std::vector<float> buf(256);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<float>(std::sin(0.1 * i) + 0.3 * std::sin(2.1 * i));
+  }
+  std::vector<float> expect = buf;
+  for (float& s : expect) s = a.Process(s);
+  b.ProcessBuffer(buf);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_FLOAT_EQ(buf[i], expect[i]);
+  }
+}
+
+}  // namespace
+}  // namespace nec::dsp

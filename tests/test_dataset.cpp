@@ -1,0 +1,125 @@
+// Tests for the benchmark corpus builder (Table I substitute).
+#include <gtest/gtest.h>
+
+#include "audio/level.h"
+#include "common/check.h"
+#include "synth/dataset.h"
+
+namespace nec::synth {
+namespace {
+
+TEST(DatasetBuilder, MakeSpeakersAreDistinctAndDeterministic) {
+  const auto a = DatasetBuilder::MakeSpeakers(5, 42);
+  const auto b = DatasetBuilder::MakeSpeakers(5, 42);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a[i].f0_base_hz, b[i].f0_base_hz);
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      EXPECT_NE(a[i].f0_base_hz, a[j].f0_base_hz);
+    }
+  }
+}
+
+TEST(DatasetBuilder, ReferenceAudiosMatchPaperEnrollment) {
+  // Paper: 3 reference clips of 3 s each.
+  DatasetBuilder builder({.duration_s = 3.0});
+  const auto spk = SpeakerProfile::FromSeed(1);
+  const auto refs = builder.MakeReferenceAudios(spk, 3, 7);
+  ASSERT_EQ(refs.size(), 3u);
+  for (const auto& ref : refs) {
+    EXPECT_EQ(ref.size(), 48000u);
+    EXPECT_GT(ref.Rms(), 0.01f);
+  }
+}
+
+TEST(DatasetBuilder, UtteranceFillsExactDuration) {
+  DatasetBuilder builder({.duration_s = 2.0});
+  const auto spk = SpeakerProfile::FromSeed(2);
+  const Utterance utt = builder.MakeUtterance(spk, 5);
+  EXPECT_EQ(utt.wave.size(), 32000u);
+  EXPECT_FALSE(utt.timings.empty());
+  EXPECT_LT(utt.timings.back().start_sample, 32000u);
+}
+
+TEST(DatasetBuilder, MixedEqualsSumOfStems) {
+  DatasetBuilder builder({.duration_s = 1.5});
+  const auto spks = DatasetBuilder::MakeSpeakers(2, 9);
+  const MixInstance inst =
+      builder.MakeInstance(spks[0], Scenario::kJointConversation, 3,
+                           &spks[1]);
+  ASSERT_EQ(inst.mixed.size(), inst.target.size());
+  ASSERT_EQ(inst.mixed.size(), inst.background.size());
+  for (std::size_t i = 0; i < inst.mixed.size(); ++i) {
+    EXPECT_NEAR(inst.mixed[i], inst.target[i] + inst.background[i], 1e-5);
+  }
+}
+
+TEST(DatasetBuilder, SnrSettingControlsStemRatio) {
+  for (double snr : {-6.0, 0.0, 6.0}) {
+    DatasetBuilder builder(
+        {.duration_s = 1.5, .background_snr_db = snr});
+    const auto spks = DatasetBuilder::MakeSpeakers(2, 11);
+    const MixInstance inst =
+        builder.MakeInstance(spks[0], Scenario::kBabble, 3);
+    const double measured =
+        audio::AmplitudeToDb(inst.target.Rms() / inst.background.Rms());
+    EXPECT_NEAR(measured, snr, 0.5) << "snr " << snr;
+  }
+}
+
+TEST(DatasetBuilder, JointRequiresInterferer) {
+  DatasetBuilder builder({.duration_s = 1.0});
+  const auto spk = SpeakerProfile::FromSeed(1);
+  EXPECT_THROW(
+      builder.MakeInstance(spk, Scenario::kJointConversation, 3, nullptr),
+      nec::CheckError);
+}
+
+class DatasetScenarioTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(DatasetScenarioTest, InstanceIsWellFormed) {
+  DatasetBuilder builder({.duration_s = 1.5});
+  const auto spks = DatasetBuilder::MakeSpeakers(2, 13);
+  const MixInstance inst =
+      builder.MakeInstance(spks[0], GetParam(), 5, &spks[1]);
+  EXPECT_EQ(inst.scenario, GetParam());
+  EXPECT_EQ(inst.mixed.size(), 24000u);
+  EXPECT_GT(inst.target.Rms(), 0.0f);
+  EXPECT_GT(inst.background.Rms(), 0.0f);
+  EXPECT_FALSE(inst.target_words.empty());
+  if (GetParam() == Scenario::kJointConversation) {
+    EXPECT_FALSE(inst.background_words.empty());
+  } else {
+    EXPECT_TRUE(inst.background_words.empty());
+  }
+}
+
+TEST_P(DatasetScenarioTest, DeterministicInSeed) {
+  DatasetBuilder builder({.duration_s = 1.0});
+  const auto spks = DatasetBuilder::MakeSpeakers(2, 17);
+  const MixInstance a = builder.MakeInstance(spks[0], GetParam(), 5, &spks[1]);
+  const MixInstance b = builder.MakeInstance(spks[0], GetParam(), 5, &spks[1]);
+  ASSERT_EQ(a.mixed.size(), b.mixed.size());
+  for (std::size_t i = 0; i < a.mixed.size(); ++i) {
+    EXPECT_EQ(a.mixed[i], b.mixed[i]);
+  }
+  EXPECT_EQ(a.target_words, b.target_words);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, DatasetScenarioTest,
+                         ::testing::Values(Scenario::kJointConversation,
+                                           Scenario::kBabble,
+                                           Scenario::kFactory,
+                                           Scenario::kVehicle,
+                                           Scenario::kWhite));
+
+TEST(Scenario, NamesAreStable) {
+  EXPECT_EQ(ScenarioName(Scenario::kJointConversation), "joint");
+  EXPECT_EQ(ScenarioName(Scenario::kBabble), "babble");
+  EXPECT_EQ(ScenarioName(Scenario::kFactory), "factory");
+  EXPECT_EQ(ScenarioName(Scenario::kVehicle), "vehicle");
+  EXPECT_EQ(ScenarioName(Scenario::kWhite), "white");
+}
+
+}  // namespace
+}  // namespace nec::synth

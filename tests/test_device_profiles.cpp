@@ -1,0 +1,99 @@
+// Tests for the Table III device profile table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "channel/device_profile.h"
+
+namespace nec::channel {
+namespace {
+
+TEST(DeviceProfiles, EightDevicesAsInTableIII) {
+  EXPECT_EQ(Table3Devices().size(), 8u);
+}
+
+TEST(DeviceProfiles, PaperColumnsPreserved) {
+  const DeviceProfile& moto = FindDevice("Moto Z4");
+  EXPECT_EQ(moto.brand, "Motorola");
+  EXPECT_EQ(moto.paper_carrier_lo_hz, 24000.0);
+  EXPECT_EQ(moto.paper_carrier_hi_hz, 28000.0);
+  EXPECT_EQ(moto.paper_best_carrier_hz, 28000.0);
+  EXPECT_NEAR(moto.paper_max_distance_m, 3.20, 1e-9);
+
+  const DeviceProfile& ipad = FindDevice("iPad Air 3");
+  EXPECT_NEAR(ipad.paper_max_distance_m, 3.72, 1e-9);
+  const DeviceProfile& iphone_x = FindDevice("iPhone X");
+  EXPECT_NEAR(iphone_x.paper_max_distance_m, 0.43, 1e-9);
+}
+
+TEST(DeviceProfiles, UniqueModels) {
+  std::set<std::string> names;
+  for (const auto& d : Table3Devices()) names.insert(d.model);
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(DeviceProfiles, FindRejectsUnknown) {
+  EXPECT_THROW(FindDevice("Nokia 3310"), std::invalid_argument);
+}
+
+TEST(DeviceProfiles, GainPeaksAtResonance) {
+  for (const auto& d : Table3Devices()) {
+    const double at_res = d.UltrasoundGainAt(d.us_resonance_hz);
+    EXPECT_NEAR(at_res, d.us_gain, 1e-9) << d.model;
+    EXPECT_LT(d.UltrasoundGainAt(d.us_resonance_hz + 8000.0), at_res)
+        << d.model;
+    EXPECT_LT(d.UltrasoundGainAt(d.us_resonance_hz - 8000.0), at_res)
+        << d.model;
+  }
+}
+
+TEST(DeviceProfiles, BandEdgesAreRoughlyMinus10Db) {
+  for (const auto& d : Table3Devices()) {
+    const double edge = d.UltrasoundGainAt(d.us_resonance_hz +
+                                           d.us_bandwidth_hz / 2.0);
+    const double ratio_db = 20.0 * std::log10(edge / d.us_gain);
+    EXPECT_NEAR(ratio_db, -10.0, 1.0) << d.model;
+  }
+}
+
+TEST(DeviceProfiles, NonlinearityStrengthTracksPaperMaxDistance) {
+  // The calibrated a2 * us_gain^2 "demodulation strength" must be ordered
+  // like the paper's max distances — this is what bench_table3_devices
+  // relies on.
+  const auto& devices = Table3Devices();
+  for (const auto& a : devices) {
+    for (const auto& b : devices) {
+      if (a.paper_max_distance_m > b.paper_max_distance_m + 0.3) {
+        EXPECT_GT(a.a2 * a.us_gain * a.us_gain,
+                  b.a2 * b.us_gain * b.us_gain)
+            << a.model << " vs " << b.model;
+      }
+    }
+  }
+}
+
+TEST(DeviceProfiles, ReferenceRecorderIsStronglyNonlinear) {
+  const DeviceProfile ref = ReferenceRecorder();
+  EXPECT_GT(ref.a2, 0.5);
+  EXPECT_GT(ref.us_gain, 0.9);
+}
+
+TEST(DeviceProfiles, IdealLinearRecorderHasNoNonlinearity) {
+  const DeviceProfile lin = IdealLinearRecorder();
+  EXPECT_EQ(lin.a2, 0.0);
+  EXPECT_EQ(lin.a3, 0.0);
+  EXPECT_EQ(lin.a1, 1.0);
+}
+
+TEST(DeviceProfiles, AllCarrierBandsAreUltrasonic) {
+  for (const auto& d : Table3Devices()) {
+    EXPECT_GE(d.paper_carrier_lo_hz, 20000.0) << d.model;
+    EXPECT_LE(d.paper_carrier_hi_hz, 32000.0) << d.model;
+    EXPECT_GT(d.us_resonance_hz, 20000.0) << d.model;
+  }
+}
+
+}  // namespace
+}  // namespace nec::channel

@@ -1,0 +1,77 @@
+// Property tests across all eight Table III device models: each device's
+// microphone must demodulate best near its own resonance, and the
+// calibrated nonlinearity strengths must order the demodulated levels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "channel/device_profile.h"
+#include "channel/microphone.h"
+#include "channel/modulation.h"
+#include "channel/scene.h"
+
+namespace nec::channel {
+namespace {
+
+double DemodRms(const DeviceProfile& dev, double carrier_hz) {
+  audio::Waveform tone(16000, std::size_t{4800});
+  for (std::size_t i = 0; i < tone.size(); ++i) {
+    tone[i] = static_cast<float>(
+        0.5 * std::sin(2.0 * std::numbers::pi * 900.0 * i / 16000.0));
+  }
+  const audio::Waveform mod = ModulateAm(tone, {.carrier_hz = carrier_hz});
+  SceneSimulator sim;
+  MicrophoneModel mic(dev, {.noise_seed = 3});
+  const audio::Waveform rec = sim.Record(
+      {}, {{.wave = &mod, .distance_m = 0.5, .spl_at_ref_db = 110.0,
+            .carrier_hz = carrier_hz}}, mic);
+  return rec.Rms();
+}
+
+class DeviceResponseTest
+    : public ::testing::TestWithParam<DeviceProfile> {};
+
+TEST_P(DeviceResponseTest, ResonanceBeatsBandEdges) {
+  const DeviceProfile& dev = GetParam();
+  const double at_res = DemodRms(dev, dev.us_resonance_hz);
+  // 5 kHz outside the acceptance band: response clearly lower.
+  const double off_hi =
+      DemodRms(dev, dev.us_resonance_hz + dev.us_bandwidth_hz / 2 + 5000);
+  EXPECT_GT(at_res, 1.5 * off_hi) << dev.model;
+}
+
+TEST_P(DeviceResponseTest, DemodulationAboveNoiseFloorAtResonance) {
+  const DeviceProfile& dev = GetParam();
+  const double at_res = DemodRms(dev, dev.us_resonance_hz);
+  // Noise floor of a silent recording for comparison.
+  SceneSimulator sim;
+  MicrophoneModel mic(dev, {.noise_seed = 3});
+  audio::Waveform silence(kAirSampleRate, std::size_t{kAirSampleRate / 3});
+  const double floor = mic.Record(silence).Rms();
+  EXPECT_GT(at_res, 3.0 * floor) << dev.model;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDevices, DeviceResponseTest,
+    ::testing::ValuesIn(Table3Devices()),
+    [](const ::testing::TestParamInfo<DeviceProfile>& info) {
+      std::string name = info.param.model;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(DeviceResponse, StrongestDeviceOutDemodulatesWeakest) {
+  // iPad Air 3 (3.72 m paper range) vs iPhone X (0.43 m): at their own
+  // best carriers, the iPad's recorder must demodulate far more.
+  const double ipad = DemodRms(FindDevice("iPad Air 3"),
+                               FindDevice("iPad Air 3").us_resonance_hz);
+  const double iphone_x = DemodRms(FindDevice("iPhone X"),
+                                   FindDevice("iPhone X").us_resonance_hz);
+  EXPECT_GT(ipad, 3.0 * iphone_x);
+}
+
+}  // namespace
+}  // namespace nec::channel

@@ -1,0 +1,151 @@
+// Tests for the speaker encoders (d-vector module).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/check.h"
+#include "encoder/encoder.h"
+#include "synth/dataset.h"
+
+namespace nec::encoder {
+namespace {
+
+double Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+class EncoderFixture : public ::testing::Test {
+ protected:
+  synth::DatasetBuilder builder_{{.duration_s = 2.0}};
+  std::vector<synth::SpeakerProfile> speakers_ =
+      synth::DatasetBuilder::MakeSpeakers(4, 777);
+
+  audio::Waveform Utt(int spk, std::uint64_t seed) {
+    return builder_.MakeUtterance(speakers_[static_cast<std::size_t>(spk)],
+                                  seed)
+        .wave;
+  }
+};
+
+TEST_F(EncoderFixture, LasEmbeddingIsUnitNorm) {
+  LasEncoder enc;
+  const auto e = enc.Embed(Utt(0, 1));
+  ASSERT_EQ(e.size(), enc.dim());
+  double norm = 0.0;
+  for (float v : e) norm += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+}
+
+TEST_F(EncoderFixture, LasIntraSpeakerBeatsInterSpeaker) {
+  LasEncoder enc;
+  const auto a1 = enc.Embed(Utt(0, 1));
+  const auto a2 = enc.Embed(Utt(0, 2));
+  const auto b1 = enc.Embed(Utt(1, 3));
+  const auto c1 = enc.Embed(Utt(2, 4));
+  const double intra = Cosine(a1, a2);
+  const double inter = std::max(Cosine(a1, b1), Cosine(a1, c1));
+  EXPECT_GT(intra, inter);
+}
+
+TEST_F(EncoderFixture, EmbedReferencesAveragesAndNormalizes) {
+  LasEncoder enc;
+  const std::vector<audio::Waveform> refs = {Utt(0, 10), Utt(0, 11),
+                                             Utt(0, 12)};
+  const auto d = enc.EmbedReferences(refs);
+  double norm = 0.0;
+  for (float v : d) norm += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+  // The enrolled vector is close to each individual embedding.
+  for (const auto& ref : refs) {
+    EXPECT_GT(Cosine(d, enc.Embed(ref)), 0.6);
+  }
+}
+
+TEST_F(EncoderFixture, EmbedReferencesRejectsEmpty) {
+  LasEncoder enc;
+  EXPECT_THROW(enc.EmbedReferences({}), nec::CheckError);
+}
+
+TEST(LasMelFeatures, DimensionAndNormalization) {
+  synth::DatasetBuilder db({.duration_s = 1.0});
+  const auto spk = synth::SpeakerProfile::FromSeed(5);
+  const auto utt = db.MakeUtterance(spk, 9);
+  const auto f = LasMelFeatures(utt.wave, 40);
+  ASSERT_EQ(f.size(), 40u);
+  // Variance-normalized: RMS ≈ 1.
+  double sq = 0.0;
+  for (float v : f) sq += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(sq / f.size()), 1.0, 0.05);
+}
+
+TEST(LasMelFeatures, LoudnessInvariant) {
+  synth::DatasetBuilder db({.duration_s = 1.0});
+  const auto spk = synth::SpeakerProfile::FromSeed(6);
+  auto utt = db.MakeUtterance(spk, 10);
+  const auto f1 = LasMelFeatures(utt.wave, 40);
+  utt.wave.Scale(0.1f);
+  const auto f2 = LasMelFeatures(utt.wave, 40);
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_NEAR(f1[i], f2[i], 0.02f) << i;
+  }
+}
+
+TEST_F(EncoderFixture, NeuralEncoderTrainingImprovesseparation) {
+  NeuralEncoder enc({.num_mels = 40, .hidden = 32, .embedding_dim = 16});
+
+  auto margin = [&] {
+    const auto a1 = enc.Embed(Utt(0, 1));
+    const auto a2 = enc.Embed(Utt(0, 2));
+    const auto b1 = enc.Embed(Utt(1, 3));
+    const auto b2 = enc.Embed(Utt(1, 4));
+    const double intra = 0.5 * (Cosine(a1, a2) + Cosine(b1, b2));
+    const double inter = 0.5 * (Cosine(a1, b1) + Cosine(a2, b2));
+    return intra - inter;
+  };
+
+  const double before = margin();
+  const float loss = enc.Train({.num_speakers = 8,
+                                .utterances_per_speaker = 3,
+                                .steps = 30,
+                                .utterance_s = 1.5,
+                                .seed = 21});
+  const double after = margin();
+  EXPECT_LT(loss, std::log(8.0));  // below chance level
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 0.1);
+}
+
+TEST(NeuralEncoder, SaveLoadRoundTrip) {
+  NeuralEncoder enc({.num_mels = 40, .hidden = 24, .embedding_dim = 12});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "nec_enc_test.necm")
+          .string();
+  enc.Save(path);
+  NeuralEncoder loaded = NeuralEncoder::Load(path);
+  EXPECT_EQ(loaded.config().hidden, 24u);
+  EXPECT_EQ(loaded.config().embedding_dim, 12u);
+
+  synth::DatasetBuilder db({.duration_s = 1.0});
+  const auto spk = synth::SpeakerProfile::FromSeed(8);
+  const auto utt = db.MakeUtterance(spk, 3);
+  const auto a = enc.Embed(utt.wave);
+  const auto b = loaded.Embed(utt.wave);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(NeuralEncoder, EmbeddingIsUnitNorm) {
+  NeuralEncoder enc({});
+  synth::DatasetBuilder db({.duration_s = 1.0});
+  const auto spk = synth::SpeakerProfile::FromSeed(9);
+  const auto e = enc.Embed(db.MakeUtterance(spk, 4).wave);
+  double norm = 0.0;
+  for (float v : e) norm += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace nec::encoder

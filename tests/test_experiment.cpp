@@ -1,0 +1,142 @@
+// Integration tests: the full physical scenario (synthesis → monitor →
+// shadow → ultrasound → microphone) with the deterministic LAS selector —
+// the end-to-end property the whole system exists for.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.h"
+#include "core/experiment.h"
+#include "metrics/metrics.h"
+
+namespace nec::core {
+namespace {
+
+NecConfig SmallConfig() {
+  NecConfig cfg = NecConfig::Fast();
+  cfg.conv_channels = 6;
+  cfg.fc_hidden = 32;
+  return cfg;
+}
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  ExperimentTest()
+      : cfg_(SmallConfig()),
+        pipeline_(Selector(cfg_, 7),
+                  std::make_shared<encoder::LasEncoder>(cfg_.embedding_dim),
+                  {}),
+        builder_({.duration_s = 2.0}),
+        spks_(synth::DatasetBuilder::MakeSpeakers(2, 5150)) {
+    const auto refs = builder_.MakeReferenceAudios(spks_[0], 3, 20);
+    pipeline_.Enroll(refs);
+    inst_ = builder_.MakeInstance(
+        spks_[0], synth::Scenario::kJointConversation, 6, &spks_[1]);
+  }
+
+  NecConfig cfg_;
+  NecPipeline pipeline_;
+  synth::DatasetBuilder builder_;
+  std::vector<synth::SpeakerProfile> spks_;
+  synth::MixInstance inst_;
+  ScenarioRunner runner_;
+};
+
+TEST_F(ExperimentTest, NecHidesBobAndRetainsAlice) {
+  ScenarioSetup setup;
+  setup.selector_kind = SelectorKind::kLasMask;
+  const ScenarioResult res = runner_.Run(pipeline_, inst_, setup);
+
+  const double bob_without = metrics::Sdr(
+      res.bob_at_recorder.samples(), res.recorded_without_nec.samples());
+  const double bob_with = metrics::Sdr(res.bob_at_recorder.samples(),
+                                       res.recorded_with_nec.samples());
+  const double alice_without = metrics::Sdr(
+      res.bk_at_recorder.samples(), res.recorded_without_nec.samples());
+  const double alice_with = metrics::Sdr(res.bk_at_recorder.samples(),
+                                         res.recorded_with_nec.samples());
+
+  // The Fig. 11 shape: Bob's SDR drops sharply; Alice's does not get worse
+  // (the paper even measures an improvement).
+  EXPECT_LT(bob_with, bob_without - 4.0);
+  EXPECT_GT(alice_with, alice_without - 1.0);
+}
+
+TEST_F(ExperimentTest, LinearMicrophoneDefeatsNec) {
+  // §VII limitation: no nonlinearity → no demodulated shadow → no hiding.
+  ScenarioSetup setup;
+  setup.selector_kind = SelectorKind::kLasMask;
+  setup.device = channel::IdealLinearRecorder();
+  const ScenarioResult res = runner_.Run(pipeline_, inst_, setup);
+  const double bob_without = metrics::Sdr(
+      res.bob_at_recorder.samples(), res.recorded_without_nec.samples());
+  const double bob_with = metrics::Sdr(res.bob_at_recorder.samples(),
+                                       res.recorded_with_nec.samples());
+  EXPECT_GT(bob_with, bob_without - 1.5);
+}
+
+TEST_F(ExperimentTest, LargeOffsetWeakensCancellation) {
+  // Fig. 9: time offsets degrade the overshadowing (true waveform
+  // cancellation needs near-synchronous arrival).
+  ScenarioSetup aligned;
+  aligned.selector_kind = SelectorKind::kLasMask;
+  ScenarioSetup offset = aligned;
+  offset.processing_latency_s = 0.4;  // beyond the paper's 300 ms bound
+
+  const ScenarioResult a = runner_.Run(pipeline_, inst_, aligned);
+  const ScenarioResult b = runner_.Run(pipeline_, inst_, offset);
+  const double sdr_aligned = metrics::Sdr(
+      a.bk_at_recorder.samples(), a.recorded_with_nec.samples());
+  const double sdr_offset = metrics::Sdr(
+      b.bk_at_recorder.samples(), b.recorded_with_nec.samples());
+  // The aligned record resembles the background more.
+  EXPECT_GT(sdr_aligned, sdr_offset);
+}
+
+TEST_F(ExperimentTest, EmitPowerCalibrationIsReasonable) {
+  ScenarioSetup setup;
+  setup.selector_kind = SelectorKind::kLasMask;
+  const ScenarioResult res = runner_.Run(pipeline_, inst_, setup);
+  // Within the plausible range of an ultrasonic emitter.
+  EXPECT_GT(res.emit_spl_db, 70.0);
+  EXPECT_LT(res.emit_spl_db, 135.0);
+}
+
+TEST_F(ExperimentTest, EmitOverrideSkipsCalibration) {
+  ScenarioSetup setup;
+  setup.selector_kind = SelectorKind::kLasMask;
+  setup.emit_spl_override = 105.0;
+  const ScenarioResult res = runner_.Run(pipeline_, inst_, setup);
+  EXPECT_EQ(res.emit_spl_db, 105.0);
+}
+
+TEST_F(ExperimentTest, StemsAlignedWithRecordings) {
+  ScenarioSetup setup;
+  setup.selector_kind = SelectorKind::kLasMask;
+  const ScenarioResult res = runner_.Run(pipeline_, inst_, setup);
+  // Without NEC, the recording is essentially bob + alice stems; their sum
+  // should correlate strongly with the recording.
+  const audio::Waveform sum =
+      audio::Mix(res.bob_at_recorder, res.bk_at_recorder);
+  EXPECT_GT(metrics::Sdr(sum.samples(), res.recorded_without_nec.samples()),
+            10.0);
+}
+
+TEST_F(ExperimentTest, RequiresEnrolledPipeline) {
+  NecPipeline fresh(Selector(cfg_, 9),
+                    std::make_shared<encoder::LasEncoder>(cfg_.embedding_dim),
+                    {});
+  EXPECT_THROW(runner_.Run(fresh, inst_, {}), nec::CheckError);
+}
+
+TEST_F(ExperimentTest, StemAtAppliesSplAndDistance) {
+  const audio::Waveform stem = inst_.target;
+  const audio::Waveform at_1m = runner_.StemAt(stem, 77.0, 1.0);
+  const audio::Waveform at_2m = runner_.StemAt(stem, 77.0, 2.0);
+  EXPECT_NEAR(at_1m.Rms() / at_2m.Rms(), 2.0, 0.1);
+  // Delay grows with distance.
+  EXPECT_GT(at_2m.size(), at_1m.size());
+}
+
+}  // namespace
+}  // namespace nec::core

@@ -1,0 +1,182 @@
+// Tests for the FFT kernels: radix-2, Bluestein (arbitrary sizes including
+// the paper's 1200-point transform), real-FFT wrappers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "dsp/fft.h"
+
+namespace nec::dsp {
+namespace {
+
+using Cf = std::complex<float>;
+
+std::vector<Cf> NaiveDft(const std::vector<Cf>& x, bool inverse) {
+  const std::size_t n = x.size();
+  std::vector<Cf> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = sign * 2.0 * std::numbers::pi * k * j / n;
+      acc += std::complex<double>(x[j]) *
+             std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    if (inverse) acc /= static_cast<double>(n);
+    out[k] = Cf(static_cast<float>(acc.real()), static_cast<float>(acc.imag()));
+  }
+  return out;
+}
+
+TEST(Fft, PowerOfTwoHelpers) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(1200));
+  EXPECT_EQ(NextPowerOfTwo(1200), 2048u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048u);
+}
+
+class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeTest, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<Cf> x(n);
+  for (Cf& v : x) v = Cf(rng.GaussianF(), rng.GaussianF());
+  const auto expected = NaiveDft(x, false);
+  std::vector<Cf> got = x;
+  Fft(got, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(got[i].real(), expected[i].real(), 2e-3 * std::sqrt(n))
+        << "bin " << i << " size " << n;
+    EXPECT_NEAR(got[i].imag(), expected[i].imag(), 2e-3 * std::sqrt(n));
+  }
+}
+
+TEST_P(FftSizeTest, ForwardInverseRoundTrip) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 3 + 1);
+  std::vector<Cf> x(n);
+  for (Cf& v : x) v = Cf(rng.GaussianF(), rng.GaussianF());
+  std::vector<Cf> y = x;
+  Fft(y, false);
+  Fft(y, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-3);
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-3);
+  }
+}
+
+TEST_P(FftSizeTest, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 7 + 5);
+  std::vector<Cf> x(n);
+  double time_energy = 0.0;
+  for (Cf& v : x) {
+    v = Cf(rng.GaussianF(), 0.0f);
+    time_energy += std::norm(std::complex<double>(v));
+  }
+  std::vector<Cf> y = x;
+  Fft(y, false);
+  double freq_energy = 0.0;
+  for (const Cf& v : y) freq_energy += std::norm(std::complex<double>(v));
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-2 * time_energy + 1e-6);
+}
+
+// 1200 is the paper's FFT size; 601 = its bin count appears as an odd
+// Bluestein size; the rest cover radix-2, odd, prime and composite sizes.
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeTest,
+                         ::testing::Values(1, 2, 4, 8, 64, 256, 100, 120,
+                                           601, 1200, 17, 97));
+
+TEST(RealFft, ToneLandsInCorrectBin) {
+  const std::size_t n = 256;
+  std::vector<float> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 16.0 * i / n);
+  }
+  const auto half = RealFft(x, n);
+  ASSERT_EQ(half.size(), n / 2 + 1);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < half.size(); ++i) {
+    if (std::abs(half[i]) > std::abs(half[peak])) peak = i;
+  }
+  EXPECT_EQ(peak, 16u);
+  EXPECT_NEAR(std::abs(half[16]), n / 2.0, 1.0);
+}
+
+TEST(RealFft, RoundTripThroughInverse) {
+  Rng rng(77);
+  std::vector<float> x(300);
+  for (float& v : x) v = rng.GaussianF();
+  const std::size_t nfft = 512;
+  const auto half = RealFft(x, nfft);
+  const auto back = InverseRealFft(half, nfft);
+  ASSERT_EQ(back.size(), nfft);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-3);
+  }
+  for (std::size_t i = x.size(); i < nfft; ++i) {
+    EXPECT_NEAR(back[i], 0.0f, 1e-3);  // zero-padded region
+  }
+}
+
+TEST(RealFft, PaperSize1200RoundTrip) {
+  Rng rng(5);
+  std::vector<float> x(1200);
+  for (float& v : x) v = rng.GaussianF();
+  const auto half = RealFft(x, 1200);
+  ASSERT_EQ(half.size(), 601u);  // the paper's 601 frequency bins
+  const auto back = InverseRealFft(half, 1200);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(back[i], x[i], 2e-3);
+  }
+}
+
+TEST(RealFft, DcSignal) {
+  std::vector<float> x(64, 1.0f);
+  const auto half = RealFft(x, 64);
+  EXPECT_NEAR(std::abs(half[0]), 64.0, 1e-3);
+  for (std::size_t i = 1; i < half.size(); ++i) {
+    EXPECT_NEAR(std::abs(half[i]), 0.0, 1e-3);
+  }
+}
+
+TEST(RealFft, LinearityOfSuperposition) {
+  // Eq. 4 of the paper: F[a1 x1 + a2 x2] = a1 X1 + a2 X2.
+  Rng rng(9);
+  std::vector<float> x1(200), x2(200), mix(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x1[i] = rng.GaussianF();
+    x2[i] = rng.GaussianF();
+    mix[i] = 0.7f * x1[i] + 1.3f * x2[i];
+  }
+  const auto h1 = RealFft(x1, 256);
+  const auto h2 = RealFft(x2, 256);
+  const auto hm = RealFft(mix, 256);
+  for (std::size_t i = 0; i < hm.size(); ++i) {
+    const Cf expect = 0.7f * h1[i] + 1.3f * h2[i];
+    EXPECT_NEAR(hm[i].real(), expect.real(), 2e-3);
+    EXPECT_NEAR(hm[i].imag(), expect.imag(), 2e-3);
+  }
+}
+
+TEST(RealFft, RejectsTinyNfft) {
+  std::vector<float> x(4, 1.0f);
+  EXPECT_THROW(RealFft(x, 1), nec::CheckError);
+}
+
+TEST(InverseRealFft, RejectsWrongSpectrumLength) {
+  std::vector<Cf> half(10);
+  EXPECT_THROW(InverseRealFft(half, 64), nec::CheckError);
+}
+
+}  // namespace
+}  // namespace nec::dsp

@@ -1,0 +1,154 @@
+// Tests for FIR design/convolution and the polyphase resampler — the 16 kHz
+// ↔ 192 kHz conversions the ultrasound channel depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "dsp/fir.h"
+#include "dsp/resample.h"
+
+namespace nec::dsp {
+namespace {
+
+audio::Waveform Tone(int rate, double f, double seconds) {
+  audio::Waveform w(rate, static_cast<std::size_t>(rate * seconds));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(std::sin(2.0 * std::numbers::pi * f * i / rate));
+  }
+  return w;
+}
+
+double ToneRms(const audio::Waveform& w, std::size_t skip) {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = skip; i + skip < w.size(); ++i, ++n) {
+    acc += static_cast<double>(w[i]) * w[i];
+  }
+  return std::sqrt(acc / std::max<std::size_t>(1, n));
+}
+
+TEST(Fir, UnitDcGain) {
+  const auto taps = DesignFirLowPass(63, 2000.0, 16000.0);
+  double sum = 0.0;
+  for (float t : taps) sum += t;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Fir, EvenTapCountBumpedToOdd) {
+  const auto taps = DesignFirLowPass(64, 2000.0, 16000.0);
+  EXPECT_EQ(taps.size() % 2, 1u);
+}
+
+TEST(Fir, SymmetricKernel) {
+  const auto taps = DesignFirLowPass(101, 3000.0, 16000.0);
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    EXPECT_NEAR(taps[i], taps[taps.size() - 1 - i], 1e-7);
+  }
+}
+
+TEST(Fir, RejectsBadCutoff) {
+  EXPECT_THROW(DesignFirLowPass(63, 9000.0, 16000.0), nec::CheckError);
+  EXPECT_THROW(DesignFirLowPass(63, 0.0, 16000.0), nec::CheckError);
+}
+
+TEST(Convolve, KnownResult) {
+  const std::vector<float> x = {1, 2, 3};
+  const std::vector<float> h = {1, 1};
+  const auto y = Convolve(x, h);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], 3.0f);
+  EXPECT_FLOAT_EQ(y[2], 5.0f);
+  EXPECT_FLOAT_EQ(y[3], 3.0f);
+}
+
+TEST(Convolve, EmptyInputs) {
+  EXPECT_TRUE(Convolve({}, std::vector<float>{1.0f}).empty());
+  EXPECT_TRUE(Convolve(std::vector<float>{1.0f}, {}).empty());
+}
+
+TEST(ConvolveSame, PreservesLengthAndCentering) {
+  std::vector<float> x(64, 0.0f);
+  x[32] = 1.0f;  // impulse at center
+  const auto taps = DesignFirLowPass(15, 4000.0, 16000.0);
+  const auto y = ConvolveSame(x, taps);
+  ASSERT_EQ(y.size(), x.size());
+  std::size_t peak = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] > y[peak]) peak = i;
+  }
+  EXPECT_EQ(peak, 32u);  // group delay compensated
+}
+
+TEST(Resample, IdentityRateReturnsCopy) {
+  const audio::Waveform w = Tone(16000, 440.0, 0.1);
+  const audio::Waveform r = Resample(w, 16000);
+  ASSERT_EQ(r.size(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_EQ(r[i], w[i]);
+}
+
+class ResampleRateTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ResampleRateTest, TonePreservedThroughConversion) {
+  const auto [src, dst] = GetParam();
+  const audio::Waveform w = Tone(src, 1000.0, 0.25);
+  const audio::Waveform r = Resample(w, dst);
+  EXPECT_EQ(r.sample_rate(), dst);
+  EXPECT_NEAR(static_cast<double>(r.size()),
+              static_cast<double>(w.size()) * dst / src, 16.0);
+  EXPECT_NEAR(ToneRms(r, static_cast<std::size_t>(dst) / 100),
+              1.0 / std::sqrt(2.0), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, ResampleRateTest,
+    ::testing::Values(std::pair{16000, 192000}, std::pair{192000, 16000},
+                      std::pair{16000, 48000}, std::pair{48000, 16000},
+                      std::pair{16000, 44100}));
+
+TEST(Resample, RoundTrip16kTo192kAndBack) {
+  const audio::Waveform w = Tone(16000, 700.0, 0.3);
+  const audio::Waveform up = Resample(w, 192000);
+  const audio::Waveform back = Resample(up, 16000);
+  // Group delay is compensated, so samples line up directly.
+  double err = 0.0, ref = 0.0;
+  for (std::size_t i = 500; i + 500 < w.size() && i < back.size(); ++i) {
+    const double d = back[i] - w[i];
+    err += d * d;
+    ref += static_cast<double>(w[i]) * w[i];
+  }
+  EXPECT_LT(err / ref, 1e-3);
+}
+
+TEST(Resample, DecimationRejectsAliases) {
+  // A 40 kHz tone at 192 kHz must vanish when decimated to 16 kHz
+  // (Nyquist 8 kHz) rather than aliasing into the audible band.
+  const audio::Waveform w = Tone(192000, 40000.0, 0.1);
+  const audio::Waveform down = Resample(w, 16000);
+  EXPECT_LT(ToneRms(down, 200), 0.01);
+}
+
+TEST(Resample, UpsamplingAddsNoImages) {
+  const audio::Waveform w = Tone(16000, 1000.0, 0.2);
+  const audio::Waveform up = Resample(w, 192000);
+  EXPECT_NEAR(ToneRms(up, 2000), 1.0 / std::sqrt(2.0), 0.02);
+}
+
+TEST(Resample, EmptyInput) {
+  audio::Waveform w(16000, std::size_t{0});
+  const audio::Waveform r = Resample(w, 48000);
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.sample_rate(), 48000);
+}
+
+TEST(Resample, RejectsBadRates) {
+  const audio::Waveform w = Tone(16000, 440.0, 0.05);
+  EXPECT_THROW(Resample(w, 0), nec::CheckError);
+  EXPECT_THROW(Resample(w, -8000), nec::CheckError);
+}
+
+}  // namespace
+}  // namespace nec::dsp

@@ -1,0 +1,105 @@
+// Tests for the Long-time Average Spectrum (Eq. 1) — the §III foundation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "encoder/las.h"
+#include "metrics/metrics.h"
+#include "synth/dataset.h"
+
+namespace nec::encoder {
+namespace {
+
+TEST(Las, ToneProducesPeakAtToneBin) {
+  audio::Waveform w(16000, std::size_t{16000});
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(
+        0.5 * std::sin(2.0 * std::numbers::pi * 1000.0 * i / 16000.0));
+  }
+  LasConfig cfg;
+  const auto las = LongTimeAverageSpectrum(w, cfg);
+  ASSERT_EQ(las.size(), cfg.fft_size / 2 + 1);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < las.size(); ++i) {
+    if (las[i] > las[peak]) peak = i;
+  }
+  EXPECT_NEAR(static_cast<double>(peak),
+              1000.0 * cfg.fft_size / 16000.0, 1.0);
+}
+
+TEST(Las, EmptyWaveformRejected) {
+  audio::Waveform w;
+  EXPECT_THROW(LongTimeAverageSpectrum(w), nec::CheckError);
+}
+
+TEST(Las, ScalesLinearlyWithAmplitude) {
+  synth::DatasetBuilder db({.duration_s = 1.0});
+  const auto spk = synth::SpeakerProfile::FromSeed(1);
+  const auto utt = db.MakeUtterance(spk, 2);
+  audio::Waveform loud = utt.wave;
+  loud.Scale(2.0f);
+  const auto a = LongTimeAverageSpectrum(utt.wave);
+  const auto b = LongTimeAverageSpectrum(loud);
+  for (std::size_t i = 10; i < a.size(); i += 37) {
+    if (a[i] > 1e-4f) {
+      EXPECT_NEAR(b[i] / a[i], 2.0f, 0.05f);
+    }
+  }
+}
+
+TEST(Las, VoicedLasIgnoresAppendedSilence) {
+  synth::DatasetBuilder db({.duration_s = 1.0});
+  const auto spk = synth::SpeakerProfile::FromSeed(3);
+  auto utt = db.MakeUtterance(spk, 4);
+  const auto las_clean = VoicedLas(utt.wave);
+  audio::Waveform padded = utt.wave;
+  padded.AppendSilence(16000);  // 1 s of silence
+  const auto las_padded = VoicedLas(padded);
+  // Voiced LAS is robust to silence padding; plain LAS would halve.
+  const double corr = metrics::PearsonCorrelation(las_clean, las_padded);
+  EXPECT_GT(corr, 0.99);
+  double ratio = 0.0;
+  int n = 0;
+  for (std::size_t i = 5; i < las_clean.size(); i += 13) {
+    if (las_clean[i] > 1e-4f) {
+      ratio += las_padded[i] / las_clean[i];
+      ++n;
+    }
+  }
+  EXPECT_NEAR(ratio / n, 1.0, 0.15);
+}
+
+TEST(Las, PaperFig5Property) {
+  // Pearson correlation of LAS: same speaker across utterances high,
+  // different speakers lower (the Fig. 5 matrix structure).
+  synth::DatasetBuilder db({.duration_s = 2.0});
+  const auto spks = synth::DatasetBuilder::MakeSpeakers(3, 555);
+  std::vector<std::vector<float>> las_by_spk_utt;
+  for (int s = 0; s < 3; ++s) {
+    for (int u = 0; u < 2; ++u) {
+      const auto utt = db.MakeUtterance(spks[s], 100 + s * 10 + u);
+      las_by_spk_utt.push_back(VoicedLas(utt.wave));
+    }
+  }
+  double intra = 0.0, inter = 0.0;
+  int ni = 0, nx = 0;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) {
+      const double c =
+          metrics::PearsonCorrelation(las_by_spk_utt[i], las_by_spk_utt[j]);
+      if (i / 2 == j / 2) {
+        intra += c;
+        ++ni;
+      } else {
+        inter += c;
+        ++nx;
+      }
+    }
+  }
+  EXPECT_GT(intra / ni, inter / nx + 0.02);
+}
+
+}  // namespace
+}  // namespace nec::encoder

@@ -1,0 +1,65 @@
+// Tests for dB / SPL math.
+#include <gtest/gtest.h>
+
+#include "audio/level.h"
+
+namespace nec::audio {
+namespace {
+
+TEST(Level, AmplitudeDbRoundTrip) {
+  for (double db : {-40.0, -6.0, 0.0, 6.0, 20.0}) {
+    EXPECT_NEAR(AmplitudeToDb(DbToAmplitude(db)), db, 1e-9);
+  }
+}
+
+TEST(Level, PowerDbRoundTrip) {
+  for (double db : {-30.0, 0.0, 10.0}) {
+    EXPECT_NEAR(PowerToDb(DbToPower(db)), db, 1e-9);
+  }
+}
+
+TEST(Level, KnownValues) {
+  EXPECT_NEAR(AmplitudeToDb(2.0), 6.0206, 1e-3);
+  EXPECT_NEAR(PowerToDb(2.0), 3.0103, 1e-3);
+  EXPECT_NEAR(DbToAmplitude(20.0), 10.0, 1e-9);
+  EXPECT_NEAR(DbToPower(10.0), 10.0, 1e-9);
+}
+
+TEST(Level, NonPositiveInputFloorsInsteadOfNan) {
+  EXPECT_LE(AmplitudeToDb(0.0), -299.0);
+  EXPECT_LE(AmplitudeToDb(-1.0), -299.0);
+  EXPECT_LE(PowerToDb(0.0), -299.0);
+}
+
+TEST(SplScale, CalibrationPointMapsToUnity) {
+  SplScale scale(94.0);
+  EXPECT_NEAR(scale.SplToRms(94.0), 1.0, 1e-9);
+  EXPECT_NEAR(scale.RmsToSpl(1.0), 94.0, 1e-9);
+}
+
+TEST(SplScale, TwentyDbPerDecade) {
+  SplScale scale(94.0);
+  EXPECT_NEAR(scale.SplToRms(74.0), 0.1, 1e-9);
+  EXPECT_NEAR(scale.SplToRms(114.0), 10.0, 1e-7);
+}
+
+TEST(SplScale, SpeechLevelsAreSane) {
+  // The paper's 77 dB_SPL speech at 5 cm should be a comfortably
+  // representable digital level, and the 39.8 dB noise floor far below it.
+  SplScale scale;
+  const double speech = scale.SplToRms(77.0);
+  const double floor = scale.SplToRms(39.8);
+  EXPECT_GT(speech, 0.1);
+  EXPECT_LT(speech, 0.2);
+  EXPECT_LT(floor, speech / 50.0);
+}
+
+TEST(SplScale, RoundTripArbitraryScale) {
+  SplScale scale(100.0);
+  for (double spl : {30.0, 60.0, 94.0, 120.0}) {
+    EXPECT_NEAR(scale.RmsToSpl(scale.SplToRms(spl)), spl, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace nec::audio

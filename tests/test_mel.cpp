@@ -1,0 +1,147 @@
+// Tests for mel filterbanks and the DCT.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "dsp/mel.h"
+
+namespace nec::dsp {
+namespace {
+
+TEST(MelScale, RoundTrip) {
+  for (double hz : {100.0, 440.0, 1000.0, 4000.0, 8000.0}) {
+    EXPECT_NEAR(MelToHz(HzToMel(hz)), hz, 1e-6);
+  }
+}
+
+TEST(MelScale, KnownPoint) {
+  EXPECT_NEAR(HzToMel(1000.0), 999.99, 0.2);  // 1000 Hz ≈ 1000 mel
+}
+
+TEST(MelScale, Monotonic) {
+  double prev = -1.0;
+  for (double hz = 0.0; hz < 8000.0; hz += 50.0) {
+    const double mel = HzToMel(hz);
+    EXPECT_GT(mel, prev);
+    prev = mel;
+  }
+}
+
+TEST(MelFilterbank, RowsCoverSpectrumWithoutGaps) {
+  const MelFilterbank bank(26, 257, 16000.0);
+  // Every interior bin should be covered by at least one filter.
+  for (std::size_t b = 5; b < 250; ++b) {
+    float total = 0.0f;
+    for (std::size_t m = 0; m < 26; ++m) total += bank.WeightAt(m, b);
+    EXPECT_GT(total, 0.0f) << "bin " << b;
+  }
+}
+
+TEST(MelFilterbank, FiltersAreTriangular) {
+  const MelFilterbank bank(20, 257, 16000.0);
+  // Each filter rises then falls (single peak).
+  for (std::size_t m = 0; m < 20; ++m) {
+    int sign_changes = 0;
+    float prev = 0.0f;
+    bool rising = true;
+    for (std::size_t b = 0; b < 257; ++b) {
+      const float w = bank.WeightAt(m, b);
+      if (rising && w < prev - 1e-9f) {
+        rising = false;
+        ++sign_changes;
+      } else if (!rising && w > prev + 1e-9f) {
+        ++sign_changes;
+      }
+      prev = w;
+    }
+    EXPECT_LE(sign_changes, 1) << "filter " << m;
+  }
+}
+
+TEST(MelFilterbank, ApplyIsolatesTone) {
+  const std::size_t bins = 257;
+  const MelFilterbank bank(26, bins, 16000.0);
+  // Power concentrated at ~2 kHz (bin 64 of 257 at 16 kHz / fft 512).
+  std::vector<float> power(bins, 0.0f);
+  power[64] = 1.0f;
+  const auto mel = bank.Apply(power);
+  std::size_t peak = 0;
+  for (std::size_t m = 0; m < mel.size(); ++m) {
+    if (mel[m] > mel[peak]) peak = m;
+  }
+  // 2 kHz ≈ mel 1521 of [0, 2840] → roughly the middle of 26 bands.
+  EXPECT_GT(peak, 10u);
+  EXPECT_LT(peak, 20u);
+}
+
+TEST(MelFilterbank, RejectsWrongFrameSize) {
+  const MelFilterbank bank(26, 257, 16000.0);
+  std::vector<float> wrong(100, 0.0f);
+  EXPECT_THROW(bank.Apply(wrong), nec::CheckError);
+}
+
+TEST(MelFilterbank, RejectsBadBandEdges) {
+  EXPECT_THROW(MelFilterbank(26, 257, 16000.0, 5000.0, 4000.0),
+               nec::CheckError);
+  EXPECT_THROW(MelFilterbank(26, 257, 16000.0, 0.0, 9000.0),
+               nec::CheckError);
+}
+
+TEST(MelFilterbank, SpectrogramApplication) {
+  Spectrogram spec(3, 129);
+  for (std::size_t t = 0; t < 3; ++t) spec.MagAt(t, 32) = 2.0f;
+  const MelFilterbank bank(20, 129, 16000.0);
+  const auto mel = bank.ApplyToSpectrogram(spec);
+  ASSERT_EQ(mel.size(), 3u * 20u);
+  // All frames identical.
+  for (std::size_t m = 0; m < 20; ++m) {
+    EXPECT_FLOAT_EQ(mel[m], mel[20 + m]);
+    EXPECT_FLOAT_EQ(mel[m], mel[40 + m]);
+  }
+}
+
+TEST(LogCompress, FloorsSmallValues) {
+  const std::vector<float> x = {1.0f, 0.0f, -5.0f};
+  const auto y = LogCompress(x, 1e-6f);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], std::log(1e-6f));
+  EXPECT_FLOAT_EQ(y[2], std::log(1e-6f));
+}
+
+TEST(Dct2, OrthonormalOnConstant) {
+  std::vector<float> row(16, 1.0f);
+  const auto c = Dct2(row, 16);
+  EXPECT_NEAR(c[0], std::sqrt(16.0), 1e-5);  // orthonormal c0 = sqrt(N)*mean
+  for (std::size_t k = 1; k < 16; ++k) {
+    EXPECT_NEAR(c[k], 0.0f, 1e-5);
+  }
+}
+
+TEST(Dct2, ParsevalForFullTransform) {
+  std::vector<float> row = {0.3f, -1.2f, 0.7f, 2.1f, -0.5f, 0.0f, 1.0f,
+                            -0.1f};
+  const auto c = Dct2(row, 8);
+  double in = 0.0, out = 0.0;
+  for (float v : row) in += static_cast<double>(v) * v;
+  for (float v : c) out += static_cast<double>(v) * v;
+  EXPECT_NEAR(in, out, 1e-4);  // orthonormal transform preserves energy
+}
+
+TEST(Dct2, TruncationKeepsLeadingCoeffs) {
+  std::vector<float> row = {1.0f, 2.0f, 3.0f, 4.0f};
+  const auto full = Dct2(row, 4);
+  const auto trunc = Dct2(row, 2);
+  ASSERT_EQ(trunc.size(), 2u);
+  EXPECT_FLOAT_EQ(trunc[0], full[0]);
+  EXPECT_FLOAT_EQ(trunc[1], full[1]);
+}
+
+TEST(Dct2, RejectsBadCoeffCount) {
+  std::vector<float> row(8, 0.0f);
+  EXPECT_THROW(Dct2(row, 9), nec::CheckError);
+  EXPECT_THROW(Dct2(row, 0), nec::CheckError);
+}
+
+}  // namespace
+}  // namespace nec::dsp

@@ -1,0 +1,183 @@
+// Tests for the evaluation metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "metrics/metrics.h"
+
+namespace nec::metrics {
+namespace {
+
+std::vector<float> Noise(std::size_t n, std::uint64_t seed, float amp) {
+  nec::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = amp * rng.GaussianF();
+  return v;
+}
+
+TEST(Sdr, PerfectEstimateIsHuge) {
+  const auto s = Noise(4000, 1, 0.5f);
+  EXPECT_GT(Sdr(s, s), 60.0);
+}
+
+TEST(Sdr, ScaledEstimateStillPerfect) {
+  // Projection-based SDR is scale-invariant.
+  const auto s = Noise(4000, 2, 0.5f);
+  std::vector<float> scaled = s;
+  for (float& v : scaled) v *= 0.3f;
+  EXPECT_GT(Sdr(s, scaled), 60.0);
+}
+
+TEST(Sdr, KnownSnr) {
+  // estimate = reference + noise at -10 dB → SDR ≈ 10 dB.
+  const auto s = Noise(40000, 3, 1.0f);
+  const auto n = Noise(40000, 4, 1.0f);
+  std::vector<float> est(s.size());
+  const float g = std::pow(10.0f, -10.0f / 20.0f);
+  for (std::size_t i = 0; i < s.size(); ++i) est[i] = s[i] + g * n[i];
+  EXPECT_NEAR(Sdr(s, est), 10.0, 0.5);
+}
+
+TEST(Sdr, UncorrelatedEstimateIsStronglyNegative) {
+  const auto s = Noise(40000, 5, 1.0f);
+  const auto e = Noise(40000, 6, 1.0f);
+  EXPECT_LT(Sdr(s, e), -15.0);
+}
+
+TEST(Sdr, EmptyOrSilentReferenceFloors) {
+  std::vector<float> silence(100, 0.0f);
+  const auto e = Noise(100, 7, 1.0f);
+  EXPECT_LE(Sdr(silence, e), -299.0);
+  EXPECT_LE(Sdr({}, {}), -299.0);
+}
+
+TEST(SdrPlain, PenalizesScaleErrors) {
+  const auto s = Noise(4000, 8, 0.5f);
+  std::vector<float> scaled = s;
+  for (float& v : scaled) v *= 0.5f;
+  EXPECT_GT(Sdr(s, scaled), 60.0);     // projection variant: invariant
+  EXPECT_NEAR(SdrPlain(s, scaled), 6.0, 0.3);  // plain: 0.5x error = 6 dB
+}
+
+TEST(CosineDistance, IdenticalIsZero) {
+  const auto s = Noise(1000, 9, 1.0f);
+  EXPECT_NEAR(CosineDistance(s, s), 0.0, 1e-6);
+}
+
+TEST(CosineDistance, OppositeIsTwo) {
+  const auto s = Noise(1000, 10, 1.0f);
+  std::vector<float> neg = s;
+  for (float& v : neg) v = -v;
+  EXPECT_NEAR(CosineDistance(s, neg), 2.0, 1e-6);
+}
+
+TEST(CosineDistance, OrthogonalIsOne) {
+  std::vector<float> a = {1.0f, 0.0f};
+  std::vector<float> b = {0.0f, 1.0f};
+  EXPECT_NEAR(CosineDistance(a, b), 1.0, 1e-9);
+}
+
+TEST(CosineDistance, ZeroNormFallsBackToOne) {
+  std::vector<float> zero(10, 0.0f);
+  const auto s = Noise(10, 11, 1.0f);
+  EXPECT_EQ(CosineDistance(zero, s), 1.0);
+}
+
+TEST(Pearson, PerfectLinearRelation) {
+  std::vector<float> a = {1, 2, 3, 4, 5};
+  std::vector<float> b = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-9);
+  std::vector<float> c = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-9);
+}
+
+TEST(Pearson, MeanInvariant) {
+  const auto a = Noise(1000, 12, 1.0f);
+  std::vector<float> shifted = a;
+  for (float& v : shifted) v += 100.0f;
+  EXPECT_NEAR(PearsonCorrelation(a, shifted), 1.0, 1e-4);
+}
+
+TEST(Pearson, IndependentNearZero) {
+  const auto a = Noise(20000, 13, 1.0f);
+  const auto b = Noise(20000, 14, 1.0f);
+  EXPECT_NEAR(PearsonCorrelation(a, b), 0.0, 0.05);
+}
+
+TEST(Pearson, ConstantInputGivesZero) {
+  std::vector<float> c(100, 3.0f);
+  const auto a = Noise(100, 15, 1.0f);
+  EXPECT_EQ(PearsonCorrelation(c, a), 0.0);
+}
+
+TEST(Sonr, KnownPowerRatio) {
+  // recorded has power 4x the target component → SONR = 6 dB.
+  audio::Waveform rec(16000, std::vector<float>(1000, 0.2f));
+  audio::Waveform target(16000, std::vector<float>(1000, 0.1f));
+  EXPECT_NEAR(Sonr(rec, target), 6.02, 0.1);
+}
+
+TEST(Sonr, HigherWhenTargetSuppressed) {
+  nec::Rng rng(16);
+  audio::Waveform rec(16000, std::size_t{4000});
+  audio::Waveform bob_strong(16000, std::size_t{4000});
+  audio::Waveform bob_weak(16000, std::size_t{4000});
+  for (std::size_t i = 0; i < 4000; ++i) {
+    rec[i] = rng.GaussianF(0.0f, 0.1f);
+    bob_strong[i] = rng.GaussianF(0.0f, 0.08f);
+    bob_weak[i] = rng.GaussianF(0.0f, 0.01f);
+  }
+  EXPECT_GT(Sonr(rec, bob_weak), Sonr(rec, bob_strong) + 10.0);
+}
+
+TEST(Sonr, RejectsEmpty) {
+  audio::Waveform a(16000, std::size_t{0});
+  EXPECT_THROW(Sonr(a, a), nec::CheckError);
+}
+
+TEST(ResidualEnergy, RemovesProjectedComponent) {
+  const auto c = Noise(8000, 17, 1.0f);
+  std::vector<float> sig(c.size());
+  const auto other = Noise(8000, 18, 0.1f);
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    sig[i] = 3.0f * c[i] + other[i];
+  }
+  const double resid = ResidualEnergyAfterProjection(sig, c);
+  double other_energy = 0.0;
+  for (float v : other) other_energy += static_cast<double>(v) * v;
+  EXPECT_NEAR(resid, other_energy, 0.15 * other_energy);
+}
+
+
+TEST(SpectralConvergence, ZeroForIdenticalSignals) {
+  nec::Rng rng(20);
+  audio::Waveform w(16000, std::size_t{6000});
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = rng.GaussianF();
+  const dsp::StftConfig cfg{.fft_size = 256, .win_length = 256,
+                            .hop_length = 128};
+  EXPECT_NEAR(SpectralConvergence(w, w, cfg), 0.0, 1e-6);
+}
+
+TEST(SpectralConvergence, GrowsWithCorruption) {
+  nec::Rng rng(21);
+  audio::Waveform w(16000, std::size_t{6000});
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = rng.GaussianF(0, 0.3f);
+  audio::Waveform lightly = w, heavily = w;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    lightly[i] += rng.GaussianF(0, 0.03f);
+    heavily[i] += rng.GaussianF(0, 0.3f);
+  }
+  const dsp::StftConfig cfg{.fft_size = 256, .win_length = 256,
+                            .hop_length = 128};
+  const double light = SpectralConvergence(w, lightly, cfg);
+  const double heavy = SpectralConvergence(w, heavily, cfg);
+  EXPECT_LT(light, heavy);
+  EXPECT_GT(light, 0.0);
+}
+
+}  // namespace
+}  // namespace nec::metrics

@@ -1,0 +1,118 @@
+// Tests for MFCC extraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "asr/mfcc.h"
+#include "dsp/stft.h"
+#include "synth/dataset.h"
+
+namespace nec::asr {
+namespace {
+
+TEST(Mfcc, ShapeMatchesConfig) {
+  audio::Waveform w(16000, std::size_t{16000});
+  MfccConfig cfg;
+  const MfccFeatures f = ComputeMfcc(w, cfg);
+  EXPECT_EQ(f.dim, cfg.num_coeffs * 2);  // with deltas
+  const dsp::StftConfig stft{.fft_size = cfg.fft_size,
+                             .win_length = cfg.win_length,
+                             .hop_length = cfg.hop_length};
+  EXPECT_EQ(f.num_frames, stft.NumFrames(w.size()));
+  EXPECT_EQ(f.data.size(), f.num_frames * f.dim);
+}
+
+TEST(Mfcc, NoDeltasHalvesDim) {
+  audio::Waveform w(16000, std::size_t{8000});
+  MfccConfig cfg;
+  cfg.append_deltas = false;
+  const MfccFeatures f = ComputeMfcc(w, cfg);
+  EXPECT_EQ(f.dim, cfg.num_coeffs);
+}
+
+TEST(Mfcc, CepstralMeanNormZeroesAverage) {
+  synth::DatasetBuilder db({.duration_s = 1.0});
+  const auto spk = synth::SpeakerProfile::FromSeed(1);
+  const auto utt = db.MakeUtterance(spk, 2);
+  MfccConfig cfg;
+  cfg.cepstral_mean_norm = true;
+  const MfccFeatures f = ComputeMfcc(utt.wave, cfg);
+  // CMN is energy-gated (speech frames only); verify the mean over the
+  // gated frames is zero. The gate is c0 within 7 nats of the maximum.
+  float max_c0 = -1e30f;
+  for (std::size_t t = 0; t < f.num_frames; ++t) {
+    max_c0 = std::max(max_c0, f.frame(t)[0]);
+  }
+  for (std::size_t k = 0; k < cfg.num_coeffs; ++k) {
+    double mean = 0.0;
+    std::size_t used = 0;
+    for (std::size_t t = 0; t < f.num_frames; ++t) {
+      // Post-CMN c0 is shifted; the gate on normalized c0 uses the same
+      // 7-nat width relative to the max.
+      if (f.frame(t)[0] < max_c0 - 7.0f) continue;
+      mean += f.frame(t)[k];
+      ++used;
+    }
+    mean /= static_cast<double>(used);
+    EXPECT_NEAR(mean, 0.0, 1e-3) << "coeff " << k;
+  }
+}
+
+TEST(Mfcc, GainInvariantWithCmn) {
+  synth::DatasetBuilder db({.duration_s = 1.0});
+  const auto spk = synth::SpeakerProfile::FromSeed(2);
+  auto utt = db.MakeUtterance(spk, 3);
+  const MfccFeatures a = ComputeMfcc(utt.wave);
+  utt.wave.Scale(0.25f);
+  const MfccFeatures b = ComputeMfcc(utt.wave);
+  // With the relative log floor, c1.. are exactly gain-invariant.
+  for (std::size_t t = 0; t < a.num_frames; t += 7) {
+    for (std::size_t k = 1; k < 13; ++k) {
+      EXPECT_NEAR(a.frame(t)[k], b.frame(t)[k], 2e-3);
+    }
+  }
+}
+
+TEST(Mfcc, DifferentVowelsGiveDifferentVectors) {
+  // MFCCs must separate phonetic content or DTW matching cannot work.
+  synth::Synthesizer synth({.sample_rate = 16000});
+  const auto spk = synth::SpeakerProfile::FromSeed(3);
+  const auto see = synth.SynthesizeWords(spk, {"see"}, 1);
+  const auto saw = synth.SynthesizeWords(spk, {"two"}, 1);
+  const MfccFeatures fa = ComputeMfcc(see.wave);
+  const MfccFeatures fb = ComputeMfcc(saw.wave);
+  // Compare mid-word frames.
+  const float* va = fa.frame(fa.num_frames / 2);
+  const float* vb = fb.frame(fb.num_frames / 2);
+  double dist = 0.0;
+  for (std::size_t k = 1; k < 13; ++k) {
+    dist += (va[k] - vb[k]) * (va[k] - vb[k]);
+  }
+  EXPECT_GT(std::sqrt(dist), 0.5);
+}
+
+TEST(Mfcc, EmptyInputYieldsNoFrames) {
+  audio::Waveform w(16000, std::size_t{0});
+  const MfccFeatures f = ComputeMfcc(w);
+  EXPECT_EQ(f.num_frames, 0u);
+}
+
+TEST(Mfcc, DeltasAreDifferences) {
+  synth::DatasetBuilder db({.duration_s = 0.6});
+  const auto spk = synth::SpeakerProfile::FromSeed(4);
+  const auto utt = db.MakeUtterance(spk, 5);
+  MfccConfig cfg;
+  const MfccFeatures f = ComputeMfcc(utt.wave, cfg);
+  const std::size_t base = cfg.num_coeffs;
+  for (std::size_t t = 1; t + 1 < f.num_frames; t += 11) {
+    for (std::size_t k = 0; k < base; k += 5) {
+      const float expect =
+          0.5f * (f.frame(t + 1)[k] - f.frame(t - 1)[k]);
+      EXPECT_NEAR(f.frame(t)[base + k], expect, 1e-4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nec::asr

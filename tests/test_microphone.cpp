@@ -1,0 +1,188 @@
+// Tests for the COTS microphone model — the nonlinearity that NEC's
+// inaudible shadow rides on (§IV-C1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "audio/level.h"
+#include "channel/device_profile.h"
+#include "channel/microphone.h"
+#include "channel/modulation.h"
+#include "common/check.h"
+#include "dsp/fft.h"
+
+namespace nec::channel {
+namespace {
+
+audio::Waveform Tone(int rate, double f, double seconds, float amp) {
+  audio::Waveform w(rate, static_cast<std::size_t>(rate * seconds));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(
+        amp * std::sin(2.0 * std::numbers::pi * f * i / rate));
+  }
+  return w;
+}
+
+// Amplitude of the DFT bin nearest f.
+double ToneAmplitude(const audio::Waveform& w, double f) {
+  double re = 0.0, im = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double ph =
+        2.0 * std::numbers::pi * f * i / w.sample_rate();
+    re += w[i] * std::cos(ph);
+    im -= w[i] * std::sin(ph);
+  }
+  return 2.0 * std::sqrt(re * re + im * im) / w.size();
+}
+
+audio::Waveform ModulatedTone(double tone_hz, double carrier_hz,
+                              float scale) {
+  audio::Waveform base = Tone(16000, tone_hz, 0.5, 0.5f);
+  audio::Waveform mod = ModulateAm(base, {.carrier_hz = carrier_hz});
+  mod.Scale(scale);
+  return mod;
+}
+
+TEST(Microphone, AudiblePassThrough) {
+  MicrophoneModel mic(ReferenceRecorder(), {.noise_seed = 1});
+  const audio::Waveform in = Tone(192000, 1000.0, 0.5, 0.05f);
+  const audio::Waveform rec = mic.Record(in);
+  EXPECT_EQ(rec.sample_rate(), 16000);
+  EXPECT_NEAR(ToneAmplitude(rec, 1000.0), 0.05, 0.005);
+}
+
+TEST(Microphone, NonlinearityDemodulatesUltrasound) {
+  MicrophoneModel mic(ReferenceRecorder(), {.noise_seed = 2});
+  const audio::Waveform rec = mic.Record(ModulatedTone(1000.0, 27000.0, 0.5f));
+  // The 1 kHz baseband must appear in the recording.
+  EXPECT_GT(ToneAmplitude(rec, 1000.0), 0.005);
+}
+
+TEST(Microphone, LinearMicRecordsNothingFromUltrasound) {
+  // §VII: "when the non-linear effect is not present ... our selective
+  // voice protection will no longer be effective."
+  MicrophoneModel mic(IdealLinearRecorder(), {.noise_seed = 3});
+  const audio::Waveform rec = mic.Record(ModulatedTone(1000.0, 27000.0, 0.5f));
+  EXPECT_LT(ToneAmplitude(rec, 1000.0), 5e-4);
+}
+
+TEST(Microphone, DemodulatedLevelScalesQuadratically) {
+  // v_out ~ a2 v^2: doubling the incident ultrasound amplitude must
+  // quadruple the demodulated baseband.
+  MicrophoneModel mic(ReferenceRecorder(), {.noise_seed = 4});
+  const double a1 =
+      ToneAmplitude(mic.Record(ModulatedTone(800.0, 27000.0, 0.25f)), 800.0);
+  const double a2 =
+      ToneAmplitude(mic.Record(ModulatedTone(800.0, 27000.0, 0.5f)), 800.0);
+  EXPECT_NEAR(a2 / a1, 4.0, 0.6);
+}
+
+TEST(Microphone, CarrierOutsideAcceptanceBandIsWeak) {
+  DeviceProfile dev = ReferenceRecorder();  // resonance 27 kHz, bw 10 kHz
+  MicrophoneModel mic(dev, {.noise_seed = 5});
+  const double in_band =
+      ToneAmplitude(mic.Record(ModulatedTone(900.0, 27000.0, 0.5f)), 900.0);
+  const double off_band =
+      ToneAmplitude(mic.Record(ModulatedTone(900.0, 38000.0, 0.5f)), 900.0);
+  EXPECT_GT(in_band, 4.0 * off_band);
+}
+
+TEST(Microphone, NoiseFloorMatchesDeviceSpec) {
+  DeviceProfile dev = ReferenceRecorder();
+  dev.noise_floor_db_spl = 40.0;
+  MicrophoneModel mic(dev, {.noise_seed = 6});
+  const audio::Waveform silence(192000, std::size_t{192000});
+  const audio::Waveform rec = mic.Record(silence);
+  const double expected_rms = audio::SplScale().SplToRms(40.0);
+  EXPECT_NEAR(rec.Rms(), expected_rms, 0.3 * expected_rms);
+}
+
+TEST(Microphone, OutputIsClipped) {
+  DeviceProfile dev = ReferenceRecorder();
+  MicrophoneModel mic(dev, {.noise_seed = 7, .clip_level = 1.0});
+  const audio::Waveform loud = Tone(192000, 1000.0, 0.2, 3.0f);
+  const audio::Waveform rec = mic.Record(loud);
+  for (float s : rec.samples()) {
+    EXPECT_LE(std::abs(s), 1.0f);
+  }
+}
+
+TEST(Microphone, RemovesDcOffset) {
+  // The squaring nonlinearity produces a DC term; real recorders are
+  // AC-coupled.
+  MicrophoneModel mic(ReferenceRecorder(), {.noise_seed = 8});
+  const audio::Waveform rec = mic.Record(ModulatedTone(1000.0, 27000.0, 0.7f));
+  double mean = 0.0;
+  for (float s : rec.samples()) mean += s;
+  mean /= static_cast<double>(rec.size());
+  EXPECT_NEAR(mean, 0.0, 1e-4);
+}
+
+TEST(Microphone, UltrasoundCarrierAbsentFromRecording) {
+  // After the recorder's low-pass + decimation to 16 kHz, no component
+  // above 8 kHz can exist by construction; check energy near the old
+  // carrier image (27k - 16k = aliased would be 5 kHz if unfiltered).
+  MicrophoneModel mic(ReferenceRecorder(), {.noise_seed = 9});
+  audio::Waveform carrier_only = Tone(192000, 27000.0, 0.5, 0.5f);
+  const audio::Waveform rec = mic.Record(carrier_only);
+  EXPECT_LT(ToneAmplitude(rec, 5000.0), 1e-3);
+  EXPECT_LT(ToneAmplitude(rec, 27000.0 - 16000.0), 2e-3);
+}
+
+TEST(Microphone, RejectsBasebandInput) {
+  MicrophoneModel mic(ReferenceRecorder(), {});
+  const audio::Waveform w = Tone(16000, 440.0, 0.1, 0.1f);
+  EXPECT_THROW(mic.Record(w), nec::CheckError);
+}
+
+TEST(Microphone, DeterministicGivenSeed) {
+  MicrophoneModel mic(ReferenceRecorder(), {.noise_seed = 10});
+  const audio::Waveform in = Tone(192000, 500.0, 0.1, 0.05f);
+  const audio::Waveform a = mic.Record(in);
+  const audio::Waveform b = mic.Record(in);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+
+TEST(MicrophoneAgc, NormalizesLoudAndQuietToSimilarLevels) {
+  MicrophoneOptions opt;
+  opt.agc_enabled = true;
+  opt.noise_seed = 21;
+  MicrophoneModel mic(ReferenceRecorder(), opt);
+  const audio::Waveform loud = Tone(192000, 1000.0, 1.0, 0.3f);
+  const audio::Waveform quiet = Tone(192000, 1000.0, 1.0, 0.01f);
+  const double r_loud = mic.Record(loud).Rms();
+  const double r_quiet = mic.Record(quiet).Rms();
+  // Without AGC these differ by 30x; with it, well under 3x (after the
+  // attack transient).
+  EXPECT_LT(r_loud / r_quiet, 4.0);
+}
+
+TEST(MicrophoneAgc, MaxGainBoundsSilenceAmplification) {
+  MicrophoneOptions opt;
+  opt.agc_enabled = true;
+  opt.agc_max_gain = 10.0;
+  opt.noise_seed = 22;
+  MicrophoneModel mic(ReferenceRecorder(), opt);
+  const audio::Waveform tiny = Tone(192000, 1000.0, 0.5, 1e-4f);
+  // Gain capped at 10x: the recorded tone cannot exceed ~1e-3 (+ noise).
+  EXPECT_LT(mic.Record(tiny).Rms(), 5e-3);
+}
+
+TEST(MicrophoneAgc, ShadowSurvivesAgc) {
+  // AGC rescales the mixed audio and the demodulated shadow together, so
+  // the nonlinear demodulation path still lands at a usable level.
+  MicrophoneOptions opt;
+  opt.agc_enabled = true;
+  opt.noise_seed = 23;
+  MicrophoneModel mic(ReferenceRecorder(), opt);
+  const audio::Waveform rec =
+      mic.Record(ModulatedTone(1000.0, 27000.0, 0.5f));
+  EXPECT_GT(ToneAmplitude(rec, 1000.0), 0.005);
+}
+
+}  // namespace
+}  // namespace nec::channel

@@ -1,0 +1,92 @@
+// Tests for the trained-model disk cache.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/model_cache.h"
+
+namespace nec::core {
+namespace {
+
+NecConfig TinyConfig() {
+  NecConfig cfg;
+  cfg.stft = {.fft_size = 64, .win_length = 64, .hop_length = 32};
+  cfg.conv_channels = 4;
+  cfg.fc_hidden = 16;
+  cfg.embedding_dim = 12;
+  return cfg;
+}
+
+TrainerOptions TinyOptions() {
+  TrainerOptions opt;
+  opt.steps = 6;
+  opt.num_speakers = 2;
+  opt.instances_per_speaker = 2;
+  opt.crop_s = 0.4;
+  opt.seed = 321;
+  return opt;
+}
+
+class ModelCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "nec_cache_test")
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  std::string dir_;
+};
+
+TEST_F(ModelCacheTest, TrainsOnceThenLoads) {
+  const NecConfig cfg = TinyConfig();
+  encoder::LasEncoder enc(cfg.embedding_dim);
+  const TrainerOptions opt = TinyOptions();
+
+  EXPECT_TRUE(std::filesystem::is_empty(dir_));
+  Selector first = GetOrTrainSelector(cfg, enc, opt, dir_);
+  // Exactly one cached model file appeared.
+  std::size_t files = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator(dir_)) {
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+
+  // Second call loads the identical weights.
+  Selector second = GetOrTrainSelector(cfg, enc, opt, dir_);
+  auto pa = first.Params();
+  auto pb = second.Params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->value.numel(), pb[i]->value.numel());
+    for (std::size_t j = 0; j < pa[i]->value.numel(); ++j) {
+      EXPECT_EQ(pa[i]->value[j], pb[i]->value[j]);
+    }
+  }
+}
+
+TEST_F(ModelCacheTest, DifferentOptionsGetDifferentCacheEntries) {
+  const NecConfig cfg = TinyConfig();
+  encoder::LasEncoder enc(cfg.embedding_dim);
+  TrainerOptions a = TinyOptions();
+  TrainerOptions b = TinyOptions();
+  b.steps = 7;
+  GetOrTrainSelector(cfg, enc, a, dir_);
+  GetOrTrainSelector(cfg, enc, b, dir_);
+  std::size_t files = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator(dir_)) {
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+}
+
+TEST(ModelCache, DefaultCacheDirIsCreated) {
+  const std::string dir = DefaultCacheDir();
+  EXPECT_TRUE(std::filesystem::exists(dir));
+}
+
+}  // namespace
+}  // namespace nec::core

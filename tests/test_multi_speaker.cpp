@@ -1,0 +1,120 @@
+// Tests for multi-speaker protection (§VII future work).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.h"
+#include "core/multi_speaker.h"
+#include "metrics/metrics.h"
+#include "synth/dataset.h"
+
+namespace nec::core {
+namespace {
+
+NecConfig SmallConfig() {
+  NecConfig cfg = NecConfig::Fast();
+  cfg.conv_channels = 6;
+  cfg.fc_hidden = 32;
+  return cfg;
+}
+
+class MultiSpeakerTest : public ::testing::Test {
+ protected:
+  MultiSpeakerTest()
+      : cfg_(SmallConfig()),
+        pipeline_(Selector(cfg_, 7),
+                  std::make_shared<encoder::LasEncoder>(cfg_.embedding_dim),
+                  {}),
+        builder_({.duration_s = 2.0}),
+        spks_(synth::DatasetBuilder::MakeSpeakers(3, 6006)) {}
+
+  NecConfig cfg_;
+  NecPipeline pipeline_;
+  synth::DatasetBuilder builder_;
+  std::vector<synth::SpeakerProfile> spks_;
+};
+
+TEST_F(MultiSpeakerTest, RequiresEnrollment) {
+  MultiSpeakerProtector protector(pipeline_);
+  EXPECT_EQ(protector.num_targets(), 0u);
+  const auto utt = builder_.MakeUtterance(spks_[0], 1);
+  EXPECT_THROW(protector.GenerateShadow(utt.wave,
+                                        MultiStrategy::kMergedEmbedding),
+               nec::CheckError);
+}
+
+TEST_F(MultiSpeakerTest, EnrollsSeveralTargets) {
+  MultiSpeakerProtector protector(pipeline_);
+  EXPECT_EQ(protector.EnrollTarget(
+                builder_.MakeReferenceAudios(spks_[0], 3, 1)),
+            0u);
+  EXPECT_EQ(protector.EnrollTarget(
+                builder_.MakeReferenceAudios(spks_[1], 3, 2)),
+            1u);
+  EXPECT_EQ(protector.num_targets(), 2u);
+}
+
+class MultiStrategyTest
+    : public MultiSpeakerTest,
+      public ::testing::WithParamInterface<MultiStrategy> {};
+
+TEST_P(MultiStrategyTest, ShadowShapeAndFiniteness) {
+  MultiSpeakerProtector protector(pipeline_);
+  protector.EnrollTarget(builder_.MakeReferenceAudios(spks_[0], 3, 1));
+  protector.EnrollTarget(builder_.MakeReferenceAudios(spks_[1], 3, 2));
+
+  const auto inst = builder_.MakeInstance(
+      spks_[0], synth::Scenario::kJointConversation, 9, &spks_[1]);
+  const audio::Waveform shadow =
+      protector.GenerateShadow(inst.mixed, GetParam());
+  EXPECT_EQ(shadow.size(), inst.mixed.size());
+  for (float v : shadow.samples()) ASSERT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, MultiStrategyTest,
+                         ::testing::Values(MultiStrategy::kMergedEmbedding,
+                                           MultiStrategy::kIterativeResidual));
+
+TEST_F(MultiSpeakerTest, IterativeResidualCoversBothTargets) {
+  // Two protected speakers talking over noise: the union shadow should
+  // reduce both speakers' spectrogram residual, not just one.
+  // (Uses the deterministic LAS selector path indirectly through the
+  // untrained neural net — so we only check energy removal direction
+  // with the iterative strategy and untrained weights: the masked head
+  // at init removes ~50% everywhere, so both targets shrink.)
+  MultiSpeakerProtector protector(pipeline_);
+  protector.EnrollTarget(builder_.MakeReferenceAudios(spks_[0], 3, 1));
+  protector.EnrollTarget(builder_.MakeReferenceAudios(spks_[1], 3, 2));
+
+  const auto inst = builder_.MakeInstance(
+      spks_[0], synth::Scenario::kJointConversation, 11, &spks_[1]);
+  const audio::Waveform shadow = protector.GenerateShadow(
+      inst.mixed, MultiStrategy::kIterativeResidual);
+  const audio::Waveform record = audio::Mix(inst.mixed, shadow);
+  EXPECT_LT(metrics::Sdr(inst.target.samples(), record.samples()),
+            metrics::Sdr(inst.target.samples(), inst.mixed.samples()));
+  EXPECT_LT(metrics::Sdr(inst.background.samples(), record.samples()),
+            metrics::Sdr(inst.background.samples(), inst.mixed.samples()));
+}
+
+TEST_F(MultiSpeakerTest, SingleTargetMatchesPipelineShadowScale) {
+  // With one enrolled target, merged-embedding reduces to the single-
+  // target selector (up to d-vector renormalization rounding).
+  MultiSpeakerProtector protector(pipeline_);
+  const auto refs = builder_.MakeReferenceAudios(spks_[0], 3, 1);
+  protector.EnrollTarget(refs);
+  pipeline_.Enroll(refs);
+
+  const auto inst = builder_.MakeInstance(
+      spks_[0], synth::Scenario::kBabble, 13);
+  const audio::Waveform a = protector.GenerateShadow(
+      inst.mixed, MultiStrategy::kMergedEmbedding);
+  const audio::Waveform b = pipeline_.GenerateShadow(inst.mixed);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 2e-4f);  // renormalization rounding
+  }
+}
+
+}  // namespace
+}  // namespace nec::core

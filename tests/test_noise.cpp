@@ -1,0 +1,116 @@
+// Tests for the NOISEX-92 substitute noise generators: band structure per
+// Table I and determinism.
+#include <gtest/gtest.h>
+
+#include "dsp/stft.h"
+#include "synth/noise.h"
+
+namespace nec::synth {
+namespace {
+
+// Fraction of spectral energy below `cutoff_hz`.
+double LowBandFraction(const audio::Waveform& w, double cutoff_hz) {
+  dsp::StftConfig cfg{.fft_size = 512, .win_length = 400, .hop_length = 160};
+  const dsp::Spectrogram spec = dsp::Stft(w, cfg);
+  double lo = 0.0, total = 0.0;
+  for (std::size_t t = 0; t < spec.num_frames(); ++t) {
+    for (std::size_t f = 0; f < spec.num_bins(); ++f) {
+      const double e =
+          static_cast<double>(spec.MagAt(t, f)) * spec.MagAt(t, f);
+      total += e;
+      if (f * static_cast<double>(w.sample_rate()) / cfg.fft_size <
+          cutoff_hz) {
+        lo += e;
+      }
+    }
+  }
+  return total > 0 ? lo / total : 0.0;
+}
+
+class NoiseTypeTest : public ::testing::TestWithParam<NoiseType> {};
+
+TEST_P(NoiseTypeTest, DeterministicInSeed) {
+  const auto a = GenerateNoise(GetParam(), 16000, 8000, 77);
+  const auto b = GenerateNoise(GetParam(), 16000, 8000, 77);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST_P(NoiseTypeTest, SeedChangesRealization) {
+  const auto a = GenerateNoise(GetParam(), 16000, 8000, 1);
+  const auto b = GenerateNoise(GetParam(), 16000, 8000, 2);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff += std::abs(static_cast<double>(a[i]) - b[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST_P(NoiseTypeTest, NormalizedRms) {
+  const auto w = GenerateNoise(GetParam(), 16000, 16000, 5);
+  EXPECT_NEAR(w.Rms(), 0.1f, 1e-3);
+}
+
+TEST_P(NoiseTypeTest, RequestedLength) {
+  const auto w = GenerateNoise(GetParam(), 16000, 12345, 5);
+  EXPECT_EQ(w.size(), 12345u);
+  EXPECT_EQ(w.sample_rate(), 16000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Types, NoiseTypeTest,
+                         ::testing::Values(NoiseType::kWhite,
+                                           NoiseType::kBabble,
+                                           NoiseType::kFactory,
+                                           NoiseType::kVehicle));
+
+TEST(Noise, WhiteIsBroadband) {
+  const auto w = GenerateNoise(NoiseType::kWhite, 16000, 32000, 3);
+  // Roughly half the energy below 4 kHz (flat spectrum).
+  EXPECT_NEAR(LowBandFraction(w, 4000.0), 0.5, 0.08);
+}
+
+TEST(Noise, BabbleBandLimitedTo4k) {
+  // Table I: babble occupies 0-4 kHz.
+  const auto w = GenerateNoise(NoiseType::kBabble, 16000, 32000, 3);
+  EXPECT_GT(LowBandFraction(w, 4000.0), 0.97);
+}
+
+TEST(Noise, FactoryBandLimitedTo2k) {
+  // Table I: factory occupies 0-2 kHz.
+  const auto w = GenerateNoise(NoiseType::kFactory, 16000, 32000, 3);
+  EXPECT_GT(LowBandFraction(w, 2000.0), 0.95);
+}
+
+TEST(Noise, VehicleBandLimitedTo500) {
+  // Table I: vehicle occupies 0-500 Hz.
+  const auto w = GenerateNoise(NoiseType::kVehicle, 16000, 32000, 3);
+  EXPECT_GT(LowBandFraction(w, 500.0), 0.95);
+}
+
+TEST(Noise, BandsAreOrderedByWidth) {
+  // Table I's occupied bands are strictly nested: energy above each class's
+  // band edge must shrink from white → babble → factory → vehicle.
+  const auto white = GenerateNoise(NoiseType::kWhite, 16000, 32000, 9);
+  const auto babble = GenerateNoise(NoiseType::kBabble, 16000, 32000, 9);
+  const auto factory = GenerateNoise(NoiseType::kFactory, 16000, 32000, 9);
+  const auto vehicle = GenerateNoise(NoiseType::kVehicle, 16000, 32000, 9);
+  // Above 4 kHz: only white has substantial energy.
+  EXPECT_GT(1.0 - LowBandFraction(white, 4000.0),
+            5.0 * (1.0 - LowBandFraction(babble, 4000.0)));
+  // Above 2 kHz: babble has more than factory.
+  EXPECT_GT(1.0 - LowBandFraction(babble, 2000.0),
+            2.0 * (1.0 - LowBandFraction(factory, 2000.0)));
+  // Above 500 Hz: factory has more than vehicle.
+  EXPECT_GT(1.0 - LowBandFraction(factory, 500.0),
+            2.0 * (1.0 - LowBandFraction(vehicle, 500.0)));
+}
+
+TEST(Noise, NamesAreStable) {
+  EXPECT_EQ(NoiseTypeName(NoiseType::kWhite), "white");
+  EXPECT_EQ(NoiseTypeName(NoiseType::kBabble), "babble");
+  EXPECT_EQ(NoiseTypeName(NoiseType::kFactory), "factory");
+  EXPECT_EQ(NoiseTypeName(NoiseType::kVehicle), "vehicle");
+}
+
+}  // namespace
+}  // namespace nec::synth

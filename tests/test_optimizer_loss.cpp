@@ -1,0 +1,174 @@
+// Tests for Adam and the loss functions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace nec::nn {
+namespace {
+
+TEST(MseLoss, KnownValueAndGradient) {
+  Tensor pred({2}), target({2});
+  pred[0] = 1.0f;
+  pred[1] = 3.0f;
+  target[0] = 0.0f;
+  target[1] = 1.0f;
+  const MseResult r = MseLoss(pred, target);
+  EXPECT_NEAR(r.loss, (1.0 + 4.0) / 2.0, 1e-6);
+  EXPECT_NEAR(r.grad[0], 2.0f * 1.0f / 2.0f, 1e-6);
+  EXPECT_NEAR(r.grad[1], 2.0f * 2.0f / 2.0f, 1e-6);
+}
+
+TEST(MseLoss, ZeroWhenEqual) {
+  Tensor a({5});
+  a.Fill(0.7f);
+  const MseResult r = MseLoss(a, a);
+  EXPECT_EQ(r.loss, 0.0f);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(r.grad[i], 0.0f);
+}
+
+TEST(MseLoss, RejectsShapeMismatch) {
+  Tensor a({3}), b({4});
+  EXPECT_THROW(MseLoss(a, b), CheckError);
+}
+
+TEST(MseLoss, GradientMatchesFiniteDifference) {
+  Rng rng(1);
+  Tensor pred = Tensor::Randn({7}, rng, 1.0f);
+  Tensor target = Tensor::Randn({7}, rng, 1.0f);
+  const MseResult r = MseLoss(pred, target);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < 7; ++i) {
+    Tensor plus = pred;
+    plus[i] += eps;
+    Tensor minus = pred;
+    minus[i] -= eps;
+    const float numeric =
+        (MseLoss(plus, target).loss - MseLoss(minus, target).loss) /
+        (2.0f * eps);
+    EXPECT_NEAR(r.grad[i], numeric, 1e-3);
+  }
+}
+
+TEST(L1Loss, KnownValueAndGradientSigns) {
+  Tensor pred({3}), target({3});
+  pred[0] = 2.0f;
+  pred[1] = -1.0f;
+  pred[2] = 0.5f;
+  target[0] = 1.0f;
+  target[1] = 1.0f;
+  target[2] = 0.5f;
+  const MseResult r = L1Loss(pred, target);
+  EXPECT_NEAR(r.loss, (1.0 + 2.0 + 0.0) / 3.0, 1e-6);
+  EXPECT_GT(r.grad[0], 0.0f);
+  EXPECT_LT(r.grad[1], 0.0f);
+  EXPECT_EQ(r.grad[2], 0.0f);
+}
+
+// A Param-only problem for optimizer testing.
+struct QuadraticProblem {
+  Param x;
+  explicit QuadraticProblem(std::size_t n) : x(Tensor({n})) {}
+
+  // loss = ||x - target||^2; accumulates gradient.
+  float Step(const Tensor& target) {
+    double loss = 0.0;
+    for (std::size_t i = 0; i < x.value.numel(); ++i) {
+      const float d = x.value[i] - target[i];
+      x.grad[i] += 2.0f * d;
+      loss += static_cast<double>(d) * d;
+    }
+    return static_cast<float>(loss);
+  }
+};
+
+TEST(Adam, ConvergesOnQuadratic) {
+  QuadraticProblem prob(8);
+  Rng rng(2);
+  Tensor target = Tensor::Randn({8}, rng, 2.0f);
+  Adam adam({&prob.x}, {.lr = 0.1f});
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 300; ++step) {
+    const float loss = prob.Step(target);
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, 1e-3f * first_loss);
+}
+
+TEST(Adam, StepZeroesGradients) {
+  QuadraticProblem prob(3);
+  Tensor target({3});
+  target.Fill(1.0f);
+  Adam adam({&prob.x}, {});
+  prob.Step(target);
+  adam.Step();
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(prob.x.grad[i], 0.0f);
+}
+
+TEST(Adam, GradClipKeepsDirection) {
+  QuadraticProblem a(4), b(4);
+  Tensor target({4});
+  target.Fill(100.0f);  // huge gradients
+  Adam clipped({&a.x}, {.lr = 0.01f, .grad_clip = 1.0f});
+  Adam free({&b.x}, {.lr = 0.01f, .grad_clip = 0.0f});
+  a.Step(target);
+  b.Step(target);
+  EXPECT_GT(clipped.GradNorm(), 100.0f);
+  clipped.Step();
+  free.Step();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(a.x.value[i], 0.0f);
+    EXPECT_GT(b.x.value[i], 0.0f);
+  }
+}
+
+TEST(Adam, WeightDecayShrinksParams) {
+  QuadraticProblem prob(1);
+  prob.x.value[0] = 10.0f;
+  Adam adam({&prob.x}, {.lr = 0.1f, .weight_decay = 0.5f});
+  adam.Step();  // zero gradient: only decay acts
+  EXPECT_LT(prob.x.value[0], 10.0f);
+}
+
+TEST(Adam, RejectsEmptyParamList) {
+  EXPECT_THROW(Adam({}, {}), CheckError);
+}
+
+TEST(Adam, CountsSteps) {
+  QuadraticProblem prob(1);
+  Adam adam({&prob.x}, {});
+  EXPECT_EQ(adam.step_count(), 0);
+  adam.Step();
+  adam.Step();
+  EXPECT_EQ(adam.step_count(), 2);
+}
+
+TEST(Adam, TrainsATinyNetworkEndToEnd) {
+  // Fit y = 2x - 1 with a single Linear layer.
+  Rng rng(3);
+  Linear fc(1, 1, rng);
+  Adam adam(fc.Params(), {.lr = 0.05f});
+  for (int step = 0; step < 400; ++step) {
+    const float x = rng.UniformF(-1.0f, 1.0f);
+    Tensor in({1, 1});
+    in[0] = x;
+    Tensor target({1, 1});
+    target[0] = 2.0f * x - 1.0f;
+    Tensor out = fc.Forward(in);
+    const MseResult mse = MseLoss(out, target);
+    fc.Backward(mse.grad);
+    adam.Step();
+  }
+  EXPECT_NEAR(fc.weight().value[0], 2.0f, 0.1f);
+  EXPECT_NEAR(fc.bias().value[0], -1.0f, 0.1f);
+}
+
+}  // namespace
+}  // namespace nec::nn

@@ -1,0 +1,131 @@
+// Tests for the phoneme inventory and pronunciation lexicon.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "synth/lexicon.h"
+#include "synth/phoneme.h"
+
+namespace nec::synth {
+namespace {
+
+TEST(Phoneme, InventoryNonEmptyAndWellFormed) {
+  const auto& inv = PhonemeInventory();
+  EXPECT_GT(inv.size(), 30u);
+  for (const Phoneme& p : inv) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GT(p.duration_ms, 0.0);
+    if (p.type == PhonemeType::kVowel) {
+      // Vowels carry three ordered formants inside the speech band.
+      EXPECT_GT(p.f1, 200.0);
+      EXPECT_LT(p.f1, p.f2);
+      EXPECT_LT(p.f2, p.f3);
+      EXPECT_LT(p.f3, 4000.0);
+      EXPECT_TRUE(p.voiced);
+    }
+    if (p.type == PhonemeType::kFricative) {
+      EXPECT_GT(p.noise_hi, p.noise_lo);
+    }
+  }
+}
+
+TEST(Phoneme, LookupFindsKnownAndRejectsUnknown) {
+  EXPECT_TRUE(FindPhoneme("AA").has_value());
+  EXPECT_TRUE(FindPhoneme("NG").has_value());
+  EXPECT_FALSE(FindPhoneme("QQ").has_value());
+  EXPECT_FALSE(FindPhoneme("").has_value());
+}
+
+TEST(Phoneme, SilenceIsSilent) {
+  const Phoneme& sil = SilencePhoneme();
+  EXPECT_EQ(sil.type, PhonemeType::kSilence);
+  EXPECT_EQ(sil.amplitude, 0.0);
+}
+
+TEST(Phoneme, VowelFormantsMatchPetersonBarney) {
+  // Spot-check canonical values used by §III's observations.
+  const auto iy = FindPhoneme("IY");
+  ASSERT_TRUE(iy.has_value());
+  EXPECT_NEAR(iy->f1, 270.0, 1.0);
+  EXPECT_NEAR(iy->f2, 2290.0, 1.0);
+  const auto aa = FindPhoneme("AA");
+  ASSERT_TRUE(aa.has_value());
+  EXPECT_NEAR(aa->f1, 730.0, 1.0);
+}
+
+TEST(Lexicon, ContainsPaperSentences) {
+  const Lexicon& lex = Lexicon::Default();
+  for (const char* w :
+       {"my", "ideal", "morning", "begins", "with", "hot", "coffee",
+        "don't", "ask", "me", "to", "carry", "an", "oily", "rag", "like",
+        "that"}) {
+    EXPECT_TRUE(lex.Contains(w)) << w;
+    EXPECT_TRUE(lex.Lookup(w).has_value()) << w;
+  }
+}
+
+TEST(Lexicon, VocabularyIsSubstantial) {
+  EXPECT_GT(Lexicon::Default().Words().size(), 120u);
+}
+
+TEST(Lexicon, LookupIsCaseInsensitive) {
+  const Lexicon& lex = Lexicon::Default();
+  EXPECT_TRUE(lex.Lookup("COFFEE").has_value());
+  EXPECT_TRUE(lex.Lookup("Coffee").has_value());
+}
+
+TEST(Lexicon, UnknownWordReturnsNullopt) {
+  EXPECT_FALSE(Lexicon::Default().Lookup("xylophone").has_value());
+}
+
+TEST(Lexicon, AllEntriesUseValidPhonemes) {
+  const Lexicon& lex = Lexicon::Default();
+  for (const std::string& w : lex.Words()) {
+    const auto phonemes = lex.Lookup(w);
+    ASSERT_TRUE(phonemes.has_value()) << w;
+    EXPECT_FALSE(phonemes->empty()) << w;
+    for (const Phoneme& p : *phonemes) {
+      EXPECT_TRUE(FindPhoneme(p.name).has_value()) << w;
+    }
+  }
+}
+
+TEST(Lexicon, WordsAreSorted) {
+  const auto& words = Lexicon::Default().Words();
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    EXPECT_LT(words[i - 1], words[i]);
+  }
+}
+
+TEST(Lexicon, RandomSentenceDrawsFromVocabulary) {
+  const Lexicon& lex = Lexicon::Default();
+  nec::Rng rng(5);
+  const auto sentence = lex.RandomSentence(rng, 12);
+  ASSERT_EQ(sentence.size(), 12u);
+  for (const std::string& w : sentence) {
+    EXPECT_TRUE(lex.Contains(w)) << w;
+  }
+}
+
+TEST(Lexicon, TokenizeSplitsAndLowercases) {
+  const auto tokens =
+      Lexicon::Tokenize("My Ideal  MORNING begins\twith hot coffee");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0], "my");
+  EXPECT_EQ(tokens[2], "morning");
+}
+
+TEST(Lexicon, TokenizeKeepsApostrophesDropsDigits) {
+  const auto tokens = Lexicon::Tokenize("don't record 123 me!");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "don't");
+  EXPECT_EQ(tokens[1], "record");
+  EXPECT_EQ(tokens[2], "me");
+}
+
+TEST(Lexicon, TokenizeEmptyString) {
+  EXPECT_TRUE(Lexicon::Tokenize("").empty());
+  EXPECT_TRUE(Lexicon::Tokenize("   ").empty());
+}
+
+}  // namespace
+}  // namespace nec::synth

@@ -1,0 +1,120 @@
+// Tests for the DTW word recognizer and WER (the Google-STT substitute).
+#include <gtest/gtest.h>
+
+#include "asr/recognizer.h"
+#include "baselines/white_noise.h"
+#include "synth/dataset.h"
+
+namespace nec::asr {
+namespace {
+
+// The recognizer builds ~500 templates; share one across tests.
+const WordRecognizer& SharedRecognizer() {
+  static const WordRecognizer rec;
+  return rec;
+}
+
+TEST(WordErrorRate, ZeroForExactMatch) {
+  EXPECT_EQ(WordErrorRate({"a", "b", "c"}, {"a", "b", "c"}), 0.0);
+}
+
+TEST(WordErrorRate, SubstitutionsDeletionsInsertions) {
+  EXPECT_NEAR(WordErrorRate({"a", "b", "c"}, {"a", "x", "c"}), 1.0 / 3.0,
+              1e-9);
+  EXPECT_NEAR(WordErrorRate({"a", "b", "c"}, {"a", "c"}), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(WordErrorRate({"a", "b"}, {"a", "x", "b"}), 0.5, 1e-9);
+}
+
+TEST(WordErrorRate, CanExceedOne) {
+  // The paper reports WER ~2.0 on jammed audio: hypothesis full of
+  // hallucinated words.
+  EXPECT_NEAR(WordErrorRate({"a"}, {"x", "y", "z"}), 3.0, 1e-9);
+}
+
+TEST(WordErrorRate, EmptyCases) {
+  EXPECT_EQ(WordErrorRate({}, {}), 0.0);
+  EXPECT_EQ(WordErrorRate({"a", "b"}, {}), 1.0);
+  EXPECT_EQ(WordErrorRate({}, {"a", "b"}), 2.0);
+}
+
+TEST(Recognizer, BuildsFullVocabulary) {
+  EXPECT_GE(SharedRecognizer().vocabulary_size(), 300u);
+}
+
+TEST(Recognizer, IsolatedWordsFromUnseenSpeaker) {
+  synth::Synthesizer synth({.sample_rate = 16000, .edge_silence_ms = 10});
+  const auto spk = synth::SpeakerProfile::FromSeed(99991);
+  int correct = 0;
+  const std::vector<std::string> words = {"coffee", "morning", "window",
+                                          "record", "water"};
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const auto utt = synth.SynthesizeWords(spk, {words[i]}, 50 + i);
+    const auto hyp = SharedRecognizer().Transcribe(utt.wave);
+    if (hyp.size() == 1 && hyp[0] == words[i]) ++correct;
+  }
+  EXPECT_GE(correct, 4);
+}
+
+TEST(Recognizer, CleanSentencesHaveModerateWer) {
+  // Template matching across unseen voices is imperfect (so is Google's
+  // ASR in the paper: mixed-audio WER ≈ 0.9 in Fig. 11); what matters is
+  // that clean speech lands well below the jammed regime. Average over
+  // several speakers to avoid single-voice luck.
+  synth::Synthesizer synth({.sample_rate = 16000});
+  const std::vector<std::string> ref = {"my",   "ideal", "morning", "begins",
+                                        "with", "hot",   "coffee"};
+  double wer = 0.0;
+  const std::uint64_t seeds[] = {12345, 424242, 31415};
+  for (std::uint64_t seed : seeds) {
+    const auto spk = synth::SpeakerProfile::FromSeed(seed);
+    const auto utt = synth.SynthesizeWords(spk, ref, 77);
+    wer += WordErrorRate(ref, SharedRecognizer().Transcribe(utt.wave));
+  }
+  EXPECT_LT(wer / std::size(seeds), 0.6);
+}
+
+TEST(Recognizer, JammedAudioHasHighWer) {
+  // With strong white noise over the recording, the recognizer must do
+  // far worse than on clean audio — the property Fig. 11's WER metric
+  // depends on.
+  synth::Synthesizer synth({.sample_rate = 16000});
+  const auto spk = synth::SpeakerProfile::FromSeed(31415);
+  const std::vector<std::string> ref = {"please", "record", "the", "meeting",
+                                        "today"};
+  const auto utt = synth.SynthesizeWords(spk, ref, 3);
+  const double clean_wer =
+      WordErrorRate(ref, SharedRecognizer().Transcribe(utt.wave));
+  const audio::Waveform jammed =
+      baseline::JamWithWhiteNoise(utt.wave, {.noise_rel_db = 10.0});
+  const double jammed_wer =
+      WordErrorRate(ref, SharedRecognizer().Transcribe(jammed));
+  EXPECT_GT(jammed_wer, clean_wer + 0.3);
+  EXPECT_GE(jammed_wer, 0.8);
+}
+
+TEST(Recognizer, SilenceYieldsNothing) {
+  audio::Waveform silence(16000, std::size_t{16000});
+  EXPECT_TRUE(SharedRecognizer().Transcribe(silence).empty());
+}
+
+TEST(Recognizer, EmptyInputYieldsNothing) {
+  audio::Waveform w(16000, std::size_t{0});
+  EXPECT_TRUE(SharedRecognizer().Transcribe(w).empty());
+}
+
+TEST(Recognizer, RecognizedWordsCarryOrderedTimestamps) {
+  synth::Synthesizer synth({.sample_rate = 16000});
+  const auto spk = synth::SpeakerProfile::FromSeed(2718);
+  const auto utt = synth.SynthesizeWords(spk, {"one", "two", "three"}, 1);
+  const auto words = SharedRecognizer().Recognize(utt.wave);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_LT(words[i].start_sample, words[i].end_sample);
+    if (i > 0) {
+      EXPECT_GE(words[i].start_sample, words[i - 1].start_sample);
+    }
+    EXPECT_LE(words[i].distance, 2.1 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace nec::asr

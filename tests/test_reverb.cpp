@@ -1,0 +1,105 @@
+// Tests for the Schroeder room reverberator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/reverb.h"
+#include "common/check.h"
+
+namespace nec::channel {
+namespace {
+
+audio::Waveform Impulse(int rate, std::size_t n) {
+  audio::Waveform w(rate, n);
+  w[0] = 1.0f;
+  return w;
+}
+
+TEST(Reverb, OutputLongerByTail) {
+  Reverberator verb(16000, {.rt60_s = 0.4});
+  const auto out = verb.Process(Impulse(16000, 1600));
+  EXPECT_EQ(out.size(), 1600u + static_cast<std::size_t>(0.4 * 16000));
+}
+
+TEST(Reverb, ImpulseResponseDecaysAtRt60Rate) {
+  const double rt60 = 0.5;
+  Reverberator verb(16000, {.rt60_s = rt60, .wet = 1.0, .damping = 0.0});
+  const auto ir = verb.Process(Impulse(16000, 16000));
+
+  // Energy in [50,150] ms vs [RT60-50, RT60+50] ms windows: RT60 means
+  // -60 dB decay over rt60 seconds, so the later window sits far below.
+  auto window_energy = [&](double t0, double t1) {
+    double acc = 0.0;
+    for (std::size_t i = static_cast<std::size_t>(t0 * 16000);
+         i < static_cast<std::size_t>(t1 * 16000) && i < ir.size(); ++i) {
+      acc += static_cast<double>(ir[i]) * ir[i];
+    }
+    return acc;
+  };
+  const double early = window_energy(0.05, 0.15);
+  const double late = window_energy(rt60 - 0.05, rt60 + 0.05);
+  EXPECT_GT(early, late * 30.0);
+  EXPECT_GT(late, 0.0);  // the tail does ring
+}
+
+TEST(Reverb, DryPassThroughAtZeroWet) {
+  Reverberator verb(16000, {.rt60_s = 0.3, .wet = 0.0});
+  audio::Waveform in(16000, std::size_t{800});
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = std::sin(0.02f * static_cast<float>(i));
+  }
+  const auto out = verb.Process(in);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_FLOAT_EQ(out[i], in[i]);
+  }
+}
+
+TEST(Reverb, WetPathAddsLateEnergy) {
+  Reverberator verb(16000, {.rt60_s = 0.5, .wet = 0.4});
+  audio::Waveform in(16000, std::size_t{3200});
+  for (std::size_t i = 0; i < 1600; ++i) in[i] = 0.3f;
+  const auto out = verb.Process(in);
+  // The region right after the dry signal ends carries reverberant energy.
+  double tail_energy = 0.0;
+  for (std::size_t i = 3300; i < 4800 && i < out.size(); ++i) {
+    tail_energy += static_cast<double>(out[i]) * out[i];
+  }
+  EXPECT_GT(tail_energy, 1e-4);
+}
+
+TEST(Reverb, ResetClearsState) {
+  Reverberator verb(16000, {.rt60_s = 0.3, .wet = 1.0});
+  const auto first = verb.Process(Impulse(16000, 800));
+  verb.Reset();
+  const auto second = verb.Process(Impulse(16000, 800));
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]);
+  }
+}
+
+TEST(Reverb, StableOverLongInput) {
+  // Feedback < 1 everywhere: a long noisy input must not blow up.
+  Reverberator verb(16000, {.rt60_s = 1.2, .wet = 0.5, .damping = 0.2});
+  audio::Waveform in(16000, std::size_t{32000});
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = 0.2f * std::sin(0.37f * static_cast<float>(i));
+  }
+  const auto out = verb.Process(in);
+  for (float v : out.samples()) {
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_LT(std::abs(v), 10.0f);
+  }
+}
+
+TEST(Reverb, RejectsImplausibleRooms) {
+  EXPECT_THROW(Reverberator(16000, {.rt60_s = 0.0}), nec::CheckError);
+  EXPECT_THROW(Reverberator(16000, {.rt60_s = 0.4, .wet = 1.5}),
+               nec::CheckError);
+  EXPECT_THROW(
+      Reverberator(16000, {.rt60_s = 0.4, .wet = 0.2, .damping = 1.0}),
+      nec::CheckError);
+}
+
+}  // namespace
+}  // namespace nec::channel

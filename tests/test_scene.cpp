@@ -1,0 +1,100 @@
+// Tests for the acoustic scene simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "audio/level.h"
+#include "channel/scene.h"
+#include "common/check.h"
+
+namespace nec::channel {
+namespace {
+
+audio::Waveform Tone(int rate, double f, double seconds) {
+  audio::Waveform w(rate, static_cast<std::size_t>(rate * seconds));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(
+        0.3 * std::sin(2.0 * std::numbers::pi * f * i / rate));
+  }
+  return w;
+}
+
+TEST(Scene, SingleSourceLeveledToSpl) {
+  SceneSimulator sim;
+  const audio::Waveform src = Tone(16000, 1000.0, 0.5);
+  const audio::Waveform incident = sim.RenderIncident(
+      {{.wave = &src, .distance_m = 0.05, .spl_at_ref_db = 77.0}}, {});
+  // At the reference distance the incident RMS equals SplToRms(77).
+  const double expected = audio::SplScale().SplToRms(77.0);
+  EXPECT_NEAR(incident.Rms(), expected, 0.1 * expected);
+  EXPECT_EQ(incident.sample_rate(), kAirSampleRate);
+}
+
+TEST(Scene, DistanceAttenuates) {
+  SceneSimulator sim;
+  const audio::Waveform src = Tone(16000, 1000.0, 0.5);
+  const auto near = sim.RenderIncident(
+      {{.wave = &src, .distance_m = 0.5, .spl_at_ref_db = 77.0}}, {});
+  const auto far = sim.RenderIncident(
+      {{.wave = &src, .distance_m = 2.0, .spl_at_ref_db = 77.0}}, {});
+  // 4x distance = -12 dB.
+  EXPECT_NEAR(audio::AmplitudeToDb(far.Rms() / near.Rms()), -12.0, 1.0);
+}
+
+TEST(Scene, SourcesSuperpose) {
+  SceneSimulator sim;
+  const audio::Waveform a = Tone(16000, 500.0, 0.4);
+  const audio::Waveform b = Tone(16000, 1200.0, 0.4);
+  const auto both = sim.RenderIncident(
+      {{.wave = &a, .distance_m = 1.0, .spl_at_ref_db = 77.0},
+       {.wave = &b, .distance_m = 1.0, .spl_at_ref_db = 77.0}},
+      {});
+  const auto only_a = sim.RenderIncident(
+      {{.wave = &a, .distance_m = 1.0, .spl_at_ref_db = 77.0}}, {});
+  const auto only_b = sim.RenderIncident(
+      {{.wave = &b, .distance_m = 1.0, .spl_at_ref_db = 77.0}}, {});
+  // Incoherent tones: powers add.
+  EXPECT_NEAR(both.Rms() * both.Rms(),
+              only_a.Rms() * only_a.Rms() + only_b.Rms() * only_b.Rms(),
+              0.1 * both.Rms() * both.Rms());
+}
+
+TEST(Scene, StartOffsetShiftsSource) {
+  SceneSimulator sim;
+  const audio::Waveform src = Tone(16000, 1000.0, 0.1);
+  const auto base = sim.RenderIncident(
+      {{.wave = &src, .distance_m = 1.0, .spl_at_ref_db = 77.0}}, {});
+  const auto delayed = sim.RenderIncident(
+      {{.wave = &src,
+        .distance_m = 1.0,
+        .spl_at_ref_db = 77.0,
+        .start_offset_s = 0.05}},
+      {});
+  EXPECT_NEAR(static_cast<double>(delayed.size()) - base.size(),
+              0.05 * kAirSampleRate, 2.0);
+}
+
+TEST(Scene, SourceSplAtRecorderMatchesChannelMath) {
+  SceneSimulator sim;
+  // 77 dB at 5 cm → ~51 dB at 1 m (spreading -26 dB).
+  const double spl = sim.SourceSplAtRecorder(77.0, 1.0);
+  EXPECT_NEAR(spl, 51.0, 0.5);
+}
+
+TEST(Scene, UltrasoundSourceMustBeAtAirRate) {
+  SceneSimulator sim;
+  const audio::Waveform wrong_rate = Tone(16000, 1000.0, 0.1);
+  EXPECT_THROW(
+      sim.RenderIncident({}, {{.wave = &wrong_rate, .distance_m = 1.0}}),
+      nec::CheckError);
+}
+
+TEST(Scene, NullSourceRejected) {
+  SceneSimulator sim;
+  EXPECT_THROW(sim.RenderIncident({{.wave = nullptr}}, {}),
+               nec::CheckError);
+}
+
+}  // namespace
+}  // namespace nec::channel

@@ -1,0 +1,89 @@
+// Tests for the binary tensor (de)serialization format.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "nn/serialize.h"
+
+namespace nec::nn {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "nec_serialize_test";
+    std::filesystem::create_directories(dir_);
+  }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(SerializeTest, RoundTripPreservesEverything) {
+  Rng rng(1);
+  TensorMap map;
+  map.emplace("alpha", Tensor::Randn({3, 4}, rng, 1.0f));
+  map.emplace("beta.weight", Tensor::Randn({2, 5, 7}, rng, 0.3f));
+  map.emplace("gamma", Tensor({1}));
+
+  SaveTensors(Path("model.necm"), map);
+  const TensorMap loaded = LoadTensors(Path("model.necm"));
+
+  ASSERT_EQ(loaded.size(), map.size());
+  for (const auto& [name, tensor] : map) {
+    ASSERT_TRUE(loaded.count(name)) << name;
+    const Tensor& got = loaded.at(name);
+    ASSERT_EQ(got.shape(), tensor.shape()) << name;
+    for (std::size_t i = 0; i < tensor.numel(); ++i) {
+      EXPECT_EQ(got[i], tensor[i]) << name << "[" << i << "]";
+    }
+  }
+}
+
+TEST_F(SerializeTest, FilesAreByteStable) {
+  Rng rng(2);
+  TensorMap map;
+  map.emplace("w", Tensor::Randn({8, 8}, rng, 1.0f));
+  SaveTensors(Path("a.necm"), map);
+  SaveTensors(Path("b.necm"), map);
+  std::ifstream a(Path("a.necm"), std::ios::binary);
+  std::ifstream b(Path("b.necm"), std::ios::binary);
+  const std::string sa((std::istreambuf_iterator<char>(a)), {});
+  const std::string sb((std::istreambuf_iterator<char>(b)), {});
+  EXPECT_EQ(sa, sb);
+}
+
+TEST_F(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(LoadTensors(Path("missing.necm")), std::runtime_error);
+}
+
+TEST_F(SerializeTest, BadMagicThrows) {
+  std::ofstream out(Path("bad.necm"), std::ios::binary);
+  out << "XXXX garbage follows";
+  out.close();
+  EXPECT_THROW(LoadTensors(Path("bad.necm")), std::runtime_error);
+}
+
+TEST_F(SerializeTest, TruncatedFileThrows) {
+  Rng rng(3);
+  TensorMap map;
+  map.emplace("w", Tensor::Randn({32, 32}, rng, 1.0f));
+  SaveTensors(Path("full.necm"), map);
+  std::ifstream in(Path("full.necm"), std::ios::binary);
+  std::vector<char> head(64);
+  in.read(head.data(), 64);
+  std::ofstream out(Path("cut.necm"), std::ios::binary);
+  out.write(head.data(), 64);
+  out.close();
+  EXPECT_THROW(LoadTensors(Path("cut.necm")), std::runtime_error);
+}
+
+TEST_F(SerializeTest, EmptyMapRoundTrips) {
+  SaveTensors(Path("empty.necm"), {});
+  const TensorMap loaded = LoadTensors(Path("empty.necm"));
+  EXPECT_TRUE(loaded.empty());
+}
+
+}  // namespace
+}  // namespace nec::nn

@@ -1,0 +1,159 @@
+// Tests for speaker profiles and the source-filter synthesizer — the
+// properties §III depends on: determinism, speaker-specific but
+// utterance-independent spectra, sane signal statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "encoder/las.h"
+#include "metrics/metrics.h"
+#include "synth/speaker.h"
+#include "synth/synthesizer.h"
+
+namespace nec::synth {
+namespace {
+
+TEST(SpeakerProfile, DeterministicFromSeed) {
+  const SpeakerProfile a = SpeakerProfile::FromSeed(42);
+  const SpeakerProfile b = SpeakerProfile::FromSeed(42);
+  EXPECT_EQ(a.f0_base_hz, b.f0_base_hz);
+  EXPECT_EQ(a.formant_scale, b.formant_scale);
+  EXPECT_EQ(a.formant_shift, b.formant_shift);
+}
+
+TEST(SpeakerProfile, DistinctSeedsDistinctVoices) {
+  const SpeakerProfile a = SpeakerProfile::FromSeed(1);
+  const SpeakerProfile b = SpeakerProfile::FromSeed(2);
+  EXPECT_NE(a.f0_base_hz, b.f0_base_hz);
+}
+
+TEST(SpeakerProfile, ParametersInPhysiologicalRange) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const SpeakerProfile p = SpeakerProfile::FromSeed(seed);
+    EXPECT_GE(p.f0_base_hz, 85.0);
+    EXPECT_LE(p.f0_base_hz, 255.0);
+    EXPECT_GE(p.formant_scale, 0.9);
+    EXPECT_LE(p.formant_scale, 1.2);
+    EXPECT_GE(p.speaking_rate, 0.8);
+    EXPECT_LE(p.speaking_rate, 1.25);
+  }
+}
+
+TEST(SpeakerProfile, AdjustFormantAppliesScaleAndShift) {
+  SpeakerProfile p;
+  p.formant_scale = 1.1;
+  p.formant_shift = {0.05, -0.05, 0.0};
+  EXPECT_NEAR(p.AdjustFormant(1000.0, 0), 1000.0 * 1.1 * 1.05, 1e-6);
+  EXPECT_NEAR(p.AdjustFormant(1000.0, 1), 1000.0 * 1.1 * 0.95, 1e-6);
+  // Index clamped for F4+.
+  EXPECT_NEAR(p.AdjustFormant(1000.0, 7), p.AdjustFormant(1000.0, 2), 1e-9);
+}
+
+TEST(Synthesizer, DeterministicOutput) {
+  Synthesizer synth({.sample_rate = 16000});
+  const SpeakerProfile spk = SpeakerProfile::FromSeed(9);
+  const Utterance a = synth.SynthesizeSentence(spk, "hot coffee", 5);
+  const Utterance b = synth.SynthesizeSentence(spk, "hot coffee", 5);
+  ASSERT_EQ(a.wave.size(), b.wave.size());
+  for (std::size_t i = 0; i < a.wave.size(); ++i) {
+    EXPECT_EQ(a.wave[i], b.wave[i]);
+  }
+}
+
+TEST(Synthesizer, OutputStatisticsAreSane) {
+  Synthesizer synth({.sample_rate = 16000, .target_rms = 0.08});
+  const SpeakerProfile spk = SpeakerProfile::FromSeed(3);
+  const Utterance utt =
+      synth.SynthesizeSentence(spk, "my ideal morning begins with hot coffee", 1);
+  EXPECT_NEAR(utt.wave.Rms(), 0.08f, 1e-3);
+  EXPECT_LT(utt.wave.Peak(), 1.0f);
+  EXPECT_GT(utt.wave.duration(), 1.5);
+  EXPECT_LT(utt.wave.duration(), 6.0);
+  for (float v : utt.wave.samples()) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Synthesizer, WordTimingsCoverAllWordsInOrder) {
+  Synthesizer synth({.sample_rate = 16000});
+  const SpeakerProfile spk = SpeakerProfile::FromSeed(4);
+  const std::vector<std::string> words = {"one", "two", "three", "four"};
+  const Utterance utt = synth.SynthesizeWords(spk, words, 7);
+  ASSERT_EQ(utt.timings.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(utt.timings[i].word, words[i]);
+    EXPECT_LT(utt.timings[i].start_sample, utt.timings[i].end_sample);
+    if (i > 0) {
+      EXPECT_GE(utt.timings[i].start_sample, utt.timings[i - 1].end_sample);
+    }
+  }
+  EXPECT_LE(utt.timings.back().end_sample, utt.wave.size());
+}
+
+TEST(Synthesizer, UnknownWordThrows) {
+  Synthesizer synth;
+  const SpeakerProfile spk = SpeakerProfile::FromSeed(5);
+  EXPECT_THROW(synth.SynthesizeWords(spk, {"xylophone"}, 1),
+               std::invalid_argument);
+}
+
+TEST(Synthesizer, SpeechEnergyIsLowFrequencyDominated) {
+  // Human speech has most energy below 4 kHz; the formant synthesizer must
+  // reproduce that or the NOISEX band structure of Table I is meaningless.
+  Synthesizer synth({.sample_rate = 16000});
+  const SpeakerProfile spk = SpeakerProfile::FromSeed(6);
+  const Utterance utt = synth.SynthesizeSentence(
+      spk, "don't ask me to carry an oily rag like that", 2);
+  dsp::StftConfig cfg{.fft_size = 512, .win_length = 400, .hop_length = 160};
+  const dsp::Spectrogram spec = dsp::Stft(utt.wave, cfg);
+  double lo = 0.0, hi = 0.0;
+  for (std::size_t t = 0; t < spec.num_frames(); ++t) {
+    for (std::size_t f = 0; f < spec.num_bins(); ++f) {
+      const double e =
+          static_cast<double>(spec.MagAt(t, f)) * spec.MagAt(t, f);
+      (f * 16000.0 / 512 < 4000.0 ? lo : hi) += e;
+    }
+  }
+  EXPECT_GT(lo, 5.0 * hi);
+}
+
+TEST(Synthesizer, SameSpeakerLasCorrelatesAcrossUtterances) {
+  // The §III property: intra-speaker LAS correlation must exceed
+  // inter-speaker correlation.
+  Synthesizer synth({.sample_rate = 16000});
+  const SpeakerProfile a = SpeakerProfile::FromSeed(100);
+  const SpeakerProfile b = SpeakerProfile::FromSeed(200);
+  const auto a1 = synth.SynthesizeSentence(
+      a, "my ideal morning begins with hot coffee", 11);
+  const auto a2 = synth.SynthesizeSentence(
+      a, "don't ask me to carry an oily rag like that", 12);
+  const auto b1 = synth.SynthesizeSentence(
+      b, "my ideal morning begins with hot coffee", 13);
+
+  const auto las_a1 = encoder::VoicedLas(a1.wave);
+  const auto las_a2 = encoder::VoicedLas(a2.wave);
+  const auto las_b1 = encoder::VoicedLas(b1.wave);
+
+  const double intra = metrics::PearsonCorrelation(las_a1, las_a2);
+  const double inter = metrics::PearsonCorrelation(las_a1, las_b1);
+  EXPECT_GT(intra, inter);
+  EXPECT_GT(intra, 0.8);
+}
+
+TEST(Synthesizer, DifferentUtteranceSeedsVaryProsody) {
+  Synthesizer synth;
+  const SpeakerProfile spk = SpeakerProfile::FromSeed(7);
+  const Utterance a = synth.SynthesizeSentence(spk, "hello hello", 1);
+  const Utterance b = synth.SynthesizeSentence(spk, "hello hello", 2);
+  // Durations differ due to per-utterance duration jitter.
+  EXPECT_NE(a.wave.size(), b.wave.size());
+}
+
+TEST(Synthesizer, RejectsTinySampleRate) {
+  EXPECT_THROW(Synthesizer({.sample_rate = 4000}), nec::CheckError);
+}
+
+}  // namespace
+}  // namespace nec::synth

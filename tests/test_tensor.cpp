@@ -1,0 +1,101 @@
+// Tests for the nn::Tensor container.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace nec::nn {
+namespace {
+
+TEST(Tensor, ShapeAndNumel) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.numel(), 24u);
+  EXPECT_EQ(t.dim(1), 3u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, At2DRowMajor) {
+  Tensor t({2, 3});
+  t.At(1, 2) = 5.0f;
+  EXPECT_EQ(t[1 * 3 + 2], 5.0f);
+}
+
+TEST(Tensor, At3DLayout) {
+  Tensor t({2, 3, 4});
+  t.At3(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t[(1 * 3 + 2) * 4 + 3], 7.0f);
+}
+
+TEST(Tensor, FillAndScale) {
+  Tensor t({4});
+  t.Fill(2.0f);
+  t.Scale(1.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 3.0f);
+}
+
+TEST(Tensor, AddAndAddScaled) {
+  Tensor a({3}), b({3});
+  a.Fill(1.0f);
+  b.Fill(2.0f);
+  a.Add(b);
+  EXPECT_EQ(a[0], 3.0f);
+  a.AddScaled(b, -0.5f);
+  EXPECT_EQ(a[0], 2.0f);
+}
+
+TEST(Tensor, AddRejectsSizeMismatch) {
+  Tensor a({3}), b({4});
+  EXPECT_THROW(a.Add(b), CheckError);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t[7] = 9.0f;
+  t.Reshape({3, 4});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t[7], 9.0f);
+}
+
+TEST(Tensor, ReshapeRejectsWrongCount) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.Reshape({7}), CheckError);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(3);
+  Tensor t = Tensor::Randn({10000}, rng, 0.5f);
+  double mean = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    mean += t[i];
+    sq += static_cast<double>(t[i]) * t[i];
+  }
+  mean /= static_cast<double>(t.numel());
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(std::sqrt(sq / t.numel()), 0.5, 0.02);
+}
+
+TEST(Tensor, KaimingScalesWithFanIn) {
+  Rng rng1(4), rng2(4);
+  Tensor a = Tensor::KaimingNormal({1000}, rng1, 50);
+  Tensor b = Tensor::KaimingNormal({1000}, rng2, 5000);
+  EXPECT_GT(a.Norm(), 5.0f * b.Norm());
+}
+
+TEST(Tensor, NormOfKnownVector) {
+  Tensor t({2});
+  t[0] = 3.0f;
+  t[1] = 4.0f;
+  EXPECT_FLOAT_EQ(t.Norm(), 5.0f);
+}
+
+TEST(Tensor, EmptyRankRejected) {
+  EXPECT_THROW(Tensor(std::vector<std::size_t>{}), CheckError);
+}
+
+}  // namespace
+}  // namespace nec::nn

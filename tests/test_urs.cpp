@@ -1,0 +1,83 @@
+// Tests for the User Rating Score model (Fig. 13 reviewer substitute).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "metrics/urs.h"
+
+namespace nec::metrics {
+namespace {
+
+audio::Waveform NoiseWave(std::size_t n, std::uint64_t seed, float amp) {
+  nec::Rng rng(seed);
+  audio::Waveform w(16000, n);
+  for (std::size_t i = 0; i < n; ++i) w[i] = amp * rng.GaussianF();
+  return w;
+}
+
+TEST(Urs, RatingsInRange) {
+  UserRatingModel model;
+  const auto target = NoiseWave(8000, 1, 0.1f);
+  const auto rec = NoiseWave(8000, 2, 0.1f);
+  for (double r : model.RateAll(rec, target, 7)) {
+    EXPECT_GE(r, 1.0);
+    EXPECT_LE(r, 5.0);
+  }
+}
+
+TEST(Urs, HiddenTargetScoresHigherThanAudibleTarget) {
+  UserRatingModel model;
+  const auto target = NoiseWave(16000, 3, 0.1f);
+
+  // Recording A: contains the target clearly (target + small noise).
+  audio::Waveform audible = target;
+  const auto small = NoiseWave(16000, 4, 0.02f);
+  audible.MixIn(small);
+  // Recording B: target fully replaced by unrelated noise.
+  const auto hidden = NoiseWave(16000, 5, 0.1f);
+
+  double mean_audible = 0.0, mean_hidden = 0.0;
+  for (std::size_t r = 0; r < model.num_reviewers(); ++r) {
+    mean_audible += model.Rate(r, audible, target, 11);
+    mean_hidden += model.Rate(r, hidden, target, 11);
+  }
+  mean_audible /= static_cast<double>(model.num_reviewers());
+  mean_hidden /= static_cast<double>(model.num_reviewers());
+  EXPECT_LT(mean_audible, 2.0);
+  EXPECT_GT(mean_hidden, 3.5);
+}
+
+TEST(Urs, ReviewersHaveStableIndividualBias) {
+  UserRatingModel model({.num_reviewers = 10, .rating_noise_std = 0.0,
+                         .seed = 99});
+  const auto target = NoiseWave(8000, 6, 0.1f);
+  const auto rec = NoiseWave(8000, 7, 0.1f);
+  const auto first = model.RateAll(rec, target, 1);
+  const auto second = model.RateAll(rec, target, 1);
+  // Same recording, same seed → identical ratings (bias is stable).
+  EXPECT_EQ(first, second);
+  // Different reviewers disagree (bias exists).
+  bool any_diff = false;
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    if (first[i] != first[0]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Urs, HalfPointGranularity) {
+  UserRatingModel model;
+  const auto target = NoiseWave(8000, 8, 0.1f);
+  const auto rec = NoiseWave(8000, 9, 0.1f);
+  for (double r : model.RateAll(rec, target, 3)) {
+    EXPECT_NEAR(r * 2.0, std::round(r * 2.0), 1e-9);
+  }
+}
+
+TEST(Urs, RejectsOutOfRangeReviewer) {
+  UserRatingModel model({.num_reviewers = 3});
+  const auto w = NoiseWave(100, 10, 0.1f);
+  EXPECT_THROW(model.Rate(5, w, w, 1), nec::CheckError);
+}
+
+}  // namespace
+}  // namespace nec::metrics

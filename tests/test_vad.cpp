@@ -1,0 +1,67 @@
+// Tests for the target-activity detector (emitter gating).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/vad.h"
+#include "synth/dataset.h"
+#include "synth/noise.h"
+
+namespace nec::core {
+namespace {
+
+class VadTest : public ::testing::Test {
+ protected:
+  VadTest()
+      : detector_(NecConfig::Fast()),
+        builder_({.duration_s = 2.0}),
+        spks_(synth::DatasetBuilder::MakeSpeakers(2, 9090)) {
+    detector_.Enroll(builder_.MakeReferenceAudios(spks_[0], 3, 1));
+  }
+
+  TargetActivityDetector detector_;
+  synth::DatasetBuilder builder_;
+  std::vector<synth::SpeakerProfile> spks_;
+};
+
+TEST_F(VadTest, RequiresEnrollment) {
+  TargetActivityDetector fresh(NecConfig::Fast());
+  EXPECT_FALSE(fresh.enrolled());
+  audio::Waveform chunk(16000, std::size_t{8000});
+  EXPECT_THROW(fresh.IsTargetActive(chunk), nec::CheckError);
+}
+
+TEST_F(VadTest, SilenceIsInactive) {
+  audio::Waveform silence(16000, std::size_t{16000});
+  EXPECT_EQ(detector_.ActivityScore(silence), 0.0);
+  EXPECT_FALSE(detector_.IsTargetActive(silence));
+}
+
+TEST_F(VadTest, TargetSpeechIsActive) {
+  const auto utt = builder_.MakeUtterance(spks_[0], 50);
+  EXPECT_TRUE(detector_.IsTargetActive(utt.wave));
+  EXPECT_GT(detector_.ActivityScore(utt.wave), 0.75);
+}
+
+TEST_F(VadTest, TargetScoresAboveOtherSpeaker) {
+  const auto target_utt = builder_.MakeUtterance(spks_[0], 51);
+  const auto other_utt = builder_.MakeUtterance(spks_[1], 52);
+  EXPECT_GT(detector_.ActivityScore(target_utt.wave),
+            detector_.ActivityScore(other_utt.wave));
+}
+
+TEST_F(VadTest, BroadbandNoiseScoresLow) {
+  const auto noise =
+      synth::GenerateNoise(synth::NoiseType::kWhite, 16000, 16000, 3);
+  EXPECT_LT(detector_.ActivityScore(noise),
+            detector_.ActivityScore(builder_.MakeUtterance(spks_[0], 53).wave));
+}
+
+TEST_F(VadTest, ScoreIsBounded) {
+  const auto utt = builder_.MakeUtterance(spks_[0], 54);
+  const double score = detector_.ActivityScore(utt.wave);
+  EXPECT_GE(score, -1.0);
+  EXPECT_LE(score, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace nec::core

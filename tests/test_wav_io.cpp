@@ -1,0 +1,94 @@
+// Tests for WAV read/write.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "audio/wav_io.h"
+
+namespace nec::audio {
+namespace {
+
+class WavIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "nec_wav_test";
+    std::filesystem::create_directories(dir_);
+  }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+Waveform MakeRamp(int rate, std::size_t n) {
+  Waveform w(rate, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = -0.9f + 1.8f * static_cast<float>(i) / static_cast<float>(n);
+  }
+  return w;
+}
+
+TEST_F(WavIoTest, Pcm16RoundTrip) {
+  const Waveform original = MakeRamp(16000, 1000);
+  WriteWav(Path("pcm16.wav"), original, WavEncoding::kPcm16);
+  const Waveform loaded = ReadWav(Path("pcm16.wav"));
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.sample_rate(), 16000);
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_NEAR(loaded[i], original[i], 2.0f / 32768.0f);
+  }
+}
+
+TEST_F(WavIoTest, Float32RoundTripIsExact) {
+  const Waveform original = MakeRamp(48000, 777);
+  WriteWav(Path("f32.wav"), original, WavEncoding::kFloat32);
+  const Waveform loaded = ReadWav(Path("f32.wav"));
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.sample_rate(), 48000);
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i], original[i]);
+  }
+}
+
+TEST_F(WavIoTest, Pcm16ClampsOutOfRange) {
+  Waveform w(8000, std::vector<float>{2.0f, -3.0f});
+  WriteWav(Path("clip.wav"), w, WavEncoding::kPcm16);
+  const Waveform loaded = ReadWav(Path("clip.wav"));
+  EXPECT_NEAR(loaded[0], 1.0f, 1e-3);
+  EXPECT_NEAR(loaded[1], -1.0f, 1e-3);
+}
+
+TEST_F(WavIoTest, MissingFileThrows) {
+  EXPECT_THROW(ReadWav(Path("nope.wav")), std::runtime_error);
+}
+
+TEST_F(WavIoTest, GarbageFileThrows) {
+  std::ofstream out(Path("garbage.wav"), std::ios::binary);
+  out << "this is not a wav file at all, sorry";
+  out.close();
+  EXPECT_THROW(ReadWav(Path("garbage.wav")), std::runtime_error);
+}
+
+TEST_F(WavIoTest, TruncatedFileThrows) {
+  const Waveform original = MakeRamp(16000, 1000);
+  WriteWav(Path("full.wav"), original);
+  // Copy only the first 100 bytes.
+  std::ifstream in(Path("full.wav"), std::ios::binary);
+  std::vector<char> head(100);
+  in.read(head.data(), 100);
+  std::ofstream out(Path("trunc.wav"), std::ios::binary);
+  out.write(head.data(), 100);
+  out.close();
+  EXPECT_THROW(ReadWav(Path("trunc.wav")), std::runtime_error);
+}
+
+TEST_F(WavIoTest, EmptyWaveformWritesValidFile) {
+  Waveform w(16000, std::size_t{0});
+  WriteWav(Path("empty.wav"), w);
+  const Waveform loaded = ReadWav(Path("empty.wav"));
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_EQ(loaded.sample_rate(), 16000);
+}
+
+}  // namespace
+}  // namespace nec::audio

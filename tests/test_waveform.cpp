@@ -1,0 +1,136 @@
+// Tests for audio::Waveform.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audio/waveform.h"
+#include "common/check.h"
+
+namespace nec::audio {
+namespace {
+
+TEST(Waveform, DefaultConstructedIsEmpty) {
+  Waveform w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.sample_rate(), 0);
+  EXPECT_DOUBLE_EQ(w.duration(), 0.0);
+}
+
+TEST(Waveform, SilentConstruction) {
+  Waveform w(16000, std::size_t{320});
+  EXPECT_EQ(w.size(), 320u);
+  EXPECT_DOUBLE_EQ(w.duration(), 0.02);
+  for (float s : w.samples()) EXPECT_EQ(s, 0.0f);
+}
+
+TEST(Waveform, RejectsNonPositiveRate) {
+  EXPECT_THROW(Waveform(0, std::size_t{10}), CheckError);
+  EXPECT_THROW(Waveform(-1, std::vector<float>{1.0f}), CheckError);
+}
+
+TEST(Waveform, SliceZeroPadsPastEnd) {
+  Waveform w(8000, std::vector<float>{1, 2, 3});
+  Waveform s = w.Slice(2, 4);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], 3.0f);
+  EXPECT_EQ(s[1], 0.0f);
+  EXPECT_EQ(s[3], 0.0f);
+}
+
+TEST(Waveform, ScaleAndClip) {
+  Waveform w(8000, std::vector<float>{0.5f, -0.75f});
+  w.Scale(4.0f);
+  EXPECT_EQ(w[0], 2.0f);
+  w.Clip();
+  EXPECT_EQ(w[0], 1.0f);
+  EXPECT_EQ(w[1], -1.0f);
+}
+
+TEST(Waveform, MixInRespectsOffsetAndGain) {
+  Waveform base(8000, std::size_t{5});
+  Waveform add(8000, std::vector<float>{1, 1, 1});
+  base.MixIn(add, 2, 0.5f);
+  EXPECT_EQ(base[1], 0.0f);
+  EXPECT_EQ(base[2], 0.5f);
+  EXPECT_EQ(base[4], 0.5f);
+}
+
+TEST(Waveform, MixInDropsOverhang) {
+  Waveform base(8000, std::size_t{3});
+  Waveform add(8000, std::vector<float>{1, 1, 1, 1});
+  base.MixIn(add, 2);
+  EXPECT_EQ(base[2], 1.0f);  // only one sample landed
+}
+
+TEST(Waveform, MixInRejectsRateMismatch) {
+  Waveform base(8000, std::size_t{4});
+  Waveform add(16000, std::size_t{2});
+  EXPECT_THROW(base.MixIn(add), CheckError);
+}
+
+TEST(Waveform, RmsAndPeak) {
+  Waveform w(8000, std::vector<float>{3, -4});
+  EXPECT_NEAR(w.Rms(), std::sqrt((9.0 + 16.0) / 2.0), 1e-6);
+  EXPECT_EQ(w.Peak(), 4.0f);
+}
+
+TEST(Waveform, NormalizePeak) {
+  Waveform w(8000, std::vector<float>{0.1f, -0.2f});
+  w.NormalizePeak(1.0f);
+  EXPECT_NEAR(w.Peak(), 1.0f, 1e-6);
+}
+
+TEST(Waveform, NormalizeRms) {
+  Waveform w(8000, std::vector<float>{0.3f, -0.3f, 0.3f});
+  w.NormalizeRms(0.1f);
+  EXPECT_NEAR(w.Rms(), 0.1f, 1e-6);
+}
+
+TEST(Waveform, NormalizeSilenceIsNoOp) {
+  Waveform w(8000, std::size_t{16});
+  w.NormalizePeak(1.0f);
+  w.NormalizeRms(1.0f);
+  EXPECT_EQ(w.Peak(), 0.0f);
+}
+
+TEST(Waveform, AppendConcatenates) {
+  Waveform a(8000, std::vector<float>{1, 2});
+  Waveform b(8000, std::vector<float>{3});
+  a.Append(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[2], 3.0f);
+}
+
+TEST(Waveform, AppendSilence) {
+  Waveform a(8000, std::vector<float>{1});
+  a.AppendSilence(2);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[2], 0.0f);
+}
+
+TEST(Waveform, ResizeToPadsAndTruncates) {
+  Waveform a(8000, std::vector<float>{1, 2, 3});
+  a.ResizeTo(5);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a[4], 0.0f);
+  a.ResizeTo(2);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Mix, TakesMaxLengthAndAddsGains) {
+  Waveform a(8000, std::vector<float>{1, 1});
+  Waveform b(8000, std::vector<float>{1, 1, 1});
+  Waveform m = Mix(a, b, 2.0f, 0.5f);
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0], 2.5f);
+  EXPECT_EQ(m[2], 0.5f);
+}
+
+TEST(Mix, RejectsRateMismatch) {
+  Waveform a(8000, std::size_t{2});
+  Waveform b(16000, std::size_t{2});
+  EXPECT_THROW(Mix(a, b), CheckError);
+}
+
+}  // namespace
+}  // namespace nec::audio

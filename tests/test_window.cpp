@@ -1,0 +1,80 @@
+// Tests for analysis windows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "dsp/window.h"
+
+namespace nec::dsp {
+namespace {
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = MakeWindow(WindowType::kRectangular, 16);
+  for (float v : w) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(Window, HannPeriodicStartsAtZero) {
+  const auto w = MakeWindow(WindowType::kHann, 64, /*periodic=*/true);
+  EXPECT_NEAR(w[0], 0.0f, 1e-6);
+  // Periodic Hann: w[N/2] is the peak.
+  EXPECT_NEAR(w[32], 1.0f, 1e-6);
+}
+
+TEST(Window, HannSymmetricEndsAtZero) {
+  const auto w = MakeWindow(WindowType::kHann, 65, /*periodic=*/false);
+  EXPECT_NEAR(w[0], 0.0f, 1e-6);
+  EXPECT_NEAR(w[64], 0.0f, 1e-6);
+  EXPECT_NEAR(w[32], 1.0f, 1e-6);
+}
+
+TEST(Window, HammingEdgesNonZero) {
+  const auto w = MakeWindow(WindowType::kHamming, 64);
+  EXPECT_NEAR(w[0], 0.08f, 1e-3);
+}
+
+TEST(Window, BlackmanEdgesNearZero) {
+  const auto w = MakeWindow(WindowType::kBlackman, 65, false);
+  EXPECT_NEAR(w[0], 0.0f, 1e-6);
+  EXPECT_NEAR(w[64], 0.0f, 1e-6);
+}
+
+TEST(Window, SymmetricWindowsAreSymmetric) {
+  for (auto type : {WindowType::kHann, WindowType::kHamming,
+                    WindowType::kBlackman}) {
+    const auto w = MakeWindow(type, 33, /*periodic=*/false);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-6);
+    }
+  }
+}
+
+TEST(Window, HannPeriodicColaAtHalfOverlap) {
+  // Periodic Hann with 50% overlap satisfies constant-overlap-add: the
+  // shifted sum is constant — the property the ISTFT depends on.
+  const std::size_t n = 64, hop = 32;
+  const auto w = MakeWindow(WindowType::kHann, n, true);
+  std::vector<double> sum(n * 4, 0.0);
+  for (std::size_t start = 0; start + n <= sum.size(); start += hop) {
+    for (std::size_t i = 0; i < n; ++i) sum[start + i] += w[i];
+  }
+  for (std::size_t i = n; i + n < sum.size(); ++i) {
+    EXPECT_NEAR(sum[i], 1.0, 1e-6);
+  }
+}
+
+TEST(Window, LengthOneIsUnity) {
+  for (auto type : {WindowType::kHann, WindowType::kHamming,
+                    WindowType::kBlackman, WindowType::kRectangular}) {
+    const auto w = MakeWindow(type, 1);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0], 1.0f);
+  }
+}
+
+TEST(Window, ZeroLengthRejected) {
+  EXPECT_THROW(MakeWindow(WindowType::kHann, 0), nec::CheckError);
+}
+
+}  // namespace
+}  // namespace nec::dsp
