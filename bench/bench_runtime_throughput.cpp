@@ -1,0 +1,197 @@
+// Runtime throughput: aggregate chunks/sec and p99 per-chunk latency vs.
+// worker count, on >= 8 concurrent protection sessions.
+//
+// The single-threaded deployment loop (Table II) bounds ONE stream; this
+// harness measures how far the nec::runtime layer scales that with a pool.
+// Sweep: 1, 2, 4, 8 workers over the same 8-session workload, reporting
+//   * aggregate chunks/sec (all sessions),
+//   * p50/p99 per-chunk selector+broadcast latency vs. the 300 ms
+//     overshadowing deadline (§IV-C2),
+//   * speedup over the 1-worker row,
+// plus a bit-exactness audit: every session's parallel output must equal
+// the sequential StreamingProcessor result sample-for-sample (the strand
+// design guarantees it; this harness re-proves it on real audio).
+//
+// The selector is a fixed-seed untrained Fast() model: weight values do
+// not change the arithmetic cost, and keeping the bench hermetic avoids a
+// training dependency. Scaling is compute-bound, so rows are only
+// meaningful on a machine with as many cores as workers (the header line
+// prints hardware_concurrency for honest reading).
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_support.h"
+#include "core/selector.h"
+#include "core/streaming.h"
+#include "encoder/encoder.h"
+#include "runtime/session_manager.h"
+#include "synth/dataset.h"
+
+namespace nec::bench {
+namespace {
+
+constexpr std::size_t kSessions = 8;
+constexpr double kStreamSeconds = 6.0;
+constexpr double kChunkSeconds = 1.0;
+constexpr double kDeadlineMs = 300.0;
+
+struct Workload {
+  std::shared_ptr<const core::Selector> selector;
+  std::shared_ptr<const encoder::SpeakerEncoder> encoder;
+  std::vector<synth::SpeakerProfile> speakers;
+  std::vector<std::vector<audio::Waveform>> references;
+  std::vector<audio::Waveform> streams;
+};
+
+Workload MakeWorkload() {
+  Workload w;
+  const core::NecConfig cfg = core::NecConfig::Fast();
+  w.selector = std::make_shared<const core::Selector>(cfg, /*init_seed=*/29);
+  w.encoder = std::make_shared<encoder::LasEncoder>(cfg.embedding_dim);
+  synth::DatasetBuilder stream_builder({.duration_s = kStreamSeconds});
+  synth::DatasetBuilder enroll_builder({.duration_s = 3.0});
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    w.speakers.push_back(synth::SpeakerProfile::FromSeed(300 + i));
+    w.references.push_back(
+        enroll_builder.MakeReferenceAudios(w.speakers[i], 3, 600 + i));
+    w.streams.push_back(
+        stream_builder
+            .MakeInstance(w.speakers[i], synth::Scenario::kBabble, 900 + i)
+            .mixed);
+  }
+  return w;
+}
+
+struct RunResult {
+  double wall_s = 0.0;
+  double chunks_per_sec = 0.0;
+  runtime::RuntimeStatsSnapshot stats;
+  std::vector<audio::Waveform> outputs;
+};
+
+RunResult RunWith(const Workload& w, std::size_t workers) {
+  runtime::SessionManager manager(w.selector, w.encoder, {},
+                                  {.workers = workers,
+                                   .queue_capacity = 1024,
+                                   .chunk_s = kChunkSeconds,
+                                   .kind = core::SelectorKind::kNeural});
+  std::vector<runtime::SessionManager::SessionId> ids;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    ids.push_back(manager.CreateSession(w.references[i]));
+  }
+
+  // Interleave piece-wise submissions so all strands are live together.
+  const std::size_t piece = 4096;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t pos = 0;
+  bool any_left = true;
+  while (any_left) {
+    any_left = false;
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      if (pos >= w.streams[i].size()) continue;
+      const std::size_t n = std::min(piece, w.streams[i].size() - pos);
+      manager.Submit(ids[i], w.streams[i].samples().subspan(pos, n));
+      any_left = true;
+    }
+    pos += piece;
+  }
+  manager.Drain();
+
+  RunResult r;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    audio::Waveform out = manager.TakeOutput(ids[i]);
+    if (auto tail = manager.Flush(ids[i])) out.Append(*tail);
+    r.outputs.push_back(std::move(out));
+  }
+  r.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.stats = manager.Stats();
+  r.chunks_per_sec =
+      r.wall_s > 0.0
+          ? static_cast<double>(r.stats.chunks_processed) / r.wall_s
+          : 0.0;
+  return r;
+}
+
+/// Sequential reference: one StreamingProcessor per session, same weights.
+std::vector<audio::Waveform> RunSequential(const Workload& w) {
+  std::vector<audio::Waveform> outs;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    core::NecPipeline pipeline(w.selector, w.encoder, {});
+    pipeline.Enroll(w.references[i]);
+    core::StreamingProcessor proc(pipeline, kChunkSeconds,
+                                  core::SelectorKind::kNeural);
+    audio::Waveform out;
+    if (auto o = proc.Push(w.streams[i].samples())) out = std::move(*o);
+    if (auto tail = proc.Flush()) out.Append(*tail);
+    outs.push_back(std::move(out));
+  }
+  return outs;
+}
+
+bool BitExact(const std::vector<audio::Waveform>& a,
+              const std::vector<audio::Waveform>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (std::size_t k = 0; k < a[i].size(); ++k) {
+      if (a[i][k] != b[i][k]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace nec::bench
+
+int main() {
+  using namespace nec::bench;
+
+  PrintHeader("Runtime throughput: chunks/sec and p99 latency vs. workers");
+  std::printf("%zu sessions x %.0f s streams, %.0f s chunks; "
+              "hardware_concurrency=%u\n",
+              kSessions, kStreamSeconds, kChunkSeconds,
+              std::thread::hardware_concurrency());
+
+  const Workload w = MakeWorkload();
+  const std::vector<nec::audio::Waveform> sequential = RunSequential(w);
+
+  std::printf("\n%8s %12s %10s %10s %10s %10s %10s\n", "workers",
+              "chunks/sec", "speedup", "p50 ms", "p99 ms", "max ms",
+              "bitexact");
+  PrintRule();
+
+  double base = 0.0;
+  double speedup_at_4 = 0.0;
+  bool all_exact = true;
+  bool deadline_ok = true;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    const RunResult r = RunWith(w, workers);
+    if (workers == 1) base = r.chunks_per_sec;
+    const double speedup = base > 0.0 ? r.chunks_per_sec / base : 0.0;
+    if (workers == 4) speedup_at_4 = speedup;
+    const bool exact = BitExact(r.outputs, sequential);
+    all_exact &= exact;
+    deadline_ok &= r.stats.chunk_latency.p99_ms < kDeadlineMs;
+    std::printf("%8zu %12.2f %9.2fx %10.2f %10.2f %10.2f %10s\n", workers,
+                r.chunks_per_sec, speedup, r.stats.chunk_latency.p50_ms,
+                r.stats.chunk_latency.p99_ms, r.stats.chunk_latency.max_ms,
+                exact ? "yes" : "NO");
+  }
+
+  PrintRule();
+  std::printf("per-session outputs vs sequential StreamingProcessor: %s\n",
+              all_exact ? "bit-identical" : "MISMATCH");
+  std::printf("300 ms overshadowing deadline (p99, all rows): %s\n",
+              deadline_ok ? "met" : "missed");
+  std::printf("speedup at 4 workers: %.2fx%s\n", speedup_at_4,
+              std::thread::hardware_concurrency() < 4
+                  ? " (machine has fewer than 4 cores; scaling is "
+                    "core-bound)"
+                  : "");
+  return all_exact ? 0 : 1;
+}

@@ -22,10 +22,10 @@
 namespace nec::bench {
 
 /// Loads (or trains once and caches) the standard experiment model and
-/// wraps it in a pipeline.
+/// wraps it in a pipeline sharing the cached weights (no copy).
 inline core::NecPipeline MakeStandardPipeline() {
   core::StandardModel model = core::StandardModel::Get(/*verbose=*/true);
-  return core::NecPipeline(std::move(*model.selector), model.encoder, {});
+  return model.MakePipeline();
 }
 
 inline double Median(std::vector<double> v) {

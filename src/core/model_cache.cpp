@@ -65,6 +65,11 @@ Selector GetOrTrainSelector(const NecConfig& config,
   return selector;
 }
 
+NecPipeline StandardModel::MakePipeline(PipelineOptions options) const {
+  return NecPipeline(std::shared_ptr<const Selector>(selector), encoder,
+                     options);
+}
+
 StandardModel StandardModel::Get(bool verbose) {
   StandardModel m;
   m.config = NecConfig::Fast();

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "core/pipeline.h"
 #include "core/selector.h"
 #include "core/trainer.h"
 #include "encoder/encoder.h"
@@ -34,6 +35,11 @@ struct StandardModel {
   std::shared_ptr<Selector> selector;
 
   static StandardModel Get(bool verbose = false);
+
+  /// Builds a pipeline that *shares* this model's selector and encoder
+  /// (no weight copy). Call repeatedly to fan out concurrent runtime
+  /// sessions over one trained weight set.
+  NecPipeline MakePipeline(PipelineOptions options = {}) const;
 };
 
 }  // namespace nec::core

@@ -8,7 +8,7 @@
 
 namespace nec::core {
 
-MultiSpeakerProtector::MultiSpeakerProtector(NecPipeline& pipeline)
+MultiSpeakerProtector::MultiSpeakerProtector(const NecPipeline& pipeline)
     : pipeline_(pipeline) {}
 
 std::size_t MultiSpeakerProtector::EnrollTarget(

@@ -37,9 +37,10 @@ enum class MultiStrategy {
 
 class MultiSpeakerProtector {
  public:
-  /// Shares the pipeline's trained selector and encoder. The pipeline
-  /// itself does not need to be enrolled.
-  explicit MultiSpeakerProtector(NecPipeline& pipeline);
+  /// Shares the pipeline's trained selector and encoder (borrowed const —
+  /// only its immutable model is used). The pipeline itself does not need
+  /// to be enrolled.
+  explicit MultiSpeakerProtector(const NecPipeline& pipeline);
 
   /// Enrolls one protected participant from reference clips. Returns the
   /// target's index.
@@ -52,7 +53,7 @@ class MultiSpeakerProtector {
                                  MultiStrategy strategy);
 
  private:
-  NecPipeline& pipeline_;
+  const NecPipeline& pipeline_;
   std::vector<std::vector<float>> dvectors_;
 };
 

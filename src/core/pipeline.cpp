@@ -10,12 +10,20 @@ NecPipeline::NecPipeline(
     Selector selector,
     std::shared_ptr<const encoder::SpeakerEncoder> encoder,
     PipelineOptions options)
+    : NecPipeline(std::make_shared<const Selector>(std::move(selector)),
+                  std::move(encoder), options) {}
+
+NecPipeline::NecPipeline(
+    std::shared_ptr<const Selector> selector,
+    std::shared_ptr<const encoder::SpeakerEncoder> encoder,
+    PipelineOptions options)
     : selector_(std::move(selector)),
-      las_selector_(selector_.config()),
+      las_selector_(selector_->config()),
       encoder_(std::move(encoder)),
       options_(options) {
+  NEC_CHECK(selector_ != nullptr);
   NEC_CHECK(encoder_ != nullptr);
-  NEC_CHECK_MSG(encoder_->dim() == selector_.config().embedding_dim,
+  NEC_CHECK_MSG(encoder_->dim() == selector_->config().embedding_dim,
                 "encoder/selector embedding dimension mismatch");
 }
 
@@ -30,7 +38,7 @@ const std::vector<float>& NecPipeline::dvector() const {
 }
 
 audio::Waveform NecPipeline::GenerateShadow(const audio::Waveform& mixed,
-                                            SelectorKind kind) {
+                                            SelectorKind kind) const {
   NEC_CHECK_MSG(dvector_.has_value(), "enroll a target before GenerateShadow");
   NEC_CHECK_MSG(mixed.sample_rate() == config().sample_rate,
                 "monitor audio must be at " << config().sample_rate
@@ -38,14 +46,14 @@ audio::Waveform NecPipeline::GenerateShadow(const audio::Waveform& mixed,
   const dsp::Spectrogram spec = dsp::Stft(mixed, config().stft);
   const std::vector<float> shadow_mag =
       kind == SelectorKind::kNeural
-          ? selector_.ComputeShadow(spec, *dvector_)
+          ? selector_->ComputeShadow(spec, *dvector_)
           : las_selector_.ComputeShadow(spec);
   return dsp::IstftWithPhase(shadow_mag, spec, config().stft,
                              config().sample_rate, mixed.size());
 }
 
 audio::Waveform NecPipeline::GenerateModulatedShadow(
-    const audio::Waveform& mixed, SelectorKind kind) {
+    const audio::Waveform& mixed, SelectorKind kind) const {
   return channel::ModulateAm(GenerateShadow(mixed, kind),
                              options_.modulation);
 }

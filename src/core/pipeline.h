@@ -31,6 +31,14 @@ class NecPipeline {
               std::shared_ptr<const encoder::SpeakerEncoder> encoder,
               PipelineOptions options = {});
 
+  /// Shares an immutable trained selector with other pipelines. This is the
+  /// nec::runtime path: every concurrent session holds the same weight set
+  /// (inference is const — see Selector::Infer); only enrollment state and
+  /// the LAS ablation profile are per-pipeline.
+  NecPipeline(std::shared_ptr<const Selector> selector,
+              std::shared_ptr<const encoder::SpeakerEncoder> encoder,
+              PipelineOptions options = {});
+
   /// Enrolls the target speaker from reference clips (paper: 3 clips of
   /// 3 s). Computes the d-vector and the LAS profile for the ablation
   /// selector.
@@ -39,16 +47,18 @@ class NecPipeline {
   /// Generates the baseband shadow waveform for a monitored mixed clip:
   /// STFT → selector → signed shadow magnitudes → inverse STFT with the
   /// mixed signal's phase (§IV-C1). The returned wave has the property
-  /// x_mixed + x_shadow ≈ x_background at the monitor's scale.
+  /// x_mixed + x_shadow ≈ x_background at the monitor's scale. Const:
+  /// concurrent callers are safe once enrollment has happened.
   audio::Waveform GenerateShadow(const audio::Waveform& mixed,
-                                 SelectorKind kind = SelectorKind::kNeural);
+                                 SelectorKind kind = SelectorKind::kNeural)
+      const;
 
   /// GenerateShadow + ultrasonic AM modulation (Broadcast module). The
   /// result is at the air sample rate with unit peak; emitted power is a
   /// scene parameter.
   audio::Waveform GenerateModulatedShadow(
       const audio::Waveform& mixed,
-      SelectorKind kind = SelectorKind::kNeural);
+      SelectorKind kind = SelectorKind::kNeural) const;
 
   /// The ideal shadow computed from ground-truth stems (oracle): exactly
   /// S_bk - S_mixed. Upper-bounds what any selector can achieve; used by
@@ -60,13 +70,21 @@ class NecPipeline {
   bool enrolled() const { return dvector_.has_value(); }
   const std::vector<float>& dvector() const;
 
-  const NecConfig& config() const { return selector_.config(); }
+  const NecConfig& config() const { return selector_->config(); }
   const PipelineOptions& options() const { return options_; }
-  Selector& selector() { return selector_; }
+  const Selector& selector() const { return *selector_; }
   const encoder::SpeakerEncoder& encoder() const { return *encoder_; }
 
+  /// Shared handles, for fanning more pipelines out of the same weights.
+  std::shared_ptr<const Selector> shared_selector() const {
+    return selector_;
+  }
+  std::shared_ptr<const encoder::SpeakerEncoder> shared_encoder() const {
+    return encoder_;
+  }
+
  private:
-  Selector selector_;
+  std::shared_ptr<const Selector> selector_;
   LasSelector las_selector_;
   std::shared_ptr<const encoder::SpeakerEncoder> encoder_;
   PipelineOptions options_;

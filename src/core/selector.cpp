@@ -95,6 +95,54 @@ nn::Tensor Selector::Forward(const nn::Tensor& mixed_mag,
   return shadow;
 }
 
+nn::Tensor Selector::Infer(const nn::Tensor& mixed_mag,
+                           const std::vector<float>& dvector) const {
+  // Mirror of Forward through the layers' cache-free Infer path; every
+  // arithmetic step matches Forward exactly (the runtime test suite pins
+  // Infer == Forward bit-for-bit). No member state is written here: that is
+  // what lets nec::runtime sessions share one trained Selector across
+  // threads.
+  NEC_CHECK_MSG(mixed_mag.rank() == 2 &&
+                    mixed_mag.dim(1) == config_.num_bins(),
+                "selector expects (T, F) input with F = "
+                    << config_.num_bins());
+  NEC_CHECK_MSG(dvector.size() == config_.embedding_dim,
+                "d-vector dim " << dvector.size() << " != configured "
+                                << config_.embedding_dim);
+  const std::size_t T = mixed_mag.dim(0);
+  const std::size_t F = config_.num_bins();
+
+  nn::Tensor x({1, T, F});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float v = mixed_mag[i];
+    x[i] = v > 0.0f ? std::sqrt(v) : 0.0f;
+  }
+  for (std::size_t i = 0; i < convs_.size(); ++i) {
+    x = conv_relus_[i].Infer(convs_[i]->Infer(x));
+  }
+
+  NEC_CHECK(x.rank() == 3 && x.dim(0) == 2);
+  nn::Tensor fused({T, 2 * F + config_.embedding_dim});
+  for (std::size_t t = 0; t < T; ++t) {
+    float* row = fused.data() + t * (2 * F + config_.embedding_dim);
+    for (std::size_t f = 0; f < F; ++f) row[f] = x.At3(0, t, f);
+    for (std::size_t f = 0; f < F; ++f) row[F + f] = x.At3(1, t, f);
+    for (std::size_t e = 0; e < config_.embedding_dim; ++e) {
+      row[2 * F + e] = dvector[e];
+    }
+  }
+
+  nn::Tensor h = fc_relu_.Infer(fc1_->Infer(fused));
+  nn::Tensor logits = fc2_->Infer(h);  // (T, F)
+
+  nn::Tensor mask = mask_sigmoid_.Infer(logits);
+  nn::Tensor shadow({T, F});
+  for (std::size_t i = 0; i < shadow.numel(); ++i) {
+    shadow[i] = -mask[i] * mixed_mag[i];
+  }
+  return shadow;
+}
+
 void Selector::Backward(const nn::Tensor& grad_shadow) {
   const std::size_t T = cached_T_;
   const std::size_t F = config_.num_bins();
@@ -135,8 +183,8 @@ std::vector<nn::Param*> Selector::Params() {
   return params;
 }
 
-std::vector<float> Selector::ComputeShadow(const dsp::Spectrogram& spec,
-                                           const std::vector<float>& dvector) {
+std::vector<float> Selector::ComputeShadow(
+    const dsp::Spectrogram& spec, const std::vector<float>& dvector) const {
   const std::size_t T = spec.num_frames(), F = spec.num_bins();
   NEC_CHECK(F == config_.num_bins());
 
@@ -151,7 +199,7 @@ std::vector<float> Selector::ComputeShadow(const dsp::Spectrogram& spec,
   for (std::size_t i = 0; i < input.numel(); ++i) {
     input[i] = spec.mag()[i] * gain;
   }
-  nn::Tensor shadow = Forward(input, dvector, /*training=*/false);
+  nn::Tensor shadow = Infer(input, dvector);
   std::vector<float> out(shadow.numel());
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = shadow[i] / gain;
@@ -214,5 +262,19 @@ Selector Selector::Load(const std::string& path) {
   s.fc2_->bias().value = map.at("fc2.b");
   return s;
 }
+
+// Compile-time trail for the concurrency contract: everything a runtime
+// session calls per chunk on the *shared* model must be const-invocable.
+// If a future change drops const from one of these, sharing a Selector
+// across sessions silently becomes a data race — fail the build instead.
+static_assert(
+    requires(const Selector& s, const dsp::Spectrogram& spec,
+             const nn::Tensor& mag, const std::vector<float>& d) {
+      s.ComputeShadow(spec, d);
+      s.Infer(mag, d);
+      s.config();
+    },
+    "Selector inference entry points must stay const for nec::runtime "
+    "weight sharing");
 
 }  // namespace nec::core

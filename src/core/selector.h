@@ -46,9 +46,18 @@ class Selector {
 
   /// Runs the selector on a (T, F) magnitude tensor plus the speaker
   /// embedding; returns the (T, F) shadow tensor. Caches activations for
-  /// Backward when `training` is true.
+  /// Backward when `training` is true. Mutates layer caches — training /
+  /// single-thread use only (see nn/layers.h thread-safety contract).
   nn::Tensor Forward(const nn::Tensor& mixed_mag,
                      const std::vector<float>& dvector, bool training);
+
+  /// Cache-free, bit-identical twin of Forward: writes no member state, so
+  /// any number of threads may run Infer concurrently on one shared trained
+  /// Selector (nec::runtime sessions share weights via
+  /// shared_ptr<const Selector>). Kept in lockstep with Forward — change
+  /// both together.
+  nn::Tensor Infer(const nn::Tensor& mixed_mag,
+                   const std::vector<float>& dvector) const;
 
   /// Backprop from dLoss/dShadow; accumulates parameter gradients.
   void Backward(const nn::Tensor& grad_shadow);
@@ -58,8 +67,9 @@ class Selector {
   /// Convenience: spectrogram in, shadow magnitude surface out (applies the
   /// per-instance gain normalization described above). The result can be
   /// superposed with spec's magnitudes or rendered via IstftWithPhase.
+  /// Const (uses Infer) — safe for concurrent sessions on shared weights.
   std::vector<float> ComputeShadow(const dsp::Spectrogram& spec,
-                                   const std::vector<float>& dvector);
+                                   const std::vector<float>& dvector) const;
 
   void Save(const std::string& path) const;
   static Selector Load(const std::string& path);

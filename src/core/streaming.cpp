@@ -16,7 +16,8 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-StreamingProcessor::StreamingProcessor(NecPipeline& pipeline, double chunk_s,
+StreamingProcessor::StreamingProcessor(const NecPipeline& pipeline,
+                                       double chunk_s,
                                        SelectorKind kind)
     : pipeline_(pipeline),
       kind_(kind),

@@ -32,8 +32,11 @@ struct ModuleTimings {
 
 class StreamingProcessor {
  public:
-  /// `chunk_s`: chunk duration (paper uses 1 s clips in Table II).
-  StreamingProcessor(NecPipeline& pipeline, double chunk_s = 1.0,
+  /// `chunk_s`: chunk duration (paper uses 1 s clips in Table II). The
+  /// pipeline is borrowed const — processing never mutates it, so many
+  /// processors (one per runtime session) can reference pipelines sharing
+  /// one trained weight set.
+  StreamingProcessor(const NecPipeline& pipeline, double chunk_s = 1.0,
                      SelectorKind kind = SelectorKind::kNeural);
 
   /// Feeds monitored samples; returns a modulated shadow chunk whenever a
@@ -49,7 +52,7 @@ class StreamingProcessor {
  private:
   audio::Waveform ProcessChunk(audio::Waveform chunk);
 
-  NecPipeline& pipeline_;
+  const NecPipeline& pipeline_;
   SelectorKind kind_;
   std::size_t chunk_samples_;
   audio::Waveform buffer_;

@@ -63,28 +63,39 @@ void Conv2D::Im2Col(const Tensor& input, Tensor& col) const {
   }
 }
 
-Tensor Conv2D::Forward(const Tensor& input) {
+Tensor Conv2D::Compute(const Tensor& input, Tensor& col) const {
   NEC_CHECK_MSG(input.rank() == 3 && input.dim(0) == in_channels_,
                 "Conv2D expects (in_channels, H, W) input");
-  in_h_ = input.dim(1);
-  in_w_ = input.dim(2);
-  const std::size_t pixels = in_h_ * in_w_;
+  const std::size_t h = input.dim(1), w = input.dim(2);
+  const std::size_t pixels = h * w;
   const std::size_t k = in_channels_ * kh_ * kw_;
 
-  col_cache_ = Tensor({pixels, k});
-  Im2Col(input, col_cache_);
+  col = Tensor({pixels, k});
+  Im2Col(input, col);
 
   // out(C_out, P) = weight(C_out, K) * col(P, K)^T
-  Tensor out({out_channels_, in_h_, in_w_});
-  GemmNT(weight_.value.data(), col_cache_.data(), out.data(), out_channels_,
+  Tensor out({out_channels_, h, w});
+  GemmNT(weight_.value.data(), col.data(), out.data(), out_channels_,
          pixels, k);
   for (std::size_t c = 0; c < out_channels_; ++c) {
     const float b = bias_.value[c];
     float* oc = out.data() + c * pixels;
     for (std::size_t p = 0; p < pixels; ++p) oc[p] += b;
   }
-  last_macs_ = out_channels_ * pixels * k;
   return out;
+}
+
+Tensor Conv2D::Forward(const Tensor& input) {
+  Tensor out = Compute(input, col_cache_);
+  in_h_ = input.dim(1);
+  in_w_ = input.dim(2);
+  last_macs_ = out_channels_ * in_h_ * in_w_ * in_channels_ * kh_ * kw_;
+  return out;
+}
+
+Tensor Conv2D::Infer(const Tensor& input) const {
+  Tensor col;  // per-call scratch: no member state is written
+  return Compute(input, col);
 }
 
 Tensor Conv2D::Backward(const Tensor& grad_output) {
@@ -156,11 +167,10 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
   NEC_CHECK(in_features >= 1 && out_features >= 1);
 }
 
-Tensor Linear::Forward(const Tensor& input) {
+Tensor Linear::Infer(const Tensor& input) const {
   NEC_CHECK_MSG(input.rank() == 2 && input.dim(1) == in_features_,
                 "Linear expects (rows, in_features); got last dim "
                     << (input.rank() >= 1 ? input.dim(input.rank() - 1) : 0));
-  input_cache_ = input;
   const std::size_t rows = input.dim(0);
 
   Tensor out({rows, out_features_});
@@ -171,7 +181,13 @@ Tensor Linear::Forward(const Tensor& input) {
     for (std::size_t j = 0; j < out_features_; ++j)
       orow[j] += bias_.value[j];
   }
-  last_macs_ = rows * out_features_ * in_features_;
+  return out;
+}
+
+Tensor Linear::Forward(const Tensor& input) {
+  Tensor out = Infer(input);
+  input_cache_ = input;
+  last_macs_ = input.dim(0) * out_features_ * in_features_;
   return out;
 }
 
@@ -199,11 +215,15 @@ Tensor Linear::Backward(const Tensor& grad_output) {
 
 // ----------------------------------------------------------- Activations
 
-Tensor ReLU::Forward(const Tensor& input) {
-  input_cache_ = input;
+Tensor ReLU::Infer(const Tensor& input) const {
   Tensor out = input;
   for (float& v : out.vec()) v = v > 0.0f ? v : 0.0f;
   return out;
+}
+
+Tensor ReLU::Forward(const Tensor& input) {
+  input_cache_ = input;
+  return Infer(input);
 }
 
 Tensor ReLU::Backward(const Tensor& grad_output) {
@@ -215,9 +235,14 @@ Tensor ReLU::Backward(const Tensor& grad_output) {
   return grad;
 }
 
-Tensor Sigmoid::Forward(const Tensor& input) {
+Tensor Sigmoid::Infer(const Tensor& input) const {
   Tensor out = input;
   for (float& v : out.vec()) v = 1.0f / (1.0f + std::exp(-v));
+  return out;
+}
+
+Tensor Sigmoid::Forward(const Tensor& input) {
+  Tensor out = Infer(input);
   output_cache_ = out;
   return out;
 }
@@ -232,9 +257,14 @@ Tensor Sigmoid::Backward(const Tensor& grad_output) {
   return grad;
 }
 
-Tensor Tanh::Forward(const Tensor& input) {
+Tensor Tanh::Infer(const Tensor& input) const {
   Tensor out = input;
   for (float& v : out.vec()) v = std::tanh(v);
+  return out;
+}
+
+Tensor Tanh::Forward(const Tensor& input) {
+  Tensor out = Infer(input);
   output_cache_ = out;
   return out;
 }

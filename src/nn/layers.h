@@ -6,6 +6,15 @@
 // consumes the cached state, accumulates parameter gradients into
 // Param::grad and returns the gradient with respect to the layer input.
 //
+// Thread-safety contract (nec::runtime shares one trained weight set across
+// concurrent sessions):
+//   * Forward/Backward MUTATE the layer (activation caches, MAC counters)
+//     and must only be used by a single thread — the training path.
+//   * Infer is const, writes no member state (scratch buffers are per-call
+//     locals), and is bit-identical to Forward. Any number of threads may
+//     call Infer on the same layer concurrently as long as nothing mutates
+//     the parameters at the same time.
+//
 // The LSTM layer exists for the VoiceFilter runtime baseline (Table II) and
 // implements forward only — the baseline is never trained in this repo.
 #pragma once
@@ -62,6 +71,8 @@ class Conv2D : public Layer {
 
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
+  /// Cache-free forward pass (see thread-safety contract above).
+  Tensor Infer(const Tensor& input) const;
   std::vector<Param*> Params() override { return {&weight_, &bias_}; }
   std::string Name() const override { return "Conv2D"; }
   std::size_t LastForwardMacs() const override { return last_macs_; }
@@ -74,6 +85,7 @@ class Conv2D : public Layer {
 
  private:
   void Im2Col(const Tensor& input, Tensor& col) const;
+  Tensor Compute(const Tensor& input, Tensor& col) const;
 
   std::size_t in_channels_, out_channels_;
   std::size_t kh_, kw_, dh_, dw_;
@@ -93,6 +105,8 @@ class Linear : public Layer {
 
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
+  /// Cache-free forward pass (see thread-safety contract above).
+  Tensor Infer(const Tensor& input) const;
   std::vector<Param*> Params() override { return {&weight_, &bias_}; }
   std::string Name() const override { return "Linear"; }
   std::size_t LastForwardMacs() const override { return last_macs_; }
@@ -116,6 +130,8 @@ class ReLU : public Layer {
  public:
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
+  /// Cache-free forward pass (see thread-safety contract above).
+  Tensor Infer(const Tensor& input) const;
   std::string Name() const override { return "ReLU"; }
 
  private:
@@ -127,6 +143,8 @@ class Sigmoid : public Layer {
  public:
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
+  /// Cache-free forward pass (see thread-safety contract above).
+  Tensor Infer(const Tensor& input) const;
   std::string Name() const override { return "Sigmoid"; }
 
  private:
@@ -138,6 +156,8 @@ class Tanh : public Layer {
  public:
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
+  /// Cache-free forward pass (see thread-safety contract above).
+  Tensor Infer(const Tensor& input) const;
   std::string Name() const override { return "Tanh"; }
 
  private:

@@ -1,0 +1,171 @@
+#include "runtime/session_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+
+namespace nec::runtime {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+SessionManager::SessionManager(
+    std::shared_ptr<const core::Selector> selector,
+    std::shared_ptr<const encoder::SpeakerEncoder> encoder,
+    core::PipelineOptions pipeline_options, Options options)
+    : options_(options),
+      pipeline_options_(pipeline_options),
+      selector_(std::move(selector)),
+      encoder_(std::move(encoder)),
+      pool_(ThreadPool::Options{.workers = options.workers,
+                                .queue_capacity = options.queue_capacity,
+                                .policy = options.policy}) {
+  NEC_CHECK(selector_ != nullptr && encoder_ != nullptr);
+  chunk_samples_ = static_cast<std::size_t>(
+      options_.chunk_s * selector_->config().sample_rate);
+}
+
+SessionManager::~SessionManager() { Shutdown(); }
+
+void SessionManager::Shutdown() { pool_.Shutdown(); }
+
+SessionManager::SessionId SessionManager::CreateSession(
+    std::span<const audio::Waveform> references) {
+  auto session = std::make_unique<Session>(
+      selector_, encoder_, pipeline_options_, options_.chunk_s,
+      options_.kind);
+  session->pipeline.Enroll(references);
+  stats_.AddSession();
+  std::lock_guard lock(sessions_mu_);
+  sessions_.push_back(std::move(session));
+  return sessions_.size() - 1;
+}
+
+SessionManager::Session* SessionManager::GetSession(SessionId id) const {
+  std::lock_guard lock(sessions_mu_);
+  NEC_CHECK_MSG(id < sessions_.size(), "unknown session id " << id);
+  return sessions_[id].get();
+}
+
+bool SessionManager::Submit(SessionId id, std::span<const float> samples) {
+  Session* s = GetSession(id);
+  stats_.AddSamples(samples.size());
+
+  bool dispatch = false;
+  {
+    std::lock_guard lock(s->mu);
+    s->inbox.insert(s->inbox.end(), samples.begin(), samples.end());
+    if (!s->running && !s->inbox.empty()) {
+      s->running = true;
+      dispatch = true;
+    }
+  }
+  if (!dispatch) return true;  // an active strand will pick the samples up
+
+  BeginStrand();
+  stats_.AddDispatch();
+  if (!pool_.Submit([this, s] { RunStrand(s); })) {
+    // Pool bounced the strand (kReject backpressure, or shutdown). The
+    // samples stay in the inbox; a later Submit redispatches.
+    stats_.AddDispatchRejection();
+    {
+      std::lock_guard lock(s->mu);
+      s->running = false;
+    }
+    FinishStrand();
+    return false;
+  }
+  return true;
+}
+
+void SessionManager::RunStrand(Session* s) {
+  // Drain the inbox at most one chunk per StreamingProcessor::Push, so the
+  // recorded wall-clock of an emitting Push is the latency of exactly one
+  // chunk (selector + broadcast), matching Table II accounting.
+  std::vector<float> take;
+  for (;;) {
+    {
+      std::lock_guard lock(s->mu);
+      if (s->inbox.empty()) {
+        s->running = false;
+        break;
+      }
+      const std::size_t n =
+          std::min(s->inbox.size(), chunk_samples_);
+      take.assign(s->inbox.begin(),
+                  s->inbox.begin() + static_cast<std::ptrdiff_t>(n));
+      s->inbox.erase(s->inbox.begin(),
+                     s->inbox.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::optional<audio::Waveform> out = s->proc.Push(take);
+    if (out.has_value()) {
+      stats_.AddChunk(MsSince(t0));
+      std::lock_guard lock(s->mu);
+      s->output.Append(*out);
+    }
+  }
+  FinishStrand();
+}
+
+void SessionManager::BeginStrand() {
+  std::lock_guard lock(drain_mu_);
+  ++in_flight_;
+}
+
+void SessionManager::FinishStrand() {
+  std::size_t left;
+  {
+    std::lock_guard lock(drain_mu_);
+    left = --in_flight_;
+  }
+  if (left == 0) drain_cv_.notify_all();
+}
+
+void SessionManager::Drain() {
+  std::unique_lock lock(drain_mu_);
+  drain_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+std::optional<audio::Waveform> SessionManager::Flush(SessionId id) {
+  Session* s = GetSession(id);
+  {
+    std::lock_guard lock(s->mu);
+    NEC_CHECK_MSG(!s->running && s->inbox.empty(),
+                  "Flush requires an idle session — call Drain() first");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::optional<audio::Waveform> out = s->proc.Flush();
+  if (out.has_value()) stats_.AddChunk(MsSince(t0));
+  return out;
+}
+
+audio::Waveform SessionManager::TakeOutput(SessionId id) {
+  Session* s = GetSession(id);
+  std::lock_guard lock(s->mu);
+  return std::exchange(s->output, audio::Waveform());
+}
+
+core::ModuleTimings SessionManager::SessionTimings(SessionId id) const {
+  return GetSession(id)->proc.timings();
+}
+
+RuntimeStatsSnapshot SessionManager::Stats() const {
+  return stats_.Snapshot(pool_.queue_depth());
+}
+
+std::size_t SessionManager::num_sessions() const {
+  std::lock_guard lock(sessions_mu_);
+  return sessions_.size();
+}
+
+}  // namespace nec::runtime

@@ -1,0 +1,151 @@
+// Concurrent multi-session protection service.
+//
+// The paper's deployment loop (§VI-C) protects one target on one stream;
+// SessionManager scales that to many concurrent rooms/recorders. Each
+// session wraps an enrolled NecPipeline + StreamingProcessor exactly like
+// the single-threaded path — sessions differ only in *who* is enrolled —
+// while all sessions share one immutable trained Selector/SpeakerEncoder
+// weight set via shared_ptr (Selector::Infer is const; see nn/layers.h).
+//
+// Concurrency model: per-session *strands* over a shared ThreadPool. Audio
+// submitted to a session lands in that session's inbox; at most one pool
+// task per session is in flight at any time, and it drains the inbox chunk
+// by chunk through the session's StreamingProcessor. Chunks of one session
+// therefore process strictly in submission order on a single logical
+// stream — per-session output is bit-identical to running the sequential
+// StreamingProcessor — while chunks of *different* sessions run in
+// parallel across the pool's workers.
+//
+// Lock discipline: Session::mu guards inbox/output/running; the
+// StreamingProcessor itself is touched only by the session's single active
+// strand task (hand-off between consecutive strand tasks is ordered by
+// Session::mu and the pool queue's mutex, so no additional lock is
+// needed). RuntimeStats is all-atomic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "audio/waveform.h"
+#include "core/pipeline.h"
+#include "core/streaming.h"
+#include "encoder/encoder.h"
+#include "runtime/stats.h"
+#include "runtime/thread_pool.h"
+
+namespace nec::runtime {
+
+class SessionManager {
+ public:
+  using SessionId = std::size_t;
+
+  struct Options {
+    std::size_t workers = 4;
+    std::size_t queue_capacity = 1024;
+    /// Backpressure for strand dispatches when the pool queue is full.
+    OverflowPolicy policy = OverflowPolicy::kBlock;
+    /// Chunk duration per session (paper: 1 s, Table II).
+    double chunk_s = 1.0;
+    core::SelectorKind kind = core::SelectorKind::kNeural;
+  };
+
+  /// All sessions share `selector` and `encoder` (no weight copies).
+  /// (`options` has no `= {}` default: GCC bug 88165 rejects braced
+  /// defaults of nested aggregates with member initializers.)
+  SessionManager(std::shared_ptr<const core::Selector> selector,
+                 std::shared_ptr<const encoder::SpeakerEncoder> encoder,
+                 core::PipelineOptions pipeline_options, Options options);
+
+  /// Drains in-flight work and joins the pool.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Opens a protection session enrolled on `references` (paper: 3 clips
+  /// of 3 s). Thread-safe; returns a dense id.
+  SessionId CreateSession(std::span<const audio::Waveform> references);
+
+  /// Feeds monitored samples to a session and schedules processing on the
+  /// pool. Returns false only if a needed strand dispatch was bounced by
+  /// the kReject policy — the samples are ALREADY buffered at that point,
+  /// so retry with an empty span (`Submit(id, {})`) until it returns true;
+  /// re-submitting the same samples would duplicate them. Unprocessed
+  /// buffered chunks make a later Flush fail its idle-session check.
+  /// Thread-safe across sessions; calls for one session must come from one
+  /// producer (a stream is ordered).
+  bool Submit(SessionId id, std::span<const float> samples);
+
+  /// Blocks until every strand dispatched so far has finished. Sessions
+  /// may still hold partial-chunk tails (see Flush).
+  void Drain();
+
+  /// Zero-pads and processes a session's final partial chunk, if any.
+  /// Call after Drain with no concurrent Submit to this session.
+  std::optional<audio::Waveform> Flush(SessionId id);
+
+  /// Moves out everything the session produced so far (modulated shadow at
+  /// the air rate, in stream order). Thread-safe.
+  audio::Waveform TakeOutput(SessionId id);
+
+  /// Per-module latency accounting of one session's processor. Call while
+  /// the session is idle (after Drain): the counters are strand-owned.
+  core::ModuleTimings SessionTimings(SessionId id) const;
+
+  RuntimeStatsSnapshot Stats() const;
+
+  std::size_t num_sessions() const;
+  std::size_t workers() const { return pool_.workers(); }
+  std::size_t chunk_samples() const { return chunk_samples_; }
+
+  /// Stops accepting strand dispatches, drains admitted ones, joins.
+  void Shutdown();
+
+ private:
+  struct Session {
+    Session(std::shared_ptr<const core::Selector> selector,
+            std::shared_ptr<const encoder::SpeakerEncoder> encoder,
+            const core::PipelineOptions& pipeline_options, double chunk_s,
+            core::SelectorKind kind)
+        : pipeline(std::move(selector), std::move(encoder),
+                   pipeline_options),
+          proc(pipeline, chunk_s, kind) {}
+
+    core::NecPipeline pipeline;
+    core::StreamingProcessor proc;  ///< strand-owned, see header comment
+
+    std::mutex mu;
+    std::deque<float> inbox;   ///< guarded by mu
+    audio::Waveform output;    ///< guarded by mu
+    bool running = false;      ///< strand in flight; guarded by mu
+  };
+
+  Session* GetSession(SessionId id) const;
+  void RunStrand(Session* session);
+  void BeginStrand();
+  void FinishStrand();
+
+  const Options options_;
+  const core::PipelineOptions pipeline_options_;
+  const std::shared_ptr<const core::Selector> selector_;
+  const std::shared_ptr<const encoder::SpeakerEncoder> encoder_;
+  std::size_t chunk_samples_ = 0;
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  mutable std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::size_t in_flight_ = 0;  ///< active strands; guarded by drain_mu_
+
+  RuntimeStats stats_;
+  ThreadPool pool_;  ///< last member: workers die before state above
+};
+
+}  // namespace nec::runtime

@@ -1,0 +1,81 @@
+#include "runtime/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nec::runtime {
+
+std::size_t LatencyHistogram::BucketIndex(double ms) {
+  if (!(ms > kMinMs)) return 0;
+  const double idx = std::log(ms / kMinMs) / std::log(kGrowth);
+  return std::min(kBuckets - 1,
+                  static_cast<std::size_t>(std::floor(idx)) + 1);
+}
+
+double LatencyHistogram::BucketUpperMs(std::size_t index) {
+  return kMinMs * std::pow(kGrowth, static_cast<double>(index));
+}
+
+void LatencyHistogram::Record(double ms) {
+  buckets_[BucketIndex(ms)].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t us =
+      static_cast<std::uint64_t>(std::max(0.0, ms) * 1000.0);
+  std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
+  while (us > seen &&
+         !max_us_.compare_exchange_weak(seen, us,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+LatencyQuantiles LatencyHistogram::Quantiles() const {
+  std::array<std::uint64_t, kBuckets> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  LatencyQuantiles q;
+  q.count = total;
+  q.max_ms =
+      static_cast<double>(max_us_.load(std::memory_order_relaxed)) / 1000.0;
+  if (total == 0) return q;
+
+  const auto quantile = [&](double p) {
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(total)));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cum += counts[i];
+      if (cum >= rank) return BucketUpperMs(i);
+    }
+    return BucketUpperMs(kBuckets - 1);
+  };
+  q.p50_ms = quantile(0.50);
+  q.p95_ms = quantile(0.95);
+  q.p99_ms = quantile(0.99);
+  // The histogram's bucket ceiling can overshoot the true maximum; clamp
+  // the tail quantiles so p99 <= max always holds in reports.
+  q.p50_ms = std::min(q.p50_ms, q.max_ms);
+  q.p95_ms = std::min(q.p95_ms, q.max_ms);
+  q.p99_ms = std::min(q.p99_ms, q.max_ms);
+  return q;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  max_us_.store(0, std::memory_order_relaxed);
+}
+
+RuntimeStatsSnapshot RuntimeStats::Snapshot(std::size_t queue_depth) const {
+  RuntimeStatsSnapshot s;
+  s.sessions = sessions_.load(kRelaxed);
+  s.chunks_processed = chunks_.load(kRelaxed);
+  s.dispatches = dispatches_.load(kRelaxed);
+  s.dispatch_rejections = rejections_.load(kRelaxed);
+  s.samples_submitted = samples_.load(kRelaxed);
+  s.queue_depth = queue_depth;
+  s.chunk_latency = latency_.Quantiles();
+  return s;
+}
+
+}  // namespace nec::runtime

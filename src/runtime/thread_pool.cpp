@@ -1,0 +1,41 @@
+#include "runtime/thread_pool.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace nec::runtime {
+
+ThreadPool::ThreadPool(Options options)
+    : queue_(options.queue_capacity, options.policy) {
+  NEC_CHECK_MSG(options.workers >= 1, "ThreadPool needs >= 1 worker");
+  threads_.reserve(options.workers);
+  for (std::size_t i = 0; i < options.workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  NEC_CHECK(task != nullptr);
+  return queue_.Push(std::move(task));
+}
+
+void ThreadPool::Shutdown() {
+  queue_.Close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  // Pop keeps yielding admitted tasks after Close until the queue is dry,
+  // so shutdown never strands in-flight work.
+  while (auto task = queue_.Pop()) {
+    (*task)();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace nec::runtime

@@ -1,0 +1,64 @@
+// Fixed-size worker pool over the bounded WorkQueue.
+//
+// nec::runtime dispatches per-chunk shadow generation onto this pool; each
+// worker is a std::jthread looping over WorkQueue::Pop. Shutdown is
+// *graceful*: the queue closes (no new work admitted) but every task that
+// was already admitted runs to completion before the workers join — an
+// in-flight protection chunk is never abandoned half-modulated.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "runtime/work_queue.h"
+
+namespace nec::runtime {
+
+class ThreadPool {
+ public:
+  struct Options {
+    std::size_t workers = 4;
+    std::size_t queue_capacity = 256;
+    OverflowPolicy policy = OverflowPolicy::kBlock;
+  };
+
+  // No `= {}` default: GCC rejects a braced default argument of a nested
+  // aggregate with member initializers (bug 88165).
+  explicit ThreadPool(Options options);
+
+  /// Joins after draining (see Shutdown).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns false if the pool is shut down or the queue
+  /// bounced it (kReject). Safe from any thread, including workers.
+  bool Submit(std::function<void()> task);
+
+  /// Closes the queue, lets the workers drain every admitted task, and
+  /// joins them. Idempotent; implicitly called by the destructor.
+  void Shutdown();
+
+  std::size_t workers() const { return threads_.size(); }
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::uint64_t submitted() const { return queue_.pushed(); }
+  std::uint64_t rejected() const { return queue_.rejected(); }
+  std::uint64_t dropped() const { return queue_.dropped(); }
+  std::uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+
+  WorkQueue<std::function<void()>> queue_;
+  std::atomic<std::uint64_t> executed_{0};
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace nec::runtime

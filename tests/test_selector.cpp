@@ -49,6 +49,38 @@ TEST(Selector, OutputShapeMatchesInput) {
   EXPECT_EQ(out.dim(1), cfg.num_bins());
 }
 
+TEST(Selector, InferMatchesForwardBitExact) {
+  // Infer is the const, cache-free twin of Forward that nec::runtime
+  // sessions run concurrently on shared weights; the two paths must never
+  // diverge by even one ulp.
+  const NecConfig cfg = TinyConfig();
+  Selector sel(cfg);
+  const auto dvec = RandomDvec(cfg.embedding_dim, 21);
+  for (std::size_t T : {1u, 7u, 24u}) {
+    const nn::Tensor in = RandomSpec(T, cfg.num_bins(), 90 + T);
+    const nn::Tensor fwd = sel.Forward(in, dvec, false);
+    const Selector& shared = sel;  // const access only, as the runtime sees it
+    const nn::Tensor inf = shared.Infer(in, dvec);
+    ASSERT_EQ(fwd.numel(), inf.numel());
+    for (std::size_t i = 0; i < fwd.numel(); ++i) {
+      ASSERT_EQ(fwd[i], inf[i]) << "T=" << T << " i=" << i;
+    }
+  }
+}
+
+TEST(Selector, InferWritesNoObservableState) {
+  // Running Infer between a Forward and its MAC query must not disturb the
+  // training-path bookkeeping.
+  const NecConfig cfg = TinyConfig();
+  Selector sel(cfg);
+  const auto dvec = RandomDvec(cfg.embedding_dim, 22);
+  sel.Forward(RandomSpec(6, cfg.num_bins(), 70), dvec, false);
+  const std::size_t macs_before = sel.LastForwardMacs();
+  const Selector& shared = sel;
+  shared.Infer(RandomSpec(30, cfg.num_bins(), 71), dvec);
+  EXPECT_EQ(sel.LastForwardMacs(), macs_before);
+}
+
 TEST(Selector, HandlesVariableFrameCounts) {
   const NecConfig cfg = TinyConfig();
   Selector sel(cfg);

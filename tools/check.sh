@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI-style verification: Release build + full ctest, then a ThreadSanitizer
+# build exercising the nec::runtime concurrency tests.
+#
+#   tools/check.sh                 # release: all tests; tsan: runtime tests
+#   CHECK_TSAN_ALL=1 tools/check.sh  # run the ENTIRE suite under TSan (slow)
+#   CHECK_JOBS=8 tools/check.sh      # override build/test parallelism
+#
+# Both builds configure with NEC_NATIVE_ARCH=OFF so the script behaves the
+# same inside CI containers and on developer machines.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${CHECK_JOBS:-$(nproc)}"
+
+echo "== [1/4] configure + build: Release =="
+cmake -B build-check-release -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DNEC_NATIVE_ARCH=OFF \
+  -DNEC_BUILD_BENCH=OFF -DNEC_BUILD_EXAMPLES=OFF
+cmake --build build-check-release -j "${JOBS}"
+
+echo "== [2/4] ctest: Release (full suite) =="
+ctest --test-dir build-check-release --output-on-failure -j "${JOBS}"
+
+echo "== [3/4] configure + build: Release + ThreadSanitizer =="
+cmake -B build-check-tsan -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DNEC_NATIVE_ARCH=OFF \
+  -DNEC_SANITIZE=thread \
+  -DNEC_BUILD_BENCH=OFF -DNEC_BUILD_EXAMPLES=OFF
+cmake --build build-check-tsan -j "${JOBS}"
+
+echo "== [4/4] ctest: TSan =="
+if [[ "${CHECK_TSAN_ALL:-0}" == "1" ]]; then
+  ctest --test-dir build-check-tsan --output-on-failure -j "${JOBS}"
+else
+  # The concurrency-bearing tests; the rest of the suite is single-threaded
+  # and already covered by step 2 (CHECK_TSAN_ALL=1 runs everything).
+  ctest --test-dir build-check-tsan --output-on-failure \
+    -R 'test_runtime|test_streaming'
+fi
+
+echo "check.sh: all green"
