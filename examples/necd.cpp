@@ -180,8 +180,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.dispatches));
   std::printf("%-28s %12llu\n", "dispatch rejections",
               static_cast<unsigned long long>(stats.dispatch_rejections));
+  std::printf("%-28s %12llu\n", "dispatch drops (evicted)",
+              static_cast<unsigned long long>(stats.dispatch_drops));
   std::printf("%-28s %12llu\n", "samples submitted",
               static_cast<unsigned long long>(stats.samples_submitted));
+  std::printf("%-28s %12llu\n", "samples dropped",
+              static_cast<unsigned long long>(stats.samples_dropped));
   std::printf("%-28s %12zu\n", "queue depth (now)", stats.queue_depth);
   std::printf("%-28s %12.2f\n", "wall time (s)", wall_s);
   std::printf("%-28s %12.2f\n", "audio processed (s)", audio_s);

@@ -72,7 +72,8 @@ bool SessionManager::Submit(SessionId id, std::span<const float> samples) {
 
   BeginStrand();
   stats_.AddDispatch();
-  if (!pool_.Submit([this, s] { RunStrand(s); })) {
+  if (!pool_.Submit([this, s] { RunStrand(s); },
+                    /*on_drop=*/[this, s] { AbandonStrand(s); })) {
     // Pool bounced the strand (kReject backpressure, or shutdown). The
     // samples stay in the inbox; a later Submit redispatches.
     stats_.AddDispatchRejection();
@@ -114,6 +115,25 @@ void SessionManager::RunStrand(Session* s) {
       s->output.Append(*out);
     }
   }
+  FinishStrand();
+}
+
+void SessionManager::AbandonStrand(Session* s) {
+  // kDropOldest evicted this session's queued strand before it ran. The
+  // buffered audio has missed its overshadowing deadline, so discard it
+  // and return the session to idle — otherwise `running` stays true
+  // forever (no strand will ever clear it), later Submits never
+  // redispatch, Flush fails its idle check, and Drain deadlocks on the
+  // leaked in_flight_ count. Runs on the thread whose Submit caused the
+  // eviction; the evicted task itself can no longer run.
+  std::size_t discarded = 0;
+  {
+    std::lock_guard lock(s->mu);
+    discarded = s->inbox.size();
+    s->inbox.clear();
+    s->running = false;
+  }
+  stats_.AddSamplesDropped(discarded);
   FinishStrand();
 }
 
@@ -160,7 +180,7 @@ core::ModuleTimings SessionManager::SessionTimings(SessionId id) const {
 }
 
 RuntimeStatsSnapshot SessionManager::Stats() const {
-  return stats_.Snapshot(pool_.queue_depth());
+  return stats_.Snapshot(pool_.queue_depth(), pool_.dropped());
 }
 
 std::size_t SessionManager::num_sessions() const {

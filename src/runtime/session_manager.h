@@ -78,6 +78,14 @@ class SessionManager {
   /// so retry with an empty span (`Submit(id, {})`) until it returns true;
   /// re-submitting the same samples would duplicate them. Unprocessed
   /// buffered chunks make a later Flush fail its idle-session check.
+  ///
+  /// Under kDropOldest a full pool queue evicts the oldest *queued* strand
+  /// to admit this one. The evicted session is unwound, not wedged: its
+  /// buffered-but-unprocessed audio is discarded (those chunks missed
+  /// their deadline — that is what drop-oldest means) and the session goes
+  /// back to idle, so later Submits redispatch and Drain/Flush still work.
+  /// Drops are visible as `dispatch_drops` / `samples_dropped` in Stats().
+  ///
   /// Thread-safe across sessions; calls for one session must come from one
   /// producer (a stream is ordered).
   bool Submit(SessionId id, std::span<const float> samples);
@@ -128,6 +136,7 @@ class SessionManager {
 
   Session* GetSession(SessionId id) const;
   void RunStrand(Session* session);
+  void AbandonStrand(Session* session);
   void BeginStrand();
   void FinishStrand();
 

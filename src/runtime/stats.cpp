@@ -66,13 +66,16 @@ void LatencyHistogram::Reset() {
   max_us_.store(0, std::memory_order_relaxed);
 }
 
-RuntimeStatsSnapshot RuntimeStats::Snapshot(std::size_t queue_depth) const {
+RuntimeStatsSnapshot RuntimeStats::Snapshot(
+    std::size_t queue_depth, std::uint64_t dispatch_drops) const {
   RuntimeStatsSnapshot s;
   s.sessions = sessions_.load(kRelaxed);
   s.chunks_processed = chunks_.load(kRelaxed);
   s.dispatches = dispatches_.load(kRelaxed);
   s.dispatch_rejections = rejections_.load(kRelaxed);
+  s.dispatch_drops = dispatch_drops;
   s.samples_submitted = samples_.load(kRelaxed);
+  s.samples_dropped = samples_dropped_.load(kRelaxed);
   s.queue_depth = queue_depth;
   s.chunk_latency = latency_.Quantiles();
   return s;

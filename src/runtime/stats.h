@@ -4,7 +4,7 @@
 // wall-clock into a log-spaced histogram with atomic buckets, so recording
 // from many workers is wait-free and never perturbs the latencies being
 // measured. Snapshot() folds everything into a plain struct the daemon and
-// benches print; quantiles are read from the bucket CDF (resolution ~9%
+// benches print; quantiles are read from the bucket CDF (resolution ~11%
 // per bucket, plenty for a p99-vs-300 ms deadline check, §IV-C2).
 #pragma once
 
@@ -23,8 +23,8 @@ struct LatencyQuantiles {
   std::uint64_t count = 0;
 };
 
-/// Fixed log-spaced histogram over (0, ~11 s]; thread-safe, wait-free
-/// recording. Bucket i spans [kMinMs*G^i, kMinMs*G^(i+1)) with G ≈ 1.09,
+/// Fixed log-spaced histogram over (0, ~12 s]; thread-safe, wait-free
+/// recording. Bucket i spans [kMinMs*G^i, kMinMs*G^(i+1)) with G = 1.11,
 /// so a reported quantile is within one bucket ratio of the true value.
 class LatencyHistogram {
  public:
@@ -54,7 +54,9 @@ struct RuntimeStatsSnapshot {
   std::uint64_t chunks_processed = 0;  ///< full chunks shadowed + modulated
   std::uint64_t dispatches = 0;        ///< strand tasks handed to the pool
   std::uint64_t dispatch_rejections = 0;  ///< pool bounced a strand (kReject)
+  std::uint64_t dispatch_drops = 0;  ///< queued strands evicted (kDropOldest)
   std::uint64_t samples_submitted = 0;
+  std::uint64_t samples_dropped = 0;  ///< buffered audio discarded on evict
   std::size_t queue_depth = 0;  ///< pool queue depth at snapshot time
   LatencyQuantiles chunk_latency;  ///< per-chunk selector+broadcast wall ms
 };
@@ -71,10 +73,14 @@ class RuntimeStats {
   void AddDispatch() { dispatches_.fetch_add(1, kRelaxed); }
   void AddDispatchRejection() { rejections_.fetch_add(1, kRelaxed); }
   void AddSamples(std::uint64_t n) { samples_.fetch_add(n, kRelaxed); }
+  void AddSamplesDropped(std::uint64_t n) {
+    samples_dropped_.fetch_add(n, kRelaxed);
+  }
 
-  /// `queue_depth` is sampled by the caller (the stats object does not know
-  /// the pool).
-  RuntimeStatsSnapshot Snapshot(std::size_t queue_depth = 0) const;
+  /// `queue_depth` and `dispatch_drops` are sampled by the caller (the
+  /// stats object does not know the pool).
+  RuntimeStatsSnapshot Snapshot(std::size_t queue_depth = 0,
+                                std::uint64_t dispatch_drops = 0) const;
 
  private:
   static constexpr auto kRelaxed = std::memory_order_relaxed;
@@ -84,6 +90,7 @@ class RuntimeStats {
   std::atomic<std::uint64_t> dispatches_{0};
   std::atomic<std::uint64_t> rejections_{0};
   std::atomic<std::uint64_t> samples_{0};
+  std::atomic<std::uint64_t> samples_dropped_{0};
   LatencyHistogram latency_;
 };
 

@@ -17,9 +17,16 @@ ThreadPool::ThreadPool(Options options)
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-bool ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task,
+                        std::function<void()> on_drop) {
   NEC_CHECK(task != nullptr);
-  return queue_.Push(std::move(task));
+  std::optional<Task> evicted;
+  const bool admitted =
+      queue_.Push(Task{std::move(task), std::move(on_drop)}, &evicted);
+  // The victim's unwind hook runs on this (producer) thread, outside the
+  // queue lock; the victim can no longer be popped by a worker.
+  if (evicted.has_value() && evicted->on_drop) evicted->on_drop();
+  return admitted;
 }
 
 void ThreadPool::Shutdown() {
@@ -33,7 +40,7 @@ void ThreadPool::WorkerLoop() {
   // Pop keeps yielding admitted tasks after Close until the queue is dry,
   // so shutdown never strands in-flight work.
   while (auto task = queue_.Pop()) {
-    (*task)();
+    task->run();
     executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }

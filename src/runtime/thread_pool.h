@@ -37,8 +37,21 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; returns false if the pool is shut down or the queue
-  /// bounced it (kReject). Safe from any thread, including workers.
-  bool Submit(std::function<void()> task);
+  /// bounced it (kReject). Under kDropOldest a full queue evicts its
+  /// oldest queued task to admit this one; the victim's `on_drop` (if any)
+  /// runs synchronously on the submitting thread before Submit returns, so
+  /// the victim's owner can unwind state that assumed the task would run.
+  /// A task's `run` and `on_drop` are mutually exclusive: exactly one of
+  /// them fires for every admitted task (drained tasks still run after
+  /// Shutdown — see below).
+  ///
+  /// Thread-safety: safe from any thread under kReject/kDropOldest. Under
+  /// kBlock a *worker* submitting to a full queue parks inside Push while
+  /// also being a consumer — if every worker does this the pool deadlocks —
+  /// so worker-thread Submit with kBlock is only safe when the queue is
+  /// guaranteed non-full.
+  bool Submit(std::function<void()> task,
+              std::function<void()> on_drop = nullptr);
 
   /// Closes the queue, lets the workers drain every admitted task, and
   /// joins them. Idempotent; implicitly called by the destructor.
@@ -54,9 +67,14 @@ class ThreadPool {
   }
 
  private:
+  struct Task {
+    std::function<void()> run;
+    std::function<void()> on_drop;  ///< fired instead of run on eviction
+  };
+
   void WorkerLoop();
 
-  WorkQueue<std::function<void()>> queue_;
+  WorkQueue<Task> queue_;
   std::atomic<std::uint64_t> executed_{0};
   std::vector<std::jthread> threads_;
 };

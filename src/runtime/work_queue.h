@@ -50,7 +50,13 @@ class WorkQueue {
   /// Enqueues an item subject to the overflow policy. Returns false if the
   /// item was not admitted (queue closed, kReject overflow, or kBlock
   /// interrupted by Close).
-  bool Push(T item) {
+  ///
+  /// Under kDropOldest an admission at capacity evicts the front item; if
+  /// `evicted` is non-null the victim is moved into it so the caller can
+  /// unwind whatever state the victim represents (a dropped task is not
+  /// the same as a finished one — see ThreadPool's drop callback).
+  /// Otherwise the victim is destroyed.
+  bool Push(T item, std::optional<T>* evicted = nullptr) {
     std::unique_lock lock(mu_);
     if (closed_) return false;
     if (items_.size() >= capacity_) {
@@ -65,6 +71,7 @@ class WorkQueue {
           ++rejected_;
           return false;
         case OverflowPolicy::kDropOldest:
+          if (evicted != nullptr) *evicted = std::move(items_.front());
           items_.pop_front();
           ++dropped_;
           break;

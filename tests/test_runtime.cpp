@@ -64,6 +64,21 @@ TEST(WorkQueue, DropOldestEvictsFront) {
   EXPECT_EQ(q.Pop(), std::optional<int>(5));
 }
 
+TEST(WorkQueue, DropOldestHandsBackEvictedItem) {
+  WorkQueue<int> q(2, OverflowPolicy::kDropOldest);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  std::optional<int> evicted;
+  EXPECT_TRUE(q.Push(3, &evicted));  // evicts 1 into the out-param
+  EXPECT_EQ(evicted, std::optional<int>(1));
+  // Below capacity nothing is evicted and the out-param stays empty.
+  EXPECT_EQ(q.Pop(), std::optional<int>(2));
+  evicted.reset();
+  EXPECT_TRUE(q.Push(4, &evicted));
+  EXPECT_FALSE(evicted.has_value());
+  EXPECT_EQ(q.dropped(), 1u);
+}
+
 TEST(WorkQueue, BlockPolicyWaitsForSpace) {
   WorkQueue<int> q(1, OverflowPolicy::kBlock);
   EXPECT_TRUE(q.Push(1));
@@ -149,6 +164,37 @@ TEST(ThreadPool, RejectPolicyShedsLoadWhenSaturated) {
   EXPECT_GT(pool.rejected(), 0u);
   release.store(true);
   pool.Shutdown();
+}
+
+TEST(ThreadPool, DropOldestFiresDropCallbackForEvictedTask) {
+  ThreadPool pool({.workers = 1,
+                   .queue_capacity = 1,
+                   .policy = OverflowPolicy::kDropOldest});
+  std::atomic<bool> release{false};
+  // Occupy the single worker, then wait until it has actually popped the
+  // gate task so the queue is empty and the eviction order is fixed.
+  ASSERT_TRUE(pool.Submit([&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }));
+  while (pool.queue_depth() != 0) std::this_thread::yield();
+
+  std::atomic<int> ran{0};
+  std::atomic<int> dropped{0};
+  const auto task = [&ran] { ran.fetch_add(1); };
+  const auto on_drop = [&dropped] { dropped.fetch_add(1); };
+  ASSERT_TRUE(pool.Submit(task, on_drop));  // fills the queue
+  ASSERT_TRUE(pool.Submit(task, on_drop));  // evicts the first task
+  // The victim's on_drop ran synchronously inside the second Submit.
+  EXPECT_EQ(dropped.load(), 1);
+  EXPECT_EQ(pool.dropped(), 1u);
+
+  release.store(true);
+  pool.Shutdown();
+  // Exactly one of {run, on_drop} fired for each task.
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(dropped.load(), 1);
 }
 
 // ----------------------------------------------------------------- Stats
@@ -323,6 +369,59 @@ TEST_F(SessionManagerTest, RejectBackpressureLeavesSamplesBuffered) {
   const RuntimeStatsSnapshot stats = manager.Stats();
   EXPECT_EQ(stats.chunks_processed, 3u);
   EXPECT_GT(out.size(), 0u);
+}
+
+TEST_F(SessionManagerTest, DropOldestEvictionUnwedgesSession) {
+  // Regression: an evicted queued strand used to leave its session's
+  // `running` flag true and in_flight_ non-zero forever — the session was
+  // wedged (audio never processed, Flush CHECK-failed) and Drain
+  // deadlocked. Now the eviction unwinds the session: stale audio is
+  // discarded, the session returns to idle, and the loss is counted.
+  SessionManager manager(selector_, encoder_, {},
+                         {.workers = 1,
+                          .queue_capacity = 1,
+                          .policy = OverflowPolicy::kDropOldest,
+                          .chunk_s = 1.0,
+                          .kind = core::SelectorKind::kNeural});
+  const auto spk_a = synth::SpeakerProfile::FromSeed(31);
+  const auto spk_b = synth::SpeakerProfile::FromSeed(32);
+  const auto spk_c = synth::SpeakerProfile::FromSeed(33);
+  const auto a =
+      manager.CreateSession(builder_.MakeReferenceAudios(spk_a, 3, 61));
+  const auto b =
+      manager.CreateSession(builder_.MakeReferenceAudios(spk_b, 3, 62));
+  const auto c =
+      manager.CreateSession(builder_.MakeReferenceAudios(spk_c, 3, 63));
+  const audio::Waveform sa = builder_.MakeUtterance(spk_a, 71).wave;
+  const audio::Waveform sb = builder_.MakeUtterance(spk_b, 72).wave;
+  const audio::Waveform sc = builder_.MakeUtterance(spk_c, 73).wave;
+
+  // A's strand occupies the single worker (2.5 s of neural-selector work;
+  // wait until the worker has popped it so the queue is empty), B's strand
+  // sits in the capacity-1 queue, and C's dispatch evicts B's.
+  EXPECT_TRUE(manager.Submit(a, sa.samples()));
+  while (manager.Stats().queue_depth != 0) std::this_thread::yield();
+  EXPECT_TRUE(manager.Submit(b, sb.samples()));
+  EXPECT_TRUE(manager.Submit(c, sc.samples()));
+
+  manager.Drain();  // deadlocked here before the fix
+  const RuntimeStatsSnapshot stats = manager.Stats();
+  EXPECT_EQ(stats.dispatch_drops, 1u);
+  EXPECT_EQ(stats.samples_dropped, sb.size());
+
+  // The evicted session is idle: Flush passes its idle check (its
+  // processor never saw the dropped audio) and a fresh Submit runs
+  // normally.
+  EXPECT_FALSE(manager.Flush(b).has_value());
+  EXPECT_TRUE(manager.Submit(b, sb.samples()));
+  manager.Drain();
+  audio::Waveform out = manager.TakeOutput(b);
+  if (auto tail = manager.Flush(b)) out.Append(*tail);
+  EXPECT_GT(out.size(), 0u);
+
+  // The sessions that were not evicted processed their full streams.
+  EXPECT_GT(manager.TakeOutput(a).size(), 0u);
+  EXPECT_GT(manager.TakeOutput(c).size(), 0u);
 }
 
 }  // namespace
