@@ -1,0 +1,182 @@
+// Machine-readable bench output (BENCH_hotpath.json).
+//
+// The perf harness appends each bench's results as one named top-level
+// section of a shared JSON file, so a driver (tools/check.sh smoke mode,
+// CI, or a human diffing before/after) can read chunks/sec, module
+// latencies and deadline margins without scraping the pretty-printed
+// tables. No external JSON dependency: the writer emits a deliberately
+// small dialect (ordered objects, arrays, numbers, booleans, and strings
+// that must not contain quotes, braces or backslashes), and the section
+// merger only ever re-reads files this helper produced.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace nec::bench {
+
+/// Streaming writer for one JSON object. Keys and string values must stay
+/// free of `"`, `{`, `}` and `\` — NEC_CHECK'd, not escaped.
+class JsonWriter {
+ public:
+  JsonWriter() { Open('{'); }
+
+  JsonWriter& Field(const char* key, double v) {
+    Key(key);
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Field(const char* key, bool v) {
+    Key(key);
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& Field(const char* key, const char* v) {
+    CheckPlain(v);
+    Key(key);
+    out_ += '"';
+    out_ += v;
+    out_ += '"';
+    return *this;
+  }
+
+  JsonWriter& BeginObject(const char* key = nullptr) {
+    key != nullptr ? Key(key) : Comma();
+    Open('{');
+    return *this;
+  }
+  JsonWriter& BeginArray(const char* key) {
+    Key(key);
+    Open('[');
+    return *this;
+  }
+  JsonWriter& EndObject() { return CloseScope('}'); }
+  JsonWriter& EndArray() { return CloseScope(']'); }
+
+  /// Closes the root object and returns its text. Call exactly once, with
+  /// every nested scope already closed.
+  std::string Finish() {
+    NEC_CHECK_MSG(first_.size() == 1, "unclosed JSON scope at Finish");
+    out_ += '}';
+    first_.clear();
+    return std::move(out_);
+  }
+
+ private:
+  void CheckPlain(const char* s) {
+    for (; *s != '\0'; ++s) {
+      NEC_CHECK_MSG(*s != '"' && *s != '{' && *s != '}' && *s != '\\',
+                    "JsonWriter strings must not need escaping");
+    }
+  }
+  void Comma() {
+    if (!first_.back()) out_ += ", ";
+    first_.back() = false;
+  }
+  void Key(const char* k) {
+    CheckPlain(k);
+    Comma();
+    out_ += '"';
+    out_ += k;
+    out_ += "\": ";
+  }
+  void Open(char c) {
+    out_ += c;
+    first_.push_back(true);
+  }
+  JsonWriter& CloseScope(char c) {
+    NEC_CHECK_MSG(first_.size() > 1, "unbalanced JSON scope close");
+    out_ += c;
+    first_.pop_back();
+    return *this;
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+};
+
+/// Replaces (or appends) the top-level section `name` of the JSON object
+/// file at `path` with `object_text` (a balanced object from JsonWriter).
+/// Creates the file when missing. Other benches' sections are preserved,
+/// so several binaries can accrete into one BENCH_hotpath.json.
+inline void WriteJsonSection(const std::string& path, const std::string& name,
+                             const std::string& object_text) {
+  // Parse the existing file into (name, raw object) pairs with a brace
+  // counter. Safe because the only brace-bearing strings this file can
+  // contain are ones CheckPlain rejected at write time.
+  std::vector<std::pair<std::string, std::string>> sections;
+  std::string in;
+  {
+    std::ifstream f(path);
+    if (f) {
+      std::ostringstream ss;
+      ss << f.rdbuf();
+      in = ss.str();
+    }
+  }
+  std::size_t i = in.find('{');
+  while (i != std::string::npos) {
+    const std::size_t q0 = in.find('"', i + 1);
+    if (q0 == std::string::npos) break;
+    const std::size_t q1 = in.find('"', q0 + 1);
+    if (q1 == std::string::npos) break;
+    const std::size_t b = in.find('{', q1 + 1);
+    if (b == std::string::npos) break;
+    int depth = 0;
+    std::size_t e = b;
+    for (; e < in.size(); ++e) {
+      if (in[e] == '{') ++depth;
+      if (in[e] == '}' && --depth == 0) break;
+    }
+    if (e >= in.size()) break;
+    sections.emplace_back(in.substr(q0 + 1, q1 - q0 - 1),
+                          in.substr(b, e - b + 1));
+    i = e;  // next iteration scans for the following key's quote
+  }
+
+  bool replaced = false;
+  for (auto& [key, value] : sections) {
+    if (key == name) {
+      value = object_text;
+      replaced = true;
+    }
+  }
+  if (!replaced) sections.emplace_back(name, object_text);
+
+  std::ofstream out(path, std::ios::trunc);
+  NEC_CHECK_MSG(out.good(), "cannot write " << path);
+  out << "{\n";
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    out << "  \"" << sections[s].first << "\": " << sections[s].second
+        << (s + 1 < sections.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+}
+
+/// Output path for the hot-path perf sections: $NEC_BENCH_JSON if set,
+/// else BENCH_hotpath.json in the working directory.
+inline std::string BenchJsonPath() {
+  const char* env = std::getenv("NEC_BENCH_JSON");
+  return env != nullptr && *env != '\0' ? env : "BENCH_hotpath.json";
+}
+
+/// True when $NEC_BENCH_SMOKE is set non-empty: benches shrink their
+/// workloads to seconds so tools/check.sh can validate wiring + JSON
+/// output without paying full measurement time. Smoke numbers are not
+/// comparable baselines.
+inline bool BenchSmokeMode() {
+  const char* env = std::getenv("NEC_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+}  // namespace nec::bench

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_support.h"
 #include "core/selector.h"
 #include "core/streaming.h"
@@ -33,10 +34,22 @@
 namespace nec::bench {
 namespace {
 
-constexpr std::size_t kSessions = 8;
-constexpr double kStreamSeconds = 6.0;
 constexpr double kChunkSeconds = 1.0;
 constexpr double kDeadlineMs = 300.0;
+
+/// Full run: 8 sessions x 6 s, worker sweep 1/2/4/8. Smoke mode
+/// ($NEC_BENCH_SMOKE) shrinks to 2 x 2 s with workers 1/2 — enough to
+/// exercise the wiring and emit well-formed JSON in a few seconds.
+struct BenchParams {
+  std::size_t sessions = 8;
+  double stream_seconds = 6.0;
+  std::vector<std::size_t> worker_sweep = {1, 2, 4, 8};
+
+  static BenchParams Get() {
+    if (!BenchSmokeMode()) return {};
+    return {.sessions = 2, .stream_seconds = 2.0, .worker_sweep = {1, 2}};
+  }
+};
 
 struct Workload {
   std::shared_ptr<const core::Selector> selector;
@@ -46,14 +59,14 @@ struct Workload {
   std::vector<audio::Waveform> streams;
 };
 
-Workload MakeWorkload() {
+Workload MakeWorkload(const BenchParams& p) {
   Workload w;
   const core::NecConfig cfg = core::NecConfig::Fast();
   w.selector = std::make_shared<const core::Selector>(cfg, /*init_seed=*/29);
   w.encoder = std::make_shared<encoder::LasEncoder>(cfg.embedding_dim);
-  synth::DatasetBuilder stream_builder({.duration_s = kStreamSeconds});
+  synth::DatasetBuilder stream_builder({.duration_s = p.stream_seconds});
   synth::DatasetBuilder enroll_builder({.duration_s = 3.0});
-  for (std::size_t i = 0; i < kSessions; ++i) {
+  for (std::size_t i = 0; i < p.sessions; ++i) {
     w.speakers.push_back(synth::SpeakerProfile::FromSeed(300 + i));
     w.references.push_back(
         enroll_builder.MakeReferenceAudios(w.speakers[i], 3, 600 + i));
@@ -73,13 +86,14 @@ struct RunResult {
 };
 
 RunResult RunWith(const Workload& w, std::size_t workers) {
+  const std::size_t sessions = w.streams.size();
   runtime::SessionManager manager(w.selector, w.encoder, {},
                                   {.workers = workers,
                                    .queue_capacity = 1024,
                                    .chunk_s = kChunkSeconds,
                                    .kind = core::SelectorKind::kNeural});
   std::vector<runtime::SessionManager::SessionId> ids;
-  for (std::size_t i = 0; i < kSessions; ++i) {
+  for (std::size_t i = 0; i < sessions; ++i) {
     ids.push_back(manager.CreateSession(w.references[i]));
   }
 
@@ -90,7 +104,7 @@ RunResult RunWith(const Workload& w, std::size_t workers) {
   bool any_left = true;
   while (any_left) {
     any_left = false;
-    for (std::size_t i = 0; i < kSessions; ++i) {
+    for (std::size_t i = 0; i < sessions; ++i) {
       if (pos >= w.streams[i].size()) continue;
       const std::size_t n = std::min(piece, w.streams[i].size() - pos);
       manager.Submit(ids[i], w.streams[i].samples().subspan(pos, n));
@@ -101,7 +115,7 @@ RunResult RunWith(const Workload& w, std::size_t workers) {
   manager.Drain();
 
   RunResult r;
-  for (std::size_t i = 0; i < kSessions; ++i) {
+  for (std::size_t i = 0; i < sessions; ++i) {
     audio::Waveform out = manager.TakeOutput(ids[i]);
     if (auto tail = manager.Flush(ids[i])) out.Append(*tail);
     r.outputs.push_back(std::move(out));
@@ -117,10 +131,22 @@ RunResult RunWith(const Workload& w, std::size_t workers) {
   return r;
 }
 
+struct SequentialResult {
+  std::vector<audio::Waveform> outputs;
+  double chunks_per_sec = 0.0;    ///< single-thread loop, all sessions
+  double avg_selector_ms = 0.0;   ///< STFT + DNN + inverse STFT, per chunk
+  double avg_broadcast_ms = 0.0;  ///< ultrasonic modulation, per chunk
+};
+
 /// Sequential reference: one StreamingProcessor per session, same weights.
-std::vector<audio::Waveform> RunSequential(const Workload& w) {
-  std::vector<audio::Waveform> outs;
-  for (std::size_t i = 0; i < kSessions; ++i) {
+/// Its per-module timings are the Table II-style single-thread hot-path
+/// numbers the perf harness tracks across commits.
+SequentialResult RunSequential(const Workload& w) {
+  SequentialResult r;
+  double selector_ms = 0.0, broadcast_ms = 0.0;
+  std::size_t chunks = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < w.streams.size(); ++i) {
     core::NecPipeline pipeline(w.selector, w.encoder, {});
     pipeline.Enroll(w.references[i]);
     core::StreamingProcessor proc(pipeline, kChunkSeconds,
@@ -128,9 +154,20 @@ std::vector<audio::Waveform> RunSequential(const Workload& w) {
     audio::Waveform out;
     if (auto o = proc.Push(w.streams[i].samples())) out = std::move(*o);
     if (auto tail = proc.Flush()) out.Append(*tail);
-    outs.push_back(std::move(out));
+    r.outputs.push_back(std::move(out));
+    selector_ms += proc.timings().selector_ms;
+    broadcast_ms += proc.timings().broadcast_ms;
+    chunks += proc.timings().chunks;
   }
-  return outs;
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.chunks_per_sec =
+      wall_s > 0.0 ? static_cast<double>(chunks) / wall_s : 0.0;
+  r.avg_selector_ms = chunks ? selector_ms / static_cast<double>(chunks) : 0.0;
+  r.avg_broadcast_ms =
+      chunks ? broadcast_ms / static_cast<double>(chunks) : 0.0;
+  return r;
 }
 
 bool BitExact(const std::vector<audio::Waveform>& a,
@@ -151,37 +188,70 @@ bool BitExact(const std::vector<audio::Waveform>& a,
 int main() {
   using namespace nec::bench;
 
+  const BenchParams params = BenchParams::Get();
   PrintHeader("Runtime throughput: chunks/sec and p99 latency vs. workers");
   std::printf("%zu sessions x %.0f s streams, %.0f s chunks; "
-              "hardware_concurrency=%u\n",
-              kSessions, kStreamSeconds, kChunkSeconds,
-              std::thread::hardware_concurrency());
+              "hardware_concurrency=%u%s\n",
+              params.sessions, params.stream_seconds, kChunkSeconds,
+              std::thread::hardware_concurrency(),
+              BenchSmokeMode() ? "  [SMOKE — not a baseline]" : "");
 
-  const Workload w = MakeWorkload();
-  const std::vector<nec::audio::Waveform> sequential = RunSequential(w);
+  const Workload w = MakeWorkload(params);
+  const SequentialResult sequential = RunSequential(w);
+  std::printf("sequential loop: %.2f chunks/sec; per chunk selector "
+              "%.2f ms, broadcast %.2f ms\n",
+              sequential.chunks_per_sec, sequential.avg_selector_ms,
+              sequential.avg_broadcast_ms);
 
   std::printf("\n%8s %12s %10s %10s %10s %10s %10s\n", "workers",
               "chunks/sec", "speedup", "p50 ms", "p99 ms", "max ms",
               "bitexact");
   PrintRule();
 
+  JsonWriter json;
+  json.Field("sessions", static_cast<double>(params.sessions))
+      .Field("stream_seconds", params.stream_seconds)
+      .Field("chunk_seconds", kChunkSeconds)
+      .Field("deadline_ms", kDeadlineMs)
+      .Field("hardware_concurrency",
+             static_cast<double>(std::thread::hardware_concurrency()))
+      .Field("smoke", BenchSmokeMode());
+  json.BeginObject("sequential")
+      .Field("chunks_per_sec", sequential.chunks_per_sec)
+      .Field("selector_ms_per_chunk", sequential.avg_selector_ms)
+      .Field("broadcast_ms_per_chunk", sequential.avg_broadcast_ms)
+      .EndObject();
+  json.BeginArray("rows");
+
   double base = 0.0;
   double speedup_at_4 = 0.0;
   bool all_exact = true;
   bool deadline_ok = true;
-  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+  for (const std::size_t workers : params.worker_sweep) {
     const RunResult r = RunWith(w, workers);
     if (workers == 1) base = r.chunks_per_sec;
     const double speedup = base > 0.0 ? r.chunks_per_sec / base : 0.0;
     if (workers == 4) speedup_at_4 = speedup;
-    const bool exact = BitExact(r.outputs, sequential);
+    const bool exact = BitExact(r.outputs, sequential.outputs);
     all_exact &= exact;
     deadline_ok &= r.stats.chunk_latency.p99_ms < kDeadlineMs;
     std::printf("%8zu %12.2f %9.2fx %10.2f %10.2f %10.2f %10s\n", workers,
                 r.chunks_per_sec, speedup, r.stats.chunk_latency.p50_ms,
                 r.stats.chunk_latency.p99_ms, r.stats.chunk_latency.max_ms,
                 exact ? "yes" : "NO");
+    json.BeginObject()
+        .Field("workers", static_cast<double>(workers))
+        .Field("chunks_per_sec", r.chunks_per_sec)
+        .Field("speedup_vs_1", speedup)
+        .Field("p50_ms", r.stats.chunk_latency.p50_ms)
+        .Field("p99_ms", r.stats.chunk_latency.p99_ms)
+        .Field("max_ms", r.stats.chunk_latency.max_ms)
+        .Field("bitexact", exact)
+        .Field("deadline_met", r.stats.chunk_latency.p99_ms < kDeadlineMs)
+        .EndObject();
   }
+  json.EndArray();
+  json.Field("all_bitexact", all_exact).Field("deadline_ok", deadline_ok);
 
   PrintRule();
   std::printf("per-session outputs vs sequential StreamingProcessor: %s\n",
@@ -193,5 +263,9 @@ int main() {
                   ? " (machine has fewer than 4 cores; scaling is "
                     "core-bound)"
                   : "");
+
+  const std::string path = BenchJsonPath();
+  WriteJsonSection(path, "runtime_throughput", json.Finish());
+  std::printf("wrote section runtime_throughput -> %s\n", path.c_str());
   return all_exact ? 0 : 1;
 }

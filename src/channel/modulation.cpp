@@ -1,5 +1,6 @@
 #include "channel/modulation.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -18,8 +19,17 @@ audio::Waveform ModulateAm(const audio::Waveform& baseband,
   NEC_CHECK_MSG(config.alpha > 0.0, "alpha must be positive");
 
   audio::Waveform up = dsp::Resample(baseband, config.air_sample_rate);
-  const float peak = up.Peak();
-  if (peak > 0.0f) up.Scale(1.0f / peak);  // |m| <= 1
+  if (config.reference_peak > 0.0) {
+    // Fixed stream-wide gain: every chunk of a stream maps amplitude to
+    // envelope identically, so the emitted power coefficient is stable.
+    // Resampler overshoot (or chunks louder than the reference) clamps to
+    // the |m| <= 1 modulation-index invariant instead of re-normalizing.
+    const float scale = static_cast<float>(1.0 / config.reference_peak);
+    for (float& s : up.samples()) s = std::clamp(s * scale, -1.0f, 1.0f);
+  } else {
+    const float peak = up.Peak();
+    if (peak > 0.0f) up.Scale(1.0f / peak);  // |m| <= 1
+  }
 
   const double w = 2.0 * std::numbers::pi * config.carrier_hz /
                    config.air_sample_rate;
@@ -34,7 +44,16 @@ audio::Waveform ModulateAm(const audio::Waveform& baseband,
 
 audio::Waveform DemodulateAm(const audio::Waveform& passband,
                              double carrier_hz, int target_rate) {
-  NEC_CHECK(passband.sample_rate() > 4 * static_cast<int>(carrier_hz / 2));
+  // Coherent demodulation shifts the upper sideband to carrier + bw where
+  // bw = target_rate/2 is the recovered baseband's bandwidth. The whole
+  // sideband — not just the carrier — must sit below Nyquist, or it folds
+  // back into the audio band before the low-pass can reject it.
+  NEC_CHECK_MSG(
+      passband.sample_rate() > 2.0 * (carrier_hz + 0.5 * target_rate),
+      "passband rate " << passband.sample_rate()
+                       << " Hz cannot carry the upper sideband of a "
+                       << carrier_hz << " Hz carrier with " << target_rate
+                       << " Hz baseband");
   audio::Waveform mixed = passband;
   const double w =
       2.0 * std::numbers::pi * carrier_hz / passband.sample_rate();

@@ -21,18 +21,32 @@ struct ModulationConfig {
   /// Peak normalization of the emitted waveform (transmit amplitude is set
   /// by the emitter's SPL, not here).
   double peak = 0.95;
+  /// Envelope reference amplitude. 0 (default) normalizes by the input's
+  /// own peak — correct for whole-utterance modulation. A chunked stream
+  /// MUST set an explicit reference instead (one gain for the whole
+  /// stream): normalizing each chunk by its own peak boosts quiet chunks
+  /// and attenuates loud ones, so the emitted shadow's power coefficient
+  /// drifts chunk-to-chunk and no longer matches the calibrated a <= 0.6
+  /// cancellation scale. StreamingProcessor latches a stream-wide
+  /// reference automatically when this is 0.
+  double reference_peak = 0.0;
 };
 
 /// AM-modulates a baseband waveform onto the ultrasonic carrier. The input
 /// is resampled to `air_sample_rate` first; the envelope is normalized so
 /// |m(t)| <= 1 before the (m + alpha) offset, keeping the modulation index
-/// at alpha^-1.
+/// at alpha^-1. With `reference_peak > 0` the envelope is scaled by
+/// 1/reference_peak instead of the per-call peak (samples beyond the
+/// reference clamp to +-1, preserving the modulation-index invariant).
 audio::Waveform ModulateAm(const audio::Waveform& baseband,
                            const ModulationConfig& config);
 
 /// Ideal coherent demodulation — test/diagnostic reference only (real
 /// recorders rely on their nonlinearity; see MicrophoneModel). Returns the
-/// baseband at `target_rate`.
+/// baseband at `target_rate`. Requires the passband rate to cover the
+/// carrier plus the recovered baseband bandwidth (carrier + target_rate/2
+/// below Nyquist), not merely the carrier itself — an upper sideband that
+/// straddles Nyquist would alias into the demodulated audio.
 audio::Waveform DemodulateAm(const audio::Waveform& passband,
                              double carrier_hz, int target_rate);
 

@@ -38,18 +38,21 @@ const std::vector<float>& NecPipeline::dvector() const {
 }
 
 audio::Waveform NecPipeline::GenerateShadow(const audio::Waveform& mixed,
-                                            SelectorKind kind) const {
+                                            SelectorKind kind,
+                                            dsp::StftWorkspace* ws) const {
   NEC_CHECK_MSG(dvector_.has_value(), "enroll a target before GenerateShadow");
   NEC_CHECK_MSG(mixed.sample_rate() == config().sample_rate,
                 "monitor audio must be at " << config().sample_rate
                                             << " Hz");
-  const dsp::Spectrogram spec = dsp::Stft(mixed, config().stft);
+  dsp::StftWorkspace local_ws;
+  dsp::StftWorkspace& w = ws != nullptr ? *ws : local_ws;
+  const dsp::Spectrogram spec = dsp::Stft(mixed, config().stft, w);
   const std::vector<float> shadow_mag =
       kind == SelectorKind::kNeural
           ? selector_->ComputeShadow(spec, *dvector_)
           : las_selector_.ComputeShadow(spec);
   return dsp::IstftWithPhase(shadow_mag, spec, config().stft,
-                             config().sample_rate, mixed.size());
+                             config().sample_rate, mixed.size(), w);
 }
 
 audio::Waveform NecPipeline::GenerateModulatedShadow(

@@ -49,9 +49,14 @@ class NecPipeline {
   /// mixed signal's phase (§IV-C1). The returned wave has the property
   /// x_mixed + x_shadow ≈ x_background at the monitor's scale. Const:
   /// concurrent callers are safe once enrollment has happened.
+  ///
+  /// `ws` (optional) reuses STFT/ISTFT scratch between calls — the
+  /// streaming hot path passes a per-session workspace so shadow
+  /// generation stops allocating per frame. A workspace must not be shared
+  /// across threads.
   audio::Waveform GenerateShadow(const audio::Waveform& mixed,
-                                 SelectorKind kind = SelectorKind::kNeural)
-      const;
+                                 SelectorKind kind = SelectorKind::kNeural,
+                                 dsp::StftWorkspace* ws = nullptr) const;
 
   /// GenerateShadow + ultrasonic AM modulation (Broadcast module). The
   /// result is at the air sample rate with unit peak; emitted power is a

@@ -30,12 +30,24 @@ StreamingProcessor::StreamingProcessor(const NecPipeline& pipeline,
 
 audio::Waveform StreamingProcessor::ProcessChunk(audio::Waveform chunk) {
   const auto t0 = std::chrono::steady_clock::now();
-  audio::Waveform shadow = pipeline_.GenerateShadow(chunk, kind_);
+  audio::Waveform shadow = pipeline_.GenerateShadow(chunk, kind_, &stft_ws_);
   timings_.selector_ms += MsSince(t0);
 
   const auto t1 = std::chrono::steady_clock::now();
-  audio::Waveform modulated =
-      channel::ModulateAm(shadow, pipeline_.options().modulation);
+  channel::ModulationConfig mod = pipeline_.options().modulation;
+  if (mod.reference_peak <= 0.0) {
+    // No explicit stream reference configured: latch one from the first
+    // non-silent shadow so every later chunk is modulated with the same
+    // gain. The latch is a pure function of the chunk sequence, so
+    // concurrent runtime sessions replaying the same stream stay
+    // bit-identical to a sequential processor.
+    if (mod_reference_peak_ <= 0.0) {
+      const float peak = shadow.Peak();
+      if (peak > 0.0f) mod_reference_peak_ = peak;
+    }
+    if (mod_reference_peak_ > 0.0) mod.reference_peak = mod_reference_peak_;
+  }
+  audio::Waveform modulated = channel::ModulateAm(shadow, mod);
   timings_.broadcast_ms += MsSince(t1);
   ++timings_.chunks;
   return modulated;
@@ -43,22 +55,24 @@ audio::Waveform StreamingProcessor::ProcessChunk(audio::Waveform chunk) {
 
 std::optional<audio::Waveform> StreamingProcessor::Push(
     std::span<const float> samples) {
-  for (float s : samples) buffer_.data().push_back(s);
+  buffer_.data().insert(buffer_.data().end(), samples.begin(),
+                        samples.end());
   if (buffer_.size() < chunk_samples_) return std::nullopt;
 
   // Drain every complete chunk (a single Push may deliver several) and
-  // concatenate their modulated output in stream order.
+  // concatenate their modulated output in stream order. Chunks are read at
+  // an advancing offset and the consumed prefix is erased once afterwards;
+  // rebuilding the remainder vector per chunk made a long Push quadratic
+  // in the number of buffered chunks.
   audio::Waveform out;
-  while (buffer_.size() >= chunk_samples_) {
-    audio::Waveform chunk = buffer_.Slice(0, chunk_samples_);
-    audio::Waveform rest(pipeline_.config().sample_rate,
-                         std::vector<float>(buffer_.data().begin() +
-                                                static_cast<std::ptrdiff_t>(
-                                                    chunk_samples_),
-                                            buffer_.data().end()));
-    buffer_ = std::move(rest);
-    out.Append(ProcessChunk(std::move(chunk)));
+  std::size_t pos = 0;
+  while (buffer_.size() - pos >= chunk_samples_) {
+    out.Append(ProcessChunk(buffer_.Slice(pos, chunk_samples_)));
+    pos += chunk_samples_;
   }
+  buffer_.data().erase(
+      buffer_.data().begin(),
+      buffer_.data().begin() + static_cast<std::ptrdiff_t>(pos));
   return out;
 }
 

@@ -57,6 +57,15 @@ class StreamingProcessor {
   std::size_t chunk_samples_;
   audio::Waveform buffer_;
   ModuleTimings timings_;
+  /// Reused STFT/ISTFT scratch — the per-chunk hot path allocates nothing
+  /// after the first chunk. Processors are single-threaded by contract.
+  dsp::StftWorkspace stft_ws_;
+  /// Stream-wide modulation reference, latched from the first non-silent
+  /// shadow chunk when options().modulation.reference_peak is 0. One gain
+  /// for the whole stream keeps the emitted power coefficient from
+  /// drifting chunk-to-chunk (per-chunk peak normalization boosted quiet
+  /// chunks and attenuated loud ones).
+  double mod_reference_peak_ = 0.0;
 };
 
 }  // namespace nec::core

@@ -39,10 +39,13 @@ audio::Waveform GriffinLim(const std::vector<float>& magnitude,
     }
   }
 
+  // One workspace for the whole projection loop: the FFT plan, window and
+  // overlap-add scratch are shared by all 2*iterations transforms.
+  StftWorkspace ws;
   audio::Waveform wave;
   for (int it = 0; it < options.iterations; ++it) {
-    wave = Istft(work, config, sample_rate, options.num_samples);
-    const Spectrogram estimate = Stft(wave, config);
+    wave = Istft(work, config, sample_rate, options.num_samples, ws);
+    const Spectrogram estimate = Stft(wave, config, ws);
     // Keep the target magnitudes; adopt the estimate's phase.
     const std::size_t frames =
         std::min(estimate.num_frames(), work.num_frames());
@@ -52,7 +55,7 @@ audio::Waveform GriffinLim(const std::vector<float>& magnitude,
       }
     }
   }
-  return Istft(work, config, sample_rate, options.num_samples);
+  return Istft(work, config, sample_rate, options.num_samples, ws);
 }
 
 audio::Waveform GriffinLim(const Spectrogram& spec, const StftConfig& config,

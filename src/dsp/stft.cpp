@@ -15,6 +15,21 @@ std::size_t StftConfig::NumFrames(std::size_t num_samples) const {
   return 1 + (num_samples - win_length + hop_length - 1) / hop_length;
 }
 
+void StftWorkspace::Bind(const StftConfig& config) {
+  if (bound_ && bound_fft_size_ == config.fft_size &&
+      bound_win_length_ == config.win_length &&
+      bound_window_ == config.window) {
+    return;
+  }
+  plan = GetFftPlan(config.fft_size);
+  window = MakeWindow(config.window, config.win_length, /*periodic=*/true);
+  frame.assign(config.win_length, 0.0f);
+  bound_fft_size_ = config.fft_size;
+  bound_win_length_ = config.win_length;
+  bound_window_ = config.window;
+  bound_ = true;
+}
+
 Spectrogram::Spectrogram(std::size_t num_frames, std::size_t num_bins)
     : num_frames_(num_frames),
       num_bins_(num_bins),
@@ -27,7 +42,8 @@ double Spectrogram::Energy() const {
   return acc;
 }
 
-Spectrogram Stft(const audio::Waveform& wave, const StftConfig& config) {
+Spectrogram Stft(const audio::Waveform& wave, const StftConfig& config,
+                 StftWorkspace& ws) {
   NEC_CHECK_MSG(config.fft_size >= config.win_length,
                 "fft_size must be >= win_length");
   NEC_CHECK_MSG(config.hop_length >= 1, "hop_length must be >= 1");
@@ -37,25 +53,28 @@ Spectrogram Stft(const audio::Waveform& wave, const StftConfig& config) {
   Spectrogram spec(frames, bins);
   if (frames == 0) return spec;
 
-  const std::vector<float> window =
-      MakeWindow(config.window, config.win_length, /*periodic=*/true);
-  std::vector<float> frame(config.win_length);
+  ws.Bind(config);
   const auto samples = wave.samples();
 
   for (std::size_t t = 0; t < frames; ++t) {
     const std::size_t start = t * config.hop_length;
     for (std::size_t i = 0; i < config.win_length; ++i) {
       const std::size_t src = start + i;
-      frame[i] =
-          (src < samples.size() ? samples[src] : 0.0f) * window[i];
+      ws.frame[i] =
+          (src < samples.size() ? samples[src] : 0.0f) * ws.window[i];
     }
-    const auto half = RealFft(frame, config.fft_size);
+    RealFft(ws.frame, *ws.plan, ws.half, ws.fft);
     for (std::size_t f = 0; f < bins; ++f) {
-      spec.MagAt(t, f) = std::abs(half[f]);
-      spec.PhaseAt(t, f) = std::arg(half[f]);
+      spec.MagAt(t, f) = std::abs(ws.half[f]);
+      spec.PhaseAt(t, f) = std::arg(ws.half[f]);
     }
   }
   return spec;
+}
+
+Spectrogram Stft(const audio::Waveform& wave, const StftConfig& config) {
+  StftWorkspace ws;
+  return Stft(wave, config, ws);
 }
 
 namespace {
@@ -64,7 +83,7 @@ audio::Waveform IstftImpl(const std::vector<float>& mag,
                           const std::vector<float>& phase,
                           std::size_t num_frames, std::size_t num_bins,
                           const StftConfig& config, int sample_rate,
-                          std::size_t num_samples) {
+                          std::size_t num_samples, StftWorkspace& ws) {
   NEC_CHECK(num_bins == config.num_bins());
   const std::size_t natural_len =
       num_frames == 0 ? 0
@@ -73,12 +92,10 @@ audio::Waveform IstftImpl(const std::vector<float>& mag,
   const std::size_t out_len = num_samples > 0 ? num_samples : natural_len;
 
   audio::Waveform out(sample_rate, std::max<std::size_t>(out_len, 1));
-  std::vector<double> acc(natural_len, 0.0);
-  std::vector<double> wsum(natural_len, 0.0);
-
-  const std::vector<float> window =
-      MakeWindow(config.window, config.win_length, /*periodic=*/true);
-  std::vector<std::complex<float>> half(num_bins);
+  ws.Bind(config);
+  ws.acc.assign(natural_len, 0.0);
+  ws.wsum.assign(natural_len, 0.0);
+  ws.half.resize(num_bins);
 
   for (std::size_t t = 0; t < num_frames; ++t) {
     for (std::size_t f = 0; f < num_bins; ++f) {
@@ -87,13 +104,14 @@ audio::Waveform IstftImpl(const std::vector<float>& mag,
       // negative rho.
       const float m = mag[t * num_bins + f];
       const float p = phase[t * num_bins + f];
-      half[f] = std::complex<float>(m * std::cos(p), m * std::sin(p));
+      ws.half[f] = std::complex<float>(m * std::cos(p), m * std::sin(p));
     }
-    const auto time = InverseRealFft(half, config.fft_size);
+    InverseRealFft(ws.half, *ws.plan, ws.time, ws.fft);
     const std::size_t start = t * config.hop_length;
     for (std::size_t i = 0; i < config.win_length; ++i) {
-      acc[start + i] += static_cast<double>(time[i]) * window[i];
-      wsum[start + i] += static_cast<double>(window[i]) * window[i];
+      ws.acc[start + i] += static_cast<double>(ws.time[i]) * ws.window[i];
+      ws.wsum[start + i] +=
+          static_cast<double>(ws.window[i]) * ws.window[i];
     }
   }
 
@@ -104,7 +122,7 @@ audio::Waveform IstftImpl(const std::vector<float>& mag,
   // sum would blow those samples up by orders of magnitude.
   constexpr double kWsumFloor = 5e-2;
   for (std::size_t i = 0; i < std::min(out_len, natural_len); ++i) {
-    out[i] = static_cast<float>(acc[i] / std::max(wsum[i], kWsumFloor));
+    out[i] = static_cast<float>(ws.acc[i] / std::max(ws.wsum[i], kWsumFloor));
   }
   out.ResizeTo(out_len);
   return out;
@@ -113,20 +131,37 @@ audio::Waveform IstftImpl(const std::vector<float>& mag,
 }  // namespace
 
 audio::Waveform Istft(const Spectrogram& spec, const StftConfig& config,
-                      int sample_rate, std::size_t num_samples) {
+                      int sample_rate, std::size_t num_samples,
+                      StftWorkspace& ws) {
   return IstftImpl(spec.mag(), spec.phase(), spec.num_frames(),
-                   spec.num_bins(), config, sample_rate, num_samples);
+                   spec.num_bins(), config, sample_rate, num_samples, ws);
+}
+
+audio::Waveform Istft(const Spectrogram& spec, const StftConfig& config,
+                      int sample_rate, std::size_t num_samples) {
+  StftWorkspace ws;
+  return Istft(spec, config, sample_rate, num_samples, ws);
+}
+
+audio::Waveform IstftWithPhase(const std::vector<float>& mag,
+                               const Spectrogram& phase_donor,
+                               const StftConfig& config, int sample_rate,
+                               std::size_t num_samples, StftWorkspace& ws) {
+  NEC_CHECK_MSG(
+      mag.size() == phase_donor.mag().size(),
+      "magnitude surface shape must match phase donor spectrogram");
+  return IstftImpl(mag, phase_donor.phase(), phase_donor.num_frames(),
+                   phase_donor.num_bins(), config, sample_rate, num_samples,
+                   ws);
 }
 
 audio::Waveform IstftWithPhase(const std::vector<float>& mag,
                                const Spectrogram& phase_donor,
                                const StftConfig& config, int sample_rate,
                                std::size_t num_samples) {
-  NEC_CHECK_MSG(
-      mag.size() == phase_donor.mag().size(),
-      "magnitude surface shape must match phase donor spectrogram");
-  return IstftImpl(mag, phase_donor.phase(), phase_donor.num_frames(),
-                   phase_donor.num_bins(), config, sample_rate, num_samples);
+  StftWorkspace ws;
+  return IstftWithPhase(mag, phase_donor, config, sample_rate, num_samples,
+                        ws);
 }
 
 }  // namespace nec::dsp

@@ -4,12 +4,20 @@
 // 1200 at 16 kHz (601 bins, 13.31 Hz resolution), window length 400 (25 ms)
 // and hop 160 (10 ms; 15 ms overlap). Spectrograms are stored frame-major
 // (T, F) — the transposed layout the paper feeds to the selector network.
+//
+// The streaming hot path calls Stft/Istft once per chunk, transforming
+// ~100 frames each; StftWorkspace carries the cached FFT plan, window and
+// per-frame scratch buffers across calls so that path performs no per-frame
+// allocation. The workspace-free overloads remain for one-shot callers.
 #pragma once
 
+#include <complex>
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "audio/waveform.h"
+#include "dsp/fft.h"
 #include "dsp/window.h"
 
 namespace nec::dsp {
@@ -27,6 +35,29 @@ struct StftConfig {
   /// (non-centered framing; the final partial frame is zero-padded so any
   /// non-empty input yields at least one frame).
   std::size_t NumFrames(std::size_t num_samples) const;
+};
+
+/// Reusable scratch state for repeated forward/inverse STFTs. Binds lazily
+/// to the first StftConfig it sees and rebinds transparently if a
+/// different configuration comes along. Single-threaded use only; each
+/// streaming session owns its own workspace.
+struct StftWorkspace {
+  /// Ensures plan/window match `config` (called by Stft/Istft internally).
+  void Bind(const StftConfig& config);
+
+  std::shared_ptr<const FftPlan> plan;
+  std::vector<float> window;
+  std::vector<float> frame;                 ///< windowed analysis frame
+  std::vector<std::complex<float>> half;    ///< half spectrum per frame
+  std::vector<float> time;                  ///< inverse-FFT output per frame
+  std::vector<double> acc, wsum;            ///< overlap-add accumulators
+  FftScratch fft;
+
+ private:
+  std::size_t bound_fft_size_ = 0;
+  std::size_t bound_win_length_ = 0;
+  WindowType bound_window_ = WindowType::kHann;
+  bool bound_ = false;
 };
 
 /// Magnitude + phase spectrogram, frame-major: index (t, f) at t*num_bins+f.
@@ -69,11 +100,20 @@ class Spectrogram {
 /// Forward STFT of a waveform.
 Spectrogram Stft(const audio::Waveform& wave, const StftConfig& config);
 
+/// Forward STFT reusing `ws` (allocation-free after the first call).
+Spectrogram Stft(const audio::Waveform& wave, const StftConfig& config,
+                 StftWorkspace& ws);
+
 /// Inverse STFT with windowed overlap-add and window-square normalization.
 /// `num_samples` trims/pads the reconstruction to an exact length
 /// (0 = natural length).
 audio::Waveform Istft(const Spectrogram& spec, const StftConfig& config,
                       int sample_rate, std::size_t num_samples = 0);
+
+/// Inverse STFT reusing `ws`.
+audio::Waveform Istft(const Spectrogram& spec, const StftConfig& config,
+                      int sample_rate, std::size_t num_samples,
+                      StftWorkspace& ws);
 
 /// Reconstructs a waveform from an arbitrary magnitude surface and a donor
 /// phase (the overshadowing pipeline reuses the mixed signal's phase for the
@@ -82,5 +122,11 @@ audio::Waveform IstftWithPhase(const std::vector<float>& mag,
                                const Spectrogram& phase_donor,
                                const StftConfig& config, int sample_rate,
                                std::size_t num_samples = 0);
+
+/// IstftWithPhase reusing `ws`.
+audio::Waveform IstftWithPhase(const std::vector<float>& mag,
+                               const Spectrogram& phase_donor,
+                               const StftConfig& config, int sample_rate,
+                               std::size_t num_samples, StftWorkspace& ws);
 
 }  // namespace nec::dsp

@@ -1,7 +1,27 @@
 #include "nn/gemm.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace nec::nn {
 namespace {
+
+// Cache-blocking parameters. A kMc x kKc panel of A (64 KiB) plus a
+// kKc x kNc panel of B (256 KiB) stay resident in L2 while a kMc x kNc
+// tile of C is updated; the inner loops stream contiguous rows so the
+// compiler vectorizes them into FMA streams.
+constexpr std::size_t kMc = 64;
+constexpr std::size_t kKc = 256;
+constexpr std::size_t kNc = 256;
+
+// Row-panel parallelism kicks in only when a split pays for its dispatch:
+// enough rows for >= 2 panels of kMc and a non-trivial flop count.
+constexpr std::size_t kParallelMinRows = 2 * kMc;
+constexpr std::size_t kParallelMinMacs = std::size_t{1} << 21;
+constexpr std::size_t kParallelMaxPanels = 16;
+
+GemmParallelFor g_parallel_for;                    // install-once hook
+thread_local bool t_parallel_enabled = false;      // GemmParallelScope gate
 
 inline void ScaleC(float* c, std::size_t count, float beta) {
   if (beta == 0.0f) {
@@ -11,70 +31,194 @@ inline void ScaleC(float* c, std::size_t count, float beta) {
   }
 }
 
+// ---------------------------------------------------------------- serial
+// Every kernel accumulates each C element's k-products in ascending k
+// order regardless of tile position, so a row-panel split (which only
+// partitions M) reproduces the serial result bit-for-bit.
+
+void GemmNNSerial(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t n, std::size_t k, float alpha, float beta) {
+  ScaleC(c, m * n, beta);
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t nc = std::min(kNc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kc = std::min(kKc, k - pc);
+      for (std::size_t ic = 0; ic < m; ic += kMc) {
+        const std::size_t mc = std::min(kMc, m - ic);
+        for (std::size_t i = ic; i < ic + mc; ++i) {
+          float* __restrict ci = c + i * n + jc;
+          const float* ai = a + i * k + pc;
+          // i-k-j micro-loop: the j loop runs over contiguous memory in
+          // both B and C.
+          for (std::size_t kk = 0; kk < kc; ++kk) {
+            const float av = alpha * ai[kk];
+            const float* __restrict bk = b + (pc + kk) * n + jc;
+            for (std::size_t j = 0; j < nc; ++j) ci[j] += av * bk[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void GemmNTSerial(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t n, std::size_t k, float alpha, float beta) {
+  // Dot-product formulation: the k loop is contiguous in both A and B
+  // rows. i/j tiling keeps a kMc x k panel of A and a kNc x k panel of B
+  // hot across the tile; the 4-wide i unroll shares each B-row load across
+  // four dot products (four independent accumulator chains for ILP).
+  for (std::size_t ic = 0; ic < m; ic += kMc) {
+    const std::size_t mc = std::min(kMc, m - ic);
+    for (std::size_t jc = 0; jc < n; jc += kNc) {
+      const std::size_t nc = std::min(kNc, n - jc);
+      for (std::size_t j = jc; j < jc + nc; ++j) {
+        const float* __restrict bj = b + j * k;
+        std::size_t i = ic;
+        for (; i + 4 <= ic + mc; i += 4) {
+          const float* __restrict a0 = a + i * k;
+          const float* __restrict a1 = a0 + k;
+          const float* __restrict a2 = a1 + k;
+          const float* __restrict a3 = a2 + k;
+          float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            const float bv = bj[kk];
+            s0 += a0[kk] * bv;
+            s1 += a1[kk] * bv;
+            s2 += a2[kk] * bv;
+            s3 += a3[kk] * bv;
+          }
+          float* c0 = c + i * n + j;
+          const float b0 = beta == 0.0f ? 0.0f : beta * *c0;
+          *c0 = alpha * s0 + b0;
+          float* c1 = c0 + n;
+          const float b1 = beta == 0.0f ? 0.0f : beta * *c1;
+          *c1 = alpha * s1 + b1;
+          float* c2 = c1 + n;
+          const float b2 = beta == 0.0f ? 0.0f : beta * *c2;
+          *c2 = alpha * s2 + b2;
+          float* c3 = c2 + n;
+          const float b3 = beta == 0.0f ? 0.0f : beta * *c3;
+          *c3 = alpha * s3 + b3;
+        }
+        for (; i < ic + mc; ++i) {
+          const float* __restrict ai = a + i * k;
+          float acc = 0.0f;
+          for (std::size_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
+          float* ci = c + i * n + j;
+          *ci = alpha * acc + (beta == 0.0f ? 0.0f : beta * *ci);
+        }
+      }
+    }
+  }
+}
+
+/// TN kernel over the row slice [row0, row0 + rows) of C. A is stored
+/// (K, M) with row stride `lda` (= the full M), so a C-row panel is a
+/// column slice of A.
+void GemmTNPanel(const float* a, const float* b, float* c, std::size_t row0,
+                 std::size_t rows, std::size_t lda, std::size_t n,
+                 std::size_t k, float alpha, float beta) {
+  ScaleC(c + row0 * n, rows * n, beta);
+  // Rank-1 update form, blocked so the kMc x kNc tile of C stays hot
+  // across a kKc run of k instead of re-streaming all of C per k row.
+  for (std::size_t pc = 0; pc < k; pc += kKc) {
+    const std::size_t kc = std::min(kKc, k - pc);
+    for (std::size_t ic = row0; ic < row0 + rows; ic += kMc) {
+      const std::size_t mc = std::min(kMc, row0 + rows - ic);
+      for (std::size_t jc = 0; jc < n; jc += kNc) {
+        const std::size_t nc = std::min(kNc, n - jc);
+        for (std::size_t kk = pc; kk < pc + kc; ++kk) {
+          const float* ak = a + kk * lda;
+          const float* __restrict bk = b + kk * n + jc;
+          for (std::size_t i = ic; i < ic + mc; ++i) {
+            const float av = alpha * ak[i];
+            if (av == 0.0f) continue;
+            float* __restrict ci = c + i * n + jc;
+            for (std::size_t j = 0; j < nc; ++j) ci[j] += av * bk[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------- parallel
+
+bool ShouldParallelize(std::size_t m, std::size_t n, std::size_t k) {
+  return t_parallel_enabled && g_parallel_for != nullptr &&
+         m >= kParallelMinRows && m * n * k >= kParallelMinMacs;
+}
+
+/// Splits [0, m) into row panels and runs `panel(i0, rows)` for each via
+/// the installed hook. Panel boundaries are kMc-aligned so each panel's
+/// internal tiling (and unroll grouping) coincides with the serial
+/// kernel's — a requirement for bit-exact parallel results. Workers see
+/// t_parallel_enabled == false (it is thread-local), so panel bodies never
+/// fan out recursively.
+void ParallelOverRows(
+    std::size_t m,
+    const std::function<void(std::size_t, std::size_t)>& panel) {
+  const std::size_t max_panels =
+      std::min(kParallelMaxPanels, (m + kMc - 1) / kMc);
+  const std::size_t rows_per_panel =
+      ((m + max_panels - 1) / max_panels + kMc - 1) / kMc * kMc;
+  const std::size_t panels = (m + rows_per_panel - 1) / rows_per_panel;
+  g_parallel_for(panels, [&](std::size_t p) {
+    const std::size_t i0 = p * rows_per_panel;
+    panel(i0, std::min(rows_per_panel, m - i0));
+  });
+}
+
 }  // namespace
+
+void SetGemmParallelFor(GemmParallelFor fn) {
+  g_parallel_for = std::move(fn);
+}
+
+bool GemmParallelActive() {
+  return t_parallel_enabled && g_parallel_for != nullptr;
+}
+
+GemmParallelScope::GemmParallelScope(bool enabled)
+    : previous_(t_parallel_enabled) {
+  t_parallel_enabled = enabled;
+}
+
+GemmParallelScope::~GemmParallelScope() { t_parallel_enabled = previous_; }
 
 void GemmNN(const float* a, const float* b, float* c, std::size_t m,
             std::size_t n, std::size_t k, float alpha, float beta) {
-  ScaleC(c, m * n, beta);
-  // i-k-j order: the j loop runs over contiguous memory in both B and C,
-  // which gcc vectorizes into FMA streams.
-  for (std::size_t i = 0; i < m; ++i) {
-    float* __restrict ci = c + i * n;
-    const float* ai = a + i * k;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = alpha * ai[kk];
-      const float* __restrict bk = b + kk * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += av * bk[j];
-    }
+  if (ShouldParallelize(m, n, k)) {
+    ParallelOverRows(m, [&](std::size_t i0, std::size_t rows) {
+      GemmNNSerial(a + i0 * k, b, c + i0 * n, rows, n, k, alpha, beta);
+    });
+    return;
   }
+  GemmNNSerial(a, b, c, m, n, k, alpha, beta);
 }
 
 void GemmNT(const float* a, const float* b, float* c, std::size_t m,
             std::size_t n, std::size_t k, float alpha, float beta) {
-  // Dot-product formulation: the k loop is contiguous in both A and B
-  // rows. Loop nesting follows the smaller operand so the large one is
-  // streamed exactly once: the conv forward pass has a tiny A
-  // (C_out x K weights, fits in L1) against a huge B (im2col patches) —
-  // iterating j outermost there cuts memory traffic by ~C_out x.
-  if (m <= n) {
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* __restrict bj = b + j * k;
-      for (std::size_t i = 0; i < m; ++i) {
-        const float* __restrict ai = a + i * k;
-        float acc = 0.0f;
-        for (std::size_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
-        float* ci = c + i * n + j;
-        *ci = alpha * acc + (beta == 0.0f ? 0.0f : beta * *ci);
-      }
-    }
-  } else {
-    for (std::size_t i = 0; i < m; ++i) {
-      const float* __restrict ai = a + i * k;
-      float* ci = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* __restrict bj = b + j * k;
-        float acc = 0.0f;
-        for (std::size_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
-        ci[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * ci[j]);
-      }
-    }
+  if (ShouldParallelize(m, n, k)) {
+    ParallelOverRows(m, [&](std::size_t i0, std::size_t rows) {
+      GemmNTSerial(a + i0 * k, b, c + i0 * n, rows, n, k, alpha, beta);
+    });
+    return;
   }
+  GemmNTSerial(a, b, c, m, n, k, alpha, beta);
 }
 
 void GemmTN(const float* a, const float* b, float* c, std::size_t m,
             std::size_t n, std::size_t k, float alpha, float beta) {
-  ScaleC(c, m * n, beta);
-  // k-i-j order: for each k row of A^T and B, rank-1 update of C.
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* ak = a + kk * m;
-    const float* __restrict bk = b + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = alpha * ak[i];
-      if (av == 0.0f) continue;
-      float* __restrict ci = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += av * bk[j];
-    }
+  if (ShouldParallelize(m, n, k)) {
+    // A is stored (K, M): a row panel of C corresponds to a column slice
+    // of A, offset by i0 within each k row.
+    ParallelOverRows(m, [&](std::size_t i0, std::size_t rows) {
+      GemmTNPanel(a, b, c, i0, rows, m, n, k, alpha, beta);
+    });
+    return;
   }
+  GemmTNPanel(a, b, c, 0, m, m, n, k, alpha, beta);
 }
 
 }  // namespace nec::nn

@@ -28,7 +28,7 @@ Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
   NEC_CHECK(dilation_h >= 1 && dilation_w >= 1);
 }
 
-void Conv2D::Im2Col(const Tensor& input, Tensor& col) const {
+void Conv2D::Im2Col(const Tensor& input, std::vector<float>& col) const {
   const std::size_t h = input.dim(1), w = input.dim(2);
   const std::ptrdiff_t pad_h =
       static_cast<std::ptrdiff_t>(dh_ * (kh_ - 1) / 2);
@@ -63,14 +63,21 @@ void Conv2D::Im2Col(const Tensor& input, Tensor& col) const {
   }
 }
 
-Tensor Conv2D::Compute(const Tensor& input, Tensor& col) const {
+Tensor Conv2D::Compute(const Tensor& input,
+                       std::vector<float>& col) const {
   NEC_CHECK_MSG(input.rank() == 3 && input.dim(0) == in_channels_,
                 "Conv2D expects (in_channels, H, W) input");
   const std::size_t h = input.dim(1), w = input.dim(2);
   const std::size_t pixels = h * w;
   const std::size_t k = in_channels_ * kh_ * kw_;
 
-  col = Tensor({pixels, k});
+  // Grow-only scratch: the col matrix is MBs per layer per chunk, and a
+  // fresh allocation each call pays mmap + first-touch page faults that
+  // rival the GEMM itself. vector::resize keeps capacity when shrinking,
+  // so one scratch serves consecutive layers of different (pixels, k)
+  // and the streaming hot path stops allocating here after the first
+  // chunk. Im2Col overwrites every element, so stale contents never leak.
+  col.resize(pixels * k);
   Im2Col(input, col);
 
   // out(C_out, P) = weight(C_out, K) * col(P, K)^T
@@ -94,7 +101,12 @@ Tensor Conv2D::Forward(const Tensor& input) {
 }
 
 Tensor Conv2D::Infer(const Tensor& input) const {
-  Tensor col;  // per-call scratch: no member state is written
+  // Per-thread scratch: Infer is const and shared across sessions, so a
+  // member cache would race; a thread_local (shared by every Conv2D on
+  // the thread, sized to the largest layer) keeps steady-state inference
+  // allocation-free without locks. Bit-exactness is unaffected — the
+  // scratch is fully rewritten (see Compute) before it is read.
+  thread_local std::vector<float> col;
   return Compute(input, col);
 }
 

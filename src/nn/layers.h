@@ -84,15 +84,15 @@ class Conv2D : public Layer {
   Param& bias() { return bias_; }
 
  private:
-  void Im2Col(const Tensor& input, Tensor& col) const;
-  Tensor Compute(const Tensor& input, Tensor& col) const;
+  void Im2Col(const Tensor& input, std::vector<float>& col) const;
+  Tensor Compute(const Tensor& input, std::vector<float>& col) const;
 
   std::size_t in_channels_, out_channels_;
   std::size_t kh_, kw_, dh_, dw_;
   Param weight_;  // (out_channels, in_channels*kh*kw)
   Param bias_;    // (out_channels)
 
-  Tensor col_cache_;  // (H*W, in_channels*kh*kw)
+  std::vector<float> col_cache_;  // (H*W, in_channels*kh*kw) row-major
   std::size_t in_h_ = 0, in_w_ = 0;
   std::size_t last_macs_ = 0;
 };

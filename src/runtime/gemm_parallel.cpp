@@ -1,0 +1,63 @@
+#include "runtime/gemm_parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+
+namespace nec::runtime {
+namespace {
+
+/// Completion latch for one fan-out. A condition variable (not a spin)
+/// because panel bodies can be long for large GEMMs.
+struct PanelLatch {
+  explicit PanelLatch(std::size_t count) : remaining(count) {}
+
+  void Done() {
+    std::lock_guard lock(mu);
+    if (--remaining == 0) cv.notify_one();
+  }
+  void Wait() {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [this] { return remaining == 0; });
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining;
+};
+
+}  // namespace
+
+void InstallGemmParallelFor(ThreadPool& pool) {
+  nn::SetGemmParallelFor(
+      [&pool](std::size_t num_tasks,
+              const std::function<void(std::size_t)>& body) {
+        if (num_tasks == 0) return;
+        // The last panel runs on the calling thread: it guarantees forward
+        // progress even if the pool is saturated, and saves one dispatch.
+        PanelLatch latch(num_tasks - 1);
+        for (std::size_t p = 0; p + 1 < num_tasks; ++p) {
+          // on_drop covers kDropOldest eviction: the panel then runs on
+          // the evicting producer's thread (references stay valid until
+          // latch.Wait() returns). Exactly one of run/on_drop fires per
+          // admitted task, so the latch always completes.
+          const auto run = [&body, &latch, p] {
+            body(p);
+            latch.Done();
+          };
+          if (!pool.Submit(run, /*on_drop=*/run)) {
+            // Bounced (kReject or shutdown): run the panel inline. Still
+            // correct — just serial for this panel.
+            run();
+          }
+        }
+        body(num_tasks - 1);
+        latch.Wait();
+      });
+}
+
+void UninstallGemmParallelFor() { nn::SetGemmParallelFor(nullptr); }
+
+}  // namespace nec::runtime

@@ -1,0 +1,35 @@
+// Bridges nec::nn's GEMM parallel-for hook onto nec::runtime::ThreadPool.
+//
+// The nn library cannot depend on nec::runtime (the dependency runs the
+// other way), so it exposes a process-wide hook instead; this adapter
+// installs a hook that fans row panels out over a borrowed pool and blocks
+// until they finish.
+//
+// Usage contract:
+//   * Install once at startup with a pool DEDICATED to GEMM panels (e.g.
+//     necd or a bench creates a second pool). Sharing the SessionManager's
+//     strand pool risks deadlock: a strand task occupying every worker
+//     while the submitter waits on panel completion would starve the
+//     panels behind it in the same queue.
+//   * The pool should use OverflowPolicy::kBlock with capacity >= the
+//     panel fan-out (16); kReject/kDropOldest would bounce panels, which
+//     the adapter then runs inline (correct, but serial).
+//   * Only threads inside a nn::GemmParallelScope fan out. Runtime worker
+//     strands never enter a scope, so per-session inference stays serial
+//     and bit-exact regardless of installation.
+#pragma once
+
+#include "nn/gemm.h"
+#include "runtime/thread_pool.h"
+
+namespace nec::runtime {
+
+/// Installs a nn::SetGemmParallelFor hook backed by `pool`. The pool must
+/// outlive every GEMM call made under an enabled GemmParallelScope; call
+/// UninstallGemmParallelFor before destroying it.
+void InstallGemmParallelFor(ThreadPool& pool);
+
+/// Removes the hook (GEMM falls back to serial everywhere).
+void UninstallGemmParallelFor();
+
+}  // namespace nec::runtime

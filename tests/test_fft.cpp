@@ -94,7 +94,95 @@ TEST_P(FftSizeTest, ParsevalHolds) {
 // Bluestein size; the rest cover radix-2, odd, prime and composite sizes.
 INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeTest,
                          ::testing::Values(1, 2, 4, 8, 64, 256, 100, 120,
-                                           601, 1200, 17, 97));
+                                           601, 1200, 17, 97, 509, 1023));
+
+// The plan cache must be a pure acceleration: a planned transform (cached
+// twiddles / bit-reversal / chirp tables) has to produce the SAME BITS as
+// the unplanned kernel it replaced, because the runtime's N-session audit
+// compares streamed output sample-for-sample against a sequential rerun —
+// any planned/unplanned divergence would show up there as a "race".
+class FftPlannedBitExact : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftPlannedBitExact, ComplexBothDirections) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 13 + 7);
+  std::vector<Cf> x(n);
+  for (Cf& v : x) v = Cf(rng.GaussianF(), rng.GaussianF());
+  for (const bool inverse : {false, true}) {
+    std::vector<Cf> planned = x;
+    std::vector<Cf> unplanned = x;
+    Fft(planned, inverse);  // routed through GetFftPlan
+    detail::FftUnplanned(unplanned, inverse);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(planned[i].real(), unplanned[i].real())
+          << "size " << n << " bin " << i << " inverse " << inverse;
+      ASSERT_EQ(planned[i].imag(), unplanned[i].imag())
+          << "size " << n << " bin " << i << " inverse " << inverse;
+    }
+  }
+}
+
+TEST_P(FftPlannedBitExact, RealWrappersMatchAllocatingPath) {
+  const std::size_t n = GetParam();
+  if (n < 4) return;  // RealFft rejects tiny nfft
+  Rng rng(n * 5 + 1);
+  std::vector<float> x(n);
+  for (float& v : x) v = rng.GaussianF();
+
+  const auto plain = RealFft(x, n);
+  const auto plan = GetFftPlan(n);
+  FftScratch scratch;
+  std::vector<Cf> planned;
+  RealFft(x, *plan, planned, scratch);
+  ASSERT_EQ(planned.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    ASSERT_EQ(planned[i].real(), plain[i].real()) << "size " << n;
+    ASSERT_EQ(planned[i].imag(), plain[i].imag()) << "size " << n;
+  }
+
+  const auto back_plain = InverseRealFft(plain, n);
+  std::vector<float> back_planned;
+  InverseRealFft(planned, *plan, back_planned, scratch);
+  ASSERT_EQ(back_planned.size(), back_plain.size());
+  for (std::size_t i = 0; i < back_plain.size(); ++i) {
+    ASSERT_EQ(back_planned[i], back_plain[i]) << "size " << n;
+  }
+}
+
+// Radix-2, the configured sizes (1200 paper / 256 Fast), odd, prime and
+// composite Bluestein sizes.
+INSTANTIATE_TEST_SUITE_P(Sizes, FftPlannedBitExact,
+                         ::testing::Values(2, 8, 256, 1024, 100, 120, 601,
+                                           1200, 17, 97, 509));
+
+TEST(FftPlan, CacheReturnsSameInstance) {
+  const auto a = GetFftPlan(1200);
+  const auto b = GetFftPlan(1200);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_TRUE(a->bluestein());
+  EXPECT_EQ(a->size(), 1200u);
+  EXPECT_FALSE(GetFftPlan(256)->bluestein());
+}
+
+TEST(FftPlan, ScratchReusableAcrossSizes) {
+  // One FftScratch handed across transforms of different sizes — the
+  // streaming rebinding case — must not corrupt results.
+  FftScratch scratch;
+  Rng rng(321);
+  for (const std::size_t n : {1200u, 256u, 601u, 1200u}) {
+    std::vector<float> x(n);
+    for (float& v : x) v = rng.GaussianF();
+    const auto plan = GetFftPlan(n);
+    std::vector<Cf> half;
+    RealFft(x, *plan, half, scratch);
+    std::vector<float> back;
+    InverseRealFft(half, *plan, back, scratch);
+    ASSERT_EQ(back.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(back[i], x[i], 2e-3) << "size " << n;
+    }
+  }
+}
 
 TEST(RealFft, ToneLandsInCorrectBin) {
   const std::size_t n = 256;

@@ -110,6 +110,108 @@ TEST_P(DemodRoundTrip, CoherentDemodRecoversTone) {
 INSTANTIATE_TEST_SUITE_P(Carriers, DemodRoundTrip,
                          ::testing::Values(24000.0, 27000.0, 30000.0));
 
+TEST(Modulation, StreamedChunksMatchWholeUtteranceWithReferencePeak) {
+  // THE streamed-gain regression (satellite of the hot-path PR): chunked
+  // modulation with one shared reference_peak must reproduce the
+  // whole-utterance result. Legacy per-chunk peak normalization re-scaled
+  // every chunk by its own loudness, so a quiet second was emitted as loud
+  // as a shouted one. Two 1 s halves at 5:1 amplitude expose that
+  // immediately.
+  const int rate = 16000;
+  audio::Waveform whole(rate, static_cast<std::size_t>(2 * rate));
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    const double amp = i < static_cast<std::size_t>(rate) ? 0.5 : 0.1;
+    whole[i] = static_cast<float>(
+        amp * std::sin(2.0 * std::numbers::pi * 600.0 * i / rate));
+  }
+  // Integer carrier Hz x integer chunk seconds → the carrier phase at each
+  // chunk boundary is a whole number of cycles, so per-chunk cos(w i)
+  // restarts in phase with the whole-utterance carrier.
+  ModulationConfig cfg{.carrier_hz = 24000.0};
+  cfg.reference_peak = 0.5;
+
+  const auto mod_whole = ModulateAm(whole, cfg);
+  auto mod_chunked = ModulateAm(whole.Slice(0, rate), cfg);
+  mod_chunked.Append(ModulateAm(whole.Slice(rate, rate), cfg));
+  ASSERT_EQ(mod_chunked.size(), mod_whole.size());
+
+  // Identical except for resampler edge transients at the chunk seam;
+  // compare RMS of the difference over the interior of each chunk.
+  const std::size_t guard = 2048;  // air-rate samples around each boundary
+  double diff2 = 0.0, sig2 = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = guard; i + guard < mod_whole.size(); ++i) {
+    const std::size_t chunk_pos = i % (mod_whole.size() / 2);
+    if (chunk_pos < guard || chunk_pos + guard > mod_whole.size() / 2) {
+      continue;
+    }
+    const double d = mod_chunked[i] - mod_whole[i];
+    diff2 += d * d;
+    sig2 += static_cast<double>(mod_whole[i]) * mod_whole[i];
+    ++counted;
+  }
+  ASSERT_GT(counted, mod_whole.size() / 2);
+  EXPECT_LT(std::sqrt(diff2 / counted), 1e-3 * std::sqrt(sig2 / counted));
+}
+
+TEST(Modulation, PerChunkNormalizationBugIsGone) {
+  // Direct witness of the old bug: under legacy normalization a 5x quieter
+  // chunk modulates to the SAME sideband power as the loud one; with a
+  // shared reference the emitted power tracks the content.
+  const auto loud = Tone(16000, 800.0, 0.25);  // peak 0.5
+  auto quiet = loud;
+  quiet.Scale(0.2f);
+
+  ModulationConfig legacy{.carrier_hz = 27000.0};
+  const double legacy_ratio =
+      BandEnergy(ModulateAm(quiet, legacy), 25000.0, 29000.0) /
+      BandEnergy(ModulateAm(loud, legacy), 25000.0, 29000.0);
+  EXPECT_NEAR(legacy_ratio, 1.0, 0.05);  // the bug: loudness erased
+
+  ModulationConfig fixed{.carrier_hz = 27000.0};
+  fixed.reference_peak = 0.5;
+  const auto fixed_loud = ModulateAm(loud, fixed);
+  const auto fixed_quiet = ModulateAm(quiet, fixed);
+  // Sideband (content) energy must scale ~(0.2)^2; total energy is
+  // carrier-dominated so compare after removing the carrier line.
+  const double side_loud =
+      BandEnergy(fixed_loud, 26100.0, 26900.0) +
+      BandEnergy(fixed_loud, 27100.0, 27900.0);
+  const double side_quiet =
+      BandEnergy(fixed_quiet, 26100.0, 26900.0) +
+      BandEnergy(fixed_quiet, 27100.0, 27900.0);
+  // ~(0.2)^2 = 0.04, with slack for carrier spectral leakage into the
+  // sideband bands; the legacy ratio above pinned at 1.0 either way.
+  EXPECT_LT(side_quiet / side_loud, 0.08);
+  EXPECT_GT(side_quiet / side_loud, 0.01);
+}
+
+TEST(Modulation, ReferencePeakClampsHotterChunks) {
+  // A chunk louder than the stream reference clamps its envelope to the
+  // |m| <= 1 modulation-index invariant rather than exceeding it.
+  ModulationConfig cfg{.carrier_hz = 27000.0, .peak = 0.9};
+  cfg.reference_peak = 0.1;  // 5x below the tone's 0.5 peak
+  const auto mod = ModulateAm(Tone(16000, 700.0, 0.2), cfg);
+  EXPECT_LE(mod.Peak(), 0.92f);  // (1 + alpha) * peak / (1 + alpha) = peak
+  EXPECT_GT(mod.Peak(), 0.5f);
+}
+
+TEST(Demodulation, RejectsRateThatClipsUpperSideband) {
+  // 64 kHz carries a 27 kHz carrier (old guard: 64k > 2*27k passed) but
+  // NOT its upper sideband at 27 + 8 kHz = 35 kHz > Nyquist (32 kHz); the
+  // tightened guard must refuse instead of aliasing the sideband back
+  // into the recovered audio.
+  audio::Waveform passband(64000, std::size_t{6400});
+  EXPECT_THROW(DemodulateAm(passband, 27000.0, 16000), nec::CheckError);
+}
+
+TEST(Demodulation, AcceptsRateCoveringCarrierPlusBandwidth) {
+  audio::Waveform passband(96000, std::size_t{9600});
+  // 2*(27000 + 8000) = 70 kHz < 96 kHz: legal, must not throw.
+  const auto out = DemodulateAm(passband, 27000.0, 16000);
+  EXPECT_EQ(out.sample_rate(), 16000);
+}
+
 TEST(Modulation, EnvelopeIsNonNegativeAtUnitAlpha) {
   // With |m| <= 1 and alpha = 1 the AM envelope (m + 1) never crosses
   // zero — the condition for distortion-free square-law demodulation.

@@ -25,15 +25,16 @@ class StreamingTest : public ::testing::Test {
                   std::make_shared<encoder::LasEncoder>(cfg_.embedding_dim),
                   {}),
         builder_({.duration_s = 2.5}),
-        spk_(synth::SpeakerProfile::FromSeed(33)) {
-    const auto refs = builder_.MakeReferenceAudios(spk_, 3, 40);
-    pipeline_.Enroll(refs);
+        spk_(synth::SpeakerProfile::FromSeed(33)),
+        refs_(builder_.MakeReferenceAudios(spk_, 3, 40)) {
+    pipeline_.Enroll(refs_);
   }
 
   NecConfig cfg_;
   NecPipeline pipeline_;
   synth::DatasetBuilder builder_;
   synth::SpeakerProfile spk_;
+  std::vector<audio::Waveform> refs_;
 };
 
 TEST_F(StreamingTest, EmitsChunkPerFullSecond) {
@@ -126,6 +127,86 @@ TEST_F(StreamingTest, FlushZeroPadsPartialChunk) {
   ASSERT_EQ(tail->size(), expected->size());
   for (std::size_t i = 0; i < tail->size(); ++i) {
     ASSERT_EQ((*tail)[i], (*expected)[i]) << "sample " << i;
+  }
+}
+
+TEST_F(StreamingTest, MultiChunkPushMatchesSingleChunkPushes) {
+  // One Push carrying several chunks must drain to EXACTLY the samples of
+  // the same stream fed one chunk at a time — guards the read-offset
+  // drain rewrite (the old loop rebuilt the remainder buffer per chunk,
+  // which was also quadratic in buffered chunks).
+  StreamingProcessor bulk(pipeline_, 0.5, SelectorKind::kLasMask);
+  StreamingProcessor piecewise(pipeline_, 0.5, SelectorKind::kLasMask);
+  const auto utt = builder_.MakeUtterance(spk_, 5);  // 2.5 s = 5 chunks
+
+  auto bulk_out = bulk.Push(utt.wave.samples());
+  ASSERT_TRUE(bulk_out.has_value());
+
+  audio::Waveform piece_out;
+  const std::size_t chunk = piecewise.chunk_samples();
+  for (std::size_t pos = 0; pos < utt.wave.size(); pos += chunk) {
+    const std::size_t n = std::min(chunk, utt.wave.size() - pos);
+    if (auto o = piecewise.Push(utt.wave.samples().subspan(pos, n))) {
+      piece_out.Append(*o);
+    }
+  }
+
+  ASSERT_EQ(bulk.timings().chunks, piecewise.timings().chunks);
+  ASSERT_EQ(bulk_out->size(), piece_out.size());
+  for (std::size_t i = 0; i < piece_out.size(); ++i) {
+    ASSERT_EQ((*bulk_out)[i], piece_out[i]) << "sample " << i;
+  }
+}
+
+TEST_F(StreamingTest, LeftoverSamplesSurviveTheDrain) {
+  // A push of 2 chunks + a ragged tail must keep exactly the tail
+  // buffered: the follow-up push that completes it emits one more chunk.
+  StreamingProcessor proc(pipeline_, 0.5, SelectorKind::kLasMask);
+  const auto utt = builder_.MakeUtterance(spk_, 5);
+  const std::size_t chunk = proc.chunk_samples();
+  const std::size_t fed = 2 * chunk + 123;
+  auto out = proc.Push(utt.wave.samples().subspan(0, fed));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(proc.timings().chunks, 2u);
+  // 123 samples short of a chunk: exactly chunk - 123 more completes it.
+  EXPECT_FALSE(
+      proc.Push(utt.wave.samples().subspan(fed, chunk - 124)).has_value());
+  EXPECT_TRUE(
+      proc.Push(utt.wave.samples().subspan(fed + chunk - 124, 1))
+          .has_value());
+  EXPECT_EQ(proc.timings().chunks, 3u);
+}
+
+TEST_F(StreamingTest, LatchedGainMatchesExplicitReferencePeak) {
+  // The processor latches its stream-wide modulation reference from the
+  // first non-silent shadow chunk; a processor configured with that same
+  // value explicitly must produce bit-identical output.
+  const auto utt = builder_.MakeUtterance(spk_, 7);
+  const std::size_t chunk_samples =
+      static_cast<std::size_t>(1.0 * cfg_.sample_rate);
+  const float ref =
+      pipeline_
+          .GenerateShadow(utt.wave.Slice(0, chunk_samples),
+                          SelectorKind::kLasMask)
+          .Peak();
+  ASSERT_GT(ref, 0.0f);
+
+  PipelineOptions opts;
+  opts.modulation.reference_peak = ref;
+  NecPipeline explicit_pipeline(pipeline_.shared_selector(),
+                                pipeline_.shared_encoder(), opts);
+  explicit_pipeline.Enroll(refs_);
+
+  StreamingProcessor latched(pipeline_, 1.0, SelectorKind::kLasMask);
+  StreamingProcessor configured(explicit_pipeline, 1.0,
+                                SelectorKind::kLasMask);
+  const auto a = latched.Push(utt.wave.samples());
+  const auto b = configured.Push(utt.wave.samples());
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    ASSERT_EQ((*a)[i], (*b)[i]) << "sample " << i;
   }
 }
 

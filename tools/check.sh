@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI-style verification: Release build + full ctest, then a ThreadSanitizer
-# build exercising the nec::runtime concurrency tests.
+# build exercising the nec::runtime concurrency tests, plus an optional
+# bench smoke step that runs the JSON-emitting perf harnesses briefly and
+# fails on malformed output.
 #
 #   tools/check.sh                 # release: all tests; tsan: runtime tests
 #   CHECK_TSAN_ALL=1 tools/check.sh  # run the ENTIRE suite under TSan (slow)
+#   CHECK_BENCH_SMOKE=1 tools/check.sh  # also smoke the perf JSON benches
 #   CHECK_JOBS=8 tools/check.sh      # override build/test parallelism
 #
 # Both builds configure with NEC_NATIVE_ARCH=OFF so the script behaves the
@@ -12,18 +15,22 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${CHECK_JOBS:-$(nproc)}"
+BENCH_SMOKE="${CHECK_BENCH_SMOKE:-0}"
+STEPS=4
+[[ "${BENCH_SMOKE}" == "1" ]] && STEPS=5
 
-echo "== [1/4] configure + build: Release =="
+echo "== [1/${STEPS}] configure + build: Release =="
 cmake -B build-check-release -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DNEC_NATIVE_ARCH=OFF \
-  -DNEC_BUILD_BENCH=OFF -DNEC_BUILD_EXAMPLES=OFF
+  -DNEC_BUILD_BENCH="$([[ "${BENCH_SMOKE}" == "1" ]] && echo ON || echo OFF)" \
+  -DNEC_BUILD_EXAMPLES=OFF
 cmake --build build-check-release -j "${JOBS}"
 
-echo "== [2/4] ctest: Release (full suite) =="
+echo "== [2/${STEPS}] ctest: Release (full suite) =="
 ctest --test-dir build-check-release --output-on-failure -j "${JOBS}"
 
-echo "== [3/4] configure + build: Release + ThreadSanitizer =="
+echo "== [3/${STEPS}] configure + build: Release + ThreadSanitizer =="
 cmake -B build-check-tsan -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DNEC_NATIVE_ARCH=OFF \
@@ -31,7 +38,7 @@ cmake -B build-check-tsan -S . \
   -DNEC_BUILD_BENCH=OFF -DNEC_BUILD_EXAMPLES=OFF
 cmake --build build-check-tsan -j "${JOBS}"
 
-echo "== [4/4] ctest: TSan =="
+echo "== [4/${STEPS}] ctest: TSan =="
 if [[ "${CHECK_TSAN_ALL:-0}" == "1" ]]; then
   ctest --test-dir build-check-tsan --output-on-failure -j "${JOBS}"
 else
@@ -39,6 +46,35 @@ else
   # and already covered by step 2 (CHECK_TSAN_ALL=1 runs everything).
   ctest --test-dir build-check-tsan --output-on-failure \
     -R 'test_runtime|test_streaming'
+fi
+
+if [[ "${BENCH_SMOKE}" == "1" ]]; then
+  echo "== [5/${STEPS}] bench smoke: hot-path JSON harness =="
+  # Shrunken workloads (NEC_BENCH_SMOKE) — this validates wiring and the
+  # BENCH_hotpath.json contract, not performance. Numbers in the smoke
+  # file are flagged "smoke": true and must not be used as baselines.
+  SMOKE_JSON="build-check-release/BENCH_smoke.json"
+  rm -f "${SMOKE_JSON}"
+  NEC_BENCH_SMOKE=1 NEC_BENCH_JSON="${SMOKE_JSON}" \
+    ./build-check-release/bench/bench_runtime_throughput
+  NEC_BENCH_SMOKE=1 NEC_BENCH_JSON="${SMOKE_JSON}" \
+    ./build-check-release/bench/bench_table2_runtime \
+    --benchmark_filter=BM_NONE
+  # Fail on malformed or incomplete output: both sections present, valid
+  # JSON, and the audit/deadline booleans true.
+  python3 - "${SMOKE_JSON}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rt = doc["runtime_throughput"]
+t2 = doc["table2_modules"]
+assert rt["all_bitexact"] is True, "runtime outputs not bit-exact"
+assert rt["rows"], "no throughput rows"
+assert all("chunks_per_sec" in r and "p99_ms" in r for r in rt["rows"])
+assert "selector_nec_ms" in t2 and "total_ms" in t2
+print("bench smoke: BENCH json well-formed,",
+      len(rt["rows"]), "throughput rows")
+EOF
 fi
 
 echo "check.sh: all green"
