@@ -44,10 +44,23 @@ struct BenchParams {
   std::size_t sessions = 8;
   double stream_seconds = 6.0;
   std::vector<std::size_t> worker_sweep = {1, 2, 4, 8};
+  /// Micro-batching sweep: concurrent-session counts compared
+  /// batched-vs-unbatched at a fixed worker count (ISSUE 3 records 1/4/8).
+  std::vector<std::size_t> batched_session_sweep = {1, 4, 8};
+  /// One InferBatch serializes its whole batch before the last chunk in it
+  /// completes, so on a core-bound box max_batch bounds the per-chunk p99
+  /// at roughly max_batch * chunk-compute. 3 keeps a full batch's compute
+  /// inside the 300 ms deadline with ~25% margin at ~70 ms/chunk while
+  /// still amortizing dispatch across sessions.
+  std::size_t batched_max_batch = 3;
 
   static BenchParams Get() {
     if (!BenchSmokeMode()) return {};
-    return {.sessions = 2, .stream_seconds = 2.0, .worker_sweep = {1, 2}};
+    return {.sessions = 2,
+            .stream_seconds = 2.0,
+            .worker_sweep = {1, 2},
+            .batched_session_sweep = {1, 2},
+            .batched_max_batch = 2};
   }
 };
 
@@ -81,17 +94,22 @@ Workload MakeWorkload(const BenchParams& p) {
 struct RunResult {
   double wall_s = 0.0;
   double chunks_per_sec = 0.0;
+  double selector_ms_per_chunk = 0.0;  ///< per-session timing sum / chunks
   runtime::RuntimeStatsSnapshot stats;
   std::vector<audio::Waveform> outputs;
 };
 
-RunResult RunWith(const Workload& w, std::size_t workers) {
-  const std::size_t sessions = w.streams.size();
+/// Runs the first `sessions` workload streams through a SessionManager.
+/// `max_batch` > 1 turns on the micro-batching coalescer.
+RunResult RunWith(const Workload& w, std::size_t workers,
+                  std::size_t sessions, std::size_t max_batch) {
   runtime::SessionManager manager(w.selector, w.encoder, {},
                                   {.workers = workers,
                                    .queue_capacity = 1024,
                                    .chunk_s = kChunkSeconds,
-                                   .kind = core::SelectorKind::kNeural});
+                                   .kind = core::SelectorKind::kNeural,
+                                   .max_batch = max_batch,
+                                   .deadline_ms = kDeadlineMs});
   std::vector<runtime::SessionManager::SessionId> ids;
   for (std::size_t i = 0; i < sessions; ++i) {
     ids.push_back(manager.CreateSession(w.references[i]));
@@ -128,6 +146,15 @@ RunResult RunWith(const Workload& w, std::size_t workers) {
       r.wall_s > 0.0
           ? static_cast<double>(r.stats.chunks_processed) / r.wall_s
           : 0.0;
+  double selector_ms = 0.0;
+  std::size_t chunks = 0;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const core::ModuleTimings t = manager.SessionTimings(ids[i]);
+    selector_ms += t.selector_ms;
+    chunks += t.chunks;
+  }
+  r.selector_ms_per_chunk =
+      chunks ? selector_ms / static_cast<double>(chunks) : 0.0;
   return r;
 }
 
@@ -228,7 +255,8 @@ int main() {
   bool all_exact = true;
   bool deadline_ok = true;
   for (const std::size_t workers : params.worker_sweep) {
-    const RunResult r = RunWith(w, workers);
+    const RunResult r = RunWith(w, workers, params.sessions,
+                                /*max_batch=*/1);
     if (workers == 1) base = r.chunks_per_sec;
     const double speedup = base > 0.0 ? r.chunks_per_sec / base : 0.0;
     if (workers == 4) speedup_at_4 = speedup;
@@ -267,5 +295,73 @@ int main() {
   const std::string path = BenchJsonPath();
   WriteJsonSection(path, "runtime_throughput", json.Finish());
   std::printf("wrote section runtime_throughput -> %s\n", path.c_str());
-  return all_exact ? 0 : 1;
+
+  // ---- Micro-batching sweep (ISSUE 3): batched vs unbatched at 1/4/8
+  // concurrent sessions, one worker (the machine is compute-bound; the
+  // coalescer's win is one batched forward amortizing packing across
+  // sessions, not extra parallelism).
+  std::printf("\nmicro-batching (max_batch=%zu, 1 worker):\n",
+              params.batched_max_batch);
+  std::printf("%8s %14s %14s %10s %10s %10s %10s %10s\n", "sessions",
+              "unbat ch/s", "batched ch/s", "speedup", "sel ms", "avgB",
+              "p99 ms", "bitexact");
+  PrintRule();
+
+  JsonWriter bjson;
+  bjson.Field("max_batch", static_cast<double>(params.batched_max_batch))
+      .Field("workers", 1.0)
+      .Field("stream_seconds", params.stream_seconds)
+      .Field("deadline_ms", kDeadlineMs)
+      .Field("smoke", BenchSmokeMode());
+  bjson.BeginArray("rows");
+  bool batched_exact = true;
+  bool batched_deadline_ok = true;
+  for (const std::size_t n : params.batched_session_sweep) {
+    const RunResult un = RunWith(w, /*workers=*/1, n, /*max_batch=*/1);
+    const RunResult ba =
+        RunWith(w, /*workers=*/1, n, params.batched_max_batch);
+    const std::vector<nec::audio::Waveform> expect(
+        sequential.outputs.begin(),
+        sequential.outputs.begin() + static_cast<std::ptrdiff_t>(n));
+    const bool exact = BitExact(ba.outputs, expect);
+    batched_exact &= exact;
+    batched_deadline_ok &= ba.stats.chunk_latency.p99_ms < kDeadlineMs;
+    const double speedup = un.chunks_per_sec > 0.0
+                               ? ba.chunks_per_sec / un.chunks_per_sec
+                               : 0.0;
+    std::printf("%8zu %14.2f %14.2f %9.2fx %10.2f %10.2f %10.2f %10s\n", n,
+                un.chunks_per_sec, ba.chunks_per_sec, speedup,
+                ba.selector_ms_per_chunk, ba.stats.avg_batch_size,
+                ba.stats.chunk_latency.p99_ms, exact ? "yes" : "NO");
+    bjson.BeginObject()
+        .Field("sessions", static_cast<double>(n))
+        .Field("unbatched_chunks_per_sec", un.chunks_per_sec)
+        .Field("unbatched_selector_ms_per_chunk", un.selector_ms_per_chunk)
+        .Field("batched_chunks_per_sec", ba.chunks_per_sec)
+        .Field("batched_selector_ms_per_chunk", ba.selector_ms_per_chunk)
+        .Field("speedup_batched_vs_unbatched", speedup)
+        .Field("avg_batch_size", ba.stats.avg_batch_size)
+        .Field("max_batch_size", static_cast<double>(ba.stats.max_batch_size))
+        .Field("queue_wait_p50_ms", ba.stats.queue_wait.p50_ms)
+        .Field("queue_wait_p99_ms", ba.stats.queue_wait.p99_ms)
+        .Field("p50_ms", ba.stats.chunk_latency.p50_ms)
+        .Field("p99_ms", ba.stats.chunk_latency.p99_ms)
+        .Field("bitexact", exact)
+        .Field("deadline_met",
+               ba.stats.chunk_latency.p99_ms < kDeadlineMs)
+        .EndObject();
+  }
+  bjson.EndArray();
+  bjson.Field("all_bitexact", batched_exact)
+      .Field("deadline_ok", batched_deadline_ok);
+
+  PrintRule();
+  std::printf("batched outputs vs sequential StreamingProcessor: %s\n",
+              batched_exact ? "bit-identical" : "MISMATCH");
+  std::printf("300 ms deadline under batching (p99, all rows): %s\n",
+              batched_deadline_ok ? "met" : "missed");
+  WriteJsonSection(path, "batched", bjson.Finish());
+  std::printf("wrote section batched -> %s\n", path.c_str());
+
+  return all_exact && batched_exact ? 0 : 1;
 }

@@ -9,6 +9,11 @@
 //
 //   necd [--sessions N] [--workers K] [--seconds S] [--chunk-s C]
 //        [--policy block|reject|drop] [--queue Q] [--las]
+//        [--max-batch B] [--max-wait-us U] [--deadline-ms D]
+//
+// --max-batch > 1 routes ready chunks through the micro-batching
+// coalescer (one batched selector forward across sessions; see
+// src/runtime/batcher.h) — per-session output stays bit-identical.
 //
 // All sessions share one trained Selector/SpeakerEncoder weight set; see
 // src/runtime/session_manager.h for the concurrency model.
@@ -36,6 +41,9 @@ struct Args {
   nec::runtime::OverflowPolicy policy =
       nec::runtime::OverflowPolicy::kBlock;
   nec::core::SelectorKind kind = nec::core::SelectorKind::kNeural;
+  std::size_t max_batch = 1;
+  std::size_t max_wait_us = 5000;
+  double deadline_ms = 300.0;
 };
 
 const char* PolicyName(nec::runtime::OverflowPolicy p) {
@@ -82,13 +90,25 @@ Args Parse(int argc, char** argv) {
       }
     } else if (flag == "--las") {
       args.kind = nec::core::SelectorKind::kLasMask;
+    } else if (flag == "--max-batch") {
+      args.max_batch = std::strtoul(next(), nullptr, 10);
+    } else if (flag == "--max-wait-us") {
+      args.max_wait_us = std::strtoul(next(), nullptr, 10);
+    } else if (flag == "--deadline-ms") {
+      args.deadline_ms = std::strtod(next(), nullptr);
     } else {
       std::fprintf(stderr,
                    "usage: necd [--sessions N] [--workers K] [--seconds S]\n"
                    "            [--chunk-s C] [--policy block|reject|drop]\n"
-                   "            [--queue Q] [--las]\n");
+                   "            [--queue Q] [--las] [--max-batch B]\n"
+                   "            [--max-wait-us U] [--deadline-ms D]\n");
       std::exit(flag == "--help" || flag == "-h" ? 0 : 2);
     }
+  }
+  if (args.max_batch < 1 || args.deadline_ms <= 0.0) {
+    std::fprintf(stderr,
+                 "necd: --max-batch must be >= 1 and --deadline-ms > 0\n");
+    std::exit(2);
   }
   if (args.seconds <= 0.0 || args.chunk_s <= 0.0) {
     std::fprintf(stderr, "necd: --seconds and --chunk-s must be > 0\n");
@@ -104,11 +124,12 @@ int main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
 
   std::printf("necd: %zu sessions, %zu workers, %.1f s streams, %.1f s "
-              "chunks, policy=%s, selector=%s\n",
+              "chunks, policy=%s, selector=%s, max-batch=%zu\n",
               args.sessions, args.workers, args.seconds, args.chunk_s,
               PolicyName(args.policy),
               args.kind == core::SelectorKind::kNeural ? "neural"
-                                                       : "las-mask");
+                                                       : "las-mask",
+              args.max_batch);
 
   core::StandardModel model = core::StandardModel::Get(/*verbose=*/true);
   runtime::SessionManager manager(
@@ -117,7 +138,10 @@ int main(int argc, char** argv) {
        .queue_capacity = args.queue,
        .policy = args.policy,
        .chunk_s = args.chunk_s,
-       .kind = args.kind});
+       .kind = args.kind,
+       .max_batch = args.max_batch,
+       .max_wait_us = args.max_wait_us,
+       .deadline_ms = args.deadline_ms});
 
   // One enrolled target per session; the monitored stream mixes that
   // target's voice with a noise background (what the room mic hears).
@@ -199,6 +223,20 @@ int main(int argc, char** argv) {
               stats.chunk_latency.p99_ms);
   std::printf("%-28s %12.2f\n", "chunk latency max (ms)",
               stats.chunk_latency.max_ms);
+  if (manager.batching_enabled()) {
+    std::printf("%-28s %12llu\n", "batches dispatched",
+                static_cast<unsigned long long>(stats.batches_dispatched));
+    std::printf("%-28s %12llu\n", "batched chunks",
+                static_cast<unsigned long long>(stats.batched_chunks));
+    std::printf("%-28s %12.2f\n", "avg batch size",
+                stats.avg_batch_size);
+    std::printf("%-28s %12llu\n", "max batch size",
+                static_cast<unsigned long long>(stats.max_batch_size));
+    std::printf("%-28s %12.2f\n", "queue wait p50 (ms)",
+                stats.queue_wait.p50_ms);
+    std::printf("%-28s %12.2f\n", "queue wait p99 (ms)",
+                stats.queue_wait.p99_ms);
+  }
   std::printf("---------------------------------------------------------"
               "------------\n");
   const bool deadline_ok = stats.chunk_latency.p99_ms < 300.0;

@@ -49,3 +49,19 @@ namespace detail {
                                  nec_check_os_.str());               \
     }                                                                \
   } while (0)
+
+/// Debug-only invariant check for hot-path accessors (Tensor::At etc.):
+/// full NEC_CHECK in builds without NDEBUG, compiled out entirely in
+/// Release. Use where a violated precondition would silently read
+/// misindexed memory but the check is too hot to pay for in production.
+#ifndef NDEBUG
+#define NEC_DCHECK(expr) NEC_CHECK(expr)
+#define NEC_DCHECK_MSG(expr, msg) NEC_CHECK_MSG(expr, msg)
+#else
+#define NEC_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#define NEC_DCHECK_MSG(expr, msg) \
+  do {                            \
+  } while (0)
+#endif

@@ -59,6 +59,17 @@ class Selector {
   nn::Tensor Infer(const nn::Tensor& mixed_mag,
                    const std::vector<float>& dvector) const;
 
+  /// Batched Infer: stacks B same-shaped (T, F) magnitude tensors with
+  /// their d-vectors into one (B, ...) forward pass through the layers'
+  /// InferBatch path and splits the B shadow tensors back out. Guaranteed
+  /// bit-identical, per item, to calling Infer on each (mag, dvector) pair
+  /// — the runtime micro-batcher (runtime/batcher.h) relies on this to
+  /// coalesce concurrent sessions' chunks without changing their emitted
+  /// bits. At B = 1 this IS Infer. All items must share (T, F).
+  std::vector<nn::Tensor> InferBatch(
+      const std::vector<const nn::Tensor*>& mixed_mags,
+      const std::vector<const std::vector<float>*>& dvectors) const;
+
   /// Backprop from dLoss/dShadow; accumulates parameter gradients.
   void Backward(const nn::Tensor& grad_shadow);
 
@@ -70,6 +81,13 @@ class Selector {
   /// Const (uses Infer) — safe for concurrent sessions on shared weights.
   std::vector<float> ComputeShadow(const dsp::Spectrogram& spec,
                                    const std::vector<float>& dvector) const;
+
+  /// Batched ComputeShadow: applies each item's own gain normalization,
+  /// runs one InferBatch, and un-normalizes per item — bit-identical per
+  /// item to ComputeShadow. All spectrograms must share (T, F).
+  std::vector<std::vector<float>> ComputeShadowBatch(
+      const std::vector<const dsp::Spectrogram*>& specs,
+      const std::vector<const std::vector<float>*>& dvectors) const;
 
   void Save(const std::string& path) const;
   static Selector Load(const std::string& path);

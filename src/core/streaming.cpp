@@ -31,7 +31,12 @@ StreamingProcessor::StreamingProcessor(const NecPipeline& pipeline,
 audio::Waveform StreamingProcessor::ProcessChunk(audio::Waveform chunk) {
   const auto t0 = std::chrono::steady_clock::now();
   audio::Waveform shadow = pipeline_.GenerateShadow(chunk, kind_, &stft_ws_);
-  timings_.selector_ms += MsSince(t0);
+  return CompleteShadowChunk(std::move(shadow), MsSince(t0));
+}
+
+audio::Waveform StreamingProcessor::CompleteShadowChunk(
+    audio::Waveform shadow, double selector_ms) {
+  timings_.selector_ms += selector_ms;
 
   const auto t1 = std::chrono::steady_clock::now();
   channel::ModulationConfig mod = pipeline_.options().modulation;
@@ -51,6 +56,20 @@ audio::Waveform StreamingProcessor::ProcessChunk(audio::Waveform chunk) {
   timings_.broadcast_ms += MsSince(t1);
   ++timings_.chunks;
   return modulated;
+}
+
+void StreamingProcessor::BufferSamples(std::span<const float> samples) {
+  buffer_.data().insert(buffer_.data().end(), samples.begin(),
+                        samples.end());
+}
+
+audio::Waveform StreamingProcessor::PopChunk() {
+  NEC_CHECK_MSG(HasFullChunk(), "PopChunk without a full buffered chunk");
+  audio::Waveform chunk = buffer_.Slice(0, chunk_samples_);
+  buffer_.data().erase(
+      buffer_.data().begin(),
+      buffer_.data().begin() + static_cast<std::ptrdiff_t>(chunk_samples_));
+  return chunk;
 }
 
 std::optional<audio::Waveform> StreamingProcessor::Push(

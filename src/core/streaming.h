@@ -46,8 +46,43 @@ class StreamingProcessor {
   /// Flushes a final partial chunk (zero-padded) if any samples remain.
   std::optional<audio::Waveform> Flush();
 
+  // --- Decomposed chunk path (runtime micro-batching; see DESIGN.md §5e).
+  //
+  // Push == BufferSamples + { PopChunk → GenerateShadow →
+  // CompleteShadowChunk } per full chunk. The batched runtime splits the
+  // loop across threads: the session strand only buffers and pops, the
+  // coalescer runs the batched shadow generation and then completes each
+  // chunk IN STREAM ORDER — CompleteShadowChunk latches the stream-wide
+  // modulation reference from the first non-silent shadow, so completion
+  // order is part of the output bits.
+
+  /// Appends monitored samples without processing anything.
+  void BufferSamples(std::span<const float> samples);
+
+  /// True when at least chunk_samples() are buffered.
+  bool HasFullChunk() const { return buffer_.size() >= chunk_samples_; }
+
+  /// Pops the oldest full chunk (requires HasFullChunk()).
+  audio::Waveform PopChunk();
+
+  /// Second half of the chunk path: stream-reference latch + ultrasonic
+  /// modulation + timing accounting for a shadow produced externally
+  /// (batched GenerateShadowBatch). `selector_ms` is the shadow-generation
+  /// time to attribute to this chunk. Chunks of one processor must be
+  /// completed in the order they were popped.
+  audio::Waveform CompleteShadowChunk(audio::Waveform shadow,
+                                      double selector_ms);
+
   const ModuleTimings& timings() const { return timings_; }
   std::size_t chunk_samples() const { return chunk_samples_; }
+  SelectorKind kind() const { return kind_; }
+  const NecPipeline& pipeline() const { return pipeline_; }
+
+  /// STFT/ISTFT scratch for whoever generates this processor's shadows
+  /// (the processor itself, or the runtime coalescer in batched mode).
+  /// Scratch only — contents never affect output bits — but not shareable
+  /// across concurrent callers.
+  dsp::StftWorkspace& stft_workspace() { return stft_ws_; }
 
  private:
   audio::Waveform ProcessChunk(audio::Waveform chunk);

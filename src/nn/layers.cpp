@@ -1,11 +1,24 @@
 #include "nn/layers.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
 #include "nn/gemm.h"
 
 namespace nec::nn {
+
+// ------------------------------------------------------------------ Layer
+
+Tensor Layer::Infer(const Tensor&) const {
+  NEC_CHECK_MSG(false, Name() << " has no const inference path");
+  return Tensor();
+}
+
+Tensor Layer::InferBatch(const Tensor&) const {
+  NEC_CHECK_MSG(false, Name() << " has no batched inference path");
+  return Tensor();
+}
 
 // ---------------------------------------------------------------- Conv2D
 
@@ -28,86 +41,243 @@ Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
   NEC_CHECK(dilation_h >= 1 && dilation_w >= 1);
 }
 
-void Conv2D::Im2Col(const Tensor& input, std::vector<float>& col) const {
-  const std::size_t h = input.dim(1), w = input.dim(2);
+// Builds the K-major lowering colT(K, P): row idx = (c*kh + ky)*kw + kx —
+// the same k index the weight matrix uses — holds the input shifted by the
+// tap's (ky, kx) offset, zero-padded at the edges. Each colT row is h
+// shifted copies of input rows, so it assembles from memcpy + small zero
+// fills instead of a per-element gather: ~K·P bytes of straight-line
+// copies, and the GEMM that follows streams both operands contiguously.
+void Conv2D::Im2ColT(const float* in, std::size_t h, std::size_t w,
+                     std::vector<float>& colt) const {
   const std::ptrdiff_t pad_h =
       static_cast<std::ptrdiff_t>(dh_ * (kh_ - 1) / 2);
   const std::ptrdiff_t pad_w =
       static_cast<std::ptrdiff_t>(dw_ * (kw_ - 1) / 2);
-  const std::size_t k = in_channels_ * kh_ * kw_;
+  const std::size_t pixels = h * w;
 
-  float* out = col.data();
-  for (std::size_t y = 0; y < h; ++y) {
-    for (std::size_t x = 0; x < w; ++x) {
-      float* row = out + (y * w + x) * k;
-      std::size_t idx = 0;
-      for (std::size_t c = 0; c < in_channels_; ++c) {
-        for (std::size_t ky = 0; ky < kh_; ++ky) {
-          const std::ptrdiff_t sy = static_cast<std::ptrdiff_t>(y) +
-                                    static_cast<std::ptrdiff_t>(ky * dh_) -
-                                    pad_h;
-          for (std::size_t kx = 0; kx < kw_; ++kx, ++idx) {
-            const std::ptrdiff_t sx =
-                static_cast<std::ptrdiff_t>(x) +
-                static_cast<std::ptrdiff_t>(kx * dw_) - pad_w;
-            row[idx] =
-                (sy >= 0 && sy < static_cast<std::ptrdiff_t>(h) && sx >= 0 &&
-                 sx < static_cast<std::ptrdiff_t>(w))
-                    ? input.At3(c, static_cast<std::size_t>(sy),
-                                static_cast<std::size_t>(sx))
-                    : 0.0f;
+  std::size_t idx = 0;
+  for (std::size_t c = 0; c < in_channels_; ++c) {
+    const float* chan = in + c * pixels;
+    for (std::size_t ky = 0; ky < kh_; ++ky) {
+      const std::ptrdiff_t sy0 =
+          static_cast<std::ptrdiff_t>(ky * dh_) - pad_h;
+      for (std::size_t kx = 0; kx < kw_; ++kx, ++idx) {
+        const std::ptrdiff_t sx0 =
+            static_cast<std::ptrdiff_t>(kx * dw_) - pad_w;
+        // Valid x positions: 0 <= x + sx0 < w.
+        const std::size_t x_lo =
+            sx0 < 0 ? static_cast<std::size_t>(-sx0) : 0;
+        const std::size_t x_hi =
+            sx0 > 0 ? w - static_cast<std::size_t>(sx0) : w;
+        float* row = colt.data() + idx * pixels;
+        for (std::size_t y = 0; y < h; ++y) {
+          const std::ptrdiff_t sy = static_cast<std::ptrdiff_t>(y) + sy0;
+          float* dst = row + y * w;
+          if (sy < 0 || sy >= static_cast<std::ptrdiff_t>(h)) {
+            std::memset(dst, 0, w * sizeof(float));
+            continue;
           }
+          const float* src = chan + static_cast<std::size_t>(sy) * w;
+          if (x_lo > 0) std::memset(dst, 0, x_lo * sizeof(float));
+          std::memcpy(dst + x_lo, src + x_lo + sx0,
+                      (x_hi - x_lo) * sizeof(float));
+          if (x_hi < w)
+            std::memset(dst + x_hi, 0, (w - x_hi) * sizeof(float));
         }
       }
     }
   }
 }
 
-Tensor Conv2D::Compute(const Tensor& input,
-                       std::vector<float>& col) const {
-  NEC_CHECK_MSG(input.rank() == 3 && input.dim(0) == in_channels_,
-                "Conv2D expects (in_channels, H, W) input");
-  const std::size_t h = input.dim(1), w = input.dim(2);
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define NEC_CONV_VECTOR_KERNEL 1
+// Float vector for the convolution inner loop, sized to the widest SIMD
+// registers the compile target actually has. Matching the native register
+// width matters: the kernel keeps eight named accumulators live across the
+// whole tap loop, and eight one-register vectors always fit the register
+// file, while eight wider-than-native vectors would be split and spilled
+// to the stack — slower than no vectors at all. Element-wise ops on these
+// types are ordinary per-lane float arithmetic, so the kernel stays
+// deterministic at every width.
+#if defined(__AVX512F__)
+typedef float ConvVec __attribute__((vector_size(64), aligned(4)));
+#elif defined(__AVX__)
+typedef float ConvVec __attribute__((vector_size(32), aligned(4)));
+#else
+typedef float ConvVec __attribute__((vector_size(16), aligned(4)));
+#endif
+constexpr std::size_t kConvLanes = sizeof(ConvVec) / sizeof(float);
+
+inline ConvVec LoadConvVec(const float* p) {
+  ConvVec v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void StoreConvVec(float* p, ConvVec v) {
+  __builtin_memcpy(p, &v, sizeof(v));
+}
+#endif
+
+}  // namespace
+
+// Direct "same"-padded convolution over a zero-padded copy of the input.
+//
+// `scratch` holds the padded input (C_in, h + 2*pad_h, w + 2*pad_w);
+// building it costs one input-sized pass of memcpys. Each output channel
+// then accumulates its K = C_in*kh*kw taps in ascending-k order as an axpy
+// over the contiguous width axis:
+//     out[m][y][x] += weight[m][k] * padded[c][y + ky*dh][x + kx*dw]
+// The padding contributes explicit `w * 0.0f` addends, exactly like the
+// zero entries of the im2col lowering the training path keeps for its
+// gradients — every output element sees the same addend sequence on every
+// path (Forward, Infer, InferBatch), so the kernels are bit-compatible by
+// construction.
+//
+// Why direct instead of im2col + GEMM: C_out is tiny (selector convs are
+// 6-channel), so the GEMM formulation is memory-bound streaming a K×P
+// column matrix that is ~K times the input size. The direct kernel's
+// working set is the padded input slab (L2-resident for 1 s selector
+// chunks) plus one output channel, and the axpy inner loop vectorizes over
+// width — an order of magnitude less memory traffic per layer.
+void Conv2D::ComputeInto(const float* in, std::size_t h, std::size_t w,
+                         std::vector<float>& scratch, float* out) const {
+  const std::size_t pad_h = dh_ * (kh_ - 1) / 2;
+  const std::size_t pad_w = dw_ * (kw_ - 1) / 2;
+  const std::size_t ph = h + 2 * pad_h, pw = w + 2 * pad_w;
   const std::size_t pixels = h * w;
-  const std::size_t k = in_channels_ * kh_ * kw_;
 
-  // Grow-only scratch: the col matrix is MBs per layer per chunk, and a
-  // fresh allocation each call pays mmap + first-touch page faults that
-  // rival the GEMM itself. vector::resize keeps capacity when shrinking,
-  // so one scratch serves consecutive layers of different (pixels, k)
-  // and the streaming hot path stops allocating here after the first
-  // chunk. Im2Col overwrites every element, so stale contents never leak.
-  col.resize(pixels * k);
-  Im2Col(input, col);
-
-  // out(C_out, P) = weight(C_out, K) * col(P, K)^T
-  Tensor out({out_channels_, h, w});
-  GemmNT(weight_.value.data(), col.data(), out.data(), out_channels_,
-         pixels, k);
-  for (std::size_t c = 0; c < out_channels_; ++c) {
-    const float b = bias_.value[c];
-    float* oc = out.data() + c * pixels;
-    for (std::size_t p = 0; p < pixels; ++p) oc[p] += b;
+  scratch.assign(in_channels_ * ph * pw, 0.0f);
+  for (std::size_t c = 0; c < in_channels_; ++c) {
+    for (std::size_t y = 0; y < h; ++y) {
+      std::memcpy(scratch.data() + ((c * ph) + y + pad_h) * pw + pad_w,
+                  in + (c * h + y) * w, w * sizeof(float));
+    }
   }
-  return out;
+
+  // Register-blocked accumulation: each x-block of one output row keeps its
+  // accumulators in vector registers across the ENTIRE tap loop, so the k
+  // loop costs one shifted src load + one multiply-add per tap per vector —
+  // no per-tap load/store of the output. Eight NAMED accumulators are
+  // deliberate: a local `float acc[]` array lives on the stack and GCC then
+  // reloads/stores it every tap (~3x slower), while named one-register
+  // vectors stay in registers, and eight independent chains cover the FMA
+  // latency*throughput product. The per-element addend order is still
+  // ascending k, then + bias, matching the im2col lowering term for term.
+  constexpr std::size_t kXBlock = 128;
+  for (std::size_t m = 0; m < out_channels_; ++m) {
+    float* om = out + m * pixels;
+    const float* wm = weight_.value.data() + m * in_channels_ * kh_ * kw_;
+    const float b = bias_.value[m];
+    for (std::size_t y = 0; y < h; ++y) {
+      float* dst = om + y * w;
+      std::size_t xb = 0;
+#ifdef NEC_CONV_VECTOR_KERNEL
+      constexpr std::size_t kVecBlock = 8 * kConvLanes;
+      for (; xb + kVecBlock <= w; xb += kVecBlock) {
+        ConvVec a0{}, a1{}, a2{}, a3{}, a4{}, a5{}, a6{}, a7{};
+        std::size_t k = 0;
+        for (std::size_t c = 0; c < in_channels_; ++c) {
+          const float* chan = scratch.data() + c * ph * pw;
+          for (std::size_t ky = 0; ky < kh_; ++ky) {
+            const float* row = chan + (y + ky * dh_) * pw + xb;
+            for (std::size_t kx = 0; kx < kw_; ++kx, ++k) {
+              const float wk = wm[k];
+              const float* src = row + kx * dw_;
+              a0 += wk * LoadConvVec(src);
+              a1 += wk * LoadConvVec(src + kConvLanes);
+              a2 += wk * LoadConvVec(src + 2 * kConvLanes);
+              a3 += wk * LoadConvVec(src + 3 * kConvLanes);
+              a4 += wk * LoadConvVec(src + 4 * kConvLanes);
+              a5 += wk * LoadConvVec(src + 5 * kConvLanes);
+              a6 += wk * LoadConvVec(src + 6 * kConvLanes);
+              a7 += wk * LoadConvVec(src + 7 * kConvLanes);
+            }
+          }
+        }
+        StoreConvVec(dst + xb, a0 + b);
+        StoreConvVec(dst + xb + kConvLanes, a1 + b);
+        StoreConvVec(dst + xb + 2 * kConvLanes, a2 + b);
+        StoreConvVec(dst + xb + 3 * kConvLanes, a3 + b);
+        StoreConvVec(dst + xb + 4 * kConvLanes, a4 + b);
+        StoreConvVec(dst + xb + 5 * kConvLanes, a5 + b);
+        StoreConvVec(dst + xb + 6 * kConvLanes, a6 + b);
+        StoreConvVec(dst + xb + 7 * kConvLanes, a7 + b);
+      }
+#endif
+      for (; xb < w; xb += kXBlock) {
+        const std::size_t xn = std::min(kXBlock, w - xb);
+        float acc[kXBlock] = {};
+        std::size_t k = 0;
+        for (std::size_t c = 0; c < in_channels_; ++c) {
+          const float* chan = scratch.data() + c * ph * pw;
+          for (std::size_t ky = 0; ky < kh_; ++ky) {
+            const float* row = chan + (y + ky * dh_) * pw + xb;
+            for (std::size_t kx = 0; kx < kw_; ++kx, ++k) {
+              const float wk = wm[k];
+              const float* src = row + kx * dw_;
+              for (std::size_t i = 0; i < xn; ++i) acc[i] += wk * src[i];
+            }
+          }
+        }
+        for (std::size_t i = 0; i < xn; ++i) dst[xb + i] = acc[i] + b;
+      }
+    }
+  }
 }
 
 Tensor Conv2D::Forward(const Tensor& input) {
-  Tensor out = Compute(input, col_cache_);
-  in_h_ = input.dim(1);
-  in_w_ = input.dim(2);
-  last_macs_ = out_channels_ * in_h_ * in_w_ * in_channels_ * kh_ * kw_;
+  NEC_CHECK_MSG(input.rank() == 3 && input.dim(0) == in_channels_,
+                "Conv2D expects (in_channels, H, W) input");
+  const std::size_t h = input.dim(1), w = input.dim(2);
+  Tensor out({out_channels_, h, w});
+  ComputeInto(input.data(), h, w, pad_cache_, out.data());
+  // The backward pass consumes the im2col lowering (grad_weight is a GEMM
+  // against colT); build it here — training throughput is not the hot
+  // path, and keeping gradients on the GEMM formulation keeps Backward
+  // simple while the forward kernels stay direct.
+  colt_cache_.resize(in_channels_ * kh_ * kw_ * h * w);
+  Im2ColT(input.data(), h, w, colt_cache_);
+  in_h_ = h;
+  in_w_ = w;
+  last_macs_ = out_channels_ * h * w * in_channels_ * kh_ * kw_;
   return out;
 }
 
 Tensor Conv2D::Infer(const Tensor& input) const {
+  NEC_CHECK_MSG(input.rank() == 3 && input.dim(0) == in_channels_,
+                "Conv2D expects (in_channels, H, W) input");
   // Per-thread scratch: Infer is const and shared across sessions, so a
   // member cache would race; a thread_local (shared by every Conv2D on
   // the thread, sized to the largest layer) keeps steady-state inference
   // allocation-free without locks. Bit-exactness is unaffected — the
-  // scratch is fully rewritten (see Compute) before it is read.
-  thread_local std::vector<float> col;
-  return Compute(input, col);
+  // scratch is fully rewritten (see ComputeInto) before it is read.
+  thread_local std::vector<float> scratch;
+  const std::size_t h = input.dim(1), w = input.dim(2);
+  Tensor out({out_channels_, h, w});
+  ComputeInto(input.data(), h, w, scratch, out.data());
+  return out;
+}
+
+Tensor Conv2D::InferBatch(const Tensor& batch) const {
+  NEC_CHECK_MSG(batch.rank() == 4 && batch.dim(1) == in_channels_,
+                "Conv2D::InferBatch expects (B, in_channels, H, W)");
+  const std::size_t b = batch.dim(0), h = batch.dim(2), w = batch.dim(3);
+  const std::size_t in_item = in_channels_ * h * w;
+  const std::size_t out_item = out_channels_ * h * w;
+  thread_local std::vector<float> scratch;
+  Tensor out({b, out_channels_, h, w});
+  // Each item runs exactly the per-item ComputeInto kernel over the shared
+  // weights, so the batched path is bit-identical to looped Infer by
+  // construction (the batch win is hot-cache weights and amortized
+  // per-layer overhead, not a reassociated reduction).
+  for (std::size_t i = 0; i < b; ++i) {
+    ComputeInto(batch.data() + i * in_item, h, w, scratch,
+                out.data() + i * out_item);
+  }
+  return out;
 }
 
 Tensor Conv2D::Backward(const Tensor& grad_output) {
@@ -119,8 +289,8 @@ Tensor Conv2D::Backward(const Tensor& grad_output) {
   const std::size_t pixels = in_h_ * in_w_;
   const std::size_t k = in_channels_ * kh_ * kw_;
 
-  // grad_weight(C_out, K) += grad_out(C_out, P) * col(P, K)
-  GemmNN(grad_output.data(), col_cache_.data(), weight_.grad.data(),
+  // grad_weight(C_out, K) += grad_out(C_out, P) * colT(K, P)^T
+  GemmNT(grad_output.data(), colt_cache_.data(), weight_.grad.data(),
          out_channels_, k, pixels, 1.0f, 1.0f);
 
   // grad_bias += row sums of grad_out.
@@ -131,36 +301,39 @@ Tensor Conv2D::Backward(const Tensor& grad_output) {
     bias_.grad[c] += static_cast<float>(acc);
   }
 
-  // grad_col(P, K) = grad_out(C_out, P)^T * weight(C_out, K)
-  Tensor grad_col({pixels, k});
-  GemmTN(grad_output.data(), weight_.value.data(), grad_col.data(), pixels,
-         k, out_channels_);
+  // grad_colT(K, P) = weight(C_out, K)^T * grad_out(C_out, P)
+  Tensor grad_colt({k, pixels});
+  GemmTN(weight_.value.data(), grad_output.data(), grad_colt.data(), k,
+         pixels, out_channels_);
 
-  // col2im scatter-add.
+  // col2im: the inverse of Im2ColT — each colT row scatter-adds back into
+  // the input at its tap's (ky, kx) offset. Same shifted-row structure,
+  // so the adds are contiguous spans, not per-element gathers.
   Tensor grad_input({in_channels_, in_h_, in_w_});
   const std::ptrdiff_t pad_h =
       static_cast<std::ptrdiff_t>(dh_ * (kh_ - 1) / 2);
   const std::ptrdiff_t pad_w =
       static_cast<std::ptrdiff_t>(dw_ * (kw_ - 1) / 2);
-  for (std::size_t y = 0; y < in_h_; ++y) {
-    for (std::size_t x = 0; x < in_w_; ++x) {
-      const float* row = grad_col.data() + (y * in_w_ + x) * k;
-      std::size_t idx = 0;
-      for (std::size_t c = 0; c < in_channels_; ++c) {
-        for (std::size_t ky = 0; ky < kh_; ++ky) {
-          const std::ptrdiff_t sy = static_cast<std::ptrdiff_t>(y) +
-                                    static_cast<std::ptrdiff_t>(ky * dh_) -
-                                    pad_h;
-          for (std::size_t kx = 0; kx < kw_; ++kx, ++idx) {
-            const std::ptrdiff_t sx =
-                static_cast<std::ptrdiff_t>(x) +
-                static_cast<std::ptrdiff_t>(kx * dw_) - pad_w;
-            if (sy >= 0 && sy < static_cast<std::ptrdiff_t>(in_h_) &&
-                sx >= 0 && sx < static_cast<std::ptrdiff_t>(in_w_)) {
-              grad_input.At3(c, static_cast<std::size_t>(sy),
-                             static_cast<std::size_t>(sx)) += row[idx];
-            }
-          }
+  std::size_t idx = 0;
+  for (std::size_t c = 0; c < in_channels_; ++c) {
+    float* chan = grad_input.data() + c * pixels;
+    for (std::size_t ky = 0; ky < kh_; ++ky) {
+      const std::ptrdiff_t sy0 =
+          static_cast<std::ptrdiff_t>(ky * dh_) - pad_h;
+      for (std::size_t kx = 0; kx < kw_; ++kx, ++idx) {
+        const std::ptrdiff_t sx0 =
+            static_cast<std::ptrdiff_t>(kx * dw_) - pad_w;
+        const std::size_t x_lo =
+            sx0 < 0 ? static_cast<std::size_t>(-sx0) : 0;
+        const std::size_t x_hi =
+            sx0 > 0 ? in_w_ - static_cast<std::size_t>(sx0) : in_w_;
+        const float* row = grad_colt.data() + idx * pixels;
+        for (std::size_t y = 0; y < in_h_; ++y) {
+          const std::ptrdiff_t sy = static_cast<std::ptrdiff_t>(y) + sy0;
+          if (sy < 0 || sy >= static_cast<std::ptrdiff_t>(in_h_)) continue;
+          const float* src = row + y * in_w_;
+          float* dst = chan + static_cast<std::size_t>(sy) * in_w_;
+          for (std::size_t x = x_lo; x < x_hi; ++x) dst[x + sx0] += src[x];
         }
       }
     }
@@ -179,20 +352,32 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
   NEC_CHECK(in_features >= 1 && out_features >= 1);
 }
 
+void Linear::InferRows(const float* in, std::size_t rows, float* out) const {
+  // Each output row depends only on its own input row, so running B items'
+  // rows through ONE GemmNT call is bit-identical, row for row, to B
+  // separate calls — the property Linear::InferBatch relies on.
+  GemmNT(in, weight_.value.data(), out, rows, out_features_, in_features_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* orow = out + r * out_features_;
+    for (std::size_t j = 0; j < out_features_; ++j)
+      orow[j] += bias_.value[j];
+  }
+}
+
 Tensor Linear::Infer(const Tensor& input) const {
   NEC_CHECK_MSG(input.rank() == 2 && input.dim(1) == in_features_,
                 "Linear expects (rows, in_features); got last dim "
                     << (input.rank() >= 1 ? input.dim(input.rank() - 1) : 0));
-  const std::size_t rows = input.dim(0);
+  Tensor out({input.dim(0), out_features_});
+  InferRows(input.data(), input.dim(0), out.data());
+  return out;
+}
 
-  Tensor out({rows, out_features_});
-  GemmNT(input.data(), weight_.value.data(), out.data(), rows,
-         out_features_, in_features_);
-  for (std::size_t r = 0; r < rows; ++r) {
-    float* orow = out.data() + r * out_features_;
-    for (std::size_t j = 0; j < out_features_; ++j)
-      orow[j] += bias_.value[j];
-  }
+Tensor Linear::InferBatch(const Tensor& batch) const {
+  NEC_CHECK_MSG(batch.rank() == 3 && batch.dim(2) == in_features_,
+                "Linear::InferBatch expects (B, rows, in_features)");
+  Tensor out({batch.dim(0), batch.dim(1), out_features_});
+  InferRows(batch.data(), batch.dim(0) * batch.dim(1), out.data());
   return out;
 }
 
@@ -233,8 +418,11 @@ Tensor ReLU::Infer(const Tensor& input) const {
   return out;
 }
 
+Tensor ReLU::InferBatch(const Tensor& batch) const { return Infer(batch); }
+
 Tensor ReLU::Forward(const Tensor& input) {
   input_cache_ = input;
+  last_elems_ = input.numel();
   return Infer(input);
 }
 
@@ -253,9 +441,14 @@ Tensor Sigmoid::Infer(const Tensor& input) const {
   return out;
 }
 
+Tensor Sigmoid::InferBatch(const Tensor& batch) const {
+  return Infer(batch);
+}
+
 Tensor Sigmoid::Forward(const Tensor& input) {
   Tensor out = Infer(input);
   output_cache_ = out;
+  last_elems_ = input.numel();
   return out;
 }
 
@@ -275,9 +468,12 @@ Tensor Tanh::Infer(const Tensor& input) const {
   return out;
 }
 
+Tensor Tanh::InferBatch(const Tensor& batch) const { return Infer(batch); }
+
 Tensor Tanh::Forward(const Tensor& input) {
   Tensor out = Infer(input);
   output_cache_ = out;
+  last_elems_ = input.numel();
   return out;
 }
 
@@ -289,6 +485,118 @@ Tensor Tanh::Backward(const Tensor& grad_output) {
     grad[i] *= 1.0f - y * y;
   }
   return grad;
+}
+
+// -------------------------------------------------------------- LayerNorm
+
+namespace {
+
+Tensor OnesVector(std::size_t n) {
+  Tensor t({n});
+  t.Fill(1.0f);
+  return t;
+}
+
+}  // namespace
+
+LayerNorm::LayerNorm(std::size_t features, float eps)
+    : features_(features),
+      eps_(eps),
+      gain_(OnesVector(features)),
+      bias_(Tensor::Zeros({features})) {
+  NEC_CHECK(features >= 1);
+  NEC_CHECK(eps > 0.0f);
+}
+
+void LayerNorm::NormalizeRows(const float* in, std::size_t rows, float* out,
+                              float* xhat, float* inv_sigma) const {
+  const std::size_t n = features_;
+  const float* g = gain_.value.data();
+  const float* b = bias_.value.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* x = in + r * n;
+    float* o = out + r * n;
+    // Fixed ascending-order double accumulation: rows are normalized
+    // independently and identically regardless of how many ride in the
+    // call, which is what makes Infer/InferBatch bit-identical per item.
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) sum += x[j];
+    const float mean = static_cast<float>(sum / static_cast<double>(n));
+    double var_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d = static_cast<double>(x[j]) - mean;
+      var_sum += d * d;
+    }
+    const float var = static_cast<float>(var_sum / static_cast<double>(n));
+    const float is = 1.0f / std::sqrt(var + eps_);
+    if (inv_sigma != nullptr) inv_sigma[r] = is;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float xh = (x[j] - mean) * is;
+      if (xhat != nullptr) xhat[r * n + j] = xh;
+      o[j] = g[j] * xh + b[j];
+    }
+  }
+}
+
+Tensor LayerNorm::Infer(const Tensor& input) const {
+  NEC_CHECK_MSG(
+      input.rank() >= 1 && input.dim(input.rank() - 1) == features_,
+      "LayerNorm expects last dim == " << features_);
+  Tensor out(input.shape());
+  NormalizeRows(input.data(), input.numel() / features_, out.data());
+  return out;
+}
+
+Tensor LayerNorm::InferBatch(const Tensor& batch) const {
+  // Row-wise and shape-preserving: a leading batch dim just folds into
+  // the row count, so the batched path IS the per-item path.
+  return Infer(batch);
+}
+
+Tensor LayerNorm::Forward(const Tensor& input) {
+  NEC_CHECK_MSG(
+      input.rank() >= 1 && input.dim(input.rank() - 1) == features_,
+      "LayerNorm expects last dim == " << features_);
+  const std::size_t rows = input.numel() / features_;
+  Tensor out(input.shape());
+  xhat_cache_ = Tensor(input.shape());
+  inv_sigma_cache_.resize(rows);
+  NormalizeRows(input.data(), rows, out.data(), xhat_cache_.data(),
+                inv_sigma_cache_.data());
+  last_elems_ = input.numel();
+  return out;
+}
+
+Tensor LayerNorm::Backward(const Tensor& grad_output) {
+  NEC_CHECK(grad_output.numel() == xhat_cache_.numel());
+  const std::size_t n = features_;
+  const std::size_t rows = xhat_cache_.numel() / n;
+  const float* g = gain_.value.data();
+
+  Tensor grad_input(grad_output.shape());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* dy = grad_output.data() + r * n;
+    const float* xh = xhat_cache_.data() + r * n;
+    float* dx = grad_input.data() + r * n;
+    const float is = inv_sigma_cache_[r];
+
+    double sum_gdy = 0.0, sum_gdy_xh = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double gdy = static_cast<double>(g[j]) * dy[j];
+      sum_gdy += gdy;
+      sum_gdy_xh += gdy * xh[j];
+      gain_.grad[j] += dy[j] * xh[j];
+      bias_.grad[j] += dy[j];
+    }
+    const float mean_gdy =
+        static_cast<float>(sum_gdy / static_cast<double>(n));
+    const float mean_gdy_xh =
+        static_cast<float>(sum_gdy_xh / static_cast<double>(n));
+    for (std::size_t j = 0; j < n; ++j) {
+      dx[j] = is * (g[j] * dy[j] - mean_gdy - xh[j] * mean_gdy_xh);
+    }
+  }
+  return grad_input;
 }
 
 // ------------------------------------------------------------------ LSTM
@@ -355,6 +663,18 @@ Tensor Sequential::Backward(const Tensor& grad_output) {
     g = (*it)->Backward(g);
   }
   return g;
+}
+
+Tensor Sequential::Infer(const Tensor& input) const {
+  Tensor x = input;
+  for (const auto& layer : layers_) x = layer->Infer(x);
+  return x;
+}
+
+Tensor Sequential::InferBatch(const Tensor& batch) const {
+  Tensor x = batch;
+  for (const auto& layer : layers_) x = layer->InferBatch(x);
+  return x;
 }
 
 std::vector<Param*> Sequential::Params() {

@@ -14,6 +14,15 @@
 //     locals), and is bit-identical to Forward. Any number of threads may
 //     call Infer on the same layer concurrently as long as nothing mutates
 //     the parameters at the same time.
+//   * InferBatch is const like Infer and takes a leading batch dimension
+//     (rank 4 (B, C, H, W) for Conv2D, rank 3 (B, rows, in) for Linear,
+//     Infer's shape plus one leading dim for elementwise/norm layers). It
+//     is REQUIRED to be bit-identical, per item, to slicing the batch and
+//     calling Infer item by item: every output element accumulates its
+//     k-products in the same ascending-k order on both paths. At batch = 1
+//     it therefore reduces exactly to Infer. The runtime micro-batching
+//     layer (runtime/batcher.h) depends on this to coalesce chunks from
+//     concurrent sessions without changing any session's emitted bits.
 //
 // The LSTM layer exists for the VoiceFilter runtime baseline (Table II) and
 // implements forward only — the baseline is never trained in this repo.
@@ -49,20 +58,40 @@ class Layer {
   /// gradient with respect to the layer's input.
   virtual Tensor Backward(const Tensor& grad_output) = 0;
 
+  /// Cache-free const forward, bit-identical to Forward (see thread-safety
+  /// contract above). Layers without a shared-weight inference path (LSTM)
+  /// keep the throwing default.
+  virtual Tensor Infer(const Tensor& input) const;
+
+  /// Batched const forward over a leading batch dimension, bit-identical
+  /// per item to looped Infer (see contract above). Throwing default.
+  virtual Tensor InferBatch(const Tensor& batch) const;
+
   /// Learnable parameters (empty for activations).
   virtual std::vector<Param*> Params() { return {}; }
 
   virtual std::string Name() const = 0;
 
   /// Approximate multiply-accumulate count of one Forward call with the
-  /// last-seen input shape (0 before the first Forward). Used by the
-  /// runtime analysis bench (Table II).
+  /// last-seen input shape (0 before the first Forward). Elementwise and
+  /// norm layers report their processed element count — one fused op per
+  /// element — so the Table II MAC audit does not undercount them. Used by
+  /// the runtime analysis bench (Table II).
   virtual std::size_t LastForwardMacs() const { return 0; }
 };
 
 /// 2-D convolution over (channels, height, width) tensors; stride 1, zero
 /// "same" padding, independent dilation per axis. Height is the time axis
 /// and width the frequency axis in the selector's usage.
+///
+/// Forward, Infer and InferBatch all run ONE direct kernel (ComputeInto):
+/// a zero-padded input copy plus per-tap axpys vectorized over the width
+/// axis, each output element accumulating its K taps ascending in k. The
+/// im2col lowering survives only as Backward's gradient workspace. Sharing
+/// the kernel makes every path bit-identical by construction — the batched
+/// inference contract above — and the direct form is an order of magnitude
+/// lighter on memory traffic than im2col + GEMM at the selector's tiny
+/// channel counts.
 class Conv2D : public Layer {
  public:
   Conv2D(std::size_t in_channels, std::size_t out_channels,
@@ -71,8 +100,9 @@ class Conv2D : public Layer {
 
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
-  /// Cache-free forward pass (see thread-safety contract above).
-  Tensor Infer(const Tensor& input) const;
+  Tensor Infer(const Tensor& input) const override;
+  /// (B, C_in, H, W) -> (B, C_out, H, W).
+  Tensor InferBatch(const Tensor& batch) const override;
   std::vector<Param*> Params() override { return {&weight_, &bias_}; }
   std::string Name() const override { return "Conv2D"; }
   std::size_t LastForwardMacs() const override { return last_macs_; }
@@ -84,15 +114,20 @@ class Conv2D : public Layer {
   Param& bias() { return bias_; }
 
  private:
-  void Im2Col(const Tensor& input, std::vector<float>& col) const;
-  Tensor Compute(const Tensor& input, std::vector<float>& col) const;
+  void Im2ColT(const float* in, std::size_t h, std::size_t w,
+               std::vector<float>& colt) const;
+  /// One item: `in` is a (C_in, h, w) slab, `out` a (C_out, h, w) slab.
+  /// `scratch` receives the zero-padded input copy (grow-only).
+  void ComputeInto(const float* in, std::size_t h, std::size_t w,
+                   std::vector<float>& scratch, float* out) const;
 
   std::size_t in_channels_, out_channels_;
   std::size_t kh_, kw_, dh_, dw_;
   Param weight_;  // (out_channels, in_channels*kh*kw)
   Param bias_;    // (out_channels)
 
-  std::vector<float> col_cache_;  // (H*W, in_channels*kh*kw) row-major
+  std::vector<float> pad_cache_;   // Forward's padded-input scratch
+  std::vector<float> colt_cache_;  // (in_channels*kh*kw, H*W) for Backward
   std::size_t in_h_ = 0, in_w_ = 0;
   std::size_t last_macs_ = 0;
 };
@@ -105,8 +140,9 @@ class Linear : public Layer {
 
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
-  /// Cache-free forward pass (see thread-safety contract above).
-  Tensor Infer(const Tensor& input) const;
+  Tensor Infer(const Tensor& input) const override;
+  /// (B, rows, in) -> (B, rows, out); one GEMM over all B*rows rows.
+  Tensor InferBatch(const Tensor& batch) const override;
   std::vector<Param*> Params() override { return {&weight_, &bias_}; }
   std::string Name() const override { return "Linear"; }
   std::size_t LastForwardMacs() const override { return last_macs_; }
@@ -118,6 +154,9 @@ class Linear : public Layer {
   Param& bias() { return bias_; }
 
  private:
+  /// Shared kernel: `rows` rows of `in` produce `rows` rows of `out`.
+  void InferRows(const float* in, std::size_t rows, float* out) const;
+
   std::size_t in_features_, out_features_;
   Param weight_;  // (out, in)
   Param bias_;    // (out)
@@ -130,12 +169,14 @@ class ReLU : public Layer {
  public:
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
-  /// Cache-free forward pass (see thread-safety contract above).
-  Tensor Infer(const Tensor& input) const;
+  Tensor Infer(const Tensor& input) const override;
+  Tensor InferBatch(const Tensor& batch) const override;
   std::string Name() const override { return "ReLU"; }
+  std::size_t LastForwardMacs() const override { return last_elems_; }
 
  private:
   Tensor input_cache_;
+  std::size_t last_elems_ = 0;
 };
 
 /// Logistic sigmoid activation.
@@ -143,12 +184,14 @@ class Sigmoid : public Layer {
  public:
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
-  /// Cache-free forward pass (see thread-safety contract above).
-  Tensor Infer(const Tensor& input) const;
+  Tensor Infer(const Tensor& input) const override;
+  Tensor InferBatch(const Tensor& batch) const override;
   std::string Name() const override { return "Sigmoid"; }
+  std::size_t LastForwardMacs() const override { return last_elems_; }
 
  private:
   Tensor output_cache_;
+  std::size_t last_elems_ = 0;
 };
 
 /// Hyperbolic tangent activation.
@@ -156,16 +199,58 @@ class Tanh : public Layer {
  public:
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
-  /// Cache-free forward pass (see thread-safety contract above).
-  Tensor Infer(const Tensor& input) const;
+  Tensor Infer(const Tensor& input) const override;
+  Tensor InferBatch(const Tensor& batch) const override;
   std::string Name() const override { return "Tanh"; }
+  std::size_t LastForwardMacs() const override { return last_elems_; }
 
  private:
   Tensor output_cache_;
+  std::size_t last_elems_ = 0;
+};
+
+/// Layer normalization over the last dimension with learnable gain/bias:
+/// y = g * (x - mean) / sqrt(var + eps) + b, per row. The paper's selector
+/// uses no normalization; this is the nn substrate's norm layer (available
+/// to encoder MLPs and ablation variants) and takes part in the batched
+/// inference contract like every other layer — rows are independent, so
+/// batching is bit-exact by construction.
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(std::size_t features, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  Tensor Infer(const Tensor& input) const override;
+  Tensor InferBatch(const Tensor& batch) const override;
+  std::vector<Param*> Params() override { return {&gain_, &bias_}; }
+  std::string Name() const override { return "LayerNorm"; }
+  std::size_t LastForwardMacs() const override { return last_elems_; }
+
+  std::size_t features() const { return features_; }
+
+  Param& gain() { return gain_; }
+  Param& bias() { return bias_; }
+
+ private:
+  /// Normalizes `rows` rows of `features_` elements from `in` into `out`;
+  /// optionally records x-hat and 1/sigma for the backward pass.
+  void NormalizeRows(const float* in, std::size_t rows, float* out,
+                     float* xhat = nullptr, float* inv_sigma = nullptr) const;
+
+  std::size_t features_;
+  float eps_;
+  Param gain_;  // (features)
+  Param bias_;  // (features)
+  Tensor xhat_cache_;                  ///< normalized input, per Forward
+  std::vector<float> inv_sigma_cache_; ///< 1/sigma per row
+  std::size_t last_elems_ = 0;
 };
 
 /// Unidirectional LSTM over a (T, input) sequence producing (T, hidden).
 /// Forward-only: used by the VoiceFilter baseline for runtime comparison.
+/// Keeps the throwing Infer/InferBatch defaults — the baseline never runs
+/// on the shared-weight concurrent path.
 class Lstm : public Layer {
  public:
   Lstm(std::size_t input_size, std::size_t hidden_size, Rng& rng);
@@ -194,9 +279,13 @@ class Sequential {
 
   Tensor Forward(const Tensor& input);
   Tensor Backward(const Tensor& grad_output);
+  /// Const chains of the layers' Infer/InferBatch paths.
+  Tensor Infer(const Tensor& input) const;
+  Tensor InferBatch(const Tensor& batch) const;
   std::vector<Param*> Params();
   std::size_t size() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;

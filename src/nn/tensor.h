@@ -10,6 +10,7 @@
 #include <initializer_list>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace nec::nn {
@@ -42,20 +43,37 @@ class Tensor {
   float& operator[](std::size_t i) { return data_[i]; }
   float operator[](std::size_t i) const { return data_[i]; }
 
-  /// 2-D accessor (rank must be 2).
+  /// 2-D accessor (rank must be 2). Rank and bounds are NEC_DCHECK'd:
+  /// calling a wrong-rank accessor reads misindexed memory, so debug
+  /// builds throw instead of silently returning garbage.
   float& At(std::size_t r, std::size_t c) {
+    CheckAt2(r, c);
     return data_[r * shape_[1] + c];
   }
   float At(std::size_t r, std::size_t c) const {
+    CheckAt2(r, c);
     return data_[r * shape_[1] + c];
   }
 
   /// 3-D accessor (rank must be 3): (c, h, w).
   float& At3(std::size_t c, std::size_t h, std::size_t w) {
+    CheckAt3(c, h, w);
     return data_[(c * shape_[1] + h) * shape_[2] + w];
   }
   float At3(std::size_t c, std::size_t h, std::size_t w) const {
+    CheckAt3(c, h, w);
     return data_[(c * shape_[1] + h) * shape_[2] + w];
+  }
+
+  /// 4-D accessor (rank must be 4): (b, c, h, w) — batched conv tensors.
+  float& At4(std::size_t b, std::size_t c, std::size_t h, std::size_t w) {
+    CheckAt4(b, c, h, w);
+    return data_[((b * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  float At4(std::size_t b, std::size_t c, std::size_t h,
+            std::size_t w) const {
+    CheckAt4(b, c, h, w);
+    return data_[((b * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
   }
 
   void Fill(float v);
@@ -71,6 +89,34 @@ class Tensor {
   float Norm() const;
 
  private:
+  void CheckAt2([[maybe_unused]] std::size_t r,
+                [[maybe_unused]] std::size_t c) const {
+    NEC_DCHECK_MSG(rank() == 2, "Tensor::At on rank-" << rank());
+    NEC_DCHECK_MSG(r < shape_[0] && c < shape_[1],
+                   "Tensor::At(" << r << ", " << c << ") out of ("
+                                 << shape_[0] << ", " << shape_[1] << ")");
+  }
+  void CheckAt3([[maybe_unused]] std::size_t c,
+                [[maybe_unused]] std::size_t h,
+                [[maybe_unused]] std::size_t w) const {
+    NEC_DCHECK_MSG(rank() == 3, "Tensor::At3 on rank-" << rank());
+    NEC_DCHECK_MSG(c < shape_[0] && h < shape_[1] && w < shape_[2],
+                   "Tensor::At3(" << c << ", " << h << ", " << w
+                                  << ") out of (" << shape_[0] << ", "
+                                  << shape_[1] << ", " << shape_[2] << ")");
+  }
+  void CheckAt4([[maybe_unused]] std::size_t b,
+                [[maybe_unused]] std::size_t c,
+                [[maybe_unused]] std::size_t h,
+                [[maybe_unused]] std::size_t w) const {
+    NEC_DCHECK_MSG(rank() == 4, "Tensor::At4 on rank-" << rank());
+    NEC_DCHECK_MSG(
+        b < shape_[0] && c < shape_[1] && h < shape_[2] && w < shape_[3],
+        "Tensor::At4(" << b << ", " << c << ", " << h << ", " << w
+                       << ") out of (" << shape_[0] << ", " << shape_[1]
+                       << ", " << shape_[2] << ", " << shape_[3] << ")");
+  }
+
   std::vector<std::size_t> shape_;
   std::vector<float> data_;
 };

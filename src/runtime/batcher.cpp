@@ -1,0 +1,125 @@
+#include "runtime/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace nec::runtime {
+
+using Clock = std::chrono::steady_clock;
+
+MicroBatcher::MicroBatcher(Options options, BatchFn fn)
+    : options_(options), fn_(std::move(fn)) {
+  NEC_CHECK(options_.max_batch >= 1);
+  NEC_CHECK(options_.deadline_ms > 0.0);
+  NEC_CHECK(fn_ != nullptr);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+MicroBatcher::~MicroBatcher() { Shutdown(); }
+
+void MicroBatcher::Enqueue(void* key, audio::Waveform chunk) {
+  {
+    std::lock_guard lock(mu_);
+    NEC_CHECK_MSG(!shutdown_, "Enqueue after MicroBatcher::Shutdown");
+    pending_.push_back(Item{key, std::move(chunk), Clock::now()});
+  }
+  cv_.notify_all();
+}
+
+std::size_t MicroBatcher::Purge(void* key) {
+  std::lock_guard lock(mu_);
+  const std::size_t before = pending_.size();
+  std::erase_if(pending_, [key](const Item& it) { return it.key == key; });
+  const std::size_t removed = before - pending_.size();
+  if (pending_.empty() && !busy_) drained_cv_.notify_all();
+  return removed;
+}
+
+void MicroBatcher::Drain() {
+  std::unique_lock lock(mu_);
+  drained_cv_.wait(lock, [&] { return pending_.empty() && !busy_; });
+}
+
+void MicroBatcher::Shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_) {
+      // Already requested; fall through to join exactly once below.
+    }
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::size_t MicroBatcher::pending() const {
+  std::lock_guard lock(mu_);
+  return pending_.size();
+}
+
+std::chrono::microseconds MicroBatcher::EffectiveWaitUs() const {
+  // Budget left for coalescing once the expected batch compute time is
+  // reserved out of the chunk deadline; never more than the configured cap.
+  const double budget_us =
+      std::max(0.0, (options_.deadline_ms - ewma_batch_ms_) * 1000.0);
+  const double capped =
+      std::min(budget_us, static_cast<double>(options_.max_wait_us));
+  return std::chrono::microseconds(static_cast<std::int64_t>(capped));
+}
+
+void MicroBatcher::Loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return shutdown_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+
+    // Coalesce: hold the oldest chunk at most EffectiveWaitUs past its
+    // enqueue, or until a full batch has gathered. A Purge can empty the
+    // queue mid-wait — re-check and go back to sleep if so.
+    const Clock::time_point hold_until =
+        pending_.front().enqueued + EffectiveWaitUs();
+    while (!shutdown_ && !pending_.empty() &&
+           pending_.size() < options_.max_batch &&
+           Clock::now() < hold_until) {
+      cv_.wait_until(lock, hold_until, [&] {
+        return shutdown_ || pending_.empty() ||
+               pending_.size() >= options_.max_batch;
+      });
+    }
+    if (pending_.empty()) {
+      if (!busy_) drained_cv_.notify_all();
+      continue;
+    }
+
+    const std::size_t n = std::min(pending_.size(), options_.max_batch);
+    std::vector<Item> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    busy_ = true;
+    lock.unlock();
+
+    const Clock::time_point t0 = Clock::now();
+    fn_(std::move(batch));
+    const double batch_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count();
+
+    lock.lock();
+    // EWMA of batch compute time feeds the deadline-aware hold window.
+    ewma_batch_ms_ = ewma_batch_ms_ <= 0.0
+                         ? batch_ms
+                         : 0.8 * ewma_batch_ms_ + 0.2 * batch_ms;
+    busy_ = false;
+    if (pending_.empty()) drained_cv_.notify_all();
+  }
+}
+
+}  // namespace nec::runtime

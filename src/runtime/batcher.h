@@ -1,0 +1,105 @@
+// Micro-batching coalescer for the shared-selector inference hot path.
+//
+// N concurrent sessions each produce ready 1 s chunks; dispatching each
+// chunk as its own Selector::Infer pays N full conv-stack launches over one
+// shared weight set. The MicroBatcher gathers ready chunks from all
+// sessions into one batch — up to `max_batch` items, waiting at most an
+// effective window derived from `max_wait_us` and the 300 ms chunk budget —
+// and hands the batch to a single callback (SessionManager::RunBatch, which
+// runs one GenerateShadowBatch and completes each chunk in FIFO order).
+//
+// Determinism: the batcher never reorders items. Chunks are dispatched in
+// enqueue order, and the batched forward is bit-identical per item to the
+// per-chunk path (see Selector::InferBatch), so coalescing changes WHEN a
+// chunk is processed, never WHAT it emits.
+//
+// Deadline math (DESIGN.md §5e): a chunk enqueued at t must finish by
+// t + deadline; the batch it joins takes ~B ms of compute (EWMA-tracked),
+// so the coalescer may hold the oldest chunk at most
+//     min(max_wait_us, max(0, deadline_ms - ewma_batch_ms))
+// before dispatching whatever has gathered. A full batch dispatches
+// immediately.
+//
+// Threading: one dedicated coalescer thread runs the callback; Enqueue and
+// Purge may be called from any number of pool workers. Purge(key) removes
+// every PENDING item of a key (drop-oldest eviction: an evicted session's
+// queued chunks must never land in a later batch); items already handed to
+// the callback are completed normally.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "audio/waveform.h"
+
+namespace nec::runtime {
+
+class MicroBatcher {
+ public:
+  struct Options {
+    std::size_t max_batch = 4;       ///< dispatch as soon as this many wait
+    std::uint64_t max_wait_us = 5000;  ///< hard cap on coalescing hold
+    double deadline_ms = 300.0;      ///< per-chunk end-to-end budget
+  };
+
+  struct Item {
+    void* key = nullptr;  ///< session identity (opaque to the batcher)
+    audio::Waveform chunk;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Processes one gathered batch, in the given (enqueue) order. Runs on
+  /// the coalescer thread.
+  using BatchFn = std::function<void(std::vector<Item>&&)>;
+
+  MicroBatcher(Options options, BatchFn fn);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Adds a ready chunk. Thread-safe. Must not be called after Shutdown.
+  void Enqueue(void* key, audio::Waveform chunk);
+
+  /// Removes every pending (not yet dispatched) item of `key`; returns how
+  /// many were removed. In-flight items are unaffected. Thread-safe.
+  std::size_t Purge(void* key);
+
+  /// Blocks until the queue is empty and no batch is in flight. Callers
+  /// must guarantee no concurrent Enqueue (same contract as
+  /// SessionManager::Drain).
+  void Drain();
+
+  /// Dispatches remaining pending items, then joins the coalescer thread.
+  /// Idempotent.
+  void Shutdown();
+
+  std::size_t pending() const;
+
+ private:
+  void Loop();
+  /// Current hold window for the oldest pending chunk (see header).
+  std::chrono::microseconds EffectiveWaitUs() const;
+
+  const Options options_;
+  const BatchFn fn_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        ///< wakes the coalescer thread
+  std::condition_variable drained_cv_;
+  std::deque<Item> pending_;  ///< guarded by mu_
+  bool busy_ = false;         ///< a batch is in the callback; guarded by mu_
+  bool shutdown_ = false;     ///< guarded by mu_
+  double ewma_batch_ms_ = 0.0;  ///< guarded by mu_
+
+  std::thread thread_;  ///< last member: started in the ctor
+};
+
+}  // namespace nec::runtime

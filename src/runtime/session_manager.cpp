@@ -31,11 +31,26 @@ SessionManager::SessionManager(
   NEC_CHECK(selector_ != nullptr && encoder_ != nullptr);
   chunk_samples_ = static_cast<std::size_t>(
       options_.chunk_s * selector_->config().sample_rate);
+  if (options_.max_batch > 1 &&
+      options_.kind == core::SelectorKind::kNeural) {
+    batcher_ = std::make_unique<MicroBatcher>(
+        MicroBatcher::Options{.max_batch = options_.max_batch,
+                              .max_wait_us = options_.max_wait_us,
+                              .deadline_ms = options_.deadline_ms},
+        [this](std::vector<MicroBatcher::Item>&& items) {
+          RunBatch(std::move(items));
+        });
+  }
 }
 
 SessionManager::~SessionManager() { Shutdown(); }
 
-void SessionManager::Shutdown() { pool_.Shutdown(); }
+void SessionManager::Shutdown() {
+  // Pool first (no strand can Enqueue afterwards), then the coalescer —
+  // its Shutdown dispatches whatever is still pending before joining.
+  pool_.Shutdown();
+  if (batcher_ != nullptr) batcher_->Shutdown();
+}
 
 SessionManager::SessionId SessionManager::CreateSession(
     std::span<const audio::Waveform> references) {
@@ -88,6 +103,10 @@ bool SessionManager::Submit(SessionId id, std::span<const float> samples) {
 }
 
 void SessionManager::RunStrand(Session* s) {
+  if (batcher_ != nullptr) {
+    RunStrandBatched(s);
+    return;
+  }
   // Drain the inbox at most one chunk per StreamingProcessor::Push, so the
   // recorded wall-clock of an emitting Push is the latency of exactly one
   // chunk (selector + broadcast), matching Table II accounting.
@@ -118,6 +137,68 @@ void SessionManager::RunStrand(Session* s) {
   FinishStrand();
 }
 
+void SessionManager::RunStrandBatched(Session* s) {
+  // Batched strand: never runs the selector. Buffers the inbox into the
+  // processor, pops every ready chunk, and hands each to the coalescer in
+  // stream order. Completion (shadow + modulation + output append) happens
+  // on the coalescer thread in RunBatch.
+  std::vector<float> take;
+  for (;;) {
+    {
+      std::lock_guard lock(s->mu);
+      if (s->inbox.empty()) {
+        s->running = false;
+        break;
+      }
+      take.assign(s->inbox.begin(), s->inbox.end());
+      s->inbox.clear();
+    }
+    s->proc.BufferSamples(take);
+    while (s->proc.HasFullChunk()) {
+      batcher_->Enqueue(s, s->proc.PopChunk());
+    }
+  }
+  FinishStrand();
+}
+
+void SessionManager::RunBatch(std::vector<MicroBatcher::Item>&& items) {
+  const auto t0 = std::chrono::steady_clock::now();
+  stats_.AddBatch(items.size());
+  for (const MicroBatcher::Item& it : items) {
+    stats_.AddQueueWait(
+        std::chrono::duration<double, std::milli>(t0 - it.enqueued)
+            .count());
+  }
+
+  std::vector<core::ShadowBatchRequest> requests(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    Session* s = static_cast<Session*>(items[i].key);
+    requests[i] = core::ShadowBatchRequest{
+        .pipeline = &s->pipeline,
+        .mixed = &items[i].chunk,
+        .ws = &s->proc.stft_workspace()};
+  }
+  std::vector<audio::Waveform> shadows =
+      core::GenerateShadowBatch(requests);
+  // Attribute the batched shadow-generation wall time evenly across the
+  // chunks it served, mirroring the per-chunk selector_ms accounting.
+  const double selector_ms_each = MsSince(t0) / items.size();
+
+  // Complete in enqueue (FIFO) order: per-session chunk order — and with
+  // it the stream-wide modulation-reference latch — is part of the bits.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    Session* s = static_cast<Session*>(items[i].key);
+    audio::Waveform modulated =
+        s->proc.CompleteShadowChunk(std::move(shadows[i]),
+                                    selector_ms_each);
+    // Chunk latency keeps its PR 2 meaning — processing time, not queue
+    // wait: batch dispatch start → this chunk's completion.
+    stats_.AddChunk(MsSince(t0));
+    std::lock_guard lock(s->mu);
+    s->output.Append(modulated);
+  }
+}
+
 void SessionManager::AbandonStrand(Session* s) {
   // kDropOldest evicted this session's queued strand before it ran. The
   // buffered audio has missed its overshadowing deadline, so discard it
@@ -132,6 +213,12 @@ void SessionManager::AbandonStrand(Session* s) {
     discarded = s->inbox.size();
     s->inbox.clear();
     s->running = false;
+  }
+  if (batcher_ != nullptr) {
+    // The session's already-popped chunks waiting in the coalescer are
+    // part of the evicted backlog: purge them so none lands in a later
+    // batch (in-flight batch items complete normally).
+    discarded += batcher_->Purge(s) * chunk_samples_;
   }
   stats_.AddSamplesDropped(discarded);
   FinishStrand();
@@ -152,8 +239,13 @@ void SessionManager::FinishStrand() {
 }
 
 void SessionManager::Drain() {
-  std::unique_lock lock(drain_mu_);
-  drain_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  {
+    std::unique_lock lock(drain_mu_);
+    drain_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  }
+  // Once no strand is in flight (and the caller guarantees no concurrent
+  // Submit), nothing can Enqueue — wait out the coalescer's backlog too.
+  if (batcher_ != nullptr) batcher_->Drain();
 }
 
 std::optional<audio::Waveform> SessionManager::Flush(SessionId id) {

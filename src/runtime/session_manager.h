@@ -21,6 +21,18 @@
 // strand task (hand-off between consecutive strand tasks is ordered by
 // Session::mu and the pool queue's mutex, so no additional lock is
 // needed). RuntimeStats is all-atomic.
+//
+// Micro-batching (Options::max_batch > 1, neural selector only): strands
+// stop running the selector themselves — they buffer samples, pop ready
+// chunks, and enqueue them on the MicroBatcher. The coalescer thread
+// gathers chunks across sessions, runs ONE batched forward
+// (GenerateShadowBatch) and completes each chunk in enqueue order, which
+// preserves per-session stream order (one strand at a time per session
+// pops in order; the batcher is FIFO) and therefore bit-exactness with the
+// unbatched path. In this mode a session's StreamingProcessor is split
+// between two threads by member: the strand owns the sample buffer, the
+// coalescer owns the STFT scratch / modulation latch / timings — disjoint
+// state, see streaming.h.
 #pragma once
 
 #include <condition_variable>
@@ -36,6 +48,7 @@
 #include "core/pipeline.h"
 #include "core/streaming.h"
 #include "encoder/encoder.h"
+#include "runtime/batcher.h"
 #include "runtime/stats.h"
 #include "runtime/thread_pool.h"
 
@@ -53,6 +66,17 @@ class SessionManager {
     /// Chunk duration per session (paper: 1 s, Table II).
     double chunk_s = 1.0;
     core::SelectorKind kind = core::SelectorKind::kNeural;
+
+    // --- Micro-batching (DESIGN.md §5e). max_batch = 1 disables the
+    // coalescer and keeps the per-strand Push path. Batching applies to
+    // the neural selector only (the LAS ablation has no batched forward).
+    std::size_t max_batch = 1;
+    /// Hard cap on how long a ready chunk may be held for coalescing.
+    std::uint64_t max_wait_us = 5000;
+    /// Per-chunk processing budget (paper: ~300 ms overshadowing
+    /// tolerance); the coalescer's hold window shrinks as observed batch
+    /// compute time eats into it.
+    double deadline_ms = 300.0;
   };
 
   /// All sessions share `selector` and `encoder` (no weight copies).
@@ -112,6 +136,9 @@ class SessionManager {
   std::size_t workers() const { return pool_.workers(); }
   std::size_t chunk_samples() const { return chunk_samples_; }
 
+  /// True when ready chunks route through the micro-batching coalescer.
+  bool batching_enabled() const { return batcher_ != nullptr; }
+
   /// Stops accepting strand dispatches, drains admitted ones, joins.
   void Shutdown();
 
@@ -136,6 +163,8 @@ class SessionManager {
 
   Session* GetSession(SessionId id) const;
   void RunStrand(Session* session);
+  void RunStrandBatched(Session* session);
+  void RunBatch(std::vector<MicroBatcher::Item>&& items);
   void AbandonStrand(Session* session);
   void BeginStrand();
   void FinishStrand();
@@ -154,6 +183,12 @@ class SessionManager {
   std::size_t in_flight_ = 0;  ///< active strands; guarded by drain_mu_
 
   RuntimeStats stats_;
+  /// Non-null iff Options::max_batch > 1 and the selector is neural.
+  /// Declared before pool_: workers Enqueue into the batcher, and the
+  /// batcher callback touches sessions/stats — Shutdown() stops the pool
+  /// first, then the batcher, and destruction runs in the reverse of
+  /// declaration so both are torn down before the state they touch.
+  std::unique_ptr<MicroBatcher> batcher_;
   ThreadPool pool_;  ///< last member: workers die before state above
 };
 

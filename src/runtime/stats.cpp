@@ -66,6 +66,17 @@ void LatencyHistogram::Reset() {
   max_us_.store(0, std::memory_order_relaxed);
 }
 
+void RuntimeStats::AddBatch(std::size_t batch_size) {
+  batches_.fetch_add(1, kRelaxed);
+  batched_chunks_.fetch_add(batch_size, kRelaxed);
+  batch_size_counts_[std::min(batch_size, kMaxTrackedBatch)].fetch_add(
+      1, kRelaxed);
+  std::uint64_t seen = max_batch_.load(kRelaxed);
+  while (batch_size > seen &&
+         !max_batch_.compare_exchange_weak(seen, batch_size, kRelaxed)) {
+  }
+}
+
 RuntimeStatsSnapshot RuntimeStats::Snapshot(
     std::size_t queue_depth, std::uint64_t dispatch_drops) const {
   RuntimeStatsSnapshot s;
@@ -78,6 +89,19 @@ RuntimeStatsSnapshot RuntimeStats::Snapshot(
   s.samples_dropped = samples_dropped_.load(kRelaxed);
   s.queue_depth = queue_depth;
   s.chunk_latency = latency_.Quantiles();
+
+  s.batches_dispatched = batches_.load(kRelaxed);
+  s.batched_chunks = batched_chunks_.load(kRelaxed);
+  s.max_batch_size = max_batch_.load(kRelaxed);
+  s.avg_batch_size =
+      s.batches_dispatched
+          ? static_cast<double>(s.batched_chunks) /
+                static_cast<double>(s.batches_dispatched)
+          : 0.0;
+  for (std::size_t i = 0; i <= kMaxTrackedBatch; ++i) {
+    s.batch_size_counts[i] = batch_size_counts_[i].load(kRelaxed);
+  }
+  s.queue_wait = queue_wait_.Quantiles();
   return s;
 }
 

@@ -48,6 +48,10 @@ class LatencyHistogram {
   std::atomic<std::uint64_t> max_us_{0};
 };
 
+/// Largest batch size tracked exactly by the batch-size histogram; larger
+/// batches fold into the last bucket.
+inline constexpr std::size_t kMaxTrackedBatch = 32;
+
 /// One coherent view of the runtime, cheap enough to print every second.
 struct RuntimeStatsSnapshot {
   std::uint64_t sessions = 0;          ///< sessions created
@@ -59,6 +63,17 @@ struct RuntimeStatsSnapshot {
   std::uint64_t samples_dropped = 0;  ///< buffered audio discarded on evict
   std::size_t queue_depth = 0;  ///< pool queue depth at snapshot time
   LatencyQuantiles chunk_latency;  ///< per-chunk selector+broadcast wall ms
+
+  // --- Micro-batching (zero everywhere when batching is off).
+  std::uint64_t batches_dispatched = 0;  ///< InferBatch calls issued
+  std::uint64_t batched_chunks = 0;      ///< chunks served via a batch
+  std::uint64_t max_batch_size = 0;
+  double avg_batch_size = 0.0;
+  /// size_counts[s] = batches of size s (s > kMaxTrackedBatch folds into
+  /// the last bucket; index 0 is unused).
+  std::array<std::uint64_t, kMaxTrackedBatch + 1> batch_size_counts{};
+  /// Coalescer queue wait per chunk: enqueue → batch dispatch.
+  LatencyQuantiles queue_wait;
 };
 
 /// Shared mutable counters behind the snapshot; every field is atomic so
@@ -77,6 +92,12 @@ class RuntimeStats {
     samples_dropped_.fetch_add(n, kRelaxed);
   }
 
+  /// One coalesced InferBatch dispatch of `batch_size` chunks.
+  void AddBatch(std::size_t batch_size);
+
+  /// Time one chunk sat in the coalescer before its batch dispatched.
+  void AddQueueWait(double ms) { queue_wait_.Record(ms); }
+
   /// `queue_depth` and `dispatch_drops` are sampled by the caller (the
   /// stats object does not know the pool).
   RuntimeStatsSnapshot Snapshot(std::size_t queue_depth = 0,
@@ -92,6 +113,13 @@ class RuntimeStats {
   std::atomic<std::uint64_t> samples_{0};
   std::atomic<std::uint64_t> samples_dropped_{0};
   LatencyHistogram latency_;
+
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_chunks_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+  std::array<std::atomic<std::uint64_t>, kMaxTrackedBatch + 1>
+      batch_size_counts_{};
+  LatencyHistogram queue_wait_;
 };
 
 }  // namespace nec::runtime

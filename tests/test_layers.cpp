@@ -2,6 +2,7 @@
 // gradient checks (the property that makes training trustworthy).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 
@@ -295,6 +296,210 @@ TEST(Lstm, BackwardUnsupported) {
   Lstm lstm(2, 3, rng);
   lstm.Forward(Tensor::Randn({4, 2}, rng, 1.0f));
   EXPECT_THROW(lstm.Backward(Tensor({4, 3})), CheckError);
+}
+
+// --------------------------------------------------------------- LayerNorm
+
+TEST(LayerNorm, NormalizesRowsToZeroMeanUnitVar) {
+  LayerNorm ln(6);
+  Rng rng(60);
+  Tensor in = Tensor::Randn({4, 6}, rng, 2.0f);
+  Tensor out = ln.Forward(in);  // gain=1, bias=0 at init
+  for (std::size_t r = 0; r < 4; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t j = 0; j < 6; ++j) mean += out.At(r, j);
+    mean /= 6.0;
+    for (std::size_t j = 0; j < 6; ++j) {
+      var += (out.At(r, j) - mean) * (out.At(r, j) - mean);
+    }
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var / 6.0, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, GainAndBiasApply) {
+  LayerNorm ln(3);
+  ln.gain().value.Fill(0.0f);
+  ln.bias().value[0] = 1.0f;
+  ln.bias().value[1] = -2.0f;
+  ln.bias().value[2] = 0.5f;
+  Rng rng(61);
+  Tensor out = ln.Forward(Tensor::Randn({2, 3}, rng, 1.0f));
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_FLOAT_EQ(out.At(r, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out.At(r, 1), -2.0f);
+    EXPECT_FLOAT_EQ(out.At(r, 2), 0.5f);
+  }
+}
+
+TEST(LayerNorm, GradientCheckInput) {
+  Rng rng(62);
+  LayerNorm ln(7);
+  // Perturb gain/bias off the identity so the gradient path is generic.
+  ln.gain().value = Tensor::Randn({7}, rng, 0.3f);
+  for (std::size_t i = 0; i < 7; ++i) ln.gain().value[i] += 1.0f;
+  ln.bias().value = Tensor::Randn({7}, rng, 0.3f);
+  CheckInputGradient(ln, Tensor::Randn({5, 7}, rng, 1.0f));
+}
+
+TEST(LayerNorm, GradientCheckParams) {
+  Rng rng(63);
+  LayerNorm ln(5);
+  CheckParamGradients(ln, Tensor::Randn({4, 5}, rng, 1.0f));
+}
+
+TEST(LayerNorm, RejectsWrongFeatureDim) {
+  Rng rng(64);
+  LayerNorm ln(6);
+  EXPECT_THROW(ln.Forward(Tensor::Randn({3, 5}, rng, 1.0f)), CheckError);
+}
+
+// ------------------------------------------------------- batched inference
+//
+// InferBatch must be bit-identical, per item, to slicing the batch and
+// calling Infer item by item — the contract runtime micro-batching builds
+// on (layers.h). Randomized inputs, batch sizes 1 / 2 / 7.
+
+Tensor RandomBatch(const std::vector<std::size_t>& item_shape,
+                   std::size_t batch, std::uint64_t seed) {
+  std::vector<std::size_t> shape;
+  shape.push_back(batch);
+  shape.insert(shape.end(), item_shape.begin(), item_shape.end());
+  Rng rng(seed);
+  return Tensor::Randn(shape, rng, 1.0f);
+}
+
+Tensor SliceItem(const Tensor& batch, std::size_t b) {
+  const std::vector<std::size_t> item_shape(batch.shape().begin() + 1,
+                                            batch.shape().end());
+  Tensor item(item_shape);
+  std::copy(batch.data() + b * item.numel(),
+            batch.data() + (b + 1) * item.numel(), item.data());
+  return item;
+}
+
+void ExpectBatchedMatchesLooped(const Layer& layer,
+                                const std::vector<std::size_t>& item_shape,
+                                std::uint64_t seed) {
+  for (const std::size_t b : {1u, 2u, 7u}) {
+    const Tensor batch = RandomBatch(item_shape, b, seed + b);
+    const Tensor out = layer.InferBatch(batch);
+    ASSERT_EQ(out.dim(0), b);
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < b; ++i) {
+      const Tensor one = layer.Infer(SliceItem(batch, i));
+      for (std::size_t j = 0; j < one.numel(); ++j, ++off) {
+        ASSERT_EQ(out[off], one[j])
+            << layer.Name() << " batch=" << b << " item=" << i
+            << " elem=" << j;
+      }
+    }
+    ASSERT_EQ(off, out.numel());
+  }
+}
+
+TEST(InferBatch, Conv2DBitExactVsLoopedInfer) {
+  Rng rng(70);
+  Conv2D plain(2, 3, 3, 3, 1, 1, rng);
+  ExpectBatchedMatchesLooped(plain, {2, 6, 5}, 700);
+  Conv2D dilated(3, 2, 5, 1, 4, 1, rng);  // selector-style time dilation
+  ExpectBatchedMatchesLooped(dilated, {3, 12, 7}, 701);
+  Conv2D wide(1, 4, 1, 7, 1, 1, rng);
+  ExpectBatchedMatchesLooped(wide, {1, 4, 11}, 702);
+}
+
+TEST(InferBatch, LinearBitExactVsLoopedInfer) {
+  Rng rng(71);
+  Linear fc(9, 4, rng);
+  ExpectBatchedMatchesLooped(fc, {5, 9}, 710);
+  Linear single(3, 6, rng);
+  ExpectBatchedMatchesLooped(single, {1, 3}, 711);
+}
+
+TEST(InferBatch, ActivationsBitExactVsLoopedInfer) {
+  ExpectBatchedMatchesLooped(ReLU(), {3, 4, 5}, 720);
+  ExpectBatchedMatchesLooped(Sigmoid(), {2, 9}, 721);
+  ExpectBatchedMatchesLooped(Tanh(), {6, 7}, 722);
+}
+
+TEST(InferBatch, LayerNormBitExactVsLoopedInfer) {
+  Rng rng(73);
+  LayerNorm ln(8);
+  ln.gain().value = Tensor::Randn({8}, rng, 0.5f);
+  ln.bias().value = Tensor::Randn({8}, rng, 0.5f);
+  ExpectBatchedMatchesLooped(ln, {4, 8}, 730);
+}
+
+TEST(InferBatch, MatchesForwardBitExact) {
+  // Batched path vs the training path: same ComputeInto kernel, so the two
+  // must agree to the bit (rules out FMA-contraction divergence between
+  // codegen of the two call sites).
+  Rng rng(74);
+  Conv2D conv(2, 2, 3, 3, 2, 1, rng);
+  const Tensor batch = RandomBatch({2, 5, 6}, 3, 740);
+  const Tensor out = conv.InferBatch(batch);
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Tensor fwd = conv.Forward(SliceItem(batch, i));
+    for (std::size_t j = 0; j < fwd.numel(); ++j, ++off) {
+      ASSERT_EQ(out[off], fwd[j]);
+    }
+  }
+}
+
+TEST(InferBatch, RejectsMissingBatchDim) {
+  Rng rng(75);
+  Conv2D conv(2, 2, 3, 3, 1, 1, rng);
+  EXPECT_THROW(conv.InferBatch(Tensor::Randn({2, 4, 4}, rng, 1.0f)),
+               CheckError);
+  Linear fc(4, 2, rng);
+  EXPECT_THROW(fc.InferBatch(Tensor::Randn({3, 4}, rng, 1.0f)), CheckError);
+}
+
+TEST(InferBatch, LstmKeepsThrowingDefault) {
+  Rng rng(76);
+  Lstm lstm(2, 3, rng);
+  EXPECT_THROW(lstm.Infer(Tensor({4, 2})), CheckError);
+  EXPECT_THROW(lstm.InferBatch(Tensor({2, 4, 2})), CheckError);
+}
+
+TEST(InferBatch, SequentialChains) {
+  Rng rng(77);
+  Sequential seq;
+  seq.Add(std::make_unique<Linear>(5, 8, rng));
+  seq.Add(std::make_unique<Tanh>());
+  seq.Add(std::make_unique<LayerNorm>(8));
+  seq.Add(std::make_unique<Linear>(8, 2, rng));
+  const Sequential& shared = seq;
+  const Tensor batch = RandomBatch({3, 5}, 4, 770);
+  const Tensor out = shared.InferBatch(batch);
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Tensor one = shared.Infer(SliceItem(batch, i));
+    for (std::size_t j = 0; j < one.numel(); ++j, ++off) {
+      ASSERT_EQ(out[off], one[j]);
+    }
+  }
+}
+
+// ------------------------------------------------------------- MAC audits
+
+TEST(LastForwardMacs, ActivationsAndNormReportElementCount) {
+  Rng rng(78);
+  const Tensor in = Tensor::Randn({3, 4, 5}, rng, 1.0f);
+  ReLU relu;
+  EXPECT_EQ(relu.LastForwardMacs(), 0u);
+  relu.Forward(in);
+  EXPECT_EQ(relu.LastForwardMacs(), 60u);
+  Sigmoid sig;
+  sig.Forward(in);
+  EXPECT_EQ(sig.LastForwardMacs(), 60u);
+  Tanh th;
+  th.Forward(in);
+  EXPECT_EQ(th.LastForwardMacs(), 60u);
+  LayerNorm ln(6);
+  ln.Forward(Tensor::Randn({7, 6}, rng, 1.0f));
+  EXPECT_EQ(ln.LastForwardMacs(), 42u);
 }
 
 // -------------------------------------------------------------- Sequential

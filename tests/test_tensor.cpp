@@ -97,5 +97,42 @@ TEST(Tensor, EmptyRankRejected) {
   EXPECT_THROW(Tensor(std::vector<std::size_t>{}), CheckError);
 }
 
+TEST(Tensor, At4DLayout) {
+  Tensor t({2, 3, 4, 5});
+  t.At4(1, 2, 3, 4) = 11.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 11.0f);
+  const Tensor& ct = t;
+  EXPECT_EQ(ct.At4(1, 2, 3, 4), 11.0f);
+}
+
+#ifndef NDEBUG
+// NEC_DCHECK bounds/rank guards compile out under -DNDEBUG (the Release
+// hot path), so these contracts are only enforceable in debug builds.
+TEST(Tensor, DebugAtRejectsRankMismatch) {
+  Tensor t({2, 3, 4});
+  EXPECT_THROW(t.At(0, 0), CheckError);     // At on rank-3
+  EXPECT_THROW(t.At4(0, 0, 0, 0), CheckError);  // At4 on rank-3
+  Tensor m({2, 3});
+  EXPECT_THROW(m.At3(0, 0, 0), CheckError);  // At3 on rank-2
+}
+
+TEST(Tensor, DebugAtRejectsOutOfBounds) {
+  Tensor t2({2, 3});
+  EXPECT_THROW(t2.At(2, 0), CheckError);
+  EXPECT_THROW(t2.At(0, 3), CheckError);
+  Tensor t3({2, 3, 4});
+  EXPECT_THROW(t3.At3(0, 3, 0), CheckError);
+  EXPECT_THROW(t3.At3(0, 0, 4), CheckError);
+  Tensor t4({2, 3, 4, 5});
+  EXPECT_THROW(t4.At4(2, 0, 0, 0), CheckError);
+  EXPECT_THROW(t4.At4(0, 0, 0, 5), CheckError);
+}
+
+TEST(Tensor, DebugAtConstOverloadsChecked) {
+  const Tensor t({2, 3});
+  EXPECT_THROW(t.At(2, 0), CheckError);
+}
+#endif  // NDEBUG
+
 }  // namespace
 }  // namespace nec::nn

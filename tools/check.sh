@@ -60,7 +60,7 @@ if [[ "${BENCH_SMOKE}" == "1" ]]; then
   NEC_BENCH_SMOKE=1 NEC_BENCH_JSON="${SMOKE_JSON}" \
     ./build-check-release/bench/bench_table2_runtime \
     --benchmark_filter=BM_NONE
-  # Fail on malformed or incomplete output: both sections present, valid
+  # Fail on malformed or incomplete output: all sections present, valid
   # JSON, and the audit/deadline booleans true.
   python3 - "${SMOKE_JSON}" <<'EOF'
 import json, sys
@@ -72,8 +72,18 @@ assert rt["all_bitexact"] is True, "runtime outputs not bit-exact"
 assert rt["rows"], "no throughput rows"
 assert all("chunks_per_sec" in r and "p99_ms" in r for r in rt["rows"])
 assert "selector_nec_ms" in t2 and "total_ms" in t2
+ba = doc["batched"]
+assert ba["all_bitexact"] is True, "batched outputs not bit-exact"
+assert ba["rows"], "no batched rows"
+assert ba["max_batch"] >= 2, "batched section ran without batching"
+required = ("sessions", "unbatched_chunks_per_sec", "batched_chunks_per_sec",
+            "speedup_batched_vs_unbatched", "avg_batch_size",
+            "queue_wait_p99_ms", "p99_ms", "bitexact")
+assert all(all(k in r for k in required) for r in ba["rows"]), \
+    "batched row missing fields"
+assert all(r["bitexact"] is True for r in ba["rows"])
 print("bench smoke: BENCH json well-formed,",
-      len(rt["rows"]), "throughput rows")
+      len(rt["rows"]), "throughput rows,", len(ba["rows"]), "batched rows")
 EOF
 fi
 
