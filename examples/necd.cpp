@@ -10,15 +10,29 @@
 //   necd [--sessions N] [--workers K] [--seconds S] [--chunk-s C]
 //        [--policy block|reject|drop] [--queue Q] [--las]
 //        [--max-batch B] [--max-wait-us U] [--deadline-ms D]
+//        [--on-fault fault|degrade] [--degrade] [--reject-bad-input]
 //
 // --max-batch > 1 routes ready chunks through the micro-batching
 // coalescer (one batched selector forward across sessions; see
 // src/runtime/batcher.h) — per-session output stays bit-identical.
 //
+// Fault tolerance (DESIGN.md §5f): --on-fault picks what a session does
+// when a chunk keeps failing — fault (default: the session parks in
+// kFaulted, everyone else keeps running) or degrade (step down the
+// neural → LAS → silence ladder and keep serving). --degrade arms the
+// deadline watchdog so sustained over-budget chunks also step down the
+// ladder (with automatic recovery probes back up). --reject-bad-input
+// bounces NaN/Inf/wild-amplitude submits with a typed error instead of
+// sanitizing them in place. Per-session health lands in the status table.
+//
+// SIGINT/SIGTERM request a graceful shutdown: the feed loop stops, every
+// admitted strand drains, tails flush, and the stats tables still print.
+//
 // All sessions share one trained Selector/SpeakerEncoder weight set; see
 // src/runtime/session_manager.h for the concurrency model.
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +46,12 @@
 
 namespace {
 
+// Set by the SIGINT/SIGTERM handler; the feed loop polls it. sig_atomic_t
+// is the only object a signal handler may portably write.
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int) { g_stop = 1; }
+
 struct Args {
   std::size_t sessions = 8;
   std::size_t workers = std::max(1u, std::thread::hardware_concurrency());
@@ -44,6 +64,9 @@ struct Args {
   std::size_t max_batch = 1;
   std::size_t max_wait_us = 5000;
   double deadline_ms = 300.0;
+  nec::runtime::FaultPolicy on_fault = nec::runtime::FaultPolicy::kFault;
+  bool degrade_on_deadline = false;
+  bool reject_bad_input = false;
 };
 
 const char* PolicyName(nec::runtime::OverflowPolicy p) {
@@ -96,12 +119,28 @@ Args Parse(int argc, char** argv) {
       args.max_wait_us = std::strtoul(next(), nullptr, 10);
     } else if (flag == "--deadline-ms") {
       args.deadline_ms = std::strtod(next(), nullptr);
+    } else if (flag == "--on-fault") {
+      const std::string p = next();
+      if (p == "fault") {
+        args.on_fault = nec::runtime::FaultPolicy::kFault;
+      } else if (p == "degrade") {
+        args.on_fault = nec::runtime::FaultPolicy::kDegrade;
+      } else {
+        std::fprintf(stderr, "unknown --on-fault '%s'\n", p.c_str());
+        std::exit(2);
+      }
+    } else if (flag == "--degrade") {
+      args.degrade_on_deadline = true;
+    } else if (flag == "--reject-bad-input") {
+      args.reject_bad_input = true;
     } else {
       std::fprintf(stderr,
                    "usage: necd [--sessions N] [--workers K] [--seconds S]\n"
                    "            [--chunk-s C] [--policy block|reject|drop]\n"
                    "            [--queue Q] [--las] [--max-batch B]\n"
-                   "            [--max-wait-us U] [--deadline-ms D]\n");
+                   "            [--max-wait-us U] [--deadline-ms D]\n"
+                   "            [--on-fault fault|degrade] [--degrade]\n"
+                   "            [--reject-bad-input]\n");
       std::exit(flag == "--help" || flag == "-h" ? 0 : 2);
     }
   }
@@ -123,6 +162,11 @@ int main(int argc, char** argv) {
   using namespace nec;
   const Args args = Parse(argc, argv);
 
+  // A daemon dies by signal, not by EOF: drain in-flight audio and still
+  // print the stats tables instead of dropping everything on the floor.
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
   std::printf("necd: %zu sessions, %zu workers, %.1f s streams, %.1f s "
               "chunks, policy=%s, selector=%s, max-batch=%zu\n",
               args.sessions, args.workers, args.seconds, args.chunk_s,
@@ -141,7 +185,12 @@ int main(int argc, char** argv) {
        .kind = args.kind,
        .max_batch = args.max_batch,
        .max_wait_us = args.max_wait_us,
-       .deadline_ms = args.deadline_ms});
+       .deadline_ms = args.deadline_ms,
+       .fault = {.on_error = args.on_fault,
+                 .bad_input = args.reject_bad_input
+                                  ? runtime::BadInputPolicy::kReject
+                                  : runtime::BadInputPolicy::kSanitize,
+                 .degrade_on_deadline = args.degrade_on_deadline}});
 
   // One enrolled target per session; the monitored stream mixes that
   // target's voice with a noise background (what the room mic hears).
@@ -166,20 +215,37 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   std::size_t pos = 0;
   bool any_left = true;
-  while (any_left) {
+  while (any_left && !g_stop) {
     any_left = false;
     for (std::size_t i = 0; i < ids.size(); ++i) {
       if (pos >= streams[i].size()) continue;
       const std::size_t n = std::min(piece, streams[i].size() - pos);
-      if (!manager.Submit(ids[i], streams[i].samples().subspan(pos, n))) {
+      const runtime::SubmitResult r =
+          manager.Submit(ids[i], streams[i].samples().subspan(pos, n));
+      if (!r.ok() &&
+          r.error->category == runtime::ErrorCategory::kOverload) {
         // kReject bounced the strand dispatch; the samples are already
         // buffered, so nudge with empty submits until the pool has room
-        // (each bounce still shows up in the rejection counter).
-        while (!manager.Submit(ids[i], {})) std::this_thread::yield();
+        // (each bounce still shows up in the rejection counter). A nudge
+        // can stop being kOverload — e.g. the session faults — so bail
+        // on any other outcome.
+        for (;;) {
+          const runtime::SubmitResult nudge = manager.Submit(ids[i], {});
+          if (nudge.ok() || g_stop ||
+              nudge.error->category != runtime::ErrorCategory::kOverload) {
+            break;
+          }
+          std::this_thread::yield();
+        }
       }
+      // Any other error (kFaulted session, rejected bad input) sheds this
+      // piece; the session's fate shows up in the status table below.
       any_left = true;
     }
     pos += piece;
+  }
+  if (g_stop) {
+    std::printf("necd: stop signal received — draining in-flight work\n");
   }
   manager.Drain();
   for (const auto id : ids) manager.Flush(id);
@@ -236,6 +302,60 @@ int main(int argc, char** argv) {
                 stats.queue_wait.p50_ms);
     std::printf("%-28s %12.2f\n", "queue wait p99 (ms)",
                 stats.queue_wait.p99_ms);
+  }
+  std::printf("%-28s %12zu\n", "queue peak depth",
+              stats.queue_peak_depth);
+  std::printf("%-28s %12llu\n", "session faults",
+              static_cast<unsigned long long>(stats.faults));
+  for (std::size_t c = 0; c < runtime::kNumErrorCategories; ++c) {
+    if (stats.faults_by_category[c] == 0) continue;
+    std::printf("  %-26s %12llu\n",
+                runtime::ErrorCategoryName(
+                    static_cast<runtime::ErrorCategory>(c)),
+                static_cast<unsigned long long>(stats.faults_by_category[c]));
+  }
+  std::printf("%-28s %12llu\n", "deadline misses",
+              static_cast<unsigned long long>(stats.deadline_misses));
+  std::printf("%-28s %12llu\n", "degrade steps down",
+              static_cast<unsigned long long>(stats.degrade_steps_down));
+  std::printf("%-28s %12llu\n", "degrade steps up",
+              static_cast<unsigned long long>(stats.degrade_steps_up));
+  std::printf("%-28s %12llu\n", "chunk retries",
+              static_cast<unsigned long long>(stats.chunk_retries));
+  std::printf("%-28s %12llu\n", "batch splits",
+              static_cast<unsigned long long>(stats.batch_splits));
+  std::printf("%-28s %12llu\n", "samples sanitized",
+              static_cast<unsigned long long>(stats.samples_sanitized));
+  std::printf("%-28s %12llu\n", "bad-input rejections",
+              static_cast<unsigned long long>(stats.bad_input_rejections));
+  std::printf("%-28s %12llu\n", "session resets",
+              static_cast<unsigned long long>(stats.session_resets));
+  std::printf("%-28s %12llu\n", "worker exceptions",
+              static_cast<unsigned long long>(stats.worker_exceptions));
+
+  // Per-session health: anything not idle/neural after a drained run
+  // deserves a line the operator can act on.
+  bool any_unhealthy = false;
+  for (const auto id : ids) {
+    const runtime::SessionStatus st = manager.SessionStatus(id);
+    if (st.state == runtime::SessionState::kIdle && st.faults == 0 &&
+        st.deadline_misses == 0) {
+      continue;
+    }
+    if (!any_unhealthy) {
+      std::printf("------------------------- session status "
+                  "-------------------------\n");
+      any_unhealthy = true;
+    }
+    std::printf("session %-4zu %-8s level=%-12s chunks=%-6llu "
+                "faults=%-3llu misses=%llu%s%s\n",
+                id, runtime::SessionStateName(st.state),
+                runtime::DegradeLevelName(st.level),
+                static_cast<unsigned long long>(st.chunks_emitted),
+                static_cast<unsigned long long>(st.faults),
+                static_cast<unsigned long long>(st.deadline_misses),
+                st.error.has_value() ? " — " : "",
+                st.error.has_value() ? st.error->message.c_str() : "");
   }
   std::printf("---------------------------------------------------------"
               "------------\n");

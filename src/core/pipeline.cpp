@@ -1,10 +1,28 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
 namespace nec::core {
+namespace {
+
+// A NaN/Inf anywhere in the selector output would propagate silently into
+// the inverse STFT and modulation, broadcasting garbage instead of a
+// shadow. Catch it at the selector boundary with a typed invariant so the
+// serving layer (runtime session containment) can fault exactly the one
+// session whose chunk poisoned the forward. O(cells) — negligible next to
+// the DNN forward itself.
+void CheckShadowFinite(const std::vector<float>& shadow_mag,
+                       const char* site) {
+  for (const float v : shadow_mag) {
+    NEC_CHECK_MSG(std::isfinite(v),
+                  site << " produced a non-finite shadow magnitude");
+  }
+}
+
+}  // namespace
 
 NecPipeline::NecPipeline(
     Selector selector,
@@ -51,6 +69,7 @@ audio::Waveform NecPipeline::GenerateShadow(const audio::Waveform& mixed,
       kind == SelectorKind::kNeural
           ? selector_->ComputeShadow(spec, *dvector_)
           : las_selector_.ComputeShadow(spec);
+  CheckShadowFinite(shadow_mag, "GenerateShadow selector");
   return dsp::IstftWithPhase(shadow_mag, spec, config().stft,
                              config().sample_rate, mixed.size(), w);
 }
@@ -100,6 +119,9 @@ std::vector<audio::Waveform> GenerateShadowBatch(
 
   const std::vector<std::vector<float>> shadow_mags =
       shared->ComputeShadowBatch(spec_ptrs, dvectors);
+  for (const auto& mags : shadow_mags) {
+    CheckShadowFinite(mags, "GenerateShadowBatch selector");
+  }
 
   std::vector<audio::Waveform> shadows;
   shadows.reserve(B);

@@ -95,6 +95,11 @@ std::optional<audio::Waveform> StreamingProcessor::Push(
   return out;
 }
 
+void StreamingProcessor::Reset() {
+  buffer_ = audio::Waveform(pipeline_.config().sample_rate, std::size_t{0});
+  mod_reference_peak_ = 0.0;
+}
+
 std::optional<audio::Waveform> StreamingProcessor::Flush() {
   if (buffer_.empty()) return std::nullopt;
   audio::Waveform chunk = buffer_.Slice(0, chunk_samples_);  // zero-padded

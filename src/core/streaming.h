@@ -46,6 +46,12 @@ class StreamingProcessor {
   /// Flushes a final partial chunk (zero-padded) if any samples remain.
   std::optional<audio::Waveform> Flush();
 
+  /// Discards buffered samples and the stream-wide modulation-reference
+  /// latch, starting a fresh stream (nec::runtime uses this to return a
+  /// faulted session to service). Cumulative timings are kept. Must be
+  /// called from the single thread that owns the processor.
+  void Reset();
+
   // --- Decomposed chunk path (runtime micro-batching; see DESIGN.md §5e).
   //
   // Push == BufferSamples + { PopChunk → GenerateShadow →

@@ -37,6 +37,13 @@ std::size_t MicroBatcher::Purge(void* key) {
   return removed;
 }
 
+std::size_t MicroBatcher::pending_for(void* key) const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const Item& it : pending_) n += (it.key == key) ? 1 : 0;
+  return n;
+}
+
 void MicroBatcher::Drain() {
   std::unique_lock lock(mu_);
   drained_cv_.wait(lock, [&] { return pending_.empty() && !busy_; });

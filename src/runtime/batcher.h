@@ -70,7 +70,17 @@ class MicroBatcher {
 
   /// Removes every pending (not yet dispatched) item of `key`; returns how
   /// many were removed. In-flight items are unaffected. Thread-safe.
+  ///
+  /// Used for both drop-oldest eviction AND session faulting: when a
+  /// session faults while its chunks sit in a partially-gathered batch,
+  /// the purge guarantees the coalescer neither stalls on the dead
+  /// session's items nor lets them poison a later batch — surviving
+  /// sessions' FIFO order is untouched (tested in test_runtime_faults).
   std::size_t Purge(void* key);
+
+  /// Pending (not yet dispatched) items of `key`. Thread-safe; a
+  /// diagnostic snapshot — the count can change before the caller acts.
+  std::size_t pending_for(void* key) const;
 
   /// Blocks until the queue is empty and no batch is in flight. Callers
   /// must guarantee no concurrent Enqueue (same contract as

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <string>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
@@ -13,6 +16,24 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+// Maps the exception currently being handled onto the closed error
+// taxonomy. Must be called from inside a catch block.
+SessionError ClassifyCurrentException() {
+  try {
+    throw;
+  } catch (const InjectedFault& f) {
+    return SessionError{f.category(), f.what()};
+  } catch (const std::invalid_argument& e) {
+    return SessionError{ErrorCategory::kBadInput, e.what()};
+  } catch (const nec::CheckError& e) {
+    return SessionError{ErrorCategory::kInvariant, e.what()};
+  } catch (const std::exception& e) {
+    return SessionError{ErrorCategory::kInvariant, e.what()};
+  } catch (...) {
+    return SessionError{ErrorCategory::kInvariant, "unknown exception"};
+  }
 }
 
 }  // namespace
@@ -54,14 +75,21 @@ void SessionManager::Shutdown() {
 
 SessionManager::SessionId SessionManager::CreateSession(
     std::span<const audio::Waveform> references) {
-  auto session = std::make_unique<Session>(
-      selector_, encoder_, pipeline_options_, options_.chunk_s,
-      options_.kind);
+  Session* session = nullptr;
+  {
+    std::lock_guard lock(sessions_mu_);
+    const SessionId id = sessions_.size();
+    sessions_.push_back(std::make_unique<Session>(
+        selector_, encoder_, pipeline_options_, options_.chunk_s,
+        options_.kind, id));
+    session = sessions_.back().get();
+  }
+  // Enrollment (the encoder forward) runs outside sessions_mu_ so
+  // concurrent CreateSession calls embed in parallel; only the creator
+  // knows the id until this returns.
   session->pipeline.Enroll(references);
   stats_.AddSession();
-  std::lock_guard lock(sessions_mu_);
-  sessions_.push_back(std::move(session));
-  return sessions_.size() - 1;
+  return session->id;
 }
 
 SessionManager::Session* SessionManager::GetSession(SessionId id) const {
@@ -70,36 +98,73 @@ SessionManager::Session* SessionManager::GetSession(SessionId id) const {
   return sessions_[id].get();
 }
 
-bool SessionManager::Submit(SessionId id, std::span<const float> samples) {
+SubmitResult SessionManager::Submit(SessionId id,
+                                    std::span<const float> samples) {
   Session* s = GetSession(id);
-  stats_.AddSamples(samples.size());
+
+  // Input hygiene at the service boundary: NaN/Inf/wild-amplitude capture
+  // audio never reaches the DSP. The scan is one pass over the samples —
+  // noise next to the selector forward.
+  std::vector<float> repaired;
+  std::span<const float> accepted = samples;
+  if (options_.fault.bad_input != BadInputPolicy::kTrust &&
+      !samples.empty()) {
+    const SampleScan scan = ScanSamples(samples);
+    if (!scan.clean()) {
+      if (options_.fault.bad_input == BadInputPolicy::kReject) {
+        stats_.AddBadInputRejection();
+        return SubmitResult{SessionError{
+            ErrorCategory::kBadInput,
+            "rejected submit: " + std::to_string(scan.nonfinite) +
+                " non-finite + " + std::to_string(scan.wild) +
+                " wild-amplitude samples"}};
+      }
+      repaired.assign(samples.begin(), samples.end());
+      stats_.AddSanitized(SanitizeSamples(repaired).total());
+      accepted = repaired;
+    }
+  }
+
+  stats_.AddSamples(accepted.size());
 
   bool dispatch = false;
   {
     std::lock_guard lock(s->mu);
-    s->inbox.insert(s->inbox.end(), samples.begin(), samples.end());
+    if (s->error.has_value()) {
+      // A faulted session sheds input until ResetSession().
+      stats_.AddSamplesDropped(accepted.size());
+      return SubmitResult{*s->error};
+    }
+    s->inbox.insert(s->inbox.end(), accepted.begin(), accepted.end());
     if (!s->running && !s->inbox.empty()) {
       s->running = true;
       dispatch = true;
     }
   }
-  if (!dispatch) return true;  // an active strand will pick the samples up
+  if (!dispatch) return {};  // an active strand will pick the samples up
 
   BeginStrand();
   stats_.AddDispatch();
-  if (!pool_.Submit([this, s] { RunStrand(s); },
+  const bool saturated =
+      FaultInjector::Global().SaturateAt("pool.submit", s->id);
+  if (saturated ||
+      !pool_.Submit([this, s] { RunStrand(s); },
                     /*on_drop=*/[this, s] { AbandonStrand(s); })) {
-    // Pool bounced the strand (kReject backpressure, or shutdown). The
-    // samples stay in the inbox; a later Submit redispatches.
+    // Pool bounced the strand (kReject backpressure, shutdown, or an
+    // injected saturation). The samples stay in the inbox; a later Submit
+    // — an empty one will do — redispatches.
     stats_.AddDispatchRejection();
     {
       std::lock_guard lock(s->mu);
       s->running = false;
     }
     FinishStrand();
-    return false;
+    return SubmitResult{SessionError{
+        ErrorCategory::kOverload,
+        "strand dispatch bounced by queue backpressure; samples are "
+        "buffered — retry with an empty Submit"}};
   }
-  return true;
+  return {};
 }
 
 void SessionManager::RunStrand(Session* s) {
@@ -107,46 +172,11 @@ void SessionManager::RunStrand(Session* s) {
     RunStrandBatched(s);
     return;
   }
-  // Drain the inbox at most one chunk per StreamingProcessor::Push, so the
-  // recorded wall-clock of an emitting Push is the latency of exactly one
-  // chunk (selector + broadcast), matching Table II accounting.
   std::vector<float> take;
   for (;;) {
     {
       std::lock_guard lock(s->mu);
-      if (s->inbox.empty()) {
-        s->running = false;
-        break;
-      }
-      const std::size_t n =
-          std::min(s->inbox.size(), chunk_samples_);
-      take.assign(s->inbox.begin(),
-                  s->inbox.begin() + static_cast<std::ptrdiff_t>(n));
-      s->inbox.erase(s->inbox.begin(),
-                     s->inbox.begin() + static_cast<std::ptrdiff_t>(n));
-    }
-
-    const auto t0 = std::chrono::steady_clock::now();
-    std::optional<audio::Waveform> out = s->proc.Push(take);
-    if (out.has_value()) {
-      stats_.AddChunk(MsSince(t0));
-      std::lock_guard lock(s->mu);
-      s->output.Append(*out);
-    }
-  }
-  FinishStrand();
-}
-
-void SessionManager::RunStrandBatched(Session* s) {
-  // Batched strand: never runs the selector. Buffers the inbox into the
-  // processor, pops every ready chunk, and hands each to the coalescer in
-  // stream order. Completion (shadow + modulation + output append) happens
-  // on the coalescer thread in RunBatch.
-  std::vector<float> take;
-  for (;;) {
-    {
-      std::lock_guard lock(s->mu);
-      if (s->inbox.empty()) {
+      if (s->inbox.empty() || s->error.has_value()) {
         s->running = false;
         break;
       }
@@ -154,11 +184,135 @@ void SessionManager::RunStrandBatched(Session* s) {
       s->inbox.clear();
     }
     s->proc.BufferSamples(take);
+    bool faulted = false;
     while (s->proc.HasFullChunk()) {
-      batcher_->Enqueue(s, s->proc.PopChunk());
+      if (!ProcessOneChunk(s, s->proc.PopChunk())) {
+        faulted = true;  // FaultSession already shed inbox + running
+        break;
+      }
+    }
+    if (faulted) break;
+  }
+  FinishStrand();
+}
+
+void SessionManager::RunStrandBatched(Session* s) {
+  // Batched strand: never runs the selector. Buffers the inbox into the
+  // processor, pops every ready chunk, and hands each to the coalescer in
+  // stream order — degraded chunks included, so ALL completion happens on
+  // the coalescer thread and per-session FIFO order survives ladder
+  // transitions. Completion (shadow + modulation + output append) happens
+  // in RunBatch.
+  std::vector<float> take;
+  for (;;) {
+    {
+      std::lock_guard lock(s->mu);
+      if (s->inbox.empty() || s->error.has_value()) {
+        s->running = false;
+        break;
+      }
+      take.assign(s->inbox.begin(), s->inbox.end());
+      s->inbox.clear();
+    }
+    try {
+      s->proc.BufferSamples(take);
+      while (s->proc.HasFullChunk()) {
+        FaultInjector::Global().OnSite("strand.chunk", s->id);
+        batcher_->Enqueue(s, s->proc.PopChunk());
+      }
+    } catch (...) {
+      FaultSession(s, ClassifyCurrentException());
+      break;
     }
   }
   FinishStrand();
+}
+
+audio::Waveform SessionManager::GenerateShadowAtLevel(
+    Session* s, const audio::Waveform& chunk, DegradeLevel level) {
+  switch (level) {
+    case DegradeLevel::kNeural:
+      return s->pipeline.GenerateShadow(chunk, core::SelectorKind::kNeural,
+                                        &s->proc.stft_workspace());
+    case DegradeLevel::kLasFallback:
+      return s->pipeline.GenerateShadow(chunk, core::SelectorKind::kLasMask,
+                                        &s->proc.stft_workspace());
+    case DegradeLevel::kSilence:
+      // Passthrough rung: an all-zero shadow modulates to silence — no
+      // cancellation, but the stream keeps its cadence and the ladder can
+      // probe back up.
+      return audio::Waveform(chunk.sample_rate(), chunk.size());
+  }
+  NEC_CHECK_MSG(false, "unreachable degrade level");
+  return audio::Waveform();
+}
+
+bool SessionManager::ProcessOneChunk(Session* s, audio::Waveform chunk) {
+  bool probe = false;
+  DegradeLevel level = DegradeLevel::kNeural;
+  {
+    std::lock_guard lock(s->mu);
+    level = EffectiveLevelLocked(s, &probe);
+  }
+  const FaultOptions& fo = options_.fault;
+  std::size_t attempts = 0;
+  for (;;) {
+    try {
+      const auto t0 = std::chrono::steady_clock::now();
+      FaultInjector::Global().OnSite("strand.chunk", s->id);
+      audio::Waveform shadow = GenerateShadowAtLevel(s, chunk, level);
+      const double selector_ms = MsSince(t0);
+      audio::Waveform modulated =
+          s->proc.CompleteShadowChunk(std::move(shadow), selector_ms);
+      const double total_ms = MsSince(t0);
+      stats_.AddChunk(total_ms);
+      std::lock_guard lock(s->mu);
+      s->output.Append(modulated);
+      ++s->chunk_count;
+      UpdateWatchdogLocked(s, level, probe, total_ms);
+      return true;
+    } catch (...) {
+      SessionError err = ClassifyCurrentException();
+      if (probe) {
+        // The rung above is still broken: fall back to the current rung
+        // and regenerate there. Retries/degradation judge the current
+        // rung, not the failed probe.
+        probe = false;
+        std::lock_guard lock(s->mu);
+        s->successes_at_level = 0;
+        level = s->level;
+        continue;
+      }
+      if (attempts < fo.max_retries) {
+        // Regeneration is safe: CompleteShadowChunk (the only stream-state
+        // mutation) runs strictly after a successful generate.
+        ++attempts;
+        stats_.AddRetry();
+        if (fo.retry_backoff_ms > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+              fo.retry_backoff_ms * static_cast<double>(attempts)));
+        }
+        continue;
+      }
+      if (fo.on_error == FaultPolicy::kDegrade) {
+        bool stepped = false;
+        {
+          std::lock_guard lock(s->mu);
+          if (s->level < DegradeLevel::kSilence) {
+            StepDownLocked(s);
+            stepped = true;
+          }
+          level = s->level;
+        }
+        if (stepped) {
+          attempts = 0;
+          continue;
+        }
+      }
+      FaultSession(s, std::move(err));
+      return false;
+    }
+  }
 }
 
 void SessionManager::RunBatch(std::vector<MicroBatcher::Item>&& items) {
@@ -170,33 +324,213 @@ void SessionManager::RunBatch(std::vector<MicroBatcher::Item>&& items) {
             .count());
   }
 
-  std::vector<core::ShadowBatchRequest> requests(items.size());
+  // Disposition pass, in enqueue order: a faulted session's items are shed
+  // (a fault may land between Enqueue and dispatch); only chunks at the
+  // kNeural rung join the batched forward — degraded chunks are generated
+  // singly in the completion loop below, which runs strictly in enqueue
+  // order so per-session FIFO (and with it the modulation latch) is
+  // preserved across ladder transitions.
+  enum class Route { kShed, kBatched, kSingle };
+  std::vector<Route> route(items.size());
+  std::vector<std::size_t> neural;
+  neural.reserve(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
     Session* s = static_cast<Session*>(items[i].key);
-    requests[i] = core::ShadowBatchRequest{
-        .pipeline = &s->pipeline,
-        .mixed = &items[i].chunk,
-        .ws = &s->proc.stft_workspace()};
+    std::lock_guard lock(s->mu);
+    if (s->error.has_value()) {
+      route[i] = Route::kShed;
+    } else if (s->level == DegradeLevel::kNeural) {
+      route[i] = Route::kBatched;
+      neural.push_back(i);
+    } else {
+      route[i] = Route::kSingle;
+    }
   }
-  std::vector<audio::Waveform> shadows =
-      core::GenerateShadowBatch(requests);
-  // Attribute the batched shadow-generation wall time evenly across the
-  // chunks it served, mirroring the per-chunk selector_ms accounting.
-  const double selector_ms_each = MsSince(t0) / items.size();
+
+  std::vector<std::optional<audio::Waveform>> shadows(items.size());
+  std::vector<std::optional<SessionError>> errors(items.size());
+  double selector_ms_each = 0.0;
+  if (!neural.empty()) {
+    const auto tf = std::chrono::steady_clock::now();
+    GenerateShadowsBisect(items, neural, 0, neural.size(), shadows, errors);
+    // Attribute the batched shadow-generation wall time evenly across the
+    // chunks it served, mirroring the per-chunk selector_ms accounting.
+    selector_ms_each = MsSince(tf) / static_cast<double>(neural.size());
+  }
 
   // Complete in enqueue (FIFO) order: per-session chunk order — and with
   // it the stream-wide modulation-reference latch — is part of the bits.
   for (std::size_t i = 0; i < items.size(); ++i) {
     Session* s = static_cast<Session*>(items[i].key);
-    audio::Waveform modulated =
-        s->proc.CompleteShadowChunk(std::move(shadows[i]),
-                                    selector_ms_each);
-    // Chunk latency keeps its PR 2 meaning — processing time, not queue
-    // wait: batch dispatch start → this chunk's completion.
-    stats_.AddChunk(MsSince(t0));
-    std::lock_guard lock(s->mu);
-    s->output.Append(modulated);
+    switch (route[i]) {
+      case Route::kShed:
+        stats_.AddSamplesDropped(items[i].chunk.size());
+        break;
+      case Route::kBatched:
+        if (errors[i].has_value()) {
+          // The bisection isolated this item as the poison.
+          HandleGenerationError(s, std::move(items[i].chunk),
+                                std::move(*errors[i]));
+          break;
+        }
+        try {
+          audio::Waveform modulated = s->proc.CompleteShadowChunk(
+              std::move(*shadows[i]), selector_ms_each);
+          // Chunk latency keeps its PR 2 meaning — processing time, not
+          // queue wait: batch dispatch start → this chunk's completion.
+          const double total_ms = MsSince(t0);
+          stats_.AddChunk(total_ms);
+          std::lock_guard lock(s->mu);
+          s->output.Append(modulated);
+          ++s->chunk_count;
+          UpdateWatchdogLocked(s, DegradeLevel::kNeural, /*probe=*/false,
+                               total_ms);
+        } catch (...) {
+          FaultSession(s, ClassifyCurrentException());
+        }
+        break;
+      case Route::kSingle:
+        // Degraded (or probing) session: generate on the coalescer thread
+        // so completion order stays FIFO. ProcessOneChunk owns retries,
+        // the ladder, and the fault transition.
+        ProcessOneChunk(s, std::move(items[i].chunk));
+        break;
+    }
   }
+}
+
+void SessionManager::GenerateShadowsBisect(
+    std::vector<MicroBatcher::Item>& items,
+    const std::vector<std::size_t>& indices, std::size_t begin,
+    std::size_t end, std::vector<std::optional<audio::Waveform>>& shadows,
+    std::vector<std::optional<SessionError>>& errors) {
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  try {
+    std::vector<core::ShadowBatchRequest> requests(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t i = indices[begin + j];
+      Session* s = static_cast<Session*>(items[i].key);
+      // Per-item injection site, hit inside the attempt so the bisection
+      // isolates down to the single poisoned item.
+      FaultInjector::Global().OnSite("batch.item", s->id);
+      requests[j] = core::ShadowBatchRequest{
+          .pipeline = &s->pipeline,
+          .mixed = &items[i].chunk,
+          .ws = &s->proc.stft_workspace()};
+    }
+    std::vector<audio::Waveform> out = core::GenerateShadowBatch(requests);
+    for (std::size_t j = 0; j < n; ++j) {
+      shadows[indices[begin + j]] = std::move(out[j]);
+    }
+  } catch (...) {
+    if (n == 1) {
+      errors[indices[begin]] = ClassifyCurrentException();
+      return;
+    }
+    // A poisoned batch: split and retry each half. The batched forward is
+    // bit-identical per item regardless of batch composition (see
+    // GenerateShadowBatch), so survivors' output is unchanged; cost is
+    // O(log n) extra forwards for the poisoned item's neighborhood.
+    stats_.AddBatchSplit();
+    const std::size_t mid = begin + n / 2;
+    GenerateShadowsBisect(items, indices, begin, mid, shadows, errors);
+    GenerateShadowsBisect(items, indices, mid, end, shadows, errors);
+  }
+}
+
+void SessionManager::HandleGenerationError(Session* s, audio::Waveform chunk,
+                                           SessionError error) {
+  if (options_.fault.on_error == FaultPolicy::kDegrade) {
+    bool stepped = false;
+    {
+      std::lock_guard lock(s->mu);
+      if (!s->error.has_value() && s->level < DegradeLevel::kSilence) {
+        StepDownLocked(s);
+        stepped = true;
+      }
+    }
+    if (stepped) {
+      // Regenerate this very chunk at the lower rung — the stream loses
+      // no samples on a degrade transition.
+      ProcessOneChunk(s, std::move(chunk));
+      return;
+    }
+  }
+  FaultSession(s, std::move(error));
+}
+
+void SessionManager::FaultSession(Session* s, SessionError error) {
+  const ErrorCategory category = error.category;
+  std::size_t shed = 0;
+  {
+    std::lock_guard lock(s->mu);
+    if (!s->error.has_value()) s->error = std::move(error);  // first wins
+    ++s->fault_count;
+    shed = s->inbox.size();
+    s->inbox.clear();
+    s->running = false;
+  }
+  if (batcher_ != nullptr) {
+    // Pending chunks of the dead session must not land in (or stall) a
+    // later batch; items already dispatched are shed by RunBatch's
+    // disposition pass.
+    shed += batcher_->Purge(s) * chunk_samples_;
+  }
+  stats_.AddFault(category);
+  stats_.AddSamplesDropped(shed);
+}
+
+void SessionManager::StepDownLocked(Session* s) {
+  s->level = static_cast<DegradeLevel>(static_cast<int>(s->level) + 1);
+  s->consecutive_misses = 0;
+  s->successes_at_level = 0;
+  stats_.AddDegradeDown();
+}
+
+void SessionManager::UpdateWatchdogLocked(Session* s, DegradeLevel used_level,
+                                          bool probe, double total_ms) {
+  const bool miss = total_ms > options_.deadline_ms;
+  if (miss) {
+    stats_.AddDeadlineMiss();
+    ++s->miss_count;
+  }
+  if (probe) {
+    if (miss) {
+      // The rung above emitted but is still over budget — stay degraded
+      // and restart the probe countdown.
+      s->successes_at_level = 0;
+    } else {
+      // Recovery: the probe chunk ran a rung up within budget.
+      s->level = used_level;
+      s->consecutive_misses = 0;
+      s->successes_at_level = 0;
+      stats_.AddDegradeUp();
+    }
+    return;
+  }
+  if (miss) {
+    s->successes_at_level = 0;
+    if (options_.fault.degrade_on_deadline &&
+        ++s->consecutive_misses >= options_.fault.deadline_miss_threshold &&
+        s->level < DegradeLevel::kSilence) {
+      StepDownLocked(s);
+    }
+    return;
+  }
+  s->consecutive_misses = 0;
+  if (s->level > s->top_level) ++s->successes_at_level;
+}
+
+DegradeLevel SessionManager::EffectiveLevelLocked(Session* s,
+                                                 bool* probe) const {
+  *probe = false;
+  if (s->level > s->top_level &&
+      s->successes_at_level >= options_.fault.recovery_probe_chunks) {
+    *probe = true;
+    return static_cast<DegradeLevel>(static_cast<int>(s->level) - 1);
+  }
+  return s->level;
 }
 
 void SessionManager::AbandonStrand(Session* s) {
@@ -252,6 +586,7 @@ std::optional<audio::Waveform> SessionManager::Flush(SessionId id) {
   Session* s = GetSession(id);
   {
     std::lock_guard lock(s->mu);
+    if (s->error.has_value()) return std::nullopt;  // tail died with the fault
     NEC_CHECK_MSG(!s->running && s->inbox.empty(),
                   "Flush requires an idle session — call Drain() first");
   }
@@ -267,12 +602,55 @@ audio::Waveform SessionManager::TakeOutput(SessionId id) {
   return std::exchange(s->output, audio::Waveform());
 }
 
+runtime::SessionStatus SessionManager::SessionStatus(SessionId id) const {
+  Session* s = GetSession(id);
+  std::lock_guard lock(s->mu);
+  runtime::SessionStatus status;
+  if (s->error.has_value()) {
+    status.state = SessionState::kFaulted;
+    status.error = s->error;
+  } else if (s->running) {
+    status.state = SessionState::kRunning;
+  } else {
+    status.state = SessionState::kIdle;
+  }
+  status.level = s->level;
+  status.chunks_emitted = s->chunk_count;
+  status.faults = s->fault_count;
+  status.deadline_misses = s->miss_count;
+  return status;
+}
+
+void SessionManager::ResetSession(SessionId id) {
+  Session* s = GetSession(id);
+  {
+    std::lock_guard lock(s->mu);
+    NEC_CHECK_MSG(!s->running,
+                  "ResetSession requires a quiescent session — a faulted "
+                  "one, or Drain() first");
+    s->error.reset();
+    s->inbox.clear();
+    s->level = s->top_level;
+    s->consecutive_misses = 0;
+    s->successes_at_level = 0;
+  }
+  if (batcher_ != nullptr) batcher_->Purge(s);
+  // Quiescent by contract, so the strand-owned processor is safe to touch
+  // from here: fresh stream — empty buffer, modulation latch re-latches.
+  s->proc.Reset();
+  stats_.AddSessionReset();
+}
+
 core::ModuleTimings SessionManager::SessionTimings(SessionId id) const {
   return GetSession(id)->proc.timings();
 }
 
 RuntimeStatsSnapshot SessionManager::Stats() const {
-  return stats_.Snapshot(pool_.queue_depth(), pool_.dropped());
+  return stats_.Snapshot(
+      PoolSample{.queue_depth = pool_.queue_depth(),
+                 .dispatch_drops = pool_.dropped(),
+                 .queue_peak_depth = pool_.queue_peak_depth(),
+                 .worker_exceptions = pool_.task_exceptions()});
 }
 
 std::size_t SessionManager::num_sessions() const {

@@ -16,11 +16,22 @@
 // StreamingProcessor — while chunks of *different* sessions run in
 // parallel across the pool's workers.
 //
-// Lock discipline: Session::mu guards inbox/output/running; the
-// StreamingProcessor itself is touched only by the session's single active
-// strand task (hand-off between consecutive strand tasks is ordered by
-// Session::mu and the pool queue's mutex, so no additional lock is
-// needed). RuntimeStats is all-atomic.
+// Fault isolation (DESIGN.md §5f): every exception raised while processing
+// a session's audio is caught AT THE SESSION BOUNDARY. The session
+// transitions to SessionState::kFaulted with a recorded SessionError
+// (taxonomy in runtime/fault.h), sheds its backlog, and rejects further
+// Submits until ResetSession() — every other session keeps protecting its
+// room. A poisoned micro-batch is bisected and retried in sub-batches so
+// one bad chunk never drops other sessions' output. Chunks that blow the
+// deadline budget (or fail transiently past the retry budget) can instead
+// step down a graceful-degradation ladder (neural → LAS → silence) with
+// automatic recovery probes back up — see Options::fault.
+//
+// Lock discipline: Session::mu guards inbox/output/running plus the fault
+// and degradation state; the StreamingProcessor itself is touched only by
+// the session's single active strand task (hand-off between consecutive
+// strand tasks is ordered by Session::mu and the pool queue's mutex, so no
+// additional lock is needed). RuntimeStats is all-atomic.
 //
 // Micro-batching (Options::max_batch > 1, neural selector only): strands
 // stop running the selector themselves — they buffer samples, pop ready
@@ -32,7 +43,10 @@
 // unbatched path. In this mode a session's StreamingProcessor is split
 // between two threads by member: the strand owns the sample buffer, the
 // coalescer owns the STFT scratch / modulation latch / timings — disjoint
-// state, see streaming.h.
+// state, see streaming.h. Degraded sessions' chunks still ride the
+// batcher FIFO but are generated singly on the coalescer thread, so ALL
+// completion stays on one thread and stream order is preserved across
+// ladder transitions.
 #pragma once
 
 #include <condition_variable>
@@ -49,14 +63,70 @@
 #include "core/streaming.h"
 #include "encoder/encoder.h"
 #include "runtime/batcher.h"
+#include "runtime/fault.h"
 #include "runtime/stats.h"
 #include "runtime/thread_pool.h"
 
 namespace nec::runtime {
 
+/// How Submit treats corrupt (NaN/Inf/wild-amplitude) audio.
+enum class BadInputPolicy {
+  kSanitize,  ///< repair in place (NaN/Inf → 0, wild → ±1), count it
+  kReject,    ///< bounce the whole Submit with a typed kBadInput error
+  kTrust,     ///< skip the scan entirely (caller vouches for the stream)
+};
+
+/// What happens when a chunk keeps failing after the retry budget.
+enum class FaultPolicy {
+  kFault,    ///< transition the session to kFaulted (default)
+  kDegrade,  ///< step down the degradation ladder and keep serving
+};
+
+/// One session's externally visible health, returned by SessionStatus().
+struct SessionStatus {
+  SessionState state = SessionState::kIdle;
+  std::optional<SessionError> error;  ///< set iff state == kFaulted
+  DegradeLevel level = DegradeLevel::kNeural;  ///< current ladder rung
+  std::uint64_t chunks_emitted = 0;
+  std::uint64_t faults = 0;           ///< lifetime kFaulted transitions
+  std::uint64_t deadline_misses = 0;  ///< chunks over budget (lifetime)
+};
+
+/// Typed Submit outcome. ok() == no error. On error, `error->category`
+/// says what to do: kOverload — the dispatch was bounced by kReject
+/// backpressure but the samples ARE buffered (retry with an empty span);
+/// kBadInput — the samples were rejected and NOT buffered; anything else
+/// is the recorded error of a faulted session (samples not buffered;
+/// ResetSession() to restore service).
+struct SubmitResult {
+  std::optional<SessionError> error;
+  bool ok() const { return !error.has_value(); }
+  explicit operator bool() const { return ok(); }
+};
+
 class SessionManager {
  public:
   using SessionId = std::size_t;
+
+  /// Fault-tolerance knobs (all containment is active regardless; these
+  /// tune the reaction).
+  struct FaultOptions {
+    FaultPolicy on_error = FaultPolicy::kFault;
+    BadInputPolicy bad_input = BadInputPolicy::kSanitize;
+    /// Enables the deadline watchdog: consecutive chunks over
+    /// Options::deadline_ms step the session down the ladder; sustained
+    /// health probes it back up. Off by default — degradation changes
+    /// output bits, so it must be an explicit opt-in.
+    bool degrade_on_deadline = false;
+    /// Consecutive deadline misses before stepping down one rung.
+    std::size_t deadline_miss_threshold = 3;
+    /// In-budget chunks at a degraded rung before probing one rung up.
+    std::size_t recovery_probe_chunks = 8;
+    /// Chunk-level retries before the on_error policy applies.
+    std::size_t max_retries = 1;
+    /// Sleep between retries (grows linearly with the attempt number).
+    double retry_backoff_ms = 0.0;
+  };
 
   struct Options {
     std::size_t workers = 4;
@@ -75,8 +145,11 @@ class SessionManager {
     std::uint64_t max_wait_us = 5000;
     /// Per-chunk processing budget (paper: ~300 ms overshadowing
     /// tolerance); the coalescer's hold window shrinks as observed batch
-    /// compute time eats into it.
+    /// compute time eats into it, and the deadline watchdog (if enabled)
+    /// judges chunks against it.
     double deadline_ms = 300.0;
+
+    FaultOptions fault = {};  ///< containment / degradation / sanitization
   };
 
   /// All sessions share `selector` and `encoder` (no weight copies).
@@ -97,11 +170,13 @@ class SessionManager {
   SessionId CreateSession(std::span<const audio::Waveform> references);
 
   /// Feeds monitored samples to a session and schedules processing on the
-  /// pool. Returns false only if a needed strand dispatch was bounced by
-  /// the kReject policy — the samples are ALREADY buffered at that point,
-  /// so retry with an empty span (`Submit(id, {})`) until it returns true;
-  /// re-submitting the same samples would duplicate them. Unprocessed
-  /// buffered chunks make a later Flush fail its idle-session check.
+  /// pool. See SubmitResult for the error contract; in brief: a kOverload
+  /// error means the strand dispatch was bounced by kReject backpressure
+  /// but the samples are ALREADY buffered — retry with an empty span
+  /// (`Submit(id, {})`) until it succeeds; re-submitting the same samples
+  /// would duplicate them. Corrupt audio is sanitized or rejected per
+  /// Options::fault.bad_input; a faulted session sheds input until
+  /// ResetSession().
   ///
   /// Under kDropOldest a full pool queue evicts the oldest *queued* strand
   /// to admit this one. The evicted session is unwound, not wedged: its
@@ -112,19 +187,32 @@ class SessionManager {
   ///
   /// Thread-safe across sessions; calls for one session must come from one
   /// producer (a stream is ordered).
-  bool Submit(SessionId id, std::span<const float> samples);
+  SubmitResult Submit(SessionId id, std::span<const float> samples);
 
   /// Blocks until every strand dispatched so far has finished. Sessions
   /// may still hold partial-chunk tails (see Flush).
   void Drain();
 
   /// Zero-pads and processes a session's final partial chunk, if any.
-  /// Call after Drain with no concurrent Submit to this session.
+  /// Call after Drain with no concurrent Submit to this session. Returns
+  /// nullopt for a faulted session (its tail is part of the shed backlog).
   std::optional<audio::Waveform> Flush(SessionId id);
 
   /// Moves out everything the session produced so far (modulated shadow at
   /// the air rate, in stream order). Thread-safe.
   audio::Waveform TakeOutput(SessionId id);
+
+  /// One session's health: lifecycle state, recorded error (if faulted),
+  /// current degradation rung, and lifetime counters. Thread-safe.
+  runtime::SessionStatus SessionStatus(SessionId id) const;
+
+  /// Returns a faulted (or idle) session to service: clears the recorded
+  /// error, discards any buffered backlog and partial-chunk tail, resets
+  /// the degradation ladder to the top, and starts a fresh stream (the
+  /// modulation-reference latch re-latches). Call only while the session
+  /// is quiescent — after it reported kFaulted, or after Drain() with no
+  /// concurrent Submit. Previously produced output remains takeable.
+  void ResetSession(SessionId id);
 
   /// Per-module latency accounting of one session's processor. Call while
   /// the session is idle (after Drain): the counters are strand-owned.
@@ -147,18 +235,34 @@ class SessionManager {
     Session(std::shared_ptr<const core::Selector> selector,
             std::shared_ptr<const encoder::SpeakerEncoder> encoder,
             const core::PipelineOptions& pipeline_options, double chunk_s,
-            core::SelectorKind kind)
+            core::SelectorKind kind, SessionId session_id)
         : pipeline(std::move(selector), std::move(encoder),
                    pipeline_options),
-          proc(pipeline, chunk_s, kind) {}
+          proc(pipeline, chunk_s, kind),
+          id(session_id),
+          top_level(kind == core::SelectorKind::kNeural
+                        ? DegradeLevel::kNeural
+                        : DegradeLevel::kLasFallback),
+          level(top_level) {}
 
     core::NecPipeline pipeline;
     core::StreamingProcessor proc;  ///< strand-owned, see header comment
+    const SessionId id;             ///< fault-injection key + status
 
     std::mutex mu;
     std::deque<float> inbox;   ///< guarded by mu
     audio::Waveform output;    ///< guarded by mu
     bool running = false;      ///< strand in flight; guarded by mu
+
+    // --- Fault / degradation state, all guarded by mu.
+    std::optional<SessionError> error;  ///< set → kFaulted (absorbing)
+    const DegradeLevel top_level;  ///< best rung this session can run at
+    DegradeLevel level;            ///< current rung
+    std::size_t consecutive_misses = 0;
+    std::size_t successes_at_level = 0;  ///< feeds the recovery probe
+    std::uint64_t chunk_count = 0;
+    std::uint64_t fault_count = 0;
+    std::uint64_t miss_count = 0;
   };
 
   Session* GetSession(SessionId id) const;
@@ -168,6 +272,41 @@ class SessionManager {
   void AbandonStrand(Session* session);
   void BeginStrand();
   void FinishStrand();
+
+  /// Generates + completes one chunk at the session's current rung, with
+  /// retry/backoff, the deadline watchdog, and recovery probes. Returns
+  /// false iff the session faulted. Runs on the strand (unbatched) or the
+  /// coalescer thread (batched, degraded/poisoned items).
+  bool ProcessOneChunk(Session* session, audio::Waveform chunk);
+  audio::Waveform GenerateShadowAtLevel(Session* session,
+                                        const audio::Waveform& chunk,
+                                        DegradeLevel level);
+  /// Batched forward over [begin, end) with bisection: a sub-batch that
+  /// throws is split until the poisoned item is isolated; its slot gets an
+  /// error instead of a shadow, every other slot completes normally.
+  void GenerateShadowsBisect(
+      std::vector<MicroBatcher::Item>& items,
+      const std::vector<std::size_t>& indices, std::size_t begin,
+      std::size_t end, std::vector<std::optional<audio::Waveform>>& shadows,
+      std::vector<std::optional<SessionError>>& errors);
+
+  /// Applies the on_error policy to a chunk whose batched generation
+  /// failed: step down the ladder and regenerate singly (kDegrade, so the
+  /// stream loses no samples), or fault the session.
+  void HandleGenerationError(Session* session, audio::Waveform chunk,
+                             SessionError error);
+  /// Records the fault, sheds the session's backlog (inbox + pending
+  /// batcher items), and returns it to a non-running state.
+  void FaultSession(Session* session, SessionError error);
+  /// Ladder step-down with stats. Caller holds session->mu.
+  void StepDownLocked(Session* session);
+  /// Watchdog bookkeeping after a successfully emitted chunk. Caller
+  /// holds session->mu. `used_level`/`probe` describe how the chunk ran.
+  void UpdateWatchdogLocked(Session* session, DegradeLevel used_level,
+                            bool probe, double total_ms);
+  /// The rung the next chunk should run at (may be one above the current
+  /// rung when a recovery probe is due). Caller holds session->mu.
+  DegradeLevel EffectiveLevelLocked(Session* session, bool* probe) const;
 
   const Options options_;
   const core::PipelineOptions pipeline_options_;

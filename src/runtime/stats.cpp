@@ -77,18 +77,32 @@ void RuntimeStats::AddBatch(std::size_t batch_size) {
   }
 }
 
-RuntimeStatsSnapshot RuntimeStats::Snapshot(
-    std::size_t queue_depth, std::uint64_t dispatch_drops) const {
+RuntimeStatsSnapshot RuntimeStats::Snapshot(const PoolSample& pool) const {
   RuntimeStatsSnapshot s;
   s.sessions = sessions_.load(kRelaxed);
   s.chunks_processed = chunks_.load(kRelaxed);
   s.dispatches = dispatches_.load(kRelaxed);
   s.dispatch_rejections = rejections_.load(kRelaxed);
-  s.dispatch_drops = dispatch_drops;
+  s.dispatch_drops = pool.dispatch_drops;
   s.samples_submitted = samples_.load(kRelaxed);
   s.samples_dropped = samples_dropped_.load(kRelaxed);
-  s.queue_depth = queue_depth;
+  s.queue_depth = pool.queue_depth;
+  s.queue_peak_depth = pool.queue_peak_depth;
+  s.worker_exceptions = pool.worker_exceptions;
   s.chunk_latency = latency_.Quantiles();
+
+  for (std::size_t i = 0; i < kNumErrorCategories; ++i) {
+    s.faults_by_category[i] = faults_[i].load(kRelaxed);
+    s.faults += s.faults_by_category[i];
+  }
+  s.deadline_misses = deadline_misses_.load(kRelaxed);
+  s.degrade_steps_down = degrade_down_.load(kRelaxed);
+  s.degrade_steps_up = degrade_up_.load(kRelaxed);
+  s.chunk_retries = retries_.load(kRelaxed);
+  s.batch_splits = batch_splits_.load(kRelaxed);
+  s.samples_sanitized = sanitized_.load(kRelaxed);
+  s.bad_input_rejections = bad_input_.load(kRelaxed);
+  s.session_resets = resets_.load(kRelaxed);
 
   s.batches_dispatched = batches_.load(kRelaxed);
   s.batched_chunks = batched_chunks_.load(kRelaxed);

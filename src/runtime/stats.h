@@ -13,6 +13,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "runtime/fault.h"
+
 namespace nec::runtime {
 
 struct LatencyQuantiles {
@@ -74,6 +76,32 @@ struct RuntimeStatsSnapshot {
   std::array<std::uint64_t, kMaxTrackedBatch + 1> batch_size_counts{};
   /// Coalescer queue wait per chunk: enqueue → batch dispatch.
   LatencyQuantiles queue_wait;
+
+  // --- Fault tolerance (DESIGN.md §5f; zero everywhere on a clean run).
+  std::uint64_t faults = 0;  ///< sessions transitioned to kFaulted
+  /// Faults broken down by ErrorCategory (index = category value).
+  std::array<std::uint64_t, kNumErrorCategories> faults_by_category{};
+  std::uint64_t deadline_misses = 0;   ///< chunks over the deadline budget
+  std::uint64_t degrade_steps_down = 0;  ///< ladder demotions
+  std::uint64_t degrade_steps_up = 0;    ///< recovery-probe promotions
+  std::uint64_t chunk_retries = 0;     ///< transient-failure chunk retries
+  std::uint64_t batch_splits = 0;      ///< poisoned-batch bisections
+  std::uint64_t samples_sanitized = 0;  ///< NaN/Inf/wild samples repaired
+  std::uint64_t bad_input_rejections = 0;  ///< Submits bounced (kReject)
+  std::uint64_t session_resets = 0;    ///< ResetSession() calls
+  /// Tasks whose exception escaped to the pool worker (last-resort catch;
+  /// always 0 when SessionManager's per-session containment is intact).
+  std::uint64_t worker_exceptions = 0;
+  std::size_t queue_peak_depth = 0;  ///< pool queue high-watermark
+};
+
+/// Pool-owned values sampled at snapshot time (the stats object does not
+/// know the pool).
+struct PoolSample {
+  std::size_t queue_depth = 0;
+  std::uint64_t dispatch_drops = 0;
+  std::size_t queue_peak_depth = 0;
+  std::uint64_t worker_exceptions = 0;
 };
 
 /// Shared mutable counters behind the snapshot; every field is atomic so
@@ -98,10 +126,24 @@ class RuntimeStats {
   /// Time one chunk sat in the coalescer before its batch dispatched.
   void AddQueueWait(double ms) { queue_wait_.Record(ms); }
 
-  /// `queue_depth` and `dispatch_drops` are sampled by the caller (the
-  /// stats object does not know the pool).
-  RuntimeStatsSnapshot Snapshot(std::size_t queue_depth = 0,
-                                std::uint64_t dispatch_drops = 0) const;
+  // --- Fault tolerance.
+  void AddFault(ErrorCategory category) {
+    faults_[static_cast<std::size_t>(category)].fetch_add(1, kRelaxed);
+  }
+  void AddDeadlineMiss() { deadline_misses_.fetch_add(1, kRelaxed); }
+  void AddDegradeDown() { degrade_down_.fetch_add(1, kRelaxed); }
+  void AddDegradeUp() { degrade_up_.fetch_add(1, kRelaxed); }
+  void AddRetry() { retries_.fetch_add(1, kRelaxed); }
+  void AddBatchSplit() { batch_splits_.fetch_add(1, kRelaxed); }
+  void AddSanitized(std::uint64_t n) {
+    if (n > 0) sanitized_.fetch_add(n, kRelaxed);
+  }
+  void AddBadInputRejection() { bad_input_.fetch_add(1, kRelaxed); }
+  void AddSessionReset() { resets_.fetch_add(1, kRelaxed); }
+
+  /// Pool-owned counters are sampled by the caller into `pool`.
+  RuntimeStatsSnapshot Snapshot(const PoolSample& pool) const;
+  RuntimeStatsSnapshot Snapshot() const { return Snapshot(PoolSample{}); }
 
  private:
   static constexpr auto kRelaxed = std::memory_order_relaxed;
@@ -120,6 +162,16 @@ class RuntimeStats {
   std::array<std::atomic<std::uint64_t>, kMaxTrackedBatch + 1>
       batch_size_counts_{};
   LatencyHistogram queue_wait_;
+
+  std::array<std::atomic<std::uint64_t>, kNumErrorCategories> faults_{};
+  std::atomic<std::uint64_t> deadline_misses_{0};
+  std::atomic<std::uint64_t> degrade_down_{0};
+  std::atomic<std::uint64_t> degrade_up_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> batch_splits_{0};
+  std::atomic<std::uint64_t> sanitized_{0};
+  std::atomic<std::uint64_t> bad_input_{0};
+  std::atomic<std::uint64_t> resets_{0};
 };
 
 }  // namespace nec::runtime

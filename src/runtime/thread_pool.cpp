@@ -40,7 +40,14 @@ void ThreadPool::WorkerLoop() {
   // Pop keeps yielding admitted tasks after Close until the queue is dry,
   // so shutdown never strands in-flight work.
   while (auto task = queue_.Pop()) {
-    task->run();
+    try {
+      task->run();
+    } catch (...) {
+      // Last-resort containment: an escaping exception would unwind the
+      // jthread and std::terminate the whole service. Count it and keep
+      // the worker alive for every other session (see header).
+      task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
     executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }

@@ -5,6 +5,14 @@
 // *graceful*: the queue closes (no new work admitted) but every task that
 // was already admitted runs to completion before the workers join — an
 // in-flight protection chunk is never abandoned half-modulated.
+//
+// Fault isolation: a task whose exception escapes would otherwise
+// std::terminate the process (the exception unwinds a jthread). Workers
+// therefore catch at the task boundary as a LAST RESORT — the exception is
+// counted (task_exceptions()) and the worker keeps serving other sessions.
+// This is a backstop, not the containment layer: SessionManager catches at
+// the session boundary first and records a typed SessionError; anything
+// reaching the worker catch is a containment bug worth alerting on.
 #pragma once
 
 #include <atomic>
@@ -59,11 +67,16 @@ class ThreadPool {
 
   std::size_t workers() const { return threads_.size(); }
   std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t queue_peak_depth() const { return queue_.peak_depth(); }
   std::uint64_t submitted() const { return queue_.pushed(); }
   std::uint64_t rejected() const { return queue_.rejected(); }
   std::uint64_t dropped() const { return queue_.dropped(); }
   std::uint64_t executed() const {
     return executed_.load(std::memory_order_relaxed);
+  }
+  /// Tasks whose exception escaped into the worker loop (see header).
+  std::uint64_t task_exceptions() const {
+    return task_exceptions_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -76,6 +89,7 @@ class ThreadPool {
 
   WorkQueue<Task> queue_;
   std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> task_exceptions_{0};
   std::vector<std::jthread> threads_;
 };
 

@@ -79,6 +79,7 @@ class WorkQueue {
     }
     items_.push_back(std::move(item));
     ++pushed_;
+    if (items_.size() > peak_) peak_ = items_.size();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -133,6 +134,10 @@ class WorkQueue {
   std::size_t capacity() const { return capacity_; }
   OverflowPolicy policy() const { return policy_; }
 
+  /// High-watermark of size() over the queue's lifetime — how close the
+  /// backlog has come to saturating the bound (overload forensics).
+  std::size_t peak_depth() const { std::lock_guard l(mu_); return peak_; }
+
   /// Items admitted / bounced by kReject / evicted by kDropOldest.
   std::uint64_t pushed() const { std::lock_guard l(mu_); return pushed_; }
   std::uint64_t rejected() const { std::lock_guard l(mu_); return rejected_; }
@@ -147,6 +152,7 @@ class WorkQueue {
   std::condition_variable not_full_;
   std::deque<T> items_;
   bool closed_ = false;
+  std::size_t peak_ = 0;
   std::uint64_t pushed_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t dropped_ = 0;

@@ -276,7 +276,8 @@ TEST_F(SessionManagerTest, ConcurrentSessionsMatchSequentialBitExact) {
       if (pos >= streams[i].size()) continue;
       const std::size_t n = std::min(piece, streams[i].size() - pos);
       EXPECT_TRUE(
-          manager.Submit(ids[i], streams[i].samples().subspan(pos, n)));
+          manager.Submit(ids[i], streams[i].samples().subspan(pos, n))
+              .ok());
       any_left = true;
     }
     pos += piece;
@@ -400,10 +401,10 @@ TEST_F(SessionManagerTest, DropOldestEvictionUnwedgesSession) {
   // A's strand occupies the single worker (2.5 s of neural-selector work;
   // wait until the worker has popped it so the queue is empty), B's strand
   // sits in the capacity-1 queue, and C's dispatch evicts B's.
-  EXPECT_TRUE(manager.Submit(a, sa.samples()));
+  EXPECT_TRUE(manager.Submit(a, sa.samples()).ok());
   while (manager.Stats().queue_depth != 0) std::this_thread::yield();
-  EXPECT_TRUE(manager.Submit(b, sb.samples()));
-  EXPECT_TRUE(manager.Submit(c, sc.samples()));
+  EXPECT_TRUE(manager.Submit(b, sb.samples()).ok());
+  EXPECT_TRUE(manager.Submit(c, sc.samples()).ok());
 
   manager.Drain();  // deadlocked here before the fix
   const RuntimeStatsSnapshot stats = manager.Stats();
@@ -414,7 +415,7 @@ TEST_F(SessionManagerTest, DropOldestEvictionUnwedgesSession) {
   // processor never saw the dropped audio) and a fresh Submit runs
   // normally.
   EXPECT_FALSE(manager.Flush(b).has_value());
-  EXPECT_TRUE(manager.Submit(b, sb.samples()));
+  EXPECT_TRUE(manager.Submit(b, sb.samples()).ok());
   manager.Drain();
   audio::Waveform out = manager.TakeOutput(b);
   if (auto tail = manager.Flush(b)) out.Append(*tail);
@@ -554,7 +555,8 @@ TEST_F(SessionManagerTest, BatchedSessionsMatchSequentialBitExact) {
       if (pos >= streams[i].size()) continue;
       const std::size_t n = std::min(piece, streams[i].size() - pos);
       EXPECT_TRUE(
-          manager.Submit(ids[i], streams[i].samples().subspan(pos, n)));
+          manager.Submit(ids[i], streams[i].samples().subspan(pos, n))
+              .ok());
       any_left = true;
     }
     pos += piece;

@@ -7,6 +7,9 @@
 #   tools/check.sh                 # release: all tests; tsan: runtime tests
 #   CHECK_TSAN_ALL=1 tools/check.sh  # run the ENTIRE suite under TSan (slow)
 #   CHECK_BENCH_SMOKE=1 tools/check.sh  # also smoke the perf JSON benches
+#   CHECK_FAULTS=1 tools/check.sh    # also run the fault-injection stress
+#                                    # suite under ASan+UBSan (the TSan run
+#                                    # above already covers it for races)
 #   CHECK_JOBS=8 tools/check.sh      # override build/test parallelism
 #
 # Both builds configure with NEC_NATIVE_ARCH=OFF so the script behaves the
@@ -16,10 +19,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${CHECK_JOBS:-$(nproc)}"
 BENCH_SMOKE="${CHECK_BENCH_SMOKE:-0}"
+FAULTS="${CHECK_FAULTS:-0}"
 STEPS=4
-[[ "${BENCH_SMOKE}" == "1" ]] && STEPS=5
+[[ "${BENCH_SMOKE}" == "1" ]] && STEPS=$((STEPS + 1))
+[[ "${FAULTS}" == "1" ]] && STEPS=$((STEPS + 1))
+STEP=0
+step() { STEP=$((STEP + 1)); echo "== [${STEP}/${STEPS}] $1 =="; }
 
-echo "== [1/${STEPS}] configure + build: Release =="
+step "configure + build: Release"
 cmake -B build-check-release -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DNEC_NATIVE_ARCH=OFF \
@@ -27,10 +34,10 @@ cmake -B build-check-release -S . \
   -DNEC_BUILD_EXAMPLES=OFF
 cmake --build build-check-release -j "${JOBS}"
 
-echo "== [2/${STEPS}] ctest: Release (full suite) =="
+step "ctest: Release (full suite)"
 ctest --test-dir build-check-release --output-on-failure -j "${JOBS}"
 
-echo "== [3/${STEPS}] configure + build: Release + ThreadSanitizer =="
+step "configure + build: Release + ThreadSanitizer"
 cmake -B build-check-tsan -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DNEC_NATIVE_ARCH=OFF \
@@ -38,18 +45,34 @@ cmake -B build-check-tsan -S . \
   -DNEC_BUILD_BENCH=OFF -DNEC_BUILD_EXAMPLES=OFF
 cmake --build build-check-tsan -j "${JOBS}"
 
-echo "== [4/${STEPS}] ctest: TSan =="
+step "ctest: TSan"
 if [[ "${CHECK_TSAN_ALL:-0}" == "1" ]]; then
   ctest --test-dir build-check-tsan --output-on-failure -j "${JOBS}"
 else
-  # The concurrency-bearing tests; the rest of the suite is single-threaded
-  # and already covered by step 2 (CHECK_TSAN_ALL=1 runs everything).
+  # The concurrency-bearing tests (test_runtime, test_runtime_faults,
+  # test_streaming); the rest of the suite is single-threaded and already
+  # covered by step 2 (CHECK_TSAN_ALL=1 runs everything).
   ctest --test-dir build-check-tsan --output-on-failure \
     -R 'test_runtime|test_streaming'
 fi
 
+if [[ "${FAULTS}" == "1" ]]; then
+  step "fault-injection stress: ASan+UBSan"
+  # The containment paths move exception objects and purge queues across
+  # threads; ASan+UBSan catches lifetime/UB bugs the TSan run (which
+  # already includes test_runtime_faults) cannot see.
+  cmake -B build-check-asan -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DNEC_NATIVE_ARCH=OFF \
+    -DNEC_SANITIZE=address,undefined \
+    -DNEC_BUILD_BENCH=OFF -DNEC_BUILD_EXAMPLES=OFF
+  cmake --build build-check-asan -j "${JOBS}" --target test_runtime_faults
+  ctest --test-dir build-check-asan --output-on-failure \
+    -R 'test_runtime_faults'
+fi
+
 if [[ "${BENCH_SMOKE}" == "1" ]]; then
-  echo "== [5/${STEPS}] bench smoke: hot-path JSON harness =="
+  step "bench smoke: hot-path JSON harness"
   # Shrunken workloads (NEC_BENCH_SMOKE) — this validates wiring and the
   # BENCH_hotpath.json contract, not performance. Numbers in the smoke
   # file are flagged "smoke": true and must not be used as baselines.
