@@ -1,0 +1,187 @@
+// Tracing overhead guard: the nec::obs span sites are compiled into the
+// hot path unconditionally (pipeline, streaming, runtime), so a disabled
+// recorder must cost nothing measurable — one relaxed atomic load per
+// site. This harness proves it with an A/B on the same single-thread
+// sequential workload bench_runtime_throughput tracks:
+//
+//   * arm A: tracing disabled (the production default),
+//   * arm B: tracing enabled (full span + flow recording),
+//
+// interleaved over several repetitions (best-of to shed scheduler noise),
+// reporting selector ms/chunk and chunks/sec for both arms plus the
+// enabled-tracing overhead. tools/check.sh (CHECK_OBS=1) asserts the
+// disabled-arm numbers stay within 2% of the runtime_throughput
+// sequential baseline recorded in the same BENCH_hotpath.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_json.h"
+#include "bench_support.h"
+#include "core/selector.h"
+#include "core/streaming.h"
+#include "encoder/encoder.h"
+#include "obs/trace.h"
+#include "synth/dataset.h"
+
+namespace nec::bench {
+namespace {
+
+constexpr double kChunkSeconds = 1.0;
+
+struct BenchParams {
+  std::size_t sessions = 4;
+  double stream_seconds = 6.0;
+  std::size_t reps = 3;
+
+  static BenchParams Get() {
+    if (!BenchSmokeMode()) return {};
+    return {.sessions = 1, .stream_seconds = 2.0, .reps = 1};
+  }
+};
+
+struct Workload {
+  std::shared_ptr<const core::Selector> selector;
+  std::shared_ptr<const encoder::SpeakerEncoder> encoder;
+  std::vector<std::vector<audio::Waveform>> references;
+  std::vector<audio::Waveform> streams;
+};
+
+Workload MakeWorkload(const BenchParams& p) {
+  Workload w;
+  const core::NecConfig cfg = core::NecConfig::Fast();
+  w.selector = std::make_shared<const core::Selector>(cfg, /*init_seed=*/29);
+  w.encoder = std::make_shared<encoder::LasEncoder>(cfg.embedding_dim);
+  synth::DatasetBuilder stream_builder({.duration_s = p.stream_seconds});
+  synth::DatasetBuilder enroll_builder({.duration_s = 3.0});
+  for (std::size_t i = 0; i < p.sessions; ++i) {
+    const auto speaker = synth::SpeakerProfile::FromSeed(300 + i);
+    w.references.push_back(
+        enroll_builder.MakeReferenceAudios(speaker, 3, 600 + i));
+    w.streams.push_back(
+        stream_builder.MakeInstance(speaker, synth::Scenario::kBabble, 900 + i)
+            .mixed);
+  }
+  return w;
+}
+
+struct ArmResult {
+  double chunks_per_sec = 0.0;
+  double selector_ms_per_chunk = 0.0;
+  double broadcast_ms_per_chunk = 0.0;
+};
+
+/// One sequential pass over every stream (same shape as the
+/// runtime_throughput "sequential" reference, so numbers are comparable).
+ArmResult RunSequential(const Workload& w) {
+  ArmResult r;
+  double selector_ms = 0.0, broadcast_ms = 0.0;
+  std::size_t chunks = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < w.streams.size(); ++i) {
+    core::NecPipeline pipeline(w.selector, w.encoder, {});
+    pipeline.Enroll(w.references[i]);
+    core::StreamingProcessor proc(pipeline, kChunkSeconds,
+                                  core::SelectorKind::kNeural);
+    audio::Waveform out;
+    if (auto o = proc.Push(w.streams[i].samples())) out = std::move(*o);
+    if (auto tail = proc.Flush()) out.Append(*tail);
+    selector_ms += proc.timings().selector_ms;
+    broadcast_ms += proc.timings().broadcast_ms;
+    chunks += proc.timings().chunks;
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.chunks_per_sec =
+      wall_s > 0.0 ? static_cast<double>(chunks) / wall_s : 0.0;
+  r.selector_ms_per_chunk =
+      chunks ? selector_ms / static_cast<double>(chunks) : 0.0;
+  r.broadcast_ms_per_chunk =
+      chunks ? broadcast_ms / static_cast<double>(chunks) : 0.0;
+  return r;
+}
+
+/// Best-of across reps: fastest chunks/sec with its companion timings.
+/// Min-of-reps is the standard noise filter for throughput A/Bs — the
+/// true cost is the floor, everything above it is scheduler interference.
+ArmResult Best(const ArmResult& a, const ArmResult& b) {
+  return b.chunks_per_sec > a.chunks_per_sec ? b : a;
+}
+
+}  // namespace
+}  // namespace nec::bench
+
+int main() {
+  using namespace nec::bench;
+  using nec::obs::TraceRecorder;
+
+  const BenchParams params = BenchParams::Get();
+  PrintHeader("obs overhead: disabled-tracing vs enabled-tracing A/B");
+  std::printf("%zu sessions x %.0f s streams, %zu reps, best-of%s\n",
+              params.sessions, params.stream_seconds, params.reps,
+              BenchSmokeMode() ? "  [SMOKE — not a baseline]" : "");
+
+  const Workload w = MakeWorkload(params);
+  // One untimed warmup pass primes caches for both arms alike.
+  (void)RunSequential(w);
+
+  ArmResult disabled, enabled;
+  std::uint64_t events = 0;
+  TraceRecorder& rec = TraceRecorder::Global();
+  for (std::size_t rep = 0; rep < params.reps; ++rep) {
+    rec.Disable();
+    const ArmResult off = RunSequential(w);
+    rec.Enable(/*ring_capacity=*/1 << 16);
+    const ArmResult on = RunSequential(w);
+    events = rec.events_recorded();
+    rec.Disable();
+    rec.Clear();
+    disabled = rep == 0 ? off : Best(disabled, off);
+    enabled = rep == 0 ? on : Best(enabled, on);
+  }
+
+  const double overhead_pct =
+      disabled.chunks_per_sec > 0.0
+          ? 100.0 * (disabled.chunks_per_sec - enabled.chunks_per_sec) /
+                disabled.chunks_per_sec
+          : 0.0;
+
+  std::printf("\n%10s %14s %16s %17s\n", "tracing", "chunks/sec",
+              "selector ms/ch", "broadcast ms/ch");
+  PrintRule();
+  std::printf("%10s %14.2f %16.2f %17.2f\n", "disabled",
+              disabled.chunks_per_sec, disabled.selector_ms_per_chunk,
+              disabled.broadcast_ms_per_chunk);
+  std::printf("%10s %14.2f %16.2f %17.2f\n", "enabled",
+              enabled.chunks_per_sec, enabled.selector_ms_per_chunk,
+              enabled.broadcast_ms_per_chunk);
+  PrintRule();
+  std::printf("enabled-tracing overhead: %.2f%% (%llu events per pass)\n",
+              overhead_pct, static_cast<unsigned long long>(events));
+
+  JsonWriter json;
+  json.Field("sessions", static_cast<double>(params.sessions))
+      .Field("stream_seconds", params.stream_seconds)
+      .Field("reps", static_cast<double>(params.reps))
+      .Field("smoke", BenchSmokeMode());
+  json.BeginObject("disabled")
+      .Field("chunks_per_sec", disabled.chunks_per_sec)
+      .Field("selector_ms_per_chunk", disabled.selector_ms_per_chunk)
+      .Field("broadcast_ms_per_chunk", disabled.broadcast_ms_per_chunk)
+      .EndObject();
+  json.BeginObject("enabled")
+      .Field("chunks_per_sec", enabled.chunks_per_sec)
+      .Field("selector_ms_per_chunk", enabled.selector_ms_per_chunk)
+      .Field("broadcast_ms_per_chunk", enabled.broadcast_ms_per_chunk)
+      .Field("events_per_pass", static_cast<double>(events))
+      .EndObject();
+  json.Field("enabled_overhead_pct", overhead_pct);
+
+  const std::string path = BenchJsonPath();
+  WriteJsonSection(path, "obs_overhead", json.Finish());
+  std::printf("wrote section obs_overhead -> %s\n", path.c_str());
+  return 0;
+}

@@ -12,9 +12,14 @@
 //                  sweep carriers against a Table III device model
 //   necctl devices
 //                  list the Table III device models
+//   necctl stats   [--url http://127.0.0.1:9464]
+//                  scrape a running necd's metrics endpoint and render a
+//                  human-readable table (counters, latency quantiles,
+//                  per-session health)
 //
-// Every subcommand works offline on WAV files, so the pipeline can be
-// exercised on real recordings, not just the synthetic corpus.
+// Every subcommand works offline on WAV files — except `stats`, which
+// talks to a live necd — so the pipeline can be exercised on real
+// recordings, not just the synthetic corpus.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -27,6 +32,8 @@
 #include "core/carrier_probe.h"
 #include "core/model_cache.h"
 #include "core/pipeline.h"
+#include "obs/http.h"
+#include "obs/metrics.h"
 #include "synth/dataset.h"
 #include "synth/noise.h"
 
@@ -160,12 +167,82 @@ int CmdDevices() {
   return 0;
 }
 
+// Scrapes a live necd (`--metrics-port`) and renders the Prometheus
+// exposition as an operator-facing table. Going through the public
+// /metrics endpoint — rather than a private side channel — keeps necctl
+// honest: anything it can show, any Prometheus server can scrape too.
+int CmdStats(const Args& args) {
+  const std::string url = args.Get("url", "http://127.0.0.1:9464");
+  std::string host, path, error;
+  int port = 0;
+  if (!obs::ParseHttpUrl(url, &host, &port, &path)) {
+    std::fprintf(stderr, "necctl stats: malformed url: %s\n", url.c_str());
+    return 2;
+  }
+
+  std::string body;
+  int status = 0;
+  if (!obs::HttpGet(host, port, "/healthz", &body, &status, &error)) {
+    std::fprintf(stderr, "necctl stats: %s:%d unreachable: %s\n",
+                 host.c_str(), port, error.c_str());
+    return 1;
+  }
+  std::printf("necd @ %s:%d  %s", host.c_str(), port,
+              status == 200 ? body.c_str() : "unhealthy\n");
+
+  if (!obs::HttpGet(host, port, "/metrics", &body, &status, &error) ||
+      status != 200) {
+    std::fprintf(stderr, "necctl stats: /metrics failed (%s, status %d)\n",
+                 error.c_str(), status);
+    return 1;
+  }
+  std::vector<obs::MetricFamily> families;
+  if (!obs::ParsePrometheusText(body, &families, &error)) {
+    std::fprintf(stderr, "necctl stats: bad exposition: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::printf("%-34s %14s\n", "metric", "value");
+  for (const obs::MetricFamily& f : families) {
+    if (f.type == obs::MetricType::kHistogram) continue;
+    for (const obs::Metric& m : f.metrics) {
+      std::string name = f.name;
+      for (const auto& [k, v] : m.labels) {
+        name += "{" + k + "=" + v + "}";
+      }
+      std::printf("%-34s %14.6g\n", name.c_str(), m.value);
+    }
+  }
+  for (const obs::MetricFamily& f : families) {
+    if (f.type != obs::MetricType::kHistogram) continue;
+    for (const obs::Metric& m : f.metrics) {
+      const obs::HistogramData& h = m.histogram;
+      std::printf("%s: count %llu", f.name.c_str(),
+                  static_cast<unsigned long long>(h.count));
+      if (h.count > 0) {
+        std::printf("  mean %.2f ms  p50 %.2f  p95 %.2f  p99 %.2f",
+                    1e3 * h.sum / static_cast<double>(h.count),
+                    1e3 * obs::HistogramQuantile(h, 0.50),
+                    1e3 * obs::HistogramQuantile(h, 0.95),
+                    1e3 * obs::HistogramQuantile(h, 0.99));
+      }
+      std::printf("\n");
+    }
+  }
+
+  if (obs::HttpGet(host, port, "/sessions", &body, &status, &error) &&
+      status == 200) {
+    std::printf("sessions: %s", body.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: necctl <synth|noise|shadow|probe|devices> "
+                 "usage: necctl <synth|noise|shadow|probe|devices|stats> "
                  "[flags]\n");
     return 2;
   }
@@ -177,6 +254,7 @@ int main(int argc, char** argv) {
     if (cmd == "shadow") return CmdShadow(args);
     if (cmd == "probe") return CmdProbe(args);
     if (cmd == "devices") return CmdDevices();
+    if (cmd == "stats") return CmdStats(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -11,6 +11,20 @@
 //        [--policy block|reject|drop] [--queue Q] [--las]
 //        [--max-batch B] [--max-wait-us U] [--deadline-ms D]
 //        [--on-fault fault|degrade] [--degrade] [--reject-bad-input]
+//        [--metrics-port P] [--trace-out FILE]
+//        [--log-level trace|debug|info|warn|error|off] [--log-json]
+//
+// Observability (DESIGN.md §5g): --metrics-port starts a loopback HTTP
+// listener (port 0 = ephemeral; the bound port is printed) serving
+//   /metrics       Prometheus text exposition incl. latency histogram
+//                  buckets, scrape-ready
+//   /metrics.json  the same families as JSON
+//   /healthz       liveness + uptime
+//   /sessions      per-session status (state, ladder rung, fault) as JSON
+// `necctl stats --url http://127.0.0.1:P` scrapes and pretty-prints it.
+// --trace-out enables pipeline tracing (spans for every stage and runtime
+// hop, flow arrows linking batched chunks) and writes Chrome trace JSON —
+// loadable in Perfetto — after the drain.
 //
 // --max-batch > 1 routes ready chunks through the micro-batching
 // coalescer (one batched selector forward across sessions; see
@@ -36,12 +50,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/model_cache.h"
+#include "obs/http.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/session_manager.h"
+#include "runtime/stats_export.h"
 #include "synth/dataset.h"
 
 namespace {
@@ -67,6 +87,10 @@ struct Args {
   nec::runtime::FaultPolicy on_fault = nec::runtime::FaultPolicy::kFault;
   bool degrade_on_deadline = false;
   bool reject_bad_input = false;
+  int metrics_port = -1;  ///< -1 = no listener; 0 = ephemeral
+  std::string trace_out;  ///< empty = tracing stays disabled
+  nec::obs::LogLevel log_level = nec::obs::LogLevel::kInfo;
+  bool log_json = false;
 };
 
 const char* PolicyName(nec::runtime::OverflowPolicy p) {
@@ -133,6 +157,18 @@ Args Parse(int argc, char** argv) {
       args.degrade_on_deadline = true;
     } else if (flag == "--reject-bad-input") {
       args.reject_bad_input = true;
+    } else if (flag == "--metrics-port") {
+      args.metrics_port = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (flag == "--trace-out") {
+      args.trace_out = next();
+    } else if (flag == "--log-level") {
+      const char* name = next();
+      if (!nec::obs::ParseLogLevel(name, &args.log_level)) {
+        std::fprintf(stderr, "unknown --log-level '%s'\n", name);
+        std::exit(2);
+      }
+    } else if (flag == "--log-json") {
+      args.log_json = true;
     } else {
       std::fprintf(stderr,
                    "usage: necd [--sessions N] [--workers K] [--seconds S]\n"
@@ -140,7 +176,10 @@ Args Parse(int argc, char** argv) {
                    "            [--queue Q] [--las] [--max-batch B]\n"
                    "            [--max-wait-us U] [--deadline-ms D]\n"
                    "            [--on-fault fault|degrade] [--degrade]\n"
-                   "            [--reject-bad-input]\n");
+                   "            [--reject-bad-input] [--metrics-port P]\n"
+                   "            [--trace-out FILE] [--log-json]\n"
+                   "            [--log-level trace|debug|info|warn|error|"
+                   "off]\n");
       std::exit(flag == "--help" || flag == "-h" ? 0 : 2);
     }
   }
@@ -162,18 +201,24 @@ int main(int argc, char** argv) {
   using namespace nec;
   const Args args = Parse(argc, argv);
 
+  obs::SetLogLevel(args.log_level);
+  if (args.log_json) obs::SetLogFormat(obs::LogFormat::kJson);
+  obs::TraceRecorder::SetThreadName("main");
+  if (!args.trace_out.empty()) obs::TraceRecorder::Global().Enable();
+
   // A daemon dies by signal, not by EOF: drain in-flight audio and still
   // print the stats tables instead of dropping everything on the floor.
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
 
-  std::printf("necd: %zu sessions, %zu workers, %.1f s streams, %.1f s "
-              "chunks, policy=%s, selector=%s, max-batch=%zu\n",
-              args.sessions, args.workers, args.seconds, args.chunk_s,
-              PolicyName(args.policy),
-              args.kind == core::SelectorKind::kNeural ? "neural"
-                                                       : "las-mask",
-              args.max_batch);
+  NEC_LOG_INFO("necd",
+               "%zu sessions, %zu workers, %.1f s streams, %.1f s chunks, "
+               "policy=%s, selector=%s, max-batch=%zu",
+               args.sessions, args.workers, args.seconds, args.chunk_s,
+               PolicyName(args.policy),
+               args.kind == core::SelectorKind::kNeural ? "neural"
+                                                        : "las-mask",
+               args.max_batch);
 
   core::StandardModel model = core::StandardModel::Get(/*verbose=*/true);
   runtime::SessionManager manager(
@@ -192,6 +237,61 @@ int main(int argc, char** argv) {
                                   : runtime::BadInputPolicy::kSanitize,
                  .degrade_on_deadline = args.degrade_on_deadline}});
 
+  // Live scrape surface. Handlers run on the listener thread; everything
+  // they touch (Stats snapshot, SessionStatus) is thread-safe by contract.
+  obs::MetricsServer server;
+  const auto started_at = std::chrono::steady_clock::now();
+  if (args.metrics_port >= 0) {
+    server.Handle("/metrics", [&manager](const std::string&,
+                                         const std::string&) {
+      obs::HttpResponse resp;
+      resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      resp.body = obs::RenderPrometheusText(
+          runtime::SnapshotToMetricFamilies(manager.Stats()));
+      return resp;
+    });
+    server.Handle("/metrics.json", [&manager](const std::string&,
+                                              const std::string&) {
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = obs::RenderMetricsJson(
+          runtime::SnapshotToMetricFamilies(manager.Stats()));
+      return resp;
+    });
+    server.Handle("/healthz", [&manager, started_at](const std::string&,
+                                                     const std::string&) {
+      const double uptime_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started_at)
+              .count();
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = "{\"status\":\"ok\",\"uptime_s\":" +
+                  std::to_string(uptime_s) + ",\"sessions\":" +
+                  std::to_string(manager.num_sessions()) + "}\n";
+      return resp;
+    });
+    server.Handle("/sessions", [&manager](const std::string&,
+                                          const std::string&) {
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = runtime::SessionsJson(manager) + "\n";
+      return resp;
+    });
+    std::string error;
+    if (!server.Start({.host = "127.0.0.1", .port = args.metrics_port},
+                      &error)) {
+      std::fprintf(stderr, "necd: metrics listener failed: %s\n",
+                   error.c_str());
+      return 2;
+    }
+    // Printed on stdout (not just the log) so scripts can grep the bound
+    // port when --metrics-port 0 picked an ephemeral one.
+    std::printf("necd: metrics listening on http://127.0.0.1:%d\n",
+                server.port());
+    std::fflush(stdout);
+  }
+
   // One enrolled target per session; the monitored stream mixes that
   // target's voice with a noise background (what the room mic hears).
   synth::DatasetBuilder builder({.duration_s = args.seconds});
@@ -207,8 +307,8 @@ int main(int argc, char** argv) {
             .MakeInstance(speaker, synth::Scenario::kBabble, 7000 + i)
             .mixed);
   }
-  std::printf("necd: %zu sessions enrolled, feeding %.1f s each...\n",
-              ids.size(), args.seconds);
+  NEC_LOG_INFO("necd", "%zu sessions enrolled, feeding %.1f s each...",
+               ids.size(), args.seconds);
 
   // Interleaved capture-callback-sized pieces: all sessions live at once.
   const std::size_t piece = 4096;
@@ -245,10 +345,30 @@ int main(int argc, char** argv) {
     pos += piece;
   }
   if (g_stop) {
-    std::printf("necd: stop signal received — draining in-flight work\n");
+    NEC_LOG_INFO("necd", "stop signal received — draining in-flight work");
   }
   manager.Drain();
   for (const auto id : ids) manager.Flush(id);
+
+  // Post-drain the recorder is quiescent: dump the trace window before the
+  // report so an operator killing necd mid-run still gets both.
+  if (!args.trace_out.empty()) {
+    obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+    std::ofstream out(args.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "necd: cannot write trace to %s\n",
+                   args.trace_out.c_str());
+    } else {
+      rec.WriteChromeTrace(out);
+      NEC_LOG_INFO("necd",
+                   "trace written to %s (%llu events held, %llu dropped by "
+                   "ring wraparound)",
+                   args.trace_out.c_str(),
+                   static_cast<unsigned long long>(rec.events_recorded()),
+                   static_cast<unsigned long long>(rec.events_dropped()));
+    }
+    rec.Disable();
+  }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -332,6 +452,26 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.session_resets));
   std::printf("%-28s %12llu\n", "worker exceptions",
               static_cast<unsigned long long>(stats.worker_exceptions));
+
+  // Per-module accounting (safe here: Drain + Flush left every session
+  // idle, so the strand-owned counters are stable). Shows where each
+  // session's wall time went — selector (STFT+DNN+iSTFT) vs. ultrasonic
+  // modulation — the per-stage view the aggregate latency quantiles hide.
+  std::printf("------------------------ per-module timings "
+              "----------------------\n");
+  std::printf("%-10s %8s %18s %19s\n", "session", "chunks",
+              "selector ms/chunk", "broadcast ms/chunk");
+  core::ModuleTimings total;
+  for (const auto id : ids) {
+    const core::ModuleTimings t = manager.SessionTimings(id);
+    std::printf("%-10zu %8zu %18.2f %19.2f\n", id, t.chunks,
+                t.avg_selector_ms(), t.avg_broadcast_ms());
+    total.selector_ms += t.selector_ms;
+    total.broadcast_ms += t.broadcast_ms;
+    total.chunks += t.chunks;
+  }
+  std::printf("%-10s %8zu %18.2f %19.2f\n", "all", total.chunks,
+              total.avg_selector_ms(), total.avg_broadcast_ms());
 
   // Per-session health: anything not idle/neural after a drained run
   // deserves a line the operator can act on.

@@ -1,9 +1,10 @@
 #include "core/model_cache.h"
 
-#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <sstream>
+
+#include "obs/log.h"
 
 namespace nec::core {
 
@@ -41,26 +42,28 @@ Selector GetOrTrainSelector(const NecConfig& config,
   const std::string path =
       (std::filesystem::path(dir) / CacheKey(config, options)).string();
 
+  // verbose keeps its historical meaning — progress at the default log
+  // level — while quiet runs still leave a debug-level breadcrumb.
+  const obs::LogLevel level =
+      verbose ? obs::LogLevel::kInfo : obs::LogLevel::kDebug;
   if (std::filesystem::exists(path)) {
-    if (verbose) std::printf("[nec] loading cached selector: %s\n",
-                             path.c_str());
+    NEC_LOG("model_cache", level, "loading cached selector: %s",
+            path.c_str());
     return Selector::Load(path);
   }
 
-  if (verbose) {
-    std::printf("[nec] training selector (%zu steps, one-time; cached to %s)\n",
-                options.steps, path.c_str());
-  }
+  NEC_LOG("model_cache", level,
+          "training selector (%zu steps, one-time; cached to %s)",
+          options.steps, path.c_str());
   TrainerOptions opt = options;
   opt.verbose = verbose;
   Selector selector(config, /*init_seed=*/options.seed + 1);
   SelectorTrainer trainer(config, encoder, opt);
   const float zero_loss = trainer.ZeroShadowLoss();
   const float final_loss = trainer.Train(selector);
-  if (verbose) {
-    std::printf("[nec] training done: loss %.5f (zero-shadow baseline %.5f)\n",
-                final_loss, zero_loss);
-  }
+  NEC_LOG("model_cache", level,
+          "training done: loss %.5f (zero-shadow baseline %.5f)",
+          static_cast<double>(final_loss), static_cast<double>(zero_loss));
   selector.Save(path);
   return selector;
 }

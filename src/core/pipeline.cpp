@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace nec::core {
 namespace {
@@ -62,14 +63,24 @@ audio::Waveform NecPipeline::GenerateShadow(const audio::Waveform& mixed,
   NEC_CHECK_MSG(mixed.sample_rate() == config().sample_rate,
                 "monitor audio must be at " << config().sample_rate
                                             << " Hz");
+  NEC_TRACE_SPAN("pipeline.generate_shadow");
   dsp::StftWorkspace local_ws;
   dsp::StftWorkspace& w = ws != nullptr ? *ws : local_ws;
-  const dsp::Spectrogram spec = dsp::Stft(mixed, config().stft, w);
-  const std::vector<float> shadow_mag =
-      kind == SelectorKind::kNeural
-          ? selector_->ComputeShadow(spec, *dvector_)
-          : las_selector_.ComputeShadow(spec);
+  dsp::Spectrogram spec;
+  {
+    NEC_TRACE_SPAN("dsp.stft");
+    spec = dsp::Stft(mixed, config().stft, w);
+  }
+  std::vector<float> shadow_mag;
+  {
+    NEC_TRACE_SPAN(kind == SelectorKind::kNeural ? "selector.forward"
+                                                 : "selector.las");
+    shadow_mag = kind == SelectorKind::kNeural
+                     ? selector_->ComputeShadow(spec, *dvector_)
+                     : las_selector_.ComputeShadow(spec);
+  }
   CheckShadowFinite(shadow_mag, "GenerateShadow selector");
+  NEC_TRACE_SPAN("dsp.istft");
   return dsp::IstftWithPhase(shadow_mag, spec, config().stft,
                              config().sample_rate, mixed.size(), w);
 }
@@ -89,6 +100,7 @@ std::vector<audio::Waveform> GenerateShadowBatch(
   const Selector* shared = &first->selector();
   const std::size_t chunk_len = requests[0].mixed->size();
 
+  NEC_TRACE_SPAN_ARG("pipeline.generate_shadow_batch", B);
   std::vector<dsp::StftWorkspace> local_ws;
   local_ws.reserve(B);  // keep pointers stable for items without a ws
   std::vector<dsp::Spectrogram> specs;
@@ -112,13 +124,19 @@ std::vector<audio::Waveform> GenerateShadowBatch(
                                     << " Hz");
     dsp::StftWorkspace& w =
         req.ws != nullptr ? *req.ws : local_ws.emplace_back();
-    specs.push_back(dsp::Stft(*req.mixed, first->config().stft, w));
+    {
+      NEC_TRACE_SPAN("dsp.stft");
+      specs.push_back(dsp::Stft(*req.mixed, first->config().stft, w));
+    }
     dvectors[b] = &req.pipeline->dvector();
   }
   for (std::size_t b = 0; b < B; ++b) spec_ptrs[b] = &specs[b];
 
-  const std::vector<std::vector<float>> shadow_mags =
-      shared->ComputeShadowBatch(spec_ptrs, dvectors);
+  std::vector<std::vector<float>> shadow_mags;
+  {
+    NEC_TRACE_SPAN_ARG("selector.forward_batch", B);
+    shadow_mags = shared->ComputeShadowBatch(spec_ptrs, dvectors);
+  }
   for (const auto& mags : shadow_mags) {
     CheckShadowFinite(mags, "GenerateShadowBatch selector");
   }
@@ -129,6 +147,7 @@ std::vector<audio::Waveform> GenerateShadowBatch(
     const ShadowBatchRequest& req = requests[b];
     dsp::StftWorkspace local;
     dsp::StftWorkspace& w = req.ws != nullptr ? *req.ws : local;
+    NEC_TRACE_SPAN("dsp.istft");
     shadows.push_back(dsp::IstftWithPhase(
         shadow_mags[b], specs[b], first->config().stft,
         first->config().sample_rate, chunk_len, w));

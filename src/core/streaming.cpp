@@ -4,6 +4,7 @@
 
 #include "channel/modulation.h"
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace nec::core {
 namespace {
@@ -29,6 +30,7 @@ StreamingProcessor::StreamingProcessor(const NecPipeline& pipeline,
 }
 
 audio::Waveform StreamingProcessor::ProcessChunk(audio::Waveform chunk) {
+  NEC_TRACE_SPAN("stream.process_chunk");
   const auto t0 = std::chrono::steady_clock::now();
   audio::Waveform shadow = pipeline_.GenerateShadow(chunk, kind_, &stft_ws_);
   return CompleteShadowChunk(std::move(shadow), MsSince(t0));
@@ -52,7 +54,11 @@ audio::Waveform StreamingProcessor::CompleteShadowChunk(
     }
     if (mod_reference_peak_ > 0.0) mod.reference_peak = mod_reference_peak_;
   }
-  audio::Waveform modulated = channel::ModulateAm(shadow, mod);
+  audio::Waveform modulated;
+  {
+    NEC_TRACE_SPAN("channel.modulate_am");
+    modulated = channel::ModulateAm(shadow, mod);
+  }
   timings_.broadcast_ms += MsSince(t1);
   ++timings_.chunks;
   return modulated;

@@ -1,12 +1,12 @@
 #include "core/trainer.h"
 
 #include <cmath>
-#include <cstdio>
 
 #include "common/check.h"
 #include "common/rng.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/log.h"
 #include "synth/dataset.h"
 
 namespace nec::core {
@@ -135,9 +135,12 @@ float SelectorTrainer::Train(Selector& selector) {
       ++tail_count;
     }
     if (options_.on_step) options_.on_step(step, step_loss);
-    if (options_.verbose && step % 20 == 0) {
-      std::printf("[selector] step %zu/%zu loss %.5f\n", step,
-                  options_.steps, step_loss);
+    if (step % 20 == 0) {
+      NEC_LOG("trainer",
+              options_.verbose ? obs::LogLevel::kInfo
+                               : obs::LogLevel::kDebug,
+              "selector step %zu/%zu loss %.5f", step, options_.steps,
+              static_cast<double>(step_loss));
     }
   }
   return static_cast<float>(tail_loss / std::max<std::size_t>(1, tail_count));

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace nec::dsp {
 
@@ -12,6 +13,7 @@ audio::Waveform GriffinLim(const std::vector<float>& magnitude,
                            std::size_t num_frames, const StftConfig& config,
                            int sample_rate,
                            const GriffinLimOptions& options) {
+  NEC_TRACE_SPAN("dsp.griffin_lim");
   const std::size_t F = config.num_bins();
   NEC_CHECK_MSG(magnitude.size() == num_frames * F,
                 "magnitude surface shape mismatch: " << magnitude.size()

@@ -7,6 +7,8 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "dsp/mel.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "nn/serialize.h"
 #include "synth/dataset.h"
 
@@ -64,6 +66,7 @@ std::vector<float> LasMelFeatures(const audio::Waveform& wave,
 
 std::vector<float> SpeakerEncoder::EmbedReferences(
     std::span<const audio::Waveform> references) const {
+  NEC_TRACE_SPAN("encoder.embed_references");
   NEC_CHECK_MSG(!references.empty(), "enrollment needs >= 1 reference clip");
   std::vector<float> acc(dim(), 0.0f);
   for (const audio::Waveform& ref : references) {
@@ -271,8 +274,11 @@ float NeuralEncoder::Train(const TrainOptions& options) {
     update(w2_, mw2, gw2);
     update(b2_, mb2, gb2);
 
-    if (options.verbose && step % 10 == 0) {
-      std::printf("[encoder] step %zu loss %.4f\n", step, last_loss);
+    if (step % 10 == 0) {
+      NEC_LOG("encoder",
+              options.verbose ? obs::LogLevel::kInfo
+                              : obs::LogLevel::kDebug,
+              "step %zu loss %.4f", step, static_cast<double>(last_loss));
     }
   }
   return last_loss;

@@ -1,0 +1,287 @@
+#include "obs/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/log.h"
+
+namespace nec::obs {
+namespace {
+
+constexpr const char* kComponent = "obs.http";
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+/// Reads until the end of the request headers ("\r\n\r\n") or a small
+/// cap; we never need a body for GET.
+bool ReadRequestHead(int fd, std::string* head) {
+  char buf[2048];
+  while (head->size() < 16 * 1024) {
+    struct pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 2000);
+    if (pr <= 0) return false;  // timeout or error
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return false;
+    head->append(buf, static_cast<std::size_t>(n));
+    if (head->find("\r\n\r\n") != std::string::npos ||
+        head->find("\n\n") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#if defined(MSG_NOSIGNAL)
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string RenderResponse(const HttpResponse& resp) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    StatusText(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+}  // namespace
+
+MetricsServer::MetricsServer() = default;
+
+MetricsServer::~MetricsServer() { Stop(); }
+
+void MetricsServer::Handle(std::string path, HttpHandler handler) {
+  handlers_.emplace_back(std::move(path), std::move(handler));
+}
+
+bool MetricsServer::Start(const Options& options, std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad listen address: " + options.host;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    *error = std::string("bind ") + options.host + ":" +
+             std::to_string(options.port) + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Serve(); });
+  NEC_LOG_INFO(kComponent, "metrics server listening on %s:%d",
+               options.host.c_str(), port_);
+  return true;
+}
+
+void MetricsServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void MetricsServer::Serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 100);  // 100ms tick re-checks stop_
+    if (pr <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsServer::HandleConnection(int fd) {
+  std::string head;
+  if (!ReadRequestHead(fd, &head)) return;
+
+  // Request line: METHOD SP target SP version.
+  const std::size_t eol = head.find_first_of("\r\n");
+  const std::string line = head.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  HttpResponse resp;
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    resp.status = 400;
+    resp.body = "malformed request\n";
+    WriteAll(fd, RenderResponse(resp));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    resp.status = 405;
+    resp.body = "only GET is supported\n";
+    WriteAll(fd, RenderResponse(resp));
+    return;
+  }
+  std::string query;
+  const std::size_t qpos = target.find('?');
+  if (qpos != std::string::npos) {
+    query = target.substr(qpos + 1);
+    target.resize(qpos);
+  }
+
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& [path, handler] : handlers_) {
+    if (path == target) {
+      resp = handler(target, query);
+      WriteAll(fd, RenderResponse(resp));
+      return;
+    }
+  }
+  resp.status = 404;
+  resp.body = "no handler for " + target + "\n";
+  WriteAll(fd, RenderResponse(resp));
+}
+
+bool HttpGet(const std::string& host, int port, const std::string& path,
+             std::string* body, int* status, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad host (only IPv4 literals and localhost): " + host;
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    *error = std::string("connect ") + resolved + ":" +
+             std::to_string(port) + ": " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " +
+                              resolved + "\r\nConnection: close\r\n\r\n";
+  if (!WriteAll(fd, request)) {
+    *error = "send failed";
+    ::close(fd);
+    return false;
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    struct pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 5000);
+    if (pr <= 0) {
+      *error = "read timeout";
+      ::close(fd);
+      return false;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      *error = std::string("recv: ") + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t sp = response.find(' ');
+  if (response.compare(0, 5, "HTTP/") != 0 || sp == std::string::npos) {
+    *error = "not an HTTP response";
+    return false;
+  }
+  *status = std::atoi(response.c_str() + sp + 1);
+  const std::size_t body_at = response.find("\r\n\r\n");
+  *body = body_at == std::string::npos ? "" : response.substr(body_at + 4);
+  return true;
+}
+
+bool ParseHttpUrl(const std::string& url, std::string* host, int* port,
+                  std::string* path) {
+  std::string rest = url;
+  const std::string scheme = "http://";
+  if (rest.compare(0, scheme.size(), scheme) == 0) {
+    rest = rest.substr(scheme.size());
+  } else if (rest.find("://") != std::string::npos) {
+    return false;  // https or other schemes unsupported
+  }
+  *port = 9464;
+  *path = "/";
+  const std::size_t slash = rest.find('/');
+  if (slash != std::string::npos) {
+    *path = rest.substr(slash);
+    rest.resize(slash);
+  }
+  const std::size_t colon = rest.find(':');
+  if (colon != std::string::npos) {
+    *port = std::atoi(rest.c_str() + colon + 1);
+    rest.resize(colon);
+  }
+  if (rest.empty() || *port <= 0 || *port > 65535) return false;
+  *host = rest;
+  return true;
+}
+
+}  // namespace nec::obs

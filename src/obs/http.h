@@ -1,0 +1,90 @@
+// Minimal single-threaded HTTP/1.1 listener for metrics/health endpoints.
+//
+// Scope: GET-only, one request per connection, loopback by default. This
+// is a scrape target for Prometheus and `necctl stats`, not a web server.
+// The listener runs on one background thread with a poll loop; handlers
+// execute on that thread, so they must be quick and must only touch
+// thread-safe state (RuntimeStats snapshots are).
+//
+// Binding port 0 picks an ephemeral port; `port()` reports the real one
+// (tests and `necd --metrics-port 0` use this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace nec::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Handler for one path. `query` is the raw string after '?' (may be
+/// empty); the return value is written back verbatim.
+using HttpHandler =
+    std::function<HttpResponse(const std::string& path,
+                               const std::string& query)>;
+
+class MetricsServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;  ///< 0 = ephemeral; see port() after Start()
+  };
+
+  MetricsServer();
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// Registers a handler for an exact path ("/metrics"). Must be called
+  /// before Start().
+  void Handle(std::string path, HttpHandler handler);
+
+  /// Binds + listens + spawns the serving thread. Returns false (with a
+  /// reason in *error) if the socket can't be bound.
+  bool Start(const Options& options, std::string* error);
+
+  /// Stops the serving thread and closes the socket. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after a successful Start()).
+  int port() const { return port_; }
+
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  std::vector<std::pair<std::string, HttpHandler>> handlers_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  int listen_fd_ = -1;
+  int port_ = 0;
+};
+
+/// Blocking HTTP GET against http://host:port/path. Used by `necctl
+/// stats` and tests; no TLS, no redirects. Returns false with a reason
+/// in *error on connect/protocol failure; fills *body with the response
+/// payload (any status) and *status with the status code.
+bool HttpGet(const std::string& host, int port, const std::string& path,
+             std::string* body, int* status, std::string* error);
+
+/// Splits "http://host:port/path" (scheme optional). Returns false on
+/// malformed input. Defaults: port 9464, path "/".
+bool ParseHttpUrl(const std::string& url, std::string* host, int* port,
+                  std::string* path);
+
+}  // namespace nec::obs

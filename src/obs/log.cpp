@@ -1,0 +1,262 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace nec::obs {
+namespace {
+
+struct LoggerState {
+  std::mutex mu;
+  std::map<std::string, LogLevel> component_levels;  // guarded by mu
+  LogFormat format = LogFormat::kText;               // guarded by mu
+  std::FILE* file = nullptr;                         // nullptr = stderr
+  std::function<void(const LogRecord&)> capture;     // guarded by mu
+};
+
+LoggerState& State() {
+  static LoggerState* s = new LoggerState;
+  return *s;
+}
+
+// Fast-path gates: LogEnabled must not take the mutex when no component
+// override exists (the common case).
+std::atomic<int> g_global_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_num_overrides{0};
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Wall-clock timestamp "2026-08-07T12:00:00.123Z".
+std::string WallTimestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  for (const LogLevel level :
+       {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+        LogLevel::kError, LogLevel::kOff}) {
+    if (name == LogLevelName(level)) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SetLogLevel(LogLevel level) {
+  g_global_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(
+      g_global_level.load(std::memory_order_relaxed));
+}
+
+void SetComponentLogLevel(const std::string& component, LogLevel level) {
+  LoggerState& s = State();
+  std::lock_guard lock(s.mu);
+  s.component_levels[component] = level;
+  g_num_overrides.store(static_cast<int>(s.component_levels.size()),
+                        std::memory_order_relaxed);
+}
+
+void ClearComponentLogLevels() {
+  LoggerState& s = State();
+  std::lock_guard lock(s.mu);
+  s.component_levels.clear();
+  g_num_overrides.store(0, std::memory_order_relaxed);
+}
+
+void SetLogFormat(LogFormat format) {
+  LoggerState& s = State();
+  std::lock_guard lock(s.mu);
+  s.format = format;
+}
+
+void SetLogFile(std::FILE* file) {
+  LoggerState& s = State();
+  std::lock_guard lock(s.mu);
+  s.file = file;
+}
+
+void SetLogCapture(std::function<void(const LogRecord&)> capture) {
+  LoggerState& s = State();
+  std::lock_guard lock(s.mu);
+  s.capture = std::move(capture);
+}
+
+bool LogEnabled(const char* component, LogLevel level) {
+  const int lvl = static_cast<int>(level);
+  if (g_num_overrides.load(std::memory_order_relaxed) == 0) {
+    return lvl >= g_global_level.load(std::memory_order_relaxed);
+  }
+  LoggerState& s = State();
+  std::lock_guard lock(s.mu);
+  const auto it = s.component_levels.find(component);
+  const int threshold = it != s.component_levels.end()
+                            ? static_cast<int>(it->second)
+                            : g_global_level.load(std::memory_order_relaxed);
+  return lvl >= threshold;
+}
+
+void LogWrite(const char* component, LogLevel level, std::string message,
+              std::uint64_t suppressed) {
+  LogRecord record{level, component, std::move(message), suppressed};
+  LoggerState& s = State();
+  std::lock_guard lock(s.mu);
+  if (s.capture) {
+    s.capture(record);
+    return;
+  }
+  std::FILE* out = s.file != nullptr ? s.file : stderr;
+  std::string line;
+  line.reserve(record.message.size() + 96);
+  if (s.format == LogFormat::kJson) {
+    line += "{\"ts\":\"";
+    line += WallTimestamp();
+    line += "\",\"level\":\"";
+    line += LogLevelName(level);
+    line += "\",\"component\":\"";
+    AppendEscaped(line, record.component);
+    line += "\",\"msg\":\"";
+    AppendEscaped(line, record.message);
+    line += "\"";
+    if (suppressed > 0) {
+      line += ",\"suppressed\":";
+      line += std::to_string(suppressed);
+    }
+    line += "}\n";
+  } else {
+    line += WallTimestamp();
+    line += ' ';
+    const char* name = LogLevelName(level);
+    line += name;
+    line.append(5 > std::strlen(name) ? 5 - std::strlen(name) : 0, ' ');
+    line += " [";
+    line += record.component;
+    line += "] ";
+    line += record.message;
+    if (suppressed > 0) {
+      line += " (";
+      line += std::to_string(suppressed);
+      line += " suppressed)";
+    }
+    line += '\n';
+  }
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fflush(out);
+}
+
+void Logf(const char* component, LogLevel level, std::uint64_t suppressed,
+          const char* format, ...) {
+  char stack_buf[512];
+  std::va_list args;
+  va_start(args, format);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(stack_buf, sizeof stack_buf, format, args);
+  va_end(args);
+  std::string message;
+  if (n < 0) {
+    message = "(log format error)";
+    va_end(args_copy);
+  } else if (static_cast<std::size_t>(n) < sizeof stack_buf) {
+    message.assign(stack_buf, static_cast<std::size_t>(n));
+    va_end(args_copy);
+  } else {
+    std::vector<char> big(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(big.data(), big.size(), format, args_copy);
+    va_end(args_copy);
+    message.assign(big.data(), static_cast<std::size_t>(n));
+  }
+  LogWrite(component, level, std::move(message), suppressed);
+}
+
+LogRateLimit::LogRateLimit(double per_second, double burst)
+    : per_second_(std::max(0.0, per_second)),
+      burst_(std::max(1.0, burst)),
+      last_ns_(TraceNowNs()),
+      tokens_(burst_) {}
+
+bool LogRateLimit::Allow(std::uint64_t* suppressed_before) {
+  return AllowAt(TraceNowNs(), suppressed_before);
+}
+
+void LogRateLimit::AdvanceForTest(double seconds) {
+  // Credits the refill directly instead of rewinding last_ns_: the steady
+  // clock anchor is process start, so early in a process there may be no
+  // room to rewind a full interval.
+  std::lock_guard lock(mu_);
+  tokens_ = std::min(burst_,
+                     tokens_ + std::max(0.0, seconds) * per_second_);
+}
+
+bool LogRateLimit::AllowAt(std::uint64_t now_ns,
+                           std::uint64_t* suppressed_before) {
+  std::lock_guard lock(mu_);
+  const double elapsed_s =
+      now_ns > last_ns_ ? static_cast<double>(now_ns - last_ns_) / 1e9 : 0.0;
+  last_ns_ = now_ns;
+  tokens_ = std::min(burst_, tokens_ + elapsed_s * per_second_);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    *suppressed_before = suppressed_;
+    suppressed_ = 0;
+    return true;
+  }
+  ++suppressed_;
+  return false;
+}
+
+}  // namespace nec::obs

@@ -1,0 +1,141 @@
+// Leveled, rate-limited structured logging.
+//
+// Replaces the scattered std::printf in model_cache/trainer and necd's
+// ad-hoc fprintf with one sink that can emit human text or JSON lines
+// (one object per line — jq/Loki-friendly) and can be filtered globally
+// or per component ("trainer", "model_cache", "necd", "runtime").
+//
+// Design points:
+//   * LogEnabled is the hot-path gate: one relaxed atomic load when no
+//     per-component override exists. The NEC_LOG macros evaluate their
+//     format arguments only after the gate passes.
+//   * Formatting + sink IO run under a mutex — logging is a control-plane
+//     path (startup, faults, training progress), never per-sample.
+//   * Rate limiting is per call site: a static LogRateLimit token bucket
+//     in the NEC_LOG_EVERY macro suppresses floods (e.g. a fault storm)
+//     and reports how many messages it swallowed when it re-opens.
+//   * Tests capture records via SetLogCapture instead of scraping stderr.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace nec::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* LogLevelName(LogLevel level);
+
+/// Parses "trace|debug|info|warn|error|off"; false on unknown names.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
+
+enum class LogFormat { kText, kJson };
+
+/// One emitted log record (what a capture sink sees).
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string component;
+  std::string message;
+  std::uint64_t suppressed = 0;  ///< messages a rate limit swallowed before
+};
+
+/// Global minimum level (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Per-component override; kOff silences a component entirely. Overrides
+/// win over the global level in both directions.
+void SetComponentLogLevel(const std::string& component, LogLevel level);
+void ClearComponentLogLevels();
+
+void SetLogFormat(LogFormat format);
+
+/// Output stream for formatted records (default stderr). Not owned.
+void SetLogFile(std::FILE* file);
+
+/// Captures records instead of writing them to the log file (nullptr
+/// restores file output). Test hook; called under the logger mutex.
+void SetLogCapture(std::function<void(const LogRecord&)> capture);
+
+/// The hot-path gate: true when a record at `level` for `component` would
+/// be emitted.
+bool LogEnabled(const char* component, LogLevel level);
+
+/// Emits a preformatted record (gate NOT rechecked).
+void LogWrite(const char* component, LogLevel level, std::string message,
+              std::uint64_t suppressed = 0);
+
+/// printf-style convenience over LogWrite.
+#if defined(__GNUC__)
+__attribute__((format(printf, 4, 5)))
+#endif
+void Logf(const char* component, LogLevel level, std::uint64_t suppressed,
+          const char* format, ...);
+
+/// Token-bucket rate limiter for one log site. `per_second` tokens refill
+/// continuously up to `burst`; Allow() reports (and resets) how many calls
+/// were suppressed since it last returned true. Thread-safe.
+class LogRateLimit {
+ public:
+  explicit LogRateLimit(double per_second, double burst = 5.0);
+
+  bool Allow(std::uint64_t* suppressed_before);
+
+  /// Test hook: advance the refill clock manually by `seconds`.
+  void AdvanceForTest(double seconds);
+
+ private:
+  bool AllowAt(std::uint64_t now_ns, std::uint64_t* suppressed_before);
+
+  const double per_second_;
+  const double burst_;
+  std::uint64_t last_ns_;  // guarded by mu_ (all below)
+  double tokens_;
+  std::uint64_t suppressed_ = 0;
+  std::mutex mu_;
+};
+
+#define NEC_LOG(component, level, ...)                               \
+  do {                                                               \
+    if (::nec::obs::LogEnabled((component), (level))) {              \
+      ::nec::obs::Logf((component), (level), 0, __VA_ARGS__);        \
+    }                                                                \
+  } while (0)
+
+#define NEC_LOG_DEBUG(component, ...) \
+  NEC_LOG(component, ::nec::obs::LogLevel::kDebug, __VA_ARGS__)
+#define NEC_LOG_INFO(component, ...) \
+  NEC_LOG(component, ::nec::obs::LogLevel::kInfo, __VA_ARGS__)
+#define NEC_LOG_WARN(component, ...) \
+  NEC_LOG(component, ::nec::obs::LogLevel::kWarn, __VA_ARGS__)
+#define NEC_LOG_ERROR(component, ...) \
+  NEC_LOG(component, ::nec::obs::LogLevel::kError, __VA_ARGS__)
+
+/// Rate-limited site: at most `per_second` records/s (burst 5) from THIS
+/// macro expansion; the first record after a suppression window carries
+/// the swallowed count.
+#define NEC_LOG_EVERY(component, level, per_second, ...)                   \
+  do {                                                                     \
+    if (::nec::obs::LogEnabled((component), (level))) {                    \
+      static ::nec::obs::LogRateLimit nec_log_rl_(per_second);             \
+      std::uint64_t nec_log_suppressed_ = 0;                               \
+      if (nec_log_rl_.Allow(&nec_log_suppressed_)) {                       \
+        ::nec::obs::Logf((component), (level), nec_log_suppressed_,        \
+                         __VA_ARGS__);                                     \
+      }                                                                    \
+    }                                                                      \
+  } while (0)
+
+}  // namespace nec::obs

@@ -1,0 +1,446 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+
+namespace nec::obs {
+namespace {
+
+/// %.10g keeps integers exact (counters) and doubles compact.
+std::string NumberToString(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+void AppendLabels(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const std::string* extra_key = nullptr,
+    const std::string* extra_value = nullptr) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;  // label values here are enum names — never need escaping
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += *extra_key;
+    out += "=\"";
+    out += *extra_value;
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricFamily MakeCounter(std::string name, std::string help, double value) {
+  MetricFamily f;
+  f.name = std::move(name);
+  f.help = std::move(help);
+  f.type = MetricType::kCounter;
+  f.metrics.push_back(Metric{.value = value});
+  return f;
+}
+
+MetricFamily MakeGauge(std::string name, std::string help, double value) {
+  MetricFamily f = MakeCounter(std::move(name), std::move(help), value);
+  f.type = MetricType::kGauge;
+  return f;
+}
+
+std::string RenderPrometheusText(std::span<const MetricFamily> families) {
+  std::string out;
+  const std::string le = "le";
+  for (const MetricFamily& f : families) {
+    if (!f.help.empty()) {
+      out += "# HELP ";
+      out += f.name;
+      out += ' ';
+      out += f.help;
+      out += '\n';
+    }
+    out += "# TYPE ";
+    out += f.name;
+    out += ' ';
+    out += MetricTypeName(f.type);
+    out += '\n';
+    for (const Metric& m : f.metrics) {
+      if (f.type != MetricType::kHistogram) {
+        out += f.name;
+        AppendLabels(out, m.labels);
+        out += ' ';
+        out += NumberToString(m.value);
+        out += '\n';
+        continue;
+      }
+      const HistogramData& h = m.histogram;
+      for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+        out += f.name;
+        out += "_bucket";
+        const std::string bound = NumberToString(h.upper_bounds[i]);
+        AppendLabels(out, m.labels, &le, &bound);
+        out += ' ';
+        out += std::to_string(h.cumulative[i]);
+        out += '\n';
+      }
+      out += f.name;
+      out += "_bucket";
+      const std::string inf = "+Inf";
+      AppendLabels(out, m.labels, &le, &inf);
+      out += ' ';
+      out += std::to_string(h.count);
+      out += '\n';
+      out += f.name;
+      out += "_sum";
+      AppendLabels(out, m.labels);
+      out += ' ';
+      out += NumberToString(h.sum);
+      out += '\n';
+      out += f.name;
+      out += "_count";
+      AppendLabels(out, m.labels);
+      out += ' ';
+      out += std::to_string(h.count);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderMetricsJson(std::span<const MetricFamily> families) {
+  std::string out = "{\"families\":[";
+  bool first_family = true;
+  for (const MetricFamily& f : families) {
+    if (!first_family) out += ',';
+    first_family = false;
+    out += "{\"name\":\"" + JsonEscape(f.name) + "\",\"type\":\"";
+    out += MetricTypeName(f.type);
+    out += "\",\"help\":\"" + JsonEscape(f.help) + "\",\"metrics\":[";
+    bool first_metric = true;
+    for (const Metric& m : f.metrics) {
+      if (!first_metric) out += ',';
+      first_metric = false;
+      out += "{\"labels\":{";
+      bool first_label = true;
+      for (const auto& [k, v] : m.labels) {
+        if (!first_label) out += ',';
+        first_label = false;
+        out += "\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+      }
+      out += '}';
+      if (f.type == MetricType::kHistogram) {
+        const HistogramData& h = m.histogram;
+        out += ",\"count\":" + std::to_string(h.count);
+        out += ",\"sum\":" + NumberToString(h.sum);
+        out += ",\"buckets\":[";
+        for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+          if (i > 0) out += ',';
+          out += "{\"le\":" + NumberToString(h.upper_bounds[i]) +
+                 ",\"cumulative\":" + std::to_string(h.cumulative[i]) + "}";
+        }
+        out += ']';
+      } else {
+        out += ",\"value\":" + NumberToString(m.value);
+      }
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+double HistogramQuantile(const HistogramData& h, double p) {
+  if (h.count == 0) return 0.0;
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(std::clamp(p, 0.0, 1.0) * static_cast<double>(h.count)));
+  for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+    if (h.cumulative[i] >= rank) return h.upper_bounds[i];
+  }
+  return h.upper_bounds.empty() ? 0.0 : h.upper_bounds.back();
+}
+
+// --------------------------------------------------------------- parser
+
+namespace {
+
+struct ParsedSample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+};
+
+bool ParseSampleLine(const std::string& line, ParsedSample* out,
+                     std::string* error) {
+  std::size_t i = line.find_first_of("{ \t");
+  if (i == std::string::npos || i == 0) {
+    *error = "malformed sample line: " + line;
+    return false;
+  }
+  out->name = line.substr(0, i);
+  out->labels.clear();
+  if (line[i] == '{') {
+    const std::size_t close = line.find('}', i);
+    if (close == std::string::npos) {
+      *error = "unterminated label set: " + line;
+      return false;
+    }
+    std::size_t p = i + 1;
+    while (p < close) {
+      const std::size_t eq = line.find('=', p);
+      if (eq == std::string::npos || eq > close) {
+        *error = "malformed label: " + line;
+        return false;
+      }
+      if (line[eq + 1] != '"') {
+        *error = "unquoted label value: " + line;
+        return false;
+      }
+      const std::size_t endq = line.find('"', eq + 2);
+      if (endq == std::string::npos || endq > close) {
+        *error = "unterminated label value: " + line;
+        return false;
+      }
+      out->labels.emplace_back(line.substr(p, eq - p),
+                               line.substr(eq + 2, endq - eq - 2));
+      p = endq + 1;
+      if (p < close && line[p] == ',') ++p;
+    }
+    i = close + 1;
+  }
+  const std::string value_text = line.substr(i);
+  const std::size_t v0 = value_text.find_first_not_of(" \t");
+  if (v0 == std::string::npos) {
+    *error = "sample without a value: " + line;
+    return false;
+  }
+  const std::string v = value_text.substr(v0);
+  if (v == "+Inf") {
+    out->value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  char* end = nullptr;
+  out->value = std::strtod(v.c_str(), &end);
+  if (end == v.c_str()) {
+    *error = "unparsable value '" + v + "' in: " + line;
+    return false;
+  }
+  return true;
+}
+
+/// Strips a histogram series suffix; returns the family name and which
+/// series kind the sample belongs to.
+enum class SeriesKind { kPlain, kBucket, kSum, kCount };
+
+std::string FamilyNameOf(const std::string& sample_name,
+                         const std::map<std::string, MetricFamily*>& hists,
+                         SeriesKind* kind) {
+  *kind = SeriesKind::kPlain;
+  for (const auto& [suffix, k] :
+       {std::pair<const char*, SeriesKind>{"_bucket", SeriesKind::kBucket},
+        {"_sum", SeriesKind::kSum},
+        {"_count", SeriesKind::kCount}}) {
+    const std::size_t len = std::strlen(suffix);
+    if (sample_name.size() > len &&
+        sample_name.compare(sample_name.size() - len, len, suffix) == 0) {
+      const std::string base = sample_name.substr(0, sample_name.size() - len);
+      if (hists.count(base) != 0) {
+        *kind = k;
+        return base;
+      }
+    }
+  }
+  return sample_name;
+}
+
+}  // namespace
+
+bool ParsePrometheusText(const std::string& text,
+                         std::vector<MetricFamily>* families,
+                         std::string* error) {
+  families->clear();
+  std::map<std::string, MetricFamily*> by_name;
+  std::map<std::string, MetricFamily*> histograms;
+  // Reserve-free two-pass is overkill; use stable storage via deque-like
+  // indices instead: store families in a list of unique indexes.
+  std::vector<std::unique_ptr<MetricFamily>> storage;
+
+  const auto family_for = [&](const std::string& name) -> MetricFamily* {
+    const auto it = by_name.find(name);
+    if (it != by_name.end()) return it->second;
+    storage.push_back(std::make_unique<MetricFamily>());
+    storage.back()->name = name;
+    storage.back()->type = MetricType::kGauge;  // untyped default
+    by_name[name] = storage.back().get();
+    return storage.back().get();
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hs(line);
+      std::string hash, keyword, name;
+      hs >> hash >> keyword >> name;
+      if (keyword == "HELP") {
+        std::string rest;
+        std::getline(hs, rest);
+        const std::size_t r0 = rest.find_first_not_of(" \t");
+        family_for(name)->help =
+            r0 == std::string::npos ? "" : rest.substr(r0);
+      } else if (keyword == "TYPE") {
+        std::string type_name;
+        hs >> type_name;
+        MetricFamily* f = family_for(name);
+        if (!f->metrics.empty()) {
+          *error = "TYPE for " + name + " declared after its samples";
+          return false;
+        }
+        if (type_name == "counter") {
+          f->type = MetricType::kCounter;
+        } else if (type_name == "gauge") {
+          f->type = MetricType::kGauge;
+        } else if (type_name == "histogram") {
+          f->type = MetricType::kHistogram;
+          histograms[name] = f;
+        } else {
+          *error = "unknown TYPE '" + type_name + "' for " + name;
+          return false;
+        }
+      }
+      continue;
+    }
+
+    ParsedSample sample;
+    if (!ParseSampleLine(line, &sample, error)) return false;
+    SeriesKind kind;
+    const std::string fname = FamilyNameOf(sample.name, histograms, &kind);
+    MetricFamily* f = family_for(fname);
+
+    if (f->type == MetricType::kHistogram) {
+      if (f->metrics.empty()) f->metrics.push_back(Metric{});
+      HistogramData& h = f->metrics[0].histogram;
+      switch (kind) {
+        case SeriesKind::kBucket: {
+          double le = 0.0;
+          bool found = false;
+          for (const auto& [k, v] : sample.labels) {
+            if (k == "le") {
+              le = v == "+Inf" ? std::numeric_limits<double>::infinity()
+                               : std::strtod(v.c_str(), nullptr);
+              found = true;
+            }
+          }
+          if (!found) {
+            *error = fname + "_bucket without an le label";
+            return false;
+          }
+          const std::uint64_t c =
+              static_cast<std::uint64_t>(sample.value);
+          if (!h.cumulative.empty() && c < h.cumulative.back()) {
+            *error = fname + " bucket counts are not cumulative";
+            return false;
+          }
+          if (!h.upper_bounds.empty() && le <= h.upper_bounds.back()) {
+            *error = fname + " bucket bounds are not increasing";
+            return false;
+          }
+          h.upper_bounds.push_back(le);
+          h.cumulative.push_back(c);
+          break;
+        }
+        case SeriesKind::kSum:
+          h.sum = sample.value;
+          break;
+        case SeriesKind::kCount:
+          h.count = static_cast<std::uint64_t>(sample.value);
+          break;
+        case SeriesKind::kPlain:
+          *error = "bare sample " + sample.name + " for histogram " + fname;
+          return false;
+      }
+      continue;
+    }
+
+    Metric m;
+    m.labels = std::move(sample.labels);
+    m.value = sample.value;
+    f->metrics.push_back(std::move(m));
+  }
+
+  // Histogram post-lint: +Inf present, equal to count, buckets <= count.
+  for (const auto& [name, f] : histograms) {
+    if (f->metrics.empty()) {
+      *error = "histogram " + name + " has no samples";
+      return false;
+    }
+    HistogramData& h = f->metrics[0].histogram;
+    if (h.upper_bounds.empty() ||
+        !std::isinf(h.upper_bounds.back())) {
+      *error = "histogram " + name + " lacks an le=\"+Inf\" bucket";
+      return false;
+    }
+    if (h.cumulative.back() != h.count) {
+      *error = "histogram " + name + " +Inf bucket != _count";
+      return false;
+    }
+    // Drop the +Inf entry from the parsed surface: HistogramData models it
+    // implicitly via `count`, matching what the renderer emits.
+    h.upper_bounds.pop_back();
+    h.cumulative.pop_back();
+  }
+
+  families->reserve(storage.size());
+  for (auto& f : storage) families->push_back(std::move(*f));
+  return true;
+}
+
+}  // namespace nec::obs

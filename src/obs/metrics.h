@@ -1,0 +1,85 @@
+// Neutral metrics data model + Prometheus/JSON exposition.
+//
+// The runtime's RuntimeStatsSnapshot (and anything else that wants to be
+// scraped) converts itself into a vector of MetricFamily — the same shape
+// the Prometheus exposition format describes — and the renderers here turn
+// that into the text format a Prometheus/VictoriaMetrics scraper ingests,
+// or a JSON document for humans and ad-hoc tooling. ParsePrometheusText
+// is the inverse for the text format: necctl uses it to pretty-print a
+// scraped endpoint, and tests use it as an exposition-format lint
+// (TYPE-before-samples, monotone histogram buckets, le="+Inf" == count).
+//
+// Histograms carry the FULL bucket surface — cumulative counts per upper
+// bound, Prometheus-style — not just pre-derived quantiles, so a scraper
+// can aggregate across processes and compute any quantile server-side.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nec::obs {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* MetricTypeName(MetricType type);
+
+/// Histogram in Prometheus form: `cumulative[i]` counts observations
+/// <= upper_bounds[i]; the implicit +Inf bucket equals `count`.
+struct HistogramData {
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> cumulative;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// One sample of a family (a label combination).
+struct Metric {
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;        ///< counter/gauge
+  HistogramData histogram;   ///< histogram families only
+};
+
+struct MetricFamily {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  std::vector<Metric> metrics;
+};
+
+// ------------------------------------------------------------ builders
+
+MetricFamily MakeCounter(std::string name, std::string help, double value);
+MetricFamily MakeGauge(std::string name, std::string help, double value);
+
+// ------------------------------------------------------------ rendering
+
+/// Prometheus exposition text (version 0.0.4): # HELP / # TYPE headers,
+/// `_bucket{le=...}` / `_sum` / `_count` series for histograms.
+std::string RenderPrometheusText(std::span<const MetricFamily> families);
+
+/// The same families as one JSON object:
+/// {"families":[{"name":...,"type":...,"help":...,"metrics":[...]}]}.
+std::string RenderMetricsJson(std::span<const MetricFamily> families);
+
+/// Escapes a string for embedding in a JSON document (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+// ------------------------------------------------------------- parsing
+
+/// Parses (and lints) Prometheus exposition text back into families.
+/// Enforces: TYPE known and declared at most once per family, samples
+/// only for declared-or-untyped families, histogram buckets cumulative
+/// (non-decreasing), le="+Inf" bucket present and equal to `_count`.
+/// Returns false with a diagnostic in `*error` on the first violation.
+bool ParsePrometheusText(const std::string& text,
+                         std::vector<MetricFamily>* families,
+                         std::string* error);
+
+/// Quantile (0..1) from a cumulative histogram: the upper bound of the
+/// bucket where the CDF crosses p (matches LatencyHistogram::Quantiles
+/// semantics). Returns 0 for an empty histogram.
+double HistogramQuantile(const HistogramData& h, double p);
+
+}  // namespace nec::obs

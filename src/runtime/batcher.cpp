@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace nec::runtime {
 
@@ -20,10 +21,19 @@ MicroBatcher::MicroBatcher(Options options, BatchFn fn)
 MicroBatcher::~MicroBatcher() { Shutdown(); }
 
 void MicroBatcher::Enqueue(void* key, audio::Waveform chunk) {
+  // Flow arrow tail: the matching head is emitted by the batch callback
+  // when it completes this chunk, linking enqueue → coalesce → dispatch
+  // across threads in the exported trace.
+  std::uint64_t flow_id = 0;
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  if (rec.enabled()) {
+    flow_id = rec.NextFlowId();
+    rec.RecordFlow(obs::TraceEventKind::kFlowBegin, "chunk.flow", flow_id);
+  }
   {
     std::lock_guard lock(mu_);
     NEC_CHECK_MSG(!shutdown_, "Enqueue after MicroBatcher::Shutdown");
-    pending_.push_back(Item{key, std::move(chunk), Clock::now()});
+    pending_.push_back(Item{key, std::move(chunk), Clock::now(), flow_id});
   }
   cv_.notify_all();
 }
@@ -77,6 +87,7 @@ std::chrono::microseconds MicroBatcher::EffectiveWaitUs() const {
 }
 
 void MicroBatcher::Loop() {
+  obs::TraceRecorder::SetThreadName("coalescer");
   std::unique_lock lock(mu_);
   for (;;) {
     cv_.wait(lock, [&] { return shutdown_ || !pending_.empty(); });

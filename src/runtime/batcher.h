@@ -53,6 +53,9 @@ class MicroBatcher {
     void* key = nullptr;  ///< session identity (opaque to the batcher)
     audio::Waveform chunk;
     std::chrono::steady_clock::time_point enqueued;
+    /// Trace flow id linking this chunk's enqueue to its completion in
+    /// the batch that served it (0 when tracing is disabled).
+    std::uint64_t flow_id = 0;
   };
 
   /// Processes one gathered batch, in the given (enqueue) order. Runs on

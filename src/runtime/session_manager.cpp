@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace nec::runtime {
 namespace {
@@ -100,6 +101,7 @@ SessionManager::Session* SessionManager::GetSession(SessionId id) const {
 
 SubmitResult SessionManager::Submit(SessionId id,
                                     std::span<const float> samples) {
+  NEC_TRACE_SPAN_ARG("runtime.submit", id);
   Session* s = GetSession(id);
 
   // Input hygiene at the service boundary: NaN/Inf/wild-amplitude capture
@@ -172,6 +174,7 @@ void SessionManager::RunStrand(Session* s) {
     RunStrandBatched(s);
     return;
   }
+  NEC_TRACE_SPAN_ARG("runtime.strand", s->id);
   std::vector<float> take;
   for (;;) {
     {
@@ -203,6 +206,7 @@ void SessionManager::RunStrandBatched(Session* s) {
   // the coalescer thread and per-session FIFO order survives ladder
   // transitions. Completion (shadow + modulation + output append) happens
   // in RunBatch.
+  NEC_TRACE_SPAN_ARG("runtime.strand_batched", s->id);
   std::vector<float> take;
   for (;;) {
     {
@@ -316,6 +320,7 @@ bool SessionManager::ProcessOneChunk(Session* s, audio::Waveform chunk) {
 }
 
 void SessionManager::RunBatch(std::vector<MicroBatcher::Item>&& items) {
+  NEC_TRACE_SPAN_ARG("runtime.batch", items.size());
   const auto t0 = std::chrono::steady_clock::now();
   stats_.AddBatch(items.size());
   for (const MicroBatcher::Item& it : items) {
@@ -396,6 +401,10 @@ void SessionManager::RunBatch(std::vector<MicroBatcher::Item>&& items) {
         ProcessOneChunk(s, std::move(items[i].chunk));
         break;
     }
+    // Flow arrow head: ties this chunk's completion (or shedding) back to
+    // its Enqueue tail, batch membership visible via the enclosing span.
+    obs::TraceRecorder::Global().RecordFlow(obs::TraceEventKind::kFlowEnd,
+                                            "chunk.flow", items[i].flow_id);
   }
 }
 
@@ -479,6 +488,7 @@ void SessionManager::FaultSession(Session* s, SessionError error) {
   }
   stats_.AddFault(category);
   stats_.AddSamplesDropped(shed);
+  obs::TraceInstant("session.fault", s->id);
 }
 
 void SessionManager::StepDownLocked(Session* s) {
@@ -486,6 +496,7 @@ void SessionManager::StepDownLocked(Session* s) {
   s->consecutive_misses = 0;
   s->successes_at_level = 0;
   stats_.AddDegradeDown();
+  obs::TraceInstant("degrade.down", s->id);
 }
 
 void SessionManager::UpdateWatchdogLocked(Session* s, DegradeLevel used_level,
@@ -506,6 +517,7 @@ void SessionManager::UpdateWatchdogLocked(Session* s, DegradeLevel used_level,
       s->consecutive_misses = 0;
       s->successes_at_level = 0;
       stats_.AddDegradeUp();
+      obs::TraceInstant("degrade.up", s->id);
     }
     return;
   }
@@ -555,6 +567,7 @@ void SessionManager::AbandonStrand(Session* s) {
     discarded += batcher_->Purge(s) * chunk_samples_;
   }
   stats_.AddSamplesDropped(discarded);
+  obs::TraceInstant("strand.drop", s->id);
   FinishStrand();
 }
 

@@ -20,6 +20,7 @@ void LatencyHistogram::Record(double ms) {
   buckets_[BucketIndex(ms)].fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t us =
       static_cast<std::uint64_t>(std::max(0.0, ms) * 1000.0);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
   std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
   while (us > seen &&
          !max_us_.compare_exchange_weak(seen, us,
@@ -61,9 +62,25 @@ LatencyQuantiles LatencyHistogram::Quantiles() const {
   return q;
 }
 
+HistogramSnapshot LatencyHistogram::Buckets() const {
+  HistogramSnapshot snap;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    snap.cumulative[i] = cum;
+  }
+  snap.count = cum;
+  snap.sum_ms =
+      static_cast<double>(sum_us_.load(std::memory_order_relaxed)) / 1000.0;
+  snap.max_ms =
+      static_cast<double>(max_us_.load(std::memory_order_relaxed)) / 1000.0;
+  return snap;
+}
+
 void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   max_us_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
 }
 
 void RuntimeStats::AddBatch(std::size_t batch_size) {
@@ -90,6 +107,7 @@ RuntimeStatsSnapshot RuntimeStats::Snapshot(const PoolSample& pool) const {
   s.queue_peak_depth = pool.queue_peak_depth;
   s.worker_exceptions = pool.worker_exceptions;
   s.chunk_latency = latency_.Quantiles();
+  s.chunk_latency_hist = latency_.Buckets();
 
   for (std::size_t i = 0; i < kNumErrorCategories; ++i) {
     s.faults_by_category[i] = faults_[i].load(kRelaxed);
@@ -116,6 +134,7 @@ RuntimeStatsSnapshot RuntimeStats::Snapshot(const PoolSample& pool) const {
     s.batch_size_counts[i] = batch_size_counts_[i].load(kRelaxed);
   }
   s.queue_wait = queue_wait_.Quantiles();
+  s.queue_wait_hist = queue_wait_.Buckets();
   return s;
 }
 

@@ -25,12 +25,26 @@ struct LatencyQuantiles {
   std::uint64_t count = 0;
 };
 
+/// Number of log-spaced buckets in every LatencyHistogram.
+inline constexpr std::size_t kLatencyHistogramBuckets = 112;
+
+/// Full bucket surface of a LatencyHistogram at one moment, in
+/// Prometheus-friendly cumulative form: cumulative[i] observations were
+/// <= BucketUpperMs(i). Exported verbatim by the /metrics endpoint so a
+/// scraper can aggregate across processes and derive any quantile.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kLatencyHistogramBuckets> cumulative{};
+  std::uint64_t count = 0;
+  double sum_ms = 0.0;
+  double max_ms = 0.0;
+};
+
 /// Fixed log-spaced histogram over (0, ~12 s]; thread-safe, wait-free
 /// recording. Bucket i spans [kMinMs*G^i, kMinMs*G^(i+1)) with G = 1.11,
 /// so a reported quantile is within one bucket ratio of the true value.
 class LatencyHistogram {
  public:
-  static constexpr std::size_t kBuckets = 112;
+  static constexpr std::size_t kBuckets = kLatencyHistogramBuckets;
   static constexpr double kMinMs = 0.1;
   static constexpr double kGrowth = 1.11;
 
@@ -40,14 +54,22 @@ class LatencyHistogram {
   /// may not be included (snapshot is not a barrier).
   LatencyQuantiles Quantiles() const;
 
+  /// The full cumulative bucket surface (exported to /metrics). Same
+  /// consistency as Quantiles(): concurrent Records may be torn across
+  /// buckets, never corrupted.
+  HistogramSnapshot Buckets() const;
+
+  /// Inclusive upper bound of bucket `index` in ms (kMinMs * G^index).
+  static double BucketUpperMs(std::size_t index);
+
   void Reset();
 
  private:
   static std::size_t BucketIndex(double ms);
-  static double BucketUpperMs(std::size_t index);
 
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> max_us_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
 };
 
 /// Largest batch size tracked exactly by the batch-size histogram; larger
@@ -65,6 +87,7 @@ struct RuntimeStatsSnapshot {
   std::uint64_t samples_dropped = 0;  ///< buffered audio discarded on evict
   std::size_t queue_depth = 0;  ///< pool queue depth at snapshot time
   LatencyQuantiles chunk_latency;  ///< per-chunk selector+broadcast wall ms
+  HistogramSnapshot chunk_latency_hist;  ///< full buckets behind ^
 
   // --- Micro-batching (zero everywhere when batching is off).
   std::uint64_t batches_dispatched = 0;  ///< InferBatch calls issued
@@ -76,6 +99,7 @@ struct RuntimeStatsSnapshot {
   std::array<std::uint64_t, kMaxTrackedBatch + 1> batch_size_counts{};
   /// Coalescer queue wait per chunk: enqueue → batch dispatch.
   LatencyQuantiles queue_wait;
+  HistogramSnapshot queue_wait_hist;  ///< full buckets behind ^
 
   // --- Fault tolerance (DESIGN.md §5f; zero everywhere on a clean run).
   std::uint64_t faults = 0;  ///< sessions transitioned to kFaulted

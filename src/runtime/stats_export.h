@@ -1,0 +1,34 @@
+// RuntimeStatsSnapshot → nec::obs metric families.
+//
+// Lives in nec_runtime (not nec_obs) on purpose: obs sits below the
+// pipeline libraries so they can emit trace spans, which means obs cannot
+// know runtime types. The conversion — naming every counter, labelling
+// fault categories, unrolling the latency histograms into Prometheus
+// bucket surfaces — happens here, where both sides are visible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "runtime/session_manager.h"
+#include "runtime/stats.h"
+
+namespace nec::runtime {
+
+/// Converts one snapshot into Prometheus-shaped families (all prefixed
+/// `nec_`). Counters carry lifetime totals; histograms carry the full
+/// cumulative bucket surface of the underlying LatencyHistogram.
+std::vector<obs::MetricFamily> SnapshotToMetricFamilies(
+    const RuntimeStatsSnapshot& snapshot);
+
+/// One session's status as a JSON object (used by necd's /sessions
+/// endpoint): {"id":..,"state":..,"level":..,"chunks":..,"faults":..,
+/// "deadline_misses":..,"error":..}.
+std::string SessionStatusJson(std::size_t id, const SessionStatus& status);
+
+/// Every session of `manager` as a JSON array of SessionStatusJson
+/// objects. Thread-safe (SessionStatus is).
+std::string SessionsJson(const SessionManager& manager);
+
+}  // namespace nec::runtime

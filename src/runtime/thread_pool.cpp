@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace nec::runtime {
 
@@ -37,6 +38,7 @@ void ThreadPool::Shutdown() {
 }
 
 void ThreadPool::WorkerLoop() {
+  obs::TraceRecorder::SetThreadName("pool-worker");
   // Pop keeps yielding admitted tasks after Close until the queue is dry,
   // so shutdown never strands in-flight work.
   while (auto task = queue_.Pop()) {

@@ -1,0 +1,452 @@
+// nec::obs: trace ring semantics (wraparound, concurrency, Chrome JSON
+// well-formedness), leveled/rate-limited logging, Prometheus exposition
+// round-trip + lint, LatencyHistogram bucket export, and the metrics HTTP
+// endpoint. The concurrent-recording tests are in the TSan regex of
+// tools/check.sh on purpose: the per-thread rings claim wait-freedom and
+// this is where that claim is checked.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/http.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/stats.h"
+#include "runtime/stats_export.h"
+
+namespace nec {
+namespace {
+
+using obs::TraceEventKind;
+using obs::TraceRecorder;
+
+// ------------------------------------------------------------- helpers
+
+/// Minimal JSON syntax check: balanced braces/brackets outside strings,
+/// valid escapes, non-empty. Not a full parser — enough to catch the
+/// classic exporter bugs (trailing comma handled by scan, unterminated
+/// string, unbalanced scope).
+bool JsonWellFormed(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']':
+        if (--depth < 0) return false;
+        break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_string && !s.empty();
+}
+
+/// Scoped trace reset: tests own the process-global recorder.
+struct TraceReset {
+  TraceReset() { Reset(); }
+  ~TraceReset() { Reset(); }
+  static void Reset() {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Clear();
+  }
+};
+
+/// Scoped logger reset to defaults + capture.
+struct LogCapture {
+  std::vector<obs::LogRecord> records;
+  LogCapture() {
+    obs::SetLogLevel(obs::LogLevel::kInfo);
+    obs::ClearComponentLogLevels();
+    obs::SetLogCapture([this](const obs::LogRecord& r) {
+      records.push_back(r);
+    });
+  }
+  ~LogCapture() {
+    obs::SetLogCapture(nullptr);
+    obs::SetLogFormat(obs::LogFormat::kText);
+    obs::SetLogLevel(obs::LogLevel::kInfo);
+    obs::ClearComponentLogLevels();
+  }
+};
+
+// --------------------------------------------------------------- trace
+
+TEST(Trace, DisabledSiteRecordsNothing) {
+  TraceReset reset;
+  {
+    obs::TraceSpan span("never");
+    EXPECT_FALSE(span.armed());
+  }
+  obs::TraceInstant("never.instant");
+  EXPECT_EQ(TraceRecorder::Global().events_recorded(), 0u);
+  EXPECT_EQ(TraceRecorder::Global().events_dropped(), 0u);
+}
+
+TEST(Trace, RecordsSpansInstantsAndFlows) {
+  TraceReset reset;
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Enable(/*ring_capacity=*/256);
+  TraceRecorder::SetThreadName("gtest-main");
+
+  const std::uint64_t flow = rec.NextFlowId();
+  EXPECT_NE(flow, 0u);
+  EXPECT_NE(rec.NextFlowId(), flow);
+  {
+    obs::TraceSpan span("unit.work", "nec", /*arg=*/42);
+    EXPECT_TRUE(span.armed());
+    span.SetFlow(flow);
+  }
+  rec.RecordFlow(TraceEventKind::kFlowBegin, "unit.flow", flow);
+  rec.RecordFlow(TraceEventKind::kFlowEnd, "unit.flow", flow);
+  obs::TraceInstant("unit.fault", 7);
+  EXPECT_EQ(rec.events_recorded(), 4u);
+
+  const std::string json = rec.ChromeTraceJson();
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit.work\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // Thread-name metadata + the span's numeric arg survive the export.
+  EXPECT_NE(json.find("\"gtest-main\""), std::string::npos);
+  EXPECT_NE(json.find("42"), std::string::npos);
+}
+
+TEST(Trace, RingWraparoundKeepsNewestEvents) {
+  TraceReset reset;
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Enable(/*ring_capacity=*/8);
+  for (int i = 0; i < 12; ++i) {
+    rec.RecordSpan("early.span", "nec", obs::TraceNowNs(), 10);
+  }
+  for (int i = 0; i < 8; ++i) {
+    rec.RecordSpan("late.span", "nec", obs::TraceNowNs(), 10);
+  }
+  EXPECT_EQ(rec.events_recorded(), 8u);
+  EXPECT_EQ(rec.events_dropped(), 12u);
+  const std::string json = rec.ChromeTraceJson();
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  EXPECT_NE(json.find("late.span"), std::string::npos);
+  EXPECT_EQ(json.find("early.span"), std::string::npos);
+
+  rec.Clear();
+  EXPECT_EQ(rec.events_recorded(), 0u);
+  EXPECT_EQ(rec.events_dropped(), 0u);
+}
+
+TEST(Trace, ConcurrentRecordingIsRaceFree) {
+  TraceReset reset;
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Enable(/*ring_capacity=*/1024);
+
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ready] {
+      TraceRecorder::SetThreadName("recorder");
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        obs::TraceSpan span("mt.span");
+        obs::TraceInstant("mt.instant",
+                          static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(rec.events_recorded(),
+            static_cast<std::uint64_t>(kThreads * kSpansPerThread * 2));
+  EXPECT_EQ(rec.events_dropped(), 0u);
+  EXPECT_TRUE(JsonWellFormed(rec.ChromeTraceJson()));
+}
+
+// ----------------------------------------------------------------- log
+
+TEST(Log, ParseLevelRoundTrip) {
+  obs::LogLevel lvl = obs::LogLevel::kOff;
+  EXPECT_TRUE(obs::ParseLogLevel("debug", &lvl));
+  EXPECT_EQ(lvl, obs::LogLevel::kDebug);
+  EXPECT_TRUE(obs::ParseLogLevel("off", &lvl));
+  EXPECT_EQ(lvl, obs::LogLevel::kOff);
+  EXPECT_FALSE(obs::ParseLogLevel("loud", &lvl));
+  EXPECT_STREQ(obs::LogLevelName(obs::LogLevel::kWarn), "warn");
+}
+
+TEST(Log, LevelGateAndComponentOverride) {
+  LogCapture capture;
+  obs::SetLogLevel(obs::LogLevel::kWarn);
+  EXPECT_FALSE(obs::LogEnabled("trainer", obs::LogLevel::kInfo));
+  NEC_LOG_INFO("trainer", "dropped %d", 1);
+  NEC_LOG_WARN("trainer", "kept %d", 2);
+  ASSERT_EQ(capture.records.size(), 1u);
+  EXPECT_EQ(capture.records[0].component, "trainer");
+  EXPECT_EQ(capture.records[0].message, "kept 2");
+
+  // An override wins in both directions: opens trainer debug while the
+  // global level still drops other components' info.
+  obs::SetComponentLogLevel("trainer", obs::LogLevel::kDebug);
+  EXPECT_TRUE(obs::LogEnabled("trainer", obs::LogLevel::kDebug));
+  EXPECT_FALSE(obs::LogEnabled("necd", obs::LogLevel::kInfo));
+  NEC_LOG_DEBUG("trainer", "verbose %d", 3);
+  ASSERT_EQ(capture.records.size(), 2u);
+  EXPECT_EQ(capture.records[1].message, "verbose 3");
+}
+
+TEST(Log, RateLimitSuppressesAndReportsCount) {
+  obs::LogRateLimit limit(/*per_second=*/1.0, /*burst=*/2.0);
+  std::uint64_t suppressed = 0;
+  EXPECT_TRUE(limit.Allow(&suppressed));
+  EXPECT_EQ(suppressed, 0u);
+  EXPECT_TRUE(limit.Allow(&suppressed));
+  // Bucket empty: the flood is swallowed and counted.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(limit.Allow(&suppressed));
+  }
+  limit.AdvanceForTest(1.0);  // refills one token
+  EXPECT_TRUE(limit.Allow(&suppressed));
+  EXPECT_EQ(suppressed, 10u);
+  EXPECT_FALSE(limit.Allow(&suppressed));
+}
+
+TEST(Log, JsonLinesAreWellFormed) {
+  LogCapture capture;
+  obs::SetLogCapture(nullptr);  // write to a file instead
+  obs::SetLogFormat(obs::LogFormat::kJson);
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  obs::SetLogFile(tmp);
+  NEC_LOG_INFO("necd", "quoted \"payload\" %d", 5);
+  obs::SetLogFile(stderr);
+  obs::SetLogFormat(obs::LogFormat::kText);
+
+  std::rewind(tmp);
+  char buf[512] = {};
+  ASSERT_NE(std::fgets(buf, sizeof buf, tmp), nullptr);
+  std::fclose(tmp);
+  const std::string line(buf);
+  EXPECT_TRUE(JsonWellFormed(line)) << line;
+  EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"component\":\"necd\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\\\"payload\\\""), std::string::npos) << line;
+}
+
+// ------------------------------------------------------------- metrics
+
+obs::MetricFamily MakeTestHistogram() {
+  obs::MetricFamily f;
+  f.name = "nec_test_seconds";
+  f.help = "test latency";
+  f.type = obs::MetricType::kHistogram;
+  obs::Metric m;
+  m.histogram.upper_bounds = {0.01, 0.1, 1.0};
+  m.histogram.cumulative = {2, 5, 9};
+  m.histogram.count = 10;  // one observation above the last bound
+  m.histogram.sum = 3.5;
+  f.metrics.push_back(m);
+  return f;
+}
+
+TEST(Metrics, PrometheusRenderParsesCleanly) {
+  std::vector<obs::MetricFamily> families;
+  families.push_back(obs::MakeCounter("nec_chunks_total", "chunks", 42));
+  families.push_back(obs::MakeGauge("nec_queue_depth", "depth", 3));
+  families.push_back(MakeTestHistogram());
+
+  const std::string text = obs::RenderPrometheusText(families);
+  EXPECT_NE(text.find("# TYPE nec_chunks_total counter"), std::string::npos);
+  EXPECT_NE(text.find("nec_test_seconds_bucket{le=\"+Inf\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("nec_test_seconds_count 10"), std::string::npos);
+
+  std::vector<obs::MetricFamily> parsed;
+  std::string error;
+  ASSERT_TRUE(obs::ParsePrometheusText(text, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), families.size());
+  EXPECT_DOUBLE_EQ(parsed[0].metrics[0].value, 42.0);
+  const obs::HistogramData& h = parsed[2].metrics[0].histogram;
+  ASSERT_EQ(h.upper_bounds.size(), 3u);  // +Inf folded into count
+  EXPECT_EQ(h.cumulative, (std::vector<std::uint64_t>{2, 5, 9}));
+  EXPECT_EQ(h.count, 10u);
+  EXPECT_DOUBLE_EQ(h.sum, 3.5);
+}
+
+TEST(Metrics, LintRejectsBrokenExposition) {
+  std::vector<obs::MetricFamily> parsed;
+  std::string error;
+
+  // Buckets must be cumulative.
+  EXPECT_FALSE(obs::ParsePrometheusText(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n"
+      "h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+      &parsed, &error));
+  EXPECT_NE(error.find("cumulative"), std::string::npos) << error;
+
+  // The +Inf bucket must equal _count.
+  parsed.clear();
+  EXPECT_FALSE(obs::ParsePrometheusText(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\n"
+      "h_sum 1\nh_count 3\n",
+      &parsed, &error));
+
+  // TYPE after the family's samples is a spec violation.
+  parsed.clear();
+  EXPECT_FALSE(obs::ParsePrometheusText(
+      "c_total 1\n# TYPE c_total counter\n", &parsed, &error));
+}
+
+TEST(Metrics, HistogramQuantileCrossesCdf) {
+  obs::HistogramData h;
+  h.upper_bounds = {1.0, 2.0, 4.0};
+  h.cumulative = {10, 50, 100};
+  h.count = 100;
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(h, 0.05), 1.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(h, 0.50), 2.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(h, 0.99), 4.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(obs::HistogramData{}, 0.5), 0.0);
+}
+
+// ------------------------------------------------- runtime stats export
+
+TEST(StatsExport, LatencyHistogramBucketsMatchQuantiles) {
+  runtime::LatencyHistogram hist;
+  for (int i = 1; i <= 100; ++i) hist.Record(static_cast<double>(i));
+
+  const runtime::HistogramSnapshot snap = hist.Buckets();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_NEAR(snap.sum_ms, 5050.0, 0.5);
+  EXPECT_NEAR(snap.max_ms, 100.0, 1e-6);
+  ASSERT_FALSE(snap.cumulative.empty());
+  EXPECT_EQ(snap.cumulative.back(), 100u);
+  for (std::size_t i = 1; i < snap.cumulative.size(); ++i) {
+    EXPECT_GE(snap.cumulative[i], snap.cumulative[i - 1]);
+  }
+
+  // The bucketed CDF must reproduce the pre-existing Quantiles() numbers
+  // exactly — same buckets, same crossing rule (the bit-identical
+  // contract for this refactor).
+  const runtime::LatencyQuantiles q = hist.Quantiles();
+  obs::HistogramData h;
+  for (std::size_t i = 0; i < snap.cumulative.size(); ++i) {
+    h.upper_bounds.push_back(runtime::LatencyHistogram::BucketUpperMs(i));
+    h.cumulative.push_back(snap.cumulative[i]);
+  }
+  h.count = snap.count;
+  // Quantiles() clamps tail quantiles to the true max (bucket ceilings
+  // overshoot); apply the same clamp to the bucketed CDF result.
+  const auto clamped = [&](double p) {
+    return std::min(obs::HistogramQuantile(h, p), snap.max_ms);
+  };
+  EXPECT_DOUBLE_EQ(clamped(0.50), q.p50_ms);
+  EXPECT_DOUBLE_EQ(clamped(0.95), q.p95_ms);
+  EXPECT_DOUBLE_EQ(clamped(0.99), q.p99_ms);
+}
+
+TEST(StatsExport, SnapshotRendersLintCleanPrometheus) {
+  runtime::LatencyHistogram hist;
+  hist.Record(12.0);
+  hist.Record(40.0);
+
+  runtime::RuntimeStatsSnapshot snap;
+  snap.sessions = 2;
+  snap.chunks_processed = 17;
+  snap.queue_depth = 3;
+  snap.chunk_latency = hist.Quantiles();
+  snap.chunk_latency_hist = hist.Buckets();
+
+  const auto families = runtime::SnapshotToMetricFamilies(snap);
+  const std::string text = obs::RenderPrometheusText(families);
+
+  std::vector<obs::MetricFamily> parsed;
+  std::string error;
+  ASSERT_TRUE(obs::ParsePrometheusText(text, &parsed, &error))
+      << error << "\n" << text;
+  EXPECT_NE(text.find("nec_chunks_processed_total 17"), std::string::npos);
+  EXPECT_NE(text.find("nec_chunk_latency_seconds_count 2"),
+            std::string::npos);
+  // Fault categories come out as labeled samples of one family.
+  EXPECT_NE(text.find("nec_faults_total{category=\"overload\"} 0"),
+            std::string::npos);
+  EXPECT_TRUE(JsonWellFormed(obs::RenderMetricsJson(families)));
+}
+
+// ---------------------------------------------------------------- http
+
+TEST(Http, ParseUrlForms) {
+  std::string host, path;
+  int port = 0;
+  EXPECT_TRUE(obs::ParseHttpUrl("http://127.0.0.1:9000/metrics", &host,
+                                &port, &path));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 9000);
+  EXPECT_EQ(path, "/metrics");
+  EXPECT_TRUE(obs::ParseHttpUrl("localhost", &host, &port, &path));
+  EXPECT_EQ(port, 9464);
+  EXPECT_EQ(path, "/");
+  EXPECT_FALSE(obs::ParseHttpUrl("https://x", &host, &port, &path));
+  EXPECT_FALSE(obs::ParseHttpUrl("", &host, &port, &path));
+}
+
+TEST(Http, ServesHandlersOnEphemeralPort) {
+  obs::MetricsServer server;
+  std::atomic<int> hits{0};
+  server.Handle("/metrics", [&hits](const std::string&,
+                                    const std::string& query) {
+    ++hits;
+    return obs::HttpResponse{200, "text/plain; version=0.0.4",
+                             "nec_up 1\nquery=" + query + "\n"};
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start({.host = "127.0.0.1", .port = 0}, &error))
+      << error;
+  ASSERT_GT(server.port(), 0);
+
+  std::string body;
+  int status = 0;
+  ASSERT_TRUE(obs::HttpGet("127.0.0.1", server.port(), "/metrics?x=1",
+                           &body, &status, &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("nec_up 1"), std::string::npos);
+  EXPECT_NE(body.find("query=x=1"), std::string::npos);
+
+  ASSERT_TRUE(obs::HttpGet("127.0.0.1", server.port(), "/missing", &body,
+                           &status, &error))
+      << error;
+  EXPECT_EQ(status, 404);
+
+  EXPECT_EQ(hits.load(), 1);
+  EXPECT_GE(server.requests_served(), 2u);
+  server.Stop();
+  server.Stop();  // idempotent
+  EXPECT_FALSE(obs::HttpGet("127.0.0.1", server.port(), "/metrics", &body,
+                            &status, &error));
+}
+
+}  // namespace
+}  // namespace nec

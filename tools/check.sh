@@ -10,6 +10,11 @@
 #   CHECK_FAULTS=1 tools/check.sh    # also run the fault-injection stress
 #                                    # suite under ASan+UBSan (the TSan run
 #                                    # above already covers it for races)
+#   CHECK_OBS=1 tools/check.sh       # also boot necd with --metrics-port,
+#                                    # scrape /metrics + /healthz, validate
+#                                    # the Chrome trace dump, and enforce
+#                                    # the disabled-tracing <2% overhead
+#                                    # guard on BENCH_hotpath.json
 #   CHECK_JOBS=8 tools/check.sh      # override build/test parallelism
 #
 # Both builds configure with NEC_NATIVE_ARCH=OFF so the script behaves the
@@ -20,9 +25,11 @@ cd "$(dirname "$0")/.."
 JOBS="${CHECK_JOBS:-$(nproc)}"
 BENCH_SMOKE="${CHECK_BENCH_SMOKE:-0}"
 FAULTS="${CHECK_FAULTS:-0}"
+OBS="${CHECK_OBS:-0}"
 STEPS=4
 [[ "${BENCH_SMOKE}" == "1" ]] && STEPS=$((STEPS + 1))
 [[ "${FAULTS}" == "1" ]] && STEPS=$((STEPS + 1))
+[[ "${OBS}" == "1" ]] && STEPS=$((STEPS + 1))
 STEP=0
 step() { STEP=$((STEP + 1)); echo "== [${STEP}/${STEPS}] $1 =="; }
 
@@ -31,7 +38,7 @@ cmake -B build-check-release -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DNEC_NATIVE_ARCH=OFF \
   -DNEC_BUILD_BENCH="$([[ "${BENCH_SMOKE}" == "1" ]] && echo ON || echo OFF)" \
-  -DNEC_BUILD_EXAMPLES=OFF
+  -DNEC_BUILD_EXAMPLES="$([[ "${OBS}" == "1" ]] && echo ON || echo OFF)"
 cmake --build build-check-release -j "${JOBS}"
 
 step "ctest: Release (full suite)"
@@ -50,10 +57,11 @@ if [[ "${CHECK_TSAN_ALL:-0}" == "1" ]]; then
   ctest --test-dir build-check-tsan --output-on-failure -j "${JOBS}"
 else
   # The concurrency-bearing tests (test_runtime, test_runtime_faults,
-  # test_streaming); the rest of the suite is single-threaded and already
-  # covered by step 2 (CHECK_TSAN_ALL=1 runs everything).
+  # test_streaming, test_obs — the trace rings claim wait-freedom); the
+  # rest of the suite is single-threaded and already covered by step 2
+  # (CHECK_TSAN_ALL=1 runs everything).
   ctest --test-dir build-check-tsan --output-on-failure \
-    -R 'test_runtime|test_streaming'
+    -R 'test_runtime|test_streaming|test_obs'
 fi
 
 if [[ "${FAULTS}" == "1" ]]; then
@@ -107,6 +115,98 @@ assert all(all(k in r for k in required) for r in ba["rows"]), \
 assert all(r["bitexact"] is True for r in ba["rows"])
 print("bench smoke: BENCH json well-formed,",
       len(rt["rows"]), "throughput rows,", len(ba["rows"]), "batched rows")
+EOF
+fi
+
+if [[ "${OBS}" == "1" ]]; then
+  step "observability: live endpoints + trace dump + overhead guard"
+  OBS_DIR="build-check-release/obs-check"
+  rm -rf "${OBS_DIR}" && mkdir -p "${OBS_DIR}"
+
+  # Boot necd with an ephemeral metrics port; it prints the bound port on
+  # stdout. The stream is long enough that the scrape below happens while
+  # sessions are live.
+  ./build-check-release/examples/necd \
+    --sessions 2 --seconds 20 --max-batch 2 --metrics-port 0 \
+    --trace-out "${OBS_DIR}/trace.json" \
+    > "${OBS_DIR}/necd.out" 2> "${OBS_DIR}/necd.err" &
+  NECD_PID=$!
+  trap 'kill "${NECD_PID}" 2>/dev/null || true' EXIT
+
+  for _ in $(seq 1 120); do
+    grep -q 'metrics listening' "${OBS_DIR}/necd.out" 2>/dev/null && break
+    kill -0 "${NECD_PID}" 2>/dev/null || break
+    sleep 1
+  done
+  PORT="$(grep -o 'http://127.0.0.1:[0-9]*' "${OBS_DIR}/necd.out" \
+          | grep -o '[0-9]*$')"
+  [[ -n "${PORT}" ]] || { echo "necd never bound a metrics port"; exit 1; }
+
+  # Scrape while the daemon is serving (no curl dependency in CI images).
+  python3 - "${PORT}" <<'EOF'
+import json, sys, urllib.request
+port = sys.argv[1]
+def get(path):
+    r = urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=10)
+    return r.status, r.read().decode()
+status, health = get("/healthz")
+assert status == 200 and json.loads(health)["status"] == "ok", health
+status, metrics = get("/metrics")
+assert status == 200, status
+for needle in ("# TYPE nec_chunks_processed_total counter",
+               "nec_chunk_latency_seconds_bucket{le=",
+               "nec_chunk_latency_seconds_count",
+               "nec_faults_total{category="):
+    assert needle in metrics, f"missing {needle!r} in /metrics"
+status, sessions = get("/sessions")
+assert status == 200 and json.loads(sessions)["sessions"], sessions
+print("obs check: /healthz + /metrics (histogram buckets) + /sessions ok")
+EOF
+
+  # necctl must render the same scrape as a table.
+  ./build-check-release/examples/necctl stats \
+    --url "http://127.0.0.1:${PORT}" | grep -q nec_chunks_processed_total
+
+  wait "${NECD_PID}"
+  trap - EXIT
+
+  # The SIGINT/SIGTERM drain path dumps a Chrome trace; validate it is
+  # loadable JSON with per-chunk stage spans and batch flow links.
+  python3 - "${OBS_DIR}/trace.json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+phases = {e["ph"] for e in events}
+names = {e.get("name") for e in events}
+assert "X" in phases, "no spans in trace"
+assert {"s", "f"} <= phases, "no batch flow links in trace"
+# A fully-batched run records the _batch variant of the shadow span.
+assert names & {"pipeline.generate_shadow", "pipeline.generate_shadow_batch"}, \
+    "missing pipeline.generate_shadow[_batch] span"
+for span in ("dsp.stft", "dsp.istft", "channel.modulate_am", "runtime.batch"):
+    assert span in names, f"missing span {span!r}"
+print(f"obs check: trace well-formed, {len(events)} events,"
+      f" {len(names)} distinct names")
+EOF
+
+  # Overhead guard on the committed baselines: the disabled-tracing arm of
+  # bench_obs_overhead must sit within 2% of the runtime_throughput
+  # sequential numbers recorded in the same BENCH_hotpath.json.
+  python3 - BENCH_hotpath.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+seq = doc["runtime_throughput"]["sequential"]
+obs = doc["obs_overhead"]
+assert not obs.get("smoke"), "obs_overhead section is smoke data"
+off = obs["disabled"]
+sel_delta = 100.0 * (off["selector_ms_per_chunk"] /
+                     seq["selector_ms_per_chunk"] - 1.0)
+cps_delta = 100.0 * (1.0 - off["chunks_per_sec"] /
+                     seq["chunks_per_sec"])
+assert sel_delta < 2.0, f"selector ms/chunk regressed {sel_delta:.2f}%"
+assert cps_delta < 2.0, f"chunks/sec regressed {cps_delta:.2f}%"
+print(f"obs check: disabled-tracing overhead guard ok"
+      f" (selector {sel_delta:+.2f}%, chunks/s {cps_delta:+.2f}%,"
+      f" enabled-arm overhead {obs['enabled_overhead_pct']:.2f}%)")
 EOF
 fi
 
