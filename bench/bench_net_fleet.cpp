@@ -1,0 +1,447 @@
+// Networked serving vs. in-process serving (DESIGN.md §5h).
+//
+// Three rows over the same synthetic workload (shared stream pool,
+// seed-based enrollment, closed-loop one-outstanding-chunk discipline):
+//   * direct       — SessionManager called in-process, no sockets,
+//   * single_shard — one networked necd over the NEC1 wire protocol,
+//   * router_fleet — two shards behind the consistent-hash router.
+// Reported per row: aggregate chunks/sec and p50/p90/p99 per-chunk
+// round-trip latency; for the fleet row also the session split across
+// shards. `router_added_latency_p50_ms` is the router-minus-single-shard
+// p50 — the price of the extra hop. Every row's shadow output is audited
+// bit-exact against the sequential in-process reference (the protocol
+// must not change a single sample), recorded as `all_bitexact`.
+//
+// The selector is a fixed-seed untrained tiny model (weights do not
+// change arithmetic cost; hermetic, no training cache). Everything runs
+// on loopback in this process, so rows share the same hardware budget —
+// the interesting read is relative: protocol + router overhead on top of
+// direct serving.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/selector.h"
+#include "encoder/encoder.h"
+#include "net/loadgen.h"
+#include "net/router.h"
+#include "net/server.h"
+#include "obs/http.h"
+#include "runtime/session_manager.h"
+#include "synth/dataset.h"
+
+namespace nec::bench {
+namespace {
+
+/// Full run: 64 sessions x 3 chunks over 8 connections. Smoke mode
+/// ($NEC_BENCH_SMOKE) shrinks to 8 x 2 over 4 — enough to exercise all
+/// three serving paths and emit well-formed JSON in well under a minute.
+struct BenchParams {
+  std::size_t sessions = 64;
+  std::size_t connections = 8;
+  std::size_t chunks_per_session = 3;
+  std::size_t stream_pool = 4;
+  std::size_t workers = 4;  ///< per SessionManager
+  std::uint64_t seed = 11;
+
+  static BenchParams Get() {
+    if (!BenchSmokeMode()) return {};
+    return {.sessions = 8,
+            .connections = 4,
+            .chunks_per_session = 2,
+            .stream_pool = 2};
+  }
+};
+
+double NowS() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  auto idx =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(values.size())));
+  if (idx > 0) --idx;
+  if (idx >= values.size()) idx = values.size() - 1;
+  return values[idx];
+}
+
+struct Model {
+  Model() {
+    core::NecConfig cfg = core::NecConfig::Fast();
+    cfg.conv_channels = 6;
+    cfg.fc_hidden = 32;
+    selector = std::make_shared<const core::Selector>(cfg, /*init_seed=*/7);
+    encoder = std::make_shared<encoder::LasEncoder>(cfg.embedding_dim);
+  }
+  runtime::SessionManager::Options ManagerOptions(std::size_t workers) const {
+    return {.workers = workers, .chunk_s = 1.0};
+  }
+  std::shared_ptr<const core::Selector> selector;
+  std::shared_ptr<const encoder::SpeakerEncoder> encoder;
+};
+
+/// Mirrors the loadgen's stream pool (net/loadgen.cpp): same seeds, same
+/// synthesis, same zero-padding to a whole number of chunks.
+struct PoolStream {
+  std::uint64_t speaker_seed = 0;
+  std::uint64_t ref_seed = 0;
+  std::vector<float> samples;
+};
+
+std::vector<PoolStream> MakePool(const BenchParams& p,
+                                 std::size_t chunk_samples) {
+  const std::size_t samples_needed = p.chunks_per_session * chunk_samples;
+  synth::DatasetBuilder builder(
+      {.duration_s = static_cast<double>(samples_needed) / 16000.0});
+  std::vector<PoolStream> pool(p.stream_pool);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    pool[i].speaker_seed = p.seed + 101 * (i + 1);
+    pool[i].ref_seed = p.seed + 577 * (i + 1);
+    auto instance = builder.MakeInstance(
+        synth::SpeakerProfile::FromSeed(pool[i].speaker_seed),
+        synth::Scenario::kBabble, p.seed + 7919 * (i + 1));
+    pool[i].samples = std::move(instance.mixed.data());
+    pool[i].samples.resize(samples_needed, 0.0f);
+  }
+  return pool;
+}
+
+/// Sequential in-process reference for one pool stream — the ground
+/// truth every serving path must reproduce sample-for-sample.
+std::vector<float> ReferenceShadow(const Model& model, const PoolStream& s,
+                                   std::size_t chunk_samples,
+                                   std::size_t chunks) {
+  runtime::SessionManager manager(model.selector, model.encoder, {},
+                                  model.ManagerOptions(1));
+  synth::DatasetBuilder enroll_builder({.duration_s = 3.0});
+  const auto refs = enroll_builder.MakeReferenceAudios(
+      synth::SpeakerProfile::FromSeed(s.speaker_seed), 3, s.ref_seed);
+  const auto id = manager.CreateSession(refs);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::span<const float> chunk(s.samples.data() + c * chunk_samples,
+                                 chunk_samples);
+    for (;;) {
+      const runtime::SubmitResult r = manager.Submit(id, chunk);
+      if (r.ok() || r.error->category != runtime::ErrorCategory::kOverload)
+        break;
+      chunk = {};
+      std::this_thread::yield();
+    }
+  }
+  manager.Drain();
+  audio::Waveform out = manager.TakeOutput(id);
+  if (auto tail = manager.Flush(id)) out.Append(*tail);
+  return std::vector<float>(out.samples().begin(), out.samples().end());
+}
+
+struct Row {
+  const char* mode = "";
+  double chunks_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  bool bitexact = false;
+  std::vector<std::uint64_t> shard_sessions;  ///< router row only
+};
+
+/// In-process row: the same closed-loop one-outstanding-chunk discipline
+/// the loadgen applies over TCP, but calling the SessionManager directly
+/// from `connections` driver threads. Per-chunk latency is submit-to-
+/// output-visible, polled at the server's own tick granularity.
+Row RunDirect(const Model& model, const BenchParams& p,
+              const std::vector<PoolStream>& pool,
+              const std::vector<std::vector<float>>& expected,
+              std::size_t chunk_samples) {
+  runtime::SessionManager manager(model.selector, model.encoder, {},
+                                  model.ManagerOptions(p.workers));
+  struct Drive {
+    runtime::SessionManager::SessionId id = 0;
+    std::size_t stream = 0;
+    std::size_t next_chunk = 0;
+    std::size_t done_chunks = 0;
+    std::vector<float> shadow;
+    double submit_s = 0.0;
+  };
+  std::vector<Drive> drives(p.sessions);
+  synth::DatasetBuilder enroll_builder({.duration_s = 3.0});
+  for (std::size_t i = 0; i < p.sessions; ++i) {
+    drives[i].stream = i % pool.size();
+    const PoolStream& s = pool[drives[i].stream];
+    const auto refs = enroll_builder.MakeReferenceAudios(
+        synth::SpeakerProfile::FromSeed(s.speaker_seed), 3, s.ref_seed);
+    drives[i].id = manager.CreateSession(refs);
+  }
+
+  std::mutex lat_mutex;
+  std::vector<double> latencies_ms;
+  const double start_s = NowS();
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < p.connections; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::size_t> mine;
+      for (std::size_t i = t; i < p.sessions; i += p.connections)
+        mine.push_back(i);
+      auto submit = [&](Drive& d) {
+        const PoolStream& s = pool[d.stream];
+        std::span<const float> chunk(
+            s.samples.data() + d.next_chunk * chunk_samples, chunk_samples);
+        d.submit_s = NowS();
+        for (;;) {
+          const runtime::SubmitResult r = manager.Submit(d.id, chunk);
+          if (r.ok() ||
+              r.error->category != runtime::ErrorCategory::kOverload)
+            break;
+          chunk = {};
+          std::this_thread::yield();
+        }
+        d.next_chunk += 1;
+      };
+      for (std::size_t i : mine) submit(drives[i]);
+      std::vector<double> local_ms;
+      for (;;) {
+        bool pending = false;
+        for (std::size_t i : mine) {
+          Drive& d = drives[i];
+          if (d.done_chunks == p.chunks_per_session) continue;
+          audio::Waveform burst = manager.TakeOutput(d.id);
+          if (!burst.data().empty()) {
+            d.shadow.insert(d.shadow.end(), burst.data().begin(),
+                            burst.data().end());
+            local_ms.push_back((NowS() - d.submit_s) * 1e3);
+            d.done_chunks += 1;
+            if (d.next_chunk < p.chunks_per_session) submit(d);
+          }
+          if (d.done_chunks < p.chunks_per_session) pending = true;
+        }
+        if (!pending) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+      for (std::size_t i : mine) {
+        Drive& d = drives[i];
+        if (auto tail = manager.Flush(d.id)) {
+          d.shadow.insert(d.shadow.end(), tail->data().begin(),
+                          tail->data().end());
+        }
+      }
+      std::lock_guard<std::mutex> lock(lat_mutex);
+      latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
+                          local_ms.end());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double wall_s = NowS() - start_s;
+
+  Row row;
+  row.mode = "direct";
+  row.chunks_per_sec =
+      static_cast<double>(p.sessions * p.chunks_per_session) / wall_s;
+  row.p50_ms = Quantile(latencies_ms, 0.50);
+  row.p90_ms = Quantile(latencies_ms, 0.90);
+  row.p99_ms = Quantile(latencies_ms, 0.99);
+  row.bitexact = true;
+  for (const Drive& d : drives) {
+    const auto& want = expected[d.stream];
+    if (d.shadow.size() != want.size() ||
+        std::memcmp(d.shadow.data(), want.data(),
+                    want.size() * sizeof(float)) != 0) {
+      row.bitexact = false;
+    }
+  }
+  return row;
+}
+
+bool AuditLoadGen(const net::LoadGenReport& report,
+                  const std::vector<std::vector<float>>& expected) {
+  for (const auto& outcome : report.sessions) {
+    if (!outcome.completed) return false;
+    const auto& want = expected[outcome.stream_index];
+    if (outcome.shadow.size() != want.size() ||
+        std::memcmp(outcome.shadow.data(), want.data(),
+                    want.size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Row RowFromReport(const char* mode, const net::LoadGenReport& report,
+                  const std::vector<std::vector<float>>& expected) {
+  Row row;
+  row.mode = mode;
+  row.chunks_per_sec = report.chunks_per_sec;
+  row.p50_ms = report.latency_p50_ms;
+  row.p90_ms = report.latency_p90_ms;
+  row.p99_ms = report.latency_p99_ms;
+  row.bitexact = report.ok && report.sessions_faulted == 0 &&
+                 AuditLoadGen(report, expected);
+  return row;
+}
+
+net::LoadGenOptions LoadGenFor(const BenchParams& p, int port) {
+  net::LoadGenOptions options;
+  options.endpoints = {"127.0.0.1:" + std::to_string(port)};
+  options.sessions = p.sessions;
+  options.connections = p.connections;
+  options.chunks_per_session = p.chunks_per_session;
+  options.stream_pool = p.stream_pool;
+  options.seed = p.seed;
+  options.keep_shadows = true;
+  options.max_seconds = 600.0;
+  return options;
+}
+
+}  // namespace
+}  // namespace nec::bench
+
+int main() {
+  using namespace nec;
+  using namespace nec::bench;
+
+  const BenchParams p = BenchParams::Get();
+  const Model model;
+
+  std::printf("== net_fleet: networked serving vs in-process ==\n");
+  std::printf("sessions %zu  connections %zu  chunks/session %zu  pool %zu  "
+              "workers %zu%s\n\n",
+              p.sessions, p.connections, p.chunks_per_session, p.stream_pool,
+              p.workers, BenchSmokeMode() ? "  [SMOKE]" : "");
+
+  // Chunk geometry comes from the manager itself (1 s at 16 kHz).
+  std::size_t chunk_samples = 0;
+  {
+    runtime::SessionManager probe(model.selector, model.encoder, {},
+                                  model.ManagerOptions(1));
+    chunk_samples = probe.chunk_samples();
+  }
+  const std::vector<PoolStream> pool = MakePool(p, chunk_samples);
+  std::vector<std::vector<float>> expected(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    expected[i] =
+        ReferenceShadow(model, pool[i], chunk_samples, p.chunks_per_session);
+  }
+
+  std::vector<Row> rows;
+
+  rows.push_back(RunDirect(model, p, pool, expected, chunk_samples));
+
+  // Single shard over TCP.
+  {
+    runtime::SessionManager manager(model.selector, model.encoder, {},
+                                    model.ManagerOptions(p.workers));
+    net::NetServer server(&manager, {});
+    std::string error;
+    NEC_CHECK_MSG(server.Start(&error), "single shard: " << error);
+    const net::LoadGenReport report =
+        net::RunLoadGen(LoadGenFor(p, server.port()));
+    NEC_CHECK_MSG(report.ok, "single shard loadgen: " << report.error);
+    rows.push_back(RowFromReport("single_shard", report, expected));
+    server.Stop();
+  }
+
+  // Two shards behind the router.
+  {
+    std::vector<std::unique_ptr<runtime::SessionManager>> managers;
+    std::vector<std::unique_ptr<net::NetServer>> servers;
+    std::vector<std::unique_ptr<obs::MetricsServer>> health;
+    net::Router::Options options;
+    for (int s = 0; s < 2; ++s) {
+      managers.push_back(std::make_unique<runtime::SessionManager>(
+          model.selector, model.encoder, core::PipelineOptions{},
+          model.ManagerOptions(p.workers)));
+      servers.push_back(std::make_unique<net::NetServer>(
+          managers.back().get(), net::NetServer::Options{}));
+      std::string error;
+      NEC_CHECK_MSG(servers.back()->Start(&error), "shard: " << error);
+      health.push_back(std::make_unique<obs::MetricsServer>());
+      health.back()->Handle("/healthz",
+                            [](const std::string&, const std::string&) {
+                              obs::HttpResponse resp;
+                              resp.body = "{\"status\":\"ok\"}\n";
+                              return resp;
+                            });
+      NEC_CHECK_MSG(
+          health.back()->Start({.host = "127.0.0.1", .port = 0}, &error),
+          "health: " << error);
+      options.shards.push_back({.host = "127.0.0.1",
+                                .port = servers.back()->port(),
+                                .health_port = health.back()->port()});
+    }
+    auto router = std::make_unique<net::Router>(std::move(options));
+    std::string error;
+    NEC_CHECK_MSG(router->Start(&error), "router: " << error);
+    const net::LoadGenReport report =
+        net::RunLoadGen(LoadGenFor(p, router->port()));
+    NEC_CHECK_MSG(report.ok, "router loadgen: " << report.error);
+    Row row = RowFromReport("router_fleet", report, expected);
+    for (const auto& status : router->ShardStatuses()) {
+      row.shard_sessions.push_back(status.sessions_assigned_total);
+    }
+    rows.push_back(row);
+    router->Stop();
+    for (auto& server : servers) server->Stop();
+    for (auto& h : health) h->Stop();
+  }
+
+  std::printf("%-14s %12s %10s %10s %10s %9s\n", "mode", "chunks/s",
+              "p50 ms", "p90 ms", "p99 ms", "bitexact");
+  for (const Row& row : rows) {
+    std::printf("%-14s %12.1f %10.2f %10.2f %10.2f %9s", row.mode,
+                row.chunks_per_sec, row.p50_ms, row.p90_ms, row.p99_ms,
+                row.bitexact ? "yes" : "NO");
+    if (!row.shard_sessions.empty()) {
+      std::printf("   shards:");
+      for (std::uint64_t n : row.shard_sessions)
+        std::printf(" %llu", static_cast<unsigned long long>(n));
+    }
+    std::printf("\n");
+  }
+  const double added_ms = rows[2].p50_ms - rows[1].p50_ms;
+  std::printf("\nrouter added latency (p50): %.2f ms\n", added_ms);
+  bool all_bitexact = true;
+  for (const Row& row : rows) all_bitexact = all_bitexact && row.bitexact;
+  std::printf("all bit-exact vs in-process reference: %s\n",
+              all_bitexact ? "yes" : "NO");
+
+  JsonWriter json;
+  json.Field("smoke", BenchSmokeMode())
+      .Field("sessions", static_cast<double>(p.sessions))
+      .Field("connections", static_cast<double>(p.connections))
+      .Field("chunks_per_session", static_cast<double>(p.chunks_per_session))
+      .Field("stream_pool", static_cast<double>(p.stream_pool))
+      .Field("workers", static_cast<double>(p.workers))
+      .Field("chunk_samples", static_cast<double>(chunk_samples));
+  json.BeginArray("rows");
+  for (const Row& row : rows) {
+    json.BeginObject()
+        .Field("mode", row.mode)
+        .Field("chunks_per_sec", row.chunks_per_sec)
+        .Field("latency_p50_ms", row.p50_ms)
+        .Field("latency_p90_ms", row.p90_ms)
+        .Field("latency_p99_ms", row.p99_ms)
+        .Field("bitexact", row.bitexact);
+    for (std::size_t s = 0; s < row.shard_sessions.size(); ++s) {
+      char key[48];
+      std::snprintf(key, sizeof key, "shard%zu_sessions", s);
+      json.Field(key, static_cast<double>(row.shard_sessions[s]));
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Field("router_added_latency_p50_ms", added_ms)
+      .Field("all_bitexact", all_bitexact);
+  WriteJsonSection(BenchJsonPath(), "net_fleet", json.Finish());
+  std::printf("\n[%s] section 'net_fleet' written\n", BenchJsonPath().c_str());
+  return all_bitexact ? 0 : 1;
+}

@@ -12,14 +12,21 @@
 //                  sweep carriers against a Table III device model
 //   necctl devices
 //                  list the Table III device models
-//   necctl stats   [--url http://127.0.0.1:9464]
+//   necctl stats   [--url http://127.0.0.1:9464] [--connect-timeout-ms N]
+//                  [--read-timeout-ms N]
 //                  scrape a running necd's metrics endpoint and render a
 //                  human-readable table (counters, latency quantiles,
 //                  per-session health)
+//   necctl loadgen --endpoints host:port[,host:port...] [--sessions N]
+//                  [--connections C] [--chunks K] [--streams P] [--seed S]
+//                  [--max-seconds T] [--json]
+//                  drive N concurrent synthetic wire sessions against a
+//                  networked necd (shard or router) and report chunks/s +
+//                  latency quantiles
 //
-// Every subcommand works offline on WAV files — except `stats`, which
-// talks to a live necd — so the pipeline can be exercised on real
-// recordings, not just the synthetic corpus.
+// Every subcommand works offline on WAV files — except `stats` and
+// `loadgen`, which talk to a live necd — so the pipeline can be
+// exercised on real recordings, not just the synthetic corpus.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -32,6 +39,7 @@
 #include "core/carrier_probe.h"
 #include "core/model_cache.h"
 #include "core/pipeline.h"
+#include "net/loadgen.h"
 #include "obs/http.h"
 #include "obs/metrics.h"
 #include "synth/dataset.h"
@@ -47,11 +55,19 @@ struct Args {
 
   static Args Parse(int argc, char** argv, int start) {
     Args a;
-    for (int i = start; i + 1 < argc; i += 2) {
-      if (std::strcmp(argv[i], "--ref") == 0) {
-        a.refs.emplace_back(argv[i + 1]);
-      } else if (std::strncmp(argv[i], "--", 2) == 0) {
-        a.flags[argv[i] + 2] = argv[i + 1];
+    for (int i = start; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      const char* name = argv[i] + 2;
+      // A flag followed by another --flag (or nothing) is a bare boolean,
+      // e.g. `loadgen ... --json`.
+      const bool has_value =
+          i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0;
+      if (std::strcmp(name, "ref") == 0) {
+        if (has_value) a.refs.emplace_back(argv[++i]);
+      } else if (has_value) {
+        a.flags[name] = argv[++i];
+      } else {
+        a.flags[name] = "1";
       }
     }
     return a;
@@ -180,9 +196,20 @@ int CmdStats(const Args& args) {
     return 2;
   }
 
+  // Explicit deadlines so a dead daemon ("connection refused"), a
+  // black-holed address ("connect timed out"), and a wedged one ("read
+  // timed out") each fail fast with a distinct message instead of
+  // hanging the terminal.
+  obs::HttpGetOptions http_options;
+  http_options.connect_timeout_ms =
+      std::stoi(args.Get("connect-timeout-ms", "2000"));
+  http_options.read_timeout_ms =
+      std::stoi(args.Get("read-timeout-ms", "5000"));
+
   std::string body;
   int status = 0;
-  if (!obs::HttpGet(host, port, "/healthz", &body, &status, &error)) {
+  if (!obs::HttpGet(host, port, "/healthz", &body, &status, &error,
+                    http_options)) {
     std::fprintf(stderr, "necctl stats: %s:%d unreachable: %s\n",
                  host.c_str(), port, error.c_str());
     return 1;
@@ -190,10 +217,12 @@ int CmdStats(const Args& args) {
   std::printf("necd @ %s:%d  %s", host.c_str(), port,
               status == 200 ? body.c_str() : "unhealthy\n");
 
-  if (!obs::HttpGet(host, port, "/metrics", &body, &status, &error) ||
+  if (!obs::HttpGet(host, port, "/metrics", &body, &status, &error,
+                    http_options) ||
       status != 200) {
-    std::fprintf(stderr, "necctl stats: /metrics failed (%s, status %d)\n",
-                 error.c_str(), status);
+    std::fprintf(stderr,
+                 "necctl stats: bad response from /metrics (%s, status %d)\n",
+                 error.empty() ? "non-200" : error.c_str(), status);
     return 1;
   }
   std::vector<obs::MetricFamily> families;
@@ -230,11 +259,72 @@ int CmdStats(const Args& args) {
     }
   }
 
-  if (obs::HttpGet(host, port, "/sessions", &body, &status, &error) &&
+  if (obs::HttpGet(host, port, "/sessions", &body, &status, &error,
+                   http_options) &&
       status == 200) {
     std::printf("sessions: %s", body.c_str());
   }
   return 0;
+}
+
+// Drives synthetic concurrent sessions against a networked necd (a
+// shard's --listen port or a router) and prints throughput + latency.
+int CmdLoadgen(const Args& args) {
+  net::LoadGenOptions options;
+  const std::string endpoints = args.Get("endpoints", "127.0.0.1:9465");
+  std::size_t start = 0;
+  while (start <= endpoints.size()) {
+    std::size_t end = endpoints.find(',', start);
+    if (end == std::string::npos) end = endpoints.size();
+    if (end > start) {
+      options.endpoints.push_back(endpoints.substr(start, end - start));
+    }
+    if (end == endpoints.size()) break;
+    start = end + 1;
+  }
+  options.sessions = std::stoul(args.Get("sessions", "64"));
+  options.connections = std::stoul(args.Get("connections", "8"));
+  options.chunks_per_session = std::stoul(args.Get("chunks", "4"));
+  options.stream_pool = std::stoul(args.Get("streams", "8"));
+  options.seed = std::stoull(args.Get("seed", "1"));
+  options.max_seconds = std::stod(args.Get("max-seconds", "120"));
+
+  // In --json mode stdout must carry exactly the JSON object (callers
+  // redirect it into a file), so the banner goes to stderr.
+  const bool emit_json = args.flags.count("json") != 0;
+  std::fprintf(emit_json ? stderr : stdout,
+               "loadgen: %zu sessions x %zu chunks over %zu connections -> "
+               "%s\n",
+               options.sessions, options.chunks_per_session,
+               std::min(options.connections, options.sessions),
+               endpoints.c_str());
+  std::fflush(nullptr);
+  const net::LoadGenReport report = net::RunLoadGen(options);
+
+  if (emit_json) {
+    std::printf(
+        "{\"ok\":%s,\"sessions_completed\":%zu,\"sessions_faulted\":%zu,"
+        "\"chunks_acked\":%llu,\"wall_s\":%.3f,\"chunks_per_sec\":%.1f,"
+        "\"latency_p50_ms\":%.2f,\"latency_p90_ms\":%.2f,"
+        "\"latency_p99_ms\":%.2f,\"latency_max_ms\":%.2f,"
+        "\"bytes_in\":%llu,\"bytes_out\":%llu}\n",
+        report.ok ? "true" : "false", report.sessions_completed,
+        report.sessions_faulted,
+        static_cast<unsigned long long>(report.chunks_acked), report.wall_s,
+        report.chunks_per_sec, report.latency_p50_ms, report.latency_p90_ms,
+        report.latency_p99_ms, report.latency_max_ms,
+        static_cast<unsigned long long>(report.bytes_in),
+        static_cast<unsigned long long>(report.bytes_out));
+  } else {
+    std::printf("%s", net::FormatLoadGenReport(report).c_str());
+    for (const auto& outcome : report.sessions) {
+      if (outcome.completed || outcome.error.empty()) continue;
+      std::printf("session %llu: %s\n",
+                  static_cast<unsigned long long>(outcome.wire_sid),
+                  outcome.error.c_str());
+    }
+  }
+  return report.ok && report.sessions_faulted == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -242,8 +332,8 @@ int CmdStats(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: necctl <synth|noise|shadow|probe|devices|stats> "
-                 "[flags]\n");
+                 "usage: necctl <synth|noise|shadow|probe|devices|stats|"
+                 "loadgen> [flags]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -255,6 +345,7 @@ int main(int argc, char** argv) {
     if (cmd == "probe") return CmdProbe(args);
     if (cmd == "devices") return CmdDevices();
     if (cmd == "stats") return CmdStats(args);
+    if (cmd == "loadgen") return CmdLoadgen(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -13,6 +13,19 @@
 //        [--on-fault fault|degrade] [--degrade] [--reject-bad-input]
 //        [--metrics-port P] [--trace-out FILE]
 //        [--log-level trace|debug|info|warn|error|off] [--log-json]
+//        [--listen PORT] [--route SHARDS] [--model standard|tiny]
+//
+// Networked serving (DESIGN.md §5h): --listen turns necd into a shard —
+// a TCP server speaking the NEC wire protocol (port 0 = ephemeral; the
+// bound port is printed on stdout). Clients open seed-enrolled sessions
+// and stream chunks; all runtime machinery (micro-batching, degradation
+// ladder, fault containment) applies unchanged. --route turns necd into
+// a router instead: SHARDS is a comma-separated list of
+// host:port:health_port triples; new wire sessions are consistent-hashed
+// onto healthy shards, /healthz probes eject and readmit them, and
+// sessions pinned to a dead shard fault with a typed error while the
+// rest keep streaming. --model tiny serves an untrained seeded model
+// (deterministic, no training cache) for tests and benches.
 //
 // Observability (DESIGN.md §5g): --metrics-port starts a loopback HTTP
 // listener (port 0 = ephemeral; the bound port is printed) serving
@@ -56,6 +69,10 @@
 #include <vector>
 
 #include "core/model_cache.h"
+#include "encoder/encoder.h"
+#include "net/net_stats.h"
+#include "net/router.h"
+#include "net/server.h"
 #include "obs/http.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -91,6 +108,9 @@ struct Args {
   std::string trace_out;  ///< empty = tracing stays disabled
   nec::obs::LogLevel log_level = nec::obs::LogLevel::kInfo;
   bool log_json = false;
+  int listen_port = -1;  ///< >= 0: serve the wire protocol (0 = ephemeral)
+  std::string route;     ///< "host:port:health,..." → router mode
+  std::string model = "standard";  ///< standard (trained) | tiny (seeded)
 };
 
 const char* PolicyName(nec::runtime::OverflowPolicy p) {
@@ -169,6 +189,16 @@ Args Parse(int argc, char** argv) {
       }
     } else if (flag == "--log-json") {
       args.log_json = true;
+    } else if (flag == "--listen") {
+      args.listen_port = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (flag == "--route") {
+      args.route = next();
+    } else if (flag == "--model") {
+      args.model = next();
+      if (args.model != "standard" && args.model != "tiny") {
+        std::fprintf(stderr, "unknown --model '%s'\n", args.model.c_str());
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr,
                    "usage: necd [--sessions N] [--workers K] [--seconds S]\n"
@@ -179,10 +209,14 @@ Args Parse(int argc, char** argv) {
                    "            [--reject-bad-input] [--metrics-port P]\n"
                    "            [--trace-out FILE] [--log-json]\n"
                    "            [--log-level trace|debug|info|warn|error|"
-                   "off]\n");
+                   "off]\n"
+                   "            [--listen PORT] [--model standard|tiny]\n"
+                   "            [--route host:port:health_port,...]\n");
       std::exit(flag == "--help" || flag == "-h" ? 0 : 2);
     }
   }
+  // In router mode --listen (if given) is the router's own bind port;
+  // otherwise an ephemeral one is picked and printed.
   if (args.max_batch < 1 || args.deadline_ms <= 0.0) {
     std::fprintf(stderr,
                  "necd: --max-batch must be >= 1 and --deadline-ms > 0\n");
@@ -193,6 +227,310 @@ Args Parse(int argc, char** argv) {
     std::exit(2);
   }
   return args;
+}
+
+// Untrained seeded Fast() model: deterministic across processes and
+// hermetic (no training cache), so every shard started with --model tiny
+// serves bit-identical shadows for the same session seeds. Cancellation
+// quality is meaningless — this exists for serving tests and benches.
+nec::core::StandardModel TinyModel() {
+  using namespace nec;
+  core::StandardModel model;
+  core::NecConfig cfg = core::NecConfig::Fast();
+  cfg.conv_channels = 6;
+  cfg.fc_hidden = 32;
+  model.config = cfg;
+  model.selector = std::make_shared<core::Selector>(cfg, 7);
+  model.encoder = std::make_shared<encoder::LasEncoder>(cfg.embedding_dim);
+  return model;
+}
+
+nec::core::StandardModel PickModel(const Args& args) {
+  return args.model == "tiny" ? TinyModel()
+                              : nec::core::StandardModel::Get(true);
+}
+
+nec::runtime::SessionManager::Options ManagerOptions(const Args& args) {
+  using namespace nec;
+  return {.workers = args.workers,
+          .queue_capacity = args.queue,
+          .policy = args.policy,
+          .chunk_s = args.chunk_s,
+          .kind = args.kind,
+          .max_batch = args.max_batch,
+          .max_wait_us = args.max_wait_us,
+          .deadline_ms = args.deadline_ms,
+          .fault = {.on_error = args.on_fault,
+                    .bad_input = args.reject_bad_input
+                                     ? runtime::BadInputPolicy::kReject
+                                     : runtime::BadInputPolicy::kSanitize,
+                    .degrade_on_deadline = args.degrade_on_deadline}};
+}
+
+void PrintNetRows(const nec::net::NetStatsSnapshot& s) {
+  const auto u = [](std::uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+  std::printf("%-28s %12llu\n", "net conns accepted", u(s.connections_accepted));
+  std::printf("%-28s %12llu\n", "net conns active", u(s.connections_active));
+  std::printf("%-28s %12llu\n", "net conns dropped", u(s.connections_dropped));
+  std::printf("%-28s %12llu\n", "net frames in", u(s.frames_in));
+  std::printf("%-28s %12llu\n", "net frames out", u(s.frames_out));
+  std::printf("%-28s %12llu\n", "net bytes in", u(s.bytes_in));
+  std::printf("%-28s %12llu\n", "net bytes out", u(s.bytes_out));
+  std::printf("%-28s %12llu\n", "net decode errors", u(s.decode_errors));
+  std::printf("%-28s %12llu\n", "net protocol errors", u(s.protocol_errors));
+  std::printf("%-28s %12llu\n", "net sessions opened", u(s.sessions_opened));
+  std::printf("%-28s %12llu\n", "net sessions closed", u(s.sessions_closed));
+  std::printf("%-28s %12llu\n", "net sessions faulted",
+              u(s.sessions_faulted));
+}
+
+/// necd --listen: serve the wire protocol until SIGINT/SIGTERM.
+int RunListen(const Args& args) {
+  using namespace nec;
+  core::StandardModel model = PickModel(args);
+  runtime::SessionManager manager(model.selector, model.encoder, {},
+                                  ManagerOptions(args));
+  net::NetServer server(&manager, {.port = args.listen_port});
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "necd: wire listener failed: %s\n", error.c_str());
+    return 2;
+  }
+  // stdout, greppable: scripts read the bound port when --listen 0.
+  std::printf("necd: wire listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+
+  obs::MetricsServer metrics;
+  const auto started_at = std::chrono::steady_clock::now();
+  if (args.metrics_port >= 0) {
+    const auto families = [&] {
+      auto fams = runtime::SnapshotToMetricFamilies(manager.Stats());
+      auto net_fams =
+          net::NetStatsToMetricFamilies(server.StatsSnapshot(), "server");
+      fams.insert(fams.end(), net_fams.begin(), net_fams.end());
+      return fams;
+    };
+    metrics.Handle("/metrics", [families](const std::string&,
+                                          const std::string&) {
+      obs::HttpResponse resp;
+      resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      resp.body = obs::RenderPrometheusText(families());
+      return resp;
+    });
+    metrics.Handle("/metrics.json", [families](const std::string&,
+                                               const std::string&) {
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = obs::RenderMetricsJson(families());
+      return resp;
+    });
+    metrics.Handle("/healthz", [&manager, started_at](const std::string&,
+                                                      const std::string&) {
+      const double uptime_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started_at)
+              .count();
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = "{\"status\":\"ok\",\"uptime_s\":" +
+                  std::to_string(uptime_s) + ",\"sessions\":" +
+                  std::to_string(manager.num_sessions()) + "}\n";
+      return resp;
+    });
+    metrics.Handle("/sessions", [&manager](const std::string&,
+                                           const std::string&) {
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = runtime::SessionsJson(manager) + "\n";
+      return resp;
+    });
+    if (!metrics.Start({.host = "127.0.0.1", .port = args.metrics_port},
+                       &error)) {
+      std::fprintf(stderr, "necd: metrics listener failed: %s\n",
+                   error.c_str());
+      return 2;
+    }
+    std::printf("necd: metrics listening on http://127.0.0.1:%d\n",
+                metrics.port());
+    std::fflush(stdout);
+  }
+
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  NEC_LOG_INFO("necd", "stop signal received — draining shard");
+  server.Stop();
+  manager.Drain();
+  metrics.Stop();
+
+  const runtime::RuntimeStatsSnapshot stats = manager.Stats();
+  std::printf("\n============================ necd stats "
+              "============================\n");
+  std::printf("%-28s %12llu\n", "sessions",
+              static_cast<unsigned long long>(stats.sessions));
+  std::printf("%-28s %12llu\n", "chunks processed",
+              static_cast<unsigned long long>(stats.chunks_processed));
+  std::printf("%-28s %12.2f\n", "chunk latency p50 (ms)",
+              stats.chunk_latency.p50_ms);
+  std::printf("%-28s %12.2f\n", "chunk latency p99 (ms)",
+              stats.chunk_latency.p99_ms);
+  std::printf("%-28s %12llu\n", "session faults",
+              static_cast<unsigned long long>(stats.faults));
+  PrintNetRows(server.StatsSnapshot());
+  std::printf("---------------------------------------------------------"
+              "------------\n");
+  return 0;
+}
+
+/// Parses "host:port:health_port[,host:port:health_port...]".
+bool ParseShardList(const std::string& spec,
+                    std::vector<nec::net::ShardSpec>* shards) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    const std::size_t c1 = item.find(':');
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos : item.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) return false;
+    nec::net::ShardSpec shard;
+    shard.host = item.substr(0, c1);
+    shard.port = std::atoi(item.c_str() + c1 + 1);
+    shard.health_port = std::atoi(item.c_str() + c2 + 1);
+    if (shard.host.empty() || shard.port <= 0 || shard.health_port <= 0) {
+      return false;
+    }
+    shards->push_back(std::move(shard));
+    if (end == spec.size()) break;
+    start = end + 1;
+  }
+  return !shards->empty();
+}
+
+/// necd --route: front a shard fleet until SIGINT/SIGTERM.
+int RunRouter(const Args& args) {
+  using namespace nec;
+  net::Router::Options options;
+  options.port = std::max(args.listen_port, 0);
+  if (!ParseShardList(args.route, &options.shards)) {
+    std::fprintf(stderr,
+                 "necd: --route wants host:port:health_port[,...], got "
+                 "'%s'\n",
+                 args.route.c_str());
+    return 2;
+  }
+  const std::size_t num_shards = options.shards.size();
+  net::Router router(std::move(options));
+  std::string error;
+  if (!router.Start(&error)) {
+    std::fprintf(stderr, "necd: router failed: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("necd: routing on 127.0.0.1:%d (%zu shards)\n", router.port(),
+              num_shards);
+  std::fflush(stdout);
+
+  obs::MetricsServer metrics;
+  const auto started_at = std::chrono::steady_clock::now();
+  if (args.metrics_port >= 0) {
+    metrics.Handle("/metrics", [&router](const std::string&,
+                                         const std::string&) {
+      obs::HttpResponse resp;
+      resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      resp.body = obs::RenderPrometheusText(router.MetricFamilies());
+      return resp;
+    });
+    metrics.Handle("/metrics.json", [&router](const std::string&,
+                                              const std::string&) {
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = obs::RenderMetricsJson(router.MetricFamilies());
+      return resp;
+    });
+    metrics.Handle("/healthz", [&router, started_at](const std::string&,
+                                                     const std::string&) {
+      std::size_t up = 0;
+      const auto statuses = router.ShardStatuses();
+      for (const auto& status : statuses) up += status.up ? 1 : 0;
+      const double uptime_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started_at)
+              .count();
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      // A router with zero healthy shards is alive but not serviceable.
+      resp.status = up > 0 ? 200 : 503;
+      resp.body = "{\"status\":\"" + std::string(up > 0 ? "ok" : "no-shards") +
+                  "\",\"uptime_s\":" + std::to_string(uptime_s) +
+                  ",\"shards_up\":" + std::to_string(up) +
+                  ",\"shards\":" + std::to_string(statuses.size()) + "}\n";
+      return resp;
+    });
+    metrics.Handle("/shards", [&router](const std::string&,
+                                        const std::string&) {
+      std::string body = "[";
+      bool first = true;
+      for (const auto& status : router.ShardStatuses()) {
+        if (!first) body += ",";
+        first = false;
+        body += "{\"host\":\"" + status.spec.host + "\",\"port\":" +
+                std::to_string(status.spec.port) + ",\"health_port\":" +
+                std::to_string(status.spec.health_port) + ",\"up\":" +
+                (status.up ? "true" : "false") + ",\"sessions_active\":" +
+                std::to_string(status.sessions_active) +
+                ",\"sessions_assigned_total\":" +
+                std::to_string(status.sessions_assigned_total) +
+                ",\"ejections\":" + std::to_string(status.ejections) +
+                ",\"probes_ok\":" + std::to_string(status.probes_ok) +
+                ",\"probes_failed\":" + std::to_string(status.probes_failed) +
+                "}";
+      }
+      body += "]\n";
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = std::move(body);
+      return resp;
+    });
+    if (!metrics.Start({.host = "127.0.0.1", .port = args.metrics_port},
+                       &error)) {
+      std::fprintf(stderr, "necd: metrics listener failed: %s\n",
+                   error.c_str());
+      return 2;
+    }
+    std::printf("necd: metrics listening on http://127.0.0.1:%d\n",
+                metrics.port());
+    std::fflush(stdout);
+  }
+
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  NEC_LOG_INFO("necd", "stop signal received — stopping router");
+  router.Stop();
+  metrics.Stop();
+
+  std::printf("\n=========================== router stats "
+              "===========================\n");
+  PrintNetRows(router.StatsSnapshot());
+  std::printf("------------------------------ shards "
+              "------------------------------\n");
+  for (const auto& status : router.ShardStatuses()) {
+    std::printf("%s:%d  up=%d sessions=%llu assigned=%llu ejections=%llu "
+                "probes_ok=%llu probes_failed=%llu\n",
+                status.spec.host.c_str(), status.spec.port, status.up ? 1 : 0,
+                static_cast<unsigned long long>(status.sessions_active),
+                static_cast<unsigned long long>(
+                    status.sessions_assigned_total),
+                static_cast<unsigned long long>(status.ejections),
+                static_cast<unsigned long long>(status.probes_ok),
+                static_cast<unsigned long long>(status.probes_failed));
+  }
+  std::printf("---------------------------------------------------------"
+              "------------\n");
+  return 0;
 }
 
 }  // namespace
@@ -211,6 +549,9 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
 
+  if (!args.route.empty()) return RunRouter(args);
+  if (args.listen_port >= 0) return RunListen(args);
+
   NEC_LOG_INFO("necd",
                "%zu sessions, %zu workers, %.1f s streams, %.1f s chunks, "
                "policy=%s, selector=%s, max-batch=%zu",
@@ -220,22 +561,9 @@ int main(int argc, char** argv) {
                                                         : "las-mask",
                args.max_batch);
 
-  core::StandardModel model = core::StandardModel::Get(/*verbose=*/true);
-  runtime::SessionManager manager(
-      model.selector, model.encoder, {},
-      {.workers = args.workers,
-       .queue_capacity = args.queue,
-       .policy = args.policy,
-       .chunk_s = args.chunk_s,
-       .kind = args.kind,
-       .max_batch = args.max_batch,
-       .max_wait_us = args.max_wait_us,
-       .deadline_ms = args.deadline_ms,
-       .fault = {.on_error = args.on_fault,
-                 .bad_input = args.reject_bad_input
-                                  ? runtime::BadInputPolicy::kReject
-                                  : runtime::BadInputPolicy::kSanitize,
-                 .degrade_on_deadline = args.degrade_on_deadline}});
+  core::StandardModel model = PickModel(args);
+  runtime::SessionManager manager(model.selector, model.encoder, {},
+                                  ManagerOptions(args));
 
   // Live scrape surface. Handlers run on the listener thread; everything
   // they touch (Stats snapshot, SessionStatus) is thread-safe by contract.

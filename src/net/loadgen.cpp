@@ -1,0 +1,343 @@
+#include "net/loadgen.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "net/client.h"
+#include "net/socket.h"
+#include "synth/dataset.h"
+
+namespace nec::net {
+namespace {
+
+double NowS() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto idx = static_cast<std::size_t>(std::ceil(q * n));
+  if (idx > 0) --idx;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+enum class Phase { kOpening, kAwaitBurst, kClosing, kCompleted, kFaulted };
+
+struct SessionDrive {
+  std::uint64_t wire_sid = 0;
+  std::size_t stream_index = 0;
+  std::size_t client_index = 0;
+  Phase phase = Phase::kOpening;
+  std::size_t next_chunk = 0;   ///< chunks submitted so far
+  std::size_t chunks_acked = 0;
+  std::size_t watermark = 0;    ///< shadow samples when last chunk went out
+  double submit_s = 0.0;
+  std::string error;
+};
+
+}  // namespace
+
+LoadGenReport RunLoadGen(const LoadGenOptions& options) {
+  LoadGenReport report;
+  if (options.endpoints.empty() || options.sessions == 0 ||
+      options.chunks_per_session == 0) {
+    report.error = "loadgen: need >=1 endpoint, >=1 session, >=1 chunk";
+    return report;
+  }
+
+  const std::size_t num_clients =
+      std::max<std::size_t>(1, std::min(options.connections, options.sessions));
+  std::vector<std::unique_ptr<NetClient>> clients;
+  std::vector<bool> client_alive(num_clients, true);
+  HelloInfo hello;
+  for (std::size_t j = 0; j < num_clients; ++j) {
+    std::string host;
+    int port = 0;
+    const std::string& endpoint =
+        options.endpoints[j % options.endpoints.size()];
+    if (!ParseHostPort(endpoint, &host, &port)) {
+      report.error = "loadgen: bad endpoint '" + endpoint + "'";
+      return report;
+    }
+    auto client = std::make_unique<NetClient>();
+    std::string error;
+    if (!client->Connect(host, port, options.connect_timeout_ms, &error)) {
+      report.error = "loadgen: connect " + endpoint + ": " + error;
+      return report;
+    }
+    HelloInfo info;
+    if (!client->Hello(&info, options.io_timeout_ms, &error)) {
+      report.error = "loadgen: hello " + endpoint + ": " + error;
+      return report;
+    }
+    if (j == 0) {
+      hello = info;
+    } else if (info.chunk_samples != hello.chunk_samples) {
+      report.error = "loadgen: endpoints disagree on chunk_samples (" +
+                     std::to_string(hello.chunk_samples) + " vs " +
+                     std::to_string(info.chunk_samples) + ")";
+      return report;
+    }
+    clients.push_back(std::move(client));
+  }
+  report.chunk_samples = hello.chunk_samples;
+  if (hello.chunk_samples == 0 || hello.input_sample_rate == 0) {
+    report.error = "loadgen: server advertised zero chunk geometry";
+    return report;
+  }
+
+  // Pre-synthesize the shared input streams — serving is what is being
+  // measured, not synthesis.
+  const std::size_t pool =
+      std::max<std::size_t>(1, std::min(options.stream_pool, options.sessions));
+  const std::size_t samples_needed =
+      options.chunks_per_session * hello.chunk_samples;
+  struct Stream {
+    std::uint64_t speaker_seed;
+    std::uint64_t ref_seed;
+    std::vector<float> samples;
+  };
+  std::vector<Stream> streams(pool);
+  synth::DatasetBuilder builder(
+      {.sample_rate = static_cast<int>(hello.input_sample_rate),
+       .duration_s = static_cast<double>(samples_needed) /
+                     static_cast<double>(hello.input_sample_rate)});
+  for (std::size_t p = 0; p < pool; ++p) {
+    Stream& stream = streams[p];
+    stream.speaker_seed = options.seed + 101 * (p + 1);
+    stream.ref_seed = options.seed + 577 * (p + 1);
+    const auto speaker = synth::SpeakerProfile::FromSeed(stream.speaker_seed);
+    auto instance = builder.MakeInstance(speaker, synth::Scenario::kBabble,
+                                         options.seed + 7919 * (p + 1));
+    stream.samples = std::move(instance.mixed.data());
+    stream.samples.resize(samples_needed, 0.0f);  // pad rounding shortfall
+  }
+
+  std::vector<SessionDrive> drives(options.sessions);
+  for (std::size_t i = 0; i < options.sessions; ++i) {
+    drives[i].wire_sid = options.first_wire_sid + i;
+    drives[i].stream_index = i % pool;
+    drives[i].client_index = i % num_clients;
+  }
+
+  const double start_s = NowS();
+  const double deadline_s = start_s + options.max_seconds;
+
+  auto fault_session = [&](SessionDrive& drive, const std::string& why) {
+    if (drive.phase == Phase::kCompleted || drive.phase == Phase::kFaulted)
+      return;
+    drive.phase = Phase::kFaulted;
+    drive.error = why;
+  };
+  auto fault_client = [&](std::size_t j, const std::string& why) {
+    if (!client_alive[j]) return;
+    client_alive[j] = false;
+    clients[j]->Close();
+    for (auto& drive : drives) {
+      if (drive.client_index == j) fault_session(drive, why);
+    }
+  };
+  auto submit_chunk = [&](SessionDrive& drive) {
+    NetClient& client = *clients[drive.client_index];
+    const Stream& stream = streams[drive.stream_index];
+    std::span<const float> chunk(
+        stream.samples.data() + drive.next_chunk * hello.chunk_samples,
+        hello.chunk_samples);
+    std::string error;
+    drive.watermark = client.session(drive.wire_sid).shadow.size();
+    drive.submit_s = NowS();
+    if (!client.SubmitChunk(drive.wire_sid, chunk, &error)) {
+      fault_client(drive.client_index, "submit: " + error);
+      return;
+    }
+    drive.next_chunk += 1;
+    drive.phase = Phase::kAwaitBurst;
+  };
+  auto pump_clients = [&](int timeout_ms) {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> owner;
+    for (std::size_t j = 0; j < num_clients; ++j) {
+      if (!client_alive[j]) continue;
+      fds.push_back({clients[j]->fd(), POLLIN, 0});
+      owner.push_back(j);
+    }
+    if (fds.empty()) return;
+    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc <= 0) return;  // timeout or EINTR — the outer loop retries
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if ((fds[k].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      bool timed_out = false;
+      std::string error;
+      if (!clients[owner[k]]->PumpOnce(0, &timed_out, &error)) {
+        fault_client(owner[k], "recv: " + error);
+      }
+    }
+  };
+
+  // Phase A — open every session and wait for all acks (not timed as
+  // throughput: enrollment synthesis dominates and happens once).
+  for (auto& drive : drives) {
+    if (!client_alive[drive.client_index]) continue;
+    NetClient& client = *clients[drive.client_index];
+    const Stream& stream = streams[drive.stream_index];
+    std::string error;
+    if (!client.SendOpenSession(drive.wire_sid, stream.speaker_seed,
+                                stream.ref_seed, &error)) {
+      fault_client(drive.client_index, "open: " + error);
+    }
+  }
+  for (;;) {
+    bool pending = false;
+    for (auto& drive : drives) {
+      if (drive.phase != Phase::kOpening) continue;
+      if (!client_alive[drive.client_index]) continue;
+      const auto& state =
+          clients[drive.client_index]->session(drive.wire_sid);
+      if (state.error.has_value()) {
+        fault_session(drive, "open rejected: " + state.error->message);
+      } else if (!state.open_acked) {
+        pending = true;
+      }
+    }
+    if (!pending) break;
+    if (NowS() > deadline_s) {
+      for (auto& drive : drives) {
+        if (drive.phase == Phase::kOpening)
+          fault_session(drive, "load generator deadline (open)");
+      }
+      break;
+    }
+    pump_clients(50);
+  }
+
+  // Phase B — closed-loop streaming, timed.
+  const double stream_start_s = NowS();
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(options.sessions * options.chunks_per_session);
+  for (auto& drive : drives) {
+    if (drive.phase == Phase::kOpening) submit_chunk(drive);
+  }
+  for (;;) {
+    bool pending = false;
+    for (auto& drive : drives) {
+      if (drive.phase == Phase::kCompleted || drive.phase == Phase::kFaulted)
+        continue;
+      if (!client_alive[drive.client_index]) continue;
+      NetClient& client = *clients[drive.client_index];
+      const auto& state = client.session(drive.wire_sid);
+      if (state.error.has_value()) {
+        fault_session(drive, "session error (" +
+                                 std::to_string(state.error->category) +
+                                 "): " + state.error->message);
+        continue;
+      }
+      if (drive.phase == Phase::kAwaitBurst) {
+        if (state.shadow.size() > drive.watermark) {
+          latencies_ms.push_back((NowS() - drive.submit_s) * 1e3);
+          drive.chunks_acked += 1;
+          report.chunks_acked += 1;
+          if (drive.next_chunk < options.chunks_per_session) {
+            submit_chunk(drive);
+          } else {
+            std::string error;
+            if (!client.SendCloseSession(drive.wire_sid, &error)) {
+              fault_client(drive.client_index, "close: " + error);
+              continue;
+            }
+            drive.phase = Phase::kClosing;
+          }
+        }
+      }
+      if (drive.phase == Phase::kClosing && state.closed) {
+        drive.phase = Phase::kCompleted;
+        continue;
+      }
+      if (drive.phase != Phase::kCompleted && drive.phase != Phase::kFaulted)
+        pending = true;
+    }
+    if (!pending) break;
+    if (NowS() > deadline_s) {
+      for (auto& drive : drives) {
+        if (drive.phase != Phase::kCompleted && drive.phase != Phase::kFaulted)
+          fault_session(drive, "load generator deadline (stream)");
+      }
+      break;
+    }
+    pump_clients(20);
+  }
+  report.wall_s = NowS() - stream_start_s;
+
+  // Collect outcomes.
+  report.sessions.resize(options.sessions);
+  for (std::size_t i = 0; i < options.sessions; ++i) {
+    SessionDrive& drive = drives[i];
+    LoadGenSessionOutcome& outcome = report.sessions[i];
+    outcome.wire_sid = drive.wire_sid;
+    outcome.stream_index = drive.stream_index;
+    outcome.speaker_seed = streams[drive.stream_index].speaker_seed;
+    outcome.ref_seed = streams[drive.stream_index].ref_seed;
+    outcome.completed = drive.phase == Phase::kCompleted;
+    outcome.error = drive.error;
+    outcome.chunks_acked = drive.chunks_acked;
+    auto* state = clients[drive.client_index]->mutable_session(drive.wire_sid);
+    outcome.shadow_samples = state->shadow.size();
+    if (options.keep_shadows) outcome.shadow = std::move(state->shadow);
+    if (outcome.completed) {
+      report.sessions_completed += 1;
+    } else {
+      report.sessions_faulted += 1;
+    }
+  }
+  for (const auto& client : clients) {
+    report.bytes_in += client->bytes_in();
+    report.bytes_out += client->bytes_out();
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  report.latency_p50_ms = Quantile(latencies_ms, 0.50);
+  report.latency_p90_ms = Quantile(latencies_ms, 0.90);
+  report.latency_p99_ms = Quantile(latencies_ms, 0.99);
+  report.latency_max_ms = latencies_ms.empty() ? 0.0 : latencies_ms.back();
+  if (report.wall_s > 0.0) {
+    report.chunks_per_sec =
+        static_cast<double>(report.chunks_acked) / report.wall_s;
+  }
+  report.ok = report.error.empty();
+  return report;
+}
+
+std::string FormatLoadGenReport(const LoadGenReport& report) {
+  char line[256];
+  std::string out;
+  auto add = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof(line), fmt, args...);
+    out += line;
+    out += '\n';
+  };
+  if (!report.error.empty()) add("error                 %s", report.error.c_str());
+  add("sessions_completed    %zu", report.sessions_completed);
+  add("sessions_faulted      %zu", report.sessions_faulted);
+  add("chunks_acked          %llu",
+      static_cast<unsigned long long>(report.chunks_acked));
+  add("wall_s                %.3f", report.wall_s);
+  add("chunks_per_sec        %.1f", report.chunks_per_sec);
+  add("latency_p50_ms        %.2f", report.latency_p50_ms);
+  add("latency_p90_ms        %.2f", report.latency_p90_ms);
+  add("latency_p99_ms        %.2f", report.latency_p99_ms);
+  add("latency_max_ms        %.2f", report.latency_max_ms);
+  add("bytes_in              %llu",
+      static_cast<unsigned long long>(report.bytes_in));
+  add("bytes_out             %llu",
+      static_cast<unsigned long long>(report.bytes_out));
+  return out;
+}
+
+}  // namespace nec::net

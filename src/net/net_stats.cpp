@@ -1,0 +1,92 @@
+#include "net/net_stats.h"
+
+namespace nec::net {
+namespace {
+
+obs::MetricFamily Family(const char* name, const char* help,
+                         obs::MetricType type, double value,
+                         const std::string& role) {
+  obs::MetricFamily family;
+  family.name = name;
+  family.help = help;
+  family.type = type;
+  obs::Metric metric;
+  metric.labels.emplace_back("role", role);
+  metric.value = value;
+  family.metrics.push_back(std::move(metric));
+  return family;
+}
+
+}  // namespace
+
+NetStatsSnapshot NetStats::Snapshot() const {
+  NetStatsSnapshot s;
+  s.connections_accepted = accepted_.load(kRelaxed);
+  s.connections_active = active_.load(kRelaxed);
+  s.connections_dropped = dropped_.load(kRelaxed);
+  s.frames_in = frames_in_.load(kRelaxed);
+  s.frames_out = frames_out_.load(kRelaxed);
+  s.bytes_in = bytes_in_.load(kRelaxed);
+  s.bytes_out = bytes_out_.load(kRelaxed);
+  s.decode_errors = decode_errors_.load(kRelaxed);
+  s.protocol_errors = protocol_errors_.load(kRelaxed);
+  s.sessions_opened = sessions_opened_.load(kRelaxed);
+  s.sessions_closed = sessions_closed_.load(kRelaxed);
+  s.sessions_faulted = sessions_faulted_.load(kRelaxed);
+  return s;
+}
+
+std::vector<obs::MetricFamily> NetStatsToMetricFamilies(
+    const NetStatsSnapshot& s, const std::string& role) {
+  using obs::MetricType;
+  std::vector<obs::MetricFamily> families;
+  families.push_back(Family(
+      "nec_net_connections_accepted_total", "TCP connections accepted",
+      MetricType::kCounter, static_cast<double>(s.connections_accepted),
+      role));
+  families.push_back(Family(
+      "nec_net_connections_active", "TCP connections currently open",
+      MetricType::kGauge, static_cast<double>(s.connections_active), role));
+  families.push_back(Family(
+      "nec_net_connections_dropped_total",
+      "connections closed on error, decode failure, or timeout",
+      MetricType::kCounter, static_cast<double>(s.connections_dropped),
+      role));
+  families.push_back(Family("nec_net_frames_in_total",
+                            "wire frames decoded from peers",
+                            MetricType::kCounter,
+                            static_cast<double>(s.frames_in), role));
+  families.push_back(Family("nec_net_frames_out_total",
+                            "wire frames sent to peers",
+                            MetricType::kCounter,
+                            static_cast<double>(s.frames_out), role));
+  families.push_back(Family("nec_net_bytes_in_total",
+                            "payload+header bytes received",
+                            MetricType::kCounter,
+                            static_cast<double>(s.bytes_in), role));
+  families.push_back(Family("nec_net_bytes_out_total",
+                            "payload+header bytes sent", MetricType::kCounter,
+                            static_cast<double>(s.bytes_out), role));
+  families.push_back(Family(
+      "nec_net_decode_errors_total",
+      "malformed frames (bad magic/version/type/length/CRC)",
+      MetricType::kCounter, static_cast<double>(s.decode_errors), role));
+  families.push_back(Family(
+      "nec_net_protocol_errors_total",
+      "well-framed but invalid requests (unknown session, bad payload)",
+      MetricType::kCounter, static_cast<double>(s.protocol_errors), role));
+  families.push_back(Family("nec_net_sessions_opened_total",
+                            "wire sessions opened", MetricType::kCounter,
+                            static_cast<double>(s.sessions_opened), role));
+  families.push_back(Family("nec_net_sessions_closed_total",
+                            "wire sessions completed orderly",
+                            MetricType::kCounter,
+                            static_cast<double>(s.sessions_closed), role));
+  families.push_back(Family("nec_net_sessions_faulted_total",
+                            "wire sessions ended with an error frame",
+                            MetricType::kCounter,
+                            static_cast<double>(s.sessions_faulted), role));
+  return families;
+}
+
+}  // namespace nec::net

@@ -1,0 +1,81 @@
+// Connection-level counters for the nec::net subsystem.
+//
+// One NetStats instance is owned by each listener-side component (the
+// NetServer inside `necd --listen`, the client-facing side of the
+// Router). All fields are relaxed atomics — the poll loop updates them
+// inline and the metrics endpoint snapshots them from another thread
+// without coordination, same discipline as runtime::RuntimeStats.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace nec::net {
+
+/// Plain-struct snapshot of NetStats at one moment.
+struct NetStatsSnapshot {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;   ///< currently open
+  std::uint64_t connections_dropped = 0;  ///< closed by error/timeout/us
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t decode_errors = 0;    ///< malformed frames (typed, fatal)
+  std::uint64_t protocol_errors = 0;  ///< well-framed but invalid requests
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;  ///< orderly kClosed completions
+  std::uint64_t sessions_faulted = 0; ///< ended with a kError frame
+};
+
+class NetStats {
+ public:
+  void AddAccepted() {
+    accepted_.fetch_add(1, kRelaxed);
+    active_.fetch_add(1, kRelaxed);
+  }
+  void AddClosed(bool dropped) {
+    active_.fetch_sub(1, kRelaxed);
+    if (dropped) dropped_.fetch_add(1, kRelaxed);
+  }
+  void AddFrameIn() { frames_in_.fetch_add(1, kRelaxed); }
+  void AddFrameOut() { frames_out_.fetch_add(1, kRelaxed); }
+  void AddBytesIn(std::uint64_t n) { bytes_in_.fetch_add(n, kRelaxed); }
+  void AddBytesOut(std::uint64_t n) { bytes_out_.fetch_add(n, kRelaxed); }
+  void AddDecodeError() { decode_errors_.fetch_add(1, kRelaxed); }
+  void AddProtocolError() { protocol_errors_.fetch_add(1, kRelaxed); }
+  void AddSessionOpened() { sessions_opened_.fetch_add(1, kRelaxed); }
+  void AddSessionClosed() { sessions_closed_.fetch_add(1, kRelaxed); }
+  void AddSessionFaulted() { sessions_faulted_.fetch_add(1, kRelaxed); }
+
+  NetStatsSnapshot Snapshot() const;
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> active_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> frames_out_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> decode_errors_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> sessions_opened_{0};
+  std::atomic<std::uint64_t> sessions_closed_{0};
+  std::atomic<std::uint64_t> sessions_faulted_{0};
+};
+
+/// Converts a snapshot into Prometheus families, all named
+/// `nec_net_<field>` with `role` as a constant label (e.g. role="server"
+/// or role="router"), so a shard and a router scraped by the same job
+/// stay distinguishable.
+std::vector<obs::MetricFamily> NetStatsToMetricFamilies(
+    const NetStatsSnapshot& snapshot, const std::string& role);
+
+}  // namespace nec::net

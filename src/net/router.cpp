@@ -1,0 +1,732 @@
+#include "net/router.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+
+#include "net/client.h"
+#include "obs/http.h"
+#include "obs/log.h"
+#include "runtime/fault.h"
+
+namespace nec::net {
+namespace {
+
+constexpr const char* kComponent = "net.router";
+
+/// splitmix64 finalizer — cheap, well-mixed 64-bit hash for ring points
+/// and session placement.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+void SleepMsInterruptible(int total_ms, const std::atomic<bool>& stop) {
+  for (int waited = 0; waited < total_ms && !stop.load(std::memory_order_relaxed);
+       waited += 10) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace
+
+/// Health + placement bookkeeping for one shard. `up`,`sessions_active`
+/// and the probe counters cross threads (prober / poll loop / metrics
+/// snapshots) and are atomics; the consecutive counters are
+/// prober-thread-only.
+struct Router::ShardState {
+  ShardSpec spec;
+  std::string label;  ///< "host:port" for logs and metric labels
+  std::atomic<bool> up{false};
+  std::size_t consecutive_failures = 0;
+  std::size_t consecutive_successes = 0;
+  std::atomic<std::uint64_t> sessions_active{0};
+  std::atomic<std::uint64_t> sessions_assigned_total{0};
+  std::atomic<std::uint64_t> ejections{0};
+  std::atomic<std::uint64_t> probes_ok{0};
+  std::atomic<std::uint64_t> probes_failed{0};
+};
+
+/// Router-side connection to one shard on behalf of ONE client
+/// connection (wire session ids are only unique per client).
+struct Router::Upstream {
+  int fd = -1;
+  FrameDecoder decoder;
+  std::string outbound;
+  std::size_t out_off = 0;
+
+  bool connected() const { return fd >= 0; }
+};
+
+struct Router::Connection {
+  int fd = -1;
+  FrameDecoder decoder;
+  std::string outbound;
+  std::size_t out_off = 0;
+  bool close_after_write = false;
+  std::unordered_map<std::uint64_t, std::size_t> session_shard;  ///< sid → shard
+  std::vector<Upstream> upstreams;  ///< index-aligned with Router::shards_
+  /// Poll-thread copy of each shard's up flag, used to detect down
+  /// transitions that require faulting this connection's sessions.
+  std::vector<bool> last_up;
+};
+
+Router::Router(Options options) : options_(std::move(options)) {
+  for (const ShardSpec& spec : options_.shards) {
+    auto shard = std::make_unique<ShardState>();
+    shard->spec = spec;
+    shard->label = spec.host + ":" + std::to_string(spec.port);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Router::~Router() { Stop(); }
+
+bool Router::Start(std::string* error) {
+  if (shards_.empty()) {
+    if (error != nullptr) *error = "router: no shards configured";
+    return false;
+  }
+  IgnoreSigpipe();
+  if (!listener_.Listen(options_.host, options_.port, error)) return false;
+  port_ = listener_.port();
+
+  // Ring over ALL shards (down ones are skipped at lookup time), so a
+  // readmitted shard gets back exactly the ring segments it had.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    for (std::size_t v = 0; v < options_.vnodes; ++v) {
+      ring_.emplace_back(Mix64((s + 1) * 0x100000001B3ull + v), s);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+
+  // One synchronous probe round so the first client sees real health
+  // (and the hello cache is warm when any shard is alive).
+  for (auto& shard : shards_) ProbeOnce(*shard);
+  RefreshHelloCache();
+
+  stop_.store(false, std::memory_order_relaxed);
+  serve_thread_ = std::thread([this] { Serve(); });
+  probe_thread_ = std::thread([this] { ProbeLoop(); });
+  NEC_LOG_INFO(kComponent, "routing %zu shard(s) on %s:%d", shards_.size(),
+               options_.host.c_str(), port_);
+  return true;
+}
+
+void Router::Stop() {
+  if (!serve_thread_.joinable() && !probe_thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (serve_thread_.joinable()) serve_thread_.join();
+  if (probe_thread_.joinable()) probe_thread_.join();
+  for (auto& conn : connections_) CloseConnection(*conn, /*dropped=*/true);
+  connections_.clear();
+  listener_.Close();
+}
+
+// ------------------------------------------------------------- probing
+
+void Router::ProbeLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    SleepMsInterruptible(options_.probe_interval_ms, stop_);
+    if (stop_.load(std::memory_order_relaxed)) return;
+    for (auto& shard : shards_) ProbeOnce(*shard);
+    RefreshHelloCache();
+  }
+}
+
+void Router::ProbeOnce(ShardState& shard) {
+  std::string body;
+  std::string error;
+  int status = 0;
+  obs::HttpGetOptions http_options;
+  http_options.connect_timeout_ms = 500;
+  http_options.read_timeout_ms = 1000;
+  const bool ok =
+      obs::HttpGet(shard.spec.host, shard.spec.health_port, "/healthz", &body,
+                   &status, &error, http_options) &&
+      status == 200;
+  if (ok) {
+    shard.probes_ok.fetch_add(1, std::memory_order_relaxed);
+    shard.consecutive_failures = 0;
+    shard.consecutive_successes += 1;
+    if (!shard.up.load(std::memory_order_relaxed) &&
+        shard.consecutive_successes >= options_.readmit_after) {
+      shard.up.store(true, std::memory_order_relaxed);
+      NEC_LOG_INFO(kComponent, "shard %s readmitted", shard.label.c_str());
+    }
+  } else {
+    shard.probes_failed.fetch_add(1, std::memory_order_relaxed);
+    shard.consecutive_successes = 0;
+    shard.consecutive_failures += 1;
+    if (shard.up.load(std::memory_order_relaxed) &&
+        shard.consecutive_failures >= options_.eject_after) {
+      shard.up.store(false, std::memory_order_relaxed);
+      shard.ejections.fetch_add(1, std::memory_order_relaxed);
+      NEC_LOG_WARN(kComponent, "shard %s ejected (%s)", shard.label.c_str(),
+                   error.empty() ? "non-200 health" : error.c_str());
+    }
+  }
+  // Bootstrap: before the first success/failure streak completes, the
+  // very first probe decides the initial state.
+  if (shard.consecutive_successes + shard.consecutive_failures == 1) {
+    shard.up.store(ok, std::memory_order_relaxed);
+  }
+}
+
+void Router::RefreshHelloCache() {
+  {
+    std::lock_guard<std::mutex> lock(hello_mutex_);
+    if (hello_payload_.has_value()) return;
+  }
+  for (const auto& shard : shards_) {
+    if (!shard->up.load(std::memory_order_relaxed)) continue;
+    NetClient probe;
+    std::string error;
+    HelloInfo info;
+    if (!probe.Connect(shard->spec.host, shard->spec.port,
+                       options_.connect_timeout_ms, &error) ||
+        !probe.Hello(&info, 2000, &error)) {
+      continue;
+    }
+    std::vector<std::uint8_t> payload;
+    PutU32(&payload, info.version);
+    PutU32(&payload, info.input_sample_rate);
+    PutU32(&payload, info.chunk_samples);
+    PutU32(&payload, info.output_sample_rate);
+    PutU32(&payload, info.output_samples_per_chunk);
+    std::lock_guard<std::mutex> lock(hello_mutex_);
+    hello_payload_ = std::move(payload);
+    return;
+  }
+}
+
+// ----------------------------------------------------------- poll loop
+
+void Router::Serve() {
+  struct Slot {
+    std::size_t conn_index;
+    /// shards_.size() means "the client fd"; otherwise the upstream index.
+    std::size_t shard_index;
+  };
+  std::vector<struct pollfd> pfds;
+  std::vector<Slot> slots;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pfds.clear();
+    slots.clear();
+    pfds.push_back({listener_.fd(), POLLIN, 0});
+    slots.push_back({0, 0});
+    for (std::size_t c = 0; c < connections_.size(); ++c) {
+      Connection& conn = *connections_[c];
+      short events = POLLIN;
+      if (conn.out_off < conn.outbound.size()) events |= POLLOUT;
+      pfds.push_back({conn.fd, events, 0});
+      slots.push_back({c, shards_.size()});
+      for (std::size_t s = 0; s < conn.upstreams.size(); ++s) {
+        const Upstream& up = conn.upstreams[s];
+        if (!up.connected()) continue;
+        short up_events = POLLIN;
+        if (up.out_off < up.outbound.size()) up_events |= POLLOUT;
+        pfds.push_back({up.fd, up_events, 0});
+        slots.push_back({c, s});
+      }
+    }
+    const int pr = ::poll(pfds.data(), pfds.size(), options_.tick_ms);
+    if (pr < 0 && errno != EINTR) break;
+
+    if (pfds[0].revents & POLLIN) AcceptPending();
+
+    bool mutated = false;
+    for (std::size_t i = 1; i < pfds.size() && !mutated; ++i) {
+      const short revents = pfds[i].revents;
+      if (revents == 0) continue;
+      Connection& conn = *connections_[slots[i].conn_index];
+      if (slots[i].shard_index == shards_.size()) {
+        bool alive = (revents & (POLLERR | POLLHUP | POLLNVAL)) == 0;
+        if (alive && (revents & POLLIN)) alive = ReadClient(conn);
+        if (!alive) {
+          CloseConnection(conn, /*dropped=*/true);
+          connections_.erase(connections_.begin() +
+                             static_cast<std::ptrdiff_t>(slots[i].conn_index));
+          mutated = true;  // pfds indices are stale; repoll
+        }
+      } else {
+        const std::size_t s = slots[i].shard_index;
+        if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+          NEC_LOG_WARN(kComponent, "upstream %s poll error (revents 0x%x)",
+                       shards_[s]->label.c_str(), revents);
+          FaultShardSessions(conn, s,
+                             "shard " + shards_[s]->label +
+                                 " connection lost");
+        } else if ((revents & POLLIN) && !ReadUpstream(conn, s)) {
+          NEC_LOG_WARN(kComponent, "upstream %s read failed (errno %d)",
+                       shards_[s]->label.c_str(), errno);
+          FaultShardSessions(conn, s,
+                             "shard " + shards_[s]->label +
+                                 " connection lost");
+        }
+      }
+    }
+    if (mutated) continue;
+
+    ApplyHealthTransitions();
+
+    // Flush both directions; a client that went away gets reaped here.
+    for (std::size_t c = 0; c < connections_.size(); ++c) {
+      Connection& conn = *connections_[c];
+      bool alive = FlushClient(conn);
+      if (alive) {
+        for (std::size_t s = 0; s < conn.upstreams.size(); ++s) {
+          if (conn.upstreams[s].connected() && !FlushUpstream(conn, s)) {
+            FaultShardSessions(conn, s,
+                               "shard " + shards_[s]->label +
+                                   " write failed");
+          }
+        }
+      }
+      if (alive && conn.close_after_write &&
+          conn.out_off >= conn.outbound.size()) {
+        alive = false;
+      }
+      if (!alive) {
+        CloseConnection(conn, /*dropped=*/!conn.close_after_write);
+        connections_.erase(connections_.begin() +
+                           static_cast<std::ptrdiff_t>(c));
+        --c;
+      }
+    }
+  }
+}
+
+void Router::AcceptPending() {
+  for (;;) {
+    const int fd = listener_.Accept();
+    if (fd < 0) return;
+    if (connections_.size() >= options_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->upstreams.resize(shards_.size());
+    conn->last_up.resize(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      conn->last_up[s] = shards_[s]->up.load(std::memory_order_relaxed);
+    }
+    connections_.push_back(std::move(conn));
+    stats_.AddAccepted();
+  }
+}
+
+bool Router::ReadClient(Connection& conn) {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    stats_.AddBytesIn(static_cast<std::uint64_t>(n));
+    conn.decoder.Feed(buf, static_cast<std::size_t>(n));
+    if (static_cast<std::size_t>(n) < sizeof buf) break;
+  }
+  Frame frame;
+  for (;;) {
+    const DecodeStatus status = conn.decoder.Next(&frame);
+    if (status == DecodeStatus::kNeedMore) return true;
+    if (IsDecodeError(status)) {
+      stats_.AddDecodeError();
+      SendErrorToClient(
+          conn, 0,
+          static_cast<std::uint32_t>(runtime::ErrorCategory::kBadInput),
+          std::string("malformed frame: ") + DecodeStatusName(status));
+      conn.close_after_write = true;
+      return true;
+    }
+    stats_.AddFrameIn();
+    if (!HandleClientFrame(conn, std::move(frame))) return false;
+  }
+}
+
+bool Router::HandleClientFrame(Connection& conn, Frame&& frame) {
+  switch (frame.type) {
+    case FrameType::kHello: {
+      PayloadReader reader(frame.payload);
+      std::uint32_t min_ver = 0;
+      std::uint32_t max_ver = 0;
+      if (!reader.U32(&min_ver) || !reader.U32(&max_ver) ||
+          !reader.complete() || min_ver > kProtocolVersion ||
+          max_ver < kProtocolVersion) {
+        stats_.AddProtocolError();
+        SendErrorToClient(
+            conn, 0,
+            static_cast<std::uint32_t>(runtime::ErrorCategory::kBadInput),
+            "bad hello (payload or unsupported version)");
+        return true;
+      }
+      std::optional<std::vector<std::uint8_t>> cached;
+      {
+        std::lock_guard<std::mutex> lock(hello_mutex_);
+        cached = hello_payload_;
+      }
+      if (!cached.has_value()) {
+        // No shard has ever answered; the fleet is effectively down.
+        stats_.AddProtocolError();
+        SendErrorToClient(
+            conn, 0,
+            static_cast<std::uint32_t>(runtime::ErrorCategory::kOverload),
+            "no healthy shards");
+        return true;
+      }
+      Frame ack;
+      ack.type = FrameType::kHelloAck;
+      ack.payload = std::move(*cached);
+      SendToClient(conn, ack);
+      return true;
+    }
+
+    case FrameType::kPing: {
+      Frame pong;
+      pong.type = FrameType::kPong;
+      pong.session_id = frame.session_id;
+      pong.payload = std::move(frame.payload);
+      SendToClient(conn, pong);
+      return true;
+    }
+
+    case FrameType::kOpenSession: {
+      auto it = conn.session_shard.find(frame.session_id);
+      std::size_t shard_index;
+      if (it != conn.session_shard.end()) {
+        shard_index = it->second;  // duplicate open: let the shard reject
+      } else {
+        const auto picked = PickShard(frame.session_id);
+        if (!picked.has_value()) {
+          stats_.AddProtocolError();
+          SendErrorToClient(
+              conn, frame.session_id,
+              static_cast<std::uint32_t>(runtime::ErrorCategory::kOverload),
+              "no healthy shards");
+          return true;
+        }
+        shard_index = *picked;
+        if (!EnsureUpstream(conn, shard_index)) {
+          SendErrorToClient(
+              conn, frame.session_id,
+              static_cast<std::uint32_t>(runtime::ErrorCategory::kOverload),
+              "shard " + shards_[shard_index]->label + " unreachable");
+          return true;
+        }
+        conn.session_shard.emplace(frame.session_id, shard_index);
+        shards_[shard_index]->sessions_active.fetch_add(
+            1, std::memory_order_relaxed);
+        shards_[shard_index]->sessions_assigned_total.fetch_add(
+            1, std::memory_order_relaxed);
+        stats_.AddSessionOpened();
+      }
+      EncodeFrame(frame, &conn.upstreams[shard_index].outbound);
+      return true;
+    }
+
+    case FrameType::kSubmitChunk:
+    case FrameType::kCloseSession: {
+      const auto it = conn.session_shard.find(frame.session_id);
+      if (it == conn.session_shard.end()) {
+        stats_.AddProtocolError();
+        SendErrorToClient(
+            conn, frame.session_id,
+            static_cast<std::uint32_t>(runtime::ErrorCategory::kBadInput),
+            "unknown wire session id");
+        return true;
+      }
+      EncodeFrame(frame, &conn.upstreams[it->second].outbound);
+      return true;
+    }
+
+    default:
+      stats_.AddProtocolError();
+      SendErrorToClient(
+          conn, frame.session_id,
+          static_cast<std::uint32_t>(runtime::ErrorCategory::kBadInput),
+          std::string("unexpected frame type: ") + FrameTypeName(frame.type));
+      return true;
+  }
+}
+
+bool Router::ReadUpstream(Connection& conn, std::size_t shard_index) {
+  Upstream& up = conn.upstreams[shard_index];
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(up.fd, buf, sizeof buf, 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    up.decoder.Feed(buf, static_cast<std::size_t>(n));
+    if (static_cast<std::size_t>(n) < sizeof buf) break;
+  }
+  Frame frame;
+  for (;;) {
+    const DecodeStatus status = up.decoder.Next(&frame);
+    if (status == DecodeStatus::kNeedMore) return true;
+    if (IsDecodeError(status)) {
+      NEC_LOG_WARN(kComponent, "shard %s sent malformed frame: %s",
+                   shards_[shard_index]->label.c_str(),
+                   DecodeStatusName(status));
+      return false;
+    }
+    // Terminal frames release the sticky assignment.
+    if (frame.session_id != 0 &&
+        (frame.type == FrameType::kClosed || frame.type == FrameType::kError)) {
+      if (conn.session_shard.erase(frame.session_id) > 0) {
+        shards_[shard_index]->sessions_active.fetch_sub(
+            1, std::memory_order_relaxed);
+        if (frame.type == FrameType::kClosed) {
+          stats_.AddSessionClosed();
+        } else {
+          stats_.AddSessionFaulted();
+        }
+      }
+    }
+    SendToClient(conn, frame);
+  }
+}
+
+std::optional<std::size_t> Router::PickShard(std::uint64_t wire_sid) const {
+  if (ring_.empty()) return std::nullopt;
+  const std::uint64_t h = Mix64(wire_sid);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(h, std::size_t{0}));
+  for (std::size_t step = 0; step < ring_.size(); ++step, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (shards_[it->second]->up.load(std::memory_order_relaxed)) {
+      return it->second;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Router::EnsureUpstream(Connection& conn, std::size_t shard_index) {
+  Upstream& up = conn.upstreams[shard_index];
+  if (up.connected()) return true;
+  const ShardSpec& spec = shards_[shard_index]->spec;
+  std::string error;
+  const int fd =
+      DialTcp(spec.host, spec.port, options_.connect_timeout_ms, &error);
+  if (fd < 0) {
+    NEC_LOG_WARN(kComponent, "dial shard %s: %s",
+                 shards_[shard_index]->label.c_str(), error.c_str());
+    return false;
+  }
+  SetNonBlocking(fd, true);
+  up.fd = fd;
+  up.decoder.Reset();
+  up.outbound.clear();
+  up.out_off = 0;
+  return true;
+}
+
+void Router::FaultShardSessions(Connection& conn, std::size_t shard_index,
+                                const std::string& why) {
+  Upstream& up = conn.upstreams[shard_index];
+  if (up.connected()) {
+    ::close(up.fd);
+    up.fd = -1;
+    up.decoder.Reset();
+    up.outbound.clear();
+    up.out_off = 0;
+  }
+  // Every session pinned to this shard is unrecoverable: the shard-side
+  // SessionManager state is gone. Same taxonomy as an in-process
+  // invariant fault, one level up.
+  for (auto it = conn.session_shard.begin(); it != conn.session_shard.end();) {
+    if (it->second == shard_index) {
+      SendErrorToClient(
+          conn, it->first,
+          static_cast<std::uint32_t>(runtime::ErrorCategory::kInvariant),
+          why);
+      stats_.AddSessionFaulted();
+      shards_[shard_index]->sessions_active.fetch_sub(
+          1, std::memory_order_relaxed);
+      it = conn.session_shard.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Router::ApplyHealthTransitions() {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const bool up_now = shards_[s]->up.load(std::memory_order_relaxed);
+    for (auto& conn : connections_) {
+      if (conn->last_up[s] && !up_now) {
+        FaultShardSessions(*conn, s, "shard " + shards_[s]->label +
+                                         " ejected by health probe");
+      }
+      conn->last_up[s] = up_now;
+    }
+  }
+}
+
+void Router::SendToClient(Connection& conn, const Frame& frame) {
+  EncodeFrame(frame, &conn.outbound);
+  stats_.AddFrameOut();
+}
+
+void Router::SendErrorToClient(Connection& conn, std::uint64_t wire_sid,
+                               std::uint32_t category,
+                               const std::string& message) {
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.session_id = wire_sid;
+  PutU32(&frame.payload, category);
+  frame.payload.insert(frame.payload.end(), message.begin(), message.end());
+  SendToClient(conn, frame);
+}
+
+namespace {
+
+/// Shared nonblocking-flush helper for both directions.
+bool FlushBuffer(int fd, std::string* buffer, std::size_t* offset,
+                 std::uint64_t* bytes_out) {
+  while (*offset < buffer->size()) {
+    const ssize_t n = ::send(fd, buffer->data() + *offset,
+                             buffer->size() - *offset,
+#if defined(MSG_NOSIGNAL)
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n > 0) {
+      *offset += static_cast<std::size_t>(n);
+      if (bytes_out != nullptr) *bytes_out += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    return false;
+  }
+  if (*offset == buffer->size()) {
+    buffer->clear();
+    *offset = 0;
+  } else if (*offset > (1u << 20)) {
+    buffer->erase(0, *offset);
+    *offset = 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Router::FlushClient(Connection& conn) {
+  std::uint64_t bytes = 0;
+  const bool ok = FlushBuffer(conn.fd, &conn.outbound, &conn.out_off, &bytes);
+  if (bytes > 0) stats_.AddBytesOut(bytes);
+  if (!ok) return false;
+  if (conn.outbound.size() - conn.out_off > options_.max_outbound_bytes) {
+    NEC_LOG_WARN(kComponent,
+                 "dropping client fd %d: not reading (%zu bytes pending)",
+                 conn.fd, conn.outbound.size() - conn.out_off);
+    return false;
+  }
+  return true;
+}
+
+bool Router::FlushUpstream(Connection& conn, std::size_t shard_index) {
+  Upstream& up = conn.upstreams[shard_index];
+  if (!FlushBuffer(up.fd, &up.outbound, &up.out_off, nullptr)) return false;
+  return up.outbound.size() - up.out_off <= options_.max_outbound_bytes;
+}
+
+void Router::CloseConnection(Connection& conn, bool dropped) {
+  if (conn.fd < 0) return;
+  ::close(conn.fd);
+  conn.fd = -1;
+  for (Upstream& up : conn.upstreams) {
+    if (up.connected()) {
+      ::close(up.fd);
+      up.fd = -1;
+    }
+  }
+  stats_.AddClosed(dropped);
+}
+
+std::vector<RouterShardStatus> Router::ShardStatuses() const {
+  std::vector<RouterShardStatus> statuses;
+  statuses.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    RouterShardStatus status;
+    status.spec = shard->spec;
+    status.up = shard->up.load(std::memory_order_relaxed);
+    status.sessions_active =
+        shard->sessions_active.load(std::memory_order_relaxed);
+    status.sessions_assigned_total =
+        shard->sessions_assigned_total.load(std::memory_order_relaxed);
+    status.ejections = shard->ejections.load(std::memory_order_relaxed);
+    status.probes_ok = shard->probes_ok.load(std::memory_order_relaxed);
+    status.probes_failed =
+        shard->probes_failed.load(std::memory_order_relaxed);
+    statuses.push_back(std::move(status));
+  }
+  return statuses;
+}
+
+std::vector<obs::MetricFamily> Router::MetricFamilies() const {
+  auto families = NetStatsToMetricFamilies(StatsSnapshot(), "router");
+  auto add = [&](const char* name, const char* help, obs::MetricType type,
+                 auto value_of) {
+    obs::MetricFamily family;
+    family.name = name;
+    family.help = help;
+    family.type = type;
+    for (const auto& shard : shards_) {
+      obs::Metric metric;
+      metric.labels.emplace_back("shard", shard->label);
+      metric.value = value_of(*shard);
+      family.metrics.push_back(std::move(metric));
+    }
+    families.push_back(std::move(family));
+  };
+  using obs::MetricType;
+  add("nec_router_shard_up", "1 when the shard is in the ring",
+      MetricType::kGauge, [](const ShardState& s) {
+        return s.up.load(std::memory_order_relaxed) ? 1.0 : 0.0;
+      });
+  add("nec_router_shard_sessions", "sticky sessions currently on the shard",
+      MetricType::kGauge, [](const ShardState& s) {
+        return static_cast<double>(
+            s.sessions_active.load(std::memory_order_relaxed));
+      });
+  add("nec_router_shard_sessions_assigned_total",
+      "sessions ever placed on the shard", MetricType::kCounter,
+      [](const ShardState& s) {
+        return static_cast<double>(
+            s.sessions_assigned_total.load(std::memory_order_relaxed));
+      });
+  add("nec_router_shard_ejections_total",
+      "times the health prober removed the shard", MetricType::kCounter,
+      [](const ShardState& s) {
+        return static_cast<double>(
+            s.ejections.load(std::memory_order_relaxed));
+      });
+  add("nec_router_shard_probes_failed_total", "failed health probes",
+      MetricType::kCounter, [](const ShardState& s) {
+        return static_cast<double>(
+            s.probes_failed.load(std::memory_order_relaxed));
+      });
+  return families;
+}
+
+}  // namespace nec::net

@@ -1,0 +1,145 @@
+// Session-sharding router for a fleet of networked necd shards
+// (`necd --route`, DESIGN.md §5h).
+//
+// The router speaks the same wire protocol on both sides. Clients
+// connect exactly as they would to a single shard; the router consistent-
+// hashes each new wire session id onto a healthy shard and from then on
+// forwards that session's frames verbatim in both directions — the
+// session id lives in the frame HEADER, so routing never decodes
+// payloads. Assignments are sticky: rebalancing only happens for new
+// sessions, never mid-stream (a SessionManager's state cannot move).
+//
+// Health: a prober thread polls every shard's /healthz endpoint.
+// `eject_after` consecutive failures take a shard out of the ring (no new
+// sessions), `readmit_after` consecutive successes put it back. When a
+// shard dies — probe ejection or its TCP connection dropping — every
+// in-flight session pinned to it faults with a kError frame carrying the
+// runtime taxonomy (kInvariant: the stream's state is unrecoverable),
+// while sessions on other shards keep streaming. That is the same
+// containment story the SessionManager gives faults in-process, lifted
+// one level up the fleet.
+//
+// Upstream connections are per (client connection, shard): client wire
+// session ids are only unique per client connection, and keeping the
+// pairing 1:1 means the shard sees exactly the id space the client chose.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/net_stats.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace nec::net {
+
+/// One shard target: data-plane port plus its metrics/health port.
+struct ShardSpec {
+  std::string host = "127.0.0.1";
+  int port = 0;         ///< wire-protocol port
+  int health_port = 0;  ///< obs::MetricsServer port (/healthz, /metrics)
+};
+
+/// Snapshot of one shard's health as the router sees it.
+struct RouterShardStatus {
+  ShardSpec spec;
+  bool up = false;
+  std::uint64_t sessions_active = 0;  ///< sticky assignments currently live
+  std::uint64_t sessions_assigned_total = 0;
+  std::uint64_t ejections = 0;
+  std::uint64_t probes_ok = 0;
+  std::uint64_t probes_failed = 0;
+};
+
+class Router {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;  ///< 0 = ephemeral; see port() after Start()
+    std::vector<ShardSpec> shards;
+    int probe_interval_ms = 250;
+    std::size_t eject_after = 2;   ///< consecutive probe failures
+    std::size_t readmit_after = 2; ///< consecutive probe successes
+    int connect_timeout_ms = 1000; ///< dialing a shard's data port
+    int tick_ms = 5;
+    std::size_t max_connections = 1024;
+    std::size_t max_outbound_bytes = 64u << 20;
+    std::size_t vnodes = 64;  ///< ring points per shard
+  };
+
+  explicit Router(Options options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  bool Start(std::string* error);
+  void Stop();
+
+  int port() const { return port_; }
+  NetStatsSnapshot StatsSnapshot() const { return stats_.Snapshot(); }
+  std::vector<RouterShardStatus> ShardStatuses() const;
+  /// nec_net_* (role="router") + per-shard health/session families.
+  std::vector<obs::MetricFamily> MetricFamilies() const;
+
+ private:
+  struct ShardState;
+  struct Upstream;
+  struct Connection;
+
+  void Serve();
+  void ProbeLoop();
+  void ProbeOnce(ShardState& shard);
+  /// Fetches + caches a kHelloAck payload from any live shard so the
+  /// router can answer client kHello itself.
+  void RefreshHelloCache();
+
+  void AcceptPending();
+  bool ReadClient(Connection& conn);
+  bool HandleClientFrame(Connection& conn, Frame&& frame);
+  bool ReadUpstream(Connection& conn, std::size_t shard_index);
+  /// Picks the ring owner for `wire_sid` among up shards; nullopt when
+  /// no shard is up.
+  std::optional<std::size_t> PickShard(std::uint64_t wire_sid) const;
+  bool EnsureUpstream(Connection& conn, std::size_t shard_index);
+  /// Faults every session of `conn` pinned to `shard_index` (kError with
+  /// the runtime taxonomy) and closes the upstream.
+  void FaultShardSessions(Connection& conn, std::size_t shard_index,
+                          const std::string& why);
+  /// Applies prober ejections to live connections (poll thread only).
+  void ApplyHealthTransitions();
+
+  void SendToClient(Connection& conn, const Frame& frame);
+  void SendErrorToClient(Connection& conn, std::uint64_t wire_sid,
+                         std::uint32_t category, const std::string& message);
+  bool FlushClient(Connection& conn);
+  bool FlushUpstream(Connection& conn, std::size_t shard_index);
+  void CloseConnection(Connection& conn, bool dropped);
+
+  const Options options_;
+  NetStats stats_;
+
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  /// (hash point, shard index), sorted by hash — includes DOWN shards;
+  /// lookups walk clockwise skipping them.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+
+  mutable std::mutex hello_mutex_;
+  std::optional<std::vector<std::uint8_t>> hello_payload_;
+
+  std::thread serve_thread_;
+  std::thread probe_thread_;
+  std::atomic<bool> stop_{false};
+  int port_ = 0;
+  TcpListener listener_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace nec::net

@@ -1,0 +1,286 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace nec::net {
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+/// Remaining budget of a deadline started `t0` with `timeout_ms` total;
+/// < 0 timeouts mean "wait forever" and always return -1 (poll's forever).
+int RemainingMs(std::chrono::steady_clock::time_point t0, int timeout_ms) {
+  if (timeout_ms < 0) return -1;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  const long long left = timeout_ms - elapsed;
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/// poll() one fd for `events`, retrying EINTR against the same deadline.
+/// Returns >0 ready, 0 timeout, <0 error.
+int PollOne(int fd, short events, int timeout_ms) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    struct pollfd pfd{fd, events, 0};
+    const int pr = ::poll(&pfd, 1, RemainingMs(t0, timeout_ms));
+    if (pr >= 0) return pr;
+    if (errno != EINTR) return -1;
+  }
+}
+
+bool ResolveIpv4(const std::string& host, in_addr* out) {
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  return ::inet_pton(AF_INET, resolved.c_str(), out) == 1;
+}
+
+}  // namespace
+
+const char* IoStatusName(IoStatus status) {
+  switch (status) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kTimeout: return "timeout";
+    case IoStatus::kClosed: return "closed";
+    case IoStatus::kError: return "error";
+  }
+  return "?";
+}
+
+void IgnoreSigpipe() {
+  static std::once_flag flag;
+  std::call_once(flag, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+bool SetNonBlocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+IoStatus ReadFull(int fd, void* buf, std::size_t size, int timeout_ms,
+                  std::string* error) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t off = 0;
+  char* bytes = static_cast<char*>(buf);
+  while (off < size) {
+    const int pr = PollOne(fd, POLLIN, RemainingMs(t0, timeout_ms));
+    if (pr == 0) {
+      SetError(error, "read timed out");
+      return IoStatus::kTimeout;
+    }
+    if (pr < 0) {
+      SetError(error, std::string("poll: ") + std::strerror(errno));
+      return IoStatus::kError;
+    }
+    const ssize_t n = ::recv(fd, bytes + off, size - off, 0);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      SetError(error, "connection closed by peer");
+      return IoStatus::kClosed;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    SetError(error, std::string("recv: ") + std::strerror(errno));
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus WriteFull(int fd, const void* buf, std::size_t size, int timeout_ms,
+                   std::string* error) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t off = 0;
+  const char* bytes = static_cast<const char*>(buf);
+  while (off < size) {
+    const int pr = PollOne(fd, POLLOUT, RemainingMs(t0, timeout_ms));
+    if (pr == 0) {
+      SetError(error, "write timed out");
+      return IoStatus::kTimeout;
+    }
+    if (pr < 0) {
+      SetError(error, std::string("poll: ") + std::strerror(errno));
+      return IoStatus::kError;
+    }
+    const ssize_t n = ::send(fd, bytes + off, size - off,
+#if defined(MSG_NOSIGNAL)
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n >= 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (errno == EPIPE || errno == ECONNRESET) {
+      SetError(error, "connection closed by peer");
+      return IoStatus::kClosed;
+    }
+    SetError(error, std::string("send: ") + std::strerror(errno));
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+int DialTcp(const std::string& host, int port, int connect_timeout_ms,
+            std::string* error) {
+  IgnoreSigpipe();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (port <= 0 || port > 65535 || !ResolveIpv4(host, &addr.sin_addr)) {
+    SetError(error,
+             "bad endpoint (IPv4 literal or localhost, port 1-65535): " +
+                 host + ":" + std::to_string(port));
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    SetError(error, std::string("socket: ") + std::strerror(errno));
+    return -1;
+  }
+  if (!SetNonBlocking(fd, true)) {
+    SetError(error, std::string("fcntl: ") + std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINPROGRESS) {
+      SetError(error, std::string(errno == ECONNREFUSED
+                                      ? "connection refused"
+                                      : std::strerror(errno)) +
+                          " (" + host + ":" + std::to_string(port) + ")");
+      ::close(fd);
+      return -1;
+    }
+    const int pr = PollOne(fd, POLLOUT, connect_timeout_ms);
+    if (pr == 0) {
+      SetError(error, "connect timed out after " +
+                          std::to_string(connect_timeout_ms) + " ms (" +
+                          host + ":" + std::to_string(port) + ")");
+      ::close(fd);
+      return -1;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof so_error;
+    if (pr < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      SetError(error, std::string(so_error == ECONNREFUSED
+                                      ? "connection refused"
+                                      : std::strerror(so_error)) +
+                          " (" + host + ":" + std::to_string(port) + ")");
+      ::close(fd);
+      return -1;
+    }
+  }
+  if (!SetNonBlocking(fd, false)) {
+    SetError(error, std::string("fcntl: ") + std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool ParseHostPort(const std::string& spec, std::string* host, int* port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long p = std::strtol(spec.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || p <= 0 || p > 65535) return false;
+  *host = spec.substr(0, colon);
+  *port = static_cast<int>(p);
+  return true;
+}
+
+bool TcpListener::Listen(const std::string& host, int port,
+                         std::string* error) {
+  IgnoreSigpipe();
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    SetError(error, std::string("socket: ") + std::strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (!ResolveIpv4(host, &addr.sin_addr)) {
+    SetError(error, "bad listen address: " + host);
+    Close();
+    return false;
+  }
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    SetError(error, std::string("bind ") + host + ":" +
+                        std::to_string(port) + ": " + std::strerror(errno));
+    Close();
+    return false;
+  }
+  if (::listen(fd_, 128) != 0) {
+    SetError(error, std::string("listen: ") + std::strerror(errno));
+    Close();
+    return false;
+  }
+  if (!SetNonBlocking(fd_, true)) {
+    SetError(error, std::string("fcntl: ") + std::strerror(errno));
+    Close();
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  return true;
+}
+
+int TcpListener::Accept() {
+  if (fd_ < 0) return -1;
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      SetNonBlocking(fd, true);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  port_ = 0;
+}
+
+}  // namespace nec::net

@@ -1,0 +1,93 @@
+// Dependency-free POSIX TCP layer for the nec::net wire protocol
+// (DESIGN.md §5h).
+//
+// Everything the networked daemon, the router, and the clients share
+// lives here: a process-wide SIGPIPE ignore (a dropped client must never
+// kill a shard), EINTR-safe full-buffer read/write loops with
+// per-operation timeouts, a poll-based connect with its own timeout that
+// distinguishes "refused" from "timed out", and a small listener wrapper.
+// No resolver dependency: hosts are IPv4 dotted-quad literals or
+// "localhost" (the same contract obs::HttpGet already enforces), so the
+// layer works identically inside minimal CI containers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace nec::net {
+
+/// Outcome of a full-buffer socket operation.
+enum class IoStatus {
+  kOk,       ///< the whole buffer was transferred
+  kTimeout,  ///< the per-operation deadline elapsed mid-transfer
+  kClosed,   ///< orderly peer shutdown before the buffer completed
+  kError,    ///< a socket error (message in *error)
+};
+
+const char* IoStatusName(IoStatus status);
+
+/// Installs SIG_IGN for SIGPIPE once per process (idempotent,
+/// thread-safe). Every Listen/Dial path calls this, so a peer that
+/// disappears mid-write surfaces as EPIPE from send(), never as a
+/// process-killing signal. Writes additionally pass MSG_NOSIGNAL where
+/// the platform has it.
+void IgnoreSigpipe();
+
+/// Switches O_NONBLOCK on `fd`. Returns false on fcntl failure.
+bool SetNonBlocking(int fd, bool nonblocking);
+
+/// Reads exactly `size` bytes into `buf`, retrying short reads and EINTR,
+/// polling up to `timeout_ms` for readability before each recv (< 0 waits
+/// forever). On kError a human-readable reason lands in *error (may be
+/// null). Works on blocking and non-blocking sockets alike.
+IoStatus ReadFull(int fd, void* buf, std::size_t size, int timeout_ms,
+                  std::string* error = nullptr);
+
+/// Mirror image of ReadFull for send(); kClosed reports a peer that reset
+/// or shut down the connection mid-write (EPIPE/ECONNRESET).
+IoStatus WriteFull(int fd, const void* buf, std::size_t size, int timeout_ms,
+                   std::string* error = nullptr);
+
+/// Connects to host:port with a non-blocking connect + poll bounded by
+/// `connect_timeout_ms`. Returns the connected fd (restored to blocking
+/// mode) or -1 with the reason in *error — "connection refused" and
+/// "connect timed out" are distinct messages so callers can tell a dead
+/// shard from a black-holed one. Host must be an IPv4 literal or
+/// "localhost".
+int DialTcp(const std::string& host, int port, int connect_timeout_ms,
+            std::string* error);
+
+/// Splits "host:port" (port required). Returns false on malformed input.
+bool ParseHostPort(const std::string& spec, std::string* host, int* port);
+
+/// Listening socket with ephemeral-port support (port 0 picks one;
+/// port() reports the real one). Accept is non-blocking: the owner drives
+/// it from a poll loop.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds + listens (SO_REUSEADDR, non-blocking). False with reason in
+  /// *error on failure.
+  bool Listen(const std::string& host, int port, std::string* error);
+
+  /// Accepts one pending connection (returned fd is non-blocking), or -1
+  /// when none is pending.
+  int Accept();
+
+  void Close();
+
+  int fd() const { return fd_; }
+  int port() const { return port_; }
+  bool listening() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace nec::net

@@ -1,6 +1,7 @@
 #include "obs/http.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -198,7 +199,8 @@ void MetricsServer::HandleConnection(int fd) {
 }
 
 bool HttpGet(const std::string& host, int port, const std::string& path,
-             std::string* body, int* status, std::string* error) {
+             std::string* body, int* status, std::string* error,
+             const HttpGetOptions& options) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     *error = std::string("socket: ") + std::strerror(errno);
@@ -213,12 +215,41 @@ bool HttpGet(const std::string& host, int port, const std::string& path,
     ::close(fd);
     return false;
   }
+  const std::string where = resolved + ":" + std::to_string(port);
+  // Non-blocking connect bounded by connect_timeout_ms, so a dead
+  // process ("connection refused") and an unreachable one ("connect
+  // timed out") produce distinct, immediate errors instead of hanging.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    *error = std::string("connect ") + resolved + ":" +
-             std::to_string(port) + ": " + std::strerror(errno);
-    ::close(fd);
-    return false;
+    if (errno != EINPROGRESS) {
+      *error = std::string("connect ") + where + ": " + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    struct pollfd pfd{fd, POLLOUT, 0};
+    int pr;
+    do {
+      pr = ::poll(&pfd, 1, options.connect_timeout_ms);
+    } while (pr < 0 && errno == EINTR);
+    if (pr == 0) {
+      *error = std::string("connect ") + where + ": connect timed out after " +
+               std::to_string(options.connect_timeout_ms) + " ms";
+      ::close(fd);
+      return false;
+    }
+    int so_error = 0;
+    socklen_t so_len = sizeof so_error;
+    if (pr < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) != 0 ||
+        so_error != 0) {
+      *error = std::string("connect ") + where + ": " +
+               std::strerror(so_error != 0 ? so_error : errno);
+      ::close(fd);
+      return false;
+    }
   }
+  ::fcntl(fd, F_SETFL, flags);
   const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " +
                               resolved + "\r\nConnection: close\r\n\r\n";
   if (!WriteAll(fd, request)) {
@@ -230,9 +261,10 @@ bool HttpGet(const std::string& host, int port, const std::string& path,
   char buf[4096];
   for (;;) {
     struct pollfd pfd{fd, POLLIN, 0};
-    const int pr = ::poll(&pfd, 1, 5000);
+    const int pr = ::poll(&pfd, 1, options.read_timeout_ms);
     if (pr <= 0) {
-      *error = "read timeout";
+      *error = std::string("read ") + where + ": timed out after " +
+               std::to_string(options.read_timeout_ms) + " ms";
       ::close(fd);
       return false;
     }
@@ -256,6 +288,11 @@ bool HttpGet(const std::string& host, int port, const std::string& path,
   const std::size_t body_at = response.find("\r\n\r\n");
   *body = body_at == std::string::npos ? "" : response.substr(body_at + 4);
   return true;
+}
+
+bool HttpGet(const std::string& host, int port, const std::string& path,
+             std::string* body, int* status, std::string* error) {
+  return HttpGet(host, port, path, body, status, error, HttpGetOptions{});
 }
 
 bool ParseHttpUrl(const std::string& url, std::string* host, int* port,

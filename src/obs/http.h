@@ -75,10 +75,23 @@ class MetricsServer {
   int port_ = 0;
 };
 
+/// Deadlines for HttpGet. Connect uses a non-blocking connect + poll so
+/// "connection refused" (dead process) and "connect timed out" (black
+/// hole / wrong host) come back as distinct error messages; read is the
+/// per-poll inactivity budget while receiving the response.
+struct HttpGetOptions {
+  int connect_timeout_ms = 2000;
+  int read_timeout_ms = 5000;
+};
+
 /// Blocking HTTP GET against http://host:port/path. Used by `necctl
-/// stats` and tests; no TLS, no redirects. Returns false with a reason
-/// in *error on connect/protocol failure; fills *body with the response
-/// payload (any status) and *status with the status code.
+/// stats`, the router health prober, and tests; no TLS, no redirects.
+/// Returns false with a reason in *error on connect/protocol failure;
+/// fills *body with the response payload (any status) and *status with
+/// the status code.
+bool HttpGet(const std::string& host, int port, const std::string& path,
+             std::string* body, int* status, std::string* error,
+             const HttpGetOptions& options);
 bool HttpGet(const std::string& host, int port, const std::string& path,
              std::string* body, int* status, std::string* error);
 

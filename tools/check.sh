@@ -15,6 +15,12 @@
 #                                    # the Chrome trace dump, and enforce
 #                                    # the disabled-tracing <2% overhead
 #                                    # guard on BENCH_hotpath.json
+#   CHECK_NET=1 tools/check.sh       # also run the wire-codec fuzz tests
+#                                    # under ASan+UBSan, boot 2 shards + the
+#                                    # router on loopback, push a loadgen
+#                                    # smoke through the router, scrape
+#                                    # /metrics from all three daemons, and
+#                                    # validate the net_fleet bench JSON
 #   CHECK_JOBS=8 tools/check.sh      # override build/test parallelism
 #
 # Both builds configure with NEC_NATIVE_ARCH=OFF so the script behaves the
@@ -26,10 +32,12 @@ JOBS="${CHECK_JOBS:-$(nproc)}"
 BENCH_SMOKE="${CHECK_BENCH_SMOKE:-0}"
 FAULTS="${CHECK_FAULTS:-0}"
 OBS="${CHECK_OBS:-0}"
+NET="${CHECK_NET:-0}"
 STEPS=4
 [[ "${BENCH_SMOKE}" == "1" ]] && STEPS=$((STEPS + 1))
 [[ "${FAULTS}" == "1" ]] && STEPS=$((STEPS + 1))
 [[ "${OBS}" == "1" ]] && STEPS=$((STEPS + 1))
+[[ "${NET}" == "1" ]] && STEPS=$((STEPS + 1))
 STEP=0
 step() { STEP=$((STEP + 1)); echo "== [${STEP}/${STEPS}] $1 =="; }
 
@@ -37,8 +45,8 @@ step "configure + build: Release"
 cmake -B build-check-release -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DNEC_NATIVE_ARCH=OFF \
-  -DNEC_BUILD_BENCH="$([[ "${BENCH_SMOKE}" == "1" ]] && echo ON || echo OFF)" \
-  -DNEC_BUILD_EXAMPLES="$([[ "${OBS}" == "1" ]] && echo ON || echo OFF)"
+  -DNEC_BUILD_BENCH="$([[ "${BENCH_SMOKE}" == "1" || "${NET}" == "1" ]] && echo ON || echo OFF)" \
+  -DNEC_BUILD_EXAMPLES="$([[ "${OBS}" == "1" || "${NET}" == "1" ]] && echo ON || echo OFF)"
 cmake --build build-check-release -j "${JOBS}"
 
 step "ctest: Release (full suite)"
@@ -57,11 +65,12 @@ if [[ "${CHECK_TSAN_ALL:-0}" == "1" ]]; then
   ctest --test-dir build-check-tsan --output-on-failure -j "${JOBS}"
 else
   # The concurrency-bearing tests (test_runtime, test_runtime_faults,
-  # test_streaming, test_obs — the trace rings claim wait-freedom); the
+  # test_streaming, test_obs — the trace rings claim wait-freedom — and
+  # test_net, whose servers/router/prober all run their own threads); the
   # rest of the suite is single-threaded and already covered by step 2
   # (CHECK_TSAN_ALL=1 runs everything).
   ctest --test-dir build-check-tsan --output-on-failure \
-    -R 'test_runtime|test_streaming|test_obs'
+    -R 'test_runtime|test_streaming|test_obs|test_net'
 fi
 
 if [[ "${FAULTS}" == "1" ]]; then
@@ -207,6 +216,130 @@ assert cps_delta < 2.0, f"chunks/sec regressed {cps_delta:.2f}%"
 print(f"obs check: disabled-tracing overhead guard ok"
       f" (selector {sel_delta:+.2f}%, chunks/s {cps_delta:+.2f}%,"
       f" enabled-arm overhead {obs['enabled_overhead_pct']:.2f}%)")
+EOF
+fi
+
+if [[ "${NET}" == "1" ]]; then
+  step "networked serving: ASan codec fuzz + 2-shard fleet on loopback"
+
+  # The frame-codec fuzz suites assert typed errors and no over-read on
+  # random/truncated/corrupted input; ASan turns any over-read the
+  # assertions miss into a hard failure.
+  cmake -B build-check-asan -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DNEC_NATIVE_ARCH=OFF \
+    -DNEC_SANITIZE=address,undefined \
+    -DNEC_BUILD_BENCH=OFF -DNEC_BUILD_EXAMPLES=OFF
+  cmake --build build-check-asan -j "${JOBS}" --target test_net
+  ./build-check-asan/tests/test_net \
+    --gtest_filter='Crc32.*:FrameCodec.*:PayloadReader.*:SocketIo.*'
+
+  NET_DIR="build-check-release/net-check"
+  rm -rf "${NET_DIR}" && mkdir -p "${NET_DIR}"
+  NECD="./build-check-release/examples/necd"
+  NECCTL="./build-check-release/examples/necctl"
+
+  # Two tiny-model shards + the router, all on ephemeral loopback ports
+  # grepped from stdout. Tiny keeps the stage hermetic (no training cache).
+  "${NECD}" --listen 0 --model tiny --metrics-port 0 --workers 2 \
+    > "${NET_DIR}/shard1.out" 2> "${NET_DIR}/shard1.err" &
+  SHARD1_PID=$!
+  "${NECD}" --listen 0 --model tiny --metrics-port 0 --workers 2 \
+    > "${NET_DIR}/shard2.out" 2> "${NET_DIR}/shard2.err" &
+  SHARD2_PID=$!
+  trap 'kill "${SHARD1_PID}" "${SHARD2_PID}" "${ROUTER_PID:-}" 2>/dev/null || true' EXIT
+  for out in shard1.out shard2.out; do
+    for _ in $(seq 1 60); do
+      grep -q 'wire listening' "${NET_DIR}/${out}" 2>/dev/null && \
+        grep -q 'metrics listening' "${NET_DIR}/${out}" 2>/dev/null && break
+      sleep 1
+    done
+  done
+  port_of() { grep -o "${2}" "${NET_DIR}/${1}" | grep -o '[0-9]*$' | head -1; }
+  P1="$(port_of shard1.out 'wire listening on 127.0.0.1:[0-9]*')"
+  M1="$(port_of shard1.out 'http://127.0.0.1:[0-9]*')"
+  P2="$(port_of shard2.out 'wire listening on 127.0.0.1:[0-9]*')"
+  M2="$(port_of shard2.out 'http://127.0.0.1:[0-9]*')"
+  [[ -n "${P1}" && -n "${M1}" && -n "${P2}" && -n "${M2}" ]] || {
+    echo "shards never bound their ports"; exit 1; }
+
+  "${NECD}" --route "127.0.0.1:${P1}:${M1},127.0.0.1:${P2}:${M2}" \
+    --metrics-port 0 \
+    > "${NET_DIR}/router.out" 2> "${NET_DIR}/router.err" &
+  ROUTER_PID=$!
+  for _ in $(seq 1 60); do
+    grep -q 'routing on' "${NET_DIR}/router.out" 2>/dev/null && \
+      grep -q 'metrics listening' "${NET_DIR}/router.out" 2>/dev/null && break
+    sleep 1
+  done
+  RP="$(port_of router.out 'routing on 127.0.0.1:[0-9]*')"
+  RM="$(port_of router.out 'http://127.0.0.1:[0-9]*')"
+  [[ -n "${RP}" && -n "${RM}" ]] || { echo "router never bound"; exit 1; }
+
+  # Loadgen smoke through the router; every session must complete.
+  "${NECCTL}" loadgen --endpoints "127.0.0.1:${RP}" \
+    --sessions 16 --connections 4 --chunks 2 --streams 2 --json \
+    > "${NET_DIR}/loadgen.json"
+  python3 - "${NET_DIR}/loadgen.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["ok"] is True, r
+assert r["sessions_completed"] == 16 and r["sessions_faulted"] == 0, r
+assert r["chunks_acked"] == 32, r
+print(f"net check: loadgen 16/16 sessions, {r['chunks_per_sec']:.1f}"
+      f" chunks/s, p50 {r['latency_p50_ms']:.0f} ms through the router")
+EOF
+
+  # All three daemons must expose per-connection counters on /metrics —
+  # shards with role="server", router with role="router" + shard health.
+  python3 - "${M1}" "${M2}" "${RM}" <<'EOF'
+import sys, urllib.request
+def scrape(port):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics",
+                                timeout=10) as r:
+        assert r.status == 200
+        return r.read().decode()
+for port in (sys.argv[1], sys.argv[2]):
+    text = scrape(port)
+    for needle in ('nec_net_connections_accepted_total{role="server"}',
+                   'nec_net_frames_in_total{role="server"}',
+                   'nec_net_sessions_opened_total{role="server"}',
+                   "nec_chunks_processed_total"):
+        assert needle in text, f"shard :{port} missing {needle!r}"
+text = scrape(sys.argv[3])
+for needle in ('nec_net_connections_accepted_total{role="router"}',
+               "nec_router_shard_up{shard=",
+               "nec_router_shard_sessions_assigned_total{shard="):
+    assert needle in text, f"router missing {needle!r}"
+up = [l for l in text.splitlines()
+      if l.startswith("nec_router_shard_up{") and l.endswith(" 1")]
+assert len(up) == 2, f"expected 2 shards up, got {up}"
+print("net check: /metrics ok on both shards + router (2 shards up)")
+EOF
+
+  kill "${SHARD1_PID}" "${SHARD2_PID}" "${ROUTER_PID}" 2>/dev/null || true
+  wait "${SHARD1_PID}" "${SHARD2_PID}" "${ROUTER_PID}" 2>/dev/null || true
+  trap - EXIT
+
+  # The net_fleet bench must emit a well-formed section whose serving
+  # paths are all bit-exact against the in-process reference.
+  NET_JSON="${NET_DIR}/BENCH_net_smoke.json"
+  NEC_BENCH_SMOKE=1 NEC_BENCH_JSON="${NET_JSON}" \
+    ./build-check-release/bench/bench_net_fleet
+  python3 - "${NET_JSON}" <<'EOF'
+import json, sys
+nf = json.load(open(sys.argv[1]))["net_fleet"]
+assert nf["all_bitexact"] is True, "networked serving not bit-exact"
+modes = [r["mode"] for r in nf["rows"]]
+assert modes == ["direct", "single_shard", "router_fleet"], modes
+for r in nf["rows"]:
+    assert r["bitexact"] is True and r["chunks_per_sec"] > 0, r
+fleet = nf["rows"][2]
+assert fleet["shard0_sessions"] + fleet["shard1_sessions"] == nf["sessions"]
+assert "router_added_latency_p50_ms" in nf
+print("net check: net_fleet JSON well-formed,", len(nf["rows"]),
+      "rows, shard split",
+      f"{fleet['shard0_sessions']}/{fleet['shard1_sessions']}")
 EOF
 fi
 
