@@ -9,11 +9,17 @@
 //
 //   necd [--sessions N] [--workers K] [--seconds S] [--chunk-s C]
 //        [--policy block|reject|drop] [--queue Q] [--las]
-//        [--max-batch B] [--max-wait-us U] [--deadline-ms D]
+//        [--max-batch B] [--deadline-ms D] [--no-pace]
 //        [--on-fault fault|degrade] [--degrade] [--reject-bad-input]
 //        [--metrics-port P] [--trace-out FILE]
 //        [--log-level trace|debug|info|warn|error|off] [--log-json]
 //        [--listen PORT] [--route SHARDS] [--model standard|tiny]
+//
+// The synthetic feed is real-time paced by default: each session receives
+// capture-callback-sized pieces at the audio rate, like a live microphone
+// — so the latency quantiles mean what they would in deployment. --no-pace
+// replays the whole workload as fast as possible instead (offline
+// throughput mode; end-to-end latency then measures backlog, not service).
 //
 // Networked serving (DESIGN.md §5h): --listen turns necd into a shard —
 // a TCP server speaking the NEC wire protocol (port 0 = ephemeral; the
@@ -39,9 +45,10 @@
 // hop, flow arrows linking batched chunks) and writes Chrome trace JSON —
 // loadable in Perfetto — after the drain.
 //
-// --max-batch > 1 routes ready chunks through the micro-batching
-// coalescer (one batched selector forward across sessions; see
-// src/runtime/batcher.h) — per-session output stays bit-identical.
+// --max-batch > 1 routes ready chunks through the continuous batcher
+// (batched selector forwards across sessions, admitted earliest-deadline-
+// first as dispatch slots free; see src/runtime/batcher.h) — per-session
+// output stays bit-identical.
 //
 // Fault tolerance (DESIGN.md §5f): --on-fault picks what a session does
 // when a chunk keeps failing — fault (default: the session parks in
@@ -99,8 +106,8 @@ struct Args {
       nec::runtime::OverflowPolicy::kBlock;
   nec::core::SelectorKind kind = nec::core::SelectorKind::kNeural;
   std::size_t max_batch = 1;
-  std::size_t max_wait_us = 5000;
   double deadline_ms = 300.0;
+  bool pace = true;  ///< feed at the audio rate (false = offline replay)
   nec::runtime::FaultPolicy on_fault = nec::runtime::FaultPolicy::kFault;
   bool degrade_on_deadline = false;
   bool reject_bad_input = false;
@@ -159,8 +166,8 @@ Args Parse(int argc, char** argv) {
       args.kind = nec::core::SelectorKind::kLasMask;
     } else if (flag == "--max-batch") {
       args.max_batch = std::strtoul(next(), nullptr, 10);
-    } else if (flag == "--max-wait-us") {
-      args.max_wait_us = std::strtoul(next(), nullptr, 10);
+    } else if (flag == "--no-pace") {
+      args.pace = false;
     } else if (flag == "--deadline-ms") {
       args.deadline_ms = std::strtod(next(), nullptr);
     } else if (flag == "--on-fault") {
@@ -204,7 +211,7 @@ Args Parse(int argc, char** argv) {
                    "usage: necd [--sessions N] [--workers K] [--seconds S]\n"
                    "            [--chunk-s C] [--policy block|reject|drop]\n"
                    "            [--queue Q] [--las] [--max-batch B]\n"
-                   "            [--max-wait-us U] [--deadline-ms D]\n"
+                   "            [--deadline-ms D] [--no-pace]\n"
                    "            [--on-fault fault|degrade] [--degrade]\n"
                    "            [--reject-bad-input] [--metrics-port P]\n"
                    "            [--trace-out FILE] [--log-json]\n"
@@ -258,7 +265,6 @@ nec::runtime::SessionManager::Options ManagerOptions(const Args& args) {
           .chunk_s = args.chunk_s,
           .kind = args.kind,
           .max_batch = args.max_batch,
-          .max_wait_us = args.max_wait_us,
           .deadline_ms = args.deadline_ms,
           .fault = {.on_error = args.on_fault,
                     .bad_input = args.reject_bad_input
@@ -376,6 +382,10 @@ int RunListen(const Args& args) {
               stats.chunk_latency.p50_ms);
   std::printf("%-28s %12.2f\n", "chunk latency p99 (ms)",
               stats.chunk_latency.p99_ms);
+  std::printf("%-28s %12.2f\n", "e2e latency p50 (ms)",
+              stats.e2e_latency.p50_ms);
+  std::printf("%-28s %12.2f\n", "e2e latency p99 (ms)",
+              stats.e2e_latency.p99_ms);
   std::printf("%-28s %12llu\n", "session faults",
               static_cast<unsigned long long>(stats.faults));
   PrintNetRows(server.StatsSnapshot());
@@ -639,9 +649,17 @@ int main(int argc, char** argv) {
                ids.size(), args.seconds);
 
   // Interleaved capture-callback-sized pieces: all sessions live at once.
+  // Paced mode delivers each round of pieces at the audio rate — the
+  // arrival process a live capture callback would produce — so queue-wait
+  // and end-to-end latency mean service latency, not replay backlog.
   const std::size_t piece = 4096;
+  const double piece_s =
+      streams.empty() ? 0.0
+                      : static_cast<double>(piece) /
+                            static_cast<double>(streams[0].sample_rate());
   const auto t0 = std::chrono::steady_clock::now();
   std::size_t pos = 0;
+  std::size_t rounds = 0;
   bool any_left = true;
   while (any_left && !g_stop) {
     any_left = false;
@@ -671,6 +689,15 @@ int main(int argc, char** argv) {
       any_left = true;
     }
     pos += piece;
+    ++rounds;
+    if (args.pace && any_left) {
+      // Absolute schedule (t0 + n·piece_s), not relative sleeps: pacing
+      // error never accumulates, and a slow round simply skips its sleep.
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(piece_s *
+                                                 static_cast<double>(rounds))));
+    }
   }
   if (g_stop) {
     NEC_LOG_INFO("necd", "stop signal received — draining in-flight work");
@@ -737,6 +764,14 @@ int main(int argc, char** argv) {
               stats.chunk_latency.p99_ms);
   std::printf("%-28s %12.2f\n", "chunk latency max (ms)",
               stats.chunk_latency.max_ms);
+  std::printf("%-28s %12.2f\n", "e2e latency p50 (ms)",
+              stats.e2e_latency.p50_ms);
+  std::printf("%-28s %12.2f\n", "e2e latency p95 (ms)",
+              stats.e2e_latency.p95_ms);
+  std::printf("%-28s %12.2f\n", "e2e latency p99 (ms)",
+              stats.e2e_latency.p99_ms);
+  std::printf("%-28s %12.2f\n", "e2e latency max (ms)",
+              stats.e2e_latency.max_ms);
   if (manager.batching_enabled()) {
     std::printf("%-28s %12llu\n", "batches dispatched",
                 static_cast<unsigned long long>(stats.batches_dispatched));
@@ -827,8 +862,10 @@ int main(int argc, char** argv) {
   }
   std::printf("---------------------------------------------------------"
               "------------\n");
-  const bool deadline_ok = stats.chunk_latency.p99_ms < 300.0;
-  std::printf("overshadowing deadline (300 ms, IV-C2): p99 %s\n",
-              deadline_ok ? "MET" : "MISSED");
+  // The verdict is end-to-end (enqueue → complete): a chunk that computed
+  // fast but sat in a queue past the budget still failed its listener.
+  const bool deadline_ok = stats.e2e_latency.p99_ms < args.deadline_ms;
+  std::printf("overshadowing deadline (%.0f ms, IV-C2): e2e p99 %s\n",
+              args.deadline_ms, deadline_ok ? "MET" : "MISSED");
   return deadline_ok ? 0 : 1;
 }

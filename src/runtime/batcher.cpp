@@ -1,6 +1,7 @@
 #include "runtime/batcher.h"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "common/check.h"
@@ -10,20 +11,34 @@ namespace nec::runtime {
 
 using Clock = std::chrono::steady_clock;
 
-MicroBatcher::MicroBatcher(Options options, BatchFn fn)
+ContinuousBatcher::ContinuousBatcher(Options options, BatchFn fn)
     : options_(options), fn_(std::move(fn)) {
   NEC_CHECK(options_.max_batch >= 1);
+  NEC_CHECK(options_.workers >= 1);
   NEC_CHECK(options_.deadline_ms > 0.0);
   NEC_CHECK(fn_ != nullptr);
-  thread_ = std::thread([this] { Loop(); });
+  threads_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
 }
 
-MicroBatcher::~MicroBatcher() { Shutdown(); }
+ContinuousBatcher::~ContinuousBatcher() { Shutdown(); }
 
-void MicroBatcher::Enqueue(void* key, audio::Waveform chunk) {
+void ContinuousBatcher::Enqueue(void* key, audio::Waveform chunk) {
+  const Clock::time_point now = Clock::now();
+  EnqueueWithDeadline(
+      key, std::move(chunk),
+      now + std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    options_.deadline_ms)));
+}
+
+void ContinuousBatcher::EnqueueWithDeadline(void* key, audio::Waveform chunk,
+                                            Clock::time_point deadline) {
   // Flow arrow tail: the matching head is emitted by the batch callback
-  // when it completes this chunk, linking enqueue → coalesce → dispatch
-  // across threads in the exported trace.
+  // when it completes this chunk, linking enqueue → EDF admission →
+  // dispatch across threads in the exported trace.
   std::uint64_t flow_id = 0;
   obs::TraceRecorder& rec = obs::TraceRecorder::Global();
   if (rec.enabled()) {
@@ -32,111 +47,150 @@ void MicroBatcher::Enqueue(void* key, audio::Waveform chunk) {
   }
   {
     std::lock_guard lock(mu_);
-    NEC_CHECK_MSG(!shutdown_, "Enqueue after MicroBatcher::Shutdown");
-    pending_.push_back(Item{key, std::move(chunk), Clock::now(), flow_id});
+    NEC_CHECK_MSG(!shutdown_, "Enqueue after ContinuousBatcher::Shutdown");
+    lanes_[key].fifo.push_back(
+        Item{key, std::move(chunk), Clock::now(), deadline, flow_id});
+    ++pending_count_;
   }
-  cv_.notify_all();
+  // One new chunk employs at most one idle dispatcher; the dispatcher
+  // re-notifies when it frees a lane with more work behind it.
+  cv_.notify_one();
 }
 
-std::size_t MicroBatcher::Purge(void* key) {
+std::size_t ContinuousBatcher::Purge(void* key) {
   std::lock_guard lock(mu_);
-  const std::size_t before = pending_.size();
-  std::erase_if(pending_, [key](const Item& it) { return it.key == key; });
-  const std::size_t removed = before - pending_.size();
-  if (pending_.empty() && !busy_) drained_cv_.notify_all();
+  auto it = lanes_.find(key);
+  if (it == lanes_.end()) return 0;
+  const std::size_t removed = it->second.fifo.size();
+  it->second.fifo.clear();
+  pending_count_ -= removed;
+  if (pending_count_ == 0 && active_batches_ == 0) {
+    drained_cv_.notify_all();
+  }
+  // Under shutdown a purge can be what empties the last lane — waiting
+  // dispatchers must re-evaluate their exit predicate.
+  if (shutdown_ && pending_count_ == 0) cv_.notify_all();
   return removed;
 }
 
-std::size_t MicroBatcher::pending_for(void* key) const {
+std::size_t ContinuousBatcher::pending_for(void* key) const {
   std::lock_guard lock(mu_);
-  std::size_t n = 0;
-  for (const Item& it : pending_) n += (it.key == key) ? 1 : 0;
-  return n;
+  const auto it = lanes_.find(key);
+  return it == lanes_.end() ? 0 : it->second.fifo.size();
 }
 
-void MicroBatcher::Drain() {
+void ContinuousBatcher::Drain() {
   std::unique_lock lock(mu_);
-  drained_cv_.wait(lock, [&] { return pending_.empty() && !busy_; });
+  drained_cv_.wait(
+      lock, [&] { return pending_count_ == 0 && active_batches_ == 0; });
 }
 
-void MicroBatcher::Shutdown() {
+void ContinuousBatcher::Shutdown() {
   {
     std::lock_guard lock(mu_);
-    if (shutdown_) {
-      // Already requested; fall through to join exactly once below.
-    }
     shutdown_ = true;
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
 }
 
-std::size_t MicroBatcher::pending() const {
+std::size_t ContinuousBatcher::pending() const {
   std::lock_guard lock(mu_);
-  return pending_.size();
+  return pending_count_;
 }
 
-std::chrono::microseconds MicroBatcher::EffectiveWaitUs() const {
-  // Budget left for coalescing once the expected batch compute time is
-  // reserved out of the chunk deadline; never more than the configured cap.
-  const double budget_us =
-      std::max(0.0, (options_.deadline_ms - ewma_batch_ms_) * 1000.0);
-  const double capped =
-      std::min(budget_us, static_cast<double>(options_.max_wait_us));
-  return std::chrono::microseconds(static_cast<std::int64_t>(capped));
+bool ContinuousBatcher::HasEligibleLocked() const {
+  for (const auto& [key, lane] : lanes_) {
+    if (!lane.in_flight && !lane.fifo.empty()) return true;
+  }
+  return false;
 }
 
-void MicroBatcher::Loop() {
-  obs::TraceRecorder::SetThreadName("coalescer");
+bool ContinuousBatcher::GatherLocked(std::vector<Item>& batch,
+                                     std::vector<Lane*>& claimed) {
+  // Fair-share cap: when several dispatchers are idle, one gather takes
+  // only ceil(ready / idle) chunks so the rest dispatch in parallel on the
+  // other threads instead of queueing behind one full batch. A lone
+  // dispatcher (or a saturated pool) still fills up to max_batch.
+  std::size_t ready = 0;
+  for (const auto& [key, lane] : lanes_) {
+    if (!lane.in_flight && !lane.fifo.empty()) ready += lane.fifo.size();
+  }
+  if (ready == 0) return false;
+  const std::size_t sharers = idle_workers_ + 1;  // waiting peers + me
+  const std::size_t cap = std::min(
+      options_.max_batch,
+      std::max<std::size_t>(1, (ready + sharers - 1) / sharers));
+
+  // EDF admission: repeatedly take the globally most-urgent lane head.
+  // A lane this gather already claimed stays eligible — its next head
+  // competes on its own deadline, so consecutive chunks of a hot session
+  // may ride one batch, still in FIFO order. Lanes claimed by OTHER
+  // dispatchers are skipped, which is what serializes a session's stream.
+  while (batch.size() < cap) {
+    Lane* best = nullptr;
+    for (auto& [key, lane] : lanes_) {
+      if (lane.fifo.empty()) continue;
+      if (lane.in_flight &&
+          std::find(claimed.begin(), claimed.end(), &lane) == claimed.end()) {
+        continue;
+      }
+      if (best == nullptr ||
+          lane.fifo.front().deadline < best->fifo.front().deadline) {
+        best = &lane;
+      }
+    }
+    if (best == nullptr) break;
+    if (!best->in_flight) {
+      best->in_flight = true;
+      claimed.push_back(best);
+    }
+    batch.push_back(std::move(best->fifo.front()));
+    best->fifo.pop_front();
+    --pending_count_;
+  }
+  return !batch.empty();
+}
+
+void ContinuousBatcher::WorkerLoop(std::size_t worker_index) {
+  // SetThreadName keeps the pointer until trace export — literals only.
+  static constexpr const char* kNames[] = {
+      "dispatch-0", "dispatch-1", "dispatch-2", "dispatch-3",
+      "dispatch-4", "dispatch-5", "dispatch-6", "dispatch-7"};
+  obs::TraceRecorder::SetThreadName(
+      worker_index < std::size(kNames) ? kNames[worker_index] : "dispatch");
   std::unique_lock lock(mu_);
   for (;;) {
-    cv_.wait(lock, [&] { return shutdown_ || !pending_.empty(); });
-    if (pending_.empty()) {
-      if (shutdown_) return;
-      continue;
-    }
+    ++idle_workers_;
+    cv_.wait(lock, [&] {
+      // Pending chunks in a lane another dispatcher still owns are not
+      // eligible yet — keep waiting even under shutdown; the owning
+      // dispatcher frees the lane and re-notifies when its batch returns.
+      return HasEligibleLocked() || (shutdown_ && pending_count_ == 0);
+    });
+    --idle_workers_;
+    if (!HasEligibleLocked()) return;  // shutdown with nothing left to serve
 
-    // Coalesce: hold the oldest chunk at most EffectiveWaitUs past its
-    // enqueue, or until a full batch has gathered. A Purge can empty the
-    // queue mid-wait — re-check and go back to sleep if so.
-    const Clock::time_point hold_until =
-        pending_.front().enqueued + EffectiveWaitUs();
-    while (!shutdown_ && !pending_.empty() &&
-           pending_.size() < options_.max_batch &&
-           Clock::now() < hold_until) {
-      cv_.wait_until(lock, hold_until, [&] {
-        return shutdown_ || pending_.empty() ||
-               pending_.size() >= options_.max_batch;
-      });
-    }
-    if (pending_.empty()) {
-      if (!busy_) drained_cv_.notify_all();
-      continue;
-    }
-
-    const std::size_t n = std::min(pending_.size(), options_.max_batch);
     std::vector<Item> batch;
-    batch.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      batch.push_back(std::move(pending_.front()));
-      pending_.pop_front();
-    }
-    busy_ = true;
+    std::vector<Lane*> claimed;
+    GatherLocked(batch, claimed);
+    ++active_batches_;
     lock.unlock();
 
-    const Clock::time_point t0 = Clock::now();
     fn_(std::move(batch));
-    const double batch_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - t0)
-            .count();
 
     lock.lock();
-    // EWMA of batch compute time feeds the deadline-aware hold window.
-    ewma_batch_ms_ = ewma_batch_ms_ <= 0.0
-                         ? batch_ms
-                         : 0.8 * ewma_batch_ms_ + 0.2 * batch_ms;
-    busy_ = false;
-    if (pending_.empty()) drained_cv_.notify_all();
+    --active_batches_;
+    for (Lane* lane : claimed) lane->in_flight = false;
+    // The freed lanes may hold more ready chunks — hand them to whichever
+    // dispatcher is idle (work stealing), and let Drain/Shutdown waiters
+    // re-check their predicates.
+    cv_.notify_all();
+    if (pending_count_ == 0 && active_batches_ == 0) {
+      drained_cv_.notify_all();
+    }
   }
 }
 

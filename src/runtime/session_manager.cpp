@@ -55,11 +55,11 @@ SessionManager::SessionManager(
       options_.chunk_s * selector_->config().sample_rate);
   if (options_.max_batch > 1 &&
       options_.kind == core::SelectorKind::kNeural) {
-    batcher_ = std::make_unique<MicroBatcher>(
-        MicroBatcher::Options{.max_batch = options_.max_batch,
-                              .max_wait_us = options_.max_wait_us,
-                              .deadline_ms = options_.deadline_ms},
-        [this](std::vector<MicroBatcher::Item>&& items) {
+    batcher_ = std::make_unique<ContinuousBatcher>(
+        ContinuousBatcher::Options{.max_batch = options_.max_batch,
+                                   .workers = options_.workers,
+                                   .deadline_ms = options_.deadline_ms},
+        [this](std::vector<ContinuousBatcher::Item>&& items) {
           RunBatch(std::move(items));
         });
   }
@@ -68,7 +68,7 @@ SessionManager::SessionManager(
 SessionManager::~SessionManager() { Shutdown(); }
 
 void SessionManager::Shutdown() {
-  // Pool first (no strand can Enqueue afterwards), then the coalescer —
+  // Pool first (no strand can Enqueue afterwards), then the batcher —
   // its Shutdown dispatches whatever is still pending before joining.
   pool_.Shutdown();
   if (batcher_ != nullptr) batcher_->Shutdown();
@@ -137,6 +137,11 @@ SubmitResult SessionManager::Submit(SessionId id,
       stats_.AddSamplesDropped(accepted.size());
       return SubmitResult{*s->error};
     }
+    if (s->inbox.empty() && !accepted.empty()) {
+      // Arrival time of the oldest unconsumed samples — the anchor for
+      // end-to-end latency on the unbatched path.
+      s->inbox_since = std::chrono::steady_clock::now();
+    }
     s->inbox.insert(s->inbox.end(), accepted.begin(), accepted.end());
     if (!s->running && !s->inbox.empty()) {
       s->running = true;
@@ -177,6 +182,7 @@ void SessionManager::RunStrand(Session* s) {
   NEC_TRACE_SPAN_ARG("runtime.strand", s->id);
   std::vector<float> take;
   for (;;) {
+    std::chrono::steady_clock::time_point ready;
     {
       std::lock_guard lock(s->mu);
       if (s->inbox.empty() || s->error.has_value()) {
@@ -185,11 +191,17 @@ void SessionManager::RunStrand(Session* s) {
       }
       take.assign(s->inbox.begin(), s->inbox.end());
       s->inbox.clear();
+      // Chunks completed from this take were waiting since the oldest
+      // taken sample arrived. When several chunks pop from one take the
+      // later ones inherit the oldest arrival — end-to-end latency may
+      // overcount there, never undercount (honest in the direction that
+      // matters for the deadline check).
+      ready = s->inbox_since;
     }
     s->proc.BufferSamples(take);
     bool faulted = false;
     while (s->proc.HasFullChunk()) {
-      if (!ProcessOneChunk(s, s->proc.PopChunk())) {
+      if (!ProcessOneChunk(s, s->proc.PopChunk(), ready)) {
         faulted = true;  // FaultSession already shed inbox + running
         break;
       }
@@ -201,11 +213,11 @@ void SessionManager::RunStrand(Session* s) {
 
 void SessionManager::RunStrandBatched(Session* s) {
   // Batched strand: never runs the selector. Buffers the inbox into the
-  // processor, pops every ready chunk, and hands each to the coalescer in
+  // processor, pops every ready chunk, and hands each to the batcher in
   // stream order — degraded chunks included, so ALL completion happens on
-  // the coalescer thread and per-session FIFO order survives ladder
-  // transitions. Completion (shadow + modulation + output append) happens
-  // in RunBatch.
+  // the dispatcher that claimed the session's lane and per-session FIFO
+  // order survives ladder transitions. Completion (shadow + modulation +
+  // output append) happens in RunBatch.
   NEC_TRACE_SPAN_ARG("runtime.strand_batched", s->id);
   std::vector<float> take;
   for (;;) {
@@ -251,7 +263,9 @@ audio::Waveform SessionManager::GenerateShadowAtLevel(
   return audio::Waveform();
 }
 
-bool SessionManager::ProcessOneChunk(Session* s, audio::Waveform chunk) {
+bool SessionManager::ProcessOneChunk(
+    Session* s, audio::Waveform chunk,
+    std::chrono::steady_clock::time_point ready) {
   bool probe = false;
   DegradeLevel level = DegradeLevel::kNeural;
   {
@@ -270,6 +284,7 @@ bool SessionManager::ProcessOneChunk(Session* s, audio::Waveform chunk) {
           s->proc.CompleteShadowChunk(std::move(shadow), selector_ms);
       const double total_ms = MsSince(t0);
       stats_.AddChunk(total_ms);
+      stats_.AddChunkE2E(MsSince(ready));
       std::lock_guard lock(s->mu);
       s->output.Append(modulated);
       ++s->chunk_count;
@@ -319,22 +334,23 @@ bool SessionManager::ProcessOneChunk(Session* s, audio::Waveform chunk) {
   }
 }
 
-void SessionManager::RunBatch(std::vector<MicroBatcher::Item>&& items) {
+void SessionManager::RunBatch(std::vector<ContinuousBatcher::Item>&& items) {
   NEC_TRACE_SPAN_ARG("runtime.batch", items.size());
   const auto t0 = std::chrono::steady_clock::now();
   stats_.AddBatch(items.size());
-  for (const MicroBatcher::Item& it : items) {
+  for (const ContinuousBatcher::Item& it : items) {
     stats_.AddQueueWait(
         std::chrono::duration<double, std::milli>(t0 - it.enqueued)
             .count());
   }
 
-  // Disposition pass, in enqueue order: a faulted session's items are shed
-  // (a fault may land between Enqueue and dispatch); only chunks at the
-  // kNeural rung join the batched forward — degraded chunks are generated
-  // singly in the completion loop below, which runs strictly in enqueue
-  // order so per-session FIFO (and with it the modulation latch) is
-  // preserved across ladder transitions.
+  // Disposition pass, in admission order: a faulted session's items are
+  // shed (a fault may land between Enqueue and dispatch); only chunks at
+  // the kNeural rung join the batched forward — degraded chunks are
+  // generated singly in the completion loop below, which runs strictly in
+  // admission order (FIFO within each session — the batcher's lane
+  // invariant) so per-session chunk order, and with it the modulation
+  // latch, is preserved across ladder transitions.
   enum class Route { kShed, kBatched, kSingle };
   std::vector<Route> route(items.size());
   std::vector<std::size_t> neural;
@@ -363,8 +379,8 @@ void SessionManager::RunBatch(std::vector<MicroBatcher::Item>&& items) {
     selector_ms_each = MsSince(tf) / static_cast<double>(neural.size());
   }
 
-  // Complete in enqueue (FIFO) order: per-session chunk order — and with
-  // it the stream-wide modulation-reference latch — is part of the bits.
+  // Complete in admission order: per-session chunk order — and with it
+  // the stream-wide modulation-reference latch — is part of the bits.
   for (std::size_t i = 0; i < items.size(); ++i) {
     Session* s = static_cast<Session*>(items[i].key);
     switch (route[i]) {
@@ -375,7 +391,7 @@ void SessionManager::RunBatch(std::vector<MicroBatcher::Item>&& items) {
         if (errors[i].has_value()) {
           // The bisection isolated this item as the poison.
           HandleGenerationError(s, std::move(items[i].chunk),
-                                std::move(*errors[i]));
+                                std::move(*errors[i]), items[i].enqueued);
           break;
         }
         try {
@@ -383,8 +399,11 @@ void SessionManager::RunBatch(std::vector<MicroBatcher::Item>&& items) {
               std::move(*shadows[i]), selector_ms_each);
           // Chunk latency keeps its PR 2 meaning — processing time, not
           // queue wait: batch dispatch start → this chunk's completion.
+          // End-to-end latency is the honest one: batcher enqueue → this
+          // completion, queue wait included.
           const double total_ms = MsSince(t0);
           stats_.AddChunk(total_ms);
+          stats_.AddChunkE2E(MsSince(items[i].enqueued));
           std::lock_guard lock(s->mu);
           s->output.Append(modulated);
           ++s->chunk_count;
@@ -395,10 +414,10 @@ void SessionManager::RunBatch(std::vector<MicroBatcher::Item>&& items) {
         }
         break;
       case Route::kSingle:
-        // Degraded (or probing) session: generate on the coalescer thread
-        // so completion order stays FIFO. ProcessOneChunk owns retries,
-        // the ladder, and the fault transition.
-        ProcessOneChunk(s, std::move(items[i].chunk));
+        // Degraded (or probing) session: generate on the claiming
+        // dispatcher so completion order stays FIFO. ProcessOneChunk owns
+        // retries, the ladder, and the fault transition.
+        ProcessOneChunk(s, std::move(items[i].chunk), items[i].enqueued);
         break;
     }
     // Flow arrow head: ties this chunk's completion (or shedding) back to
@@ -409,7 +428,7 @@ void SessionManager::RunBatch(std::vector<MicroBatcher::Item>&& items) {
 }
 
 void SessionManager::GenerateShadowsBisect(
-    std::vector<MicroBatcher::Item>& items,
+    std::vector<ContinuousBatcher::Item>& items,
     const std::vector<std::size_t>& indices, std::size_t begin,
     std::size_t end, std::vector<std::optional<audio::Waveform>>& shadows,
     std::vector<std::optional<SessionError>>& errors) {
@@ -448,8 +467,9 @@ void SessionManager::GenerateShadowsBisect(
   }
 }
 
-void SessionManager::HandleGenerationError(Session* s, audio::Waveform chunk,
-                                           SessionError error) {
+void SessionManager::HandleGenerationError(
+    Session* s, audio::Waveform chunk, SessionError error,
+    std::chrono::steady_clock::time_point ready) {
   if (options_.fault.on_error == FaultPolicy::kDegrade) {
     bool stepped = false;
     {
@@ -462,7 +482,7 @@ void SessionManager::HandleGenerationError(Session* s, audio::Waveform chunk,
     if (stepped) {
       // Regenerate this very chunk at the lower rung — the stream loses
       // no samples on a degrade transition.
-      ProcessOneChunk(s, std::move(chunk));
+      ProcessOneChunk(s, std::move(chunk), ready);
       return;
     }
   }
@@ -561,7 +581,7 @@ void SessionManager::AbandonStrand(Session* s) {
     s->running = false;
   }
   if (batcher_ != nullptr) {
-    // The session's already-popped chunks waiting in the coalescer are
+    // The session's already-popped chunks waiting in its batcher lane are
     // part of the evicted backlog: purge them so none lands in a later
     // batch (in-flight batch items complete normally).
     discarded += batcher_->Purge(s) * chunk_samples_;
@@ -591,7 +611,7 @@ void SessionManager::Drain() {
     drain_cv_.wait(lock, [&] { return in_flight_ == 0; });
   }
   // Once no strand is in flight (and the caller guarantees no concurrent
-  // Submit), nothing can Enqueue — wait out the coalescer's backlog too.
+  // Submit), nothing can Enqueue — wait out the batcher's backlog too.
   if (batcher_ != nullptr) batcher_->Drain();
 }
 
@@ -605,7 +625,12 @@ std::optional<audio::Waveform> SessionManager::Flush(SessionId id) {
   }
   const auto t0 = std::chrono::steady_clock::now();
   std::optional<audio::Waveform> out = s->proc.Flush();
-  if (out.has_value()) stats_.AddChunk(MsSince(t0));
+  if (out.has_value()) {
+    // A flushed tail runs synchronously on the caller: no queue wait, so
+    // its end-to-end latency IS its processing latency.
+    stats_.AddChunk(MsSince(t0));
+    stats_.AddChunkE2E(MsSince(t0));
+  }
   return out;
 }
 

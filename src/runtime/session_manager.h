@@ -21,7 +21,7 @@
 // transitions to SessionState::kFaulted with a recorded SessionError
 // (taxonomy in runtime/fault.h), sheds its backlog, and rejects further
 // Submits until ResetSession() — every other session keeps protecting its
-// room. A poisoned micro-batch is bisected and retried in sub-batches so
+// room. A poisoned batch is bisected and retried in sub-batches so
 // one bad chunk never drops other sessions' output. Chunks that blow the
 // deadline budget (or fail transiently past the retry budget) can instead
 // step down a graceful-degradation ladder (neural → LAS → silence) with
@@ -33,22 +33,26 @@
 // strand tasks is ordered by Session::mu and the pool queue's mutex, so no
 // additional lock is needed). RuntimeStats is all-atomic.
 //
-// Micro-batching (Options::max_batch > 1, neural selector only): strands
-// stop running the selector themselves — they buffer samples, pop ready
-// chunks, and enqueue them on the MicroBatcher. The coalescer thread
-// gathers chunks across sessions, runs ONE batched forward
-// (GenerateShadowBatch) and completes each chunk in enqueue order, which
-// preserves per-session stream order (one strand at a time per session
-// pops in order; the batcher is FIFO) and therefore bit-exactness with the
-// unbatched path. In this mode a session's StreamingProcessor is split
-// between two threads by member: the strand owns the sample buffer, the
-// coalescer owns the STFT scratch / modulation latch / timings — disjoint
-// state, see streaming.h. Degraded sessions' chunks still ride the
-// batcher FIFO but are generated singly on the coalescer thread, so ALL
-// completion stays on one thread and stream order is preserved across
-// ladder transitions.
+// Continuous batching (Options::max_batch > 1, neural selector only):
+// strands stop running the selector themselves — they buffer samples, pop
+// ready chunks, and enqueue them on the ContinuousBatcher, which admits
+// them into the next batched forward as soon as a dispatch slot frees
+// (earliest deadline first across sessions, FIFO within a session — see
+// batcher.h). Options::workers dispatch threads run RunBatch concurrently
+// on DISJOINT session sets: the batcher claims a session's lane
+// exclusively while its chunks are in a running batch, so each session's
+// StreamingProcessor completion state is still touched by one thread at a
+// time and stream order — and with it the modulation-reference latch — is
+// exactly the sequential path's. In this mode a session's
+// StreamingProcessor is split between threads by member: the strand owns
+// the sample buffer, the owning dispatcher owns the STFT scratch /
+// modulation latch / timings — disjoint state, see streaming.h. Degraded
+// sessions' chunks still ride the lane FIFO but are generated singly by
+// the dispatcher that claimed the lane, so per-session completion order
+// is preserved across ladder transitions.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -137,16 +141,18 @@ class SessionManager {
     double chunk_s = 1.0;
     core::SelectorKind kind = core::SelectorKind::kNeural;
 
-    // --- Micro-batching (DESIGN.md §5e). max_batch = 1 disables the
-    // coalescer and keeps the per-strand Push path. Batching applies to
+    // --- Continuous batching (DESIGN.md §5e). max_batch = 1 disables the
+    // batcher and keeps the per-strand Push path. Batching applies to
     // the neural selector only (the LAS ablation has no batched forward).
+    // When enabled, `workers` also sets the batcher's dispatch-thread
+    // count — the heavy compute moves off the pool strands onto the
+    // dispatchers, so `workers` keeps meaning "concurrent selector
+    // forwards" in both modes.
     std::size_t max_batch = 1;
-    /// Hard cap on how long a ready chunk may be held for coalescing.
-    std::uint64_t max_wait_us = 5000;
-    /// Per-chunk processing budget (paper: ~300 ms overshadowing
-    /// tolerance); the coalescer's hold window shrinks as observed batch
-    /// compute time eats into it, and the deadline watchdog (if enabled)
-    /// judges chunks against it.
+    /// Per-chunk end-to-end budget (paper: ~300 ms overshadowing
+    /// tolerance). The batcher admits chunks earliest-deadline-first
+    /// against it, and the deadline watchdog (if enabled) judges chunk
+    /// processing time against it.
     double deadline_ms = 300.0;
 
     FaultOptions fault = {};  ///< containment / degradation / sanitization
@@ -224,7 +230,7 @@ class SessionManager {
   std::size_t workers() const { return pool_.workers(); }
   std::size_t chunk_samples() const { return chunk_samples_; }
 
-  /// True when ready chunks route through the micro-batching coalescer.
+  /// True when ready chunks route through the continuous batcher.
   bool batching_enabled() const { return batcher_ != nullptr; }
 
   /// Stops accepting strand dispatches, drains admitted ones, joins.
@@ -251,6 +257,10 @@ class SessionManager {
 
     std::mutex mu;
     std::deque<float> inbox;   ///< guarded by mu
+    /// When the inbox last went empty → non-empty: the arrival time of the
+    /// oldest unconsumed samples, feeding end-to-end latency accounting on
+    /// the unbatched path. Guarded by mu.
+    std::chrono::steady_clock::time_point inbox_since{};
     audio::Waveform output;    ///< guarded by mu
     bool running = false;      ///< strand in flight; guarded by mu
 
@@ -268,16 +278,21 @@ class SessionManager {
   Session* GetSession(SessionId id) const;
   void RunStrand(Session* session);
   void RunStrandBatched(Session* session);
-  void RunBatch(std::vector<MicroBatcher::Item>&& items);
+  /// Batch callback; up to Options::workers run concurrently, always on
+  /// disjoint session sets (lane exclusivity, see batcher.h).
+  void RunBatch(std::vector<ContinuousBatcher::Item>&& items);
   void AbandonStrand(Session* session);
   void BeginStrand();
   void FinishStrand();
 
   /// Generates + completes one chunk at the session's current rung, with
-  /// retry/backoff, the deadline watchdog, and recovery probes. Returns
-  /// false iff the session faulted. Runs on the strand (unbatched) or the
-  /// coalescer thread (batched, degraded/poisoned items).
-  bool ProcessOneChunk(Session* session, audio::Waveform chunk);
+  /// retry/backoff, the deadline watchdog, and recovery probes. `ready` is
+  /// when the chunk became processable (inbox arrival / batcher enqueue)
+  /// and anchors the end-to-end latency record. Returns false iff the
+  /// session faulted. Runs on the strand (unbatched) or the owning
+  /// dispatch thread (batched, degraded/poisoned items).
+  bool ProcessOneChunk(Session* session, audio::Waveform chunk,
+                       std::chrono::steady_clock::time_point ready);
   audio::Waveform GenerateShadowAtLevel(Session* session,
                                         const audio::Waveform& chunk,
                                         DegradeLevel level);
@@ -285,7 +300,7 @@ class SessionManager {
   /// throws is split until the poisoned item is isolated; its slot gets an
   /// error instead of a shadow, every other slot completes normally.
   void GenerateShadowsBisect(
-      std::vector<MicroBatcher::Item>& items,
+      std::vector<ContinuousBatcher::Item>& items,
       const std::vector<std::size_t>& indices, std::size_t begin,
       std::size_t end, std::vector<std::optional<audio::Waveform>>& shadows,
       std::vector<std::optional<SessionError>>& errors);
@@ -294,7 +309,8 @@ class SessionManager {
   /// failed: step down the ladder and regenerate singly (kDegrade, so the
   /// stream loses no samples), or fault the session.
   void HandleGenerationError(Session* session, audio::Waveform chunk,
-                             SessionError error);
+                             SessionError error,
+                             std::chrono::steady_clock::time_point ready);
   /// Records the fault, sheds the session's backlog (inbox + pending
   /// batcher items), and returns it to a non-running state.
   void FaultSession(Session* session, SessionError error);
@@ -324,10 +340,10 @@ class SessionManager {
   RuntimeStats stats_;
   /// Non-null iff Options::max_batch > 1 and the selector is neural.
   /// Declared before pool_: workers Enqueue into the batcher, and the
-  /// batcher callback touches sessions/stats — Shutdown() stops the pool
+  /// batcher callbacks touch sessions/stats — Shutdown() stops the pool
   /// first, then the batcher, and destruction runs in the reverse of
   /// declaration so both are torn down before the state they touch.
-  std::unique_ptr<MicroBatcher> batcher_;
+  std::unique_ptr<ContinuousBatcher> batcher_;
   ThreadPool pool_;  ///< last member: workers die before state above
 };
 

@@ -108,6 +108,8 @@ RuntimeStatsSnapshot RuntimeStats::Snapshot(const PoolSample& pool) const {
   s.worker_exceptions = pool.worker_exceptions;
   s.chunk_latency = latency_.Quantiles();
   s.chunk_latency_hist = latency_.Buckets();
+  s.e2e_latency = e2e_latency_.Quantiles();
+  s.e2e_latency_hist = e2e_latency_.Buckets();
 
   for (std::size_t i = 0; i < kNumErrorCategories; ++i) {
     s.faults_by_category[i] = faults_[i].load(kRelaxed);

@@ -78,10 +78,15 @@ std::vector<obs::MetricFamily> SnapshotToMetricFamilies(
       "nec_chunk_latency_seconds",
       "Per-chunk selector+broadcast wall time",
       s.chunk_latency_hist));
+  out.push_back(MakeHistogram(
+      "nec_chunk_e2e_latency_seconds",
+      "Per-chunk end-to-end latency: ready to completed, queue wait "
+      "included — judge the deadline against this",
+      s.e2e_latency_hist));
 
-  // --- Micro-batching.
+  // --- Continuous batching.
   out.push_back(MakeCounter("nec_batches_dispatched_total",
-                            "Coalesced InferBatch calls issued",
+                            "Batched InferBatch calls issued",
                             static_cast<double>(s.batches_dispatched)));
   out.push_back(MakeCounter("nec_batched_chunks_total",
                             "Chunks served via a batched forward",
@@ -93,7 +98,7 @@ std::vector<obs::MetricFamily> SnapshotToMetricFamilies(
                           "Mean chunks per dispatched batch",
                           s.avg_batch_size));
   out.push_back(MakeHistogram("nec_queue_wait_seconds",
-                              "Coalescer wait: enqueue to batch dispatch",
+                              "Batcher wait: enqueue to batch dispatch",
                               s.queue_wait_hist));
 
   // --- Fault tolerance. One family, one sample per category label.

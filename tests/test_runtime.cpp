@@ -4,6 +4,7 @@
 // StreamingProcessor path while sharing one trained weight set.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -426,22 +427,39 @@ TEST_F(SessionManagerTest, DropOldestEvictionUnwedgesSession) {
   EXPECT_GT(manager.TakeOutput(c).size(), 0u);
 }
 
-// ------------------------------------------------------------ MicroBatcher
+// ------------------------------------------------------ ContinuousBatcher
 
-// Collects dispatched batches (as key sequences) for inspection.
+/// Collects dispatched batches (as key sequences). The callback can be
+/// gated shut: while closed, every dispatch thread that picks up a batch
+/// records it and then parks inside the callback, so a test can stage a
+/// deterministic backlog while all dispatchers are provably busy.
 struct BatchRecorder {
   std::mutex mu;
   std::condition_variable cv;
   std::vector<std::vector<void*>> batches;
+  bool gate_open = true;
 
-  MicroBatcher::BatchFn Fn() {
-    return [this](std::vector<MicroBatcher::Item>&& items) {
+  ContinuousBatcher::BatchFn Fn() {
+    return [this](std::vector<ContinuousBatcher::Item>&& items) {
       std::vector<void*> keys;
       for (const auto& it : items) keys.push_back(it.key);
-      std::lock_guard lock(mu);
+      std::unique_lock lock(mu);
       batches.push_back(std::move(keys));
       cv.notify_all();
+      cv.wait(lock, [&] { return gate_open; });
     };
+  }
+
+  void CloseGate() {
+    std::lock_guard lock(mu);
+    gate_open = false;
+  }
+  void OpenGate() {
+    {
+      std::lock_guard lock(mu);
+      gate_open = true;
+    }
+    cv.notify_all();
   }
 
   std::size_t WaitForBatches(std::size_t n) {
@@ -454,63 +472,163 @@ struct BatchRecorder {
 
 audio::Waveform TinyChunk() { return audio::Waveform(16000, std::size_t{16}); }
 
-TEST(MicroBatcher, DispatchesFullBatchesInFifoOrder) {
-  BatchRecorder rec;
-  int k[5];
-  {
-    // Hold window far beyond the test so only batch-full (and Shutdown)
-    // trigger dispatches — the sequencing is deterministic.
-    MicroBatcher batcher({.max_batch = 3,
-                          .max_wait_us = 10'000'000,
-                          .deadline_ms = 1e6},
-                         rec.Fn());
-    for (int i = 0; i < 5; ++i) batcher.Enqueue(&k[i], TinyChunk());
-    ASSERT_EQ(rec.WaitForBatches(1), 1u);  // {k0, k1, k2} on batch-full
-    // Shutdown dispatches the two still pending.
-  }
-  ASSERT_EQ(rec.batches.size(), 2u);
-  EXPECT_EQ(rec.batches[0], (std::vector<void*>{&k[0], &k[1], &k[2]}));
-  EXPECT_EQ(rec.batches[1], (std::vector<void*>{&k[3], &k[4]}));
+/// Deadline `ms` milliseconds from a fixed base — tests pass explicit,
+/// distinct deadlines so EDF decisions never depend on clock granularity.
+std::chrono::steady_clock::time_point DeadlineIn(double ms) {
+  static const auto base = std::chrono::steady_clock::now();
+  return base + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(ms));
 }
 
-TEST(MicroBatcher, MaxWaitFlushesPartialBatch) {
+TEST(ContinuousBatcher, BatchOfOneDispatchesImmediately) {
+  // The defining difference from the PR 4 coalescer: a lone ready chunk
+  // must dispatch on its own, not sit out a hold window waiting for
+  // company that may never come.
   BatchRecorder rec;
-  int k[2];
-  MicroBatcher batcher(
-      {.max_batch = 8, .max_wait_us = 2000, .deadline_ms = 1e6}, rec.Fn());
-  batcher.Enqueue(&k[0], TinyChunk());
-  batcher.Enqueue(&k[1], TinyChunk());
-  // Never reaches max_batch; the 2 ms hold cap must flush what gathered.
-  ASSERT_GE(rec.WaitForBatches(1), 1u);
-  EXPECT_EQ(rec.batches[0], (std::vector<void*>{&k[0], &k[1]}));
+  int k;
+  ContinuousBatcher batcher({.max_batch = 4, .workers = 1}, rec.Fn());
+  batcher.Enqueue(&k, TinyChunk());
+  ASSERT_EQ(rec.WaitForBatches(1), 1u);
+  EXPECT_EQ(rec.batches[0], (std::vector<void*>{&k}));
   batcher.Shutdown();
 }
 
-TEST(MicroBatcher, PurgeKeepsEvictedKeyOutOfLaterBatches) {
+TEST(ContinuousBatcher, BacklogCoalescesUpToMaxBatchInEdfOrder) {
+  // While the single dispatcher is busy, later chunks accumulate; the next
+  // gather takes up to max_batch of them, earliest deadline first.
+  BatchRecorder rec;
+  rec.CloseGate();
+  int gate, k1, k2, k3, k4;
+  ContinuousBatcher batcher({.max_batch = 3, .workers = 1}, rec.Fn());
+  batcher.Enqueue(&gate, TinyChunk());
+  ASSERT_EQ(rec.WaitForBatches(1), 1u);  // dispatcher parked in the gate
+  batcher.EnqueueWithDeadline(&k1, TinyChunk(), DeadlineIn(10));
+  batcher.EnqueueWithDeadline(&k2, TinyChunk(), DeadlineIn(20));
+  batcher.EnqueueWithDeadline(&k3, TinyChunk(), DeadlineIn(30));
+  batcher.EnqueueWithDeadline(&k4, TinyChunk(), DeadlineIn(40));
+  rec.OpenGate();
+  batcher.Drain();
+  ASSERT_EQ(rec.batches.size(), 3u);
+  EXPECT_EQ(rec.batches[0], (std::vector<void*>{&gate}));
+  EXPECT_EQ(rec.batches[1], (std::vector<void*>{&k1, &k2, &k3}));
+  EXPECT_EQ(rec.batches[2], (std::vector<void*>{&k4}));
+  batcher.Shutdown();
+}
+
+TEST(ContinuousBatcher, EdfAdmitsMostUrgentLaneFirst) {
+  // Admission order is deadline order, NOT enqueue order: C is enqueued
+  // last but owns the tightest deadline, so it leads the next batch.
+  BatchRecorder rec;
+  rec.CloseGate();
+  int gate, a, b, c;
+  ContinuousBatcher batcher({.max_batch = 3, .workers = 1}, rec.Fn());
+  batcher.Enqueue(&gate, TinyChunk());
+  ASSERT_EQ(rec.WaitForBatches(1), 1u);
+  batcher.EnqueueWithDeadline(&a, TinyChunk(), DeadlineIn(300));
+  batcher.EnqueueWithDeadline(&b, TinyChunk(), DeadlineIn(200));
+  batcher.EnqueueWithDeadline(&c, TinyChunk(), DeadlineIn(100));
+  rec.OpenGate();
+  batcher.Drain();
+  ASSERT_EQ(rec.batches.size(), 2u);
+  EXPECT_EQ(rec.batches[1], (std::vector<void*>{&c, &b, &a}));
+  batcher.Shutdown();
+}
+
+TEST(ContinuousBatcher, PurgeKeepsEvictedKeyOutOfLaterBatches) {
   // Drop-oldest eviction contract: once a session is purged, none of its
   // pending chunks may land in a subsequently dispatched batch.
   BatchRecorder rec;
-  int k1, k2, k3, k4;
-  MicroBatcher batcher({.max_batch = 3,
-                        .max_wait_us = 10'000'000,
-                        .deadline_ms = 1e6},
-                       rec.Fn());
-  batcher.Enqueue(&k1, TinyChunk());
-  batcher.Enqueue(&k2, TinyChunk());
-  EXPECT_EQ(batcher.Purge(&k1), 1u);
-  batcher.Enqueue(&k3, TinyChunk());
-  batcher.Enqueue(&k4, TinyChunk());  // 3 pending -> dispatch
+  rec.CloseGate();
+  int gate, k1, k2, k3, k4;
+  ContinuousBatcher batcher({.max_batch = 3, .workers = 1}, rec.Fn());
+  batcher.Enqueue(&gate, TinyChunk());
   ASSERT_EQ(rec.WaitForBatches(1), 1u);
-  EXPECT_EQ(rec.batches[0], (std::vector<void*>{&k2, &k3, &k4}));
+  batcher.EnqueueWithDeadline(&k1, TinyChunk(), DeadlineIn(10));
+  batcher.EnqueueWithDeadline(&k2, TinyChunk(), DeadlineIn(20));
+  EXPECT_EQ(batcher.Purge(&k1), 1u);
+  batcher.EnqueueWithDeadline(&k3, TinyChunk(), DeadlineIn(30));
+  batcher.EnqueueWithDeadline(&k4, TinyChunk(), DeadlineIn(40));
+  rec.OpenGate();
+  batcher.Drain();
+  ASSERT_EQ(rec.batches.size(), 2u);
+  EXPECT_EQ(rec.batches[1], (std::vector<void*>{&k2, &k3, &k4}));
   EXPECT_EQ(batcher.pending(), 0u);
   batcher.Shutdown();
 }
 
-TEST(MicroBatcher, DrainWaitsOutPendingAndInFlight) {
+TEST(ContinuousBatcher, PurgeWhileLaneInFlightRemovesOnlyPending) {
+  // Purge a session while one of its chunks is inside a running batch:
+  // the in-flight chunk completes normally, the queued ones vanish, and
+  // the lane is reusable afterwards (the in-flight claim is released).
+  BatchRecorder rec;
+  rec.CloseGate();
+  int a;
+  ContinuousBatcher batcher({.max_batch = 1, .workers = 1}, rec.Fn());
+  batcher.Enqueue(&a, TinyChunk());
+  ASSERT_EQ(rec.WaitForBatches(1), 1u);  // a's first chunk is in flight
+  batcher.Enqueue(&a, TinyChunk());
+  batcher.Enqueue(&a, TinyChunk());
+  EXPECT_EQ(batcher.pending_for(&a), 2u);
+  EXPECT_EQ(batcher.Purge(&a), 2u);  // in-flight chunk is NOT counted
+  EXPECT_EQ(batcher.pending_for(&a), 0u);
+  rec.OpenGate();
+  batcher.Drain();
+  ASSERT_EQ(rec.batches.size(), 1u);  // purged chunks never dispatched
+  // The lane still works: a fresh chunk dispatches normally.
+  batcher.Enqueue(&a, TinyChunk());
+  ASSERT_EQ(rec.WaitForBatches(2), 2u);
+  EXPECT_EQ(rec.batches[1], (std::vector<void*>{&a}));
+  batcher.Shutdown();
+}
+
+TEST(ContinuousBatcher, StealingPreservesFifoWithinEveryLane) {
+  // Work-stealing stress (TSan target): 4 dispatch threads drain 4 lanes
+  // fed concurrently by 4 producers. Stealing may interleave LANES any
+  // way it likes, but within one lane chunks must arrive strictly in
+  // enqueue order — the lane's in-flight claim serializes them even when
+  // they hop between dispatch threads. Chunk sizes encode sequence
+  // numbers so the callback can verify order without extra plumbing.
+  constexpr std::size_t kLanes = 4;
+  constexpr std::size_t kChunksPerLane = 48;
+  int keys[kLanes];
+  std::mutex mu;
+  std::array<std::size_t, kLanes> next_seq{};
+  std::size_t total = 0;
+  bool order_ok = true;
+  ContinuousBatcher batcher(
+      {.max_batch = 2, .workers = 4},
+      [&](std::vector<ContinuousBatcher::Item>&& items) {
+        std::lock_guard lock(mu);
+        for (const auto& it : items) {
+          const std::size_t lane =
+              static_cast<std::size_t>(static_cast<int*>(it.key) - keys);
+          order_ok &= it.chunk.size() == next_seq[lane] + 1;
+          ++next_seq[lane];
+          ++total;
+        }
+      });
+  std::vector<std::thread> producers;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    producers.emplace_back([&batcher, &keys, lane] {
+      for (std::size_t seq = 0; seq < kChunksPerLane; ++seq) {
+        batcher.Enqueue(&keys[lane], audio::Waveform(16000, seq + 1));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  batcher.Drain();
+  EXPECT_TRUE(order_ok);
+  EXPECT_EQ(total, kLanes * kChunksPerLane);
+  for (const std::size_t seen : next_seq) {
+    EXPECT_EQ(seen, kChunksPerLane);
+  }
+  batcher.Shutdown();
+}
+
+TEST(ContinuousBatcher, DrainWaitsOutPendingAndInFlight) {
   BatchRecorder rec;
   int k;
-  MicroBatcher batcher(
-      {.max_batch = 4, .max_wait_us = 1000, .deadline_ms = 1e6}, rec.Fn());
+  ContinuousBatcher batcher({.max_batch = 4, .workers = 1}, rec.Fn());
   for (int i = 0; i < 3; ++i) batcher.Enqueue(&k, TinyChunk());
   batcher.Drain();
   EXPECT_EQ(batcher.pending(), 0u);
@@ -520,20 +638,36 @@ TEST(MicroBatcher, DrainWaitsOutPendingAndInFlight) {
   EXPECT_EQ(total, 3u);
 }
 
+TEST(ContinuousBatcher, EnqueueAfterShutdownIsTypedInvariant) {
+  // Regression (ISSUE 7 satellite): the failure mode must be a typed
+  // CheckError — which SessionManager's classifier maps to
+  // ErrorCategory::kInvariant — not a silent drop or a data race on the
+  // joined dispatch threads.
+  BatchRecorder rec;
+  int k;
+  ContinuousBatcher batcher({.max_batch = 2, .workers = 1}, rec.Fn());
+  batcher.Shutdown();
+  try {
+    batcher.Enqueue(&k, TinyChunk());
+    FAIL() << "Enqueue after Shutdown must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("Shutdown"), std::string::npos);
+  }
+}
+
 // ---------------------------------------------- SessionManager (batched)
 
 TEST_F(SessionManagerTest, BatchedSessionsMatchSequentialBitExact) {
-  // The tentpole property: routing chunks through the micro-batching
-  // coalescer (one InferBatch across sessions) must leave every session's
-  // output bit-identical to the sequential single-threaded path.
+  // The tentpole property: routing chunks through the continuous batcher
+  // (one InferBatch across sessions) must leave every session's output
+  // bit-identical to the sequential single-threaded path.
   constexpr std::size_t kSessions = 4;
   SessionManager manager(selector_, encoder_, {},
                          {.workers = 2,
                           .queue_capacity = 64,
                           .chunk_s = 1.0,
                           .kind = core::SelectorKind::kNeural,
-                          .max_batch = 4,
-                          .max_wait_us = 2000});
+                          .max_batch = 4});
   ASSERT_TRUE(manager.batching_enabled());
 
   std::vector<synth::SpeakerProfile> speakers;
@@ -609,9 +743,9 @@ TEST_F(SessionManagerTest, BatchingNotEnabledForLasOrUnitBatch) {
 }
 
 TEST_F(SessionManagerTest, BatchedDropOldestEvictionStress) {
-  // TSan-oriented stress of the coalescer under drop-oldest eviction:
-  // Enqueue (strand threads), RunBatch (coalescer thread) and Purge
-  // (AbandonStrand on submitter threads) race on the pending deque while
+  // TSan-oriented stress of the batcher under drop-oldest eviction:
+  // Enqueue (strand threads), RunBatch (dispatch threads) and Purge
+  // (AbandonStrand on submitter threads) race on the lanes while
   // sessions are being evicted. The invariants: no deadlock, no purged
   // chunk lands in a batch after its eviction (Purge's contract — a
   // violation shows up as a torn StreamingProcessor latch under TSan), and
@@ -623,8 +757,7 @@ TEST_F(SessionManagerTest, BatchedDropOldestEvictionStress) {
                           .policy = OverflowPolicy::kDropOldest,
                           .chunk_s = 1.0,
                           .kind = core::SelectorKind::kNeural,
-                          .max_batch = 2,
-                          .max_wait_us = 500});
+                          .max_batch = 2});
   std::vector<SessionManager::SessionId> ids;
   std::vector<audio::Waveform> streams;
   for (std::size_t i = 0; i < kSessions; ++i) {
@@ -659,6 +792,106 @@ TEST_F(SessionManagerTest, BatchedDropOldestEvictionStress) {
     manager.Flush(ids[i]);
     manager.TakeOutput(ids[i]);
   }
+}
+
+TEST_F(SessionManagerTest, EndToEndLatencyRecordedForEveryChunk) {
+  // Honest-accounting satellite: the runtime must expose end-to-end
+  // latency (ready -> complete, queue wait included) next to the
+  // compute-only chunk latency. Every chunk records both, and because the
+  // e2e window starts at readiness — before any queue wait — its maximum
+  // can never undercut the compute maximum.
+  constexpr std::size_t kSessions = 3;
+  SessionManager manager(selector_, encoder_, {},
+                         {.workers = 2,
+                          .queue_capacity = 64,
+                          .chunk_s = 1.0,
+                          .kind = core::SelectorKind::kNeural,
+                          .max_batch = 2});
+  std::vector<SessionManager::SessionId> ids;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    const auto spk = synth::SpeakerProfile::FromSeed(400 + i);
+    ids.push_back(
+        manager.CreateSession(builder_.MakeReferenceAudios(spk, 3, 95 + i)));
+    ASSERT_TRUE(
+        manager.Submit(ids[i], builder_.MakeUtterance(spk, 37 + i).wave.samples())
+            .ok());
+  }
+  manager.Drain();
+  for (std::size_t i = 0; i < kSessions; ++i) manager.Flush(ids[i]);
+
+  const RuntimeStatsSnapshot stats = manager.Stats();
+  EXPECT_EQ(stats.chunks_processed, kSessions * 3u);
+  EXPECT_EQ(stats.e2e_latency.count, stats.chunk_latency.count);
+  EXPECT_GT(stats.e2e_latency.p99_ms, 0.0);
+  EXPECT_GE(stats.e2e_latency.max_ms + 1e-6, stats.chunk_latency.max_ms);
+}
+
+TEST_F(SessionManagerTest, BatchedThroughputDoesNotRegressAtEightSessions) {
+  // Regression guard for the batching cliff this PR removes: the PR 4
+  // coalescer's hold-the-oldest window made batched serving SLOWER than
+  // unbatched at 8 sessions (0.94x with multi-second queue waits). The
+  // continuous batcher has no hold window, so batched throughput must stay
+  // in the unbatched ballpark or above. Noise control: ctest runs suites
+  // concurrently, so each arm takes the best of three alternating trials
+  // (the least-contended sample) and the floor is a loose 0.75x — any
+  // return of a coalescing wait (which cost 3-10x on tiny chunks) blows
+  // through it instantly.
+  constexpr std::size_t kSessions = 8;
+  std::vector<synth::SpeakerProfile> speakers;
+  std::vector<audio::Waveform> streams;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    speakers.push_back(synth::SpeakerProfile::FromSeed(500 + i));
+    streams.push_back(builder_.MakeUtterance(speakers[i], 47 + i).wave);
+  }
+
+  const auto run = [&](std::size_t max_batch) {
+    SessionManager manager(selector_, encoder_, {},
+                           {.workers = 2,
+                            .queue_capacity = 256,
+                            .chunk_s = 1.0,
+                            .kind = core::SelectorKind::kNeural,
+                            .max_batch = max_batch});
+    std::vector<SessionManager::SessionId> ids;
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      ids.push_back(manager.CreateSession(
+          builder_.MakeReferenceAudios(speakers[i], 3, 85 + i)));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t piece = 3700;
+    std::size_t pos = 0;
+    bool any_left = true;
+    while (any_left) {
+      any_left = false;
+      for (std::size_t i = 0; i < kSessions; ++i) {
+        if (pos >= streams[i].size()) continue;
+        const std::size_t n = std::min(piece, streams[i].size() - pos);
+        EXPECT_TRUE(
+            manager.Submit(ids[i], streams[i].samples().subspan(pos, n)).ok());
+        any_left = true;
+      }
+      pos += piece;
+    }
+    manager.Drain();
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+    const RuntimeStatsSnapshot stats = manager.Stats();
+    EXPECT_EQ(stats.chunks_processed, kSessions * 2u);  // 2.5 s -> 2 chunks
+    return wall_s > 0.0
+               ? static_cast<double>(stats.chunks_processed) / wall_s
+               : 0.0;
+  };
+
+  double unbatched_cps = 0.0;
+  double batched_cps = 0.0;
+  for (int trial = 0; trial < 3; ++trial) {
+    unbatched_cps = std::max(unbatched_cps, run(/*max_batch=*/1));
+    batched_cps = std::max(batched_cps, run(/*max_batch=*/3));
+  }
+  ASSERT_GT(unbatched_cps, 0.0);
+  EXPECT_GE(batched_cps, 0.75 * unbatched_cps)
+      << "batched " << batched_cps << " chunks/s vs unbatched "
+      << unbatched_cps << " — the batching cliff is back";
 }
 
 }  // namespace

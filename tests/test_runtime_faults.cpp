@@ -2,9 +2,9 @@
 //
 // Drives every containment path with the deterministic FaultInjector:
 // per-session error containment (one poisoned session, seven bit-exact
-// survivors), poisoned micro-batch bisection, typed Submit errors
+// survivors), poisoned batch bisection, typed Submit errors
 // (overload / bad input), the deadline-watchdog degradation ladder with
-// recovery probes, and MicroBatcher purge-under-fault. Runs under TSan in
+// recovery probes, and ContinuousBatcher purge-under-fault. Runs under TSan in
 // tools/check.sh — the containment machinery must be race-free, not just
 // correct.
 #include <gtest/gtest.h>
@@ -437,12 +437,20 @@ TEST_F(RuntimeFaultTest, ErrorPolicyDegradeStepsDownAndProbesBackUp) {
 TEST_F(RuntimeFaultTest, DeadlineWatchdogWalksTheLadderAndRecovers) {
   // LAS-kind session so the clean-chunk compute is far under the budget
   // even with sanitizers on: every deadline miss below is injector-driven
-  // and the schedule is deterministic.
+  // and the schedule is deterministic. Sanitizer instrumentation slows
+  // the LAS probe chunk ~2-10x, so widen the budget there (same idiom as
+  // StreamingTest.LatencySanity); the injected latency below must stay
+  // well above the widened budget for the miss schedule to hold.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  constexpr double kBudgetMs = 1000.0;
+#else
+  constexpr double kBudgetMs = 150.0;
+#endif
   SessionManager manager(selector_, encoder_, {},
                          {.workers = 1,
                           .chunk_s = 1.0,
                           .kind = core::SelectorKind::kLasMask,
-                          .deadline_ms = 150.0,
+                          .deadline_ms = kBudgetMs,
                           .fault = {.degrade_on_deadline = true,
                                     .deadline_miss_threshold = 2,
                                     .recovery_probe_chunks = 2}});
@@ -452,14 +460,14 @@ TEST_F(RuntimeFaultTest, DeadlineWatchdogWalksTheLadderAndRecovers) {
   synth::DatasetBuilder long_builder({.duration_s = 8.0});
   const audio::Waveform stream = long_builder.MakeUtterance(spk, 225).wave;
 
-  // Chunks 1-4 each sleep 500 ms > 150 ms budget: misses 1 and 2 demote
+  // Chunks 1-4 each sleep past the budget: misses 1 and 2 demote
   // LAS → silence (threshold 2); 3 and 4 miss at the floor. Chunks 5-6
   // are clean silence chunks (2 successes), so chunk 7 probes the LAS
   // rung — the injector is exhausted, the probe lands in budget, and the
   // session promotes back to its top rung for chunk 8.
   FaultInjector::Global().Arm("strand.chunk",
                               {.kind = FaultInjector::Kind::kLatency,
-                               .latency_ms = 500.0,
+                               .latency_ms = kBudgetMs * 3.0,
                                .key = id,
                                .limit = 4});
   EXPECT_TRUE(manager.Submit(id, stream.samples()).ok());
@@ -480,18 +488,27 @@ TEST_F(RuntimeFaultTest, DeadlineWatchdogWalksTheLadderAndRecovers) {
 
 TEST_F(RuntimeFaultTest, PoisonedBatchIsBisectedAroundTheVictim) {
   constexpr std::size_t kSessions = 4;
-  // Generous hold window so all four chunks coalesce into one batch
-  // before dispatch — the bisection then has a real multi-item batch to
-  // split.
+  // The continuous batcher has no hold window, so a multi-item batch is
+  // manufactured by occupying the single dispatcher: a gate session's
+  // batch sleeps inside the forward (injected latency) while the four
+  // test sessions' chunks pile into their lanes; the next gather then
+  // takes all four in one batch (max_batch = 4) and the bisection has a
+  // real multi-item batch to split.
   SessionManager manager(selector_, encoder_, {},
-                         {.workers = 2,
+                         {.workers = 1,
                           .queue_capacity = 64,
                           .chunk_s = 1.0,
                           .kind = core::SelectorKind::kNeural,
                           .max_batch = kSessions,
-                          .max_wait_us = 1000000,
                           .deadline_ms = 10000.0});
   ASSERT_TRUE(manager.batching_enabled());
+
+  const auto gate_spk = synth::SpeakerProfile::FromSeed(399);
+  const SessionManager::SessionId gate =
+      manager.CreateSession(builder_.MakeReferenceAudios(gate_spk, 3, 409));
+  const audio::Waveform gate_chunk =
+      builder_.MakeUtterance(gate_spk, 419)
+          .wave.Slice(0, manager.chunk_samples());
 
   std::vector<synth::SpeakerProfile> speakers;
   std::vector<SessionManager::SessionId> ids;
@@ -504,11 +521,22 @@ TEST_F(RuntimeFaultTest, PoisonedBatchIsBisectedAroundTheVictim) {
                          .wave.Slice(0, manager.chunk_samples()));
   }
   const SessionManager::SessionId victim = ids[2];
+  // Generous latency so the four enqueues land well inside the window
+  // even under TSan/ASan slowdowns and suite-level ctest contention.
+  FaultInjector::Global().Arm("batch.item",
+                              {.kind = FaultInjector::Kind::kLatency,
+                               .latency_ms = 3000.0,
+                               .key = gate,
+                               .limit = 1});
   FaultInjector::Global().Arm("batch.item",
                               {.kind = FaultInjector::Kind::kThrow,
                                .category = ErrorCategory::kInvariant,
                                .key = victim});
 
+  EXPECT_TRUE(manager.Submit(gate, gate_chunk.samples()).ok());
+  // AddBatch fires at RunBatch entry, before the injected sleep: once the
+  // counter ticks, the sole dispatcher is pinned inside the gate batch.
+  while (manager.Stats().batches_dispatched < 1) std::this_thread::yield();
   for (std::size_t i = 0; i < kSessions; ++i) {
     EXPECT_TRUE(manager.Submit(ids[i], chunks[i].samples()).ok());
   }
@@ -517,7 +545,9 @@ TEST_F(RuntimeFaultTest, PoisonedBatchIsBisectedAroundTheVictim) {
   const RuntimeStatsSnapshot stats = manager.Stats();
   EXPECT_GE(stats.batch_splits, 2u);  // 4 → 2+2 → 1+1 isolates the victim
   EXPECT_EQ(stats.faults, 1u);
-  EXPECT_EQ(stats.chunks_processed, kSessions - 1);
+  // kSessions - 1 survivors plus the gate session's chunk.
+  EXPECT_EQ(stats.chunks_processed, kSessions);
+  EXPECT_GE(stats.max_batch_size, kSessions);
 
   for (std::size_t i = 0; i < kSessions; ++i) {
     if (ids[i] == victim) continue;
@@ -545,39 +575,59 @@ TEST_F(RuntimeFaultTest, PoisonedBatchIsBisectedAroundTheVictim) {
   EXPECT_GT(manager.TakeOutput(victim).size(), 0u);
 }
 
-// ------------------------------------------- MicroBatcher purge-under-fault
+// -------------------------------------- ContinuousBatcher purge-under-fault
 
-TEST(MicroBatcherFaults, PurgedSessionNeitherStallsNorReordersSurvivors) {
-  // Two sessions' chunks interleave in the pending queue; purging one
-  // mid-gather must leave the survivor's items dispatching in FIFO order
-  // with no stall. Chunk sizes encode identity + sequence.
+TEST(ContinuousBatcherFaults, PurgedSessionNeitherStallsNorReordersSurvivors) {
+  // Two sessions' chunks interleave across lanes while the sole dispatch
+  // thread is parked inside a gate batch; purging one session must leave
+  // the survivor's items dispatching in FIFO order with no stall. Chunk
+  // sizes encode identity + sequence.
   std::vector<std::pair<void*, std::size_t>> completed;
   std::mutex mu;
+  std::condition_variable cv;
+  bool gate_open = false;
+  int gate_marker = 0;
   int a_marker = 0;
   int b_marker = 0;
-  MicroBatcher batcher(
-      {.max_batch = 8, .max_wait_us = 400000, .deadline_ms = 1000.0},
-      [&](std::vector<MicroBatcher::Item>&& items) {
-        std::lock_guard lock(mu);
-        for (const auto& it : items) completed.emplace_back(it.key, it.chunk.size());
+  ContinuousBatcher batcher(
+      {.max_batch = 8, .workers = 1},
+      [&](std::vector<ContinuousBatcher::Item>&& items) {
+        std::unique_lock lock(mu);
+        for (const auto& it : items) {
+          completed.emplace_back(it.key, it.chunk.size());
+        }
+        cv.notify_all();
+        cv.wait(lock, [&] { return gate_open; });
       });
 
+  // Pin the dispatcher: its batch {gate} records, then parks in the gate.
+  batcher.Enqueue(&gate_marker, audio::Waveform(1000, std::size_t{1}));
+  {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return !completed.empty(); });
+  }
   batcher.Enqueue(&a_marker, audio::Waveform(1000, std::size_t{10}));
   batcher.Enqueue(&b_marker, audio::Waveform(1000, std::size_t{11}));
   batcher.Enqueue(&a_marker, audio::Waveform(1000, std::size_t{20}));
   batcher.Enqueue(&b_marker, audio::Waveform(1000, std::size_t{21}));
   batcher.Enqueue(&a_marker, audio::Waveform(1000, std::size_t{30}));
-  // Session A faults while its chunks sit in the partially-gathered
-  // batch: purge all three.
+  // Session A faults while its chunks sit in its lane: purge all three.
   EXPECT_EQ(batcher.Purge(&a_marker), 3u);
   EXPECT_EQ(batcher.pending_for(&a_marker), 0u);
   EXPECT_EQ(batcher.pending_for(&b_marker), 2u);
 
+  {
+    std::lock_guard lock(mu);
+    gate_open = true;
+  }
+  cv.notify_all();
   batcher.Drain();  // must not hang on the purged items
   {
     std::lock_guard lock(mu);
     const std::vector<std::pair<void*, std::size_t>> want = {
-        {&b_marker, std::size_t{11}}, {&b_marker, std::size_t{21}}};
+        {&gate_marker, std::size_t{1}},
+        {&b_marker, std::size_t{11}},
+        {&b_marker, std::size_t{21}}};
     EXPECT_EQ(completed, want);
   }
 

@@ -101,30 +101,80 @@ if [[ "${BENCH_SMOKE}" == "1" ]]; then
     ./build-check-release/bench/bench_table2_runtime \
     --benchmark_filter=BM_NONE
   # Fail on malformed or incomplete output: all sections present, valid
-  # JSON, and the audit/deadline booleans true.
-  python3 - "${SMOKE_JSON}" <<'EOF'
+  # JSON, honest deadline accounting (deadline_met must be derived from
+  # end-to-end latency, never compute-only p99), and the audit booleans
+  # true. The same validator then re-checks the COMMITTED
+  # BENCH_hotpath.json, where it additionally enforces the multi-core
+  # batching target (>= 1.5x at 8 sessions with >= 4 dispatch workers)
+  # whenever the recording machine had >= 4 cores.
+  bench_validate() {
+  python3 - "$1" "$2" <<'EOF'
 import json, sys
+committed = sys.argv[2] == "committed"
 with open(sys.argv[1]) as f:
     doc = json.load(f)
+
 rt = doc["runtime_throughput"]
-t2 = doc["table2_modules"]
 assert rt["all_bitexact"] is True, "runtime outputs not bit-exact"
 assert rt["rows"], "no throughput rows"
-assert all("chunks_per_sec" in r and "p99_ms" in r for r in rt["rows"])
-assert "selector_nec_ms" in t2 and "total_ms" in t2
+assert "hardware_concurrency" in rt, "runtime_throughput lacks hardware_concurrency"
+for r in rt["rows"]:
+    for k in ("workers", "chunks_per_sec", "p99_ms", "e2e_p50_ms",
+              "e2e_p99_ms", "deadline_met"):
+        assert k in r, f"throughput row missing {k!r}"
+    # Honest accounting: the verdict must be the end-to-end p99 (queue
+    # wait included), not the compute-only chunk latency.
+    assert r["deadline_met"] == (r["e2e_p99_ms"] < rt["deadline_ms"]), \
+        f"deadline_met not derived from e2e latency in row {r}"
+
 ba = doc["batched"]
 assert ba["all_bitexact"] is True, "batched outputs not bit-exact"
 assert ba["rows"], "no batched rows"
 assert ba["max_batch"] >= 2, "batched section ran without batching"
-required = ("sessions", "unbatched_chunks_per_sec", "batched_chunks_per_sec",
+assert "hardware_concurrency" in ba, "batched section lacks hardware_concurrency"
+assert "multicore_pending" in ba, "batched section lacks multicore_pending"
+required = ("sessions", "workers", "max_batch",
+            "unbatched_chunks_per_sec", "batched_chunks_per_sec",
             "speedup_batched_vs_unbatched", "avg_batch_size",
-            "queue_wait_p99_ms", "p99_ms", "bitexact")
-assert all(all(k in r for k in required) for r in ba["rows"]), \
-    "batched row missing fields"
-assert all(r["bitexact"] is True for r in ba["rows"])
-print("bench smoke: BENCH json well-formed,",
+            "queue_wait_p99_ms", "p99_ms", "e2e_p50_ms", "e2e_p99_ms",
+            "bitexact", "deadline_met")
+for r in ba["rows"]:
+    assert all(k in r for k in required), f"batched row missing fields: {r}"
+    assert r["bitexact"] is True, f"batched row not bit-exact: {r}"
+    assert r["deadline_met"] == (r["e2e_p99_ms"] < ba["deadline_ms"]), \
+        f"deadline_met not derived from e2e latency in row {r}"
+
+if committed:
+    assert not rt.get("smoke") and not ba.get("smoke"), \
+        "committed BENCH_hotpath.json contains smoke data"
+    assert all(r["deadline_met"] for r in ba["rows"]), \
+        "a committed batched row misses the paced e2e deadline"
+    hw = ba["hardware_concurrency"]
+    if hw >= 4:
+        assert not ba["multicore_pending"], \
+            ">= 4 cores but multicore_pending is set"
+        multi = [r for r in ba["rows"]
+                 if r["workers"] >= 4 and r["sessions"] >= 8]
+        assert multi, "no >= 4-worker batched row on a >= 4-core machine"
+        best = max(r["speedup_batched_vs_unbatched"] for r in multi)
+        assert best >= 1.5, \
+            f"multi-core batched speedup {best:.2f}x < 1.5x target"
+        print(f"bench check: multi-core target met ({best:.2f}x)")
+    else:
+        assert ba["multicore_pending"] is True, \
+            "< 4 cores but multicore_pending is unset"
+        print("bench check: NOTE — recorded on < 4 cores; the 1.5x "
+              "multi-core batched target is PENDING a >= 4-core machine")
+else:
+    t2 = doc["table2_modules"]
+    assert "selector_nec_ms" in t2 and "total_ms" in t2
+
+print(("committed" if committed else "bench smoke") + ": BENCH json ok,",
       len(rt["rows"]), "throughput rows,", len(ba["rows"]), "batched rows")
 EOF
+  }
+  bench_validate "${SMOKE_JSON}" smoke
+  bench_validate BENCH_hotpath.json committed
 fi
 
 if [[ "${OBS}" == "1" ]]; then
