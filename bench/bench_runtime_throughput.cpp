@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "alloc_hook.h"
 #include "bench_json.h"
 #include "bench_support.h"
 #include "core/selector.h"
@@ -243,6 +244,37 @@ SequentialResult RunSequential(const Workload& w) {
   return r;
 }
 
+/// Per-chunk heap allocations of one hot-path arm, measured with the
+/// alloc_hook counters: warm up `warmup` chunks (buffers grow to
+/// steady-state size), then count operator-new calls across `measured`
+/// more. `per_chunk` runs one prepared chunk through the arm under test.
+/// Single-threaded by construction — runs before any SessionManager
+/// exists, so the relaxed counter is exact.
+struct AllocArm {
+  std::uint64_t total = 0;      ///< allocations across the measured window
+  std::size_t chunks = 0;       ///< measured chunk count
+  double per_chunk() const {
+    return chunks ? static_cast<double>(total) / static_cast<double>(chunks)
+                  : 0.0;
+  }
+};
+
+template <typename PerChunk>
+AllocArm MeasureAllocArm(const std::vector<audio::Waveform>& chunks,
+                         std::size_t warmup, PerChunk&& per_chunk) {
+  AllocArm arm;
+  for (std::size_t c = 0; c < warmup && c < chunks.size(); ++c) {
+    per_chunk(chunks[c]);
+  }
+  const std::uint64_t before = AllocCount();
+  for (std::size_t c = warmup; c < chunks.size(); ++c) {
+    per_chunk(chunks[c]);
+    ++arm.chunks;
+  }
+  arm.total = AllocCount() - before;
+  return arm;
+}
+
 bool BitExact(const std::vector<audio::Waveform>& a,
               const std::vector<audio::Waveform>& b) {
   if (a.size() != b.size()) return false;
@@ -275,6 +307,87 @@ int main() {
               "%.2f ms, broadcast %.2f ms\n",
               sequential.chunks_per_sec, sequential.avg_selector_ms,
               sequential.avg_broadcast_ms);
+
+  // ---- Steady-state allocation audit (ISSUE 8). Two arms over identical
+  // chunks on one thread, counted via the linked alloc_hook operator-new
+  // replacements:
+  //   before — the legacy value-returning chunk path (PopChunk →
+  //            GenerateShadow → CompleteShadowChunk), which allocates its
+  //            spectrogram, selector tensors, FIR taps, and result
+  //            waveforms per chunk;
+  //   after  — the Into/arena path the runtime strands actually run
+  //            (PopChunkInto → ProcessChunkInto), which must perform ZERO
+  //            heap allocations per chunk once warm. Asserted below; the
+  //            bench exits nonzero on any steady-state allocation.
+  bool alloc_ok = true;
+  {
+    constexpr std::size_t kWarmupChunks = 2;
+    constexpr std::size_t kMeasuredChunks = 4;
+    nec::core::NecPipeline pipeline(w.selector, w.encoder, {});
+    pipeline.Enroll(w.references[0]);
+
+    // Pre-slice the chunk sequence (wrapping over the stream) OUTSIDE the
+    // counted window so feeding costs nothing.
+    const std::size_t chunk_n = static_cast<std::size_t>(
+        kChunkSeconds * w.streams[0].sample_rate());
+    const std::size_t in_stream =
+        std::max<std::size_t>(1, w.streams[0].size() / chunk_n);
+    std::vector<nec::audio::Waveform> chunks;
+    for (std::size_t c = 0; c < kWarmupChunks + kMeasuredChunks; ++c) {
+      chunks.push_back(w.streams[0].Slice((c % in_stream) * chunk_n,
+                                          chunk_n));
+    }
+
+    nec::core::StreamingProcessor legacy(pipeline, kChunkSeconds,
+                                    nec::core::SelectorKind::kNeural);
+    const AllocArm before_arm = MeasureAllocArm(
+        chunks, kWarmupChunks, [&](const nec::audio::Waveform& chunk) {
+          nec::audio::Waveform shadow = pipeline.GenerateShadow(
+              chunk, nec::core::SelectorKind::kNeural,
+              &legacy.stft_workspace());
+          legacy.CompleteShadowChunk(std::move(shadow), 0.0);
+        });
+
+    nec::core::StreamingProcessor proc(pipeline, kChunkSeconds,
+                                  nec::core::SelectorKind::kNeural);
+    nec::audio::Waveform chunk_buf, mod_buf;
+    const AllocArm after_arm = MeasureAllocArm(
+        chunks, kWarmupChunks, [&](const nec::audio::Waveform& chunk) {
+          proc.BufferSamples(chunk.samples());
+          while (proc.HasFullChunk()) {
+            proc.PopChunkInto(chunk_buf);
+            proc.ProcessChunkInto(chunk_buf, mod_buf);
+          }
+        });
+
+    alloc_ok = after_arm.total == 0;
+    std::printf("\nsteady-state allocations per chunk (%zu warmup + %zu "
+                "measured):\n  legacy value path: %8.1f  (%llu total)\n"
+                "  arena/Into path:   %8.1f  (%llu total)  %s\n",
+                kWarmupChunks, kMeasuredChunks, before_arm.per_chunk(),
+                static_cast<unsigned long long>(before_arm.total),
+                after_arm.per_chunk(),
+                static_cast<unsigned long long>(after_arm.total),
+                alloc_ok ? "[OK: zero-alloc]" : "[FAIL: expected 0]");
+
+    JsonWriter ajson;
+    ajson.Field("warmup_chunks", static_cast<double>(kWarmupChunks))
+        .Field("measured_chunks", static_cast<double>(after_arm.chunks))
+        .Field("smoke", BenchSmokeMode());
+    ajson.BeginObject("before")
+        .Field("path", "legacy value-returning chunk path")
+        .Field("total_allocs", static_cast<double>(before_arm.total))
+        .Field("allocs_per_chunk", before_arm.per_chunk())
+        .EndObject();
+    ajson.BeginObject("after")
+        .Field("path", "Into/arena chunk path (runtime strands)")
+        .Field("total_allocs", static_cast<double>(after_arm.total))
+        .Field("allocs_per_chunk", after_arm.per_chunk())
+        .EndObject();
+    ajson.Field("zero_alloc_steady_state", alloc_ok);
+    WriteJsonSection(BenchJsonPath(), "alloc", ajson.Finish());
+    std::printf("wrote section alloc -> %s\n", BenchJsonPath().c_str());
+  }
 
   std::printf("\noffline replay (throughput mode; e2e includes replay "
               "backlog, so deadline_met is false by construction):\n");
@@ -469,5 +582,9 @@ int main() {
   WriteJsonSection(path, "batched", bjson.Finish());
   std::printf("wrote section batched -> %s\n", path.c_str());
 
-  return all_exact && batched_exact ? 0 : 1;
+  if (!alloc_ok) {
+    std::printf("FAIL: steady-state chunk path allocated (see alloc "
+                "section)\n");
+  }
+  return all_exact && batched_exact && alloc_ok ? 0 : 1;
 }

@@ -59,6 +59,12 @@ void Waveform::AppendSilence(std::size_t n) {
   samples_.insert(samples_.end(), n, 0.0f);
 }
 
+void Waveform::AssignSilence(int sample_rate, std::size_t num_samples) {
+  NEC_CHECK_MSG(sample_rate > 0, "sample rate must be positive");
+  sample_rate_ = sample_rate;
+  samples_.assign(num_samples, 0.0f);
+}
+
 void Waveform::Clip() {
   for (float& s : samples_) s = std::clamp(s, -1.0f, 1.0f);
 }

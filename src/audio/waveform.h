@@ -76,6 +76,13 @@ class Waveform {
   /// Pads with zeros (or truncates) so size() == n.
   void ResizeTo(std::size_t n);
 
+  /// Rebinds this buffer in place to `num_samples` zeroed samples at
+  /// `sample_rate`, reusing existing capacity. Equivalent to assigning a
+  /// freshly constructed Waveform(sample_rate, num_samples) but without
+  /// reallocating once the buffer has reached steady-state size — the
+  /// Into-style hot-path entry points build their results through this.
+  void AssignSilence(int sample_rate, std::size_t num_samples);
+
  private:
   int sample_rate_ = 0;
   std::vector<float> samples_;

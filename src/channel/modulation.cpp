@@ -10,36 +10,44 @@
 
 namespace nec::channel {
 
-audio::Waveform ModulateAm(const audio::Waveform& baseband,
-                           const ModulationConfig& config) {
+void ModulateAmInto(const audio::Waveform& baseband,
+                    const ModulationConfig& config, dsp::ResamplerPlan& plan,
+                    audio::Waveform& out) {
   NEC_CHECK_MSG(config.carrier_hz > 20000.0 &&
                     config.carrier_hz < 0.45 * config.air_sample_rate,
                 "carrier " << config.carrier_hz
                            << " Hz outside the inaudible/supported band");
   NEC_CHECK_MSG(config.alpha > 0.0, "alpha must be positive");
 
-  audio::Waveform up = dsp::Resample(baseband, config.air_sample_rate);
+  dsp::ResampleInto(baseband, config.air_sample_rate, plan, out);
   if (config.reference_peak > 0.0) {
     // Fixed stream-wide gain: every chunk of a stream maps amplitude to
     // envelope identically, so the emitted power coefficient is stable.
     // Resampler overshoot (or chunks louder than the reference) clamps to
     // the |m| <= 1 modulation-index invariant instead of re-normalizing.
     const float scale = static_cast<float>(1.0 / config.reference_peak);
-    for (float& s : up.samples()) s = std::clamp(s * scale, -1.0f, 1.0f);
+    for (float& s : out.samples()) s = std::clamp(s * scale, -1.0f, 1.0f);
   } else {
-    const float peak = up.Peak();
-    if (peak > 0.0f) up.Scale(1.0f / peak);  // |m| <= 1
+    const float peak = out.Peak();
+    if (peak > 0.0f) out.Scale(1.0f / peak);  // |m| <= 1
   }
 
   const double w = 2.0 * std::numbers::pi * config.carrier_hz /
                    config.air_sample_rate;
   const double norm = config.peak / (1.0 + config.alpha);
-  for (std::size_t i = 0; i < up.size(); ++i) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
     const double carrier = std::cos(w * static_cast<double>(i));
-    up[i] = static_cast<float>(
-        (static_cast<double>(up[i]) + config.alpha) * carrier * norm);
+    out[i] = static_cast<float>(
+        (static_cast<double>(out[i]) + config.alpha) * carrier * norm);
   }
-  return up;
+}
+
+audio::Waveform ModulateAm(const audio::Waveform& baseband,
+                           const ModulationConfig& config) {
+  dsp::ResamplerPlan plan;
+  audio::Waveform out;
+  ModulateAmInto(baseband, config, plan, out);
+  return out;
 }
 
 audio::Waveform DemodulateAm(const audio::Waveform& passband,

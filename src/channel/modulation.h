@@ -8,6 +8,7 @@
 #pragma once
 
 #include "audio/waveform.h"
+#include "dsp/resample.h"
 
 namespace nec::channel {
 
@@ -40,6 +41,16 @@ struct ModulationConfig {
 /// reference clamp to +-1, preserving the modulation-index invariant).
 audio::Waveform ModulateAm(const audio::Waveform& baseband,
                            const ModulationConfig& config);
+
+/// ModulateAm into a caller-owned output buffer, reusing a cached resampler
+/// plan across calls. Bit-identical to ModulateAm (the plan caches the same
+/// FIR taps the plan-free resampler designs per call); with a warm plan and
+/// steady-state `out` the per-chunk call performs no allocation. The
+/// streaming dispatcher owns one plan per session next to its stream-wide
+/// reference-peak latch.
+void ModulateAmInto(const audio::Waveform& baseband,
+                    const ModulationConfig& config, dsp::ResamplerPlan& plan,
+                    audio::Waveform& out);
 
 /// Ideal coherent demodulation — test/diagnostic reference only (real
 /// recorders rely on their nonlinearity; see MicrophoneModel). Returns the

@@ -47,8 +47,8 @@ void LasSelector::Enroll(std::span<const audio::Waveform> references) {
   }
 }
 
-std::vector<float> LasSelector::ComputeShadow(
-    const dsp::Spectrogram& spec) const {
+void LasSelector::ComputeShadowInto(const dsp::Spectrogram& spec,
+                                    std::vector<float>& out) const {
   NEC_CHECK_MSG(enrolled(), "LasSelector used before enrollment");
   const std::size_t T = spec.num_frames(), F = spec.num_bins();
   NEC_CHECK(F == reference_las_.size());
@@ -58,14 +58,15 @@ std::vector<float> LasSelector::ComputeShadow(
   double mean_sq = 0.0;
   for (float v : reference_las_) mean_sq += static_cast<double>(v) * v;
   mean_sq /= static_cast<double>(F);
-  std::vector<float> share(F);
+  thread_local std::vector<float> share;
+  share.resize(F);
   for (std::size_t f = 0; f < F; ++f) {
     const double l2 = static_cast<double>(reference_las_[f]) *
                       reference_las_[f];
     share[f] = static_cast<float>(l2 / (l2 + mean_sq));
   }
 
-  std::vector<float> shadow(T * F, 0.0f);
+  out.assign(T * F, 0.0f);
   for (std::size_t t = 0; t < T; ++t) {
     // Frame activity: rectified cosine similarity with the target LAS.
     double dot = 0.0, ee = 0.0;
@@ -77,11 +78,17 @@ std::vector<float> LasSelector::ComputeShadow(
     const double activity =
         ee > 1e-18 ? std::max(0.0, dot / std::sqrt(ee)) : 0.0;
     for (std::size_t f = 0; f < F; ++f) {
-      shadow[t * F + f] = -static_cast<float>(activity) * share[f] *
-                          spec.MagAt(t, f);
+      out[t * F + f] = -static_cast<float>(activity) * share[f] *
+                       spec.MagAt(t, f);
     }
   }
-  return shadow;
+}
+
+std::vector<float> LasSelector::ComputeShadow(
+    const dsp::Spectrogram& spec) const {
+  std::vector<float> out;
+  ComputeShadowInto(spec, out);
+  return out;
 }
 
 }  // namespace nec::core

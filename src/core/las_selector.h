@@ -33,6 +33,14 @@ class LasSelector {
   /// Selector::ComputeShadow.
   std::vector<float> ComputeShadow(const dsp::Spectrogram& spec) const;
 
+  /// ComputeShadow into a caller-owned surface (resized in place); same
+  /// contract as Selector::ComputeShadowInto. Allocation-free once warm —
+  /// the per-bin share profile lives in thread_local scratch (the repo's
+  /// Conv2D idiom), so the LAS ablation rides the same zero-malloc chunk
+  /// path as the neural selector.
+  void ComputeShadowInto(const dsp::Spectrogram& spec,
+                         std::vector<float>& out) const;
+
   bool enrolled() const { return !reference_las_.empty(); }
 
  private:

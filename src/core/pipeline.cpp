@@ -85,6 +85,41 @@ audio::Waveform NecPipeline::GenerateShadow(const audio::Waveform& mixed,
                              config().sample_rate, mixed.size(), w);
 }
 
+void NecPipeline::GenerateShadowInto(const audio::Waveform& mixed,
+                                     SelectorKind kind,
+                                     ShadowScratch& scratch,
+                                     audio::Waveform& out) const {
+  NEC_CHECK_MSG(dvector_.has_value(), "enroll a target before GenerateShadow");
+  NEC_CHECK_MSG(mixed.sample_rate() == config().sample_rate,
+                "monitor audio must be at " << config().sample_rate
+                                            << " Hz");
+  NEC_TRACE_SPAN("pipeline.generate_shadow");
+  {
+    NEC_TRACE_SPAN("dsp.stft");
+    dsp::Stft(mixed, config().stft, scratch.stft, scratch.spec);
+  }
+  {
+    NEC_TRACE_SPAN(kind == SelectorKind::kNeural ? "selector.forward"
+                                                 : "selector.las");
+    if (kind == SelectorKind::kNeural) {
+      // All selector intermediates (input tensor, conv activations, the
+      // shadow tensor) bump-allocate from the scratch arena and are
+      // reclaimed wholesale when the scope closes; the result escapes into
+      // scratch.shadow_mag (caller-owned heap capacity, reused per chunk).
+      ArenaScope arena_scope(scratch.arena);
+      selector_->ComputeShadowInto(scratch.spec, *dvector_,
+                                   scratch.shadow_mag);
+    } else {
+      las_selector_.ComputeShadowInto(scratch.spec, scratch.shadow_mag);
+    }
+  }
+  CheckShadowFinite(scratch.shadow_mag, "GenerateShadow selector");
+  NEC_TRACE_SPAN("dsp.istft");
+  dsp::IstftWithPhaseInto(scratch.shadow_mag, scratch.spec, config().stft,
+                          config().sample_rate, mixed.size(), scratch.stft,
+                          out);
+}
+
 audio::Waveform NecPipeline::GenerateModulatedShadow(
     const audio::Waveform& mixed, SelectorKind kind) const {
   return channel::ModulateAm(GenerateShadow(mixed, kind),

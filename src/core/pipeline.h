@@ -11,13 +11,30 @@
 #include "channel/modulation.h"
 #include "core/config.h"
 #include "core/las_selector.h"
+#include "core/memory.h"
 #include "core/selector.h"
+#include "dsp/stft.h"
 #include "encoder/encoder.h"
 
 namespace nec::core {
 
 struct PipelineOptions {
   channel::ModulationConfig modulation;  ///< carrier f_c, alpha, air rate
+};
+
+/// Per-session scratch for the per-chunk shadow hot path (DESIGN.md §5i).
+/// Owns everything GenerateShadowInto reuses across chunks: the STFT/ISTFT
+/// workspace, the chunk spectrogram, the shadow magnitude surface, and the
+/// bump arena the selector's intermediate tensors live in (rewound at every
+/// chunk boundary by the ArenaScope inside GenerateShadowInto). After the
+/// first chunk of a stream every buffer is at steady-state size, so the
+/// per-chunk path performs zero heap allocations. Single-threaded: each
+/// streaming session / runtime strand owns one.
+struct ShadowScratch {
+  dsp::StftWorkspace stft;
+  dsp::Spectrogram spec;
+  std::vector<float> shadow_mag;
+  Arena arena;
 };
 
 /// Which shadow generator the pipeline runs (neural is the paper system;
@@ -57,6 +74,17 @@ class NecPipeline {
   audio::Waveform GenerateShadow(const audio::Waveform& mixed,
                                  SelectorKind kind = SelectorKind::kNeural,
                                  dsp::StftWorkspace* ws = nullptr) const;
+
+  /// Zero-allocation twin of GenerateShadow: every intermediate lives in
+  /// `scratch` (spectrogram, shadow surface, selector tensors via the
+  /// scratch arena) and the result is written into `out` in place.
+  /// Bit-identical to GenerateShadow — arena-backed tensors zero-fill
+  /// exactly like heap-backed ones, and the dsp Into-variants are the
+  /// implementations behind the value-returning forms. With a warm scratch
+  /// (one chunk of this shape already seen) the call performs no heap
+  /// allocation; bench_runtime_throughput asserts this at 0 mallocs/chunk.
+  void GenerateShadowInto(const audio::Waveform& mixed, SelectorKind kind,
+                          ShadowScratch& scratch, audio::Waveform& out) const;
 
   /// GenerateShadow + ultrasonic AM modulation (Broadcast module). The
   /// result is at the air sample rate with unit peak; emitted power is a

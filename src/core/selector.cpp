@@ -261,8 +261,9 @@ std::vector<nn::Param*> Selector::Params() {
   return params;
 }
 
-std::vector<float> Selector::ComputeShadow(
-    const dsp::Spectrogram& spec, const std::vector<float>& dvector) const {
+void Selector::ComputeShadowInto(const dsp::Spectrogram& spec,
+                                 const std::vector<float>& dvector,
+                                 std::vector<float>& out) const {
   const std::size_t T = spec.num_frames(), F = spec.num_bins();
   NEC_CHECK(F == config_.num_bins());
 
@@ -278,10 +279,16 @@ std::vector<float> Selector::ComputeShadow(
     input[i] = spec.mag()[i] * gain;
   }
   nn::Tensor shadow = Infer(input, dvector);
-  std::vector<float> out(shadow.numel());
+  out.resize(shadow.numel());
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = shadow[i] / gain;
   }
+}
+
+std::vector<float> Selector::ComputeShadow(
+    const dsp::Spectrogram& spec, const std::vector<float>& dvector) const {
+  std::vector<float> out;
+  ComputeShadowInto(spec, dvector, out);
   return out;
 }
 
@@ -393,8 +400,10 @@ static_assert(
              const nn::Tensor& mag, const std::vector<float>& d,
              const std::vector<const dsp::Spectrogram*>& specs,
              const std::vector<const nn::Tensor*>& mags,
-             const std::vector<const std::vector<float>*>& ds) {
+             const std::vector<const std::vector<float>*>& ds,
+             std::vector<float>& shadow_out) {
       s.ComputeShadow(spec, d);
+      s.ComputeShadowInto(spec, d, shadow_out);
       s.Infer(mag, d);
       s.InferBatch(mags, ds);
       s.ComputeShadowBatch(specs, ds);

@@ -82,6 +82,14 @@ class Selector {
   std::vector<float> ComputeShadow(const dsp::Spectrogram& spec,
                                    const std::vector<float>& dvector) const;
 
+  /// ComputeShadow into a caller-owned surface (resized in place; capacity
+  /// reused across chunks). Bit-identical to ComputeShadow. Run under an
+  /// ArenaScope the network's intermediate tensors bump-allocate instead of
+  /// hitting the heap — the streaming per-chunk path does exactly that.
+  void ComputeShadowInto(const dsp::Spectrogram& spec,
+                         const std::vector<float>& dvector,
+                         std::vector<float>& out) const;
+
   /// Batched ComputeShadow: applies each item's own gain normalization,
   /// runs one InferBatch, and un-normalizes per item — bit-identical per
   /// item to ComputeShadow. All spectrograms must share (T, F).

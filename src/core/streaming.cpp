@@ -1,5 +1,6 @@
 #include "core/streaming.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "channel/modulation.h"
@@ -29,15 +30,23 @@ StreamingProcessor::StreamingProcessor(const NecPipeline& pipeline,
                 "chunk shorter than one analysis window");
 }
 
-audio::Waveform StreamingProcessor::ProcessChunk(audio::Waveform chunk) {
+void StreamingProcessor::ProcessChunkInto(const audio::Waveform& chunk,
+                                          audio::Waveform& out) {
   NEC_TRACE_SPAN("stream.process_chunk");
   const auto t0 = std::chrono::steady_clock::now();
-  audio::Waveform shadow = pipeline_.GenerateShadow(chunk, kind_, &stft_ws_);
-  return CompleteShadowChunk(std::move(shadow), MsSince(t0));
+  pipeline_.GenerateShadowInto(chunk, kind_, scratch_, shadow_wave_);
+  CompleteShadowChunkInto(shadow_wave_, MsSince(t0), out);
 }
 
-audio::Waveform StreamingProcessor::CompleteShadowChunk(
-    audio::Waveform shadow, double selector_ms) {
+audio::Waveform StreamingProcessor::ProcessChunk(audio::Waveform chunk) {
+  audio::Waveform out;
+  ProcessChunkInto(chunk, out);
+  return out;
+}
+
+void StreamingProcessor::CompleteShadowChunkInto(
+    const audio::Waveform& shadow, double selector_ms,
+    audio::Waveform& out) {
   timings_.selector_ms += selector_ms;
 
   const auto t1 = std::chrono::steady_clock::now();
@@ -54,14 +63,19 @@ audio::Waveform StreamingProcessor::CompleteShadowChunk(
     }
     if (mod_reference_peak_ > 0.0) mod.reference_peak = mod_reference_peak_;
   }
-  audio::Waveform modulated;
   {
     NEC_TRACE_SPAN("channel.modulate_am");
-    modulated = channel::ModulateAm(shadow, mod);
+    channel::ModulateAmInto(shadow, mod, resample_plan_, out);
   }
   timings_.broadcast_ms += MsSince(t1);
   ++timings_.chunks;
-  return modulated;
+}
+
+audio::Waveform StreamingProcessor::CompleteShadowChunk(
+    audio::Waveform shadow, double selector_ms) {
+  audio::Waveform out;
+  CompleteShadowChunkInto(shadow, selector_ms, out);
+  return out;
 }
 
 void StreamingProcessor::BufferSamples(std::span<const float> samples) {
@@ -69,12 +83,21 @@ void StreamingProcessor::BufferSamples(std::span<const float> samples) {
                         samples.end());
 }
 
-audio::Waveform StreamingProcessor::PopChunk() {
+void StreamingProcessor::PopChunkInto(audio::Waveform& chunk) {
   NEC_CHECK_MSG(HasFullChunk(), "PopChunk without a full buffered chunk");
-  audio::Waveform chunk = buffer_.Slice(0, chunk_samples_);
+  chunk.AssignSilence(buffer_.sample_rate(), chunk_samples_);
+  std::copy(buffer_.data().begin(),
+            buffer_.data().begin() +
+                static_cast<std::ptrdiff_t>(chunk_samples_),
+            chunk.data().begin());
   buffer_.data().erase(
       buffer_.data().begin(),
       buffer_.data().begin() + static_cast<std::ptrdiff_t>(chunk_samples_));
+}
+
+audio::Waveform StreamingProcessor::PopChunk() {
+  audio::Waveform chunk;
+  PopChunkInto(chunk);
   return chunk;
 }
 
@@ -86,13 +109,19 @@ std::optional<audio::Waveform> StreamingProcessor::Push(
 
   // Drain every complete chunk (a single Push may deliver several) and
   // concatenate their modulated output in stream order. Chunks are read at
-  // an advancing offset and the consumed prefix is erased once afterwards;
-  // rebuilding the remainder vector per chunk made a long Push quadratic
-  // in the number of buffered chunks.
+  // an advancing offset into reused scratch buffers and the consumed
+  // prefix is erased once afterwards; only the returned concatenation
+  // allocates (the per-chunk pipeline runs through the Into path).
   audio::Waveform out;
   std::size_t pos = 0;
   while (buffer_.size() - pos >= chunk_samples_) {
-    out.Append(ProcessChunk(buffer_.Slice(pos, chunk_samples_)));
+    chunk_wave_.AssignSilence(buffer_.sample_rate(), chunk_samples_);
+    std::copy(buffer_.data().begin() + static_cast<std::ptrdiff_t>(pos),
+              buffer_.data().begin() +
+                  static_cast<std::ptrdiff_t>(pos + chunk_samples_),
+              chunk_wave_.data().begin());
+    ProcessChunkInto(chunk_wave_, modulated_wave_);
+    out.Append(modulated_wave_);
     pos += chunk_samples_;
   }
   buffer_.data().erase(

@@ -71,6 +71,11 @@ class StreamingProcessor {
   /// Pops the oldest full chunk (requires HasFullChunk()).
   audio::Waveform PopChunk();
 
+  /// PopChunk into a caller-owned buffer (rebound in place; capacity
+  /// reused). The zero-allocation strand path pops every chunk through one
+  /// session-owned buffer instead of materializing a fresh Waveform.
+  void PopChunkInto(audio::Waveform& chunk);
+
   /// Second half of the chunk path: stream-reference latch + ultrasonic
   /// modulation + timing accounting for a shadow produced externally
   /// (batched GenerateShadowBatch). `selector_ms` is the shadow-generation
@@ -78,6 +83,19 @@ class StreamingProcessor {
   /// completed in the order they were popped.
   audio::Waveform CompleteShadowChunk(audio::Waveform shadow,
                                       double selector_ms);
+
+  /// CompleteShadowChunk into a caller-owned buffer. Reuses this
+  /// processor's cached modulation resampler plan, so a warm call performs
+  /// no allocation; bit-identical to CompleteShadowChunk (the plan caches
+  /// the same FIR taps the plan-free modulator designs per call).
+  void CompleteShadowChunkInto(const audio::Waveform& shadow,
+                               double selector_ms, audio::Waveform& out);
+
+  /// Full zero-allocation chunk path: GenerateShadowInto through this
+  /// processor's ShadowScratch, then CompleteShadowChunkInto. Bit-identical
+  /// to Push-ing the same chunk; `chunk` must be exactly chunk_samples()
+  /// long.
+  void ProcessChunkInto(const audio::Waveform& chunk, audio::Waveform& out);
 
   const ModuleTimings& timings() const { return timings_; }
   std::size_t chunk_samples() const { return chunk_samples_; }
@@ -88,7 +106,12 @@ class StreamingProcessor {
   /// (the processor itself, or the runtime coalescer in batched mode).
   /// Scratch only — contents never affect output bits — but not shareable
   /// across concurrent callers.
-  dsp::StftWorkspace& stft_workspace() { return stft_ws_; }
+  dsp::StftWorkspace& stft_workspace() { return scratch_.stft; }
+
+  /// Full per-chunk scratch (workspace, spectrogram, shadow surface,
+  /// selector arena) for whoever drives GenerateShadowInto on this
+  /// processor's stream. Same sharing contract as stft_workspace().
+  ShadowScratch& shadow_scratch() { return scratch_; }
 
  private:
   audio::Waveform ProcessChunk(audio::Waveform chunk);
@@ -98,9 +121,17 @@ class StreamingProcessor {
   std::size_t chunk_samples_;
   audio::Waveform buffer_;
   ModuleTimings timings_;
-  /// Reused STFT/ISTFT scratch — the per-chunk hot path allocates nothing
-  /// after the first chunk. Processors are single-threaded by contract.
-  dsp::StftWorkspace stft_ws_;
+  /// Reused per-chunk scratch (DESIGN.md §5i) — the hot path allocates
+  /// nothing after the first chunk. Processors are single-threaded by
+  /// contract.
+  ShadowScratch scratch_;
+  /// Cached modulation resampler taps (16 kHz baseband → air rate).
+  dsp::ResamplerPlan resample_plan_;
+  /// Reused Push-path buffers: popped chunk, baseband shadow, modulated
+  /// output of the chunk in flight.
+  audio::Waveform chunk_wave_;
+  audio::Waveform shadow_wave_;
+  audio::Waveform modulated_wave_;
   /// Stream-wide modulation reference, latched from the first non-silent
   /// shadow chunk when options().modulation.reference_peak is 0. One gain
   /// for the whole stream keeps the emitted power coefficient from

@@ -9,32 +9,44 @@
 
 namespace nec::dsp {
 
-audio::Waveform Resample(const audio::Waveform& input, int target_rate,
-                         std::size_t taps_per_phase) {
-  NEC_CHECK_MSG(target_rate > 0, "target rate must be positive");
-  NEC_CHECK_MSG(input.sample_rate() > 0, "input must have a sample rate");
-  if (input.sample_rate() == target_rate) return input;
-  if (input.empty()) return audio::Waveform(target_rate, std::size_t{0});
-
-  const int src = input.sample_rate();
-  const int g = std::gcd(src, target_rate);
-  const std::size_t L = static_cast<std::size_t>(target_rate / g);  // up
-  const std::size_t M = static_cast<std::size_t>(src / g);          // down
+void ResamplerPlan::Bind(int src, int target, std::size_t tpp) {
+  if (src_rate == src && target_rate == target && taps_per_phase == tpp) {
+    return;
+  }
+  const int g = std::gcd(src, target);
+  up = static_cast<std::size_t>(target / g);
+  down = static_cast<std::size_t>(src / g);
 
   // Anti-alias / anti-image low-pass at min(src, target)/2, designed at the
   // upsampled rate src*L. Cut slightly below Nyquist for transition band.
-  const double fs_up = static_cast<double>(src) * L;
-  const double cutoff = 0.45 * std::min(src, target_rate);
-  std::size_t num_taps = taps_per_phase * std::max(L, M);
+  const double fs_up = static_cast<double>(src) * up;
+  const double cutoff = 0.45 * std::min(src, target);
+  std::size_t num_taps = tpp * std::max(up, down);
   if (num_taps % 2 == 0) ++num_taps;
-  const std::vector<float> taps = DesignFirLowPass(num_taps, cutoff, fs_up);
+  taps = DesignFirLowPass(num_taps, cutoff, fs_up);
+
+  src_rate = src;
+  target_rate = target;
+  taps_per_phase = tpp;
+}
+
+namespace {
+
+/// Shared polyphase kernel: both Resample entry points run this exact loop
+/// over plan-held taps, so plan-cached and plan-free conversion stay
+/// bit-identical by construction.
+void PolyphaseFilter(const audio::Waveform& input, const ResamplerPlan& plan,
+                     audio::Waveform& out) {
+  const std::size_t L = plan.up;
+  const std::size_t M = plan.down;
+  const std::vector<float>& taps = plan.taps;
 
   // Polyphase decomposition: tap j belongs to phase j % L. Output sample n
   // lands at upsampled index u = n*M; contribution comes from input samples
   // k with u - k*L inside the kernel. Gain L compensates zero-stuffing loss.
   const std::size_t out_len =
       (input.size() * L + M - 1) / M;  // ceil(input*L/M)
-  audio::Waveform out(target_rate, out_len);
+  out.AssignSilence(plan.target_rate, out_len);
   const auto x = input.samples();
   const std::ptrdiff_t delay =
       static_cast<std::ptrdiff_t>(taps.size() / 2);  // group delay
@@ -56,6 +68,32 @@ audio::Waveform Resample(const audio::Waveform& input, int target_rate,
     }
     out[n] = gain * static_cast<float>(acc);
   }
+}
+
+}  // namespace
+
+void ResampleInto(const audio::Waveform& input, int target_rate,
+                  ResamplerPlan& plan, audio::Waveform& out,
+                  std::size_t taps_per_phase) {
+  NEC_CHECK_MSG(target_rate > 0, "target rate must be positive");
+  NEC_CHECK_MSG(input.sample_rate() > 0, "input must have a sample rate");
+  if (input.sample_rate() == target_rate) {
+    out = input;
+    return;
+  }
+  if (input.empty()) {
+    out.AssignSilence(target_rate, 0);
+    return;
+  }
+  plan.Bind(input.sample_rate(), target_rate, taps_per_phase);
+  PolyphaseFilter(input, plan, out);
+}
+
+audio::Waveform Resample(const audio::Waveform& input, int target_rate,
+                         std::size_t taps_per_phase) {
+  ResamplerPlan plan;
+  audio::Waveform out;
+  ResampleInto(input, target_rate, plan, out, taps_per_phase);
   return out;
 }
 

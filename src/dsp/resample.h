@@ -20,4 +20,29 @@ namespace nec::dsp {
 audio::Waveform Resample(const audio::Waveform& input, int target_rate,
                          std::size_t taps_per_phase = 24);
 
+/// Cached polyphase filter for a fixed (source rate, target rate,
+/// taps_per_phase) conversion. Binds lazily on first use and rebinds if the
+/// rates change; the tap values are produced by the exact same design call
+/// as the plan-free Resample, so the two paths are bit-identical. Designing
+/// the FIR dominates per-call cost (and allocates), so the streaming hot
+/// path keeps one plan per modulation direction and reuses it every chunk.
+struct ResamplerPlan {
+  /// Ensures the cached taps match the conversion (no-op when warm).
+  void Bind(int src_rate, int target_rate, std::size_t taps_per_phase);
+
+  int src_rate = 0;
+  int target_rate = 0;
+  std::size_t taps_per_phase = 0;
+  std::size_t up = 0;    ///< L: interpolation factor
+  std::size_t down = 0;  ///< M: decimation factor
+  std::vector<float> taps;
+};
+
+/// Resample into a caller-owned output buffer, reusing `plan`'s cached
+/// taps. Bit-identical to the plan-free overload; with a warm plan and a
+/// steady-state `out` the call performs no allocation.
+void ResampleInto(const audio::Waveform& input, int target_rate,
+                  ResamplerPlan& plan, audio::Waveform& out,
+                  std::size_t taps_per_phase = 24);
+
 }  // namespace nec::dsp

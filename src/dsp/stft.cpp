@@ -42,16 +42,23 @@ double Spectrogram::Energy() const {
   return acc;
 }
 
-Spectrogram Stft(const audio::Waveform& wave, const StftConfig& config,
-                 StftWorkspace& ws) {
+void Spectrogram::Resize(std::size_t num_frames, std::size_t num_bins) {
+  num_frames_ = num_frames;
+  num_bins_ = num_bins;
+  mag_.assign(num_frames * num_bins, 0.0f);
+  phase_.assign(num_frames * num_bins, 0.0f);
+}
+
+void Stft(const audio::Waveform& wave, const StftConfig& config,
+          StftWorkspace& ws, Spectrogram& out) {
   NEC_CHECK_MSG(config.fft_size >= config.win_length,
                 "fft_size must be >= win_length");
   NEC_CHECK_MSG(config.hop_length >= 1, "hop_length must be >= 1");
 
   const std::size_t frames = config.NumFrames(wave.size());
   const std::size_t bins = config.num_bins();
-  Spectrogram spec(frames, bins);
-  if (frames == 0) return spec;
+  out.Resize(frames, bins);
+  if (frames == 0) return;
 
   ws.Bind(config);
   const auto samples = wave.samples();
@@ -65,10 +72,16 @@ Spectrogram Stft(const audio::Waveform& wave, const StftConfig& config,
     }
     RealFft(ws.frame, *ws.plan, ws.half, ws.fft);
     for (std::size_t f = 0; f < bins; ++f) {
-      spec.MagAt(t, f) = std::abs(ws.half[f]);
-      spec.PhaseAt(t, f) = std::arg(ws.half[f]);
+      out.MagAt(t, f) = std::abs(ws.half[f]);
+      out.PhaseAt(t, f) = std::arg(ws.half[f]);
     }
   }
+}
+
+Spectrogram Stft(const audio::Waveform& wave, const StftConfig& config,
+                 StftWorkspace& ws) {
+  Spectrogram spec;
+  Stft(wave, config, ws, spec);
   return spec;
 }
 
@@ -79,11 +92,11 @@ Spectrogram Stft(const audio::Waveform& wave, const StftConfig& config) {
 
 namespace {
 
-audio::Waveform IstftImpl(const std::vector<float>& mag,
-                          const std::vector<float>& phase,
-                          std::size_t num_frames, std::size_t num_bins,
-                          const StftConfig& config, int sample_rate,
-                          std::size_t num_samples, StftWorkspace& ws) {
+void IstftImplInto(const std::vector<float>& mag,
+                   const std::vector<float>& phase, std::size_t num_frames,
+                   std::size_t num_bins, const StftConfig& config,
+                   int sample_rate, std::size_t num_samples,
+                   StftWorkspace& ws, audio::Waveform& out) {
   NEC_CHECK(num_bins == config.num_bins());
   const std::size_t natural_len =
       num_frames == 0 ? 0
@@ -91,7 +104,7 @@ audio::Waveform IstftImpl(const std::vector<float>& mag,
                             config.win_length;
   const std::size_t out_len = num_samples > 0 ? num_samples : natural_len;
 
-  audio::Waveform out(sample_rate, std::max<std::size_t>(out_len, 1));
+  out.AssignSilence(sample_rate, std::max<std::size_t>(out_len, 1));
   ws.Bind(config);
   ws.acc.assign(natural_len, 0.0);
   ws.wsum.assign(natural_len, 0.0);
@@ -125,7 +138,6 @@ audio::Waveform IstftImpl(const std::vector<float>& mag,
     out[i] = static_cast<float>(ws.acc[i] / std::max(ws.wsum[i], kWsumFloor));
   }
   out.ResizeTo(out_len);
-  return out;
 }
 
 }  // namespace
@@ -133,8 +145,10 @@ audio::Waveform IstftImpl(const std::vector<float>& mag,
 audio::Waveform Istft(const Spectrogram& spec, const StftConfig& config,
                       int sample_rate, std::size_t num_samples,
                       StftWorkspace& ws) {
-  return IstftImpl(spec.mag(), spec.phase(), spec.num_frames(),
-                   spec.num_bins(), config, sample_rate, num_samples, ws);
+  audio::Waveform out;
+  IstftImplInto(spec.mag(), spec.phase(), spec.num_frames(),
+                spec.num_bins(), config, sample_rate, num_samples, ws, out);
+  return out;
 }
 
 audio::Waveform Istft(const Spectrogram& spec, const StftConfig& config,
@@ -143,16 +157,27 @@ audio::Waveform Istft(const Spectrogram& spec, const StftConfig& config,
   return Istft(spec, config, sample_rate, num_samples, ws);
 }
 
+void IstftWithPhaseInto(const std::vector<float>& mag,
+                        const Spectrogram& phase_donor,
+                        const StftConfig& config, int sample_rate,
+                        std::size_t num_samples, StftWorkspace& ws,
+                        audio::Waveform& out) {
+  NEC_CHECK_MSG(
+      mag.size() == phase_donor.mag().size(),
+      "magnitude surface shape must match phase donor spectrogram");
+  IstftImplInto(mag, phase_donor.phase(), phase_donor.num_frames(),
+                phase_donor.num_bins(), config, sample_rate, num_samples, ws,
+                out);
+}
+
 audio::Waveform IstftWithPhase(const std::vector<float>& mag,
                                const Spectrogram& phase_donor,
                                const StftConfig& config, int sample_rate,
                                std::size_t num_samples, StftWorkspace& ws) {
-  NEC_CHECK_MSG(
-      mag.size() == phase_donor.mag().size(),
-      "magnitude surface shape must match phase donor spectrogram");
-  return IstftImpl(mag, phase_donor.phase(), phase_donor.num_frames(),
-                   phase_donor.num_bins(), config, sample_rate, num_samples,
-                   ws);
+  audio::Waveform out;
+  IstftWithPhaseInto(mag, phase_donor, config, sample_rate, num_samples, ws,
+                     out);
+  return out;
 }
 
 audio::Waveform IstftWithPhase(const std::vector<float>& mag,

@@ -90,6 +90,12 @@ class Spectrogram {
   /// Total energy (sum of squared magnitudes).
   double Energy() const;
 
+  /// Re-dimensions in place to `num_frames` x `num_bins`, zero-filling both
+  /// surfaces and reusing capacity. Same post-state as constructing a fresh
+  /// Spectrogram(num_frames, num_bins), minus the allocations once the
+  /// buffers have grown to steady-state size.
+  void Resize(std::size_t num_frames, std::size_t num_bins);
+
  private:
   std::size_t num_frames_ = 0;
   std::size_t num_bins_ = 0;
@@ -103,6 +109,12 @@ Spectrogram Stft(const audio::Waveform& wave, const StftConfig& config);
 /// Forward STFT reusing `ws` (allocation-free after the first call).
 Spectrogram Stft(const audio::Waveform& wave, const StftConfig& config,
                  StftWorkspace& ws);
+
+/// Forward STFT into a caller-owned spectrogram (resized in place). With a
+/// warm `ws` and an `out` that has already seen this frame count, the call
+/// performs no allocation — the streaming per-chunk path.
+void Stft(const audio::Waveform& wave, const StftConfig& config,
+          StftWorkspace& ws, Spectrogram& out);
 
 /// Inverse STFT with windowed overlap-add and window-square normalization.
 /// `num_samples` trims/pads the reconstruction to an exact length
@@ -128,5 +140,13 @@ audio::Waveform IstftWithPhase(const std::vector<float>& mag,
                                const Spectrogram& phase_donor,
                                const StftConfig& config, int sample_rate,
                                std::size_t num_samples, StftWorkspace& ws);
+
+/// IstftWithPhase into a caller-owned waveform (rebound in place; capacity
+/// reused, so a warm workspace + steady-state `out` means no allocation).
+void IstftWithPhaseInto(const std::vector<float>& mag,
+                        const Spectrogram& phase_donor,
+                        const StftConfig& config, int sample_rate,
+                        std::size_t num_samples, StftWorkspace& ws,
+                        audio::Waveform& out);
 
 }  // namespace nec::dsp

@@ -414,7 +414,9 @@ Tensor Linear::Backward(const Tensor& grad_output) {
 
 Tensor ReLU::Infer(const Tensor& input) const {
   Tensor out = input;
-  for (float& v : out.vec()) v = v > 0.0f ? v : 0.0f;
+  float* o = out.data();
+  for (std::size_t i = 0; i < out.numel(); ++i)
+    o[i] = o[i] > 0.0f ? o[i] : 0.0f;
   return out;
 }
 
@@ -437,7 +439,9 @@ Tensor ReLU::Backward(const Tensor& grad_output) {
 
 Tensor Sigmoid::Infer(const Tensor& input) const {
   Tensor out = input;
-  for (float& v : out.vec()) v = 1.0f / (1.0f + std::exp(-v));
+  float* o = out.data();
+  for (std::size_t i = 0; i < out.numel(); ++i)
+    o[i] = 1.0f / (1.0f + std::exp(-o[i]));
   return out;
 }
 
@@ -464,7 +468,8 @@ Tensor Sigmoid::Backward(const Tensor& grad_output) {
 
 Tensor Tanh::Infer(const Tensor& input) const {
   Tensor out = input;
-  for (float& v : out.vec()) v = std::tanh(v);
+  float* o = out.data();
+  for (std::size_t i = 0; i < out.numel(); ++i) o[i] = std::tanh(o[i]);
   return out;
 }
 

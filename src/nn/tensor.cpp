@@ -1,74 +1,131 @@
 #include "nn/tensor.h"
 
 #include <cmath>
+#include <cstring>
+#include <utility>
 
 #include "common/check.h"
 
 namespace nec::nn {
-namespace {
 
-std::size_t Product(const std::vector<std::size_t>& shape) {
-  std::size_t n = 1;
-  for (std::size_t d : shape) n *= d;
-  return n;
+void Tensor::AllocateStorage() {
+  numel_ = shape_.numel();
+  if (core::Arena* arena = core::ArenaScope::Current()) {
+    arena_backed_ = true;
+    data_ = arena->AllocateArray<float>(numel_);
+    std::memset(data_, 0, numel_ * sizeof(float));
+  } else {
+    arena_backed_ = false;
+    owned_.assign(numel_, 0.0f);
+    data_ = owned_.data();
+  }
 }
 
-}  // namespace
-
-Tensor::Tensor(std::vector<std::size_t> shape)
-    : shape_(std::move(shape)), data_(Product(shape_), 0.0f) {
+Tensor::Tensor(const Shape& shape) : shape_(shape) {
   NEC_CHECK_MSG(!shape_.empty(), "tensor rank must be >= 1");
+  AllocateStorage();
 }
 
 Tensor::Tensor(std::initializer_list<std::size_t> shape)
-    : Tensor(std::vector<std::size_t>(shape)) {}
+    : Tensor(Shape(shape)) {}
 
-Tensor Tensor::Zeros(std::vector<std::size_t> shape) {
-  return Tensor(std::move(shape));
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+  if (other.numel_ == 0 && other.shape_.empty()) return;
+  AllocateStorage();
+  std::memcpy(data_, other.data_, numel_ * sizeof(float));
 }
 
-Tensor Tensor::Randn(std::vector<std::size_t> shape, Rng& rng,
-                     float stddev) {
-  Tensor t(std::move(shape));
-  for (float& v : t.data_) v = rng.GaussianF(0.0f, stddev);
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  if (numel_ == other.numel_ && numel_ != 0) {
+    // Storage fits exactly: keep this tensor's mode, copy in place.
+    shape_ = other.shape_;
+    std::memcpy(data_, other.data_, numel_ * sizeof(float));
+    return *this;
+  }
+  shape_ = other.shape_;
+  if (other.numel_ == 0 && other.shape_.empty()) {
+    data_ = nullptr;
+    numel_ = 0;
+    arena_backed_ = false;
+    owned_.clear();
+    return *this;
+  }
+  AllocateStorage();
+  std::memcpy(data_, other.data_, numel_ * sizeof(float));
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(other.shape_),
+      data_(other.data_),
+      numel_(other.numel_),
+      arena_backed_(other.arena_backed_),
+      owned_(std::move(other.owned_)) {
+  if (!arena_backed_) data_ = owned_.data();
+  other.shape_ = Shape();
+  other.data_ = nullptr;
+  other.numel_ = 0;
+  other.arena_backed_ = false;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  numel_ = other.numel_;
+  arena_backed_ = other.arena_backed_;
+  owned_ = std::move(other.owned_);
+  data_ = arena_backed_ ? other.data_ : owned_.data();
+  other.shape_ = Shape();
+  other.data_ = nullptr;
+  other.numel_ = 0;
+  other.arena_backed_ = false;
+  return *this;
+}
+
+Tensor Tensor::Zeros(const Shape& shape) { return Tensor(shape); }
+
+Tensor Tensor::Randn(const Shape& shape, Rng& rng, float stddev) {
+  Tensor t(shape);
+  for (std::size_t i = 0; i < t.numel_; ++i)
+    t.data_[i] = rng.GaussianF(0.0f, stddev);
   return t;
 }
 
-Tensor Tensor::KaimingNormal(std::vector<std::size_t> shape, Rng& rng,
+Tensor Tensor::KaimingNormal(const Shape& shape, Rng& rng,
                              std::size_t fan_in) {
   NEC_CHECK(fan_in > 0);
   const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
-  return Randn(std::move(shape), rng, stddev);
+  return Randn(shape, rng, stddev);
 }
 
 void Tensor::Fill(float v) {
-  for (float& x : data_) x = v;
+  for (std::size_t i = 0; i < numel_; ++i) data_[i] = v;
 }
 
-void Tensor::Reshape(std::vector<std::size_t> shape) {
-  NEC_CHECK_MSG(Product(shape) == data_.size(),
-                "reshape element count mismatch");
-  shape_ = std::move(shape);
+void Tensor::Reshape(const Shape& shape) {
+  NEC_CHECK_MSG(shape.numel() == numel_, "reshape element count mismatch");
+  shape_ = shape;
 }
 
 void Tensor::Add(const Tensor& other) {
   NEC_CHECK(other.numel() == numel());
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  for (std::size_t i = 0; i < numel_; ++i) data_[i] += other.data_[i];
 }
 
 void Tensor::AddScaled(const Tensor& other, float s) {
   NEC_CHECK(other.numel() == numel());
-  for (std::size_t i = 0; i < data_.size(); ++i)
-    data_[i] += s * other.data_[i];
+  for (std::size_t i = 0; i < numel_; ++i) data_[i] += s * other.data_[i];
 }
 
 void Tensor::Scale(float s) {
-  for (float& x : data_) x *= s;
+  for (std::size_t i = 0; i < numel_; ++i) data_[i] *= s;
 }
 
 float Tensor::Norm() const {
   double acc = 0.0;
-  for (float x : data_) acc += static_cast<double>(x) * x;
+  for (std::size_t i = 0; i < numel_; ++i)
+    acc += static_cast<double>(data_[i]) * data_[i];
   return static_cast<float>(std::sqrt(acc));
 }
 

@@ -1,44 +1,84 @@
 // Minimal dense float tensor for the NEC neural network substrate.
 //
-// Row-major, arbitrary rank. The selector network only needs rank 2 (frames
-// × features) and rank 3 (channels × frames × bins) views, so the type stays
-// deliberately simple: no strides, no broadcasting, no views. Shapes are
-// checked with NEC_CHECK at the API boundary.
+// Row-major, arbitrary rank up to 4. The selector network only needs rank
+// 2 (frames × features) through rank 4 (batched conv) access, so the type
+// stays deliberately simple: no strides, no broadcasting.
+//
+// Storage modes (DESIGN.md §5i): a Tensor constructed while an
+// core::ArenaScope is active on the thread takes NON-OWNING storage from
+// that arena — allocation is a pointer bump and the storage is reclaimed
+// wholesale when the scope rewinds at the chunk boundary. Outside a scope
+// (weights, model cache, training, serialization) it owns a
+// std::vector<float> exactly as before. The shape is stored inline
+// (core::Shape), so no construction path touches the heap for metadata.
+// Arena-backed tensors must not outlive their scope; results that escape
+// a chunk are copied into caller-owned storage first.
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <initializer_list>
 #include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/memory.h"
 
 namespace nec::nn {
+
+using core::Shape;
+using core::TensorView;
 
 class Tensor {
  public:
   Tensor() = default;
-  explicit Tensor(std::vector<std::size_t> shape);
+  explicit Tensor(const Shape& shape);
   Tensor(std::initializer_list<std::size_t> shape);
 
-  static Tensor Zeros(std::vector<std::size_t> shape);
+  /// Copy allocates by the *current* policy (arena if a scope is active,
+  /// owning otherwise) and memcpys — copying under a scope never inherits
+  /// the source's storage mode.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor() = default;
+
+  static Tensor Zeros(const Shape& shape);
   /// Gaussian init with the given standard deviation.
-  static Tensor Randn(std::vector<std::size_t> shape, Rng& rng,
-                      float stddev);
+  static Tensor Randn(const Shape& shape, Rng& rng, float stddev);
   /// Kaiming/He initialization for a layer with `fan_in` inputs.
-  static Tensor KaimingNormal(std::vector<std::size_t> shape, Rng& rng,
+  static Tensor KaimingNormal(const Shape& shape, Rng& rng,
                               std::size_t fan_in);
 
-  const std::vector<std::size_t>& shape() const { return shape_; }
-  std::size_t rank() const { return shape_.size(); }
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.rank(); }
   std::size_t dim(std::size_t i) const { return shape_[i]; }
-  std::size_t numel() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  std::size_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+  /// True when the storage is a bump-arena slice (non-owning).
+  bool arena_backed() const { return arena_backed_; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  std::vector<float>& vec() { return data_; }
-  const std::vector<float>& vec() const { return data_; }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+
+  /// Owning-mode escape hatch for serialization/enrollment code that
+  /// moves or swaps the underlying vector. NEC_CHECK's owning storage —
+  /// hot-path code must use data()/numel() instead.
+  std::vector<float>& vec() {
+    NEC_CHECK_MSG(!arena_backed_, "Tensor::vec() on arena-backed storage");
+    return owned_;
+  }
+  const std::vector<float>& vec() const {
+    NEC_CHECK_MSG(!arena_backed_, "Tensor::vec() on arena-backed storage");
+    return owned_;
+  }
+
+  /// Non-owning shaped view of the whole tensor (aliases storage).
+  TensorView View() { return TensorView(data_, shape_); }
+  /// Rank-(R-1) aliasing view of item `i` along the leading dimension —
+  /// the gather/scatter slice used for batch assembly.
+  TensorView Sub(std::size_t i) { return View().Sub(i); }
 
   float& operator[](std::size_t i) { return data_[i]; }
   float operator[](std::size_t i) const { return data_[i]; }
@@ -78,7 +118,7 @@ class Tensor {
 
   void Fill(float v);
   /// Reinterprets the buffer with a new shape of identical element count.
-  void Reshape(std::vector<std::size_t> shape);
+  void Reshape(const Shape& shape);
 
   /// Elementwise in-place operations.
   void Add(const Tensor& other);          // this += other
@@ -89,6 +129,11 @@ class Tensor {
   float Norm() const;
 
  private:
+  /// Binds storage for `numel` elements per the ambient policy and
+  /// zero-fills it (both modes: construction semantics are identical, so
+  /// arena-backed inference stays bit-identical to the heap path).
+  void AllocateStorage();
+
   void CheckAt2([[maybe_unused]] std::size_t r,
                 [[maybe_unused]] std::size_t c) const {
     NEC_DCHECK_MSG(rank() == 2, "Tensor::At on rank-" << rank());
@@ -117,8 +162,11 @@ class Tensor {
                        << ", " << shape_[2] << ", " << shape_[3] << ")");
   }
 
-  std::vector<std::size_t> shape_;
-  std::vector<float> data_;
+  Shape shape_;
+  float* data_ = nullptr;
+  std::size_t numel_ = 0;
+  bool arena_backed_ = false;
+  std::vector<float> owned_;  // bound to data_ in owning mode, else empty
 };
 
 }  // namespace nec::nn

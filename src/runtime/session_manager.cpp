@@ -201,7 +201,8 @@ void SessionManager::RunStrand(Session* s) {
     s->proc.BufferSamples(take);
     bool faulted = false;
     while (s->proc.HasFullChunk()) {
-      if (!ProcessOneChunk(s, s->proc.PopChunk(), ready)) {
+      s->proc.PopChunkInto(s->chunk_buf);
+      if (!ProcessOneChunk(s, s->chunk_buf, ready)) {
         faulted = true;  // FaultSession already shed inbox + running
         break;
       }
@@ -244,27 +245,31 @@ void SessionManager::RunStrandBatched(Session* s) {
   FinishStrand();
 }
 
-audio::Waveform SessionManager::GenerateShadowAtLevel(
-    Session* s, const audio::Waveform& chunk, DegradeLevel level) {
+void SessionManager::GenerateShadowAtLevelInto(Session* s,
+                                               const audio::Waveform& chunk,
+                                               DegradeLevel level,
+                                               audio::Waveform& out) {
   switch (level) {
     case DegradeLevel::kNeural:
-      return s->pipeline.GenerateShadow(chunk, core::SelectorKind::kNeural,
-                                        &s->proc.stft_workspace());
+      s->pipeline.GenerateShadowInto(chunk, core::SelectorKind::kNeural,
+                                     s->proc.shadow_scratch(), out);
+      return;
     case DegradeLevel::kLasFallback:
-      return s->pipeline.GenerateShadow(chunk, core::SelectorKind::kLasMask,
-                                        &s->proc.stft_workspace());
+      s->pipeline.GenerateShadowInto(chunk, core::SelectorKind::kLasMask,
+                                     s->proc.shadow_scratch(), out);
+      return;
     case DegradeLevel::kSilence:
       // Passthrough rung: an all-zero shadow modulates to silence — no
       // cancellation, but the stream keeps its cadence and the ladder can
       // probe back up.
-      return audio::Waveform(chunk.sample_rate(), chunk.size());
+      out.AssignSilence(chunk.sample_rate(), chunk.size());
+      return;
   }
   NEC_CHECK_MSG(false, "unreachable degrade level");
-  return audio::Waveform();
 }
 
 bool SessionManager::ProcessOneChunk(
-    Session* s, audio::Waveform chunk,
+    Session* s, const audio::Waveform& chunk,
     std::chrono::steady_clock::time_point ready) {
   bool probe = false;
   DegradeLevel level = DegradeLevel::kNeural;
@@ -278,15 +283,15 @@ bool SessionManager::ProcessOneChunk(
     try {
       const auto t0 = std::chrono::steady_clock::now();
       FaultInjector::Global().OnSite("strand.chunk", s->id);
-      audio::Waveform shadow = GenerateShadowAtLevel(s, chunk, level);
+      GenerateShadowAtLevelInto(s, chunk, level, s->shadow_buf);
       const double selector_ms = MsSince(t0);
-      audio::Waveform modulated =
-          s->proc.CompleteShadowChunk(std::move(shadow), selector_ms);
+      s->proc.CompleteShadowChunkInto(s->shadow_buf, selector_ms,
+                                      s->mod_buf);
       const double total_ms = MsSince(t0);
       stats_.AddChunk(total_ms);
       stats_.AddChunkE2E(MsSince(ready));
       std::lock_guard lock(s->mu);
-      s->output.Append(modulated);
+      s->output.Append(s->mod_buf);
       ++s->chunk_count;
       UpdateWatchdogLocked(s, level, probe, total_ms);
       return true;
@@ -395,8 +400,8 @@ void SessionManager::RunBatch(std::vector<ContinuousBatcher::Item>&& items) {
           break;
         }
         try {
-          audio::Waveform modulated = s->proc.CompleteShadowChunk(
-              std::move(*shadows[i]), selector_ms_each);
+          s->proc.CompleteShadowChunkInto(*shadows[i], selector_ms_each,
+                                          s->mod_buf);
           // Chunk latency keeps its PR 2 meaning — processing time, not
           // queue wait: batch dispatch start → this chunk's completion.
           // End-to-end latency is the honest one: batcher enqueue → this
@@ -405,7 +410,7 @@ void SessionManager::RunBatch(std::vector<ContinuousBatcher::Item>&& items) {
           stats_.AddChunk(total_ms);
           stats_.AddChunkE2E(MsSince(items[i].enqueued));
           std::lock_guard lock(s->mu);
-          s->output.Append(modulated);
+          s->output.Append(s->mod_buf);
           ++s->chunk_count;
           UpdateWatchdogLocked(s, DegradeLevel::kNeural, /*probe=*/false,
                                total_ms);
@@ -417,7 +422,7 @@ void SessionManager::RunBatch(std::vector<ContinuousBatcher::Item>&& items) {
         // Degraded (or probing) session: generate on the claiming
         // dispatcher so completion order stays FIFO. ProcessOneChunk owns
         // retries, the ladder, and the fault transition.
-        ProcessOneChunk(s, std::move(items[i].chunk), items[i].enqueued);
+        ProcessOneChunk(s, items[i].chunk, items[i].enqueued);
         break;
     }
     // Flow arrow head: ties this chunk's completion (or shedding) back to
@@ -482,7 +487,7 @@ void SessionManager::HandleGenerationError(
     if (stepped) {
       // Regenerate this very chunk at the lower rung — the stream loses
       // no samples on a degrade transition.
-      ProcessOneChunk(s, std::move(chunk), ready);
+      ProcessOneChunk(s, chunk, ready);
       return;
     }
   }

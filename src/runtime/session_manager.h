@@ -255,6 +255,13 @@ class SessionManager {
     core::StreamingProcessor proc;  ///< strand-owned, see header comment
     const SessionId id;             ///< fault-injection key + status
 
+    /// Per-chunk reuse buffers for the Into hot path (popped chunk,
+    /// generated shadow, modulated output). Same exclusivity contract as
+    /// `proc`: touched only by the strand or the dispatcher holding the
+    /// session's lane, so steady-state chunks recycle their capacity
+    /// instead of allocating.
+    audio::Waveform chunk_buf, shadow_buf, mod_buf;
+
     std::mutex mu;
     std::deque<float> inbox;   ///< guarded by mu
     /// When the inbox last went empty → non-empty: the arrival time of the
@@ -291,11 +298,13 @@ class SessionManager {
   /// and anchors the end-to-end latency record. Returns false iff the
   /// session faulted. Runs on the strand (unbatched) or the owning
   /// dispatch thread (batched, degraded/poisoned items).
-  bool ProcessOneChunk(Session* session, audio::Waveform chunk,
+  bool ProcessOneChunk(Session* session, const audio::Waveform& chunk,
                        std::chrono::steady_clock::time_point ready);
-  audio::Waveform GenerateShadowAtLevel(Session* session,
-                                        const audio::Waveform& chunk,
-                                        DegradeLevel level);
+  /// Generates the shadow at `level` into the session's reuse buffer
+  /// (session->shadow_buf via caller) — the zero-allocation strand path.
+  void GenerateShadowAtLevelInto(Session* session,
+                                 const audio::Waveform& chunk,
+                                 DegradeLevel level, audio::Waveform& out);
   /// Batched forward over [begin, end) with bisection: a sub-batch that
   /// throws is split until the poisoned item is isolated; its slot gets an
   /// error instead of a shadow, every other slot completes normally.

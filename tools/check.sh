@@ -15,6 +15,14 @@
 #                                    # the Chrome trace dump, and enforce
 #                                    # the disabled-tracing <2% overhead
 #                                    # guard on BENCH_hotpath.json
+#   CHECK_ALLOC=1 tools/check.sh     # also run the steady-state allocation
+#                                    # audit: bench_runtime_throughput with
+#                                    # the counting operator-new hook must
+#                                    # record 0 mallocs/chunk after warmup
+#                                    # on the arena/Into path, and the
+#                                    # `alloc` JSON section (smoke + the
+#                                    # committed BENCH_hotpath.json) must
+#                                    # carry honest before/after counts
 #   CHECK_NET=1 tools/check.sh       # also run the wire-codec fuzz tests
 #                                    # under ASan+UBSan, boot 2 shards + the
 #                                    # router on loopback, push a loadgen
@@ -33,11 +41,13 @@ BENCH_SMOKE="${CHECK_BENCH_SMOKE:-0}"
 FAULTS="${CHECK_FAULTS:-0}"
 OBS="${CHECK_OBS:-0}"
 NET="${CHECK_NET:-0}"
+ALLOC="${CHECK_ALLOC:-0}"
 STEPS=4
 [[ "${BENCH_SMOKE}" == "1" ]] && STEPS=$((STEPS + 1))
 [[ "${FAULTS}" == "1" ]] && STEPS=$((STEPS + 1))
 [[ "${OBS}" == "1" ]] && STEPS=$((STEPS + 1))
 [[ "${NET}" == "1" ]] && STEPS=$((STEPS + 1))
+[[ "${ALLOC}" == "1" ]] && STEPS=$((STEPS + 1))
 STEP=0
 step() { STEP=$((STEP + 1)); echo "== [${STEP}/${STEPS}] $1 =="; }
 
@@ -45,7 +55,7 @@ step "configure + build: Release"
 cmake -B build-check-release -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DNEC_NATIVE_ARCH=OFF \
-  -DNEC_BUILD_BENCH="$([[ "${BENCH_SMOKE}" == "1" || "${NET}" == "1" ]] && echo ON || echo OFF)" \
+  -DNEC_BUILD_BENCH="$([[ "${BENCH_SMOKE}" == "1" || "${NET}" == "1" || "${ALLOC}" == "1" ]] && echo ON || echo OFF)" \
   -DNEC_BUILD_EXAMPLES="$([[ "${OBS}" == "1" || "${NET}" == "1" ]] && echo ON || echo OFF)"
 cmake --build build-check-release -j "${JOBS}"
 
@@ -175,6 +185,57 @@ EOF
   }
   bench_validate "${SMOKE_JSON}" smoke
   bench_validate BENCH_hotpath.json committed
+fi
+
+if [[ "${ALLOC}" == "1" ]]; then
+  step "allocation audit: zero-malloc steady state on the arena/Into path"
+  # bench_runtime_throughput links bench/alloc_hook.cpp (counting operator
+  # new/delete). It runs the same chunk workload down both arms — the
+  # legacy value-returning path and the arena/Into path used by runtime
+  # strands — and exits non-zero unless the arena arm performs exactly 0
+  # heap allocations per chunk after warmup. The validator then re-checks
+  # the emitted `alloc` JSON section for honest before/after accounting,
+  # and the committed BENCH_hotpath.json for the same contract.
+  ALLOC_JSON="build-check-release/BENCH_alloc_smoke.json"
+  rm -f "${ALLOC_JSON}"
+  NEC_BENCH_SMOKE=1 NEC_BENCH_JSON="${ALLOC_JSON}" \
+    ./build-check-release/bench/bench_runtime_throughput
+  alloc_validate() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+committed = sys.argv[2] == "committed"
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert "alloc" in doc, "missing `alloc` section"
+al = doc["alloc"]
+for k in ("warmup_chunks", "measured_chunks", "before", "after",
+          "zero_alloc_steady_state"):
+    assert k in al, f"alloc section missing {k!r}"
+assert al["warmup_chunks"] >= 1, "alloc audit ran without warmup"
+assert al["measured_chunks"] >= 1, "alloc audit measured no chunks"
+for arm in ("before", "after"):
+    for k in ("path", "total_allocs", "allocs_per_chunk"):
+        assert k in al[arm], f"alloc.{arm} missing {k!r}"
+# Honest before/after accounting: the legacy arm must show the allocations
+# the refactor removed (otherwise the hook is not counting), and the
+# arena/Into arm must be exactly zero — not "small", zero.
+assert al["before"]["total_allocs"] > 0, \
+    "legacy arm recorded 0 allocs — counting hook not engaged"
+assert al["after"]["total_allocs"] == 0, \
+    f"arena path allocated: {al['after']['total_allocs']} allocs"
+assert al["after"]["allocs_per_chunk"] == 0, \
+    f"arena path allocs/chunk = {al['after']['allocs_per_chunk']}"
+assert al["zero_alloc_steady_state"] is True, \
+    "zero_alloc_steady_state flag not set"
+if committed:
+    assert not al.get("smoke"), "committed alloc section is smoke data"
+print(("committed" if committed else "alloc smoke") +
+      f": 0 mallocs/chunk on the arena path "
+      f"(legacy arm: {al['before']['allocs_per_chunk']:.1f}/chunk)")
+EOF
+  }
+  alloc_validate "${ALLOC_JSON}" smoke
+  alloc_validate BENCH_hotpath.json committed
 fi
 
 if [[ "${OBS}" == "1" ]]; then
