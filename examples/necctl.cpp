@@ -19,10 +19,15 @@
 //                  per-session health)
 //   necctl loadgen --endpoints host:port[,host:port...] [--sessions N]
 //                  [--connections C] [--chunks K] [--streams P] [--seed S]
-//                  [--max-seconds T] [--json]
+//                  [--max-seconds T] [--secret S] [--json]
 //                  drive N concurrent synthetic wire sessions against a
 //                  networked necd (shard or router) and report chunks/s +
-//                  latency quantiles
+//                  latency quantiles; --secret runs the v2 auth handshake
+//                  (rejections are reported as their own class, distinct
+//                  from refused/timeout)
+//   necctl drain   --url http://127.0.0.1:9464 --shard host:port
+//                  ask a router (via its metrics endpoint) to start a
+//                  zero-fault draining reshard of one shard
 //
 // Every subcommand works offline on WAV files — except `stats` and
 // `loadgen`, which talk to a live necd — so the pipeline can be
@@ -288,6 +293,7 @@ int CmdLoadgen(const Args& args) {
   options.stream_pool = std::stoul(args.Get("streams", "8"));
   options.seed = std::stoull(args.Get("seed", "1"));
   options.max_seconds = std::stod(args.Get("max-seconds", "120"));
+  options.secret = args.Get("secret", "");
 
   // In --json mode stdout must carry exactly the JSON object (callers
   // redirect it into a file), so the banner goes to stderr.
@@ -303,13 +309,15 @@ int CmdLoadgen(const Args& args) {
 
   if (emit_json) {
     std::printf(
-        "{\"ok\":%s,\"sessions_completed\":%zu,\"sessions_faulted\":%zu,"
+        "{\"ok\":%s,\"auth_rejected\":%s,\"sessions_completed\":%zu,"
+        "\"sessions_faulted\":%zu,\"sessions_auth_rejected\":%zu,"
         "\"chunks_acked\":%llu,\"wall_s\":%.3f,\"chunks_per_sec\":%.1f,"
         "\"latency_p50_ms\":%.2f,\"latency_p90_ms\":%.2f,"
         "\"latency_p99_ms\":%.2f,\"latency_max_ms\":%.2f,"
         "\"bytes_in\":%llu,\"bytes_out\":%llu}\n",
-        report.ok ? "true" : "false", report.sessions_completed,
-        report.sessions_faulted,
+        report.ok ? "true" : "false", report.auth_rejected ? "true" : "false",
+        report.sessions_completed, report.sessions_faulted,
+        report.sessions_auth_rejected,
         static_cast<unsigned long long>(report.chunks_acked), report.wall_s,
         report.chunks_per_sec, report.latency_p50_ms, report.latency_p90_ms,
         report.latency_p99_ms, report.latency_max_ms,
@@ -327,13 +335,48 @@ int CmdLoadgen(const Args& args) {
   return report.ok && report.sessions_faulted == 0 ? 0 : 1;
 }
 
+// Starts a zero-fault draining reshard through a router's metrics
+// endpoint (GET /drain?shard=host:port). Like `stats`, this goes through
+// the public HTTP surface — anything necctl can trigger, curl can too.
+int CmdDrain(const Args& args) {
+  const std::string url = args.Get("url", "http://127.0.0.1:9464");
+  const std::string shard = args.Get("shard", "");
+  if (shard.empty()) {
+    std::fprintf(stderr,
+                 "usage: necctl drain --url http://host:port --shard "
+                 "host:port\n");
+    return 2;
+  }
+  std::string host, path, error;
+  int port = 0;
+  if (!obs::ParseHttpUrl(url, &host, &port, &path)) {
+    std::fprintf(stderr, "necctl drain: malformed url: %s\n", url.c_str());
+    return 2;
+  }
+  obs::HttpGetOptions http_options;
+  http_options.connect_timeout_ms =
+      std::stoi(args.Get("connect-timeout-ms", "2000"));
+  http_options.read_timeout_ms =
+      std::stoi(args.Get("read-timeout-ms", "5000"));
+  std::string body;
+  int status = 0;
+  if (!obs::HttpGet(host, port, "/drain?shard=" + shard, &body, &status,
+                    &error, http_options)) {
+    std::fprintf(stderr, "necctl drain: %s:%d unreachable: %s\n",
+                 host.c_str(), port, error.c_str());
+    return 1;
+  }
+  std::printf("%s", body.c_str());
+  return status == 200 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: necctl <synth|noise|shadow|probe|devices|stats|"
-                 "loadgen> [flags]\n");
+                 "loadgen|drain> [flags]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -346,6 +389,7 @@ int main(int argc, char** argv) {
     if (cmd == "devices") return CmdDevices();
     if (cmd == "stats") return CmdStats(args);
     if (cmd == "loadgen") return CmdLoadgen(args);
+    if (cmd == "drain") return CmdDrain(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

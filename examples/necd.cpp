@@ -14,6 +14,14 @@
 //        [--metrics-port P] [--trace-out FILE]
 //        [--log-level trace|debug|info|warn|error|off] [--log-json]
 //        [--listen PORT] [--route SHARDS] [--model standard|tiny]
+//        [--secret S] [--saturate-depth N] [--recover-depth N]
+//
+// --secret arms the v2 auth handshake on whatever face(s) the process
+// serves: a --listen shard challenges its clients, a --route router both
+// challenges its clients and answers its shards' challenges. A router's
+// /drain?shard=host:port metrics endpoint starts a zero-fault draining
+// reshard; --saturate-depth/--recover-depth arm queue-depth admission
+// control (shed new sessions with typed kOverload, hysteretic recovery).
 //
 // The synthetic feed is real-time paced by default: each session receives
 // capture-callback-sized pieces at the audio rate, like a live microphone
@@ -118,6 +126,12 @@ struct Args {
   int listen_port = -1;  ///< >= 0: serve the wire protocol (0 = ephemeral)
   std::string route;     ///< "host:port:health,..." → router mode
   std::string model = "standard";  ///< standard (trained) | tiny (seeded)
+  std::string secret;    ///< shared secret for the v2 auth handshake
+  /// Router admission control (0 = disabled): shed new sessions from a
+  /// shard whose reported queue depth reaches saturate; readmit after
+  /// consecutive reports at/below recover.
+  std::uint64_t saturate_depth = 0;
+  std::uint64_t recover_depth = 0;
 };
 
 const char* PolicyName(nec::runtime::OverflowPolicy p) {
@@ -200,6 +214,12 @@ Args Parse(int argc, char** argv) {
       args.listen_port = static_cast<int>(std::strtol(next(), nullptr, 10));
     } else if (flag == "--route") {
       args.route = next();
+    } else if (flag == "--secret") {
+      args.secret = next();
+    } else if (flag == "--saturate-depth") {
+      args.saturate_depth = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--recover-depth") {
+      args.recover_depth = std::strtoull(next(), nullptr, 10);
     } else if (flag == "--model") {
       args.model = next();
       if (args.model != "standard" && args.model != "tiny") {
@@ -218,7 +238,9 @@ Args Parse(int argc, char** argv) {
                    "            [--log-level trace|debug|info|warn|error|"
                    "off]\n"
                    "            [--listen PORT] [--model standard|tiny]\n"
-                   "            [--route host:port:health_port,...]\n");
+                   "            [--route host:port:health_port,...]\n"
+                   "            [--secret S] [--saturate-depth N]\n"
+                   "            [--recover-depth N]\n");
       std::exit(flag == "--help" || flag == "-h" ? 0 : 2);
     }
   }
@@ -290,6 +312,11 @@ void PrintNetRows(const nec::net::NetStatsSnapshot& s) {
   std::printf("%-28s %12llu\n", "net sessions closed", u(s.sessions_closed));
   std::printf("%-28s %12llu\n", "net sessions faulted",
               u(s.sessions_faulted));
+  std::printf("%-28s %12llu\n", "net auth ok", u(s.auth_ok));
+  std::printf("%-28s %12llu\n", "net auth rejected", u(s.auth_rejected));
+  std::printf("%-28s %12llu\n", "net overload shed", u(s.overload_shed));
+  std::printf("%-28s %12llu\n", "net sessions migrated",
+              u(s.sessions_migrated));
 }
 
 /// necd --listen: serve the wire protocol until SIGINT/SIGTERM.
@@ -298,7 +325,8 @@ int RunListen(const Args& args) {
   core::StandardModel model = PickModel(args);
   runtime::SessionManager manager(model.selector, model.encoder, {},
                                   ManagerOptions(args));
-  net::NetServer server(&manager, {.port = args.listen_port});
+  net::NetServer server(&manager,
+                        {.port = args.listen_port, .secret = args.secret});
   std::string error;
   if (!server.Start(&error)) {
     std::fprintf(stderr, "necd: wire listener failed: %s\n", error.c_str());
@@ -425,6 +453,12 @@ int RunRouter(const Args& args) {
   using namespace nec;
   net::Router::Options options;
   options.port = std::max(args.listen_port, 0);
+  options.secret = args.secret;
+  if (args.saturate_depth > 0) {
+    options.saturate_queue_depth = args.saturate_depth;
+    options.recover_queue_depth =
+        args.recover_depth > 0 ? args.recover_depth : args.saturate_depth / 2;
+  }
   if (!ParseShardList(args.route, &options.shards)) {
     std::fprintf(stderr,
                  "necd: --route wants host:port:health_port[,...], got "
@@ -489,19 +523,53 @@ int RunRouter(const Args& args) {
         body += "{\"host\":\"" + status.spec.host + "\",\"port\":" +
                 std::to_string(status.spec.port) + ",\"health_port\":" +
                 std::to_string(status.spec.health_port) + ",\"up\":" +
-                (status.up ? "true" : "false") + ",\"sessions_active\":" +
+                (status.up ? "true" : "false") + ",\"saturated\":" +
+                (status.saturated ? "true" : "false") + ",\"draining\":" +
+                (status.draining ? "true" : "false") + ",\"drained\":" +
+                (status.drained ? "true" : "false") + ",\"sessions_active\":" +
                 std::to_string(status.sessions_active) +
                 ",\"sessions_assigned_total\":" +
                 std::to_string(status.sessions_assigned_total) +
+                ",\"sessions_migrated\":" +
+                std::to_string(status.sessions_migrated) +
                 ",\"ejections\":" + std::to_string(status.ejections) +
                 ",\"probes_ok\":" + std::to_string(status.probes_ok) +
                 ",\"probes_failed\":" + std::to_string(status.probes_failed) +
-                "}";
+                ",\"queue_depth\":" + std::to_string(status.queue_depth) +
+                ",\"overload_total\":" +
+                std::to_string(status.overload_total) + "}";
       }
       body += "]\n";
       obs::HttpResponse resp;
       resp.content_type = "application/json";
       resp.body = std::move(body);
+      return resp;
+    });
+    // Operational drain trigger: GET /drain?shard=host:port starts the
+    // zero-fault reshard (necctl drain wraps this). DrainShard only
+    // flips an atomic, so running on the HTTP thread is safe.
+    metrics.Handle("/drain", [&router](const std::string&,
+                                       const std::string& query) {
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      const std::string prefix = "shard=";
+      std::string label;
+      std::size_t at = query.find(prefix);
+      if (at != std::string::npos) {
+        label = query.substr(at + prefix.size());
+        const std::size_t amp = label.find('&');
+        if (amp != std::string::npos) label.resize(amp);
+      }
+      std::string error;
+      if (label.empty()) {
+        resp.status = 400;
+        resp.body = "{\"error\":\"missing ?shard=host:port\"}\n";
+      } else if (!router.DrainShard(label, &error)) {
+        resp.status = 404;
+        resp.body = "{\"error\":\"" + error + "\"}\n";
+      } else {
+        resp.body = "{\"status\":\"draining\",\"shard\":\"" + label + "\"}\n";
+      }
       return resp;
     });
     if (!metrics.Start({.host = "127.0.0.1", .port = args.metrics_port},
@@ -528,12 +596,16 @@ int RunRouter(const Args& args) {
   std::printf("------------------------------ shards "
               "------------------------------\n");
   for (const auto& status : router.ShardStatuses()) {
-    std::printf("%s:%d  up=%d sessions=%llu assigned=%llu ejections=%llu "
-                "probes_ok=%llu probes_failed=%llu\n",
+    std::printf("%s:%d  up=%d sat=%d drain=%d/%d sessions=%llu "
+                "assigned=%llu migrated=%llu ejections=%llu probes_ok=%llu "
+                "probes_failed=%llu\n",
                 status.spec.host.c_str(), status.spec.port, status.up ? 1 : 0,
+                status.saturated ? 1 : 0, status.draining ? 1 : 0,
+                status.drained ? 1 : 0,
                 static_cast<unsigned long long>(status.sessions_active),
                 static_cast<unsigned long long>(
                     status.sessions_assigned_total),
+                static_cast<unsigned long long>(status.sessions_migrated),
                 static_cast<unsigned long long>(status.ejections),
                 static_cast<unsigned long long>(status.probes_ok),
                 static_cast<unsigned long long>(status.probes_failed));

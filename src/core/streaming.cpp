@@ -135,6 +135,14 @@ void StreamingProcessor::Reset() {
   mod_reference_peak_ = 0.0;
 }
 
+void StreamingProcessor::RestoreStreamState(std::span<const float> tail,
+                                            double reference_peak) {
+  NEC_CHECK_MSG(buffer_.empty() && mod_reference_peak_ == 0.0,
+                "RestoreStreamState on a non-fresh processor");
+  buffer_.data().assign(tail.begin(), tail.end());
+  mod_reference_peak_ = reference_peak;
+}
+
 std::optional<audio::Waveform> StreamingProcessor::Flush() {
   if (buffer_.empty()) return std::nullopt;
   audio::Waveform chunk = buffer_.Slice(0, chunk_samples_);  // zero-padded

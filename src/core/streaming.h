@@ -97,6 +97,27 @@ class StreamingProcessor {
   /// long.
   void ProcessChunkInto(const audio::Waveform& chunk, audio::Waveform& out);
 
+  // --- Stream-state export/restore (fleet session migration; §5h).
+  //
+  // The complete mid-stream computational state is the buffered
+  // partial-chunk tail plus the modulation-reference latch: restoring
+  // both onto a fresh processor (same weights, same options) makes its
+  // future output bit-identical to the original continuing.
+
+  /// Buffered samples that have not yet formed a full chunk.
+  std::span<const float> buffered_samples() const {
+    return buffer_.samples();
+  }
+
+  /// The latched stream-wide modulation reference (0.0 = not latched).
+  double modulation_reference_peak() const { return mod_reference_peak_; }
+
+  /// Installs migrated stream state. The processor must be fresh (empty
+  /// buffer, unlatched reference) — migration restores onto a
+  /// newly-reset processor, never merges.
+  void RestoreStreamState(std::span<const float> tail,
+                          double reference_peak);
+
   const ModuleTimings& timings() const { return timings_; }
   std::size_t chunk_samples() const { return chunk_samples_; }
   SelectorKind kind() const { return kind_; }

@@ -1,0 +1,113 @@
+#include "net/auth.h"
+
+#include <atomic>
+#include <cstring>
+#include <random>
+
+namespace nec::net {
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+inline void SipRound(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                     std::uint64_t& v3) {
+  v0 += v1;
+  v1 = Rotl(v1, 13);
+  v1 ^= v0;
+  v0 = Rotl(v0, 32);
+  v2 += v3;
+  v3 = Rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = Rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = Rotl(v1, 17);
+  v1 ^= v2;
+  v2 = Rotl(v2, 32);
+}
+
+/// FNV-1a folded over the secret from a caller-chosen basis, so k0 and
+/// k1 are two independent 64-bit digests of the same secret.
+std::uint64_t FoldSecret(std::string_view secret, std::uint64_t basis) {
+  std::uint64_t h = basis;
+  for (const char c : secret) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;  // FNV prime
+  }
+  // Final avalanche (splitmix64 finalizer) so short secrets still spread
+  // across all 64 bits.
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t SipHash24(std::uint64_t k0, std::uint64_t k1,
+                        const std::uint8_t* data, std::size_t size) {
+  std::uint64_t v0 = k0 ^ 0x736F6D6570736575ull;
+  std::uint64_t v1 = k1 ^ 0x646F72616E646F6Dull;
+  std::uint64_t v2 = k0 ^ 0x6C7967656E657261ull;
+  std::uint64_t v3 = k1 ^ 0x7465646279746573ull;
+
+  const std::size_t whole = size & ~std::size_t{7};
+  for (std::size_t i = 0; i < whole; i += 8) {
+    std::uint64_t m = 0;
+    std::memcpy(&m, data + i, 8);  // little-endian targets only (wire order)
+    v3 ^= m;
+    SipRound(v0, v1, v2, v3);
+    SipRound(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  std::uint64_t last = static_cast<std::uint64_t>(size & 0xFF) << 56;
+  for (std::size_t i = whole; i < size; ++i) {
+    last |= static_cast<std::uint64_t>(data[i]) << (8 * (i - whole));
+  }
+  v3 ^= last;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  v0 ^= last;
+
+  v2 ^= 0xFF;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+std::uint64_t AuthTag(std::string_view secret, std::uint64_t nonce,
+                      std::uint64_t client_id) {
+  const std::uint64_t k0 = FoldSecret(secret, 0xCBF29CE484222325ull);
+  const std::uint64_t k1 = FoldSecret(secret, 0x6C62272E07BB0142ull);
+  std::uint8_t msg[16];
+  for (int i = 0; i < 8; ++i) {
+    msg[i] = static_cast<std::uint8_t>(nonce >> (8 * i));
+    msg[8 + i] = static_cast<std::uint8_t>(client_id >> (8 * i));
+  }
+  return SipHash24(k0, k1, msg, sizeof msg);
+}
+
+std::uint64_t RandomNonce() {
+  static std::atomic<std::uint64_t> counter{0};
+  std::random_device rd;
+  std::uint64_t n = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  n ^= counter.fetch_add(0x9E3779B97F4A7C15ull, std::memory_order_relaxed);
+  // splitmix64 finalizer: even a degenerate random_device cannot repeat
+  // a nonce within a process lifetime.
+  n ^= n >> 30;
+  n *= 0xBF58476D1CE4E5B9ull;
+  n ^= n >> 27;
+  n *= 0x94D049BB133111EBull;
+  n ^= n >> 31;
+  return n;
+}
+
+}  // namespace nec::net

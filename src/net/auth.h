@@ -1,0 +1,44 @@
+// Shared-secret session authentication for the NEC wire protocol
+// (DESIGN.md §5h, protocol v2).
+//
+// TLS-less by design: the fleet runs on trusted interconnect, but the
+// hello exchange must still prove the peer knows the deployment secret
+// before it can enroll sessions (the paper's threat model makes the
+// shadowing service the trusted party — an open enrollment path would
+// let any jammer-style adversary flood it). The handshake is a classic
+// challenge–response:
+//
+//   client → kHello            (versions, as v1)
+//   server → kAuthChallenge    (fresh random u64 nonce)
+//   client → kAuthResponse     (u64 tag = AuthTag(secret, nonce, id))
+//   server → kHelloAck         (as v1) — or kAuthReject + close
+//
+// The tag is SipHash-2-4 keyed by the secret over (nonce || client id),
+// so it proves possession of the secret without revealing it, and a tag
+// replayed onto another connection fails because that connection was
+// issued a different nonce. This is authentication only — frames are
+// not encrypted; deployments needing confidentiality tunnel the port.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace nec::net {
+
+/// SipHash-2-4 of `data`, keyed by (k0, k1). Reference algorithm
+/// (Aumasson & Bernstein), dependency-free.
+std::uint64_t SipHash24(std::uint64_t k0, std::uint64_t k1,
+                        const std::uint8_t* data, std::size_t size);
+
+/// The keyed response tag: SipHash-2-4 over the 16-byte little-endian
+/// message (nonce || client_id), with the 128-bit key derived from the
+/// secret via two independent FNV-1a folds. `client_id` binds the tag to
+/// the connection's identity so it cannot be lifted onto another hello.
+std::uint64_t AuthTag(std::string_view secret, std::uint64_t nonce,
+                      std::uint64_t client_id);
+
+/// A fresh unpredictable nonce (std::random_device mixed with a
+/// process-wide counter so even a stuck entropy source never repeats).
+std::uint64_t RandomNonce();
+
+}  // namespace nec::net

@@ -7,7 +7,9 @@
 #include <chrono>
 #include <cstring>
 
+#include "net/auth.h"
 #include "net/socket.h"
+#include "runtime/fault.h"
 
 namespace nec::net {
 namespace {
@@ -147,6 +149,31 @@ bool NetClient::Ping(std::span<const std::uint8_t> payload,
   return SendFrame(frame, error);
 }
 
+bool NetClient::QueryStatus(ShardStatusPayload* status, int timeout_ms,
+                            std::string* error) {
+  shard_status_.reset();
+  Frame frame;
+  frame.type = FrameType::kStatusRequest;
+  frame.session_id = 0;
+  if (!SendFrame(frame, error)) return false;
+  const std::int64_t deadline = NowMs() + timeout_ms;
+  while (!shard_status_.has_value()) {
+    if (connection_error_.has_value()) {
+      SetError(error, "status rejected: " + connection_error_->message);
+      return false;
+    }
+    const int remaining = static_cast<int>(deadline - NowMs());
+    if (remaining <= 0) {
+      SetError(error, "status: timed out waiting for reply");
+      return false;
+    }
+    bool timed_out = false;
+    if (!PumpOnce(remaining, &timed_out, error)) return false;
+  }
+  if (status != nullptr) *status = *shard_status_;
+  return true;
+}
+
 bool NetClient::PumpOnce(int timeout_ms, bool* timed_out, std::string* error) {
   if (timed_out != nullptr) *timed_out = false;
   if (fd_ < 0) {
@@ -170,6 +197,7 @@ bool NetClient::PumpOnce(int timeout_ms, bool* timed_out, std::string* error) {
   }
   bytes_in_ += 1;
   decoder_.Feed(buf, 1);
+  bool peer_closed = false;
   for (;;) {
     ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
     if (n > 0) {
@@ -178,8 +206,12 @@ bool NetClient::PumpOnce(int timeout_ms, bool* timed_out, std::string* error) {
       continue;
     }
     if (n == 0) {
-      SetError(error, "recv: connection closed by peer");
-      return false;
+      // A server that rejects the handshake writes kAuthReject and then
+      // closes, so the verdict frame and the EOF often arrive in the same
+      // pump. Dispatch what the decoder already holds before reporting
+      // the close, or the typed reject would be lost to a generic error.
+      peer_closed = true;
+      break;
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -196,6 +228,10 @@ bool NetClient::PumpOnce(int timeout_ms, bool* timed_out, std::string* error) {
   if (IsDecodeError(decode)) {
     SetError(error,
              std::string("malformed frame: ") + DecodeStatusName(decode));
+    return false;
+  }
+  if (peer_closed) {
+    SetError(error, "recv: connection closed by peer");
     return false;
   }
   return true;
@@ -259,6 +295,50 @@ void NetClient::Dispatch(Frame&& frame) {
     }
     case FrameType::kPong:
       return;  // keepalive reply; nothing to record
+    case FrameType::kAuthChallenge: {
+      if (secret_.empty()) {
+        // The server demands auth we cannot provide: fail the handshake
+        // locally instead of timing out against a server that will never
+        // ack.
+        connection_error_ = WireError{
+            static_cast<std::uint32_t>(
+                runtime::ErrorCategory::kAuthRejected),
+            "server requires a shared secret (--secret) and none is set"};
+        auth_rejected_ = true;
+        return;
+      }
+      PayloadReader reader(frame.payload);
+      std::uint64_t nonce = 0;
+      if (!reader.U64(&nonce) || !reader.complete()) {
+        connection_error_ =
+            WireError{0, "malformed auth challenge payload"};
+        return;
+      }
+      Frame response;
+      response.type = FrameType::kAuthResponse;
+      response.session_id = frame.session_id;
+      PutU64(&response.payload,
+             AuthTag(secret_, nonce, frame.session_id));
+      // A failed send surfaces on the next pump (connection closed).
+      SendFrame(response, nullptr);
+      return;
+    }
+    case FrameType::kAuthReject: {
+      PayloadReader reader(frame.payload);
+      WireError wire_error;
+      if (!reader.U32(&wire_error.category)) wire_error.category = 0;
+      wire_error.message = reader.RemainingText();
+      auth_rejected_ = true;
+      connection_error_ = std::move(wire_error);
+      return;
+    }
+    case FrameType::kShardStatus: {
+      ShardStatusPayload status;
+      if (ParseShardStatus(frame.payload, &status)) {
+        shard_status_ = status;
+      }
+      return;
+    }
     default:
       return;  // server-bound types are ignored if echoed back
   }

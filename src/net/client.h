@@ -63,8 +63,37 @@ class NetClient {
   bool connected() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
-  /// Version handshake; blocks up to timeout_ms for the ack.
+  /// Detaches and returns the connected socket (-1 when closed), leaving
+  /// this client disconnected. Lets the router run the blocking hello +
+  /// auth handshake through a NetClient and then adopt the socket into
+  /// its own poll loop. Only safe when no partial frame is buffered —
+  /// i.e. right after a handshake, before any streaming.
+  int ReleaseFd() {
+    const int fd = fd_;
+    fd_ = -1;
+    decoder_.Reset();
+    return fd;
+  }
+
+  /// Shared secret for the v2 auth handshake. Set before Hello(); when
+  /// the server challenges, the client answers with the keyed tag. With
+  /// no secret set, a challenge fails the hello (the server demands auth
+  /// this client cannot provide).
+  void set_secret(std::string secret) { secret_ = std::move(secret); }
+
+  /// Version (+ auth, when the server demands it) handshake; blocks up
+  /// to timeout_ms for the ack.
   bool Hello(HelloInfo* info, int timeout_ms, std::string* error);
+
+  /// True when the server answered the handshake with kAuthReject —
+  /// distinct from refused/timeout so callers can report credential
+  /// failures as their own class.
+  bool auth_rejected() const { return auth_rejected_; }
+
+  /// Polls the shard's load (kStatusRequest → kShardStatus). Blocks up
+  /// to timeout_ms; requires a completed Hello on an authed connection.
+  bool QueryStatus(ShardStatusPayload* status, int timeout_ms,
+                   std::string* error);
 
   /// Opens a wire session (client-assigned id) and blocks for the ack.
   bool OpenSession(std::uint64_t wire_sid, std::uint64_t speaker_seed,
@@ -117,9 +146,12 @@ class NetClient {
   int fd_ = -1;
   int io_timeout_ms_ = 10000;  ///< write deadline per frame
   FrameDecoder decoder_;
+  std::string secret_;
+  bool auth_rejected_ = false;
   std::unordered_map<std::uint64_t, WireSessionState> sessions_;
   std::optional<WireError> connection_error_;
   std::optional<HelloInfo> hello_info_;
+  std::optional<ShardStatusPayload> shard_status_;
   std::uint64_t bytes_in_ = 0;
   std::uint64_t bytes_out_ = 0;
   std::uint64_t frames_in_ = 0;

@@ -1,6 +1,7 @@
 #include "net/frame.h"
 
 #include <array>
+#include <bit>
 #include <cstring>
 
 #include "common/check.h"
@@ -59,13 +60,21 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kError: return "error";
     case FrameType::kPing: return "ping";
     case FrameType::kPong: return "pong";
+    case FrameType::kAuthChallenge: return "auth_challenge";
+    case FrameType::kAuthResponse: return "auth_response";
+    case FrameType::kAuthReject: return "auth_reject";
+    case FrameType::kStatusRequest: return "status_request";
+    case FrameType::kShardStatus: return "shard_status";
+    case FrameType::kDrainSession: return "drain_session";
+    case FrameType::kSessionSnapshot: return "session_snapshot";
+    case FrameType::kRestoreSession: return "restore_session";
   }
   return "?";
 }
 
 bool IsKnownFrameType(std::uint8_t value) {
   return value >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         value <= static_cast<std::uint8_t>(FrameType::kPong);
+         value <= static_cast<std::uint8_t>(FrameType::kRestoreSession);
 }
 
 std::uint32_t Crc32(const std::uint8_t* data, std::size_t size) {
@@ -199,7 +208,9 @@ bool PayloadReader::Floats(std::vector<float>* v) {
   }
   const std::size_t count = (data_.size() - offset_) / sizeof(float);
   v->resize(count);
-  std::memcpy(v->data(), data_.data() + offset_, count * sizeof(float));
+  if (count > 0) {
+    std::memcpy(v->data(), data_.data() + offset_, count * sizeof(float));
+  }
   offset_ = data_.size();
   return true;
 }
@@ -210,6 +221,46 @@ std::string PayloadReader::RemainingText() {
                    data_.size() - offset_);
   offset_ = data_.size();
   return text;
+}
+
+void PutShardStatus(std::vector<std::uint8_t>* out,
+                    const ShardStatusPayload& status) {
+  PutU32(out, status.queue_depth);
+  PutU32(out, status.active_sessions);
+  PutU32(out, std::bit_cast<std::uint32_t>(status.e2e_p99_ms));
+  PutU64(out, status.overload_total);
+}
+
+bool ParseShardStatus(std::span<const std::uint8_t> payload,
+                      ShardStatusPayload* status) {
+  PayloadReader reader(payload);
+  std::uint32_t p99_bits = 0;
+  if (!reader.U32(&status->queue_depth) ||
+      !reader.U32(&status->active_sessions) || !reader.U32(&p99_bits) ||
+      !reader.U64(&status->overload_total) || !reader.complete()) {
+    return false;
+  }
+  status->e2e_p99_ms = std::bit_cast<float>(p99_bits);
+  return true;
+}
+
+void PutSessionSnapshot(std::vector<std::uint8_t>* out,
+                        const SessionSnapshotPayload& snapshot) {
+  PutU64(out, snapshot.speaker_seed);
+  PutU64(out, snapshot.ref_seed);
+  PutU64(out, snapshot.chunks_done);
+  PutU64(out, snapshot.latch_bits);
+  PutFloats(out, snapshot.tail);
+}
+
+bool ParseSessionSnapshot(std::span<const std::uint8_t> payload,
+                          SessionSnapshotPayload* snapshot) {
+  PayloadReader reader(payload);
+  return reader.U64(&snapshot->speaker_seed) &&
+         reader.U64(&snapshot->ref_seed) &&
+         reader.U64(&snapshot->chunks_done) &&
+         reader.U64(&snapshot->latch_bits) &&
+         reader.Floats(&snapshot->tail) && reader.complete();
 }
 
 }  // namespace nec::net

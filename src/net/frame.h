@@ -35,7 +35,10 @@
 namespace nec::net {
 
 inline constexpr std::uint32_t kMagic = 0x4E454331u;  // "NEC1"
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// v2 adds the auth handshake (kAuthChallenge/kAuthResponse/kAuthReject),
+/// shard load reporting (kStatusRequest/kShardStatus), and the draining
+/// reshard frames (kDrainSession/kSessionSnapshot/kRestoreSession).
+inline constexpr std::uint8_t kProtocolVersion = 2;
 inline constexpr std::size_t kHeaderSize = 24;
 /// Generous bound: the largest legitimate frame is one chunk of 192 kHz
 /// shadow output (~768 KiB); anything near the cap is an attack or a bug.
@@ -56,6 +59,22 @@ enum class FrameType : std::uint8_t {
   kError = 9,         ///< either: u32 ErrorCategory, then message bytes
   kPing = 10,         ///< either: opaque payload echoed back
   kPong = 11,         ///< reply to kPing with the same payload
+  // ------------------------------------------------------------- v2
+  kAuthChallenge = 12,  ///< server → client: u64 nonce (sent instead of
+                        ///< kHelloAck when a shared secret is configured)
+  kAuthResponse = 13,   ///< client → server: u64 tag = SipHash(secret,
+                        ///< nonce || header session id)
+  kAuthReject = 14,     ///< server → client: u32 ErrorCategory, then
+                        ///< message bytes; connection closes after
+  kStatusRequest = 15,  ///< router → shard: empty (post-auth)
+  kShardStatus = 16,    ///< shard → router: ShardStatusPayload
+  kDrainSession = 17,   ///< router → shard: empty; session id in header
+                        ///< asks the shard to quiesce + snapshot it
+  kSessionSnapshot = 18,  ///< shard → router: SessionSnapshotPayload;
+                          ///< the shard has forgotten the session
+  kRestoreSession = 19,   ///< router → shard: SessionSnapshotPayload
+                          ///< verbatim; shard re-enrolls and replies
+                          ///< kOpenAck
 };
 
 const char* FrameTypeName(FrameType type);
@@ -166,5 +185,45 @@ class PayloadReader {
   std::size_t offset_ = 0;
   bool ok_ = true;
 };
+
+// ------------------------------------------------ v2 payload schemas
+
+/// kShardStatus: a shard's own view of its load, polled by the router's
+/// prober so admission control reacts before per-connection buffering
+/// becomes the only backpressure.
+struct ShardStatusPayload {
+  std::uint32_t queue_depth = 0;      ///< runtime pool queue depth
+  std::uint32_t active_sessions = 0;  ///< live wire sessions on the shard
+  float e2e_p99_ms = 0.0f;            ///< end-to-end p99 (queue + compute)
+  std::uint64_t overload_total = 0;   ///< cumulative kOverload rejections
+};
+
+void PutShardStatus(std::vector<std::uint8_t>* out,
+                    const ShardStatusPayload& status);
+/// Strict parse: false on truncation or trailing bytes.
+bool ParseShardStatus(std::span<const std::uint8_t> payload,
+                      ShardStatusPayload* status);
+
+/// kSessionSnapshot / kRestoreSession: the complete mid-stream state of a
+/// sticky session, sufficient to re-enroll it on another shard with
+/// bit-identical continuation. Enrollment is seed-deterministic, so only
+/// the seeds travel — not the reference audio. The modulation gain latch
+/// crosses as raw IEEE-754 bits so the migrated stream applies the exact
+/// same gain.
+struct SessionSnapshotPayload {
+  std::uint64_t speaker_seed = 0;
+  std::uint64_t ref_seed = 0;
+  std::uint64_t chunks_done = 0;     ///< chunks fully processed pre-drain
+  std::uint64_t latch_bits = 0;      ///< bit_cast<u64> of the double
+                                     ///< modulation reference peak
+                                     ///< (0 bits == not yet latched)
+  std::vector<float> tail;           ///< buffered partial-chunk samples
+};
+
+void PutSessionSnapshot(std::vector<std::uint8_t>* out,
+                        const SessionSnapshotPayload& snapshot);
+/// Strict parse: false on truncation or a non-float-aligned tail.
+bool ParseSessionSnapshot(std::span<const std::uint8_t> payload,
+                          SessionSnapshotPayload* snapshot);
 
 }  // namespace nec::net

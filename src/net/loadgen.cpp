@@ -10,6 +10,7 @@
 
 #include "net/client.h"
 #include "net/socket.h"
+#include "runtime/fault.h"
 #include "synth/dataset.h"
 
 namespace nec::net {
@@ -42,6 +43,7 @@ struct SessionDrive {
   std::size_t watermark = 0;    ///< shadow samples when last chunk went out
   double submit_s = 0.0;
   std::string error;
+  bool auth_rejected = false;  ///< fault was a kAuthReject, not transport
 };
 
 }  // namespace
@@ -69,6 +71,7 @@ LoadGenReport RunLoadGen(const LoadGenOptions& options) {
       return report;
     }
     auto client = std::make_unique<NetClient>();
+    client->set_secret(options.secret);
     std::string error;
     if (!client->Connect(host, port, options.connect_timeout_ms, &error)) {
       report.error = "loadgen: connect " + endpoint + ": " + error;
@@ -76,6 +79,7 @@ LoadGenReport RunLoadGen(const LoadGenOptions& options) {
     }
     HelloInfo info;
     if (!client->Hello(&info, options.io_timeout_ms, &error)) {
+      report.auth_rejected = client->auth_rejected();
       report.error = "loadgen: hello " + endpoint + ": " + error;
       return report;
     }
@@ -132,18 +136,21 @@ LoadGenReport RunLoadGen(const LoadGenOptions& options) {
   const double start_s = NowS();
   const double deadline_s = start_s + options.max_seconds;
 
-  auto fault_session = [&](SessionDrive& drive, const std::string& why) {
+  auto fault_session = [&](SessionDrive& drive, const std::string& why,
+                           bool auth_rejected = false) {
     if (drive.phase == Phase::kCompleted || drive.phase == Phase::kFaulted)
       return;
     drive.phase = Phase::kFaulted;
     drive.error = why;
+    drive.auth_rejected = auth_rejected;
   };
   auto fault_client = [&](std::size_t j, const std::string& why) {
     if (!client_alive[j]) return;
     client_alive[j] = false;
+    const bool auth_rejected = clients[j]->auth_rejected();
     clients[j]->Close();
     for (auto& drive : drives) {
-      if (drive.client_index == j) fault_session(drive, why);
+      if (drive.client_index == j) fault_session(drive, why, auth_rejected);
     }
   };
   auto submit_chunk = [&](SessionDrive& drive) {
@@ -203,7 +210,10 @@ LoadGenReport RunLoadGen(const LoadGenOptions& options) {
       const auto& state =
           clients[drive.client_index]->session(drive.wire_sid);
       if (state.error.has_value()) {
-        fault_session(drive, "open rejected: " + state.error->message);
+        fault_session(drive, "open rejected: " + state.error->message,
+                      state.error->category ==
+                          static_cast<std::uint32_t>(
+                              runtime::ErrorCategory::kAuthRejected));
       } else if (!state.open_acked) {
         pending = true;
       }
@@ -235,9 +245,13 @@ LoadGenReport RunLoadGen(const LoadGenOptions& options) {
       NetClient& client = *clients[drive.client_index];
       const auto& state = client.session(drive.wire_sid);
       if (state.error.has_value()) {
-        fault_session(drive, "session error (" +
-                                 std::to_string(state.error->category) +
-                                 "): " + state.error->message);
+        fault_session(drive,
+                      "session error (" +
+                          std::to_string(state.error->category) +
+                          "): " + state.error->message,
+                      state.error->category ==
+                          static_cast<std::uint32_t>(
+                              runtime::ErrorCategory::kAuthRejected));
         continue;
       }
       if (drive.phase == Phase::kAwaitBurst) {
@@ -295,6 +309,7 @@ LoadGenReport RunLoadGen(const LoadGenOptions& options) {
       report.sessions_completed += 1;
     } else {
       report.sessions_faulted += 1;
+      if (drive.auth_rejected) report.sessions_auth_rejected += 1;
     }
   }
   for (const auto& client : clients) {
@@ -323,8 +338,10 @@ std::string FormatLoadGenReport(const LoadGenReport& report) {
     out += '\n';
   };
   if (!report.error.empty()) add("error                 %s", report.error.c_str());
+  if (report.auth_rejected) add("auth_rejected         true");
   add("sessions_completed    %zu", report.sessions_completed);
   add("sessions_faulted      %zu", report.sessions_faulted);
+  add("sessions_auth_rejected %zu", report.sessions_auth_rejected);
   add("chunks_acked          %llu",
       static_cast<unsigned long long>(report.chunks_acked));
   add("wall_s                %.3f", report.wall_s);

@@ -43,6 +43,10 @@ struct LoadGenOptions {
   /// Retain each session's full shadow stream in the report (verifiers
   /// only — hundreds of sessions at 192 kHz add up).
   bool keep_shadows = false;
+  /// Shared secret for the v2 auth handshake; empty drives unauthed
+  /// hellos (which an auth-requiring server answers with kAuthReject —
+  /// reported as auth_rejected, distinct from refused/timeout).
+  std::string secret;
 };
 
 /// Per-session outcome. speaker/ref seeds and stream_index let a
@@ -62,8 +66,13 @@ struct LoadGenSessionOutcome {
 struct LoadGenReport {
   bool ok = false;    ///< harness-level success (not per-session)
   std::string error;  ///< harness-level failure reason
+  /// A hello was answered with kAuthReject (bad or missing secret) —
+  /// its own failure class, not a connect refusal or timeout.
+  bool auth_rejected = false;
   std::size_t sessions_completed = 0;
   std::size_t sessions_faulted = 0;
+  /// Subset of sessions_faulted whose failure was an auth rejection.
+  std::size_t sessions_auth_rejected = 0;
   std::uint64_t chunks_acked = 0;
   double wall_s = 0.0;  ///< streaming phase only (opens excluded)
   double chunks_per_sec = 0.0;

@@ -33,6 +33,10 @@ NetStatsSnapshot NetStats::Snapshot() const {
   s.sessions_opened = sessions_opened_.load(kRelaxed);
   s.sessions_closed = sessions_closed_.load(kRelaxed);
   s.sessions_faulted = sessions_faulted_.load(kRelaxed);
+  s.auth_ok = auth_ok_.load(kRelaxed);
+  s.auth_rejected = auth_rejected_.load(kRelaxed);
+  s.overload_shed = overload_shed_.load(kRelaxed);
+  s.sessions_migrated = sessions_migrated_.load(kRelaxed);
   return s;
 }
 
@@ -86,6 +90,22 @@ std::vector<obs::MetricFamily> NetStatsToMetricFamilies(
                             "wire sessions ended with an error frame",
                             MetricType::kCounter,
                             static_cast<double>(s.sessions_faulted), role));
+  families.push_back(Family("nec_net_auth_ok_total",
+                            "auth handshakes that proved the shared secret",
+                            MetricType::kCounter,
+                            static_cast<double>(s.auth_ok), role));
+  families.push_back(Family(
+      "nec_net_auth_rejected_total",
+      "connections rejected for a bad, replayed, or missing auth response",
+      MetricType::kCounter, static_cast<double>(s.auth_rejected), role));
+  families.push_back(Family(
+      "nec_net_overload_shed_total",
+      "session opens shed with typed kOverload by admission control",
+      MetricType::kCounter, static_cast<double>(s.overload_shed), role));
+  families.push_back(Family("nec_net_sessions_migrated_total",
+                            "sticky sessions moved by a draining reshard",
+                            MetricType::kCounter,
+                            static_cast<double>(s.sessions_migrated), role));
   return families;
 }
 

@@ -30,6 +30,10 @@ struct NetStatsSnapshot {
   std::uint64_t sessions_opened = 0;
   std::uint64_t sessions_closed = 0;  ///< orderly kClosed completions
   std::uint64_t sessions_faulted = 0; ///< ended with a kError frame
+  std::uint64_t auth_ok = 0;          ///< handshakes that proved the secret
+  std::uint64_t auth_rejected = 0;    ///< bad/replayed/missing auth
+  std::uint64_t overload_shed = 0;    ///< opens refused by admission control
+  std::uint64_t sessions_migrated = 0;  ///< moved by a draining reshard
 };
 
 class NetStats {
@@ -51,6 +55,10 @@ class NetStats {
   void AddSessionOpened() { sessions_opened_.fetch_add(1, kRelaxed); }
   void AddSessionClosed() { sessions_closed_.fetch_add(1, kRelaxed); }
   void AddSessionFaulted() { sessions_faulted_.fetch_add(1, kRelaxed); }
+  void AddAuthOk() { auth_ok_.fetch_add(1, kRelaxed); }
+  void AddAuthRejected() { auth_rejected_.fetch_add(1, kRelaxed); }
+  void AddOverloadShed() { overload_shed_.fetch_add(1, kRelaxed); }
+  void AddSessionMigrated() { sessions_migrated_.fetch_add(1, kRelaxed); }
 
   NetStatsSnapshot Snapshot() const;
 
@@ -69,6 +77,10 @@ class NetStats {
   std::atomic<std::uint64_t> sessions_opened_{0};
   std::atomic<std::uint64_t> sessions_closed_{0};
   std::atomic<std::uint64_t> sessions_faulted_{0};
+  std::atomic<std::uint64_t> auth_ok_{0};
+  std::atomic<std::uint64_t> auth_rejected_{0};
+  std::atomic<std::uint64_t> overload_shed_{0};
+  std::atomic<std::uint64_t> sessions_migrated_{0};
 };
 
 /// Converts a snapshot into Prometheus families, all named

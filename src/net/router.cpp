@@ -5,11 +5,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <unordered_map>
 
+#include "net/auth.h"
 #include "net/client.h"
 #include "obs/http.h"
 #include "obs/log.h"
@@ -53,6 +55,24 @@ struct Router::ShardState {
   std::atomic<std::uint64_t> ejections{0};
   std::atomic<std::uint64_t> probes_ok{0};
   std::atomic<std::uint64_t> probes_failed{0};
+
+  /// Admission control (set by the prober from kShardStatus reports,
+  /// read by the poll loop's PickShard).
+  std::atomic<bool> saturated{false};
+  std::size_t calm_statuses = 0;  ///< prober-thread-only hysteresis count
+  std::atomic<std::uint64_t> load_queue_depth{0};
+  std::atomic<std::uint32_t> load_e2e_p99_bits{0};  ///< float, bit-stored
+  std::atomic<std::uint64_t> load_overload_total{0};
+
+  /// Draining reshard (DrainShard sets `draining`; the poll loop flips
+  /// `drained` once no session or migration references the shard).
+  std::atomic<bool> draining{false};
+  std::atomic<bool> drained{false};
+  std::atomic<std::uint64_t> sessions_migrated{0};
+
+  /// Persistent wire connection the prober uses for kStatusRequest
+  /// polls (lazily dialed, redialed on failure). Prober thread only.
+  std::unique_ptr<NetClient> status_client;
 };
 
 /// Router-side connection to one shard on behalf of ONE client
@@ -67,12 +87,28 @@ struct Router::Upstream {
 };
 
 struct Router::Connection {
+  /// One sticky session mid-reshard. Created when the router asks the
+  /// old shard to drain the session; client frames arriving in the
+  /// window are parked (encoded, in order) and flushed to the new shard
+  /// once its restore ack lands, so the client observes an unbroken
+  /// stream.
+  struct Migration {
+    static constexpr std::size_t kNoTarget = static_cast<std::size_t>(-1);
+    std::size_t from_shard = 0;
+    std::size_t target = kNoTarget;  ///< set once the snapshot is placed
+    std::string parked;              ///< encoded client frames, FIFO
+  };
+
   int fd = -1;
   FrameDecoder decoder;
   std::string outbound;
   std::size_t out_off = 0;
   bool close_after_write = false;
+  bool authed = false;      ///< v2 handshake done (or auth disabled)
+  bool challenged = false;  ///< kAuthChallenge outstanding
+  std::uint64_t nonce = 0;
   std::unordered_map<std::uint64_t, std::size_t> session_shard;  ///< sid → shard
+  std::unordered_map<std::uint64_t, Migration> migrations;  ///< sid → reshard
   std::vector<Upstream> upstreams;  ///< index-aligned with Router::shards_
   /// Poll-thread copy of each shard's up flag, used to detect down
   /// transitions that require faulting this connection's sessions.
@@ -137,7 +173,10 @@ void Router::ProbeLoop() {
   while (!stop_.load(std::memory_order_relaxed)) {
     SleepMsInterruptible(options_.probe_interval_ms, stop_);
     if (stop_.load(std::memory_order_relaxed)) return;
-    for (auto& shard : shards_) ProbeOnce(*shard);
+    for (auto& shard : shards_) {
+      ProbeOnce(*shard);
+      ProbeStatus(*shard);
+    }
     RefreshHelloCache();
   }
 }
@@ -181,6 +220,64 @@ void Router::ProbeOnce(ShardState& shard) {
   }
 }
 
+void Router::ProbeStatus(ShardState& shard) {
+  if (!shard.up.load(std::memory_order_relaxed)) {
+    if (shard.status_client != nullptr) shard.status_client->Close();
+    return;
+  }
+  if (shard.status_client == nullptr) {
+    shard.status_client = std::make_unique<NetClient>();
+  }
+  NetClient& client = *shard.status_client;
+  std::string error;
+  if (!client.connected()) {
+    client.set_secret(options_.secret);
+    HelloInfo info;
+    if (!client.Connect(shard.spec.host, shard.spec.port,
+                        options_.connect_timeout_ms, &error) ||
+        !client.Hello(&info, 2000, &error)) {
+      client.Close();
+      return;  // redial next probe tick; /healthz decides up/down
+    }
+  }
+  ShardStatusPayload status;
+  if (!client.QueryStatus(&status, 2000, &error)) {
+    client.Close();
+    return;
+  }
+  shard.load_queue_depth.store(status.queue_depth, std::memory_order_relaxed);
+  shard.load_e2e_p99_bits.store(std::bit_cast<std::uint32_t>(status.e2e_p99_ms),
+                                std::memory_order_relaxed);
+  shard.load_overload_total.store(status.overload_total,
+                                  std::memory_order_relaxed);
+
+  // Saturation hysteresis: saturate immediately at/above the threshold;
+  // recover only after `recover_statuses` consecutive calm reports, so a
+  // shard hovering at the boundary doesn't thrash.
+  const bool was_saturated = shard.saturated.load(std::memory_order_relaxed);
+  if (status.queue_depth >= options_.saturate_queue_depth) {
+    shard.calm_statuses = 0;
+    if (!was_saturated) {
+      shard.saturated.store(true, std::memory_order_relaxed);
+      NEC_LOG_WARN(kComponent, "shard %s saturated (queue depth %u)",
+                   shard.label.c_str(),
+                   static_cast<unsigned>(status.queue_depth));
+    }
+  } else if (was_saturated) {
+    if (status.queue_depth <= options_.recover_queue_depth) {
+      if (++shard.calm_statuses >= options_.recover_statuses) {
+        shard.saturated.store(false, std::memory_order_relaxed);
+        shard.calm_statuses = 0;
+        NEC_LOG_INFO(kComponent, "shard %s recovered (queue depth %u)",
+                     shard.label.c_str(),
+                     static_cast<unsigned>(status.queue_depth));
+      }
+    } else {
+      shard.calm_statuses = 0;
+    }
+  }
+}
+
 void Router::RefreshHelloCache() {
   {
     std::lock_guard<std::mutex> lock(hello_mutex_);
@@ -189,6 +286,7 @@ void Router::RefreshHelloCache() {
   for (const auto& shard : shards_) {
     if (!shard->up.load(std::memory_order_relaxed)) continue;
     NetClient probe;
+    probe.set_secret(options_.secret);
     std::string error;
     HelloInfo info;
     if (!probe.Connect(shard->spec.host, shard->spec.port,
@@ -277,6 +375,7 @@ void Router::Serve() {
     if (mutated) continue;
 
     ApplyHealthTransitions();
+    PumpDrains();
 
     // Flush both directions; a client that went away gets reaped here.
     for (std::size_t c = 0; c < connections_.size(); ++c) {
@@ -315,6 +414,7 @@ void Router::AcceptPending() {
     }
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    conn->authed = options_.secret.empty();
     conn->upstreams.resize(shards_.size());
     conn->last_up.resize(shards_.size());
     for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -358,6 +458,15 @@ bool Router::ReadClient(Connection& conn) {
 }
 
 bool Router::HandleClientFrame(Connection& conn, Frame&& frame) {
+  // Pre-auth gate: until the challenge–response completes, the only
+  // frames a client may send are kHello and kAuthResponse. Anything else
+  // is an unauthenticated probe and closes the connection.
+  if (!conn.authed && frame.type != FrameType::kHello &&
+      frame.type != FrameType::kAuthResponse) {
+    RejectClientAuth(conn, std::string("unauthenticated ") +
+                               FrameTypeName(frame.type) + " frame");
+    return true;
+  }
   switch (frame.type) {
     case FrameType::kHello: {
       PayloadReader reader(frame.payload);
@@ -373,24 +482,49 @@ bool Router::HandleClientFrame(Connection& conn, Frame&& frame) {
             "bad hello (payload or unsupported version)");
         return true;
       }
-      std::optional<std::vector<std::uint8_t>> cached;
-      {
-        std::lock_guard<std::mutex> lock(hello_mutex_);
-        cached = hello_payload_;
+      if (!conn.authed) {
+        // Fresh nonce per challenge: a replayed tag from another
+        // connection (or an earlier challenge here) never verifies.
+        conn.nonce = RandomNonce();
+        conn.challenged = true;
+        Frame challenge;
+        challenge.type = FrameType::kAuthChallenge;
+        PutU64(&challenge.payload, conn.nonce);
+        SendToClient(conn, challenge);
+        return true;
       }
-      if (!cached.has_value()) {
-        // No shard has ever answered; the fleet is effectively down.
+      SendHelloAck(conn);
+      return true;
+    }
+
+    case FrameType::kAuthResponse: {
+      if (conn.authed) {
         stats_.AddProtocolError();
         SendErrorToClient(
             conn, 0,
-            static_cast<std::uint32_t>(runtime::ErrorCategory::kOverload),
-            "no healthy shards");
+            static_cast<std::uint32_t>(runtime::ErrorCategory::kBadInput),
+            "auth response on an authenticated connection");
         return true;
       }
-      Frame ack;
-      ack.type = FrameType::kHelloAck;
-      ack.payload = std::move(*cached);
-      SendToClient(conn, ack);
+      if (!conn.challenged) {
+        RejectClientAuth(conn, "auth response without an outstanding challenge");
+        return true;
+      }
+      // One verification attempt per challenge, pass or fail.
+      conn.challenged = false;
+      PayloadReader reader(frame.payload);
+      std::uint64_t tag = 0;
+      if (!reader.U64(&tag) || !reader.complete()) {
+        RejectClientAuth(conn, "malformed auth response payload");
+        return true;
+      }
+      if (tag != AuthTag(options_.secret, conn.nonce, frame.session_id)) {
+        RejectClientAuth(conn, "auth tag mismatch");
+        return true;
+      }
+      conn.authed = true;
+      stats_.AddAuthOk();
+      SendHelloAck(conn);
       return true;
     }
 
@@ -409,13 +543,25 @@ bool Router::HandleClientFrame(Connection& conn, Frame&& frame) {
       if (it != conn.session_shard.end()) {
         shard_index = it->second;  // duplicate open: let the shard reject
       } else {
-        const auto picked = PickShard(frame.session_id);
+        bool all_saturated = false;
+        const auto picked = PickShard(frame.session_id, &all_saturated);
         if (!picked.has_value()) {
-          stats_.AddProtocolError();
-          SendErrorToClient(
-              conn, frame.session_id,
-              static_cast<std::uint32_t>(runtime::ErrorCategory::kOverload),
-              "no healthy shards");
+          // Typed shed BEFORE buffering: the client learns immediately
+          // instead of its open rotting in a queue toward a shard that
+          // cannot absorb it.
+          if (all_saturated) {
+            stats_.AddOverloadShed();
+            SendErrorToClient(
+                conn, frame.session_id,
+                static_cast<std::uint32_t>(runtime::ErrorCategory::kOverload),
+                "fleet saturated: every live shard is at capacity");
+          } else {
+            stats_.AddProtocolError();
+            SendErrorToClient(
+                conn, frame.session_id,
+                static_cast<std::uint32_t>(runtime::ErrorCategory::kOverload),
+                "no healthy shards");
+          }
           return true;
         }
         shard_index = *picked;
@@ -424,6 +570,15 @@ bool Router::HandleClientFrame(Connection& conn, Frame&& frame) {
               conn, frame.session_id,
               static_cast<std::uint32_t>(runtime::ErrorCategory::kOverload),
               "shard " + shards_[shard_index]->label + " unreachable");
+          return true;
+        }
+        const Upstream& up = conn.upstreams[shard_index];
+        if (up.outbound.size() - up.out_off > options_.admission_backlog_bytes) {
+          stats_.AddOverloadShed();
+          SendErrorToClient(
+              conn, frame.session_id,
+              static_cast<std::uint32_t>(runtime::ErrorCategory::kOverload),
+              "shard " + shards_[shard_index]->label + " backlog full");
           return true;
         }
         conn.session_shard.emplace(frame.session_id, shard_index);
@@ -446,6 +601,12 @@ bool Router::HandleClientFrame(Connection& conn, Frame&& frame) {
             conn, frame.session_id,
             static_cast<std::uint32_t>(runtime::ErrorCategory::kBadInput),
             "unknown wire session id");
+        return true;
+      }
+      const auto mig = conn.migrations.find(frame.session_id);
+      if (mig != conn.migrations.end()) {
+        // Mid-reshard: park in order; flushed after the restore ack.
+        EncodeFrame(frame, &mig->second.parked);
         return true;
       }
       EncodeFrame(frame, &conn.upstreams[it->second].outbound);
@@ -486,6 +647,25 @@ bool Router::ReadUpstream(Connection& conn, std::size_t shard_index) {
                    DecodeStatusName(status));
       return false;
     }
+    // A draining shard hands the router the session's full stream state
+    // once quiescent; route it to a survivor instead of the client.
+    if (frame.type == FrameType::kSessionSnapshot) {
+      HandleSessionSnapshot(conn, shard_index, std::move(frame));
+      continue;
+    }
+    // The restore ack for a migrated session is router-internal — the
+    // client already holds its open ack from the original placement.
+    if (frame.type == FrameType::kOpenAck) {
+      const auto mig = conn.migrations.find(frame.session_id);
+      if (mig != conn.migrations.end() && mig->second.target == shard_index) {
+        conn.upstreams[shard_index].outbound += mig->second.parked;
+        shards_[mig->second.from_shard]->sessions_migrated.fetch_add(
+            1, std::memory_order_relaxed);
+        stats_.AddSessionMigrated();
+        conn.migrations.erase(mig);
+        continue;
+      }
+    }
     // Terminal frames release the sticky assignment.
     if (frame.session_id != 0 &&
         (frame.type == FrameType::kClosed || frame.type == FrameType::kError)) {
@@ -498,19 +678,50 @@ bool Router::ReadUpstream(Connection& conn, std::size_t shard_index) {
           stats_.AddSessionFaulted();
         }
       }
+      conn.migrations.erase(frame.session_id);
     }
     SendToClient(conn, frame);
   }
 }
 
-std::optional<std::size_t> Router::PickShard(std::uint64_t wire_sid) const {
+std::optional<std::size_t> Router::PickShard(std::uint64_t wire_sid,
+                                             bool* all_saturated) const {
+  if (all_saturated != nullptr) *all_saturated = false;
+  if (ring_.empty()) return std::nullopt;
+  const std::uint64_t h = Mix64(wire_sid);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(h, std::size_t{0}));
+  bool saw_live = false;
+  for (std::size_t step = 0; step < ring_.size(); ++step, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    const ShardState& shard = *shards_[it->second];
+    if (!shard.up.load(std::memory_order_relaxed) ||
+        shard.draining.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    saw_live = true;
+    if (shard.saturated.load(std::memory_order_relaxed)) continue;
+    return it->second;
+  }
+  if (saw_live && all_saturated != nullptr) *all_saturated = true;
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Router::PickMigrationTarget(
+    std::uint64_t wire_sid) const {
+  if (auto target = PickShard(wire_sid, nullptr)) return target;
+  // Every eligible shard is saturated: landing a migrating session on a
+  // busy shard beats faulting it. Same clockwise walk, saturation
+  // ignored.
   if (ring_.empty()) return std::nullopt;
   const std::uint64_t h = Mix64(wire_sid);
   auto it = std::lower_bound(
       ring_.begin(), ring_.end(), std::make_pair(h, std::size_t{0}));
   for (std::size_t step = 0; step < ring_.size(); ++step, ++it) {
     if (it == ring_.end()) it = ring_.begin();
-    if (shards_[it->second]->up.load(std::memory_order_relaxed)) {
+    const ShardState& shard = *shards_[it->second];
+    if (shard.up.load(std::memory_order_relaxed) &&
+        !shard.draining.load(std::memory_order_relaxed)) {
       return it->second;
     }
   }
@@ -522,8 +733,23 @@ bool Router::EnsureUpstream(Connection& conn, std::size_t shard_index) {
   if (up.connected()) return true;
   const ShardSpec& spec = shards_[shard_index]->spec;
   std::string error;
-  const int fd =
-      DialTcp(spec.host, spec.port, options_.connect_timeout_ms, &error);
+  int fd = -1;
+  if (options_.secret.empty()) {
+    // v1 behavior: shards without a secret accept frames with no
+    // handshake, so the router just dials.
+    fd = DialTcp(spec.host, spec.port, options_.connect_timeout_ms, &error);
+  } else {
+    // The shard gates every frame behind challenge–response; run the
+    // blocking handshake through a NetClient, then adopt its socket.
+    NetClient handshake;
+    handshake.set_secret(options_.secret);
+    HelloInfo info;
+    if (handshake.Connect(spec.host, spec.port, options_.connect_timeout_ms,
+                          &error) &&
+        handshake.Hello(&info, 2000, &error)) {
+      fd = handshake.ReleaseFd();
+    }
+  }
   if (fd < 0) {
     NEC_LOG_WARN(kComponent, "dial shard %s: %s",
                  shards_[shard_index]->label.c_str(), error.c_str());
@@ -564,6 +790,132 @@ void Router::FaultShardSessions(Connection& conn, std::size_t shard_index,
       ++it;
     }
   }
+  // Drop migrations whose session just faulted (covers both a dead
+  // source mid-drain and a dead restore target).
+  for (auto it = conn.migrations.begin(); it != conn.migrations.end();) {
+    if (conn.session_shard.find(it->first) == conn.session_shard.end()) {
+      it = conn.migrations.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------- draining reshard
+
+bool Router::DrainShard(const std::string& label, std::string* error) {
+  for (auto& shard : shards_) {
+    if (shard->label != label) continue;
+    if (!shard->draining.exchange(true, std::memory_order_relaxed)) {
+      NEC_LOG_INFO(kComponent, "draining shard %s", label.c_str());
+    }
+    return true;
+  }
+  if (error != nullptr) *error = "unknown shard: " + label;
+  return false;
+}
+
+void Router::PumpDrains() {
+  bool any_draining = false;
+  for (const auto& shard : shards_) {
+    if (shard->draining.load(std::memory_order_relaxed) &&
+        !shard->drained.load(std::memory_order_relaxed)) {
+      any_draining = true;
+      break;
+    }
+  }
+  if (!any_draining) return;
+
+  // Ask draining shards to quiesce + snapshot every session still
+  // pinned to them. The Migration entry doubles as the "already asked"
+  // marker, so this is idempotent across ticks.
+  for (auto& conn : connections_) {
+    for (const auto& [sid, shard_index] : conn->session_shard) {
+      ShardState& shard = *shards_[shard_index];
+      if (!shard.draining.load(std::memory_order_relaxed)) continue;
+      if (conn->migrations.count(sid) != 0) continue;
+      if (!conn->upstreams[shard_index].connected()) continue;
+      Frame drain;
+      drain.type = FrameType::kDrainSession;
+      drain.session_id = sid;
+      EncodeFrame(drain, &conn->upstreams[shard_index].outbound);
+      conn->migrations.emplace(
+          sid, Connection::Migration{.from_shard = shard_index});
+    }
+  }
+
+  // A draining shard is drained once nothing references it: no sticky
+  // assignment and no in-flight migration from or onto it.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ShardState& shard = *shards_[s];
+    if (!shard.draining.load(std::memory_order_relaxed) ||
+        shard.drained.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    bool referenced = false;
+    for (const auto& conn : connections_) {
+      for (const auto& [sid, shard_index] : conn->session_shard) {
+        if (shard_index == s) referenced = true;
+      }
+      for (const auto& [sid, migration] : conn->migrations) {
+        if (migration.from_shard == s || migration.target == s) {
+          referenced = true;
+        }
+      }
+      if (referenced) break;
+    }
+    if (!referenced) {
+      shard.drained.store(true, std::memory_order_relaxed);
+      NEC_LOG_INFO(
+          kComponent, "shard %s drained (%llu session(s) migrated)",
+          shard.label.c_str(),
+          static_cast<unsigned long long>(
+              shard.sessions_migrated.load(std::memory_order_relaxed)));
+    }
+  }
+}
+
+void Router::HandleSessionSnapshot(Connection& conn, std::size_t from_shard,
+                                   Frame&& frame) {
+  const std::uint64_t sid = frame.session_id;
+  const auto mig = conn.migrations.find(sid);
+  const auto sit = conn.session_shard.find(sid);
+  if (mig == conn.migrations.end() || sit == conn.session_shard.end() ||
+      sit->second != from_shard ||
+      mig->second.target != Connection::Migration::kNoTarget) {
+    NEC_LOG_WARN(kComponent, "shard %s sent unsolicited snapshot for sid %llu",
+                 shards_[from_shard]->label.c_str(),
+                 static_cast<unsigned long long>(sid));
+    return;
+  }
+  const auto target = PickMigrationTarget(sid);
+  if (!target.has_value() || !EnsureUpstream(conn, *target)) {
+    // No survivor can absorb the session; this is the one drain path
+    // that faults, and only because the fleet has nowhere to put it.
+    SendErrorToClient(
+        conn, sid,
+        static_cast<std::uint32_t>(runtime::ErrorCategory::kInvariant),
+        "no shard available to absorb drained session");
+    stats_.AddSessionFaulted();
+    shards_[from_shard]->sessions_active.fetch_sub(1,
+                                                   std::memory_order_relaxed);
+    conn.session_shard.erase(sit);
+    conn.migrations.erase(mig);
+    return;
+  }
+  // The snapshot blob crosses verbatim: only the shards interpret it,
+  // the router just rehomes it.
+  Frame restore;
+  restore.type = FrameType::kRestoreSession;
+  restore.session_id = sid;
+  restore.payload = std::move(frame.payload);
+  EncodeFrame(restore, &conn.upstreams[*target].outbound);
+  sit->second = *target;
+  mig->second.target = *target;
+  shards_[from_shard]->sessions_active.fetch_sub(1, std::memory_order_relaxed);
+  shards_[*target]->sessions_active.fetch_add(1, std::memory_order_relaxed);
+  shards_[*target]->sessions_assigned_total.fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 void Router::ApplyHealthTransitions() {
@@ -582,6 +934,40 @@ void Router::ApplyHealthTransitions() {
 void Router::SendToClient(Connection& conn, const Frame& frame) {
   EncodeFrame(frame, &conn.outbound);
   stats_.AddFrameOut();
+}
+
+void Router::RejectClientAuth(Connection& conn, const std::string& message) {
+  stats_.AddAuthRejected();
+  NEC_LOG_WARN(kComponent, "auth reject fd %d: %s", conn.fd, message.c_str());
+  Frame frame;
+  frame.type = FrameType::kAuthReject;
+  frame.session_id = 0;
+  PutU32(&frame.payload, static_cast<std::uint32_t>(
+                             runtime::ErrorCategory::kAuthRejected));
+  frame.payload.insert(frame.payload.end(), message.begin(), message.end());
+  SendToClient(conn, frame);
+  conn.close_after_write = true;
+}
+
+void Router::SendHelloAck(Connection& conn) {
+  std::optional<std::vector<std::uint8_t>> cached;
+  {
+    std::lock_guard<std::mutex> lock(hello_mutex_);
+    cached = hello_payload_;
+  }
+  if (!cached.has_value()) {
+    // No shard has ever answered; the fleet is effectively down.
+    stats_.AddProtocolError();
+    SendErrorToClient(
+        conn, 0,
+        static_cast<std::uint32_t>(runtime::ErrorCategory::kOverload),
+        "no healthy shards");
+    return;
+  }
+  Frame ack;
+  ack.type = FrameType::kHelloAck;
+  ack.payload = std::move(*cached);
+  SendToClient(conn, ack);
 }
 
 void Router::SendErrorToClient(Connection& conn, std::uint64_t wire_sid,
@@ -670,14 +1056,25 @@ std::vector<RouterShardStatus> Router::ShardStatuses() const {
     RouterShardStatus status;
     status.spec = shard->spec;
     status.up = shard->up.load(std::memory_order_relaxed);
+    status.saturated = shard->saturated.load(std::memory_order_relaxed);
+    status.draining = shard->draining.load(std::memory_order_relaxed);
+    status.drained = shard->drained.load(std::memory_order_relaxed);
     status.sessions_active =
         shard->sessions_active.load(std::memory_order_relaxed);
     status.sessions_assigned_total =
         shard->sessions_assigned_total.load(std::memory_order_relaxed);
+    status.sessions_migrated =
+        shard->sessions_migrated.load(std::memory_order_relaxed);
     status.ejections = shard->ejections.load(std::memory_order_relaxed);
     status.probes_ok = shard->probes_ok.load(std::memory_order_relaxed);
     status.probes_failed =
         shard->probes_failed.load(std::memory_order_relaxed);
+    status.queue_depth =
+        shard->load_queue_depth.load(std::memory_order_relaxed);
+    status.e2e_p99_ms = std::bit_cast<float>(
+        shard->load_e2e_p99_bits.load(std::memory_order_relaxed));
+    status.overload_total =
+        shard->load_overload_total.load(std::memory_order_relaxed);
     statuses.push_back(std::move(status));
   }
   return statuses;
@@ -725,6 +1122,32 @@ std::vector<obs::MetricFamily> Router::MetricFamilies() const {
       MetricType::kCounter, [](const ShardState& s) {
         return static_cast<double>(
             s.probes_failed.load(std::memory_order_relaxed));
+      });
+  add("nec_router_shard_saturated",
+      "1 while admission control sheds new sessions from the shard",
+      MetricType::kGauge, [](const ShardState& s) {
+        return s.saturated.load(std::memory_order_relaxed) ? 1.0 : 0.0;
+      });
+  add("nec_router_shard_draining", "1 while a draining reshard is underway",
+      MetricType::kGauge, [](const ShardState& s) {
+        return s.draining.load(std::memory_order_relaxed) ? 1.0 : 0.0;
+      });
+  add("nec_router_shard_drained",
+      "1 once a drain finished with zero sessions left", MetricType::kGauge,
+      [](const ShardState& s) {
+        return s.drained.load(std::memory_order_relaxed) ? 1.0 : 0.0;
+      });
+  add("nec_router_shard_queue_depth",
+      "work-queue depth from the shard's last load report",
+      MetricType::kGauge, [](const ShardState& s) {
+        return static_cast<double>(
+            s.load_queue_depth.load(std::memory_order_relaxed));
+      });
+  add("nec_router_shard_sessions_migrated_total",
+      "sessions moved off the shard by draining reshards",
+      MetricType::kCounter, [](const ShardState& s) {
+        return static_cast<double>(
+            s.sessions_migrated.load(std::memory_order_relaxed));
       });
   return families;
 }

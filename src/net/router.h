@@ -51,11 +51,18 @@ struct ShardSpec {
 struct RouterShardStatus {
   ShardSpec spec;
   bool up = false;
+  bool saturated = false;  ///< admission control is shedding new sessions
+  bool draining = false;   ///< DrainShard() called; no new placements
+  bool drained = false;    ///< drain finished: zero sessions remain
   std::uint64_t sessions_active = 0;  ///< sticky assignments currently live
   std::uint64_t sessions_assigned_total = 0;
+  std::uint64_t sessions_migrated = 0;  ///< moved OFF this shard by drains
   std::uint64_t ejections = 0;
   std::uint64_t probes_ok = 0;
   std::uint64_t probes_failed = 0;
+  std::uint64_t queue_depth = 0;  ///< last kShardStatus load report
+  float e2e_p99_ms = 0.0f;
+  std::uint64_t overload_total = 0;
 };
 
 class Router {
@@ -72,6 +79,25 @@ class Router {
     std::size_t max_connections = 1024;
     std::size_t max_outbound_bytes = 64u << 20;
     std::size_t vnodes = 64;  ///< ring points per shard
+    /// Shared secret for the v2 auth handshake, used on BOTH faces: the
+    /// router challenges its own clients, and answers the shards'
+    /// challenges when dialing upstreams. Empty = auth disabled.
+    std::string secret;
+    /// Admission control: a shard whose kShardStatus load report shows a
+    /// queue depth at/above this is saturated — new sessions are shed
+    /// with a typed kOverload error instead of being buffered toward it.
+    /// The default effectively disables admission control.
+    std::uint64_t saturate_queue_depth = ~0ull;
+    /// Hysteresis: a saturated shard is readmitted for new sessions only
+    /// after `recover_statuses` consecutive load reports at/below
+    /// `recover_queue_depth` — so a shard hovering at the threshold
+    /// doesn't thrash in and out of the ring.
+    std::uint64_t recover_queue_depth = 0;
+    std::size_t recover_statuses = 2;
+    /// Backlog guard: a new session whose chosen upstream already has
+    /// more than this many unflushed bytes is shed with kOverload rather
+    /// than buffered behind a shard that is not keeping up.
+    std::size_t admission_backlog_bytes = 32u << 20;
   };
 
   explicit Router(Options options);
@@ -86,6 +112,14 @@ class Router {
   int port() const { return port_; }
   NetStatsSnapshot StatsSnapshot() const { return stats_.Snapshot(); }
   std::vector<RouterShardStatus> ShardStatuses() const;
+
+  /// Starts a zero-fault draining reshard of the shard labeled
+  /// "host:port": no new sessions are placed on it, every sticky session
+  /// is snapshotted by its shard once quiescent and restored onto a
+  /// surviving shard (bit-identical stream state), and the shard reports
+  /// `drained` once nothing references it. Thread-safe (callable from a
+  /// metrics HTTP handler); idempotent. False when no shard matches.
+  bool DrainShard(const std::string& label, std::string* error);
   /// nec_net_* (role="router") + per-shard health/session families.
   std::vector<obs::MetricFamily> MetricFamilies() const;
 
@@ -97,6 +131,9 @@ class Router {
   void Serve();
   void ProbeLoop();
   void ProbeOnce(ShardState& shard);
+  /// Polls the shard's load over the wire (kStatusRequest) and runs the
+  /// saturation hysteresis. Prober thread only.
+  void ProbeStatus(ShardState& shard);
   /// Fetches + caches a kHelloAck payload from any live shard so the
   /// router can answer client kHello itself.
   void RefreshHelloCache();
@@ -105,10 +142,28 @@ class Router {
   bool ReadClient(Connection& conn);
   bool HandleClientFrame(Connection& conn, Frame&& frame);
   bool ReadUpstream(Connection& conn, std::size_t shard_index);
-  /// Picks the ring owner for `wire_sid` among up shards; nullopt when
-  /// no shard is up.
-  std::optional<std::size_t> PickShard(std::uint64_t wire_sid) const;
+  /// Picks the ring owner for `wire_sid` among up, non-draining,
+  /// non-saturated shards; nullopt when none qualifies. When the only
+  /// reason nothing qualified was saturation (live shards existed),
+  /// *all_saturated is set so the caller sheds with typed kOverload.
+  std::optional<std::size_t> PickShard(std::uint64_t wire_sid,
+                                       bool* all_saturated) const;
+  /// Ring owner for a migrating session: prefers non-saturated shards
+  /// but will land on a saturated one rather than fault the session.
+  std::optional<std::size_t> PickMigrationTarget(std::uint64_t wire_sid) const;
   bool EnsureUpstream(Connection& conn, std::size_t shard_index);
+  /// Routes a draining shard's kSessionSnapshot onto a surviving shard
+  /// as kRestoreSession (blob forwarded verbatim).
+  void HandleSessionSnapshot(Connection& conn, std::size_t from_shard,
+                             Frame&& frame);
+  /// Sends kDrainSession for every session still pinned to a draining
+  /// shard and flips shards to `drained` once nothing references them.
+  void PumpDrains();
+  /// kAuthReject to a client + counter + close-after-write.
+  void RejectClientAuth(Connection& conn, const std::string& message);
+  /// Replies with the cached kHelloAck (or kError(kOverload) when no
+  /// shard has ever answered).
+  void SendHelloAck(Connection& conn);
   /// Faults every session of `conn` pinned to `shard_index` (kError with
   /// the runtime taxonomy) and closes the upstream.
   void FaultShardSessions(Connection& conn, std::size_t shard_index,

@@ -4,10 +4,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <bit>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 
+#include "net/auth.h"
 #include "obs/log.h"
 #include "synth/dataset.h"
 
@@ -30,8 +32,13 @@ std::uint64_t NowMs() {
 struct NetServer::WireSession {
   std::uint64_t wire_sid = 0;
   runtime::SessionManager::SessionId id = 0;
-  bool closing = false;  ///< client sent kCloseSession; flush when idle
-  bool nudge = false;    ///< a Submit bounced with kOverload; retry empty
+  /// Enrollment seeds, kept so a draining reshard can re-enroll the
+  /// session deterministically on another shard.
+  std::uint64_t speaker_seed = 0;
+  std::uint64_t ref_seed = 0;
+  bool closing = false;   ///< client sent kCloseSession; flush when idle
+  bool nudge = false;     ///< a Submit bounced with kOverload; retry empty
+  bool draining = false;  ///< router asked for a migration snapshot
 };
 
 struct NetServer::Connection {
@@ -41,6 +48,9 @@ struct NetServer::Connection {
   std::size_t out_off = 0;    ///< written prefix of outbound
   std::uint64_t last_activity_ms = 0;
   bool close_after_write = false;  ///< fatal error already queued
+  bool authed = false;        ///< v2 handshake passed (or auth disabled)
+  bool challenged = false;    ///< a nonce is outstanding
+  std::uint64_t nonce = 0;    ///< per-connection challenge nonce
   std::vector<WireSession> sessions;
 
   WireSession* Find(std::uint64_t wire_sid) {
@@ -147,6 +157,7 @@ void NetServer::AcceptPending() {
     }
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    conn->authed = options_.secret.empty();
     conn->last_activity_ms = NowMs();
     connections_.push_back(std::move(conn));
     stats_.AddAccepted();
@@ -190,6 +201,16 @@ bool NetServer::ReadAndDispatch(Connection& conn) {
 }
 
 bool NetServer::HandleFrame(Connection& conn, Frame&& frame) {
+  // Pre-auth gate: until the handshake completes, the only acceptable
+  // frames are kHello and kAuthResponse — an unauthenticated peer cannot
+  // enroll, submit, or even ping (the paper's threat model makes this
+  // service the trusted party; an open enrollment path invites flooding).
+  if (!conn.authed && frame.type != FrameType::kHello &&
+      frame.type != FrameType::kAuthResponse) {
+    RejectAuth(conn, std::string("unauthenticated ") +
+                         FrameTypeName(frame.type) + " frame");
+    return true;
+  }
   switch (frame.type) {
     case FrameType::kHello: {
       PayloadReader reader(frame.payload);
@@ -209,6 +230,67 @@ bool NetServer::HandleFrame(Connection& conn, Frame&& frame) {
         conn.close_after_write = true;
         return true;
       }
+      if (!conn.authed) {
+        // Secret configured and not yet proven: challenge instead of
+        // acking. Every hello gets a FRESH nonce, so a tag observed on
+        // one connection (or an earlier hello) never verifies again —
+        // that is the whole replay defense.
+        conn.nonce = RandomNonce();
+        conn.challenged = true;
+        Frame challenge;
+        challenge.type = FrameType::kAuthChallenge;
+        PutU64(&challenge.payload, conn.nonce);
+        SendFrame(conn, challenge);
+        return true;
+      }
+      const std::uint32_t chunk = static_cast<std::uint32_t>(
+          manager_->chunk_samples());
+      Frame ack;
+      ack.type = FrameType::kHelloAck;
+      PutU32(&ack.payload, kProtocolVersion);
+      PutU32(&ack.payload,
+             static_cast<std::uint32_t>(options_.input_sample_rate));
+      PutU32(&ack.payload, chunk);
+      PutU32(&ack.payload,
+             static_cast<std::uint32_t>(options_.output_sample_rate));
+      PutU32(&ack.payload,
+             static_cast<std::uint32_t>(
+                 static_cast<std::uint64_t>(chunk) *
+                 static_cast<std::uint64_t>(options_.output_sample_rate) /
+                 static_cast<std::uint64_t>(options_.input_sample_rate)));
+      SendFrame(conn, ack);
+      return true;
+    }
+
+    case FrameType::kAuthResponse: {
+      if (conn.authed) {
+        stats_.AddProtocolError();
+        SendError(conn, 0, runtime::ErrorCategory::kBadInput,
+                  "auth response on an authenticated connection");
+        return true;
+      }
+      if (!conn.challenged) {
+        RejectAuth(conn, "auth response without an outstanding challenge");
+        return true;
+      }
+      PayloadReader reader(frame.payload);
+      std::uint64_t tag = 0;
+      if (!reader.U64(&tag) || !reader.complete()) {
+        RejectAuth(conn, "bad auth response payload");
+        return true;
+      }
+      // One verification per nonce: consumed pass or fail, so a brute
+      // force cannot iterate tags against a single challenge.
+      conn.challenged = false;
+      const std::uint64_t want =
+          AuthTag(options_.secret, conn.nonce, frame.session_id);
+      if (tag != want) {
+        RejectAuth(conn, "auth tag mismatch");
+        return true;
+      }
+      conn.authed = true;
+      stats_.AddAuthOk();
+      // Complete the hello the challenge interrupted.
       const std::uint32_t chunk = static_cast<std::uint32_t>(
           manager_->chunk_samples());
       Frame ack;
@@ -257,6 +339,8 @@ bool NetServer::HandleFrame(Connection& conn, Frame&& frame) {
       WireSession session;
       session.wire_sid = frame.session_id;
       session.id = manager_->CreateSession(refs);
+      session.speaker_seed = speaker_seed;
+      session.ref_seed = ref_seed;
       conn.sessions.push_back(session);
       stats_.AddSessionOpened();
       Frame ack;
@@ -329,6 +413,71 @@ bool NetServer::HandleFrame(Connection& conn, Frame&& frame) {
       return true;
     }
 
+    case FrameType::kStatusRequest: {
+      SendShardStatus(conn);
+      return true;
+    }
+
+    case FrameType::kDrainSession: {
+      WireSession* session = conn.Find(frame.session_id);
+      if (session == nullptr) {
+        // Benign race: the session finished (kClosed/kError in flight
+        // toward the router) before the drain request landed. The
+        // terminal frame already releases the router's sticky state, so
+        // there is nothing to move.
+        return true;
+      }
+      // The router has stopped forwarding this session's frames; once
+      // everything in flight completes, PumpSessions exports a snapshot.
+      session->draining = true;
+      return true;
+    }
+
+    case FrameType::kRestoreSession: {
+      SessionSnapshotPayload snap;
+      if (!ParseSessionSnapshot(frame.payload, &snap)) {
+        stats_.AddProtocolError();
+        SendError(conn, frame.session_id,
+                  runtime::ErrorCategory::kBadInput,
+                  "bad restore_session payload");
+        return true;
+      }
+      if (conn.Find(frame.session_id) != nullptr) {
+        stats_.AddProtocolError();
+        SendError(conn, frame.session_id,
+                  runtime::ErrorCategory::kBadInput,
+                  "wire session id already open");
+        return true;
+      }
+      // Re-enroll deterministically from the migrated seeds (same weights
+      // + same seeds = the same enrolled session the draining shard had),
+      // then install the mid-stream state — partial tail and modulation
+      // latch — so continuation is bit-identical.
+      synth::DatasetBuilder enroll_builder(
+          {.duration_s = options_.enroll_seconds});
+      const auto refs = enroll_builder.MakeReferenceAudios(
+          synth::SpeakerProfile::FromSeed(snap.speaker_seed),
+          options_.enroll_refs, snap.ref_seed);
+      WireSession session;
+      session.wire_sid = frame.session_id;
+      session.id = manager_->CreateSession(refs);
+      session.speaker_seed = snap.speaker_seed;
+      session.ref_seed = snap.ref_seed;
+      manager_->RestoreSession(
+          session.id,
+          runtime::SessionSnapshot{
+              .tail = std::move(snap.tail),
+              .mod_reference_peak = std::bit_cast<double>(snap.latch_bits),
+              .chunks_emitted = snap.chunks_done});
+      conn.sessions.push_back(session);
+      stats_.AddSessionOpened();
+      Frame ack;
+      ack.type = FrameType::kOpenAck;
+      ack.session_id = frame.session_id;
+      SendFrame(conn, ack);
+      return true;
+    }
+
     default:
       // Server-to-client types arriving at the server are protocol abuse.
       stats_.AddProtocolError();
@@ -366,6 +515,49 @@ void NetServer::PumpSessions(Connection& conn) {
     }
 
     audio::Waveform out = manager_->TakeOutput(session.id);
+
+    if (session.draining && !session.closing) {
+      // Migration: deliver whatever shadow already completed, then — once
+      // every in-flight chunk has finished (strand parked, inbox empty,
+      // batcher lane idle) — export the mid-stream state and retire the
+      // wire session. The partial tail is NOT flushed: it travels in the
+      // snapshot and completes on the destination shard.
+      if (out.size() > 0) {
+        Frame data;
+        data.type = FrameType::kShadowData;
+        data.session_id = session.wire_sid;
+        PutFloats(&data.payload, out.samples());
+        SendFrame(conn, data);
+      }
+      if (session.nudge || !manager_->SessionQuiescent(session.id)) {
+        continue;  // still settling; try again next tick
+      }
+      if (auto snap = manager_->ExportSession(session.id)) {
+        SessionSnapshotPayload payload;
+        payload.speaker_seed = session.speaker_seed;
+        payload.ref_seed = session.ref_seed;
+        payload.chunks_done = snap->chunks_emitted;
+        payload.latch_bits =
+            std::bit_cast<std::uint64_t>(snap->mod_reference_peak);
+        payload.tail = std::move(snap->tail);
+        Frame snapshot;
+        snapshot.type = FrameType::kSessionSnapshot;
+        snapshot.session_id = session.wire_sid;
+        PutSessionSnapshot(&snapshot.payload, payload);
+        SendFrame(conn, snapshot);
+        // Reclaim the backing session: reuse buffers reset, modulation
+        // latch cleared. Migrated, not closed and not faulted.
+        manager_->ResetSession(session.id);
+        stats_.AddSessionMigrated();
+        conn.sessions.erase(conn.sessions.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        --i;
+      }
+      // nullopt = the session faulted at the last moment; the fault path
+      // above reports it on the next tick.
+      continue;
+    }
+
     const bool finish = session.closing &&
                         status.state == runtime::SessionState::kIdle;
     if (finish) {
@@ -406,6 +598,37 @@ void NetServer::SendError(Connection& conn, std::uint64_t wire_sid,
   frame.session_id = wire_sid;
   PutU32(&frame.payload, static_cast<std::uint32_t>(category));
   frame.payload.insert(frame.payload.end(), message.begin(), message.end());
+  SendFrame(conn, frame);
+}
+
+void NetServer::RejectAuth(Connection& conn, const std::string& message) {
+  stats_.AddAuthRejected();
+  NEC_LOG_WARN(kComponent, "auth rejected on fd %d: %s", conn.fd,
+               message.c_str());
+  Frame frame;
+  frame.type = FrameType::kAuthReject;
+  PutU32(&frame.payload, static_cast<std::uint32_t>(
+                             runtime::ErrorCategory::kAuthRejected));
+  frame.payload.insert(frame.payload.end(), message.begin(), message.end());
+  SendFrame(conn, frame);
+  conn.close_after_write = true;
+}
+
+void NetServer::SendShardStatus(Connection& conn) {
+  const runtime::RuntimeStatsSnapshot rs = manager_->Stats();
+  ShardStatusPayload status;
+  status.queue_depth = static_cast<std::uint32_t>(rs.queue_depth);
+  const std::int64_t forced =
+      status_depth_override_.load(std::memory_order_relaxed);
+  if (forced >= 0) status.queue_depth = static_cast<std::uint32_t>(forced);
+  std::uint64_t active = 0;
+  for (const auto& c : connections_) active += c->sessions.size();
+  status.active_sessions = static_cast<std::uint32_t>(active);
+  status.e2e_p99_ms = static_cast<float>(rs.e2e_latency.p99_ms);
+  status.overload_total = rs.dispatch_rejections;
+  Frame frame;
+  frame.type = FrameType::kShardStatus;
+  PutShardStatus(&frame.payload, status);
   SendFrame(conn, frame);
 }
 

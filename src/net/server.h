@@ -64,6 +64,11 @@ class NetServer {
     /// rate.
     int input_sample_rate = 16000;
     int output_sample_rate = 192000;
+    /// Shared secret for the v2 auth handshake. Empty = auth disabled
+    /// (kHello is answered with kHelloAck directly). Non-empty: every
+    /// connection must pass challenge–response before any other frame
+    /// type is accepted; failures get kAuthReject + disconnect.
+    std::string secret;
   };
 
   /// `manager` must outlive the server.
@@ -84,6 +89,13 @@ class NetServer {
   const NetStats& stats() const { return stats_; }
   NetStatsSnapshot StatsSnapshot() const { return stats_.Snapshot(); }
 
+  /// Test seam: report this queue depth in kShardStatus replies instead
+  /// of the real pool depth (-1 = report the truth). Lets saturation
+  /// tests drive the router's admission control deterministically.
+  void set_status_depth_override(std::int64_t depth) {
+    status_depth_override_.store(depth, std::memory_order_relaxed);
+  }
+
  private:
   struct Connection;
   struct WireSession;
@@ -99,6 +111,10 @@ class NetServer {
   void SendFrame(Connection& conn, const Frame& frame);
   void SendError(Connection& conn, std::uint64_t wire_sid,
                  runtime::ErrorCategory category, const std::string& message);
+  /// kAuthReject(kAuthRejected) + counter + close-after-write.
+  void RejectAuth(Connection& conn, const std::string& message);
+  /// kShardStatus reply for a kStatusRequest (load snapshot).
+  void SendShardStatus(Connection& conn);
   /// Flushes as much of conn.outbound as the socket accepts right now.
   /// Returns false when the connection must close.
   bool FlushOutbound(Connection& conn);
@@ -110,6 +126,7 @@ class NetServer {
 
   std::thread thread_;
   std::atomic<bool> stop_{false};
+  std::atomic<std::int64_t> status_depth_override_{-1};
   int port_ = 0;
   TcpListener listener_;
   std::vector<std::unique_ptr<Connection>> connections_;

@@ -79,6 +79,13 @@ std::size_t ContinuousBatcher::pending_for(void* key) const {
   return it == lanes_.end() ? 0 : it->second.fifo.size();
 }
 
+bool ContinuousBatcher::idle_for(void* key) const {
+  std::lock_guard lock(mu_);
+  const auto it = lanes_.find(key);
+  return it == lanes_.end() ||
+         (it->second.fifo.empty() && !it->second.in_flight);
+}
+
 void ContinuousBatcher::Drain() {
   std::unique_lock lock(mu_);
   drained_cv_.wait(

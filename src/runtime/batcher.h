@@ -110,6 +110,12 @@ class ContinuousBatcher {
   /// diagnostic snapshot — the count can change before the caller acts.
   std::size_t pending_for(void* key) const;
 
+  /// True when `key` has no pending chunks AND none in a running batch
+  /// (an absent lane is idle). Thread-safe; with no concurrent Enqueue
+  /// for the key, idleness is stable once observed — the quiescence
+  /// probe for session migration.
+  bool idle_for(void* key) const;
+
   /// Blocks until every lane is empty and no batch is in flight. Callers
   /// must guarantee no concurrent Enqueue (same contract as
   /// SessionManager::Drain).

@@ -12,6 +12,7 @@ const char* ErrorCategoryName(ErrorCategory category) {
     case ErrorCategory::kInvariant: return "invariant";
     case ErrorCategory::kDeadlineMiss: return "deadline-miss";
     case ErrorCategory::kOverload: return "overload";
+    case ErrorCategory::kAuthRejected: return "auth-rejected";
   }
   return "?";
 }

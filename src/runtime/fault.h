@@ -40,8 +40,9 @@ enum class ErrorCategory {
   kInvariant = 1,     ///< an NEC_CHECK (or equivalent) fired mid-chunk
   kDeadlineMiss = 2,  ///< chunk blew the overshadowing budget (§IV-C2)
   kOverload = 3,      ///< queue saturation bounced the caller (kReject)
+  kAuthRejected = 4,  ///< wire auth handshake failed (bad/replayed tag)
 };
-inline constexpr std::size_t kNumErrorCategories = 4;
+inline constexpr std::size_t kNumErrorCategories = 5;
 
 const char* ErrorCategoryName(ErrorCategory category);
 

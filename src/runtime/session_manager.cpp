@@ -684,6 +684,54 @@ void SessionManager::ResetSession(SessionId id) {
   stats_.AddSessionReset();
 }
 
+bool SessionManager::SessionQuiescent(SessionId id) const {
+  Session* s = GetSession(id);
+  {
+    std::lock_guard lock(s->mu);
+    if (s->running || !s->inbox.empty()) return false;
+  }
+  // Batched mode: the strand parks while popped chunks still sit in the
+  // session's batcher lane (or ride a running batch) — those mutate the
+  // processor when they complete, so the session is not quiescent yet.
+  return batcher_ == nullptr || batcher_->idle_for(s);
+}
+
+std::optional<SessionSnapshot> SessionManager::ExportSession(SessionId id) {
+  Session* s = GetSession(id);
+  {
+    std::lock_guard lock(s->mu);
+    if (s->error.has_value()) return std::nullopt;
+    NEC_CHECK_MSG(!s->running && s->inbox.empty(),
+                  "ExportSession requires a quiescent session");
+  }
+  NEC_CHECK_MSG(batcher_ == nullptr || batcher_->idle_for(s),
+                "ExportSession with chunks still in the batcher");
+  // Quiescent by contract, so the strand-owned processor is safe to read.
+  SessionSnapshot snapshot;
+  const auto tail = s->proc.buffered_samples();
+  snapshot.tail.assign(tail.begin(), tail.end());
+  snapshot.mod_reference_peak = s->proc.modulation_reference_peak();
+  {
+    std::lock_guard lock(s->mu);
+    snapshot.chunks_emitted = s->chunk_count;
+  }
+  return snapshot;
+}
+
+void SessionManager::RestoreSession(SessionId id,
+                                    const SessionSnapshot& snapshot) {
+  Session* s = GetSession(id);
+  {
+    std::lock_guard lock(s->mu);
+    NEC_CHECK_MSG(!s->running && s->inbox.empty() && !s->error.has_value() &&
+                      s->chunk_count == 0,
+                  "RestoreSession requires a fresh session");
+    s->chunk_count = snapshot.chunks_emitted;
+  }
+  // Fresh by contract — RestoreStreamState re-checks the processor side.
+  s->proc.RestoreStreamState(snapshot.tail, snapshot.mod_reference_peak);
+}
+
 core::ModuleTimings SessionManager::SessionTimings(SessionId id) const {
   return GetSession(id)->proc.timings();
 }

@@ -108,6 +108,19 @@ struct SubmitResult {
   explicit operator bool() const { return ok(); }
 };
 
+/// The complete mid-stream state of a healthy session, exported for
+/// migration to another SessionManager sharing the same weight set
+/// (fleet draining reshard, DESIGN.md §5h). Enrollment does not travel —
+/// it is seed-deterministic, so the re-enrolling side rebuilds it; what
+/// does travel is everything the stream computed so far that future
+/// output depends on: the partial-chunk tail and the stream-wide
+/// modulation-reference latch.
+struct SessionSnapshot {
+  std::vector<float> tail;              ///< buffered partial-chunk samples
+  double mod_reference_peak = 0.0;      ///< 0.0 = not yet latched
+  std::uint64_t chunks_emitted = 0;     ///< carried for status continuity
+};
+
 class SessionManager {
  public:
   using SessionId = std::size_t;
@@ -219,6 +232,24 @@ class SessionManager {
   /// is quiescent — after it reported kFaulted, or after Drain() with no
   /// concurrent Submit. Previously produced output remains takeable.
   void ResetSession(SessionId id);
+
+  /// True when the session can be exported right now: no strand in
+  /// flight, empty inbox, and (in batched mode) no chunks pending or in
+  /// a running batch. With no concurrent Submit for this session,
+  /// quiescence is stable once observed. Thread-safe.
+  bool SessionQuiescent(SessionId id) const;
+
+  /// Exports the session's mid-stream state for migration. Requires
+  /// quiescence (NEC_CHECK) and a healthy session — a faulted one
+  /// returns nullopt (its backlog was shed; there is no stream left to
+  /// continue). The session itself is untouched: callers typically
+  /// ResetSession() afterwards to reclaim it.
+  std::optional<SessionSnapshot> ExportSession(SessionId id);
+
+  /// Installs a migrated snapshot onto a freshly created (never
+  /// submitted-to) session, making its future output bit-identical to
+  /// the exporting session having continued. NEC_CHECKs freshness.
+  void RestoreSession(SessionId id, const SessionSnapshot& snapshot);
 
   /// Per-module latency accounting of one session's processor. Call while
   /// the session is idle (after Drain): the counters are strand-owned.

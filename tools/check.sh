@@ -23,10 +23,14 @@
 #                                    # `alloc` JSON section (smoke + the
 #                                    # committed BENCH_hotpath.json) must
 #                                    # carry honest before/after counts
-#   CHECK_NET=1 tools/check.sh       # also run the wire-codec fuzz tests
-#                                    # under ASan+UBSan, boot 2 shards + the
-#                                    # router on loopback, push a loadgen
-#                                    # smoke through the router, scrape
+#   CHECK_NET=1 tools/check.sh       # also run the wire-codec + v2 payload
+#                                    # fuzz tests under ASan+UBSan, boot an
+#                                    # AUTHENTICATED 2-shard fleet + router
+#                                    # on loopback, push a loadgen smoke
+#                                    # through the router while draining one
+#                                    # shard mid-traffic (zero faults
+#                                    # required), prove a bad-secret probe
+#                                    # is rejected and counted, scrape
 #                                    # /metrics from all three daemons, and
 #                                    # validate the net_fleet bench JSON
 #   CHECK_JOBS=8 tools/check.sh      # override build/test parallelism
@@ -331,11 +335,12 @@ EOF
 fi
 
 if [[ "${NET}" == "1" ]]; then
-  step "networked serving: ASan codec fuzz + 2-shard fleet on loopback"
+  step "networked serving: ASan codec fuzz + authed 2-shard fleet + drain"
 
-  # The frame-codec fuzz suites assert typed errors and no over-read on
-  # random/truncated/corrupted input; ASan turns any over-read the
-  # assertions miss into a hard failure.
+  # The frame-codec and v2-payload fuzz suites assert typed errors and no
+  # over-read on random/truncated/corrupted input (auth, status, and
+  # snapshot frames included); ASan turns any over-read the assertions
+  # miss into a hard failure. Auth.* covers SipHash KATs + tag binding.
   cmake -B build-check-asan -S . \
     -DCMAKE_BUILD_TYPE=Release \
     -DNEC_NATIVE_ARCH=OFF \
@@ -343,7 +348,7 @@ if [[ "${NET}" == "1" ]]; then
     -DNEC_BUILD_BENCH=OFF -DNEC_BUILD_EXAMPLES=OFF
   cmake --build build-check-asan -j "${JOBS}" --target test_net
   ./build-check-asan/tests/test_net \
-    --gtest_filter='Crc32.*:FrameCodec.*:PayloadReader.*:SocketIo.*'
+    --gtest_filter='Auth.*:Crc32.*:FrameCodec.*:PayloadReader.*:SocketIo.*'
 
   NET_DIR="build-check-release/net-check"
   rm -rf "${NET_DIR}" && mkdir -p "${NET_DIR}"
@@ -351,11 +356,15 @@ if [[ "${NET}" == "1" ]]; then
   NECCTL="./build-check-release/examples/necctl"
 
   # Two tiny-model shards + the router, all on ephemeral loopback ports
-  # grepped from stdout. Tiny keeps the stage hermetic (no training cache).
+  # grepped from stdout, and ALL requiring the v2 shared-secret handshake.
+  # Tiny keeps the stage hermetic (no training cache).
+  SECRET="fleet-check-secret"
   "${NECD}" --listen 0 --model tiny --metrics-port 0 --workers 2 \
+    --secret "${SECRET}" \
     > "${NET_DIR}/shard1.out" 2> "${NET_DIR}/shard1.err" &
   SHARD1_PID=$!
   "${NECD}" --listen 0 --model tiny --metrics-port 0 --workers 2 \
+    --secret "${SECRET}" \
     > "${NET_DIR}/shard2.out" 2> "${NET_DIR}/shard2.err" &
   SHARD2_PID=$!
   trap 'kill "${SHARD1_PID}" "${SHARD2_PID}" "${ROUTER_PID:-}" 2>/dev/null || true' EXIT
@@ -375,7 +384,7 @@ if [[ "${NET}" == "1" ]]; then
     echo "shards never bound their ports"; exit 1; }
 
   "${NECD}" --route "127.0.0.1:${P1}:${M1},127.0.0.1:${P2}:${M2}" \
-    --metrics-port 0 \
+    --metrics-port 0 --secret "${SECRET}" \
     > "${NET_DIR}/router.out" 2> "${NET_DIR}/router.err" &
   ROUTER_PID=$!
   for _ in $(seq 1 60); do
@@ -387,18 +396,76 @@ if [[ "${NET}" == "1" ]]; then
   RM="$(port_of router.out 'http://127.0.0.1:[0-9]*')"
   [[ -n "${RP}" && -n "${RM}" ]] || { echo "router never bound"; exit 1; }
 
-  # Loadgen smoke through the router; every session must complete.
-  "${NECCTL}" loadgen --endpoints "127.0.0.1:${RP}" \
-    --sessions 16 --connections 4 --chunks 2 --streams 2 --json \
-    > "${NET_DIR}/loadgen.json"
+  # A probe with the wrong secret must be rejected as its own failure
+  # class — auth_rejected, not refused and not a timeout — and counted on
+  # the router's /metrics.
+  "${NECCTL}" loadgen --endpoints "127.0.0.1:${RP}" --secret "wrong-secret" \
+    --sessions 1 --connections 1 --chunks 1 --streams 1 --json \
+    > "${NET_DIR}/badsecret.json" && {
+      echo "bad-secret loadgen unexpectedly succeeded"; exit 1; } || true
+  python3 - "${NET_DIR}/badsecret.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["ok"] is False, r
+assert r["auth_rejected"] is True, f"not flagged as auth rejection: {r}"
+print("net check: bad-secret probe rejected as auth_rejected")
+EOF
+
+  # Authenticated loadgen through the router, with a zero-fault draining
+  # reshard of shard 1 kicked off mid-traffic: every session must still
+  # complete — migrated sessions continue on the surviving shard.
+  "${NECCTL}" loadgen --endpoints "127.0.0.1:${RP}" --secret "${SECRET}" \
+    --sessions 16 --connections 4 --chunks 6 --streams 2 --json \
+    > "${NET_DIR}/loadgen.json" &
+  LOADGEN_PID=$!
+  sleep 2
+  "${NECCTL}" drain --url "http://127.0.0.1:${RM}" \
+    --shard "127.0.0.1:${P1}" > "${NET_DIR}/drain.out"
+  grep -q '"draining"' "${NET_DIR}/drain.out" || {
+    echo "drain request not accepted:"; cat "${NET_DIR}/drain.out"; exit 1; }
+  wait "${LOADGEN_PID}"
   python3 - "${NET_DIR}/loadgen.json" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
 assert r["ok"] is True, r
-assert r["sessions_completed"] == 16 and r["sessions_faulted"] == 0, r
-assert r["chunks_acked"] == 32, r
-print(f"net check: loadgen 16/16 sessions, {r['chunks_per_sec']:.1f}"
-      f" chunks/s, p50 {r['latency_p50_ms']:.0f} ms through the router")
+assert r["sessions_completed"] == 16 and r["sessions_faulted"] == 0, \
+    f"drain faulted sessions: {r}"
+assert r["chunks_acked"] == 96, r
+print(f"net check: loadgen 16/16 sessions across a mid-traffic drain,"
+      f" {r['chunks_per_sec']:.1f} chunks/s,"
+      f" p50 {r['latency_p50_ms']:.0f} ms through the router")
+EOF
+
+  # The drained shard must reach the terminal state: zero sticky
+  # sessions, drained gauge raised, nothing faulted by the reshard.
+  python3 - "${RM}" "127.0.0.1:${P1}" <<'EOF'
+import sys, time, urllib.request
+port, shard = sys.argv[1], sys.argv[2]
+def scrape():
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics",
+                                timeout=10) as r:
+        assert r.status == 200
+        return r.read().decode()
+def value(text, name):
+    for line in text.splitlines():
+        if line.startswith(f'{name}{{shard="{shard}"}}'):
+            return float(line.split()[-1])
+    raise AssertionError(f"{name} for {shard} not in /metrics")
+for _ in range(100):
+    text = scrape()
+    if value(text, "nec_router_shard_drained") == 1.0:
+        break
+    time.sleep(0.2)
+else:
+    raise AssertionError("shard never reported drained")
+assert value(text, "nec_router_shard_draining") == 1.0
+assert value(text, "nec_router_shard_sessions") == 0.0
+migrated = value(text, "nec_router_shard_sessions_migrated_total")
+for line in text.splitlines():
+    if line.startswith('nec_net_sessions_faulted_total{role="router"}'):
+        assert float(line.split()[-1]) == 0.0, line
+print(f"net check: shard drained clean ({migrated:.0f} session(s) migrated,"
+      f" 0 faulted)")
 EOF
 
   # All three daemons must expose per-connection counters on /metrics —
@@ -410,6 +477,11 @@ def scrape(port):
                                 timeout=10) as r:
         assert r.status == 200
         return r.read().decode()
+def value(text, needle):
+    for line in text.splitlines():
+        if line.startswith(needle):
+            return float(line.split()[-1])
+    raise AssertionError(f"{needle!r} not in /metrics")
 for port in (sys.argv[1], sys.argv[2]):
     text = scrape(port)
     for needle in ('nec_net_connections_accepted_total{role="server"}',
@@ -417,15 +489,23 @@ for port in (sys.argv[1], sys.argv[2]):
                    'nec_net_sessions_opened_total{role="server"}',
                    "nec_chunks_processed_total"):
         assert needle in text, f"shard :{port} missing {needle!r}"
+    # The router's upstream dials + status prober authenticate too.
+    assert value(text, 'nec_net_auth_ok_total{role="server"}') > 0
 text = scrape(sys.argv[3])
 for needle in ('nec_net_connections_accepted_total{role="router"}',
                "nec_router_shard_up{shard=",
                "nec_router_shard_sessions_assigned_total{shard="):
     assert needle in text, f"router missing {needle!r}"
+# The good loadgen authenticated; the deliberate bad-secret probe must
+# have been counted as a rejection.
+assert value(text, 'nec_net_auth_ok_total{role="router"}') > 0
+rejected = value(text, 'nec_net_auth_rejected_total{role="router"}')
+assert rejected > 0, "bad-secret probe not counted in auth_rejected"
 up = [l for l in text.splitlines()
       if l.startswith("nec_router_shard_up{") and l.endswith(" 1")]
 assert len(up) == 2, f"expected 2 shards up, got {up}"
-print("net check: /metrics ok on both shards + router (2 shards up)")
+print("net check: /metrics ok on both shards + router"
+      f" (2 shards up, {rejected:.0f} auth rejection(s))")
 EOF
 
   kill "${SHARD1_PID}" "${SHARD2_PID}" "${ROUTER_PID}" 2>/dev/null || true
