@@ -230,6 +230,14 @@ Row RunDirect(const Model& model, const BenchParams& p,
       }
       for (std::size_t i : mine) {
         Drive& d = drives[i];
+        // The last burst becomes visible (output appended) a beat before
+        // the strand parks, so "all output collected" is not yet "idle".
+        // Flush demands idle — wait for it, the same gate the net server
+        // applies before flushing (server.cpp PumpSessions).
+        while (manager.SessionStatus(d.id).state ==
+               runtime::SessionState::kRunning) {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
         if (auto tail = manager.Flush(d.id)) {
           d.shadow.insert(d.shadow.end(), tail->data().begin(),
                           tail->data().end());

@@ -29,14 +29,21 @@ inline void SipRound(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
   v2 = Rotl(v2, 32);
 }
 
-/// FNV-1a folded over the secret from a caller-chosen basis, so k0 and
-/// k1 are two independent 64-bit digests of the same secret.
-std::uint64_t FoldSecret(std::string_view secret, std::uint64_t basis) {
-  std::uint64_t h = basis;
-  for (const char c : secret) {
-    h ^= static_cast<std::uint8_t>(c);
-    h *= 0x100000001B3ull;  // FNV prime
-  }
+/// FNV-1a over secret || domain. Folding a per-key domain suffix INTO
+/// the hash (rather than starting k0/k1 from different bases) keeps the
+/// two digests from being related by a constant pre-finalizer delta —
+/// the suffix bytes mix through multiply-xor rounds that depend on the
+/// whole secret state.
+std::uint64_t FoldSecret(std::string_view secret, std::string_view domain) {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a offset basis
+  const auto fold = [&h](std::string_view bytes) {
+    for (const char c : bytes) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001B3ull;  // FNV prime
+    }
+  };
+  fold(secret);
+  fold(domain);
   // Final avalanche (splitmix64 finalizer) so short secrets still spread
   // across all 64 bits.
   h ^= h >> 30;
@@ -83,14 +90,12 @@ std::uint64_t SipHash24(std::uint64_t k0, std::uint64_t k1,
   return v0 ^ v1 ^ v2 ^ v3;
 }
 
-std::uint64_t AuthTag(std::string_view secret, std::uint64_t nonce,
-                      std::uint64_t client_id) {
-  const std::uint64_t k0 = FoldSecret(secret, 0xCBF29CE484222325ull);
-  const std::uint64_t k1 = FoldSecret(secret, 0x6C62272E07BB0142ull);
-  std::uint8_t msg[16];
+std::uint64_t AuthTag(std::string_view secret, std::uint64_t nonce) {
+  const std::uint64_t k0 = FoldSecret(secret, "nec-auth-k0");
+  const std::uint64_t k1 = FoldSecret(secret, "nec-auth-k1");
+  std::uint8_t msg[8];
   for (int i = 0; i < 8; ++i) {
     msg[i] = static_cast<std::uint8_t>(nonce >> (8 * i));
-    msg[8 + i] = static_cast<std::uint8_t>(client_id >> (8 * i));
   }
   return SipHash24(k0, k1, msg, sizeof msg);
 }

@@ -10,14 +10,16 @@
 //
 //   client → kHello            (versions, as v1)
 //   server → kAuthChallenge    (fresh random u64 nonce)
-//   client → kAuthResponse     (u64 tag = AuthTag(secret, nonce, id))
+//   client → kAuthResponse     (u64 tag = AuthTag(secret, nonce))
 //   server → kHelloAck         (as v1) — or kAuthReject + close
 //
-// The tag is SipHash-2-4 keyed by the secret over (nonce || client id),
-// so it proves possession of the secret without revealing it, and a tag
+// The tag is SipHash-2-4 keyed by the secret over the nonce, so it
+// proves possession of the secret without revealing it, and a tag
 // replayed onto another connection fails because that connection was
-// issued a different nonce. This is authentication only — frames are
-// not encrypted; deployments needing confidentiality tunnel the port.
+// issued a different nonce — per-connection freshness comes entirely
+// from the nonce; connections have no other identity to bind. This is
+// authentication only — frames are not encrypted; deployments needing
+// confidentiality tunnel the port.
 #pragma once
 
 #include <cstdint>
@@ -30,12 +32,12 @@ namespace nec::net {
 std::uint64_t SipHash24(std::uint64_t k0, std::uint64_t k1,
                         const std::uint8_t* data, std::size_t size);
 
-/// The keyed response tag: SipHash-2-4 over the 16-byte little-endian
-/// message (nonce || client_id), with the 128-bit key derived from the
-/// secret via two independent FNV-1a folds. `client_id` binds the tag to
-/// the connection's identity so it cannot be lifted onto another hello.
-std::uint64_t AuthTag(std::string_view secret, std::uint64_t nonce,
-                      std::uint64_t client_id);
+/// The keyed response tag: SipHash-2-4 over the 8-byte little-endian
+/// nonce, keyed by two domain-separated FNV-1a digests of the secret
+/// (folding secret || "nec-auth-k0"/"-k1", so the halves are not related
+/// by a constant delta). Dependency-free, not a vetted KDF: deployments
+/// needing real cryptographic strength should tunnel the port.
+std::uint64_t AuthTag(std::string_view secret, std::uint64_t nonce);
 
 /// A fresh unpredictable nonce (std::random_device mixed with a
 /// process-wide counter so even a stuck entropy source never repeats).

@@ -31,6 +31,16 @@ NetClient::~NetClient() { Close(); }
 bool NetClient::Connect(const std::string& host, int port,
                         int connect_timeout_ms, std::string* error) {
   Close();
+  // A new connection is a new protocol instance: the previous hello,
+  // any connection-scoped error (auth reject included), and all wire
+  // session state belong to the old socket. Carrying them over would
+  // make Hello() return a stale ack without running the handshake —
+  // and a stale connection_error_ fail it before it starts.
+  hello_info_.reset();
+  connection_error_.reset();
+  auth_rejected_ = false;
+  shard_status_.reset();
+  sessions_.clear();
   fd_ = DialTcp(host, port, connect_timeout_ms, error);
   return fd_ >= 0;
 }
@@ -317,8 +327,7 @@ void NetClient::Dispatch(Frame&& frame) {
       Frame response;
       response.type = FrameType::kAuthResponse;
       response.session_id = frame.session_id;
-      PutU64(&response.payload,
-             AuthTag(secret_, nonce, frame.session_id));
+      PutU64(&response.payload, AuthTag(secret_, nonce));
       // A failed send surfaces on the next pump (connection closed).
       SendFrame(response, nullptr);
       return;

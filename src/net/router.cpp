@@ -518,7 +518,7 @@ bool Router::HandleClientFrame(Connection& conn, Frame&& frame) {
         RejectClientAuth(conn, "malformed auth response payload");
         return true;
       }
-      if (tag != AuthTag(options_.secret, conn.nonce, frame.session_id)) {
+      if (tag != AuthTag(options_.secret, conn.nonce)) {
         RejectClientAuth(conn, "auth tag mismatch");
         return true;
       }
@@ -606,7 +606,14 @@ bool Router::HandleClientFrame(Connection& conn, Frame&& frame) {
       const auto mig = conn.migrations.find(frame.session_id);
       if (mig != conn.migrations.end()) {
         // Mid-reshard: park in order; flushed after the restore ack.
+        // Parked bytes are bounded by the same admission guard as
+        // upstream backlogs — a restore target that never acks must not
+        // let a still-streaming client grow this buffer without bound.
         EncodeFrame(frame, &mig->second.parked);
+        if (mig->second.parked.size() > options_.admission_backlog_bytes) {
+          FaultMigration(conn, frame.session_id,
+                         "reshard stalled: parked backlog full");
+        }
         return true;
       }
       EncodeFrame(frame, &conn.upstreams[it->second].outbound);
@@ -746,7 +753,7 @@ bool Router::EnsureUpstream(Connection& conn, std::size_t shard_index) {
     HelloInfo info;
     if (handshake.Connect(spec.host, spec.port, options_.connect_timeout_ms,
                           &error) &&
-        handshake.Hello(&info, 2000, &error)) {
+        handshake.Hello(&info, options_.upstream_hello_timeout_ms, &error)) {
       fd = handshake.ReleaseFd();
     }
   }
@@ -761,6 +768,36 @@ bool Router::EnsureUpstream(Connection& conn, std::size_t shard_index) {
   up.outbound.clear();
   up.out_off = 0;
   return true;
+}
+
+void Router::FaultMigration(Connection& conn, std::uint64_t wire_sid,
+                            const std::string& why) {
+  const auto mit = conn.migrations.find(wire_sid);
+  if (mit == conn.migrations.end()) return;
+  const Connection::Migration& mig = mit->second;
+  // If the restore already landed on a target, close the session there
+  // so the rehomed state doesn't leak on a shard the client will never
+  // reach again.
+  if (mig.target != Connection::Migration::kNoTarget &&
+      conn.upstreams[mig.target].connected()) {
+    Frame close;
+    close.type = FrameType::kCloseSession;
+    close.session_id = wire_sid;
+    EncodeFrame(close, &conn.upstreams[mig.target].outbound);
+  }
+  SendErrorToClient(
+      conn, wire_sid,
+      static_cast<std::uint32_t>(runtime::ErrorCategory::kOverload), why);
+  stats_.AddSessionFaulted();
+  const auto sit = conn.session_shard.find(wire_sid);
+  if (sit != conn.session_shard.end()) {
+    // session_shard tracks whichever shard currently holds the active
+    // count (source pre-snapshot, target post-restore).
+    shards_[sit->second]->sessions_active.fetch_sub(
+        1, std::memory_order_relaxed);
+    conn.session_shard.erase(sit);
+  }
+  conn.migrations.erase(wire_sid);
 }
 
 void Router::FaultShardSessions(Connection& conn, std::size_t shard_index,

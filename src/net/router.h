@@ -75,6 +75,12 @@ class Router {
     std::size_t eject_after = 2;   ///< consecutive probe failures
     std::size_t readmit_after = 2; ///< consecutive probe successes
     int connect_timeout_ms = 1000; ///< dialing a shard's data port
+    /// With auth enabled, dialing an upstream runs the hello handshake
+    /// synchronously on the poll thread, which head-of-line blocks every
+    /// connected client for up to connect_timeout_ms +
+    /// upstream_hello_timeout_ms per dial. Keep this tight; a shard too
+    /// slow to answer is better treated as down than waited on.
+    int upstream_hello_timeout_ms = 500;
     int tick_ms = 5;
     std::size_t max_connections = 1024;
     std::size_t max_outbound_bytes = 64u << 20;
@@ -168,6 +174,10 @@ class Router {
   /// the runtime taxonomy) and closes the upstream.
   void FaultShardSessions(Connection& conn, std::size_t shard_index,
                           const std::string& why);
+  /// Faults one mid-reshard session (typed kOverload) and releases its
+  /// sticky assignment, migration entry, and any restored target state.
+  void FaultMigration(Connection& conn, std::uint64_t wire_sid,
+                      const std::string& why);
   /// Applies prober ejections to live connections (poll thread only).
   void ApplyHealthTransitions();
 

@@ -282,8 +282,7 @@ bool NetServer::HandleFrame(Connection& conn, Frame&& frame) {
       // One verification per nonce: consumed pass or fail, so a brute
       // force cannot iterate tags against a single challenge.
       conn.challenged = false;
-      const std::uint64_t want =
-          AuthTag(options_.secret, conn.nonce, frame.session_id);
+      const std::uint64_t want = AuthTag(options_.secret, conn.nonce);
       if (tag != want) {
         RejectAuth(conn, "auth tag mismatch");
         return true;

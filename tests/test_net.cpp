@@ -112,7 +112,7 @@ std::vector<Frame> RepresentativeFrames() {
   }
   {
     std::vector<std::uint8_t> p;
-    PutU64(&p, AuthTag("fleet-secret", 0x1122334455667788ull, 17));
+    PutU64(&p, AuthTag("fleet-secret", 0x1122334455667788ull));
     frames.push_back(MakeFrame(FrameType::kAuthResponse, 17, std::move(p)));
   }
   {
@@ -438,13 +438,12 @@ TEST(Auth, SipHash24MatchesReferenceVectors) {
   EXPECT_EQ(SipHash24(k0, k1, in, 15), 0xa129ca6149be45e5ull);
 }
 
-TEST(Auth, TagBindsSecretNonceAndClientId) {
-  const std::uint64_t tag = AuthTag("fleet-secret", 7, 21);
-  EXPECT_EQ(AuthTag("fleet-secret", 7, 21), tag);  // deterministic
-  EXPECT_NE(AuthTag("other-secret", 7, 21), tag);
-  EXPECT_NE(AuthTag("fleet-secret", 8, 21), tag);
-  EXPECT_NE(AuthTag("fleet-secret", 7, 22), tag);
-  EXPECT_NE(AuthTag("", 7, 21), tag);
+TEST(Auth, TagBindsSecretAndNonce) {
+  const std::uint64_t tag = AuthTag("fleet-secret", 7);
+  EXPECT_EQ(AuthTag("fleet-secret", 7), tag);  // deterministic
+  EXPECT_NE(AuthTag("other-secret", 7), tag);
+  EXPECT_NE(AuthTag("fleet-secret", 8), tag);
+  EXPECT_NE(AuthTag("", 7), tag);
 }
 
 TEST(Auth, RandomNoncesAreDistinct) {
@@ -844,6 +843,42 @@ TEST(NetAuthE2E, WrongSecretIsRejectedAndCounted) {
   server.Stop();
 }
 
+TEST(NetAuthE2E, RedialAfterRejectStartsFreshHandshake) {
+  // Regression: Connect() must reset per-connection handshake state
+  // (hello_info_, connection_error_, auth_rejected_). The router's
+  // status prober reuses one NetClient across redials; stale state from
+  // a failed attempt would otherwise fail — or skip — every later
+  // handshake, freezing saturation tracking on a dead verdict.
+  SharedModel model;
+  runtime::SessionManager manager(model.selector, model.encoder, {},
+                                  model.ManagerOptions());
+  NetServer server(&manager, {.secret = "fleet-secret"});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  NetClient client;
+  client.set_secret("wrong-secret");
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 2000, &error))
+      << error;
+  HelloInfo hello;
+  ASSERT_FALSE(client.Hello(&hello, 5000, &error));
+  ASSERT_TRUE(client.auth_rejected());
+
+  client.set_secret("fleet-secret");
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 2000, &error))
+      << error;
+  EXPECT_FALSE(client.auth_rejected());
+  EXPECT_FALSE(client.connection_error().has_value());
+  EXPECT_FALSE(client.hello_info().has_value());
+  ASSERT_TRUE(client.Hello(&hello, 5000, &error)) << error;
+  EXPECT_EQ(hello.version, kProtocolVersion);
+  // The redialed connection is fully usable: the post-hello status poll
+  // (exactly the prober's sequence) must round-trip.
+  ShardStatusPayload status;
+  EXPECT_TRUE(client.QueryStatus(&status, 5000, &error)) << error;
+  server.Stop();
+}
+
 TEST(NetAuthE2E, MissingSecretFailsAsAuthNotTimeout) {
   SharedModel model;
   runtime::SessionManager manager(model.selector, model.encoder, {},
@@ -929,7 +964,7 @@ TEST(NetAuthE2E, ReplayedTagFromAnotherConnectionIsRejected) {
   Frame response_a;
   response_a.type = FrameType::kAuthResponse;
   response_a.session_id = 5;
-  const std::uint64_t tag_a = AuthTag("fleet-secret", nonce_a, 5);
+  const std::uint64_t tag_a = AuthTag("fleet-secret", nonce_a);
   PutU64(&response_a.payload, tag_a);
   ASSERT_TRUE(SendRawFrame(fd_a, response_a));
   Frame ack_a;
