@@ -12,10 +12,19 @@
 // enabled-tracing overhead. tools/check.sh (CHECK_OBS=1) asserts the
 // disabled-arm numbers stay within 2% of the runtime_throughput
 // sequential baseline recorded in the same BENCH_hotpath.json.
+//
+// A second A/B covers the NETWORKED path (the fleet-observability
+// surface): loadgen driving a 2-shard router fleet on loopback, tracing
+// disabled vs enabled. With tracing enabled every chunk additionally
+// mints a flow id, sends a kTraceContext frame ahead of the submit, and
+// records client/router/shard spans — so this arm prices the whole
+// cross-process propagation machinery, not just the span sites. Written
+// as the `obs_fleet_overhead` section of the same BENCH_hotpath.json.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_json.h"
@@ -23,7 +32,12 @@
 #include "core/selector.h"
 #include "core/streaming.h"
 #include "encoder/encoder.h"
+#include "net/loadgen.h"
+#include "net/router.h"
+#include "net/server.h"
+#include "obs/http.h"
 #include "obs/trace.h"
+#include "runtime/session_manager.h"
 #include "synth/dataset.h"
 
 namespace nec::bench {
@@ -111,6 +125,103 @@ ArmResult Best(const ArmResult& a, const ArmResult& b) {
   return b.chunks_per_sec > a.chunks_per_sec ? b : a;
 }
 
+// ------------------------------------------------- networked fleet A/B
+
+struct FleetParams {
+  std::size_t sessions = 32;
+  std::size_t connections = 8;
+  std::size_t chunks_per_session = 3;
+  std::size_t stream_pool = 4;
+  std::size_t workers = 4;
+  std::size_t reps = 2;
+
+  static FleetParams Get() {
+    if (!BenchSmokeMode()) return {};
+    return {.sessions = 8,
+            .connections = 4,
+            .chunks_per_session = 2,
+            .stream_pool = 2,
+            .reps = 1};
+  }
+};
+
+/// Two shards behind the consistent-hash router, all in this process on
+/// loopback — the same topology bench_net_fleet measures, held alive
+/// across both arms so A and B share identical placement.
+struct LoopbackFleet {
+  std::vector<std::unique_ptr<runtime::SessionManager>> managers;
+  std::vector<std::unique_ptr<net::NetServer>> servers;
+  std::vector<std::unique_ptr<obs::MetricsServer>> health;
+  std::unique_ptr<net::Router> router;
+
+  bool Start(const core::NecConfig& cfg, std::size_t workers,
+             std::string* error) {
+    net::Router::Options options;
+    for (int s = 0; s < 2; ++s) {
+      managers.push_back(std::make_unique<runtime::SessionManager>(
+          std::make_shared<const core::Selector>(cfg, /*init_seed=*/29),
+          std::make_shared<encoder::LasEncoder>(cfg.embedding_dim),
+          core::PipelineOptions{},
+          runtime::SessionManager::Options{.workers = workers,
+                                           .chunk_s = kChunkSeconds}));
+      servers.push_back(std::make_unique<net::NetServer>(
+          managers.back().get(), net::NetServer::Options{}));
+      if (!servers.back()->Start(error)) return false;
+      health.push_back(std::make_unique<obs::MetricsServer>());
+      health.back()->Handle("/healthz",
+                            [](const std::string&, const std::string&) {
+                              obs::HttpResponse resp;
+                              resp.body = "{\"status\":\"ok\"}\n";
+                              return resp;
+                            });
+      if (!health.back()->Start({.host = "127.0.0.1", .port = 0}, error)) {
+        return false;
+      }
+      options.shards.push_back({.host = "127.0.0.1",
+                                .port = servers.back()->port(),
+                                .health_port = health.back()->port()});
+    }
+    router = std::make_unique<net::Router>(std::move(options));
+    return router->Start(error);
+  }
+
+  void Stop() {
+    if (router) router->Stop();
+    for (auto& server : servers) server->Stop();
+    for (auto& h : health) h->Stop();
+  }
+};
+
+struct FleetArm {
+  double chunks_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  bool ok = false;
+};
+
+FleetArm RunFleetPass(const FleetParams& p, int router_port,
+                      std::uint64_t seed) {
+  net::LoadGenOptions options;
+  options.endpoints = {"127.0.0.1:" + std::to_string(router_port)};
+  options.sessions = p.sessions;
+  options.connections = p.connections;
+  options.chunks_per_session = p.chunks_per_session;
+  options.stream_pool = p.stream_pool;
+  options.seed = seed;
+  options.max_seconds = 600.0;
+  const net::LoadGenReport report = net::RunLoadGen(options);
+  FleetArm arm;
+  arm.chunks_per_sec = report.chunks_per_sec;
+  arm.p50_ms = report.latency_p50_ms;
+  arm.p99_ms = report.latency_p99_ms;
+  arm.ok = report.ok && report.sessions_faulted == 0;
+  return arm;
+}
+
+FleetArm BestFleet(const FleetArm& a, const FleetArm& b) {
+  return b.chunks_per_sec > a.chunks_per_sec ? b : a;
+}
+
 }  // namespace
 }  // namespace nec::bench
 
@@ -183,5 +294,83 @@ int main() {
   const std::string path = BenchJsonPath();
   WriteJsonSection(path, "obs_overhead", json.Finish());
   std::printf("wrote section obs_overhead -> %s\n", path.c_str());
+
+  // ---- Networked path: loadgen → router → 2 shards, same recorder A/B.
+  const FleetParams fp = FleetParams::Get();
+  PrintHeader("obs fleet overhead: networked loadgen-through-router A/B");
+  std::printf("%zu sessions x %zu chunks over %zu connections, 2 shards, "
+              "%zu reps, best-of%s\n",
+              fp.sessions, fp.chunks_per_session, fp.connections, fp.reps,
+              BenchSmokeMode() ? "  [SMOKE — not a baseline]" : "");
+
+  nec::core::NecConfig fleet_cfg = nec::core::NecConfig::Fast();
+  fleet_cfg.conv_channels = 6;
+  fleet_cfg.fc_hidden = 32;
+  LoopbackFleet fleet;
+  std::string error;
+  if (!fleet.Start(fleet_cfg, fp.workers, &error)) {
+    std::fprintf(stderr, "fleet start failed: %s\n", error.c_str());
+    return 1;
+  }
+  // Untimed warmup primes connections, placement, and model caches.
+  (void)RunFleetPass(fp, fleet.router->port(), /*seed=*/17);
+
+  FleetArm net_disabled, net_enabled;
+  bool fleet_ok = true;
+  for (std::size_t rep = 0; rep < fp.reps; ++rep) {
+    rec.Disable();
+    const FleetArm off = RunFleetPass(fp, fleet.router->port(), 17 + rep);
+    rec.Enable(/*ring_capacity=*/1 << 16);
+    const FleetArm on = RunFleetPass(fp, fleet.router->port(), 17 + rep);
+    rec.Disable();
+    rec.Clear();
+    fleet_ok = fleet_ok && off.ok && on.ok;
+    net_disabled = rep == 0 ? off : BestFleet(net_disabled, off);
+    net_enabled = rep == 0 ? on : BestFleet(net_enabled, on);
+  }
+  fleet.Stop();
+  if (!fleet_ok) {
+    std::fprintf(stderr, "fleet loadgen pass failed\n");
+    return 1;
+  }
+
+  const double fleet_overhead_pct =
+      net_disabled.chunks_per_sec > 0.0
+          ? 100.0 *
+                (net_disabled.chunks_per_sec - net_enabled.chunks_per_sec) /
+                net_disabled.chunks_per_sec
+          : 0.0;
+
+  std::printf("\n%10s %14s %10s %10s\n", "tracing", "chunks/sec", "p50 ms",
+              "p99 ms");
+  PrintRule();
+  std::printf("%10s %14.1f %10.2f %10.2f\n", "disabled",
+              net_disabled.chunks_per_sec, net_disabled.p50_ms,
+              net_disabled.p99_ms);
+  std::printf("%10s %14.1f %10.2f %10.2f\n", "enabled",
+              net_enabled.chunks_per_sec, net_enabled.p50_ms,
+              net_enabled.p99_ms);
+  PrintRule();
+  std::printf("enabled-tracing fleet overhead: %.2f%%\n", fleet_overhead_pct);
+
+  JsonWriter fleet_json;
+  fleet_json.Field("sessions", static_cast<double>(fp.sessions))
+      .Field("connections", static_cast<double>(fp.connections))
+      .Field("chunks_per_session", static_cast<double>(fp.chunks_per_session))
+      .Field("reps", static_cast<double>(fp.reps))
+      .Field("smoke", BenchSmokeMode());
+  fleet_json.BeginObject("disabled")
+      .Field("chunks_per_sec", net_disabled.chunks_per_sec)
+      .Field("latency_p50_ms", net_disabled.p50_ms)
+      .Field("latency_p99_ms", net_disabled.p99_ms)
+      .EndObject();
+  fleet_json.BeginObject("enabled")
+      .Field("chunks_per_sec", net_enabled.chunks_per_sec)
+      .Field("latency_p50_ms", net_enabled.p50_ms)
+      .Field("latency_p99_ms", net_enabled.p99_ms)
+      .EndObject();
+  fleet_json.Field("enabled_overhead_pct", fleet_overhead_pct);
+  WriteJsonSection(path, "obs_fleet_overhead", fleet_json.Finish());
+  std::printf("wrote section obs_fleet_overhead -> %s\n", path.c_str());
   return 0;
 }

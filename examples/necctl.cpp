@@ -28,15 +28,36 @@
 //   necctl drain   --url http://127.0.0.1:9464 --shard host:port
 //                  ask a router (via its metrics endpoint) to start a
 //                  zero-fault draining reshard of one shard
+//   necctl trace   --url http://host:port [--url ...] [--file t.json ...]
+//                  [--out trace-merged.json] [--expect-cross-flow]
+//                  pull per-process trace rings (GET /trace) and/or read
+//                  dumped trace files, merge them into ONE Perfetto-loadable
+//                  JSON (each source a distinct pid, wire-propagated flow
+//                  ids preserved so client→router→shard arrows connect)
+//   necctl top     [--url http://127.0.0.1:9464] [--interval-ms N] [--once]
+//                  refresh-loop terminal view over a router's /fleet.json:
+//                  per-shard chunks/s, e2e p50/p99, queue depth, degradation
+//                  rungs and fault counters
 //
-// Every subcommand works offline on WAV files — except `stats` and
-// `loadgen`, which talk to a live necd — so the pipeline can be
-// exercised on real recordings, not just the synthetic corpus.
+// `loadgen --trace-out FILE` additionally records the client-side spans
+// (and mints the wire flow ids) and dumps them for `trace --file`.
+//
+// Every subcommand works offline on WAV files — except `stats`,
+// `loadgen`, `trace` and `top`, which talk to a live necd — so the
+// pipeline can be exercised on real recordings, not just the synthetic
+// corpus.
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <set>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "audio/wav_io.h"
@@ -47,6 +68,7 @@
 #include "net/loadgen.h"
 #include "obs/http.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synth/dataset.h"
 #include "synth/noise.h"
 
@@ -57,6 +79,9 @@ using namespace nec;
 struct Args {
   std::map<std::string, std::string> flags;
   std::vector<std::string> refs;
+  /// Repeatable flags: `trace` merges several --url / --file sources.
+  std::vector<std::string> urls;
+  std::vector<std::string> files;
 
   static Args Parse(int argc, char** argv, int start) {
     Args a;
@@ -71,6 +96,10 @@ struct Args {
         if (has_value) a.refs.emplace_back(argv[++i]);
       } else if (has_value) {
         a.flags[name] = argv[++i];
+        // url/file stay in the map too (stats/drain read the last one);
+        // the vectors keep every occurrence for `trace`.
+        if (std::strcmp(name, "url") == 0) a.urls.push_back(a.flags[name]);
+        if (std::strcmp(name, "file") == 0) a.files.push_back(a.flags[name]);
       } else {
         a.flags[name] = "1";
       }
@@ -295,6 +324,12 @@ int CmdLoadgen(const Args& args) {
   options.max_seconds = std::stod(args.Get("max-seconds", "120"));
   options.secret = args.Get("secret", "");
 
+  // --trace-out arms the client-side recorder so every SubmitChunk mints
+  // a wire-propagated flow id; the ring is dumped after the run and can
+  // be merged with the servers' /trace pulls via `necctl trace --file`.
+  const std::string trace_out = args.Get("trace-out", "");
+  if (!trace_out.empty()) obs::TraceRecorder::Global().Enable();
+
   // In --json mode stdout must carry exactly the JSON object (callers
   // redirect it into a file), so the banner goes to stderr.
   const bool emit_json = args.flags.count("json") != 0;
@@ -332,7 +367,361 @@ int CmdLoadgen(const Args& args) {
                   outcome.error.c_str());
     }
   }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (out) {
+      obs::TraceRecorder::Global().WriteChromeTrace(out);
+      std::fprintf(emit_json ? stderr : stdout, "trace written to %s\n",
+                   trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "loadgen: cannot write %s\n", trace_out.c_str());
+    }
+    obs::TraceRecorder::Global().Disable();
+  }
   return report.ok && report.sessions_faulted == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------- trace
+
+/// Extracts the inner text of the "traceEvents" array (first '[' to the
+/// last ']'), trimmed. False when the document has no array.
+bool ExtractTraceEvents(const std::string& body, std::string* inner) {
+  const std::size_t open = body.find('[');
+  const std::size_t close = body.rfind(']');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    return false;
+  }
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\n' || c == '\r' || c == '\t';
+  };
+  std::size_t b = open + 1;
+  std::size_t e = close;
+  while (b < e && is_space(body[b])) ++b;
+  while (e > b && is_space(body[e - 1])) --e;
+  *inner = body.substr(b, e - b);
+  return true;
+}
+
+/// Rewrites the exporter's fixed "pid":1 to this source's merged pid.
+/// Every event WriteChromeTrace emits carries exactly `"pid":1,` — the
+/// trailing comma keeps the match from touching other numeric fields.
+std::string RemapPid(const std::string& events, int pid) {
+  const std::string from = "\"pid\":1,";
+  const std::string to = "\"pid\":" + std::to_string(pid) + ",";
+  std::string out;
+  out.reserve(events.size());
+  std::size_t start = 0;
+  for (std::size_t at = events.find(from); at != std::string::npos;
+       at = events.find(from, start)) {
+    out.append(events, start, at - start);
+    out += to;
+    start = at + from.size();
+  }
+  out.append(events, start, events.size() - start);
+  return out;
+}
+
+/// Records which merged pids carry each flow id and whether its begin
+/// ("s") / end ("f") endpoints were seen anywhere. Flow ids are process-
+/// salted, so cross-source collisions don't happen by construction.
+void ScanFlowEndpoints(const std::string& events, int pid,
+                       std::map<std::uint64_t, std::set<int>>* flow_pids,
+                       std::map<std::uint64_t, int>* flow_kinds) {
+  const auto scan = [&](const char* marker, int bit) {
+    const std::size_t len = std::strlen(marker);
+    for (std::size_t at = events.find(marker); at != std::string::npos;
+         at = events.find(marker, at + len)) {
+      const std::uint64_t id =
+          std::strtoull(events.c_str() + at + len, nullptr, 10);
+      if (id == 0) continue;
+      (*flow_pids)[id].insert(pid);
+      if (bit != 0) (*flow_kinds)[id] |= bit;
+    }
+  };
+  scan("\"ph\":\"s\",\"id\":", 1);
+  scan("\"ph\":\"f\",\"bp\":\"e\",\"id\":", 2);
+  // Spans tagged with a flow also anchor it to this process (the
+  // exporter emits their flow id as a bare ,"id": field).
+  scan(",\"id\":", 0);
+}
+
+// Pulls per-process trace rings (GET /trace, or --file dumps) and merges
+// them into ONE Chrome trace JSON: each source becomes a distinct pid
+// with a process_name metadata row, flow ids pass through untouched —
+// they carry a per-process salt, so a wire-propagated flow (kTraceContext)
+// draws one arrow from the client's submit span to the shard's compute
+// span across process rows in Perfetto.
+int CmdTrace(const Args& args) {
+  if (args.urls.empty() && args.files.empty()) {
+    std::fprintf(stderr,
+                 "usage: necctl trace --url http://host:port [--url ...]\n"
+                 "                    [--file trace.json ...] [--out FILE]\n"
+                 "                    [--expect-cross-flow]\n");
+    return 2;
+  }
+  const std::string out_path = args.Get("out", "trace-merged.json");
+  obs::HttpGetOptions http_options;
+  http_options.connect_timeout_ms =
+      std::stoi(args.Get("connect-timeout-ms", "2000"));
+  http_options.read_timeout_ms =
+      std::stoi(args.Get("read-timeout-ms", "5000"));
+
+  struct Source {
+    std::string label;
+    std::string body;
+  };
+  std::vector<Source> sources;
+  for (const std::string& url : args.urls) {
+    std::string host, path, error;
+    int port = 0;
+    if (!obs::ParseHttpUrl(url, &host, &port, &path)) {
+      std::fprintf(stderr, "necctl trace: malformed url: %s\n", url.c_str());
+      return 2;
+    }
+    std::string body;
+    int status = 0;
+    if (!obs::HttpGet(host, port, "/trace", &body, &status, &error,
+                      http_options) ||
+        status != 200) {
+      std::fprintf(stderr, "necctl trace: %s:%d/trace failed: %s (status %d)\n",
+                   host.c_str(), port, error.empty() ? "non-200" : error.c_str(),
+                   status);
+      return 1;
+    }
+    sources.push_back({host + ":" + std::to_string(port), std::move(body)});
+  }
+  for (const std::string& file : args.files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "necctl trace: cannot read %s\n", file.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    sources.push_back({file, ss.str()});
+  }
+
+  std::string merged = "{\"traceEvents\":[\n";
+  bool first = true;
+  std::map<std::uint64_t, std::set<int>> flow_pids;
+  std::map<std::uint64_t, int> flow_kinds;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const int pid = static_cast<int>(i) + 1;
+    std::string inner;
+    if (!ExtractTraceEvents(sources[i].body, &inner)) {
+      std::fprintf(stderr, "necctl trace: %s: no traceEvents array\n",
+                   sources[i].label.c_str());
+      return 1;
+    }
+    ScanFlowEndpoints(inner, pid, &flow_pids, &flow_kinds);
+    if (!first) merged += ",\n";
+    first = false;
+    merged += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+              std::to_string(pid) + ",\"args\":{\"name\":\"" +
+              obs::JsonEscape(sources[i].label) + "\"}}";
+    if (!inner.empty()) {
+      merged += ",\n";
+      merged += RemapPid(inner, pid);
+    }
+  }
+  merged += "\n]}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "necctl trace: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << merged;
+  out.close();
+
+  std::size_t cross = 0;
+  for (const auto& [id, pids] : flow_pids) {
+    if (pids.size() >= 2 && flow_kinds[id] == 3) ++cross;
+  }
+  std::printf("merged %zu source(s) into %s: %zu flow id(s), %zu "
+              "cross-process with both endpoints\n",
+              sources.size(), out_path.c_str(), flow_pids.size(), cross);
+  if (args.flags.count("expect-cross-flow") != 0 && cross == 0) {
+    std::fprintf(stderr,
+                 "necctl trace: no cross-process flow with both endpoints\n");
+    return 1;
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------ top
+
+/// Minimal field extractors for the machine-generated /fleet.json
+/// document (flat objects, fixed key spelling — produced by
+/// net::RenderFleetJson, not arbitrary JSON).
+double JsonNumberAfter(const std::string& obj, const std::string& key) {
+  const std::size_t at = obj.find(key);
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(obj.c_str() + at + key.size(), nullptr);
+}
+
+bool JsonBoolAfter(const std::string& obj, const std::string& key) {
+  const std::size_t at = obj.find(key);
+  return at != std::string::npos &&
+         obj.compare(at + key.size(), 4, "true") == 0;
+}
+
+std::string JsonStringAfter(const std::string& obj, const std::string& key) {
+  const std::size_t at = obj.find(key);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + key.size();
+  const std::size_t end = obj.find('"', start);
+  return end == std::string::npos ? "" : obj.substr(start, end - start);
+}
+
+/// Splits `"key":[{...},{...}]` into the flat object strings.
+std::vector<std::string> SplitJsonObjects(const std::string& json,
+                                          const std::string& array_key) {
+  std::vector<std::string> out;
+  std::size_t at = json.find(array_key);
+  if (at == std::string::npos) return out;
+  at += array_key.size();
+  int depth = 0;
+  bool in_string = false;
+  std::size_t obj_start = 0;
+  for (std::size_t i = at; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') { in_string = true; continue; }
+    if (c == '{') {
+      if (depth == 0) obj_start = i;
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) out.push_back(json.substr(obj_start, i - obj_start + 1));
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+  return out;
+}
+
+// Refresh-loop terminal view over a router's /fleet.json: one row per
+// member shard with chunks/s (delta between refreshes), merged-CDF
+// latency quantiles, queue depth, degradation rungs and fault counters,
+// plus the router's placement state. --once renders a single frame
+// without clearing the screen (CI / scripting).
+int CmdTop(const Args& args) {
+  const std::string url = args.Get("url", "http://127.0.0.1:9464");
+  std::string host, path, error;
+  int port = 0;
+  if (!obs::ParseHttpUrl(url, &host, &port, &path)) {
+    std::fprintf(stderr, "necctl top: malformed url: %s\n", url.c_str());
+    return 2;
+  }
+  const int interval_ms = std::stoi(args.Get("interval-ms", "1000"));
+  const bool once = args.flags.count("once") != 0;
+  obs::HttpGetOptions http_options;
+  http_options.connect_timeout_ms =
+      std::stoi(args.Get("connect-timeout-ms", "2000"));
+  http_options.read_timeout_ms =
+      std::stoi(args.Get("read-timeout-ms", "5000"));
+
+  std::map<std::string, double> prev_chunks;
+  auto prev_time = std::chrono::steady_clock::now();
+  bool have_prev = false;
+  for (;;) {
+    std::string body;
+    int status = 0;
+    const bool ok = obs::HttpGet(host, port, "/fleet.json", &body, &status,
+                                 &error, http_options) &&
+                    status == 200;
+    const auto now = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(now - prev_time).count();
+    if (!once) std::printf("\x1b[H\x1b[2J");
+    if (!ok) {
+      std::printf("necctl top: %s:%d/fleet.json unreachable: %s\n",
+                  host.c_str(), port, error.empty() ? "non-200" : error.c_str());
+      if (once) return 1;
+    } else {
+      const auto members = SplitJsonObjects(body, "\"members\":[");
+      const auto shards = SplitJsonObjects(body, "\"shards\":[");
+      std::map<std::string, std::string> shard_state;
+      std::map<std::string, double> shard_migrated;
+      for (const std::string& s : shards) {
+        const std::string label = JsonStringAfter(s, "\"label\":\"");
+        std::string state = JsonBoolAfter(s, "\"up\":") ? "up" : "DOWN";
+        if (JsonBoolAfter(s, "\"saturated\":")) state += "+sat";
+        if (JsonBoolAfter(s, "\"drained\":")) state += "+drained";
+        else if (JsonBoolAfter(s, "\"draining\":")) state += "+draining";
+        shard_state[label] = state;
+        shard_migrated[label] = JsonNumberAfter(s, "\"sessions_migrated\":");
+      }
+      std::printf("fleet @ %s:%d  —  %.0f member(s) merged\n\n", host.c_str(),
+                  port, JsonNumberAfter(body, "\"folded\":"));
+      std::printf("%-22s %-12s %8s %7s %8s %8s %6s %6s %7s %7s %5s\n",
+                  "member", "state", "chunk/s", "queue", "p50(ms)", "p99(ms)",
+                  "faults", "miss", "deg", "authrej", "migr");
+      double fleet_rate = 0.0;
+      for (const std::string& m : members) {
+        const std::string label = JsonStringAfter(m, "\"label\":\"");
+        if (!JsonBoolAfter(m, "\"folded\":")) {
+          std::printf("%-22s %-12s %s\n", label.c_str(), "UNREACHABLE",
+                      JsonStringAfter(m, "\"error\":\"").c_str());
+          continue;
+        }
+        const double chunks = JsonNumberAfter(m, "\"chunks_total\":");
+        char rate[24];
+        if (have_prev && prev_chunks.count(label) != 0 && dt > 0.0) {
+          const double r = (chunks - prev_chunks[label]) / dt;
+          fleet_rate += r > 0.0 ? r : 0.0;
+          std::snprintf(rate, sizeof rate, "%8.1f", r > 0.0 ? r : 0.0);
+        } else {
+          std::snprintf(rate, sizeof rate, "%8s", "-");
+        }
+        prev_chunks[label] = chunks;
+        char deg[24];
+        std::snprintf(deg, sizeof deg, "%.0f/%.0f",
+                      JsonNumberAfter(m, "\"degrade_down_total\":"),
+                      JsonNumberAfter(m, "\"degrade_up_total\":"));
+        const auto state_it = shard_state.find(label);
+        std::printf(
+            "%-22s %-12s %s %7.0f %8.2f %8.2f %6.0f %6.0f %7s %7.0f %5.0f\n",
+            label.c_str(),
+            state_it != shard_state.end() ? state_it->second.c_str() : "?",
+            rate, JsonNumberAfter(m, "\"queue_depth\":"),
+            JsonNumberAfter(m, "\"e2e_p50_ms\":"),
+            JsonNumberAfter(m, "\"e2e_p99_ms\":"),
+            JsonNumberAfter(m, "\"faults_total\":"),
+            JsonNumberAfter(m, "\"deadline_misses_total\":"), deg,
+            JsonNumberAfter(m, "\"auth_rejects_total\":"),
+            shard_migrated.count(label) != 0 ? shard_migrated[label] : 0.0);
+      }
+      // Fleet headline from the MERGED histograms (true fleet quantiles).
+      const std::size_t fleet_at = body.find("\"fleet\":{");
+      if (fleet_at != std::string::npos) {
+        const std::size_t fleet_end = body.find('}', fleet_at);
+        const std::string fleet = body.substr(fleet_at, fleet_end - fleet_at);
+        char rate[24];
+        if (have_prev) {
+          std::snprintf(rate, sizeof rate, "%.1f", fleet_rate);
+        } else {
+          std::snprintf(rate, sizeof rate, "-");
+        }
+        std::printf("\nfleet: %.0f chunk(s), %s chunk/s, e2e p50 %.2f ms, "
+                    "p99 %.2f ms, %.0f fault(s), %.0f deadline miss(es)\n",
+                    JsonNumberAfter(fleet, "\"chunks_total\":"), rate,
+                    JsonNumberAfter(fleet, "\"e2e_p50_ms\":"),
+                    JsonNumberAfter(fleet, "\"e2e_p99_ms\":"),
+                    JsonNumberAfter(fleet, "\"faults_total\":"),
+                    JsonNumberAfter(fleet, "\"deadline_misses_total\":"));
+      }
+      have_prev = true;
+    }
+    std::fflush(stdout);
+    if (once) return ok ? 0 : 1;
+    prev_time = now;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
 }
 
 // Starts a zero-fault draining reshard through a router's metrics
@@ -376,7 +765,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: necctl <synth|noise|shadow|probe|devices|stats|"
-                 "loadgen|drain> [flags]\n");
+                 "loadgen|drain|trace|top> [flags]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -390,6 +779,8 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return CmdStats(args);
     if (cmd == "loadgen") return CmdLoadgen(args);
     if (cmd == "drain") return CmdDrain(args);
+    if (cmd == "trace") return CmdTrace(args);
+    if (cmd == "top") return CmdTop(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -48,10 +48,16 @@
 //   /metrics.json  the same families as JSON
 //   /healthz       liveness + uptime
 //   /sessions      per-session status (state, ladder rung, fault) as JSON
-// `necctl stats --url http://127.0.0.1:P` scrapes and pretty-prints it.
-// --trace-out enables pipeline tracing (spans for every stage and runtime
-// hop, flow arrows linking batched chunks) and writes Chrome trace JSON —
-// loadable in Perfetto — after the drain.
+//   /trace         live Chrome-trace window of this process's rings
+// A router additionally serves /fleet (human table) and /fleet.json —
+// every member shard's /metrics scraped and merged: counters summed,
+// histograms bucket-merged, per-shard breakdown rows (`necctl top`
+// refreshes over it). `necctl stats --url http://127.0.0.1:P` scrapes
+// and pretty-prints /metrics. --trace-out enables pipeline tracing
+// (spans for every stage and runtime hop, flow arrows linking batched
+// chunks) and writes Chrome trace JSON — loadable in Perfetto — after
+// the drain; --trace arms the recorder without a dump file so /trace
+// serves a live window (`necctl trace` merges those across the fleet).
 //
 // --max-batch > 1 routes ready chunks through the continuous batcher
 // (batched selector forwards across sessions, admitted earliest-deadline-
@@ -85,6 +91,7 @@
 
 #include "core/model_cache.h"
 #include "encoder/encoder.h"
+#include "net/fleet.h"
 #include "net/net_stats.h"
 #include "net/router.h"
 #include "net/server.h"
@@ -120,7 +127,8 @@ struct Args {
   bool degrade_on_deadline = false;
   bool reject_bad_input = false;
   int metrics_port = -1;  ///< -1 = no listener; 0 = ephemeral
-  std::string trace_out;  ///< empty = tracing stays disabled
+  std::string trace_out;  ///< write Chrome trace JSON here after the drain
+  bool trace = false;     ///< arm tracing without a dump file (GET /trace)
   nec::obs::LogLevel log_level = nec::obs::LogLevel::kInfo;
   bool log_json = false;
   int listen_port = -1;  ///< >= 0: serve the wire protocol (0 = ephemeral)
@@ -202,6 +210,8 @@ Args Parse(int argc, char** argv) {
       args.metrics_port = static_cast<int>(std::strtol(next(), nullptr, 10));
     } else if (flag == "--trace-out") {
       args.trace_out = next();
+    } else if (flag == "--trace") {
+      args.trace = true;
     } else if (flag == "--log-level") {
       const char* name = next();
       if (!nec::obs::ParseLogLevel(name, &args.log_level)) {
@@ -234,7 +244,7 @@ Args Parse(int argc, char** argv) {
                    "            [--deadline-ms D] [--no-pace]\n"
                    "            [--on-fault fault|degrade] [--degrade]\n"
                    "            [--reject-bad-input] [--metrics-port P]\n"
-                   "            [--trace-out FILE] [--log-json]\n"
+                   "            [--trace-out FILE] [--trace] [--log-json]\n"
                    "            [--log-level trace|debug|info|warn|error|"
                    "off]\n"
                    "            [--listen PORT] [--model standard|tiny]\n"
@@ -344,6 +354,7 @@ int RunListen(const Args& args) {
       auto net_fams =
           net::NetStatsToMetricFamilies(server.StatsSnapshot(), "server");
       fams.insert(fams.end(), net_fams.begin(), net_fams.end());
+      fams.push_back(runtime::HopLatencyFamily());
       return fams;
     };
     metrics.Handle("/metrics", [families](const std::string&,
@@ -378,6 +389,15 @@ int RunListen(const Args& args) {
       obs::HttpResponse resp;
       resp.content_type = "application/json";
       resp.body = runtime::SessionsJson(manager) + "\n";
+      return resp;
+    });
+    // Live trace window (requires --trace / --trace-out; empty trace
+    // otherwise). `necctl trace` pulls this from every fleet member and
+    // merges the rings into one cross-process file.
+    metrics.Handle("/trace", [](const std::string&, const std::string&) {
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = obs::TraceRecorder::Global().ChromeTraceJson();
       return resp;
     });
     if (!metrics.Start({.host = "127.0.0.1", .port = args.metrics_port},
@@ -467,6 +487,15 @@ int RunRouter(const Args& args) {
     return 2;
   }
   const std::size_t num_shards = options.shards.size();
+  // Scrape targets for /fleet: one row per shard, labeled by its
+  // data-plane address, scraped on its metrics/health port.
+  std::vector<net::FleetMember> fleet_members;
+  for (const net::ShardSpec& shard : options.shards) {
+    fleet_members.push_back(
+        {.label = shard.host + ":" + std::to_string(shard.port),
+         .host = shard.host,
+         .port = shard.health_port});
+  }
   net::Router router(std::move(options));
   std::string error;
   if (!router.Start(&error)) {
@@ -480,18 +509,53 @@ int RunRouter(const Args& args) {
   obs::MetricsServer metrics;
   const auto started_at = std::chrono::steady_clock::now();
   if (args.metrics_port >= 0) {
-    metrics.Handle("/metrics", [&router](const std::string&,
-                                         const std::string&) {
+    const auto router_families = [&router] {
+      auto fams = router.MetricFamilies();
+      fams.push_back(runtime::HopLatencyFamily());
+      return fams;
+    };
+    metrics.Handle("/metrics", [router_families](const std::string&,
+                                                 const std::string&) {
       obs::HttpResponse resp;
       resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
-      resp.body = obs::RenderPrometheusText(router.MetricFamilies());
+      resp.body = obs::RenderPrometheusText(router_families());
       return resp;
     });
-    metrics.Handle("/metrics.json", [&router](const std::string&,
-                                              const std::string&) {
+    metrics.Handle("/metrics.json", [router_families](const std::string&,
+                                                      const std::string&) {
       obs::HttpResponse resp;
       resp.content_type = "application/json";
-      resp.body = obs::RenderMetricsJson(router.MetricFamilies());
+      resp.body = obs::RenderMetricsJson(router_families());
+      return resp;
+    });
+    metrics.Handle("/trace", [](const std::string&, const std::string&) {
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = obs::TraceRecorder::Global().ChromeTraceJson();
+      return resp;
+    });
+    // Merged fleet view: scrape every member shard's /metrics, sum
+    // counters, bucket-merge histograms (DESIGN.md §5g). Runs on the
+    // HTTP thread with tight per-member timeouts — a dead member costs
+    // one connect timeout and shows up as an unreachable row.
+    const auto fleet_view = [&router, fleet_members] {
+      obs::HttpGetOptions http;
+      http.connect_timeout_ms = 500;
+      http.read_timeout_ms = 2000;
+      return net::ScrapeFleet(fleet_members, http);
+    };
+    metrics.Handle("/fleet", [&router, fleet_view](const std::string&,
+                                                   const std::string&) {
+      obs::HttpResponse resp;
+      resp.body = net::RenderFleetText(fleet_view(), router.ShardStatuses());
+      return resp;
+    });
+    metrics.Handle("/fleet.json", [&router, fleet_view](const std::string&,
+                                                        const std::string&) {
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body =
+          net::RenderFleetJson(fleet_view(), router.ShardStatuses()) + "\n";
       return resp;
     });
     metrics.Handle("/healthz", [&router, started_at](const std::string&,
@@ -624,7 +688,12 @@ int main(int argc, char** argv) {
   obs::SetLogLevel(args.log_level);
   if (args.log_json) obs::SetLogFormat(obs::LogFormat::kJson);
   obs::TraceRecorder::SetThreadName("main");
-  if (!args.trace_out.empty()) obs::TraceRecorder::Global().Enable();
+  // --trace-out dumps after the drain; --trace only arms the recorder so
+  // the /trace endpoint serves a live window (fleet members run this way
+  // and `necctl trace` pulls + merges their rings).
+  if (!args.trace_out.empty() || args.trace) {
+    obs::TraceRecorder::Global().Enable();
+  }
 
   // A daemon dies by signal, not by EOF: drain in-flight audio and still
   // print the stats tables instead of dropping everything on the floor.
@@ -652,20 +721,23 @@ int main(int argc, char** argv) {
   obs::MetricsServer server;
   const auto started_at = std::chrono::steady_clock::now();
   if (args.metrics_port >= 0) {
-    server.Handle("/metrics", [&manager](const std::string&,
+    const auto families = [&manager] {
+      auto fams = runtime::SnapshotToMetricFamilies(manager.Stats());
+      fams.push_back(runtime::HopLatencyFamily());
+      return fams;
+    };
+    server.Handle("/metrics", [families](const std::string&,
                                          const std::string&) {
       obs::HttpResponse resp;
       resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
-      resp.body = obs::RenderPrometheusText(
-          runtime::SnapshotToMetricFamilies(manager.Stats()));
+      resp.body = obs::RenderPrometheusText(families());
       return resp;
     });
-    server.Handle("/metrics.json", [&manager](const std::string&,
+    server.Handle("/metrics.json", [families](const std::string&,
                                               const std::string&) {
       obs::HttpResponse resp;
       resp.content_type = "application/json";
-      resp.body = obs::RenderMetricsJson(
-          runtime::SnapshotToMetricFamilies(manager.Stats()));
+      resp.body = obs::RenderMetricsJson(families());
       return resp;
     });
     server.Handle("/healthz", [&manager, started_at](const std::string&,
@@ -686,6 +758,12 @@ int main(int argc, char** argv) {
       obs::HttpResponse resp;
       resp.content_type = "application/json";
       resp.body = runtime::SessionsJson(manager) + "\n";
+      return resp;
+    });
+    server.Handle("/trace", [](const std::string&, const std::string&) {
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = obs::TraceRecorder::Global().ChromeTraceJson();
       return resp;
     });
     std::string error;

@@ -9,6 +9,7 @@
 
 #include "net/auth.h"
 #include "net/socket.h"
+#include "obs/trace.h"
 #include "runtime/fault.h"
 
 namespace nec::net {
@@ -136,11 +137,34 @@ bool NetClient::OpenSession(std::uint64_t wire_sid, std::uint64_t speaker_seed,
 bool NetClient::SubmitChunk(std::uint64_t wire_sid,
                             std::span<const float> samples,
                             std::string* error) {
+  // Trace-context propagation (DESIGN.md §5g): with tracing on, mint a
+  // flow id and send it ahead of the chunk as a kTraceContext frame. The
+  // receiver attaches it to this chunk, so the client-submit span below
+  // and the shard's compute span share one flow in the merged trace.
+  // With tracing off this path adds exactly one relaxed load.
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  std::uint64_t flow = 0;
+  std::uint64_t t0_ns = 0;
+  if (rec.enabled()) {
+    flow = rec.NextFlowId();
+    t0_ns = obs::TraceNowNs();
+    Frame context;
+    context.type = FrameType::kTraceContext;
+    context.session_id = wire_sid;
+    PutU64(&context.payload, flow);
+    if (!SendFrame(context, error)) return false;
+  }
   Frame frame;
   frame.type = FrameType::kSubmitChunk;
   frame.session_id = wire_sid;
   PutFloats(&frame.payload, samples);
-  return SendFrame(frame, error);
+  const bool sent = SendFrame(frame, error);
+  if (flow != 0 && sent) {
+    rec.RecordSpan("client.submit", "net", t0_ns,
+                   obs::TraceNowNs() - t0_ns, flow, wire_sid);
+    rec.RecordFlow(obs::TraceEventKind::kFlowBegin, "chunk.flow", flow);
+  }
+  return sent;
 }
 
 bool NetClient::SendCloseSession(std::uint64_t wire_sid, std::string* error) {

@@ -1,0 +1,293 @@
+#include "net/fleet.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "runtime/stats_export.h"
+
+namespace nec::net {
+namespace {
+
+obs::MetricFamily* FindOrAddFamily(std::vector<obs::MetricFamily>* merged,
+                                   const obs::MetricFamily& src) {
+  for (obs::MetricFamily& f : *merged) {
+    if (f.name == src.name) return &f;
+  }
+  obs::MetricFamily fresh;
+  fresh.name = src.name;
+  fresh.help = src.help;
+  fresh.type = src.type;
+  merged->push_back(std::move(fresh));
+  return &merged->back();
+}
+
+obs::Metric* FindOrAddMetric(obs::MetricFamily* family,
+                             const obs::Metric& src) {
+  for (obs::Metric& m : family->metrics) {
+    if (m.labels == src.labels) return &m;
+  }
+  obs::Metric fresh;
+  fresh.labels = src.labels;
+  family->metrics.push_back(std::move(fresh));
+  return &family->metrics.back();
+}
+
+const obs::MetricFamily* FindFamily(
+    const std::vector<obs::MetricFamily>& families, const std::string& name) {
+  for (const obs::MetricFamily& f : families) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+double SumFamily(const std::vector<obs::MetricFamily>& families,
+                 const std::string& name) {
+  const obs::MetricFamily* f = FindFamily(families, name);
+  if (f == nullptr) return 0.0;
+  double total = 0.0;
+  for (const obs::Metric& m : f->metrics) total += m.value;
+  return total;
+}
+
+void AppendDiagnostic(std::string* error, const std::string& what) {
+  if (!error->empty()) *error += "; ";
+  *error += what;
+}
+
+/// Lifts the headline numbers `necctl top` shows from one member's
+/// parsed families.
+void FillRowHeadlines(const std::vector<obs::MetricFamily>& families,
+                      FleetMemberRow* row) {
+  row->chunks_total = SumFamily(families, "nec_chunks_processed_total");
+  row->queue_depth = SumFamily(families, "nec_queue_depth");
+  row->faults_total = SumFamily(families, "nec_faults_total");
+  row->deadline_misses_total =
+      SumFamily(families, "nec_deadline_misses_total");
+  row->auth_rejects_total = SumFamily(families, "nec_net_auth_rejected_total");
+  row->degrade_down_total =
+      SumFamily(families, "nec_degrade_steps_down_total");
+  row->degrade_up_total = SumFamily(families, "nec_degrade_steps_up_total");
+  const obs::MetricFamily* e2e =
+      FindFamily(families, "nec_chunk_e2e_latency_seconds");
+  if (e2e != nullptr && !e2e->metrics.empty()) {
+    const obs::HistogramData& h = e2e->metrics.front().histogram;
+    row->e2e_count = h.count;
+    row->e2e_p50_ms = obs::HistogramQuantile(h, 0.50) * 1000.0;
+    row->e2e_p99_ms = obs::HistogramQuantile(h, 0.99) * 1000.0;
+  }
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  *out += buf;
+}
+
+void AppendRowJson(std::string* out, const FleetMemberRow& row) {
+  *out += "{\"label\":\"" + obs::JsonEscape(row.label) + "\"";
+  *out += ",\"reachable\":";
+  *out += row.reachable ? "true" : "false";
+  *out += ",\"folded\":";
+  *out += row.folded ? "true" : "false";
+  *out += ",\"error\":\"" + obs::JsonEscape(row.error) + "\"";
+  *out += ",\"chunks_total\":";
+  AppendJsonNumber(out, row.chunks_total);
+  *out += ",\"queue_depth\":";
+  AppendJsonNumber(out, row.queue_depth);
+  *out += ",\"e2e_p50_ms\":";
+  AppendJsonNumber(out, row.e2e_p50_ms);
+  *out += ",\"e2e_p99_ms\":";
+  AppendJsonNumber(out, row.e2e_p99_ms);
+  *out += ",\"e2e_count\":" + std::to_string(row.e2e_count);
+  *out += ",\"faults_total\":";
+  AppendJsonNumber(out, row.faults_total);
+  *out += ",\"deadline_misses_total\":";
+  AppendJsonNumber(out, row.deadline_misses_total);
+  *out += ",\"auth_rejects_total\":";
+  AppendJsonNumber(out, row.auth_rejects_total);
+  *out += ",\"degrade_down_total\":";
+  AppendJsonNumber(out, row.degrade_down_total);
+  *out += ",\"degrade_up_total\":";
+  AppendJsonNumber(out, row.degrade_up_total);
+  *out += "}";
+}
+
+void AppendShardJson(std::string* out, const RouterShardStatus& s) {
+  const std::string label = s.spec.host + ":" + std::to_string(s.spec.port);
+  *out += "{\"label\":\"" + obs::JsonEscape(label) + "\"";
+  *out += ",\"up\":";
+  *out += s.up ? "true" : "false";
+  *out += ",\"saturated\":";
+  *out += s.saturated ? "true" : "false";
+  *out += ",\"draining\":";
+  *out += s.draining ? "true" : "false";
+  *out += ",\"drained\":";
+  *out += s.drained ? "true" : "false";
+  *out += ",\"sessions_active\":" + std::to_string(s.sessions_active);
+  *out +=
+      ",\"sessions_assigned_total\":" + std::to_string(s.sessions_assigned_total);
+  *out += ",\"sessions_migrated\":" + std::to_string(s.sessions_migrated);
+  *out += ",\"ejections\":" + std::to_string(s.ejections);
+  *out += ",\"probes_failed\":" + std::to_string(s.probes_failed);
+  *out += ",\"queue_depth\":" + std::to_string(s.queue_depth);
+  *out += ",\"e2e_p99_ms\":";
+  AppendJsonNumber(out, static_cast<double>(s.e2e_p99_ms));
+  *out += ",\"overload_total\":" + std::to_string(s.overload_total);
+  *out += "}";
+}
+
+}  // namespace
+
+bool FoldMemberMetrics(const std::string& label, const std::string& text,
+                       FleetView* view) {
+  FleetMemberRow row;
+  row.label = label;
+  row.reachable = true;
+  std::vector<obs::MetricFamily> families;
+  std::string error;
+  if (!obs::ParsePrometheusText(text, &families, &error)) {
+    row.error = "exposition lint: " + error;
+    view->rows.push_back(std::move(row));
+    return false;
+  }
+  FillRowHeadlines(families, &row);
+  for (const obs::MetricFamily& family : families) {
+    obs::MetricFamily* acc = FindOrAddFamily(&view->merged, family);
+    if (acc->type != family.type) {
+      AppendDiagnostic(&row.error, family.name + ": type conflicts with an "
+                                   "earlier member; skipped");
+      continue;
+    }
+    for (const obs::Metric& metric : family.metrics) {
+      obs::Metric* target = FindOrAddMetric(acc, metric);
+      if (family.type == obs::MetricType::kHistogram) {
+        if (runtime::MergeHistogramData(metric.histogram, &target->histogram,
+                                        &error) !=
+            runtime::HistogramMergeStatus::kOk) {
+          AppendDiagnostic(&row.error, family.name + ": " + error);
+        }
+      } else {
+        target->value += metric.value;
+      }
+    }
+  }
+  row.folded = true;
+  view->folded += 1;
+  view->rows.push_back(std::move(row));
+  return true;
+}
+
+FleetView ScrapeFleet(const std::vector<FleetMember>& members,
+                      const obs::HttpGetOptions& http) {
+  FleetView view;
+  for (const FleetMember& member : members) {
+    std::string body;
+    std::string error;
+    int status = 0;
+    if (!obs::HttpGet(member.host, member.port, "/metrics", &body, &status,
+                      &error, http) ||
+        status != 200) {
+      FleetMemberRow row;
+      row.label = member.label;
+      row.error = error.empty() ? "/metrics returned " + std::to_string(status)
+                                : error;
+      view.rows.push_back(std::move(row));
+      continue;
+    }
+    FoldMemberMetrics(member.label, body, &view);
+  }
+  return view;
+}
+
+std::string RenderFleetJson(const FleetView& view,
+                            const std::vector<RouterShardStatus>& shards) {
+  std::string out = "{\"folded\":" + std::to_string(view.folded);
+  out += ",\"members\":[";
+  for (std::size_t i = 0; i < view.rows.size(); ++i) {
+    if (i != 0) out += ",";
+    AppendRowJson(&out, view.rows[i]);
+  }
+  out += "],\"shards\":[";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (i != 0) out += ",";
+    AppendShardJson(&out, shards[i]);
+  }
+  // Headline numbers of the MERGED view (true fleet quantiles from the
+  // bucket-merged CDF) so `necctl top` needn't re-derive them.
+  FleetMemberRow fleet;
+  FillRowHeadlines(view.merged, &fleet);
+  out += "],\"fleet\":{\"chunks_total\":";
+  AppendJsonNumber(&out, fleet.chunks_total);
+  out += ",\"queue_depth\":";
+  AppendJsonNumber(&out, fleet.queue_depth);
+  out += ",\"e2e_p50_ms\":";
+  AppendJsonNumber(&out, fleet.e2e_p50_ms);
+  out += ",\"e2e_p99_ms\":";
+  AppendJsonNumber(&out, fleet.e2e_p99_ms);
+  out += ",\"e2e_count\":" + std::to_string(fleet.e2e_count);
+  out += ",\"faults_total\":";
+  AppendJsonNumber(&out, fleet.faults_total);
+  out += ",\"deadline_misses_total\":";
+  AppendJsonNumber(&out, fleet.deadline_misses_total);
+  out += "},\"merged\":";
+  out += obs::RenderMetricsJson(view.merged);
+  out += "}";
+  return out;
+}
+
+std::string RenderFleetText(const FleetView& view,
+                            const std::vector<RouterShardStatus>& shards) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "fleet: %zu/%zu member(s) merged\n\n",
+                view.folded, view.rows.size());
+  out += line;
+  std::snprintf(line, sizeof line, "%-22s %9s %7s %9s %9s %7s %7s %6s\n",
+                "member", "chunks", "queue", "p50(ms)", "p99(ms)", "faults",
+                "misses", "deg");
+  out += line;
+  for (const FleetMemberRow& row : view.rows) {
+    if (!row.folded) {
+      std::snprintf(line, sizeof line, "%-22s DOWN  %s\n", row.label.c_str(),
+                    row.error.c_str());
+      out += line;
+      continue;
+    }
+    std::snprintf(line, sizeof line,
+                  "%-22s %9.0f %7.0f %9.2f %9.2f %7.0f %7.0f %3.0f/%-3.0f\n",
+                  row.label.c_str(), row.chunks_total, row.queue_depth,
+                  row.e2e_p50_ms, row.e2e_p99_ms, row.faults_total,
+                  row.deadline_misses_total, row.degrade_down_total,
+                  row.degrade_up_total);
+    out += line;
+  }
+  if (!shards.empty()) {
+    out += "\nrouter placement:\n";
+    for (const RouterShardStatus& s : shards) {
+      const std::string label =
+          s.spec.host + ":" + std::to_string(s.spec.port);
+      std::snprintf(
+          line, sizeof line,
+          "%-22s %-4s%s%s%s sessions=%" PRIu64 " migrated=%" PRIu64
+          " ejections=%" PRIu64 "\n",
+          label.c_str(), s.up ? "up" : "DOWN", s.saturated ? " saturated" : "",
+          s.draining ? " draining" : "", s.drained ? " drained" : "",
+          s.sessions_active, s.sessions_migrated, s.ejections);
+      out += line;
+    }
+  }
+  const obs::MetricFamily* e2e =
+      FindFamily(view.merged, "nec_chunk_e2e_latency_seconds");
+  if (e2e != nullptr && !e2e->metrics.empty()) {
+    const obs::HistogramData& h = e2e->metrics.front().histogram;
+    std::snprintf(line, sizeof line,
+                  "\nfleet e2e: %" PRIu64 " chunk(s), p50 %.2f ms, p99 %.2f ms\n",
+                  h.count, obs::HistogramQuantile(h, 0.50) * 1000.0,
+                  obs::HistogramQuantile(h, 0.99) * 1000.0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace nec::net

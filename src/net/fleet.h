@@ -1,0 +1,91 @@
+// Fleet-wide metrics aggregation (DESIGN.md §5g).
+//
+// A fleet is a router plus its member shards, each exposing its own
+// Prometheus /metrics endpoint. Per-process scrapes answer "how is shard
+// 3 doing"; capacity questions — fleet p99, total chunks/s, which member
+// is dragging the tail — need ONE merged view. This module scrapes every
+// member, parses the exposition text back into families
+// (obs::ParsePrometheusText), and folds them together: counters and
+// gauges sum per label set, histograms merge bucket-wise onto the
+// canonical LatencyHistogram grid (runtime::MergeHistogramData), so any
+// quantile of the merged CDF is a true fleet quantile, not an average of
+// per-shard quantiles.
+//
+// The fold itself (FoldMemberMetrics) is pure — text in, view mutated —
+// so tests drive it without sockets; ScrapeFleet is the thin HTTP layer
+// the router's /fleet handlers use. A member that is unreachable, fails
+// the exposition lint, or exposes an off-grid histogram is reported in
+// its row and skipped; the merged view is always the sum of exactly the
+// members whose `folded` flag is set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/router.h"
+#include "obs/http.h"
+#include "obs/metrics.h"
+
+namespace nec::net {
+
+/// One scrape target: a member's metrics/health HTTP endpoint.
+struct FleetMember {
+  std::string label;  ///< display label (the shard's data-plane "host:port")
+  std::string host;
+  int port = 0;  ///< obs::MetricsServer port
+};
+
+/// One member's outcome in an aggregation pass, with the headline
+/// numbers `necctl top` renders per row (0 when the family was absent).
+struct FleetMemberRow {
+  std::string label;
+  bool reachable = false;  ///< HTTP scrape returned 200
+  bool folded = false;     ///< parsed + merged into the fleet view
+  std::string error;       ///< scrape/parse/merge diagnostic when !folded
+  double chunks_total = 0.0;
+  double queue_depth = 0.0;
+  double e2e_p50_ms = 0.0;
+  double e2e_p99_ms = 0.0;
+  std::uint64_t e2e_count = 0;  ///< samples in the member's e2e histogram
+  double faults_total = 0.0;
+  double deadline_misses_total = 0.0;
+  double auth_rejects_total = 0.0;
+  double degrade_down_total = 0.0;
+  double degrade_up_total = 0.0;
+};
+
+/// Merged fleet view: one family per name, counters/gauges summed and
+/// histograms bucket-merged across every folded member.
+struct FleetView {
+  std::vector<obs::MetricFamily> merged;
+  std::vector<FleetMemberRow> rows;
+  std::size_t folded = 0;  ///< rows successfully merged
+};
+
+/// Parses one member's Prometheus exposition text and folds it into
+/// `view->merged`, appending a populated row. Returns false (row keeps
+/// the diagnostic) when the text fails the exposition lint; a histogram
+/// metric whose buckets are off the canonical grid is skipped with the
+/// diagnostic recorded but the member's remaining families still fold.
+bool FoldMemberMetrics(const std::string& label, const std::string& text,
+                       FleetView* view);
+
+/// Scrapes every member's /metrics and folds the responses. Never
+/// fails: unreachable members get a row with `reachable == false`.
+FleetView ScrapeFleet(const std::vector<FleetMember>& members,
+                      const obs::HttpGetOptions& http);
+
+/// The fleet view as one JSON document:
+/// {"folded":N,"members":[row...],"shards":[router state...],
+///  "merged":{"families":[...]}}. `shards` carries the router's own
+/// health/placement view (saturated, draining, migrations) keyed by the
+/// same labels as `members`.
+std::string RenderFleetJson(const FleetView& view,
+                            const std::vector<RouterShardStatus>& shards);
+
+/// Human-readable fleet table (the single-frame form of `necctl top`).
+std::string RenderFleetText(const FleetView& view,
+                            const std::vector<RouterShardStatus>& shards);
+
+}  // namespace nec::net

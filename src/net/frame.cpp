@@ -68,13 +68,14 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kDrainSession: return "drain_session";
     case FrameType::kSessionSnapshot: return "session_snapshot";
     case FrameType::kRestoreSession: return "restore_session";
+    case FrameType::kTraceContext: return "trace_context";
   }
   return "?";
 }
 
 bool IsKnownFrameType(std::uint8_t value) {
   return value >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         value <= static_cast<std::uint8_t>(FrameType::kRestoreSession);
+         value <= static_cast<std::uint8_t>(FrameType::kTraceContext);
 }
 
 std::uint32_t Crc32(const std::uint8_t* data, std::size_t size) {

@@ -36,8 +36,12 @@ namespace nec::net {
 
 inline constexpr std::uint32_t kMagic = 0x4E454331u;  // "NEC1"
 /// v2 adds the auth handshake (kAuthChallenge/kAuthResponse/kAuthReject),
-/// shard load reporting (kStatusRequest/kShardStatus), and the draining
-/// reshard frames (kDrainSession/kSessionSnapshot/kRestoreSession).
+/// shard load reporting (kStatusRequest/kShardStatus), the draining
+/// reshard frames (kDrainSession/kSessionSnapshot/kRestoreSession), and
+/// the optional trace-context frame (kTraceContext) — a pure metadata
+/// frame, so it rides the same version: peers that predate it reject the
+/// type byte and close, which only ever happens when an operator turns
+/// tracing on against an old peer.
 inline constexpr std::uint8_t kProtocolVersion = 2;
 inline constexpr std::size_t kHeaderSize = 24;
 /// Generous bound: the largest legitimate frame is one chunk of 192 kHz
@@ -75,6 +79,14 @@ enum class FrameType : std::uint8_t {
   kRestoreSession = 19,   ///< router → shard: SessionSnapshotPayload
                           ///< verbatim; shard re-enrolls and replies
                           ///< kOpenAck
+  kTraceContext = 20,     ///< client → server (forwarded router → shard):
+                          ///< u64 flow id minted by the sender's
+                          ///< TraceRecorder; applies to the NEXT
+                          ///< kSubmitChunk of the same header session id,
+                          ///< stitching that chunk's spans across
+                          ///< processes. Receivers without tracing
+                          ///< enabled drop it silently — it never
+                          ///< changes processing semantics (§5g).
 };
 
 const char* FrameTypeName(FrameType type);

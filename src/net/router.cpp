@@ -15,7 +15,9 @@
 #include "net/client.h"
 #include "obs/http.h"
 #include "obs/log.h"
+#include "obs/trace.h"
 #include "runtime/fault.h"
+#include "runtime/stats.h"
 
 namespace nec::net {
 namespace {
@@ -36,6 +38,12 @@ void SleepMsInterruptible(int total_ms, const std::atomic<bool>& stop) {
        waited += 10) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
+}
+
+double MsSince(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t)
+      .count();
 }
 
 }  // namespace
@@ -82,8 +90,13 @@ struct Router::Upstream {
   FrameDecoder decoder;
   std::string outbound;
   std::size_t out_off = 0;
+  /// When the oldest unflushed byte was enqueued (valid while the buffer
+  /// is non-empty). FlushUpstream records the upstream_write hop from it
+  /// once the buffer fully drains.
+  std::chrono::steady_clock::time_point pending_since{};
 
   bool connected() const { return fd >= 0; }
+  bool has_pending() const { return out_off < outbound.size(); }
 };
 
 struct Router::Connection {
@@ -109,6 +122,11 @@ struct Router::Connection {
   std::uint64_t nonce = 0;
   std::unordered_map<std::uint64_t, std::size_t> session_shard;  ///< sid → shard
   std::unordered_map<std::uint64_t, Migration> migrations;  ///< sid → reshard
+  /// Flow id announced by the last kTraceContext per session, consumed by
+  /// that session's next kSubmitChunk so the router.forward span joins the
+  /// client's cross-process flow. Purely observational — never gates
+  /// forwarding.
+  std::unordered_map<std::uint64_t, std::uint64_t> pending_flow;
   std::vector<Upstream> upstreams;  ///< index-aligned with Router::shards_
   /// Poll-thread copy of each shard's up flag, used to detect down
   /// transitions that require faulting this connection's sessions.
@@ -426,6 +444,8 @@ void Router::AcceptPending() {
 }
 
 bool Router::ReadClient(Connection& conn) {
+  const std::chrono::steady_clock::time_point received =
+      std::chrono::steady_clock::now();
   std::uint8_t buf[64 * 1024];
   for (;;) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
@@ -453,11 +473,12 @@ bool Router::ReadClient(Connection& conn) {
       return true;
     }
     stats_.AddFrameIn();
-    if (!HandleClientFrame(conn, std::move(frame))) return false;
+    if (!HandleClientFrame(conn, std::move(frame), received)) return false;
   }
 }
 
-bool Router::HandleClientFrame(Connection& conn, Frame&& frame) {
+bool Router::HandleClientFrame(Connection& conn, Frame&& frame,
+                               std::chrono::steady_clock::time_point received) {
   // Pre-auth gate: until the challenge–response completes, the only
   // frames a client may send are kHello and kAuthResponse. Anything else
   // is an unauthenticated probe and closes the connection.
@@ -588,7 +609,30 @@ bool Router::HandleClientFrame(Connection& conn, Frame&& frame) {
             1, std::memory_order_relaxed);
         stats_.AddSessionOpened();
       }
-      EncodeFrame(frame, &conn.upstreams[shard_index].outbound);
+      ForwardToShard(conn, shard_index, frame);
+      return true;
+    }
+
+    case FrameType::kTraceContext: {
+      // Trace metadata rides the same route as the chunk it annotates —
+      // including migration parking, so replay order to the restore
+      // target is preserved — but never generates errors: a context frame
+      // for an unknown session is dropped silently rather than failing
+      // the stream (§5g). The flow id is also stashed locally so the
+      // router.forward span for the next submit joins the client's flow.
+      const auto it = conn.session_shard.find(frame.session_id);
+      if (it == conn.session_shard.end()) return true;
+      PayloadReader reader(frame.payload);
+      std::uint64_t flow = 0;
+      if (reader.U64(&flow) && reader.complete() && flow != 0) {
+        conn.pending_flow[frame.session_id] = flow;
+      }
+      const auto mig = conn.migrations.find(frame.session_id);
+      if (mig != conn.migrations.end()) {
+        EncodeFrame(frame, &mig->second.parked);
+        return true;
+      }
+      ForwardToShard(conn, it->second, frame);
       return true;
     }
 
@@ -616,7 +660,30 @@ bool Router::HandleClientFrame(Connection& conn, Frame&& frame) {
         }
         return true;
       }
-      EncodeFrame(frame, &conn.upstreams[it->second].outbound);
+      ForwardToShard(conn, it->second, frame);
+      if (frame.type == FrameType::kSubmitChunk) {
+        // router_queue hop: socket read → upstream enqueue (decode plus
+        // any head-of-line wait behind earlier frames in this batch).
+        runtime::HopStats::Global().Record(runtime::Hop::kRouterQueue,
+                                           MsSince(received));
+        obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+        if (rec.enabled()) {
+          std::uint64_t flow = 0;
+          const auto fit = conn.pending_flow.find(frame.session_id);
+          if (fit != conn.pending_flow.end()) {
+            flow = fit->second;
+            conn.pending_flow.erase(fit);
+          }
+          const auto elapsed =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - received)
+                  .count();
+          const std::uint64_t dur_ns =
+              elapsed > 0 ? static_cast<std::uint64_t>(elapsed) : 0;
+          rec.RecordSpan("router.forward", "net", obs::TraceNowNs() - dur_ns,
+                         dur_ns, flow, frame.session_id);
+        }
+      }
       return true;
     }
 
@@ -665,7 +732,11 @@ bool Router::ReadUpstream(Connection& conn, std::size_t shard_index) {
     if (frame.type == FrameType::kOpenAck) {
       const auto mig = conn.migrations.find(frame.session_id);
       if (mig != conn.migrations.end() && mig->second.target == shard_index) {
-        conn.upstreams[shard_index].outbound += mig->second.parked;
+        Upstream& target_up = conn.upstreams[shard_index];
+        if (!target_up.has_pending() && !mig->second.parked.empty()) {
+          target_up.pending_since = std::chrono::steady_clock::now();
+        }
+        target_up.outbound += mig->second.parked;
         shards_[mig->second.from_shard]->sessions_migrated.fetch_add(
             1, std::memory_order_relaxed);
         stats_.AddSessionMigrated();
@@ -686,6 +757,7 @@ bool Router::ReadUpstream(Connection& conn, std::size_t shard_index) {
         }
       }
       conn.migrations.erase(frame.session_id);
+      conn.pending_flow.erase(frame.session_id);
     }
     SendToClient(conn, frame);
   }
@@ -783,7 +855,7 @@ void Router::FaultMigration(Connection& conn, std::uint64_t wire_sid,
     Frame close;
     close.type = FrameType::kCloseSession;
     close.session_id = wire_sid;
-    EncodeFrame(close, &conn.upstreams[mig.target].outbound);
+    ForwardToShard(conn, mig.target, close);
   }
   SendErrorToClient(
       conn, wire_sid,
@@ -875,7 +947,7 @@ void Router::PumpDrains() {
       Frame drain;
       drain.type = FrameType::kDrainSession;
       drain.session_id = sid;
-      EncodeFrame(drain, &conn->upstreams[shard_index].outbound);
+      ForwardToShard(*conn, shard_index, drain);
       conn->migrations.emplace(
           sid, Connection::Migration{.from_shard = shard_index});
     }
@@ -946,7 +1018,7 @@ void Router::HandleSessionSnapshot(Connection& conn, std::size_t from_shard,
   restore.type = FrameType::kRestoreSession;
   restore.session_id = sid;
   restore.payload = std::move(frame.payload);
-  EncodeFrame(restore, &conn.upstreams[*target].outbound);
+  ForwardToShard(conn, *target, restore);
   sit->second = *target;
   mig->second.target = *target;
   shards_[from_shard]->sessions_active.fetch_sub(1, std::memory_order_relaxed);
@@ -1067,9 +1139,23 @@ bool Router::FlushClient(Connection& conn) {
   return true;
 }
 
+void Router::ForwardToShard(Connection& conn, std::size_t shard_index,
+                            const Frame& frame) {
+  Upstream& up = conn.upstreams[shard_index];
+  if (!up.has_pending()) up.pending_since = std::chrono::steady_clock::now();
+  EncodeFrame(frame, &up.outbound);
+}
+
 bool Router::FlushUpstream(Connection& conn, std::size_t shard_index) {
   Upstream& up = conn.upstreams[shard_index];
+  const bool had_pending = up.has_pending();
   if (!FlushBuffer(up.fd, &up.outbound, &up.out_off, nullptr)) return false;
+  if (had_pending && !up.has_pending()) {
+    // upstream_write hop: oldest enqueued byte → buffer fully drained to
+    // the shard socket. Grows under write-side backpressure.
+    runtime::HopStats::Global().Record(runtime::Hop::kUpstreamWrite,
+                                       MsSince(up.pending_since));
+  }
   return up.outbound.size() - up.out_off <= options_.max_outbound_bytes;
 }
 

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -146,8 +147,16 @@ class Router {
 
   void AcceptPending();
   bool ReadClient(Connection& conn);
-  bool HandleClientFrame(Connection& conn, Frame&& frame);
+  /// `received` is when the bytes carrying this frame came off the client
+  /// socket — the start of the router_queue hop for submit frames.
+  bool HandleClientFrame(Connection& conn, Frame&& frame,
+                         std::chrono::steady_clock::time_point received);
   bool ReadUpstream(Connection& conn, std::size_t shard_index);
+  /// Encodes `frame` onto the shard's outbound buffer, stamping
+  /// `pending_since` when the buffer transitions empty → non-empty (the
+  /// start of the upstream_write hop closed by FlushUpstream).
+  void ForwardToShard(Connection& conn, std::size_t shard_index,
+                      const Frame& frame);
   /// Picks the ring owner for `wire_sid` among up, non-draining,
   /// non-saturated shards; nullopt when none qualifies. When the only
   /// reason nothing qualified was saturation (live shards existed),

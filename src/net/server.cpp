@@ -8,9 +8,12 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <utility>
 
 #include "net/auth.h"
 #include "obs/log.h"
+#include "obs/trace.h"
+#include "runtime/stats.h"
 #include "synth/dataset.h"
 
 namespace nec::net {
@@ -39,6 +42,12 @@ struct NetServer::WireSession {
   bool closing = false;   ///< client sent kCloseSession; flush when idle
   bool nudge = false;     ///< a Submit bounced with kOverload; retry empty
   bool draining = false;  ///< router asked for a migration snapshot
+  /// Wire-carried trace flow id (kTraceContext) awaiting the next
+  /// kSubmitChunk of this wire session (DESIGN.md §5g).
+  std::uint64_t pending_flow = 0;
+  /// Flow id of the most recently submitted traced chunk; tags the next
+  /// kShadowData reply span so the flow reaches the reply hop.
+  std::uint64_t reply_flow = 0;
 };
 
 struct NetServer::Connection {
@@ -368,8 +377,11 @@ bool NetServer::HandleFrame(Connection& conn, Frame&& frame) {
                   "submit payload not a float32 array");
         return true;
       }
+      const std::uint64_t flow = session->pending_flow;
+      session->pending_flow = 0;
+      if (flow != 0) session->reply_flow = flow;
       const runtime::SubmitResult r =
-          manager_->Submit(session->id, samples);
+          manager_->Submit(session->id, samples, flow);
       if (!r.ok()) {
         if (r.error->category == runtime::ErrorCategory::kOverload) {
           // Samples ARE buffered; retry the dispatch with empty submits
@@ -400,6 +412,21 @@ bool NetServer::HandleFrame(Connection& conn, Frame&& frame) {
         return true;
       }
       session->closing = true;
+      return true;
+    }
+
+    case FrameType::kTraceContext: {
+      // Pure metadata (DESIGN.md §5g): stash the sender's flow id for the
+      // next kSubmitChunk of this wire session. Never an error — a
+      // context frame for an unknown/closing session (chunk raced a
+      // close) or a malformed payload is dropped silently, because trace
+      // plumbing must not change processing semantics.
+      WireSession* session = conn.Find(frame.session_id);
+      PayloadReader reader(frame.payload);
+      std::uint64_t flow = 0;
+      if (session != nullptr && reader.U64(&flow) && reader.complete()) {
+        session->pending_flow = flow;
+      }
       return true;
     }
 
@@ -513,7 +540,17 @@ void NetServer::PumpSessions(Connection& conn) {
       continue;
     }
 
-    audio::Waveform out = manager_->TakeOutput(session.id);
+    std::chrono::steady_clock::time_point produced_since{};
+    audio::Waveform out = manager_->TakeOutput(session.id, &produced_since);
+    if (out.size() > 0) {
+      // Reply hop (§5g): oldest produced-but-undelivered sample → now,
+      // i.e. how long finished shadow waited for this tick's encode.
+      runtime::HopStats::Global().Record(
+          runtime::Hop::kReply,
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - produced_since)
+              .count());
+    }
 
     if (session.draining && !session.closing) {
       // Migration: deliver whatever shadow already completed, then — once
@@ -565,11 +602,22 @@ void NetServer::PumpSessions(Connection& conn) {
       if (auto tail = manager_->Flush(session.id)) out.Append(*tail);
     }
     if (out.size() > 0) {
+      obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+      const std::uint64_t t0_ns = rec.enabled() ? obs::TraceNowNs() : 0;
       Frame data;
       data.type = FrameType::kShadowData;
       data.session_id = session.wire_sid;
       PutFloats(&data.payload, out.samples());
       SendFrame(conn, data);
+      if (t0_ns != 0) {
+        // Reply span, tagged with the last traced chunk's flow so the
+        // merged fleet trace reaches client-submit → shard-compute →
+        // reply on one id.
+        rec.RecordSpan("shard.reply", "net", t0_ns,
+                       obs::TraceNowNs() - t0_ns,
+                       std::exchange(session.reply_flow, 0),
+                       session.wire_sid);
+      }
     }
     if (finish) {
       Frame closed;

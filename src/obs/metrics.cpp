@@ -20,6 +20,21 @@ std::string NumberToString(double v) {
   return buf;
 }
 
+/// Prometheus label-value escaping: backslash, double quote, and newline
+/// must be escaped (exposition format 0.0.4). Fleet label values carry
+/// arbitrary shard addresses and error strings, so this is load-bearing,
+/// not insurance.
+void AppendEscapedLabelValue(std::string& out, const std::string& v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
 void AppendLabels(
     std::string& out,
     const std::vector<std::pair<std::string, std::string>>& labels,
@@ -33,14 +48,14 @@ void AppendLabels(
     first = false;
     out += k;
     out += "=\"";
-    out += v;  // label values here are enum names — never need escaping
+    AppendEscapedLabelValue(out, v);
     out += '"';
   }
   if (extra_key != nullptr) {
     if (!first) out += ',';
     out += *extra_key;
     out += "=\"";
-    out += *extra_value;
+    AppendEscapedLabelValue(out, *extra_value);
     out += '"';
   }
   out += '}';
@@ -227,33 +242,65 @@ bool ParseSampleLine(const std::string& line, ParsedSample* out,
   out->name = line.substr(0, i);
   out->labels.clear();
   if (line[i] == '{') {
-    const std::size_t close = line.find('}', i);
-    if (close == std::string::npos) {
-      *error = "unterminated label set: " + line;
-      return false;
-    }
+    // Scan label pairs one character at a time: label VALUES may contain
+    // '}', ',', and escaped quotes (\\, \", \n per the exposition
+    // format), so the closing brace cannot be located with find().
     std::size_t p = i + 1;
-    while (p < close) {
+    for (;;) {
+      while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) ++p;
+      if (p >= line.size()) {
+        *error = "unterminated label set: " + line;
+        return false;
+      }
+      if (line[p] == '}') {
+        ++p;
+        break;
+      }
       const std::size_t eq = line.find('=', p);
-      if (eq == std::string::npos || eq > close) {
+      if (eq == std::string::npos) {
         *error = "malformed label: " + line;
         return false;
       }
-      if (line[eq + 1] != '"') {
+      if (eq + 1 >= line.size() || line[eq + 1] != '"') {
         *error = "unquoted label value: " + line;
         return false;
       }
-      const std::size_t endq = line.find('"', eq + 2);
-      if (endq == std::string::npos || endq > close) {
+      std::string value;
+      std::size_t q = eq + 2;
+      bool closed = false;
+      while (q < line.size()) {
+        const char c = line[q];
+        if (c == '\\' && q + 1 < line.size()) {
+          const char esc = line[q + 1];
+          if (esc == '\\') {
+            value += '\\';
+          } else if (esc == '"') {
+            value += '"';
+          } else if (esc == 'n') {
+            value += '\n';
+          } else {
+            value += '\\';
+            value += esc;
+          }
+          q += 2;
+          continue;
+        }
+        if (c == '"') {
+          closed = true;
+          break;
+        }
+        value += c;
+        ++q;
+      }
+      if (!closed) {
         *error = "unterminated label value: " + line;
         return false;
       }
-      out->labels.emplace_back(line.substr(p, eq - p),
-                               line.substr(eq + 2, endq - eq - 2));
-      p = endq + 1;
-      if (p < close && line[p] == ',') ++p;
+      out->labels.emplace_back(line.substr(p, eq - p), std::move(value));
+      p = q + 1;
+      if (p < line.size() && line[p] == ',') ++p;
     }
-    i = close + 1;
+    i = p;
   }
   const std::string value_text = line.substr(i);
   const std::size_t v0 = value_text.find_first_not_of(" \t");
@@ -366,23 +413,43 @@ bool ParsePrometheusText(const std::string& text,
     MetricFamily* f = family_for(fname);
 
     if (f->type == MetricType::kHistogram) {
-      if (f->metrics.empty()) f->metrics.push_back(Metric{});
-      HistogramData& h = f->metrics[0].histogram;
+      // A histogram family carries one Metric per NON-le label set
+      // (nec_hop_latency_seconds{hop="reply",...} and {hop="shard_queue",
+      // ...} are distinct surfaces); find-or-create the matching one
+      // instead of collapsing every sample into metrics[0].
+      std::string le_text;
+      bool has_le = false;
+      std::vector<std::pair<std::string, std::string>> base_labels;
+      for (auto& [k, v] : sample.labels) {
+        if (k == "le" && kind == SeriesKind::kBucket) {
+          le_text = v;
+          has_le = true;
+        } else {
+          base_labels.emplace_back(std::move(k), std::move(v));
+        }
+      }
+      Metric* metric = nullptr;
+      for (Metric& existing : f->metrics) {
+        if (existing.labels == base_labels) {
+          metric = &existing;
+          break;
+        }
+      }
+      if (metric == nullptr) {
+        f->metrics.push_back(Metric{});
+        f->metrics.back().labels = base_labels;
+        metric = &f->metrics.back();
+      }
+      HistogramData& h = metric->histogram;
       switch (kind) {
         case SeriesKind::kBucket: {
-          double le = 0.0;
-          bool found = false;
-          for (const auto& [k, v] : sample.labels) {
-            if (k == "le") {
-              le = v == "+Inf" ? std::numeric_limits<double>::infinity()
-                               : std::strtod(v.c_str(), nullptr);
-              found = true;
-            }
-          }
-          if (!found) {
+          if (!has_le) {
             *error = fname + "_bucket without an le label";
             return false;
           }
+          const double le =
+              le_text == "+Inf" ? std::numeric_limits<double>::infinity()
+                                : std::strtod(le_text.c_str(), nullptr);
           const std::uint64_t c =
               static_cast<std::uint64_t>(sample.value);
           if (!h.cumulative.empty() && c < h.cumulative.back()) {
@@ -416,26 +483,27 @@ bool ParsePrometheusText(const std::string& text,
     f->metrics.push_back(std::move(m));
   }
 
-  // Histogram post-lint: +Inf present, equal to count, buckets <= count.
+  // Histogram post-lint, per label set: +Inf present and equal to count.
+  // A histogram family with ZERO samples is legal exposition (a TYPE line
+  // with nothing recorded yet — fleet merges scrape such families all the
+  // time), so an empty metrics vector passes.
   for (const auto& [name, f] : histograms) {
-    if (f->metrics.empty()) {
-      *error = "histogram " + name + " has no samples";
-      return false;
+    for (Metric& metric : f->metrics) {
+      HistogramData& h = metric.histogram;
+      if (h.upper_bounds.empty() ||
+          !std::isinf(h.upper_bounds.back())) {
+        *error = "histogram " + name + " lacks an le=\"+Inf\" bucket";
+        return false;
+      }
+      if (h.cumulative.back() != h.count) {
+        *error = "histogram " + name + " +Inf bucket != _count";
+        return false;
+      }
+      // Drop the +Inf entry from the parsed surface: HistogramData models
+      // it implicitly via `count`, matching what the renderer emits.
+      h.upper_bounds.pop_back();
+      h.cumulative.pop_back();
     }
-    HistogramData& h = f->metrics[0].histogram;
-    if (h.upper_bounds.empty() ||
-        !std::isinf(h.upper_bounds.back())) {
-      *error = "histogram " + name + " lacks an le=\"+Inf\" bucket";
-      return false;
-    }
-    if (h.cumulative.back() != h.count) {
-      *error = "histogram " + name + " +Inf bucket != _count";
-      return false;
-    }
-    // Drop the +Inf entry from the parsed surface: HistogramData models it
-    // implicitly via `count`, matching what the renderer emits.
-    h.upper_bounds.pop_back();
-    h.cumulative.pop_back();
   }
 
   families->reserve(storage.size());

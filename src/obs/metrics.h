@@ -71,8 +71,13 @@ std::string JsonEscape(std::string_view s);
 /// Parses (and lints) Prometheus exposition text back into families.
 /// Enforces: TYPE known and declared at most once per family, samples
 /// only for declared-or-untyped families, histogram buckets cumulative
-/// (non-decreasing), le="+Inf" bucket present and equal to `_count`.
-/// Returns false with a diagnostic in `*error` on the first violation.
+/// (non-decreasing), le="+Inf" bucket present and equal to `_count` —
+/// checked per label set: a histogram family carries one Metric per
+/// distinct non-le label combination. Label values are unescaped
+/// (\\, \", \n), so values containing '}' or quotes round-trip. A family
+/// whose TYPE line has no samples yet parses as an empty family (legal
+/// exposition; fleet merges rely on it). Returns false with a diagnostic
+/// in `*error` on the first violation.
 bool ParsePrometheusText(const std::string& text,
                          std::vector<MetricFamily>* families,
                          std::string* error);

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -9,6 +11,32 @@
 
 namespace nec::obs {
 namespace {
+
+/// splitmix64 finalizer, for the per-process flow-id salt.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// High-32-bit salt mixed from the pid and the process start instant, so
+/// two shards booted on the same host (or the same shard restarted) mint
+/// disjoint flow-id spaces. Bit 32 is forced on: a salted id is never 0
+/// and never collides with a pre-salt id of another process whose low
+/// counter happens to match.
+std::uint64_t FlowSalt() {
+  static const std::uint64_t salt = [] {
+    std::uint64_t x = static_cast<std::uint64_t>(::getpid());
+    x ^= static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    x ^= static_cast<std::uint64_t>(
+             std::chrono::system_clock::now().time_since_epoch().count())
+         << 17;
+    return (Mix64(x) | 1ull) << 32;
+  }();
+  return salt;
+}
 
 /// Registry of every thread's ring. Rings are owned here, not by the
 /// threads, so events of an exited worker survive until export.
@@ -43,12 +71,28 @@ struct ThreadRing {
   std::uint64_t recorded = 0;      ///< lifetime writes (drops = rec - held)
   std::uint32_t tid = 0;
   const char* thread_name = nullptr;
+  /// Snapshot lock: taken by the OWNER per event write and by an exporter
+  /// per ring copy. Owner/exporter is the only possible contention —
+  /// recording threads never touch each other's rings — so the exchange
+  /// is uncontended in steady state and recording stays effectively
+  /// wait-free; an exporter holds it only for one memcpy-sized copy.
+  mutable std::atomic<bool> busy{false};
+
+  void Lock() const {
+    while (busy.exchange(true, std::memory_order_acquire)) {
+      // Spin: the holder is mid-copy or mid-write, both short.
+    }
+  }
+  void Unlock() const { busy.store(false, std::memory_order_release); }
 
   void Write(const TraceEvent& ev) {
+    Lock();
     events[head] = ev;
     head = head + 1 == events.size() ? 0 : head + 1;
     ++recorded;
+    Unlock();
   }
+  /// Caller holds the snapshot lock.
   std::uint64_t held() const {
     return recorded < events.size() ? recorded : events.size();
   }
@@ -61,6 +105,12 @@ using internal::ThreadRing;
 TraceRecorder& TraceRecorder::Global() {
   static TraceRecorder* recorder = new TraceRecorder;
   return *recorder;
+}
+
+std::uint64_t TraceRecorder::NextFlowId() {
+  const std::uint64_t seq =
+      next_flow_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return FlowSalt() | (seq & 0xFFFFFFFFull);
 }
 
 internal::ThreadRing* TraceRecorder::RingForThisThread() {
@@ -84,9 +134,11 @@ void TraceRecorder::Enable(std::size_t ring_capacity) {
     if (ring_capacity == 0) ring_capacity = 1;
     reg.ring_capacity = ring_capacity;
     for (auto& ring : reg.rings) {
+      ring->Lock();
       ring->events.assign(ring_capacity, TraceEvent{});
       ring->head = 0;
       ring->recorded = 0;
+      ring->Unlock();
     }
   }
   enabled_.store(true, std::memory_order_relaxed);
@@ -149,8 +201,10 @@ void TraceRecorder::Clear() {
   Registry& reg = GetRegistry();
   std::lock_guard lock(reg.mu);
   for (auto& ring : reg.rings) {
+    ring->Lock();
     ring->head = 0;
     ring->recorded = 0;
+    ring->Unlock();
   }
 }
 
@@ -158,7 +212,11 @@ std::uint64_t TraceRecorder::events_recorded() const {
   Registry& reg = GetRegistry();
   std::lock_guard lock(reg.mu);
   std::uint64_t held = 0;
-  for (const auto& ring : reg.rings) held += ring->held();
+  for (const auto& ring : reg.rings) {
+    ring->Lock();
+    held += ring->held();
+    ring->Unlock();
+  }
   return held;
 }
 
@@ -166,7 +224,11 @@ std::uint64_t TraceRecorder::events_dropped() const {
   Registry& reg = GetRegistry();
   std::lock_guard lock(reg.mu);
   std::uint64_t dropped = 0;
-  for (const auto& ring : reg.rings) dropped += ring->recorded - ring->held();
+  for (const auto& ring : reg.rings) {
+    ring->Lock();
+    dropped += ring->recorded - ring->held();
+    ring->Unlock();
+  }
   return dropped;
 }
 
@@ -251,15 +313,25 @@ void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
     AppendJsonEscaped(os, ring->thread_name);
     os << "\"}}";
   }
+  // Copy each ring under its snapshot lock (bounded hold: one vector
+  // copy), then serialize outside it so a recording owner never spins
+  // behind JSON formatting.
+  std::vector<TraceEvent> snapshot;
   for (const auto& ring : reg.rings) {
+    snapshot.clear();
+    ring->Lock();
     const std::uint64_t held = ring->held();
     // Oldest-first: a wrapped ring starts at head (the next overwrite
     // victim is the oldest event).
     const std::size_t cap = ring->events.size();
-    const std::size_t start =
-        ring->recorded <= cap ? 0 : ring->head;
+    const std::size_t start = ring->recorded <= cap ? 0 : ring->head;
+    snapshot.reserve(held);
     for (std::uint64_t k = 0; k < held; ++k) {
-      WriteEventJson(os, ring->events[(start + k) % cap], &first);
+      snapshot.push_back(ring->events[(start + k) % cap]);
+    }
+    ring->Unlock();
+    for (const TraceEvent& ev : snapshot) {
+      WriteEventJson(os, ev, &first);
     }
   }
   os << "\n]}\n";

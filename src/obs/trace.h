@@ -19,11 +19,21 @@
 // When a ring wraps, the oldest events are overwritten and counted as
 // dropped — a trace is a recent-history window, not an unbounded log.
 //
-// Quiescence contract: WriteChromeTrace / Clear / Enable / Disable are
-// control-plane calls; call them with no concurrent span recording (necd
-// dumps the trace after Drain, tests after joining their threads). The
-// enabled() flip itself is safe at any time — in-flight TraceSpans that
-// observed the old value simply finish (or skip) their one event.
+// Snapshot contract: WriteChromeTrace / events_recorded / events_dropped
+// are safe to call WHILE other threads record — each ring carries a tiny
+// spinlock that the owner takes per event and the exporter takes per ring
+// copy, so a live `GET /trace` sees a consistent recent-history window
+// without stopping the daemon. Enable / Disable / Clear remain
+// control-plane calls: invoke them with no concurrent span recording
+// (necd flips tracing at startup, tests after joining their threads).
+// The enabled() flip itself is safe at any time — in-flight TraceSpans
+// that observed the old value simply finish (or skip) their one event.
+//
+// Flow ids are process-salted: NextFlowId() packs a per-process random
+// salt in the high 32 bits and a counter in the low 32, so flows minted
+// by different fleet members never collide when `necctl trace` merges
+// their rings into one file. A flow id carried over the wire
+// (kTraceContext) keeps its origin's salt end to end.
 #pragma once
 
 #include <atomic>
@@ -83,10 +93,9 @@ class TraceRecorder {
   /// The only cost at a disabled span site.
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Fresh nonzero flow id for linking events across threads.
-  std::uint64_t NextFlowId() {
-    return next_flow_id_.fetch_add(1, std::memory_order_relaxed) + 1;
-  }
+  /// Fresh nonzero flow id for linking events across threads — and, via
+  /// the per-process salt in the high bits, across processes.
+  std::uint64_t NextFlowId();
 
   /// Appends a complete span with explicit timestamps. No-op while
   /// disabled. Wait-free after the calling thread's first record. Explicit
@@ -121,8 +130,9 @@ class TraceRecorder {
 
   /// Writes `{"traceEvents": [...]}` Chrome trace JSON: one "M" metadata
   /// event per named thread, then every held event in ring order.
-  /// Timestamps are microseconds (`ts`/`dur`), pid is fixed at 1.
-  /// Quiescence contract applies.
+  /// Timestamps are microseconds (`ts`/`dur`), pid is fixed at 1 (the
+  /// cross-process merger in necctl remaps it per source). Safe while
+  /// other threads record — each ring is copied under its snapshot lock.
   void WriteChromeTrace(std::ostream& os) const;
 
   /// WriteChromeTrace to a string (tests, small traces).

@@ -25,23 +25,29 @@ ContinuousBatcher::ContinuousBatcher(Options options, BatchFn fn)
 
 ContinuousBatcher::~ContinuousBatcher() { Shutdown(); }
 
-void ContinuousBatcher::Enqueue(void* key, audio::Waveform chunk) {
+void ContinuousBatcher::Enqueue(void* key, audio::Waveform chunk,
+                                std::uint64_t wire_flow) {
   const Clock::time_point now = Clock::now();
   EnqueueWithDeadline(
       key, std::move(chunk),
       now + std::chrono::duration_cast<Clock::duration>(
                 std::chrono::duration<double, std::milli>(
-                    options_.deadline_ms)));
+                    options_.deadline_ms)),
+      wire_flow);
 }
 
 void ContinuousBatcher::EnqueueWithDeadline(void* key, audio::Waveform chunk,
-                                            Clock::time_point deadline) {
+                                            Clock::time_point deadline,
+                                            std::uint64_t wire_flow) {
   // Flow arrow tail: the matching head is emitted by the batch callback
   // when it completes this chunk, linking enqueue → EDF admission →
-  // dispatch across threads in the exported trace.
-  std::uint64_t flow_id = 0;
+  // dispatch across threads in the exported trace. A wire-carried flow
+  // id (kTraceContext) is adopted verbatim — its tail was already
+  // recorded by the remote sender, so the completion head closes a
+  // CROSS-PROCESS arrow in the merged trace.
+  std::uint64_t flow_id = wire_flow;
   obs::TraceRecorder& rec = obs::TraceRecorder::Global();
-  if (rec.enabled()) {
+  if (rec.enabled() && flow_id == 0) {
     flow_id = rec.NextFlowId();
     rec.RecordFlow(obs::TraceEventKind::kFlowBegin, "chunk.flow", flow_id);
   }

@@ -89,12 +89,21 @@ class ContinuousBatcher {
 
   /// Adds a ready chunk (deadline = now + deadline_ms). Thread-safe.
   /// Calling after Shutdown throws a typed CheckError (kInvariant).
-  void Enqueue(void* key, audio::Waveform chunk);
+  ///
+  /// `wire_flow` (optional) is a trace flow id minted by a REMOTE peer
+  /// and carried over the wire (kTraceContext, DESIGN.md §5g): when
+  /// nonzero it becomes the item's flow id verbatim — no local mint, no
+  /// local flow-begin event, since the arrow's tail lives in the
+  /// sender's trace — so the chunk's completion closes a cross-process
+  /// flow.
+  void Enqueue(void* key, audio::Waveform chunk,
+               std::uint64_t wire_flow = 0);
 
   /// Test seam: Enqueue with an explicit deadline, so EDF ordering is
   /// deterministic under test without racing the clock.
   void EnqueueWithDeadline(void* key, audio::Waveform chunk,
-                           std::chrono::steady_clock::time_point deadline);
+                           std::chrono::steady_clock::time_point deadline,
+                           std::uint64_t wire_flow = 0);
 
   /// Removes every pending (not yet dispatched) chunk of `key`; returns
   /// how many were removed. In-flight chunks are unaffected. Thread-safe.

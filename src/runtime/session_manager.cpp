@@ -100,7 +100,8 @@ SessionManager::Session* SessionManager::GetSession(SessionId id) const {
 }
 
 SubmitResult SessionManager::Submit(SessionId id,
-                                    std::span<const float> samples) {
+                                    std::span<const float> samples,
+                                    std::uint64_t trace_flow) {
   NEC_TRACE_SPAN_ARG("runtime.submit", id);
   Session* s = GetSession(id);
 
@@ -143,6 +144,7 @@ SubmitResult SessionManager::Submit(SessionId id,
       s->inbox_since = std::chrono::steady_clock::now();
     }
     s->inbox.insert(s->inbox.end(), accepted.begin(), accepted.end());
+    if (trace_flow != 0) s->wire_flow = trace_flow;
     if (!s->running && !s->inbox.empty()) {
       s->running = true;
       dispatch = true;
@@ -183,6 +185,7 @@ void SessionManager::RunStrand(Session* s) {
   std::vector<float> take;
   for (;;) {
     std::chrono::steady_clock::time_point ready;
+    std::uint64_t flow = 0;
     {
       std::lock_guard lock(s->mu);
       if (s->inbox.empty() || s->error.has_value()) {
@@ -191,6 +194,7 @@ void SessionManager::RunStrand(Session* s) {
       }
       take.assign(s->inbox.begin(), s->inbox.end());
       s->inbox.clear();
+      flow = std::exchange(s->wire_flow, 0);
       // Chunks completed from this take were waiting since the oldest
       // taken sample arrived. When several chunks pop from one take the
       // later ones inherit the oldest arrival — end-to-end latency may
@@ -202,7 +206,10 @@ void SessionManager::RunStrand(Session* s) {
     bool faulted = false;
     while (s->proc.HasFullChunk()) {
       s->proc.PopChunkInto(s->chunk_buf);
-      if (!ProcessOneChunk(s, s->chunk_buf, ready)) {
+      // The wire-carried flow names ONE chunk; the first popped from this
+      // take claims it.
+      if (!ProcessOneChunk(s, s->chunk_buf, ready,
+                           std::exchange(flow, 0))) {
         faulted = true;  // FaultSession already shed inbox + running
         break;
       }
@@ -222,6 +229,7 @@ void SessionManager::RunStrandBatched(Session* s) {
   NEC_TRACE_SPAN_ARG("runtime.strand_batched", s->id);
   std::vector<float> take;
   for (;;) {
+    std::uint64_t flow = 0;
     {
       std::lock_guard lock(s->mu);
       if (s->inbox.empty() || s->error.has_value()) {
@@ -230,12 +238,15 @@ void SessionManager::RunStrandBatched(Session* s) {
       }
       take.assign(s->inbox.begin(), s->inbox.end());
       s->inbox.clear();
+      flow = std::exchange(s->wire_flow, 0);
     }
     try {
       s->proc.BufferSamples(take);
       while (s->proc.HasFullChunk()) {
         FaultInjector::Global().OnSite("strand.chunk", s->id);
-        batcher_->Enqueue(s, s->proc.PopChunk());
+        // First chunk of the take carries the wire flow (if any); the
+        // batcher adopts it instead of minting a local id.
+        batcher_->Enqueue(s, s->proc.PopChunk(), std::exchange(flow, 0));
       }
     } catch (...) {
       FaultSession(s, ClassifyCurrentException());
@@ -270,18 +281,23 @@ void SessionManager::GenerateShadowAtLevelInto(Session* s,
 
 bool SessionManager::ProcessOneChunk(
     Session* s, const audio::Waveform& chunk,
-    std::chrono::steady_clock::time_point ready) {
+    std::chrono::steady_clock::time_point ready, std::uint64_t flow) {
   bool probe = false;
   DegradeLevel level = DegradeLevel::kNeural;
   {
     std::lock_guard lock(s->mu);
     level = EffectiveLevelLocked(s, &probe);
   }
+  // Hop decomposition (§5g): ready → compute start is the shard's queue
+  // share of the end-to-end number.
+  HopStats::Global().Record(Hop::kShardQueue, MsSince(ready));
   const FaultOptions& fo = options_.fault;
   std::size_t attempts = 0;
   for (;;) {
     try {
       const auto t0 = std::chrono::steady_clock::now();
+      obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+      const std::uint64_t t0_ns = rec.enabled() ? obs::TraceNowNs() : 0;
       FaultInjector::Global().OnSite("strand.chunk", s->id);
       GenerateShadowAtLevelInto(s, chunk, level, s->shadow_buf);
       const double selector_ms = MsSince(t0);
@@ -290,7 +306,18 @@ bool SessionManager::ProcessOneChunk(
       const double total_ms = MsSince(t0);
       stats_.AddChunk(total_ms);
       stats_.AddChunkE2E(MsSince(ready));
+      HopStats::Global().Record(Hop::kShardCompute, total_ms);
+      if (t0_ns != 0) {
+        rec.RecordSpan("shard.compute", "nec", t0_ns,
+                       obs::TraceNowNs() - t0_ns, flow, s->id);
+        if (flow != 0) {
+          rec.RecordFlow(obs::TraceEventKind::kFlowEnd, "chunk.flow", flow);
+        }
+      }
       std::lock_guard lock(s->mu);
+      if (s->output.size() == 0) {
+        s->output_since = std::chrono::steady_clock::now();
+      }
       s->output.Append(s->mod_buf);
       ++s->chunk_count;
       UpdateWatchdogLocked(s, level, probe, total_ms);
@@ -342,11 +369,17 @@ bool SessionManager::ProcessOneChunk(
 void SessionManager::RunBatch(std::vector<ContinuousBatcher::Item>&& items) {
   NEC_TRACE_SPAN_ARG("runtime.batch", items.size());
   const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t t0_ns =
+      obs::TraceRecorder::Global().enabled() ? obs::TraceNowNs() : 0;
   stats_.AddBatch(items.size());
   for (const ContinuousBatcher::Item& it : items) {
-    stats_.AddQueueWait(
+    const double wait_ms =
         std::chrono::duration<double, std::milli>(t0 - it.enqueued)
-            .count());
+            .count();
+    stats_.AddQueueWait(wait_ms);
+    // Hop decomposition (§5g): batcher wait is the batched path's
+    // shard-queue share.
+    HopStats::Global().Record(Hop::kShardQueue, wait_ms);
   }
 
   // Disposition pass, in admission order: a faulted session's items are
@@ -409,7 +442,16 @@ void SessionManager::RunBatch(std::vector<ContinuousBatcher::Item>&& items) {
           const double total_ms = MsSince(t0);
           stats_.AddChunk(total_ms);
           stats_.AddChunkE2E(MsSince(items[i].enqueued));
+          HopStats::Global().Record(Hop::kShardCompute, total_ms);
+          if (t0_ns != 0) {
+            obs::TraceRecorder::Global().RecordSpan(
+                "shard.compute", "nec", t0_ns, obs::TraceNowNs() - t0_ns,
+                items[i].flow_id, s->id);
+          }
           std::lock_guard lock(s->mu);
+          if (s->output.size() == 0) {
+            s->output_since = std::chrono::steady_clock::now();
+          }
           s->output.Append(s->mod_buf);
           ++s->chunk_count;
           UpdateWatchdogLocked(s, DegradeLevel::kNeural, /*probe=*/false,
@@ -421,9 +463,12 @@ void SessionManager::RunBatch(std::vector<ContinuousBatcher::Item>&& items) {
       case Route::kSingle:
         // Degraded (or probing) session: generate on the claiming
         // dispatcher so completion order stays FIFO. ProcessOneChunk owns
-        // retries, the ladder, and the fault transition.
-        ProcessOneChunk(s, items[i].chunk, items[i].enqueued);
-        break;
+        // retries, the ladder, the fault transition — and, via the flow
+        // id, this chunk's flow-end event (skip the shared one below or
+        // the arrow head would be emitted twice).
+        ProcessOneChunk(s, items[i].chunk, items[i].enqueued,
+                        items[i].flow_id);
+        continue;
     }
     // Flow arrow head: ties this chunk's completion (or shedding) back to
     // its Enqueue tail, batch membership visible via the enclosing span.
@@ -639,9 +684,13 @@ std::optional<audio::Waveform> SessionManager::Flush(SessionId id) {
   return out;
 }
 
-audio::Waveform SessionManager::TakeOutput(SessionId id) {
+audio::Waveform SessionManager::TakeOutput(
+    SessionId id, std::chrono::steady_clock::time_point* produced_since) {
   Session* s = GetSession(id);
   std::lock_guard lock(s->mu);
+  if (produced_since != nullptr && s->output.size() > 0) {
+    *produced_since = s->output_since;
+  }
   return std::exchange(s->output, audio::Waveform());
 }
 

@@ -206,7 +206,15 @@ class SessionManager {
   ///
   /// Thread-safe across sessions; calls for one session must come from one
   /// producer (a stream is ordered).
-  SubmitResult Submit(SessionId id, std::span<const float> samples);
+  ///
+  /// `trace_flow` (optional) is a wire-carried trace flow id
+  /// (kTraceContext, DESIGN.md §5g): when nonzero it attaches to the
+  /// FIRST chunk that becomes ready from these samples, so that chunk's
+  /// shard.compute span and flow-end event carry the remote sender's id
+  /// and the merged fleet trace stitches client-submit → shard-compute
+  /// into one flow. Zero (the default) keeps the local-only behavior.
+  SubmitResult Submit(SessionId id, std::span<const float> samples,
+                      std::uint64_t trace_flow = 0);
 
   /// Blocks until every strand dispatched so far has finished. Sessions
   /// may still hold partial-chunk tails (see Flush).
@@ -218,8 +226,14 @@ class SessionManager {
   std::optional<audio::Waveform> Flush(SessionId id);
 
   /// Moves out everything the session produced so far (modulated shadow at
-  /// the air rate, in stream order). Thread-safe.
-  audio::Waveform TakeOutput(SessionId id);
+  /// the air rate, in stream order). Thread-safe. `produced_since`
+  /// (optional) receives the instant the oldest returned sample was
+  /// appended — the anchor for the reply hop of the latency decomposition
+  /// (time the output sat waiting for a taker); untouched when the
+  /// returned waveform is empty.
+  audio::Waveform TakeOutput(
+      SessionId id,
+      std::chrono::steady_clock::time_point* produced_since = nullptr);
 
   /// One session's health: lifecycle state, recorded error (if faulted),
   /// current degradation rung, and lifetime counters. Thread-safe.
@@ -295,11 +309,18 @@ class SessionManager {
 
     std::mutex mu;
     std::deque<float> inbox;   ///< guarded by mu
+    /// Wire-carried trace flow id (kTraceContext) awaiting its chunk:
+    /// consumed by the next chunk popped from this session's stream.
+    /// Guarded by mu.
+    std::uint64_t wire_flow = 0;
     /// When the inbox last went empty → non-empty: the arrival time of the
     /// oldest unconsumed samples, feeding end-to-end latency accounting on
     /// the unbatched path. Guarded by mu.
     std::chrono::steady_clock::time_point inbox_since{};
     audio::Waveform output;    ///< guarded by mu
+    /// When `output` last went empty → non-empty: production time of the
+    /// oldest un-taken sample (reply-hop anchor). Guarded by mu.
+    std::chrono::steady_clock::time_point output_since{};
     bool running = false;      ///< strand in flight; guarded by mu
 
     // --- Fault / degradation state, all guarded by mu.
@@ -326,11 +347,14 @@ class SessionManager {
   /// Generates + completes one chunk at the session's current rung, with
   /// retry/backoff, the deadline watchdog, and recovery probes. `ready` is
   /// when the chunk became processable (inbox arrival / batcher enqueue)
-  /// and anchors the end-to-end latency record. Returns false iff the
-  /// session faulted. Runs on the strand (unbatched) or the owning
-  /// dispatch thread (batched, degraded/poisoned items).
+  /// and anchors the end-to-end latency record. `flow` (0 = none) links
+  /// the chunk's shard.compute span and flow-end back to a remote
+  /// sender's trace. Returns false iff the session faulted. Runs on the
+  /// strand (unbatched) or the owning dispatch thread (batched,
+  /// degraded/poisoned items).
   bool ProcessOneChunk(Session* session, const audio::Waveform& chunk,
-                       std::chrono::steady_clock::time_point ready);
+                       std::chrono::steady_clock::time_point ready,
+                       std::uint64_t flow = 0);
   /// Generates the shadow at `level` into the session's reuse buffer
   /// (session->shadow_buf via caller) — the zero-allocation strand path.
   void GenerateShadowAtLevelInto(Session* session,

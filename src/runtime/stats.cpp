@@ -77,6 +77,34 @@ HistogramSnapshot LatencyHistogram::Buckets() const {
   return snap;
 }
 
+HistogramSnapshot LatencyHistogram::Merge(const HistogramSnapshot& a,
+                                          const HistogramSnapshot& b) {
+  HistogramSnapshot out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    out.cumulative[i] = a.cumulative[i] + b.cumulative[i];
+  }
+  out.count = a.count + b.count;
+  out.sum_ms = a.sum_ms + b.sum_ms;
+  out.max_ms = std::max(a.max_ms, b.max_ms);
+  return out;
+}
+
+const char* HopName(Hop hop) {
+  switch (hop) {
+    case Hop::kRouterQueue: return "router_queue";
+    case Hop::kUpstreamWrite: return "upstream_write";
+    case Hop::kShardQueue: return "shard_queue";
+    case Hop::kShardCompute: return "shard_compute";
+    case Hop::kReply: return "reply";
+  }
+  return "?";
+}
+
+HopStats& HopStats::Global() {
+  static HopStats* stats = new HopStats;
+  return *stats;
+}
+
 void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   max_us_.store(0, std::memory_order_relaxed);

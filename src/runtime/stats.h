@@ -62,6 +62,14 @@ class LatencyHistogram {
   /// Inclusive upper bound of bucket `index` in ms (kMinMs * G^index).
   static double BucketUpperMs(std::size_t index);
 
+  /// Fleet aggregation: bucket-wise sum of two snapshots of the SAME
+  /// fixed grid (counts and sums add, maxima take the larger). Merge is
+  /// associative and commutative — `Merge(a, b) == Merge(b, a)` and
+  /// folding N shards in any order yields the same fleet CDF — which is
+  /// what lets the router scrape members independently and add them up.
+  static HistogramSnapshot Merge(const HistogramSnapshot& a,
+                                 const HistogramSnapshot& b);
+
   void Reset();
 
  private:
@@ -70,6 +78,48 @@ class LatencyHistogram {
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> max_us_{0};
   std::atomic<std::uint64_t> sum_us_{0};
+};
+
+// -------------------------------------------------- per-hop latency
+// Where did an end-to-end millisecond go once the chunk crossed the
+// wire? Each boundary on the client → router → shard → client path
+// records its share into one histogram of a process-global family, so
+// e2e p99 decomposes into visible hops and the dominant one is
+// machine-identifiable from a single scrape (DESIGN.md §5g).
+
+enum class Hop : std::uint8_t {
+  kRouterQueue = 0,   ///< chunk frame decoded → queued on the upstream
+  kUpstreamWrite,     ///< upstream buffer → bytes accepted by the shard
+  kShardQueue,        ///< shard: samples ready → compute starts
+  kShardCompute,      ///< shard: selector + broadcast wall time
+  kReply,             ///< shard: output produced → reply frame encoded
+};
+inline constexpr std::size_t kNumHops = 5;
+
+/// Prometheus label value for the hop ("router_queue", ...).
+const char* HopName(Hop hop);
+
+/// Process-global, always-on per-hop histograms. Recording is the same
+/// wait-free atomic path as every LatencyHistogram — cheap enough to
+/// stay unconditional, so the hop decomposition needs no opt-in flag.
+class HopStats {
+ public:
+  static HopStats& Global();
+
+  void Record(Hop hop, double ms) {
+    hops_[static_cast<std::size_t>(hop)].Record(ms);
+  }
+  HistogramSnapshot Snapshot(Hop hop) const {
+    return hops_[static_cast<std::size_t>(hop)].Buckets();
+  }
+  /// Tests own the process-global instance.
+  void Reset() {
+    for (auto& h : hops_) h.Reset();
+  }
+
+ private:
+  HopStats() = default;
+  std::array<LatencyHistogram, kNumHops> hops_;
 };
 
 /// Largest batch size tracked exactly by the batch-size histogram; larger

@@ -1,5 +1,7 @@
 #include "runtime/stats_export.h"
 
+#include <cmath>
+#include <cstdio>
 #include <utility>
 
 namespace nec::runtime {
@@ -37,7 +39,93 @@ obs::MetricFamily MakeHistogram(std::string name, std::string help,
   return f;
 }
 
+/// True when `bound_s` (seconds) is the canonical grid bound at `index`,
+/// within the round-trip error of rendering a double with %.9g and
+/// parsing it back.
+bool OnGridAt(double bound_s, std::size_t index) {
+  const double canon = LatencyHistogram::BucketUpperMs(index) / 1000.0;
+  return std::abs(bound_s - canon) <= 1e-12 + 1e-6 * canon;
+}
+
+/// Reconstitutes a change-compressed surface onto the full canonical
+/// grid. The CDF is flat between emitted bounds, so carrying the last
+/// emitted cumulative forward is exact, not an approximation. False when
+/// any source bound is off-grid.
+bool ToCanonicalGrid(
+    const obs::HistogramData& h,
+    std::array<std::uint64_t, kLatencyHistogramBuckets>* cumulative,
+    std::string* error) {
+  cumulative->fill(0);
+  std::size_t src = 0;             // next unconsumed source bound
+  std::uint64_t carry = 0;         // CDF value below the next source bound
+  for (std::size_t g = 0; g < kLatencyHistogramBuckets; ++g) {
+    if (src < h.upper_bounds.size() && OnGridAt(h.upper_bounds[src], g)) {
+      if (h.cumulative[src] < carry) {
+        if (error != nullptr) *error = "bucket counts are not cumulative";
+        return false;
+      }
+      carry = h.cumulative[src];
+      ++src;
+    }
+    (*cumulative)[g] = carry;
+  }
+  if (src != h.upper_bounds.size()) {
+    if (error != nullptr) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    "bucket bound %.9g s is not on the canonical grid",
+                    h.upper_bounds[src]);
+      *error = buf;
+    }
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+obs::MetricFamily HopLatencyFamily() {
+  obs::MetricFamily family;
+  family.name = "nec_hop_latency_seconds";
+  family.help =
+      "Per-hop latency decomposition of the client-router-shard path";
+  family.type = obs::MetricType::kHistogram;
+  for (std::size_t i = 0; i < kNumHops; ++i) {
+    const Hop hop = static_cast<Hop>(i);
+    const HistogramSnapshot snap = HopStats::Global().Snapshot(hop);
+    if (snap.count == 0) continue;
+    obs::Metric m;
+    m.labels.emplace_back("hop", HopName(hop));
+    m.histogram = ToHistogramData(snap);
+    family.metrics.push_back(std::move(m));
+  }
+  return family;
+}
+
+HistogramMergeStatus MergeHistogramData(const obs::HistogramData& src,
+                                        obs::HistogramData* acc,
+                                        std::string* error) {
+  std::array<std::uint64_t, kLatencyHistogramBuckets> src_grid{};
+  if (!ToCanonicalGrid(src, &src_grid, error)) {
+    return HistogramMergeStatus::kBoundaryMismatch;
+  }
+  std::array<std::uint64_t, kLatencyHistogramBuckets> acc_grid{};
+  if (!ToCanonicalGrid(*acc, &acc_grid, error)) {
+    return HistogramMergeStatus::kBoundaryMismatch;
+  }
+  // The merged accumulator carries the FULL grid: later sources always
+  // reconstitute against it exactly, and any quantile derives from the
+  // complete fleet CDF.
+  acc->upper_bounds.resize(kLatencyHistogramBuckets);
+  acc->cumulative.resize(kLatencyHistogramBuckets);
+  for (std::size_t g = 0; g < kLatencyHistogramBuckets; ++g) {
+    acc->upper_bounds[g] = LatencyHistogram::BucketUpperMs(g) / 1000.0;
+    acc->cumulative[g] = acc_grid[g] + src_grid[g];
+  }
+  acc->count += src.count;
+  acc->sum += src.sum;
+  return HistogramMergeStatus::kOk;
+}
 
 std::vector<obs::MetricFamily> SnapshotToMetricFamilies(
     const RuntimeStatsSnapshot& s) {

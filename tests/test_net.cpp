@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <random>
@@ -33,6 +34,7 @@
 #include "net/server.h"
 #include "net/socket.h"
 #include "obs/http.h"
+#include "obs/trace.h"
 #include "runtime/fault.h"
 #include "runtime/session_manager.h"
 #include "synth/dataset.h"
@@ -1433,6 +1435,70 @@ TEST(HttpGetTimeouts, RefusedConnectionFailsFastWithDistinctMessage) {
           .count();
   EXPECT_LT(waited_ms, 2000.0);
   EXPECT_NE(error.find("refused"), std::string::npos) << error;
+}
+
+// A submit over the wire carries its trace flow id in a kTraceContext
+// frame, and the shard adopts it VERBATIM: the client's "client.submit"
+// span and the shard's "shard.compute" span share one flow id, with the
+// flow-begin recorded client-side and the flow-end shard-side. That
+// shared id is what `necctl trace` relies on to stitch per-process rings
+// into one cross-process arrow.
+TEST(NetTraceE2E, WireFlowIdLinksClientSubmitToShardCompute) {
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  rec.Disable();
+  rec.Clear();
+  rec.Enable(/*ring_capacity=*/1024);
+
+  SharedModel model;
+  runtime::SessionManager manager(model.selector, model.encoder, {},
+                                  model.ManagerOptions());
+  NetServer server(&manager, {});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const std::size_t chunk_samples = manager.chunk_samples();
+  std::vector<float> stream = MakeStream(42, 5, 1.0);
+  stream.resize(chunk_samples, 0.0f);
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 2000, &error))
+      << error;
+  HelloInfo hello;
+  ASSERT_TRUE(client.Hello(&hello, 5000, &error)) << error;
+  ASSERT_TRUE(client.OpenSession(1, 42, 43, 10000, &error)) << error;
+  ASSERT_TRUE(client.SubmitChunk(
+      1, std::span<const float>(stream.data(), chunk_samples), &error))
+      << error;
+  ASSERT_TRUE(client.SendCloseSession(1, &error)) << error;
+  ASSERT_TRUE(client.WaitDone(1, 60000, &error)) << error;
+  server.Stop();
+
+  const std::string json = rec.ChromeTraceJson();
+  rec.Disable();
+  rec.Clear();
+
+  // The client minted exactly one flow this test; find it via the flow
+  // begin it recorded, then demand the shard closed the SAME id.
+  const std::size_t begin_at = json.find("\"ph\":\"s\",\"id\":");
+  ASSERT_NE(begin_at, std::string::npos) << json;
+  const std::uint64_t flow = std::strtoull(
+      json.c_str() + begin_at + std::strlen("\"ph\":\"s\",\"id\":"), nullptr,
+      10);
+  ASSERT_NE(flow, 0u);
+  const std::string id_tag = ",\"id\":" + std::to_string(flow);
+  EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\"" + id_tag),
+            std::string::npos)
+      << json;
+
+  // Both endpoint spans carry the shared flow id.
+  const auto span_has_flow = [&](const char* name) {
+    const std::size_t at = json.find("\"name\":\"" + std::string(name) + "\"");
+    if (at == std::string::npos) return false;
+    const std::size_t end = json.find('\n', at);
+    return json.substr(at, end - at).find(id_tag) != std::string::npos;
+  };
+  EXPECT_TRUE(span_has_flow("client.submit")) << json;
+  EXPECT_TRUE(span_has_flow("shard.compute")) << json;
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/fleet.h"
 #include "obs/http.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -446,6 +447,295 @@ TEST(Http, ServesHandlersOnEphemeralPort) {
   server.Stop();  // idempotent
   EXPECT_FALSE(obs::HttpGet("127.0.0.1", server.port(), "/metrics", &body,
                             &status, &error));
+}
+
+// --------------------------------------------- parser fleet edge cases
+
+TEST(Metrics, LabelValueEscapingRoundTrips) {
+  obs::MetricFamily f = obs::MakeCounter("nec_odd_total", "odd labels", 7);
+  f.metrics[0].labels.emplace_back("path", "a\"b}c\\d\ne");
+  f.metrics[0].labels.emplace_back("plain", "ok");
+  std::vector<obs::MetricFamily> families{f};
+
+  const std::string text = obs::RenderPrometheusText(families);
+  std::vector<obs::MetricFamily> parsed;
+  std::string error;
+  ASSERT_TRUE(obs::ParsePrometheusText(text, &parsed, &error))
+      << error << "\n" << text;
+  ASSERT_EQ(parsed.size(), 1u);
+  ASSERT_EQ(parsed[0].metrics.size(), 1u);
+  EXPECT_EQ(parsed[0].metrics[0].labels, f.metrics[0].labels);
+  EXPECT_DOUBLE_EQ(parsed[0].metrics[0].value, 7.0);
+}
+
+TEST(Metrics, ZeroSampleFamilyParsesAsEmpty) {
+  // A TYPE header with no samples yet is legal exposition — a process
+  // that has not observed anything still declares its families, and the
+  // fleet fold must accept such a member.
+  std::vector<obs::MetricFamily> parsed;
+  std::string error;
+  ASSERT_TRUE(obs::ParsePrometheusText(
+      "# HELP nec_idle_total not yet incremented\n"
+      "# TYPE nec_idle_total counter\n"
+      "# TYPE nec_busy_total counter\n"
+      "nec_busy_total 1\n",
+      &parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, "nec_idle_total");
+  EXPECT_TRUE(parsed[0].metrics.empty());
+  ASSERT_EQ(parsed[1].metrics.size(), 1u);
+}
+
+TEST(Metrics, MultiLabelHistogramKeepsLabelSetsApart) {
+  // One histogram family, two label sets (the shape of
+  // nec_hop_latency_seconds): each non-le label combination must come
+  // back as its own Metric with its own bucket surface.
+  std::vector<obs::MetricFamily> parsed;
+  std::string error;
+  ASSERT_TRUE(obs::ParsePrometheusText(
+      "# TYPE h histogram\n"
+      "h_bucket{hop=\"reply\",le=\"1\"} 2\n"
+      "h_bucket{hop=\"reply\",le=\"+Inf\"} 3\n"
+      "h_sum{hop=\"reply\"} 1.5\n"
+      "h_count{hop=\"reply\"} 3\n"
+      "h_bucket{hop=\"shard_queue\",le=\"1\"} 5\n"
+      "h_bucket{hop=\"shard_queue\",le=\"+Inf\"} 5\n"
+      "h_sum{hop=\"shard_queue\"} 2.5\n"
+      "h_count{hop=\"shard_queue\"} 5\n",
+      &parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.size(), 1u);
+  ASSERT_EQ(parsed[0].metrics.size(), 2u);
+  EXPECT_EQ(parsed[0].metrics[0].histogram.count, 3u);
+  EXPECT_EQ(parsed[0].metrics[1].histogram.count, 5u);
+  // ... and the le="+Inf" == count lint applies per label set.
+  EXPECT_FALSE(obs::ParsePrometheusText(
+      "# TYPE h histogram\n"
+      "h_bucket{hop=\"reply\",le=\"+Inf\"} 3\n"
+      "h_sum{hop=\"reply\"} 1.5\n"
+      "h_count{hop=\"reply\"} 4\n",
+      &parsed, &error));
+}
+
+// ------------------------------------------------------ fleet merging
+
+TEST(HistogramMerge, CommutativeWithEmptyIdentity) {
+  runtime::LatencyHistogram ha, hb;
+  for (int i = 1; i <= 40; ++i) ha.Record(i * 3.0);
+  for (int i = 1; i <= 25; ++i) hb.Record(i * 7.0);
+  const runtime::HistogramSnapshot a = ha.Buckets();
+  const runtime::HistogramSnapshot b = hb.Buckets();
+
+  const runtime::HistogramSnapshot ab = runtime::LatencyHistogram::Merge(a, b);
+  const runtime::HistogramSnapshot ba = runtime::LatencyHistogram::Merge(b, a);
+  EXPECT_EQ(ab.cumulative, ba.cumulative);
+  EXPECT_EQ(ab.count, ba.count);
+  EXPECT_DOUBLE_EQ(ab.sum_ms, ba.sum_ms);
+  EXPECT_DOUBLE_EQ(ab.max_ms, ba.max_ms);
+  EXPECT_EQ(ab.count, a.count + b.count);
+
+  const runtime::HistogramSnapshot id =
+      runtime::LatencyHistogram::Merge(a, runtime::HistogramSnapshot{});
+  EXPECT_EQ(id.cumulative, a.cumulative);
+  EXPECT_EQ(id.count, a.count);
+  EXPECT_DOUBLE_EQ(id.sum_ms, a.sum_ms);
+  EXPECT_DOUBLE_EQ(id.max_ms, a.max_ms);
+}
+
+TEST(HistogramMerge, MergedCdfEqualsPooledSamples) {
+  // Recording A∪B into one histogram must equal Merge(A-hist, B-hist)
+  // bucket-for-bucket: same deterministic bucketing, so any quantile of
+  // the merged CDF is a true pooled quantile, not an average of
+  // per-shard quantiles.
+  runtime::LatencyHistogram ha, hb, pooled;
+  for (int i = 1; i <= 60; ++i) {
+    const double ms = 0.5 + i * 1.7;
+    ha.Record(ms);
+    pooled.Record(ms);
+  }
+  for (int i = 1; i <= 90; ++i) {
+    const double ms = 20.0 + i * 4.3;
+    hb.Record(ms);
+    pooled.Record(ms);
+  }
+  const runtime::HistogramSnapshot merged =
+      runtime::LatencyHistogram::Merge(ha.Buckets(), hb.Buckets());
+  const runtime::HistogramSnapshot want = pooled.Buckets();
+  EXPECT_EQ(merged.cumulative, want.cumulative);
+  EXPECT_EQ(merged.count, want.count);
+  EXPECT_NEAR(merged.sum_ms, want.sum_ms, 1e-6 * want.sum_ms);
+  EXPECT_DOUBLE_EQ(merged.max_ms, want.max_ms);
+}
+
+/// HistogramData on the canonical grid from a LatencyHistogram snapshot
+/// (what a member's /metrics scrape reconstitutes to), change-compressed
+/// the way the renderer emits it: only bounds where the CDF moves.
+obs::HistogramData CompressedSurface(const runtime::HistogramSnapshot& snap) {
+  obs::HistogramData h;
+  std::uint64_t last = 0;
+  for (std::size_t i = 0; i < snap.cumulative.size(); ++i) {
+    if (snap.cumulative[i] == last && i + 1 != snap.cumulative.size()) {
+      continue;
+    }
+    h.upper_bounds.push_back(runtime::LatencyHistogram::BucketUpperMs(i) /
+                             1000.0);
+    h.cumulative.push_back(snap.cumulative[i]);
+    last = snap.cumulative[i];
+  }
+  h.count = snap.count;
+  h.sum = snap.sum_ms / 1000.0;
+  return h;
+}
+
+TEST(StatsExport, MergeHistogramDataAddsCompressedSurfaces) {
+  runtime::LatencyHistogram ha, hb, pooled;
+  for (int i = 1; i <= 30; ++i) {
+    ha.Record(i * 2.0);
+    pooled.Record(i * 2.0);
+  }
+  for (int i = 1; i <= 50; ++i) {
+    hb.Record(i * 11.0);
+    pooled.Record(i * 11.0);
+  }
+  // Two members legitimately expose DIFFERENT bound subsets of the same
+  // grid (change compression); the merge must reconstitute both.
+  obs::HistogramData acc;  // empty accumulator = identity
+  std::string error;
+  ASSERT_EQ(runtime::MergeHistogramData(CompressedSurface(ha.Buckets()), &acc,
+                                        &error),
+            runtime::HistogramMergeStatus::kOk)
+      << error;
+  ASSERT_EQ(runtime::MergeHistogramData(CompressedSurface(hb.Buckets()), &acc,
+                                        &error),
+            runtime::HistogramMergeStatus::kOk)
+      << error;
+
+  const runtime::HistogramSnapshot want = pooled.Buckets();
+  ASSERT_EQ(acc.cumulative.size(), want.cumulative.size());
+  for (std::size_t i = 0; i < want.cumulative.size(); ++i) {
+    EXPECT_EQ(acc.cumulative[i], want.cumulative[i]) << "bucket " << i;
+  }
+  EXPECT_EQ(acc.count, want.count);
+}
+
+TEST(StatsExport, MergeHistogramDataRejectsOffGridBounds) {
+  obs::HistogramData acc;
+  std::string error;
+  // Seed the accumulator with a real surface first.
+  runtime::LatencyHistogram h;
+  h.Record(5.0);
+  ASSERT_EQ(runtime::MergeHistogramData(CompressedSurface(h.Buckets()), &acc,
+                                        &error),
+            runtime::HistogramMergeStatus::kOk);
+  const std::uint64_t count_before = acc.count;
+
+  obs::HistogramData alien;
+  alien.upper_bounds = {0.005, 0.05, 0.5};  // a different bucket layout
+  alien.cumulative = {1, 2, 3};
+  alien.count = 3;
+  EXPECT_EQ(runtime::MergeHistogramData(alien, &acc, &error),
+            runtime::HistogramMergeStatus::kBoundaryMismatch);
+  EXPECT_NE(error.find("canonical grid"), std::string::npos) << error;
+
+  // The typed error left the accumulator usable: the bad source was not
+  // folded and a good one still merges.
+  EXPECT_EQ(acc.count, count_before);
+  runtime::LatencyHistogram more;
+  more.Record(9.0);
+  EXPECT_EQ(runtime::MergeHistogramData(CompressedSurface(more.Buckets()),
+                                        &acc, &error),
+            runtime::HistogramMergeStatus::kOk);
+  EXPECT_EQ(acc.count, count_before + 1);
+}
+
+TEST(StatsExport, HopLatencyFamilyOmitsZeroHops) {
+  runtime::HopStats::Global().Reset();
+  runtime::HopStats::Global().Record(runtime::Hop::kShardQueue, 1.5);
+  runtime::HopStats::Global().Record(runtime::Hop::kShardCompute, 12.0);
+  runtime::HopStats::Global().Record(runtime::Hop::kShardCompute, 14.0);
+
+  const obs::MetricFamily family = runtime::HopLatencyFamily();
+  EXPECT_EQ(family.name, "nec_hop_latency_seconds");
+  ASSERT_EQ(family.metrics.size(), 2u);  // recorded hops only
+  EXPECT_EQ(family.metrics[0].labels[0].second, "shard_queue");
+  EXPECT_EQ(family.metrics[1].labels[0].second, "shard_compute");
+  EXPECT_EQ(family.metrics[1].histogram.count, 2u);
+
+  // The family renders lint-clean alongside the rest of a scrape.
+  std::vector<obs::MetricFamily> families{family};
+  std::vector<obs::MetricFamily> parsed;
+  std::string error;
+  EXPECT_TRUE(obs::ParsePrometheusText(obs::RenderPrometheusText(families),
+                                       &parsed, &error))
+      << error;
+  runtime::HopStats::Global().Reset();
+}
+
+TEST(Fleet, FoldSumsCountersAndMergesHistograms) {
+  const auto member_text = [](double chunks, double queue,
+                              const runtime::HistogramSnapshot& e2e) {
+    runtime::RuntimeStatsSnapshot snap;
+    snap.chunks_processed = static_cast<std::uint64_t>(chunks);
+    snap.queue_depth = static_cast<std::size_t>(queue);
+    snap.e2e_latency_hist = e2e;
+    return obs::RenderPrometheusText(runtime::SnapshotToMetricFamilies(snap));
+  };
+  runtime::LatencyHistogram ha, hb;
+  for (int i = 1; i <= 10; ++i) ha.Record(i * 5.0);
+  for (int i = 1; i <= 30; ++i) hb.Record(i * 9.0);
+
+  net::FleetView view;
+  ASSERT_TRUE(
+      net::FoldMemberMetrics("s1", member_text(100, 3, ha.Buckets()), &view));
+  ASSERT_TRUE(
+      net::FoldMemberMetrics("s2", member_text(40, 2, hb.Buckets()), &view));
+  EXPECT_EQ(view.folded, 2u);
+  ASSERT_EQ(view.rows.size(), 2u);
+  EXPECT_EQ(view.rows[0].label, "s1");
+  EXPECT_DOUBLE_EQ(view.rows[0].chunks_total, 100.0);
+  EXPECT_EQ(view.rows[0].e2e_count, 10u);
+  EXPECT_DOUBLE_EQ(view.rows[1].chunks_total, 40.0);
+
+  // Merged families: counters summed, histogram counts added.
+  double chunks = -1.0;
+  std::uint64_t e2e_count = 0;
+  for (const obs::MetricFamily& f : view.merged) {
+    if (f.name == "nec_chunks_processed_total") chunks = f.metrics[0].value;
+    if (f.name == "nec_chunk_e2e_latency_seconds") {
+      e2e_count = f.metrics[0].histogram.count;
+    }
+  }
+  EXPECT_DOUBLE_EQ(chunks, 140.0);
+  EXPECT_EQ(e2e_count, 40u);
+
+  const std::string json = net::RenderFleetJson(view, {});
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  EXPECT_NE(json.find("\"folded\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"chunks_total\":140"), std::string::npos);
+}
+
+TEST(Fleet, BrokenMemberIsReportedNotFolded) {
+  net::FleetView view;
+  EXPECT_FALSE(net::FoldMemberMetrics(
+      "bad", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n",
+      &view));
+  EXPECT_EQ(view.folded, 0u);
+  ASSERT_EQ(view.rows.size(), 1u);
+  EXPECT_FALSE(view.rows[0].folded);
+  EXPECT_TRUE(view.rows[0].reachable);
+  EXPECT_NE(view.rows[0].error.find("exposition lint"), std::string::npos);
+
+  // A good member after a bad one still folds; JSON carries both rows.
+  ASSERT_TRUE(net::FoldMemberMetrics(
+      "good", "# TYPE nec_chunks_processed_total counter\n"
+              "nec_chunks_processed_total 9\n",
+      &view));
+  EXPECT_EQ(view.folded, 1u);
+  const std::string json = net::RenderFleetJson(view, {});
+  EXPECT_TRUE(JsonWellFormed(json)) << json;
+  EXPECT_NE(json.find("\"reachable\":true,\"folded\":false"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -33,6 +33,18 @@
 #                                    # is rejected and counted, scrape
 #                                    # /metrics from all three daemons, and
 #                                    # validate the net_fleet bench JSON
+#   CHECK_FLEET_OBS=1 tools/check.sh # also boot an authed 2-shard fleet +
+#                                    # router with tracing armed, push a
+#                                    # loadgen through it, assert the
+#                                    # router's /fleet.json merges the
+#                                    # member scrapes exactly (histogram
+#                                    # sample counts add), render one
+#                                    # `necctl top` frame, merge /trace
+#                                    # pulls + the client dump with
+#                                    # `necctl trace` and demand at least
+#                                    # one cross-process flow, and
+#                                    # validate the obs_fleet_overhead
+#                                    # bench section
 #   CHECK_JOBS=8 tools/check.sh      # override build/test parallelism
 #
 # Both builds configure with NEC_NATIVE_ARCH=OFF so the script behaves the
@@ -46,12 +58,14 @@ FAULTS="${CHECK_FAULTS:-0}"
 OBS="${CHECK_OBS:-0}"
 NET="${CHECK_NET:-0}"
 ALLOC="${CHECK_ALLOC:-0}"
+FLEET_OBS="${CHECK_FLEET_OBS:-0}"
 STEPS=4
 [[ "${BENCH_SMOKE}" == "1" ]] && STEPS=$((STEPS + 1))
 [[ "${FAULTS}" == "1" ]] && STEPS=$((STEPS + 1))
 [[ "${OBS}" == "1" ]] && STEPS=$((STEPS + 1))
 [[ "${NET}" == "1" ]] && STEPS=$((STEPS + 1))
 [[ "${ALLOC}" == "1" ]] && STEPS=$((STEPS + 1))
+[[ "${FLEET_OBS}" == "1" ]] && STEPS=$((STEPS + 1))
 STEP=0
 step() { STEP=$((STEP + 1)); echo "== [${STEP}/${STEPS}] $1 =="; }
 
@@ -59,8 +73,8 @@ step "configure + build: Release"
 cmake -B build-check-release -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DNEC_NATIVE_ARCH=OFF \
-  -DNEC_BUILD_BENCH="$([[ "${BENCH_SMOKE}" == "1" || "${NET}" == "1" || "${ALLOC}" == "1" ]] && echo ON || echo OFF)" \
-  -DNEC_BUILD_EXAMPLES="$([[ "${OBS}" == "1" || "${NET}" == "1" ]] && echo ON || echo OFF)"
+  -DNEC_BUILD_BENCH="$([[ "${BENCH_SMOKE}" == "1" || "${NET}" == "1" || "${ALLOC}" == "1" || "${FLEET_OBS}" == "1" ]] && echo ON || echo OFF)" \
+  -DNEC_BUILD_EXAMPLES="$([[ "${OBS}" == "1" || "${NET}" == "1" || "${FLEET_OBS}" == "1" ]] && echo ON || echo OFF)"
 cmake --build build-check-release -j "${JOBS}"
 
 step "ctest: Release (full suite)"
@@ -532,6 +546,188 @@ print("net check: net_fleet JSON well-formed,", len(nf["rows"]),
       "rows, shard split",
       f"{fleet['shard0_sessions']}/{fleet['shard1_sessions']}")
 EOF
+fi
+
+if [[ "${FLEET_OBS}" == "1" ]]; then
+  step "fleet observability: /fleet.json merge + necctl top + merged trace"
+  FO_DIR="build-check-release/fleet-obs-check"
+  rm -rf "${FO_DIR}" && mkdir -p "${FO_DIR}"
+  NECD="./build-check-release/examples/necd"
+  NECCTL="./build-check-release/examples/necctl"
+
+  # Authed 2-shard fleet + router, tracing armed everywhere (--trace keeps
+  # the per-process rings live for GET /trace without a shutdown dump).
+  SECRET="fleet-obs-secret"
+  "${NECD}" --listen 0 --model tiny --metrics-port 0 --workers 2 \
+    --secret "${SECRET}" --trace \
+    > "${FO_DIR}/shard1.out" 2> "${FO_DIR}/shard1.err" &
+  SHARD1_PID=$!
+  "${NECD}" --listen 0 --model tiny --metrics-port 0 --workers 2 \
+    --secret "${SECRET}" --trace \
+    > "${FO_DIR}/shard2.out" 2> "${FO_DIR}/shard2.err" &
+  SHARD2_PID=$!
+  trap 'kill "${SHARD1_PID}" "${SHARD2_PID}" "${ROUTER_PID:-}" 2>/dev/null || true' EXIT
+  for out in shard1.out shard2.out; do
+    for _ in $(seq 1 60); do
+      grep -q 'wire listening' "${FO_DIR}/${out}" 2>/dev/null && \
+        grep -q 'metrics listening' "${FO_DIR}/${out}" 2>/dev/null && break
+      sleep 1
+    done
+  done
+  port_of() { grep -o "${2}" "${FO_DIR}/${1}" | grep -o '[0-9]*$' | head -1; }
+  P1="$(port_of shard1.out 'wire listening on 127.0.0.1:[0-9]*')"
+  M1="$(port_of shard1.out 'http://127.0.0.1:[0-9]*')"
+  P2="$(port_of shard2.out 'wire listening on 127.0.0.1:[0-9]*')"
+  M2="$(port_of shard2.out 'http://127.0.0.1:[0-9]*')"
+  [[ -n "${P1}" && -n "${M1}" && -n "${P2}" && -n "${M2}" ]] || {
+    echo "shards never bound their ports"; exit 1; }
+
+  "${NECD}" --route "127.0.0.1:${P1}:${M1},127.0.0.1:${P2}:${M2}" \
+    --metrics-port 0 --secret "${SECRET}" --trace \
+    > "${FO_DIR}/router.out" 2> "${FO_DIR}/router.err" &
+  ROUTER_PID=$!
+  for _ in $(seq 1 60); do
+    grep -q 'routing on' "${FO_DIR}/router.out" 2>/dev/null && \
+      grep -q 'metrics listening' "${FO_DIR}/router.out" 2>/dev/null && break
+    sleep 1
+  done
+  RP="$(port_of router.out 'routing on 127.0.0.1:[0-9]*')"
+  RM="$(port_of router.out 'http://127.0.0.1:[0-9]*')"
+  [[ -n "${RP}" && -n "${RM}" ]] || { echo "router never bound"; exit 1; }
+
+  # Traffic through the router; --trace-out arms the CLIENT-side recorder
+  # so flow ids are minted and wire-propagated, and dumps its ring.
+  "${NECCTL}" loadgen --endpoints "127.0.0.1:${RP}" --secret "${SECRET}" \
+    --sessions 8 --connections 4 --chunks 4 --streams 2 --json \
+    --trace-out "${FO_DIR}/client-trace.json" \
+    > "${FO_DIR}/loadgen.json"
+  python3 - "${FO_DIR}/loadgen.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["ok"] is True and r["sessions_faulted"] == 0, r
+assert r["chunks_acked"] == 32, r
+print(f"fleet-obs check: loadgen 8/8 sessions,"
+      f" {r['chunks_per_sec']:.1f} chunks/s through the router")
+EOF
+
+  # /fleet.json must merge the member scrapes EXACTLY: every counter the
+  # sum, every histogram's sample count the sum of the per-shard counts
+  # (loadgen has finished, so the counters are quiescent).
+  python3 - "${RM}" "${M1}" "${M2}" "127.0.0.1:${P1}" "127.0.0.1:${P2}" <<'EOF'
+import json, sys, urllib.request
+rm, m1, m2 = sys.argv[1], sys.argv[2], sys.argv[3]
+shard_labels = {sys.argv[4], sys.argv[5]}
+def get(port, path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}",
+                                timeout=10) as r:
+        assert r.status == 200, (port, path, r.status)
+        return r.read().decode()
+def hist_count(text, family):
+    total = 0
+    for line in text.splitlines():
+        if line.startswith(f"{family}_count"):
+            total += int(float(line.split()[-1]))
+    return total
+fleet = json.loads(get(rm, "/fleet.json"))
+assert fleet["folded"] == 2, fleet["folded"]
+rows = {m["label"]: m for m in fleet["members"]}
+assert set(rows) == shard_labels, set(rows)
+for label, row in rows.items():
+    assert row["reachable"] and row["folded"], row
+    assert row["chunks_total"] > 0, f"{label} served nothing"
+shards = {s["label"]: s for s in fleet["shards"]}
+assert set(shards) == shard_labels, set(shards)
+assert all(s["up"] for s in shards.values()), shards
+# Merged histogram totals == sum of the per-shard scrapes.
+per_shard = hist_count(get(m1, "/metrics"), "nec_chunk_e2e_latency_seconds") \
+          + hist_count(get(m2, "/metrics"), "nec_chunk_e2e_latency_seconds")
+merged = next(f for f in fleet["merged"]["families"]
+              if f["name"] == "nec_chunk_e2e_latency_seconds")
+merged_count = sum(m["count"] for m in merged["metrics"])
+assert merged_count == per_shard == fleet["fleet"]["e2e_count"], \
+    (merged_count, per_shard, fleet["fleet"]["e2e_count"])
+row_sum = sum(r["e2e_count"] for r in rows.values())
+assert row_sum == merged_count, (row_sum, merged_count)
+chunk_sum = sum(r["chunks_total"] for r in rows.values())
+assert chunk_sum == fleet["fleet"]["chunks_total"] == 32, chunk_sum
+assert fleet["fleet"]["e2e_p99_ms"] > 0, fleet["fleet"]
+print(f"fleet-obs check: /fleet.json merged 2 members exactly"
+      f" ({merged_count} e2e samples, fleet p99"
+      f" {fleet['fleet']['e2e_p99_ms']:.1f} ms)")
+EOF
+
+  # The human surfaces over the same data: /fleet text and one top frame.
+  "${NECCTL}" top --url "http://127.0.0.1:${RM}" --once \
+    > "${FO_DIR}/top.out"
+  grep -q "127.0.0.1:${P1}" "${FO_DIR}/top.out" || {
+    echo "necctl top missing shard row:"; cat "${FO_DIR}/top.out"; exit 1; }
+  grep -q '^fleet:' "${FO_DIR}/top.out" || {
+    echo "necctl top missing fleet summary"; exit 1; }
+
+  # Merge the three live rings + the client dump into one trace; necctl
+  # itself fails unless at least one flow spans two processes with both
+  # endpoints (the client-submit ... shard-compute arrow).
+  "${NECCTL}" trace \
+    --url "http://127.0.0.1:${RM}" \
+    --url "http://127.0.0.1:${M1}" \
+    --url "http://127.0.0.1:${M2}" \
+    --file "${FO_DIR}/client-trace.json" \
+    --expect-cross-flow --out "${FO_DIR}/trace-merged.json" \
+    > "${FO_DIR}/trace.out"
+  cat "${FO_DIR}/trace.out"
+  python3 - "${FO_DIR}/trace-merged.json" <<'EOF'
+import json, sys
+from collections import defaultdict
+events = json.load(open(sys.argv[1]))["traceEvents"]
+names = {e.get("name") for e in events}
+procs = {e["args"]["name"] for e in events
+         if e.get("ph") == "M" and e.get("name") == "process_name"}
+assert len(procs) == 4, f"expected 4 process rows, got {procs}"
+flow_pids = defaultdict(set)
+flow_phs = defaultdict(set)
+for e in events:
+    if "id" in e:
+        flow_pids[e["id"]].add(e["pid"])
+        flow_phs[e["id"]].add(e["ph"])
+cross = [f for f in flow_pids
+         if len(flow_pids[f]) >= 2 and {"s", "f"} <= flow_phs[f]]
+assert cross, "no cross-process flow with both endpoints in merged trace"
+for span in ("client.submit", "shard.compute"):
+    assert span in names, f"missing {span!r} span in merged trace"
+print(f"fleet-obs check: merged trace ok — {len(events)} events,"
+      f" {len(procs)} processes, {len(cross)} cross-process flow(s)")
+EOF
+
+  kill "${SHARD1_PID}" "${SHARD2_PID}" "${ROUTER_PID}" 2>/dev/null || true
+  wait "${SHARD1_PID}" "${SHARD2_PID}" "${ROUTER_PID}" 2>/dev/null || true
+  trap - EXIT
+
+  # The networked-tracing A/B must emit its section, and the committed
+  # baselines must already carry a non-smoke obs_fleet_overhead record.
+  FO_JSON="${FO_DIR}/BENCH_fleet_obs_smoke.json"
+  NEC_BENCH_SMOKE=1 NEC_BENCH_JSON="${FO_JSON}" \
+    ./build-check-release/bench/bench_obs_overhead
+  fleet_obs_validate() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+committed = sys.argv[2] == "committed"
+doc = json.load(open(sys.argv[1]))
+assert "obs_fleet_overhead" in doc, "missing obs_fleet_overhead section"
+fo = doc["obs_fleet_overhead"]
+for arm in ("disabled", "enabled"):
+    for k in ("chunks_per_sec", "latency_p50_ms", "latency_p99_ms"):
+        assert k in fo[arm], f"obs_fleet_overhead.{arm} missing {k!r}"
+    assert fo[arm]["chunks_per_sec"] > 0, fo[arm]
+assert "enabled_overhead_pct" in fo
+if committed:
+    assert not fo.get("smoke"), "committed obs_fleet_overhead is smoke data"
+print(("committed" if committed else "fleet-obs smoke") +
+      f": networked A/B ok (enabled overhead"
+      f" {fo['enabled_overhead_pct']:.2f}%)")
+EOF
+  }
+  fleet_obs_validate "${FO_JSON}" smoke
+  fleet_obs_validate BENCH_hotpath.json committed
 fi
 
 echo "check.sh: all green"
